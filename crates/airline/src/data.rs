@@ -1,0 +1,142 @@
+//! The memory-resident operational dataset: flights and passengers.
+
+use sbq_model::workload::Lcg;
+
+/// A scheduled flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flight {
+    /// Flight number, e.g. `DL0042`.
+    pub number: String,
+    /// Origin airport code.
+    pub origin: String,
+    /// Destination airport code.
+    pub dest: String,
+    /// Departure, minutes since midnight.
+    pub departure_min: u32,
+    /// Block time in minutes.
+    pub duration_min: u32,
+    /// Aircraft type, e.g. `B767-300`.
+    pub aircraft: String,
+    /// Seats on this aircraft.
+    pub capacity: usize,
+}
+
+/// A booked passenger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Passenger {
+    /// Record locator.
+    pub id: u64,
+    /// Seat, e.g. `12A`.
+    pub seat: String,
+    /// Cabin class: `F`, `B` or `Y`.
+    pub class: u8,
+    /// Meal preference: `S`tandard, `V`egetarian, `K`osher, `G`luten-free,
+    /// `N`one.
+    pub meal_pref: u8,
+    /// Index of the flight in the dataset.
+    pub flight: usize,
+}
+
+/// The in-memory operational dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Flights by index.
+    pub flights: Vec<Flight>,
+    /// All passengers.
+    pub passengers: Vec<Passenger>,
+}
+
+const AIRPORTS: [&str; 10] =
+    ["ATL", "JFK", "LAX", "ORD", "DFW", "DEN", "SEA", "BOS", "MIA", "SFO"];
+const AIRCRAFT: [(&str, usize); 4] =
+    [("B767-300", 210), ("B757-200", 180), ("MD-88", 140), ("B737-800", 160)];
+
+impl Dataset {
+    /// Generates a deterministic dataset of `flights` flights with a
+    /// realistic load factor (~85 %).
+    pub fn generate(flights: usize, seed: u64) -> Dataset {
+        let mut rng = Lcg::new(seed);
+        let mut ds = Dataset::default();
+        for i in 0..flights {
+            let (aircraft, capacity) = AIRCRAFT[rng.next_below(AIRCRAFT.len() as u64) as usize];
+            let origin = AIRPORTS[rng.next_below(10) as usize];
+            let mut dest = AIRPORTS[rng.next_below(10) as usize];
+            if dest == origin {
+                dest = AIRPORTS[(AIRPORTS.iter().position(|a| *a == origin).expect("member") + 1) % 10];
+            }
+            ds.flights.push(Flight {
+                number: format!("DL{:04}", 100 + i),
+                origin: origin.to_string(),
+                dest: dest.to_string(),
+                departure_min: (300 + rng.next_below(1080)) as u32,
+                duration_min: (45 + rng.next_below(400)) as u32,
+                aircraft: aircraft.to_string(),
+                capacity,
+            });
+            let load = (capacity as f64 * (0.75 + rng.next_f64() * 0.2)) as usize;
+            for p in 0..load {
+                let row = 1 + p / 6;
+                let col = b'A' + (p % 6) as u8;
+                let class = if row <= 3 {
+                    b'F'
+                } else if row <= 8 {
+                    b'B'
+                } else {
+                    b'Y'
+                };
+                let meal_pref = match rng.next_below(20) {
+                    0 => b'K',
+                    1 | 2 => b'V',
+                    3 => b'G',
+                    4 => b'N',
+                    _ => b'S',
+                };
+                ds.passengers.push(Passenger {
+                    id: rng.next_u64() >> 16,
+                    seat: format!("{row}{}", col as char),
+                    class,
+                    meal_pref,
+                    flight: i,
+                });
+            }
+        }
+        ds
+    }
+
+    /// Passengers on one flight.
+    pub fn passengers_of(&self, flight: usize) -> impl Iterator<Item = &Passenger> {
+        self.passengers.iter().filter(move |p| p.flight == flight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_deterministic_and_sized() {
+        let a = Dataset::generate(20, 5);
+        let b = Dataset::generate(20, 5);
+        assert_eq!(a.flights, b.flights);
+        assert_eq!(a.passengers, b.passengers);
+        assert_eq!(a.flights.len(), 20);
+        // ~85% of 140-210 seats per flight.
+        let per_flight = a.passengers.len() / 20;
+        assert!((100..210).contains(&per_flight), "{per_flight}");
+    }
+
+    #[test]
+    fn flights_never_fly_in_circles() {
+        let ds = Dataset::generate(50, 9);
+        assert!(ds.flights.iter().all(|f| f.origin != f.dest));
+    }
+
+    #[test]
+    fn passengers_reference_their_flight() {
+        let ds = Dataset::generate(10, 3);
+        assert!(ds.passengers.iter().all(|p| p.flight < 10));
+        let on0 = ds.passengers_of(0).count();
+        assert!(on0 > 0);
+        assert!(on0 <= ds.flights[0].capacity);
+    }
+}

@@ -1,0 +1,24 @@
+//! The commercial application of §IV-C.3 — an operational information
+//! system in the style of the airline OIS the paper's group built with
+//! Delta Technologies:
+//!
+//! "Information is continuously produced, entered in a large,
+//! memory-resident data set, business rules are applied to it, and
+//! resultant data is shared with end users. In the specific scenario used
+//! here, flight and passenger information is collected and distributed,
+//! and excerpts of such information are shared with relevant parties,
+//! such as flight caterers. The client, in that case, requests specific
+//! detail about the meals to be served, and the server responds with such
+//! detail."
+//!
+//! Record layouts are sized so one catering event is ≈ 860 bytes in PBIO
+//! and ≈ 3.9 KB as SOAP XML, matching Table I's size column.
+
+pub mod data;
+pub mod event;
+pub mod rules;
+pub mod service;
+
+pub use data::{Dataset, Flight, Passenger};
+pub use event::{catering_event_type, CateringEvent};
+pub use service::{airline_service, OisServer};

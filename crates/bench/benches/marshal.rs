@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the CPU-side costs behind Figs. 4-7:
+//! XML marshal/unmarshal, PBIO encode/decode (+ cross-architecture
+//! conversion plans), XDR encode/decode, LZ compress/decompress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbq_model::{workload, TypeDesc, Value};
+use sbq_pbio::{format::FormatOptions, plan, ByteOrder, ConversionPlan, FormatDesc};
+use soap_binq::marshal;
+
+fn array_and_struct() -> Vec<(&'static str, Value, TypeDesc)> {
+    vec![
+        ("int_array_8k", workload::int_array(8192, 1), TypeDesc::list_of(TypeDesc::Int)),
+        (
+            "business_struct_d6",
+            workload::business_struct(6, 1),
+            workload::business_struct_type(6),
+        ),
+    ]
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml");
+    for (name, v, ty) in array_and_struct() {
+        let xml = marshal::value_to_xml(&v, "p");
+        g.throughput(Throughput::Bytes(xml.len() as u64));
+        g.bench_with_input(BenchmarkId::new("marshal", name), &v, |b, v| {
+            b.iter(|| marshal::value_to_xml(v, "p"))
+        });
+        g.bench_with_input(BenchmarkId::new("unmarshal", name), &xml, |b, xml| {
+            b.iter(|| marshal::parse_document(xml, &ty).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pbio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbio");
+    for (name, v, ty) in array_and_struct() {
+        let native = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
+        let sparc = FormatDesc::from_type(
+            &ty,
+            FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 },
+        )
+        .unwrap();
+        let bytes = plan::encode(&v, &native).unwrap();
+        let foreign = plan::encode(&v, &sparc).unwrap();
+        let convert = ConversionPlan::compile(&sparc, &native).unwrap();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", name), &v, |b, v| {
+            b.iter(|| plan::encode(v, &native).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("decode_identity", name), &bytes, |b, bytes| {
+            b.iter(|| plan::decode(bytes, &native).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("decode_receiver_makes_right", name),
+            &foreign,
+            |b, foreign| b.iter(|| convert.execute(foreign).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_xdr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xdr");
+    for (name, v, ty) in array_and_struct() {
+        let bytes = sbq_xdr::encode(&v, &ty).unwrap();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", name), &v, |b, v| {
+            b.iter(|| sbq_xdr::encode(v, &ty).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
+            b.iter(|| sbq_xdr::decode(bytes, &ty).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz");
+    let v = workload::int_array(8192, 1);
+    let xml = marshal::value_to_xml(&v, "p");
+    let compressed = sbq_lz::compress(xml.as_bytes());
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("compress_xml_154k", |b| b.iter(|| sbq_lz::compress(xml.as_bytes())));
+    g.bench_function("decompress_xml_154k", |b| {
+        b.iter(|| sbq_lz::decompress(&compressed).unwrap())
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_xml, bench_pbio, bench_xdr, bench_lz
+}
+criterion_main!(benches);

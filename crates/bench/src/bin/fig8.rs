@@ -1,0 +1,122 @@
+//! Figure 8: response times for the imaging application under iperf-style
+//! cross-traffic, comparing three policies: always-640x480, always-320x240,
+//! and SOAP-binQ's adaptive quality management.
+//!
+//! Server compute (edge detection) is measured for real once per
+//! resolution; each request's transfer runs on the simulated 100 Mbps
+//! link whose available bandwidth follows a square-wave cross-traffic
+//! schedule (congested ↔ idle), on virtual time.
+
+use sbq_bench::*;
+use sbq_imaging::{image_quality_file, install_resize_handlers, starfield, transform};
+use sbq_netsim::{CrossTraffic, LinkSpec, SimLink};
+use sbq_qos::QualityManager;
+use std::time::Duration;
+
+const EXPERIMENT_SECS: u64 = 120;
+const THINK: Duration = Duration::from_millis(500);
+
+#[derive(Clone, Copy, PartialEq)]
+enum Policy {
+    FixedFull,
+    FixedHalf,
+    Adaptive,
+}
+
+struct Outcome {
+    times: Vec<(f64, f64, bool)>, // (t seconds, response ms, was-half)
+}
+
+fn run(policy: Policy, edge_full_ms: f64, edge_half_ms: f64) -> Outcome {
+    // Cross traffic: 40 s period, first 20 s congested at 92 % load.
+    let cross = CrossTraffic::square_wave(
+        Duration::from_secs(40),
+        Duration::from_secs(20),
+        0.92,
+    );
+    let mut link = SimLink::new(LinkSpec::lan_100mbps()).with_cross_traffic(cross);
+
+    // Quality management exactly as the application wires it.
+    let mut qm = QualityManager::new(image_quality_file(200.0));
+    install_resize_handlers(qm.handlers());
+
+    // Payload sizes: PBIO image struct + HTTP framing.
+    let full_bytes = 640 * 480 * 3 + 60 + http_request_overhead(0);
+    let half_bytes = 320 * 240 * 3 + 60 + http_request_overhead(0);
+    let req_bytes = 200; // request envelope
+
+    let mut out = Outcome { times: Vec::new() };
+    while link.now() < Duration::from_secs(EXPERIMENT_SECS) {
+        let t = link.now().as_secs_f64();
+        let half = match policy {
+            Policy::FixedFull => false,
+            Policy::FixedHalf => true,
+            Policy::Adaptive => {
+                let rule = qm.select().clone();
+                rule.message_type == "image_half"
+            }
+        };
+        let (resp_bytes, server_ms) =
+            if half { (half_bytes, edge_half_ms) } else { (full_bytes, edge_full_ms) };
+        let server_time = Duration::from_secs_f64(server_ms / 1e3);
+        let rtt = link.request_response(req_bytes, resp_bytes, server_time);
+        if policy == Policy::Adaptive {
+            qm.observe_rtt(rtt, server_time);
+        }
+        out.times.push((t, rtt.as_secs_f64() * 1e3, half));
+        link.advance(THINK);
+    }
+    out
+}
+
+fn summarize(name: &str, o: &Outcome) {
+    let ms: Vec<f64> = o.times.iter().map(|(_, m, _)| *m).collect();
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    let max = ms.iter().cloned().fold(0.0, f64::max);
+    let min = ms.iter().cloned().fold(f64::MAX, f64::min);
+    // Jitter: mean absolute successive difference — the quantity the
+    // paper's adaptivity is shown to reduce.
+    let jitter = ms.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ms.len() - 1) as f64;
+    let halves = o.times.iter().filter(|(_, _, h)| *h).count();
+    println!(
+        "{name:>12} | {mean:8.1} | {min:8.1} | {max:8.1} | {jitter:8.1} | {:5}/{}",
+        halves,
+        o.times.len()
+    );
+}
+
+fn main() {
+    println!("Figure 8 — imaging application response times (virtual time, simulated 100Mbps + cross-traffic)");
+
+    // Measure real edge-detection cost per resolution.
+    let img_full = starfield::generate(640, 480, 120, 1);
+    let img_half = transform::half(&img_full);
+    let edge_full_ms =
+        time_min(3, || transform::edge_detect(&img_full)).as_secs_f64() * 1e3;
+    let edge_half_ms =
+        time_min(3, || transform::edge_detect(&img_half)).as_secs_f64() * 1e3;
+    println!("measured edge-detect cost: full {edge_full_ms:.1} ms, half {edge_half_ms:.1} ms");
+
+    let full = run(Policy::FixedFull, edge_full_ms, edge_half_ms);
+    let half = run(Policy::FixedHalf, edge_full_ms, edge_half_ms);
+    let adaptive = run(Policy::Adaptive, edge_full_ms, edge_half_ms);
+
+    header(
+        "summary (response time, ms)",
+        &["policy", "mean", "min", "max", "jitter", "half-res"],
+    );
+    summarize("640x480", &full);
+    summarize("320x240", &half);
+    summarize("adaptive", &adaptive);
+
+    header("adaptive time series (sampled)", &["t (s)", "resp (ms)", "resolution"]);
+    for (t, ms, h) in adaptive.times.iter().step_by(6) {
+        println!("{t:6.1} | {ms:9.1} | {}", if *h { "320x240" } else { "640x480" });
+    }
+
+    println!(
+        "\npaper shape: the adaptive curve sits between the two fixed policies —\n\
+         full resolution when idle, dropping to 320x240 during congestion and\n\
+         recovering afterwards, with lower jitter than always-640x480."
+    );
+}

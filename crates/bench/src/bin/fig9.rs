@@ -1,0 +1,116 @@
+//! Figure 9: response times for the molecular-dynamics application over
+//! ADSL with varying cross-traffic — fixed 4 timesteps/request vs fixed
+//! 1 vs the adaptive 1-4 policy.
+//!
+//! The paper's quality file "guarantees that the response time never
+//! exceeds [an upper bound], and at the same time … does not allow the
+//! network to be under-utilized". Here the bound pair is (upper, lower)
+//! printed with the summary.
+
+use sbq_bench::*;
+use sbq_mdsim::{md_quality_file, BondGraph, Molecule};
+use sbq_netsim::{CrossTraffic, LinkSpec, SimLink};
+use sbq_qos::QualityManager;
+use std::time::Duration;
+
+const EXPERIMENT_SECS: u64 = 120;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Policy {
+    Fixed(usize),
+    Adaptive,
+}
+
+fn graph_bytes() -> usize {
+    let mut m = Molecule::branched_chain(110, 1);
+    m.run(50);
+    BondGraph::capture(&m, 1.2).native_size()
+}
+
+fn batch_size_for(rule: &str) -> usize {
+    match rule {
+        "batch_4" => 4,
+        "batch_3" => 3,
+        "batch_2" => 2,
+        _ => 1,
+    }
+}
+
+fn run(policy: Policy, per_graph: usize) -> Vec<(f64, f64, usize)> {
+    // Cross-traffic staircase: idle, light, heavy, moderate — repeating.
+    let cross = CrossTraffic::staircase(
+        Duration::from_secs(15),
+        &[0.0, 0.35, 0.85, 0.5],
+    );
+    let mut link = SimLink::new(LinkSpec::adsl()).with_cross_traffic(cross);
+    let mut qm = QualityManager::new(md_quality_file([120.0, 200.0, 350.0]));
+
+    let mut out = Vec::new();
+    while link.now() < Duration::from_secs(EXPERIMENT_SECS) {
+        let t = link.now().as_secs_f64();
+        let k = match policy {
+            Policy::Fixed(k) => k,
+            Policy::Adaptive => batch_size_for(&qm.select().message_type.clone()),
+        };
+        let resp_bytes = k * per_graph + 60 + http_request_overhead(0);
+        let server_time = Duration::from_micros(300 * k as u64); // integration cost
+        let rtt = link.request_response(150, resp_bytes, server_time);
+        if policy == Policy::Adaptive {
+            qm.observe_rtt(rtt, server_time);
+        }
+        out.push((t, rtt.as_secs_f64() * 1e3, k));
+        link.advance(Duration::from_millis(100)); // display think time
+    }
+    out
+}
+
+fn summarize(name: &str, series: &[(f64, f64, usize)]) {
+    let ms: Vec<f64> = series.iter().map(|(_, m, _)| *m).collect();
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    let max = ms.iter().cloned().fold(0.0, f64::max);
+    let min = ms.iter().cloned().fold(f64::MAX, f64::min);
+    let jitter = ms.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ms.len() - 1) as f64;
+    let steps: f64 =
+        series.iter().map(|(_, _, k)| *k as f64).sum::<f64>() / series.len() as f64;
+    println!(
+        "{name:>12} | {mean:8.1} | {min:8.1} | {max:8.1} | {jitter:8.1} | {steps:9.2}"
+    );
+}
+
+fn main() {
+    let per_graph = graph_bytes();
+    println!(
+        "Figure 9 — molecular dynamics over ADSL (graph ≈ {} bytes/timestep, paper: ~4KB)",
+        fmt_bytes(per_graph)
+    );
+
+    let fixed4 = run(Policy::Fixed(4), per_graph);
+    let fixed1 = run(Policy::Fixed(1), per_graph);
+    let adaptive = run(Policy::Adaptive, per_graph);
+
+    header(
+        "summary (response time, ms)",
+        &["policy", "mean", "min", "max", "jitter", "avg steps"],
+    );
+    summarize("4 steps/req", &fixed4);
+    summarize("1 step/req", &fixed1);
+    summarize("adaptive", &adaptive);
+
+    header("adaptive time series (sampled)", &["t (s)", "resp (ms)", "steps"]);
+    for (t, ms, k) in adaptive.iter().step_by(25) {
+        println!("{t:6.1} | {ms:9.1} | {k:5}");
+    }
+
+    let ms: Vec<f64> = adaptive.iter().map(|(_, m, _)| *m).collect();
+    let above = ms.iter().filter(|&&m| m > 600.0).count();
+    println!(
+        "\nadaptive samples above the 600 ms policy ceiling: {above}/{} \
+         (transient spikes while the estimator reacts)",
+        ms.len()
+    );
+    println!(
+        "paper shape: fixed-4 spikes under congestion, fixed-1 under-utilizes\n\
+         the idle network; adaptive tracks the band, delivering more timesteps\n\
+         when idle and fewer under load, with bounded response times."
+    );
+}

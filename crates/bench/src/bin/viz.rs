@@ -1,0 +1,77 @@
+//! Remote visualization measurement (§IV-C.4): "Measurements over two
+//! Linux machines … connected by a 100Mbps link shows a response time of
+//! about 2400µs for a data size of 16Kbytes."
+//!
+//! This binary measures the real loopback response time of the portal
+//! (wall clock, actual SOAP-binQ stack end to end) and also reports the
+//! simulated 100 Mbps figure for the measured payload size.
+
+use sbq_bench::*;
+use sbq_echo::EchoBus;
+use sbq_mdsim::{BondGraph, Molecule};
+use sbq_model::Value;
+use sbq_netsim::LinkSpec;
+use sbq_viz::{portal_service, ServicePortal};
+use soap_binq::{SoapClient, WireEncoding};
+use std::time::Instant;
+
+fn main() {
+    println!("Remote visualization — portal response time");
+
+    // Scale the molecule so one graph is ~16 KB (the paper's data size).
+    let mut m = Molecule::branched_chain(400, 7);
+    m.run(50);
+    let graph = BondGraph::capture(&m, 1.2);
+    println!("bond graph payload: {} bytes (paper: 16K)", fmt_bytes(graph.native_size()));
+
+    let bus = EchoBus::new();
+    bus.create_channel("bonds", BondGraph::type_desc()).unwrap();
+    let portal = ServicePortal::new(&bus, "bonds").unwrap();
+    bus.submit("bonds", graph.to_value()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let server = portal.serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio).unwrap();
+    let svc = portal_service("x");
+    let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
+
+    header("measured loopback response times", &["format", "payload", "mean", "min"]);
+    for format in ["xml", "svg"] {
+        let req = || {
+            Value::struct_of(
+                "frame_request",
+                vec![
+                    ("filter", Value::Str("identity".into())),
+                    ("format", Value::Str(format.into())),
+                ],
+            )
+        };
+        // Warm up (format registration, caches).
+        let first = client.call("get_frame", req()).unwrap();
+        let payload = first.as_str().unwrap().len();
+        let mut total = std::time::Duration::ZERO;
+        let mut min = std::time::Duration::MAX;
+        let iters = 50;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let _ = client.call("get_frame", req()).unwrap();
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        println!(
+            "{format:>7} | {:>9} | {} | {}",
+            fmt_bytes(payload),
+            fmt_dur(total / iters),
+            fmt_dur(min),
+        );
+    }
+
+    // Simulated 100 Mbps estimate for a 16 KB response.
+    let link = LinkSpec::lan_100mbps();
+    let sim = link.transfer_time(200, 1.0) + link.transfer_time(16 * 1024 + 300, 1.0);
+    println!(
+        "\nsimulated {} request/response for 16KB: {} (paper: ~2400us)",
+        link.name,
+        fmt_dur(sim)
+    );
+}

@@ -1,0 +1,330 @@
+//! The SOAP-binQ client runtime.
+//!
+//! One [`SoapClient`] owns one persistent HTTP connection, one PBIO
+//! endpoint (format announcements are per connection, so the first call
+//! carries the registration handshake), and optionally a
+//! [`QualityManager`] driving continuous quality management: every call
+//! carries the client's timestamp and current RTT estimate; every reply
+//! updates the estimator (compensated by the server-reported preparation
+//! time, §IV-C.h).
+
+use crate::envelope::{self, QosHeader};
+use crate::marshal;
+use crate::modes::WireEncoding;
+use crate::SoapError;
+use sbq_http::{HttpClient, Request, Response};
+use sbq_model::{pad_to, TypeDesc, Value};
+use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
+use sbq_qos::QualityManager;
+use sbq_wsdl::{compile, CompiledService, ServiceDef};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+/// Per-client call statistics (what the application-level experiments
+/// chart).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CallStats {
+    /// Completed calls.
+    pub calls: u64,
+    /// Request payload bytes (bodies only).
+    pub bytes_sent: u64,
+    /// Response payload bytes (bodies only).
+    pub bytes_received: u64,
+    /// Most recent raw round-trip time.
+    pub last_rtt: Option<Duration>,
+    /// Message type of the most recent response, if quality-reduced.
+    pub last_message_type: Option<String>,
+}
+
+/// A blocking SOAP-binQ client.
+pub struct SoapClient {
+    http: HttpClient,
+    addr: SocketAddr,
+    compiled: CompiledService,
+    encoding: WireEncoding,
+    endpoint: PbioEndpoint,
+    quality: Option<QualityManager>,
+    session: u64,
+    stats: CallStats,
+}
+
+impl SoapClient {
+    /// Connects and compiles the service with default (native host) PBIO
+    /// format options.
+    pub fn connect(
+        addr: SocketAddr,
+        svc: &ServiceDef,
+        encoding: WireEncoding,
+    ) -> Result<SoapClient, SoapError> {
+        let compiled = compile(svc, Default::default())?;
+        SoapClient::connect_compiled(addr, compiled, encoding)
+    }
+
+    /// Connects with an already-compiled service (custom format options,
+    /// e.g. a big-endian sender).
+    pub fn connect_compiled(
+        addr: SocketAddr,
+        compiled: CompiledService,
+        encoding: WireEncoding,
+    ) -> Result<SoapClient, SoapError> {
+        let http = HttpClient::connect(addr)?;
+        Ok(SoapClient {
+            http,
+            addr,
+            compiled,
+            encoding,
+            endpoint: PbioEndpoint::new(Arc::new(FormatServer::new())),
+            quality: None,
+            session: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
+            stats: CallStats::default(),
+        })
+    }
+
+    /// Attaches a quality manager (builder style).
+    pub fn with_quality(mut self, quality: QualityManager) -> SoapClient {
+        self.quality = Some(quality);
+        self
+    }
+
+    /// The quality manager, if attached.
+    pub fn quality(&self) -> Option<&QualityManager> {
+        self.quality.as_ref()
+    }
+
+    /// Mutable access to the quality manager.
+    pub fn quality_mut(&mut self) -> Option<&mut QualityManager> {
+        self.quality.as_mut()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CallStats {
+        &self.stats
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Re-establishes the HTTP connection after a transport failure.
+    ///
+    /// A *new* PBIO session begins: format announcements replay on the
+    /// next call (the per-connection handshake of §III-B.a), and the
+    /// quality manager's estimator state is kept — the network did not
+    /// forget its conditions just because a socket died.
+    pub fn reconnect(&mut self) -> Result<(), SoapError> {
+        self.http = HttpClient::connect(self.addr)?;
+        self.endpoint = PbioEndpoint::new(Arc::new(FormatServer::new()));
+        self.session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Calls `operation`, reconnecting once and retrying if the transport
+    /// failed (idempotent operations only — the first attempt may have
+    /// executed server-side).
+    pub fn call_with_retry(&mut self, operation: &str, params: Value) -> Result<Value, SoapError> {
+        match self.call(operation, params.clone()) {
+            Err(SoapError::Http(_)) => {
+                self.reconnect()?;
+                self.call(operation, params)
+            }
+            other => other,
+        }
+    }
+
+    /// The compiled service this client speaks.
+    pub fn service(&self) -> &CompiledService {
+        &self.compiled
+    }
+
+    /// Invokes `operation` with `params`, blocking for the result.
+    ///
+    /// The result is always presented in the operation's *full* output
+    /// type: quality-reduced responses are padded back ("the remaining
+    /// entries are padded with zeroes", §III-B.b).
+    pub fn call(&mut self, operation: &str, params: Value) -> Result<Value, SoapError> {
+        let stub = self
+            .compiled
+            .stub(operation)
+            .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?
+            .clone();
+
+        let mut header = QosHeader {
+            timestamp_us: 0,
+            rtt_ms: self.quality.as_ref().and_then(|q| q.estimator().estimate_ms()),
+            server_time_us: 0,
+            message_type: None,
+        };
+
+        let t0 = Instant::now();
+        header.timestamp_us = 0; // echoed value unused: we time locally
+
+        let req = self.encode_request(operation, &params, &stub.input_format, &header)?;
+        self.stats.bytes_sent += req.body.len() as u64;
+        let resp = self.http.send(req)?;
+        let rtt = t0.elapsed();
+        self.stats.bytes_received += resp.body.len() as u64;
+
+        let (value, resp_header) = self.decode_response(&resp, &stub.output, &stub.output_format)?;
+
+        self.stats.calls += 1;
+        self.stats.last_rtt = Some(rtt);
+        self.stats.last_message_type = resp_header.message_type.clone();
+        if let Some(q) = &mut self.quality {
+            q.observe_rtt(rtt, Duration::from_micros(resp_header.server_time_us));
+        }
+        Ok(value)
+    }
+
+    /// Interoperability-mode convenience: accepts the request parameters
+    /// as an XML document and returns the result as XML — the client-side
+    /// just-in-time conversion of §I.
+    pub fn call_xml(&mut self, operation: &str, params_xml: &str) -> Result<String, SoapError> {
+        let stub = self
+            .compiled
+            .stub(operation)
+            .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?
+            .clone();
+        let params = marshal::parse_document(params_xml, &stub.input)?;
+        let result = self.call(operation, params)?;
+        Ok(marshal::value_to_xml(&result, &format!("{operation}Result")))
+    }
+
+    fn encode_request(
+        &mut self,
+        operation: &str,
+        params: &Value,
+        input_format: &sbq_pbio::FormatDesc,
+        header: &QosHeader,
+    ) -> Result<Request, SoapError> {
+        let path = format!("/{}", self.compiled.service.name);
+        match self.encoding {
+            WireEncoding::Pbio => {
+                let msgs = self.endpoint.send(params, input_format)?;
+                let mut body = Vec::new();
+                for m in &msgs {
+                    body.extend_from_slice(&m.to_bytes());
+                }
+                let mut req = Request::post(&path, self.encoding.content_type(), body);
+                req.headers.push(("X-Soap-Op".to_string(), operation.to_string()));
+                req.headers.push(("X-Pbio-Session".to_string(), self.session.to_string()));
+                req.headers.extend(header.to_http_headers());
+                Ok(req)
+            }
+            WireEncoding::Xml => {
+                let xml = envelope::build_request(operation, params, header);
+                Ok(Request::post(&path, self.encoding.content_type(), xml.into_bytes()))
+            }
+            WireEncoding::CompressedXml => {
+                let xml = envelope::build_request(operation, params, header);
+                let body = sbq_lz::compress(xml.as_bytes());
+                Ok(Request::post(&path, self.encoding.content_type(), body))
+            }
+        }
+    }
+
+    fn decode_response(
+        &mut self,
+        resp: &Response,
+        output_ty: &TypeDesc,
+        output_format: &sbq_pbio::FormatDesc,
+    ) -> Result<(Value, QosHeader), SoapError> {
+        match self.encoding {
+            WireEncoding::Pbio => {
+                if resp.status != 200 {
+                    let msg = resp
+                        .header("x-soap-error")
+                        .unwrap_or("server error")
+                        .to_string();
+                    return Err(SoapError::Fault { code: "soap:Server".into(), message: msg });
+                }
+                let header = QosHeader::from_http_headers(|n| resp.header(n));
+                let mut value = None;
+                let mut buf = &resp.body[..];
+                while !buf.is_empty() {
+                    let (msg, used) = WireMessage::from_bytes(buf)?;
+                    buf = &buf[used..];
+                    // The conversion plan pads reduced wire formats back to
+                    // the full native layout by construction.
+                    if let Some(v) = self.endpoint.receive(&msg, Some(output_format))? {
+                        value = Some(v);
+                    }
+                }
+                let value =
+                    value.ok_or_else(|| SoapError::Protocol("response had no data message".into()))?;
+                Ok((value, header))
+            }
+            WireEncoding::Xml | WireEncoding::CompressedXml => {
+                let xml_bytes = match self.encoding {
+                    WireEncoding::CompressedXml => sbq_lz::decompress(&resp.body)?,
+                    _ => resp.body.clone(),
+                };
+                let xml = std::str::from_utf8(&xml_bytes)
+                    .map_err(|_| SoapError::Xml("response is not utf-8".into()))?;
+                // Resolve the body type: reduced message types parse with
+                // their registered schema, everything else with the full
+                // output type. (Faults are handled inside parse_envelope.)
+                let quality = &self.quality;
+                let parsed = envelope::parse_envelope(xml, |_op| {
+                    // The header is not yet available to this closure, so
+                    // resolution happens in two steps below on mismatch.
+                    Some(output_ty.clone())
+                });
+                let parsed = match parsed {
+                    Ok(p) => p,
+                    Err(first_err) => {
+                        // Retry with the reduced type named in the header,
+                        // if the quality config knows it.
+                        let hdr = peek_header(xml);
+                        let reduced = hdr
+                            .message_type
+                            .as_deref()
+                            .and_then(|mt| {
+                                quality.as_ref().and_then(|q| q.message_type_def(mt).cloned())
+                            });
+                        match reduced {
+                            Some(ty) => envelope::parse_envelope(xml, |_| Some(ty.clone()))?,
+                            None => return Err(first_err),
+                        }
+                    }
+                };
+                let mut value = parsed.value;
+                if parsed.header.message_type.is_some() {
+                    value = pad_to(&value, output_ty)?;
+                }
+                Ok((value, parsed.header))
+            }
+        }
+    }
+}
+
+/// Parses only the QoS header of an envelope (used to discover the reduced
+/// message type before re-parsing the body with the right schema).
+fn peek_header(xml: &str) -> QosHeader {
+    match envelope::parse_envelope(xml, |_| None) {
+        // Body resolution always fails with `None`, but the header was
+        // parsed before the body — recover it from the error path below.
+        Ok(p) => p.header,
+        Err(_) => {
+            // Fall back to a targeted scan of the header section.
+            let mut h = QosHeader::default();
+            if let Some(start) = xml.find("<qos:messageType>") {
+                let rest = &xml[start + "<qos:messageType>".len()..];
+                if let Some(end) = rest.find("</qos:messageType>") {
+                    h.message_type = Some(sbq_xml::unescape(&rest[..end]));
+                }
+            }
+            if let Some(start) = xml.find("<qos:serverTime>") {
+                let rest = &xml[start + "<qos:serverTime>".len()..];
+                if let Some(end) = rest.find("</qos:serverTime>") {
+                    h.server_time_us = rest[..end].trim().parse().unwrap_or(0);
+                }
+            }
+            h
+        }
+    }
+}

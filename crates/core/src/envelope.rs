@@ -1,0 +1,361 @@
+//! SOAP 1.1 envelopes, faults, and the QoS header.
+//!
+//! The QoS header carries the paper's continuous-quality-management
+//! plumbing (§IV-C.h): the client's timestamp (echoed back by the server
+//! for RTT measurement), the client's current RTT estimate ("Every time
+//! the RTT is estimated by the client, the server is informed of the new
+//! value during the next request"), the server's data-preparation time
+//! (for timestamp set-back compensation), and the message type actually
+//! transmitted (so the receiver can up-project reduced messages).
+//!
+//! In XML encodings these fields ride in `<soap:Header>`; in the binary
+//! encodings they ride as HTTP headers, since no XML envelope exists on
+//! the wire at all.
+
+use crate::marshal::{value_from_xml, value_to_xml};
+use crate::SoapError;
+use sbq_model::{TypeDesc, Value};
+use sbq_xml::{escape_text, Event, PullParser};
+
+const ENVELOPE_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// QoS metadata attached to every SOAP-binQ message.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QosHeader {
+    /// Client-chosen timestamp in microseconds, echoed by the server.
+    pub timestamp_us: u64,
+    /// Client's current RTT estimate in milliseconds, if any.
+    pub rtt_ms: Option<f64>,
+    /// Server's response-preparation time in microseconds (set on
+    /// responses).
+    pub server_time_us: u64,
+    /// Name of the quality-file message type this payload uses, when it is
+    /// not the full application type.
+    pub message_type: Option<String>,
+}
+
+impl QosHeader {
+    /// Renders the header fields as HTTP headers (binary encodings).
+    pub fn to_http_headers(&self) -> Vec<(String, String)> {
+        let mut h = vec![("X-Qos-Timestamp".to_string(), self.timestamp_us.to_string())];
+        if let Some(rtt) = self.rtt_ms {
+            h.push(("X-Qos-Rtt".to_string(), format!("{rtt}")));
+        }
+        if self.server_time_us > 0 {
+            h.push(("X-Qos-Server-Time".to_string(), self.server_time_us.to_string()));
+        }
+        if let Some(mt) = &self.message_type {
+            h.push(("X-Qos-Message-Type".to_string(), mt.clone()));
+        }
+        h
+    }
+
+    /// Extracts the header fields from HTTP headers (lenient: absent
+    /// fields default).
+    pub fn from_http_headers<'a>(
+        mut lookup: impl FnMut(&str) -> Option<&'a str>,
+    ) -> QosHeader {
+        QosHeader {
+            timestamp_us: lookup("X-Qos-Timestamp").and_then(|v| v.parse().ok()).unwrap_or(0),
+            rtt_ms: lookup("X-Qos-Rtt").and_then(|v| v.parse().ok()),
+            server_time_us: lookup("X-Qos-Server-Time").and_then(|v| v.parse().ok()).unwrap_or(0),
+            message_type: lookup("X-Qos-Message-Type").map(str::to_string),
+        }
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        out.push_str("<soap:Header>");
+        out.push_str(&format!("<qos:timestamp>{}</qos:timestamp>", self.timestamp_us));
+        if let Some(rtt) = self.rtt_ms {
+            out.push_str(&format!("<qos:rtt>{rtt}</qos:rtt>"));
+        }
+        if self.server_time_us > 0 {
+            out.push_str(&format!("<qos:serverTime>{}</qos:serverTime>", self.server_time_us));
+        }
+        if let Some(mt) = &self.message_type {
+            out.push_str(&format!("<qos:messageType>{}</qos:messageType>", escape_text(mt)));
+        }
+        out.push_str("</soap:Header>");
+    }
+}
+
+/// Builds a SOAP request envelope for `operation` carrying `params`.
+pub fn build_request(operation: &str, params: &Value, header: &QosHeader) -> String {
+    build_envelope(operation, params, header)
+}
+
+/// Builds a SOAP response envelope (`<opResponse>` wrapper).
+pub fn build_response(operation: &str, result: &Value, header: &QosHeader) -> String {
+    build_envelope(&format!("{operation}Response"), result, header)
+}
+
+fn build_envelope(body_tag: &str, value: &Value, header: &QosHeader) -> String {
+    let body = value_to_xml(value, body_tag);
+    let mut out = String::with_capacity(body.len() + 256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&format!(
+        "<soap:Envelope xmlns:soap=\"{ENVELOPE_NS}\" xmlns:qos=\"urn:soap-binq:qos\">"
+    ));
+    header.write_xml(&mut out);
+    out.push_str("<soap:Body>");
+    out.push_str(&body);
+    out.push_str("</soap:Body></soap:Envelope>");
+    out
+}
+
+/// Builds a SOAP fault envelope.
+pub fn build_fault(code: &str, message: &str) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&format!("<soap:Envelope xmlns:soap=\"{ENVELOPE_NS}\"><soap:Body>"));
+    out.push_str("<soap:Fault>");
+    out.push_str(&format!("<faultcode>{}</faultcode>", escape_text(code)));
+    out.push_str(&format!("<faultstring>{}</faultstring>", escape_text(message)));
+    out.push_str("</soap:Fault></soap:Body></soap:Envelope>");
+    out
+}
+
+/// A parsed envelope: operation element name, QoS header, and parsed body
+/// value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEnvelope {
+    /// The body element name (operation, or `<op>Response`).
+    pub operation: String,
+    /// QoS header fields (defaults when absent).
+    pub header: QosHeader,
+    /// The body value.
+    pub value: Value,
+}
+
+/// Parses an envelope whose body type must be resolved from the operation
+/// element name (servers use this: the element tells them which stub).
+pub fn parse_envelope(
+    xml: &str,
+    resolve: impl Fn(&str) -> Option<TypeDesc>,
+) -> Result<ParsedEnvelope, SoapError> {
+    let mut p = PullParser::new(xml);
+    expect_start(&mut p, "Envelope")?;
+    let mut header = QosHeader::default();
+
+    loop {
+        match p.next()? {
+            Event::Start { name, .. } if local(&name) == "Header" => {
+                header = parse_header(&mut p)?;
+            }
+            Event::Start { name, .. } if local(&name) == "Body" => {
+                let (op, value) = parse_body(&mut p, &resolve, &header)?;
+                // Consume </Body> and </Envelope>.
+                consume_end(&mut p)?;
+                consume_end(&mut p)?;
+                return Ok(ParsedEnvelope { operation: op, header, value });
+            }
+            Event::Start { name, .. } => {
+                return Err(SoapError::Xml(format!("unexpected element <{name}> in envelope")))
+            }
+            Event::End { .. } | Event::Eof => {
+                return Err(SoapError::Xml("envelope has no body".into()))
+            }
+            Event::Text(_) => {}
+        }
+    }
+}
+
+fn parse_header(p: &mut PullParser<'_>) -> Result<QosHeader, SoapError> {
+    let mut h = QosHeader::default();
+    loop {
+        match p.next()? {
+            Event::Start { name, .. } => {
+                let text = p.text_content()?;
+                match local(&name) {
+                    "timestamp" => h.timestamp_us = text.trim().parse().unwrap_or(0),
+                    "rtt" => h.rtt_ms = text.trim().parse().ok(),
+                    "serverTime" => h.server_time_us = text.trim().parse().unwrap_or(0),
+                    "messageType" => h.message_type = Some(text),
+                    _ => {} // unknown header entries are ignored
+                }
+            }
+            Event::End { .. } => return Ok(h),
+            Event::Text(_) => {}
+            Event::Eof => return Err(SoapError::Xml("eof in soap header".into())),
+        }
+    }
+}
+
+fn parse_body(
+    p: &mut PullParser<'_>,
+    resolve: &impl Fn(&str) -> Option<TypeDesc>,
+    header: &QosHeader,
+) -> Result<(String, Value), SoapError> {
+    loop {
+        match p.next()? {
+            Event::Start { name, .. } => {
+                if local(&name) == "Fault" {
+                    return Err(parse_fault(p));
+                }
+                let op = name.clone();
+                let ty = resolve(&op).ok_or_else(|| SoapError::Protocol(format!(
+                    "unknown operation element <{op}>{}",
+                    header
+                        .message_type
+                        .as_deref()
+                        .map(|m| format!(" (message type {m})"))
+                        .unwrap_or_default()
+                )))?;
+                let value = value_from_xml(p, &ty)?;
+                return Ok((op, value));
+            }
+            Event::Text(_) => {}
+            other => return Err(SoapError::Xml(format!("empty soap body ({other:?})"))),
+        }
+    }
+}
+
+fn parse_fault(p: &mut PullParser<'_>) -> SoapError {
+    let mut code = String::from("soap:Server");
+    let mut message = String::new();
+    loop {
+        match p.next() {
+            Ok(Event::Start { name, .. }) => {
+                let text = p.text_content().unwrap_or_default();
+                match local(&name) {
+                    "faultcode" => code = text,
+                    "faultstring" => message = text,
+                    _ => {}
+                }
+            }
+            Ok(Event::End { .. }) | Ok(Event::Eof) | Err(_) => break,
+            Ok(Event::Text(_)) => {}
+        }
+    }
+    SoapError::Fault { code, message }
+}
+
+fn expect_start(p: &mut PullParser<'_>, what: &str) -> Result<(), SoapError> {
+    loop {
+        match p.next()? {
+            Event::Start { name, .. } if local(&name) == what => return Ok(()),
+            Event::Start { name, .. } => {
+                return Err(SoapError::Xml(format!("expected <{what}>, found <{name}>")))
+            }
+            Event::Text(_) => {}
+            other => return Err(SoapError::Xml(format!("expected <{what}>, got {other:?}"))),
+        }
+    }
+}
+
+fn consume_end(p: &mut PullParser<'_>) -> Result<(), SoapError> {
+    loop {
+        match p.next()? {
+            Event::End { .. } => return Ok(()),
+            Event::Text(_) => {}
+            other => return Err(SoapError::Xml(format!("expected end tag, got {other:?}"))),
+        }
+    }
+}
+
+fn local(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_model::workload;
+
+    fn resolver(ty: TypeDesc) -> impl Fn(&str) -> Option<TypeDesc> {
+        move |_| Some(ty.clone())
+    }
+
+    #[test]
+    fn request_round_trips_with_header() {
+        let v = workload::nested_struct(2, 3);
+        let h = QosHeader {
+            timestamp_us: 123456,
+            rtt_ms: Some(42.5),
+            server_time_us: 0,
+            message_type: Some("small".into()),
+        };
+        let xml = build_request("get_bonds", &v, &h);
+        let parsed = parse_envelope(&xml, resolver(workload::nested_struct_type(2))).unwrap();
+        assert_eq!(parsed.operation, "get_bonds");
+        assert_eq!(parsed.header, h);
+        assert_eq!(parsed.value, v);
+    }
+
+    #[test]
+    fn response_wrapper_named_after_operation() {
+        let xml = build_response("ping", &Value::Int(1), &QosHeader::default());
+        let parsed = parse_envelope(&xml, resolver(TypeDesc::Int)).unwrap();
+        assert_eq!(parsed.operation, "pingResponse");
+        assert_eq!(parsed.value, Value::Int(1));
+    }
+
+    #[test]
+    fn server_time_survives() {
+        let h = QosHeader { server_time_us: 777, ..Default::default() };
+        let xml = build_response("op", &Value::Int(0), &h);
+        let parsed = parse_envelope(&xml, resolver(TypeDesc::Int)).unwrap();
+        assert_eq!(parsed.header.server_time_us, 777);
+    }
+
+    #[test]
+    fn faults_surface_as_errors() {
+        let xml = build_fault("soap:Client", "no such operation");
+        let err = parse_envelope(&xml, resolver(TypeDesc::Int)).unwrap_err();
+        match err {
+            SoapError::Fault { code, message } => {
+                assert_eq!(code, "soap:Client");
+                assert_eq!(message, "no such operation");
+            }
+            other => panic!("expected fault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_operation_rejected() {
+        let xml = build_request("mystery", &Value::Int(1), &QosHeader::default());
+        let err = parse_envelope(&xml, |_| None).unwrap_err();
+        assert!(matches!(err, SoapError::Protocol(_)));
+    }
+
+    #[test]
+    fn http_header_round_trip() {
+        let h = QosHeader {
+            timestamp_us: 42,
+            rtt_ms: Some(3.25),
+            server_time_us: 9,
+            message_type: Some("half".into()),
+        };
+        let rendered = h.to_http_headers();
+        let parsed = QosHeader::from_http_headers(|name| {
+            rendered.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+        });
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn missing_http_headers_default() {
+        let h = QosHeader::from_http_headers(|_| None);
+        assert_eq!(h, QosHeader::default());
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        assert!(parse_envelope("<notsoap/>", |_| Some(TypeDesc::Int)).is_err());
+        assert!(parse_envelope(
+            "<soap:Envelope xmlns:soap=\"x\"></soap:Envelope>",
+            |_| Some(TypeDesc::Int)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn envelope_size_overhead_is_bounded() {
+        // The envelope adds a fixed couple-hundred-byte wrapper; the body
+        // dominates for the experiment payloads.
+        let v = workload::int_array(1000, 1);
+        let xml = build_request("op", &v, &QosHeader::default());
+        let body = crate::marshal::value_to_xml(&v, "op");
+        assert!(xml.len() - body.len() < 300, "envelope overhead {}", xml.len() - body.len());
+    }
+}

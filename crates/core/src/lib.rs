@@ -1,0 +1,125 @@
+//! # SOAP-binQ
+//!
+//! A reproduction of *"SOAP-binQ: High-Performance SOAP with Continuous
+//! Quality Management"* (Seshasayee, Schwan, Widener — ICDCS 2004): a SOAP
+//! stack in which invocation parameters are *described* in XML/WSDL but
+//! *transported* as structured binary data (PBIO), with an optional
+//! quality-management layer that adapts message content to measured
+//! network conditions.
+//!
+//! ## Layers
+//!
+//! * [`marshal`] — parameter ⇄ XML text conversion (the cost center plain
+//!   SOAP pays on every message).
+//! * [`envelope`] — SOAP 1.1 envelopes, faults, and the QoS header that
+//!   carries the paper's timestamp/RTT/server-time fields.
+//! * [`modes`] — the three SOAP-bin operating modes (§I) and the two
+//!   baselines (plain XML SOAP, compressed-XML SOAP), as composable
+//!   encoding pipelines with measured costs.
+//! * [`client`] / [`server`] — a blocking SOAP client and a threaded SOAP
+//!   server over HTTP, generic over the wire encoding, with per-call
+//!   continuous quality management.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sbq_model::{TypeDesc, Value};
+//! use sbq_wsdl::ServiceDef;
+//! use soap_binq::{client::SoapClient, server::SoapServerBuilder, WireEncoding};
+//!
+//! // Describe the service (normally parsed from a WSDL file).
+//! let svc = ServiceDef::new("Echo", "urn:echo", "http://127.0.0.1:0/echo")
+//!     .with_operation("double", TypeDesc::Int, TypeDesc::Int);
+//!
+//! // Server.
+//! let mut builder = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
+//! builder.handle("double", |v| Value::Int(v.as_int().unwrap() * 2));
+//! let server = builder.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+//!
+//! // Client.
+//! let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
+//! assert_eq!(client.call("double", Value::Int(21)).unwrap(), Value::Int(42));
+//! ```
+
+pub mod client;
+pub mod envelope;
+pub mod marshal;
+pub mod modes;
+pub mod server;
+pub mod xml_handler;
+
+pub use client::SoapClient;
+pub use xml_handler::XmlHandler;
+pub use envelope::QosHeader;
+pub use modes::{Mode, WireEncoding};
+pub use server::{SoapServer, SoapServerBuilder};
+
+/// Errors surfaced by SOAP-binQ calls.
+#[derive(Debug)]
+pub enum SoapError {
+    /// Transport failure.
+    Http(sbq_http::HttpError),
+    /// XML envelope/body problem.
+    Xml(String),
+    /// Binary payload problem.
+    Pbio(sbq_pbio::PbioError),
+    /// Compressed payload problem.
+    Lz(sbq_lz::LzError),
+    /// The server returned a SOAP fault.
+    Fault {
+        /// Fault code (e.g. `soap:Client`, `soap:Server`).
+        code: String,
+        /// Human-readable fault string.
+        message: String,
+    },
+    /// Value/schema mismatch.
+    Model(sbq_model::ModelError),
+    /// Anything else (unknown operation, bad headers, …).
+    Protocol(String),
+}
+
+impl std::fmt::Display for SoapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoapError::Http(e) => write!(f, "soap transport error: {e}"),
+            SoapError::Xml(m) => write!(f, "soap xml error: {m}"),
+            SoapError::Pbio(e) => write!(f, "soap binary error: {e}"),
+            SoapError::Lz(e) => write!(f, "soap compression error: {e}"),
+            SoapError::Fault { code, message } => write!(f, "soap fault {code}: {message}"),
+            SoapError::Model(e) => write!(f, "soap value error: {e}"),
+            SoapError::Protocol(m) => write!(f, "soap protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapError {}
+
+impl From<sbq_http::HttpError> for SoapError {
+    fn from(e: sbq_http::HttpError) -> Self {
+        SoapError::Http(e)
+    }
+}
+
+impl From<sbq_pbio::PbioError> for SoapError {
+    fn from(e: sbq_pbio::PbioError) -> Self {
+        SoapError::Pbio(e)
+    }
+}
+
+impl From<sbq_lz::LzError> for SoapError {
+    fn from(e: sbq_lz::LzError) -> Self {
+        SoapError::Lz(e)
+    }
+}
+
+impl From<sbq_model::ModelError> for SoapError {
+    fn from(e: sbq_model::ModelError) -> Self {
+        SoapError::Model(e)
+    }
+}
+
+impl From<sbq_xml::XmlError> for SoapError {
+    fn from(e: sbq_xml::XmlError) -> Self {
+        SoapError::Xml(e.to_string())
+    }
+}

@@ -1,0 +1,289 @@
+//! Parameter ⇄ XML conversion.
+//!
+//! This is the textual marshalling plain SOAP performs on every call — the
+//! cost the paper identifies as prohibitive: tags enclose every element of
+//! an array ("XML parameters … about 4-5 times the size of the
+//! corresponding PBIO messages, in part due to redundant tags"), and
+//! nested structs add tags at every level (the ninefold case, §IV-B.e).
+//! ASCII digit conversion, the bottleneck \[21\] calls out, happens here
+//! too.
+
+use crate::SoapError;
+use sbq_model::{StructValue, TypeDesc, Value};
+use sbq_xml::{escape_text, Event, PullParser};
+
+/// Serializes a value as an XML element named `tag` (compact form — the
+/// wire representation whose size the experiments measure).
+pub fn value_to_xml(value: &Value, tag: &str) -> String {
+    let mut out = String::with_capacity(value.native_size() * 4);
+    write_value(&mut out, value, tag);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, tag: &str) {
+    match value {
+        Value::Int(i) => write_leaf(out, tag, itoa(*i).as_str()),
+        Value::Float(x) => write_leaf(out, tag, format_float(*x).as_str()),
+        // Chars are transported numerically: arbitrary bytes are not
+        // necessarily valid XML characters.
+        Value::Char(c) => write_leaf(out, tag, itoa(*c as i64).as_str()),
+        Value::Str(s) => write_leaf(out, tag, escape_text(s).as_str()),
+        Value::Bytes(b) => write_leaf(out, tag, sbq_model::base64::encode(b).as_str()),
+        Value::IntArray(v) => {
+            open(out, tag);
+            for i in v {
+                write_leaf(out, "item", itoa(*i).as_str());
+            }
+            close(out, tag);
+        }
+        Value::FloatArray(v) => {
+            open(out, tag);
+            for x in v {
+                write_leaf(out, "item", format_float(*x).as_str());
+            }
+            close(out, tag);
+        }
+        Value::List(vs) => {
+            open(out, tag);
+            for v in vs {
+                write_value(out, v, "item");
+            }
+            close(out, tag);
+        }
+        Value::Struct(sv) => {
+            open(out, tag);
+            for (fname, fv) in &sv.fields {
+                write_value(out, fv, fname);
+            }
+            close(out, tag);
+        }
+    }
+}
+
+fn open(out: &mut String, tag: &str) {
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+}
+
+fn close(out: &mut String, tag: &str) {
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+fn write_leaf(out: &mut String, tag: &str, text: &str) {
+    open(out, tag);
+    out.push_str(text);
+    close(out, tag);
+}
+
+fn itoa(v: i64) -> String {
+    v.to_string()
+}
+
+/// Floats are printed with enough digits to round-trip exactly (Rust's
+/// shortest-representation formatting guarantees this).
+fn format_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        // Keep a trailing .0 so the value visibly stays a float.
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Parses the XML element currently *opened* in `parser` into a value of
+/// schema `ty`. The caller has consumed the `Start` event; this consumes
+/// everything up to and including the matching `End`.
+pub fn value_from_xml(parser: &mut PullParser<'_>, ty: &TypeDesc) -> Result<Value, SoapError> {
+    match ty {
+        TypeDesc::Int => {
+            let text = parser.text_content()?;
+            text.trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| SoapError::Xml(format!("bad int literal {text:?}")))
+        }
+        TypeDesc::Float => {
+            let text = parser.text_content()?;
+            text.trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| SoapError::Xml(format!("bad float literal {text:?}")))
+        }
+        TypeDesc::Char => {
+            let text = parser.text_content()?;
+            text.trim()
+                .parse::<u8>()
+                .map(Value::Char)
+                .map_err(|_| SoapError::Xml(format!("bad char literal {text:?}")))
+        }
+        TypeDesc::Str => Ok(Value::Str(parser.text_content()?)),
+        TypeDesc::Bytes => {
+            let text = parser.text_content()?;
+            sbq_model::base64::decode(&text)
+                .map(Value::Bytes)
+                .ok_or_else(|| SoapError::Xml("bad base64 literal".into()))
+        }
+        TypeDesc::List(elem) => {
+            let mut items = Vec::new();
+            loop {
+                match parser.next()? {
+                    Event::Start { .. } => items.push(value_from_xml(parser, elem)?),
+                    Event::End { .. } => break,
+                    Event::Text(t) if t.trim().is_empty() => {}
+                    Event::Text(t) => {
+                        return Err(SoapError::Xml(format!("unexpected text {t:?} in list")))
+                    }
+                    Event::Eof => return Err(SoapError::Xml("eof in list".into())),
+                }
+            }
+            // Pack homogeneous scalar lists.
+            Ok(match **elem {
+                TypeDesc::Int => Value::IntArray(
+                    items.iter().map(Value::as_int).collect::<Result<_, _>>()?,
+                ),
+                TypeDesc::Float => Value::FloatArray(
+                    items.iter().map(Value::as_float).collect::<Result<_, _>>()?,
+                ),
+                _ => Value::List(items),
+            })
+        }
+        TypeDesc::Struct(sd) => {
+            let mut fields: Vec<(String, Value)> = Vec::with_capacity(sd.fields.len());
+            loop {
+                match parser.next()? {
+                    Event::Start { name, .. } => {
+                        let fty = sd.field(&name).ok_or_else(|| {
+                            SoapError::Xml(format!("unknown field <{name}> in {}", sd.name))
+                        })?;
+                        fields.push((name, value_from_xml(parser, fty)?));
+                    }
+                    Event::End { .. } => break,
+                    Event::Text(t) if t.trim().is_empty() => {}
+                    Event::Text(t) => {
+                        return Err(SoapError::Xml(format!("unexpected text {t:?} in struct")))
+                    }
+                    Event::Eof => return Err(SoapError::Xml("eof in struct".into())),
+                }
+            }
+            // Fields may arrive in any order; emit them in schema order,
+            // requiring each exactly once.
+            let mut ordered = Vec::with_capacity(sd.fields.len());
+            for (fname, _) in &sd.fields {
+                let idx = fields
+                    .iter()
+                    .position(|(n, _)| n == fname)
+                    .ok_or_else(|| SoapError::Xml(format!("missing field <{fname}>")))?;
+                ordered.push(fields.remove(idx));
+            }
+            if let Some((extra, _)) = fields.first() {
+                return Err(SoapError::Xml(format!("duplicate field <{extra}>")));
+            }
+            Ok(Value::Struct(StructValue::new(sd.name.clone(), ordered)))
+        }
+    }
+}
+
+/// Parses a standalone XML document consisting of one element into a value
+/// of schema `ty`.
+pub fn parse_document(xml: &str, ty: &TypeDesc) -> Result<Value, SoapError> {
+    let mut p = PullParser::new(xml);
+    match p.next()? {
+        Event::Start { .. } => {
+            let v = value_from_xml(&mut p, ty)?;
+            match p.next()? {
+                Event::Eof => Ok(v),
+                other => Err(SoapError::Xml(format!("trailing content: {other:?}"))),
+            }
+        }
+        other => Err(SoapError::Xml(format!("expected an element, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_model::workload;
+
+    fn round_trip(v: &Value, ty: &TypeDesc) {
+        let xml = value_to_xml(v, "p");
+        let back = parse_document(&xml, ty).unwrap();
+        assert_eq!(&back, v, "xml was: {xml}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&Value::Int(-42), &TypeDesc::Int);
+        round_trip(&Value::Float(3.25), &TypeDesc::Float);
+        round_trip(&Value::Float(1.0 / 3.0), &TypeDesc::Float);
+        round_trip(&Value::Char(200), &TypeDesc::Char);
+        round_trip(&Value::Str("a <b> & c".into()), &TypeDesc::Str);
+    }
+
+    #[test]
+    fn arrays_round_trip_with_item_tags() {
+        let v = workload::int_array(100, 4);
+        let xml = value_to_xml(&v, "arr");
+        assert_eq!(xml.matches("<item>").count(), 100);
+        round_trip(&v, &TypeDesc::list_of(TypeDesc::Int));
+        round_trip(&workload::float_array(50, 4), &TypeDesc::list_of(TypeDesc::Float));
+    }
+
+    #[test]
+    fn nested_structs_round_trip() {
+        for depth in 0..6 {
+            round_trip(&workload::nested_struct(depth, 5), &workload::nested_struct_type(depth));
+        }
+    }
+
+    #[test]
+    fn xml_blowup_matches_paper_claims() {
+        // Arrays: XML should be several times the PBIO (native) size.
+        let v = workload::int_array(10_000, 1);
+        let xml = value_to_xml(&v, "a");
+        let ratio = xml.len() as f64 / v.native_size() as f64;
+        assert!(ratio > 2.0, "array blowup only {ratio}");
+
+        // Nested structs: worse.
+        let s = workload::nested_struct(8, 1);
+        let xml_s = value_to_xml(&s, "s");
+        let ratio_s = xml_s.len() as f64 / s.native_size() as f64;
+        assert!(ratio_s > ratio, "struct blowup {ratio_s} <= array blowup {ratio}");
+    }
+
+    #[test]
+    fn struct_fields_accepted_in_any_order() {
+        let ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int), ("b", TypeDesc::Str)]);
+        let v = parse_document("<m><b>hi</b><a>5</a></m>", &ty).unwrap();
+        let s = v.as_struct().unwrap();
+        assert_eq!(s.fields[0].0, "a"); // normalized to schema order
+        assert_eq!(s.field("a"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn errors_on_bad_documents() {
+        assert!(parse_document("<p>xyz</p>", &TypeDesc::Int).is_err());
+        assert!(parse_document("<p>1</p><p>2</p>", &TypeDesc::Int).is_err());
+        let ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]);
+        assert!(parse_document("<m></m>", &ty).is_err(), "missing field");
+        assert!(parse_document("<m><a>1</a><a>2</a></m>", &ty).is_err(), "duplicate field");
+        assert!(parse_document("<m><zz>1</zz></m>", &ty).is_err(), "unknown field");
+        assert!(parse_document("<m>text<a>1</a></m>", &ty).is_err(), "stray text");
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        round_trip(&Value::IntArray(vec![]), &TypeDesc::list_of(TypeDesc::Int));
+        round_trip(
+            &Value::List(vec![]),
+            &TypeDesc::list_of(TypeDesc::struct_of("e", vec![("x", TypeDesc::Int)])),
+        );
+    }
+
+    #[test]
+    fn char_out_of_range_rejected() {
+        assert!(parse_document("<p>300</p>", &TypeDesc::Char).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! The SOAP-binQ server runtime.
+//!
+//! A [`SoapServer`] dispatches operations to registered handlers over any
+//! wire encoding. With a quality manager attached, the server:
+//!
+//! 1. reads the client-reported RTT estimate from each request ("the
+//!    server is informed of the new value during the next request",
+//!    §IV-C.h),
+//! 2. selects the response message type from the quality file "just
+//!    before sending the message",
+//! 3. applies the band's quality handler (or the trivial projection), and
+//! 4. reports its own data-preparation time back so the client can
+//!    compensate its estimator.
+
+use crate::envelope::{self, QosHeader};
+use crate::modes::WireEncoding;
+use crate::SoapError;
+use parking_lot::Mutex;
+use sbq_http::{HttpServer, Request, Response, ServerHandle};
+use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
+use sbq_qos::QualityManager;
+use sbq_wsdl::{compile, CompiledService, ServiceDef, StubSpec};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Handler = Arc<dyn Fn(Value) -> Value + Send + Sync>;
+use sbq_model::Value;
+
+/// Builder for a [`SoapServer`].
+pub struct SoapServerBuilder {
+    compiled: CompiledService,
+    encoding: WireEncoding,
+    handlers: HashMap<String, Handler>,
+    quality: Option<QualityManager>,
+}
+
+impl SoapServerBuilder {
+    /// Starts a builder from a service definition (native-host PBIO
+    /// formats).
+    pub fn new(svc: &ServiceDef, encoding: WireEncoding) -> Result<SoapServerBuilder, SoapError> {
+        Ok(SoapServerBuilder::new_compiled(compile(svc, Default::default())?, encoding))
+    }
+
+    /// Starts a builder from a compiled service.
+    pub fn new_compiled(compiled: CompiledService, encoding: WireEncoding) -> SoapServerBuilder {
+        SoapServerBuilder { compiled, encoding, handlers: HashMap::new(), quality: None }
+    }
+
+    /// Registers the implementation of an operation.
+    pub fn handle(
+        &mut self,
+        operation: &str,
+        f: impl Fn(Value) -> Value + Send + Sync + 'static,
+    ) -> &mut SoapServerBuilder {
+        self.handlers.insert(operation.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Attaches server-side continuous quality management.
+    pub fn with_quality(&mut self, quality: QualityManager) -> &mut SoapServerBuilder {
+        self.quality = Some(quality);
+        self
+    }
+
+    /// Binds and starts serving.
+    pub fn bind(self, addr: SocketAddr) -> std::io::Result<SoapServer> {
+        let wsdl = sbq_wsdl::write_wsdl(&self.compiled.service).ok();
+        let state = Arc::new(ServerState {
+            compiled: self.compiled,
+            wsdl,
+            encoding: self.encoding,
+            handlers: self.handlers,
+            quality: self.quality.map(Mutex::new),
+            format_server: Arc::new(FormatServer::new()),
+            sessions: Mutex::new(HashMap::new()),
+            faults: AtomicU64::new(0),
+            reduced_responses: AtomicU64::new(0),
+        });
+        let st = Arc::clone(&state);
+        let handle = HttpServer::bind(addr, move |req| st.serve(req))?;
+        Ok(SoapServer { handle, state })
+    }
+}
+
+/// A running SOAP-binQ server.
+pub struct SoapServer {
+    handle: ServerHandle,
+    state: Arc<ServerState>,
+}
+
+impl SoapServer {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// HTTP requests served.
+    pub fn requests(&self) -> u64 {
+        self.handle.requests()
+    }
+
+    /// Faults returned.
+    pub fn faults(&self) -> u64 {
+        self.state.faults.load(Ordering::Relaxed)
+    }
+
+    /// Responses that were quality-reduced (message type ≠ full).
+    pub fn reduced_responses(&self) -> u64 {
+        self.state.reduced_responses.load(Ordering::Relaxed)
+    }
+}
+
+struct ServerState {
+    compiled: CompiledService,
+    /// Rendered WSDL served on `GET …?wsdl` (None when the service
+    /// contains constructs the WSDL writer cannot express).
+    wsdl: Option<String>,
+    encoding: WireEncoding,
+    handlers: HashMap<String, Handler>,
+    quality: Option<Mutex<QualityManager>>,
+    /// Server-process format registry shared by all sessions.
+    format_server: Arc<FormatServer>,
+    /// Per-client-session PBIO endpoints: format announcements must happen
+    /// once *per peer*, not once per server.
+    sessions: Mutex<HashMap<u64, PbioEndpoint>>,
+    faults: AtomicU64,
+    reduced_responses: AtomicU64,
+}
+
+impl ServerState {
+    fn serve(&self, req: &Request) -> Response {
+        // Standard SOAP deployment behavior: `GET …?wsdl` returns the
+        // service description (how the remote-visualization clients of
+        // §IV-C.4 obtain it).
+        if req.method == "GET" {
+            return match (&self.wsdl, req.path.ends_with("?wsdl")) {
+                (Some(doc), true) => {
+                    Response::ok("text/xml; charset=utf-8", doc.clone().into_bytes())
+                }
+                _ => Response::with_status(404, "Not Found", "text/plain", b"not found".to_vec()),
+            };
+        }
+        match self.try_serve(req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                self.fault_response(&e)
+            }
+        }
+    }
+
+    fn fault_response(&self, err: &SoapError) -> Response {
+        match self.encoding {
+            WireEncoding::Pbio => {
+                let mut resp = Response::with_status(
+                    500,
+                    "Internal Server Error",
+                    self.encoding.content_type(),
+                    Vec::new(),
+                );
+                resp.headers.push(("X-Soap-Error".to_string(), err.to_string()));
+                resp
+            }
+            WireEncoding::Xml => {
+                let body = envelope::build_fault("soap:Server", &err.to_string());
+                Response::server_error(body.into_bytes())
+            }
+            WireEncoding::CompressedXml => {
+                let body = envelope::build_fault("soap:Server", &err.to_string());
+                let mut resp = Response::with_status(
+                    500,
+                    "Internal Server Error",
+                    self.encoding.content_type(),
+                    sbq_lz::compress(body.as_bytes()),
+                );
+                resp.headers.push(("X-Soap-Error".to_string(), err.to_string()));
+                resp
+            }
+        }
+    }
+
+    fn try_serve(&self, req: &Request) -> Result<Response, SoapError> {
+        let (operation, params, qos, session) = self.decode_request(req)?;
+        let stub = self
+            .compiled
+            .stub(&operation)
+            .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?
+            .clone();
+        let handler = self
+            .handlers
+            .get(&operation)
+            .ok_or_else(|| SoapError::Protocol(format!("no handler for {operation}")))?
+            .clone();
+
+        // Quality: absorb the client-reported estimate before selecting.
+        if let (Some(q), Some(rtt)) = (&self.quality, qos.rtt_ms) {
+            q.lock().observe_reported(rtt);
+        }
+
+        let t0 = Instant::now();
+        let original = handler(params);
+        // Quality-manage the response value.
+        let (result, message_type) = match &self.quality {
+            Some(q) => {
+                let prepared = q.lock().prepare(&original);
+                (prepared.value, Some(prepared.message_type))
+            }
+            None => (original.clone(), None),
+        };
+        let server_time = t0.elapsed();
+
+        if message_type.is_some() && result != original {
+            self.reduced_responses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let resp_header = QosHeader {
+            timestamp_us: qos.timestamp_us, // echo for client-side RTT
+            rtt_ms: None,
+            server_time_us: server_time.as_micros() as u64,
+            message_type,
+        };
+        self.encode_response(&operation, &result, &stub, &resp_header, session)
+    }
+
+    fn decode_request(
+        &self,
+        req: &Request,
+    ) -> Result<(String, Value, QosHeader, u64), SoapError> {
+        // Content-type negotiation: a client speaking a different wire
+        // encoding gets a clear fault instead of a confusing parse error.
+        if let Some(ct) = req.header("content-type") {
+            let expect = self.encoding.content_type();
+            let expect_base = expect.split(';').next().unwrap_or(expect).trim();
+            let got_base = ct.split(';').next().unwrap_or(ct).trim();
+            if !got_base.eq_ignore_ascii_case(expect_base) {
+                return Err(SoapError::Protocol(format!(
+                    "unsupported content type {got_base:?}: this endpoint speaks {expect_base:?}"
+                )));
+            }
+        }
+        match self.encoding {
+            WireEncoding::Pbio => {
+                let operation = req
+                    .header("x-soap-op")
+                    .ok_or_else(|| SoapError::Protocol("missing X-Soap-Op".into()))?
+                    .to_string();
+                let session: u64 =
+                    req.header("x-pbio-session").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let qos = QosHeader::from_http_headers(|n| req.header(n));
+                let stub = self
+                    .compiled
+                    .stub(&operation)
+                    .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?;
+                let mut sessions = self.sessions.lock();
+                let endpoint = sessions
+                    .entry(session)
+                    .or_insert_with(|| PbioEndpoint::new(Arc::clone(&self.format_server)));
+                let mut value = None;
+                let mut buf = &req.body[..];
+                while !buf.is_empty() {
+                    let (msg, used) = WireMessage::from_bytes(buf)?;
+                    buf = &buf[used..];
+                    if let Some(v) = endpoint.receive(&msg, Some(&stub.input_format))? {
+                        value = Some(v);
+                    }
+                }
+                let value = value
+                    .ok_or_else(|| SoapError::Protocol("request had no data message".into()))?;
+                Ok((operation, value, qos, session))
+            }
+            WireEncoding::Xml | WireEncoding::CompressedXml => {
+                let xml_bytes = match self.encoding {
+                    WireEncoding::CompressedXml => sbq_lz::decompress(&req.body)?,
+                    _ => req.body.clone(),
+                };
+                let xml = std::str::from_utf8(&xml_bytes)
+                    .map_err(|_| SoapError::Xml("request is not utf-8".into()))?;
+                let compiled = &self.compiled;
+                let parsed = envelope::parse_envelope(xml, |op| {
+                    compiled.stub(op).map(|s| s.input.clone())
+                })?;
+                Ok((parsed.operation, parsed.value, parsed.header, 0))
+            }
+        }
+    }
+
+    fn encode_response(
+        &self,
+        operation: &str,
+        result: &Value,
+        stub: &StubSpec,
+        header: &QosHeader,
+        session: u64,
+    ) -> Result<Response, SoapError> {
+        match self.encoding {
+            WireEncoding::Pbio => {
+                // A reduced value no longer matches the stub's output
+                // format: derive the actual format from the value so the
+                // registration/conversion machinery stays truthful.
+                let format = if result.conforms_to(&stub.output) {
+                    stub.output_format.clone()
+                } else {
+                    sbq_pbio::FormatDesc::from_type(&result.type_of(), Default::default())?
+                };
+                let mut sessions = self.sessions.lock();
+                let endpoint = sessions
+                    .entry(session)
+                    .or_insert_with(|| PbioEndpoint::new(Arc::clone(&self.format_server)));
+                let msgs = endpoint.send(result, &format)?;
+                let mut body = Vec::new();
+                for m in &msgs {
+                    body.extend_from_slice(&m.to_bytes());
+                }
+                let mut resp = Response::ok(self.encoding.content_type(), body);
+                resp.headers.push(("X-Soap-Op".to_string(), operation.to_string()));
+                resp.headers.extend(header.to_http_headers());
+                Ok(resp)
+            }
+            WireEncoding::Xml => {
+                let xml = envelope::build_response(operation, result, header);
+                Ok(Response::ok(self.encoding.content_type(), xml.into_bytes()))
+            }
+            WireEncoding::CompressedXml => {
+                let xml = envelope::build_response(operation, result, header);
+                Ok(Response::ok(self.encoding.content_type(), sbq_lz::compress(xml.as_bytes())))
+            }
+        }
+    }
+}

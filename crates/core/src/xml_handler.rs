@@ -1,0 +1,132 @@
+//! Quality handlers over XML text.
+//!
+//! §V: "Currently, Soap-binQ quality handlers manipulate only binary
+//! data. In future work, we will generalize handlers to be able to
+//! manipulate XML data, binary data, or both." [`XmlHandler`] is that
+//! generalization: it adapts a *textual* transformation (any
+//! `Fn(&str, &QualityAttributes) -> String` over the message's XML
+//! rendering) into a [`QualityHandler`] usable wherever binary handlers
+//! are — the value is marshalled to XML, transformed, and parsed back
+//! against the handler's declared output schema.
+
+use crate::marshal;
+use sbq_model::{TypeDesc, Value};
+use sbq_qos::{QualityAttributes, QualityHandler};
+
+/// A quality handler implemented as an XML-text transformation.
+pub struct XmlHandler<F> {
+    tag: String,
+    output: TypeDesc,
+    f: F,
+    description: String,
+}
+
+impl<F> XmlHandler<F>
+where
+    F: Fn(&str, &QualityAttributes) -> String + Send + Sync,
+{
+    /// Creates an XML handler.
+    ///
+    /// * `tag` — element name the value is rendered under before the
+    ///   transformation sees it;
+    /// * `output` — schema of the transformed document (may differ from
+    ///   the input's, e.g. a reduced message type);
+    /// * `f` — the textual transformation.
+    pub fn new(tag: impl Into<String>, output: TypeDesc, f: F) -> XmlHandler<F> {
+        let tag = tag.into();
+        let description = format!("xml handler on <{tag}>");
+        XmlHandler { tag, output, f, description }
+    }
+}
+
+impl<F> QualityHandler for XmlHandler<F>
+where
+    F: Fn(&str, &QualityAttributes) -> String + Send + Sync,
+{
+    fn apply(&self, value: &Value, attrs: &QualityAttributes) -> Value {
+        let xml = marshal::value_to_xml(value, &self.tag);
+        let transformed = (self.f)(&xml, attrs);
+        // A transformation that yields an unparseable document falls back
+        // to the untransformed value (fail-open, like a missing handler).
+        marshal::parse_document(&transformed, &self.output).unwrap_or_else(|_| value.clone())
+    }
+
+    fn describe(&self) -> &str {
+        &self.description
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_qos::HandlerRegistry;
+
+    fn reading() -> Value {
+        Value::struct_of(
+            "reading",
+            vec![
+                ("seq", Value::Int(9)),
+                ("temps", Value::FloatArray(vec![1.0, 2.0, 3.0])),
+                ("site", Value::Str("tower".into())),
+            ],
+        )
+    }
+
+    #[test]
+    fn textual_transformation_applies() {
+        // Drop the temps element entirely, declare the reduced schema.
+        let reduced =
+            TypeDesc::struct_of("r", vec![("seq", TypeDesc::Int), ("site", TypeDesc::Str)]);
+        let h = XmlHandler::new("r", reduced, |xml: &str, _: &QualityAttributes| {
+            let start = xml.find("<temps>").expect("temps present");
+            let end = xml.find("</temps>").expect("temps closed") + "</temps>".len();
+            format!("{}{}", &xml[..start], &xml[end..])
+        });
+        let attrs = QualityAttributes::new();
+        let out = h.apply(&reading(), &attrs);
+        let s = out.as_struct().unwrap();
+        assert_eq!(s.field("seq"), Some(&Value::Int(9)));
+        assert_eq!(s.field("site"), Some(&Value::Str("tower".into())));
+        assert!(s.field("temps").is_none());
+    }
+
+    #[test]
+    fn handler_reads_attributes() {
+        let h = XmlHandler::new("p", TypeDesc::Int, |xml: &str, attrs: &QualityAttributes| {
+            if attrs.get_or("redact", 0.0) > 0.0 {
+                "<p>0</p>".to_string()
+            } else {
+                xml.to_string()
+            }
+        });
+        let attrs = QualityAttributes::new();
+        assert_eq!(h.apply(&Value::Int(41), &attrs), Value::Int(41));
+        attrs.update_attribute("redact", 1.0);
+        assert_eq!(h.apply(&Value::Int(41), &attrs), Value::Int(0));
+    }
+
+    #[test]
+    fn broken_transformation_fails_open() {
+        let h = XmlHandler::new("p", TypeDesc::Int, |_: &str, _: &QualityAttributes| {
+            "<<<not xml".to_string()
+        });
+        let attrs = QualityAttributes::new();
+        assert_eq!(h.apply(&Value::Int(7), &attrs), Value::Int(7));
+    }
+
+    #[test]
+    fn registers_alongside_binary_handlers() {
+        let reg = HandlerRegistry::new();
+        reg.install(
+            "xml_strip",
+            XmlHandler::new("p", TypeDesc::Str, |xml: &str, _: &QualityAttributes| {
+                xml.replace("secret", "[redacted]")
+            }),
+        );
+        reg.install("bin_noop", |v: &Value, _: &QualityAttributes| v.clone());
+        let attrs = QualityAttributes::new();
+        let out = reg.apply_or_identity("xml_strip", &Value::Str("a secret thing".into()), &attrs);
+        assert_eq!(out, Value::Str("a [redacted] thing".into()));
+        assert_eq!(reg.names(), vec!["bin_noop".to_string(), "xml_strip".to_string()]);
+    }
+}

@@ -1,0 +1,145 @@
+//! A minimal HTTP/1.1 implementation — the transport every SOAP-bin mode
+//! uses ("The delay is mainly due to SOAP-bin's use of HTTP for its
+//! transactions", §IV-A; the framing overhead this crate adds per message
+//! is precisely what that observation is about).
+//!
+//! Scope: persistent connections, `POST`/`GET`, `Content-Length` bodies
+//! (no chunked encoding — SOAP messages know their length), byte bodies
+//! with any content type (`text/xml` for classic SOAP, the
+//! `application/pbio` type defined in [`PBIO_CONTENT_TYPE`] for SOAP-bin).
+
+pub mod message;
+pub mod server;
+
+pub use message::{HttpError, Request, Response};
+pub use server::{HttpServer, ServerHandle};
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Content type used for binary (PBIO-encoded) SOAP parameter payloads.
+pub const PBIO_CONTENT_TYPE: &str = "application/pbio";
+/// Content type used for textual SOAP envelopes.
+pub const XML_CONTENT_TYPE: &str = "text/xml; charset=utf-8";
+
+/// A blocking HTTP/1.1 client holding one persistent connection.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connects to an HTTP server.
+    pub fn connect(addr: SocketAddr) -> Result<HttpClient, HttpError> {
+        let stream = TcpStream::connect(addr).map_err(HttpError::Io)?;
+        stream.set_nodelay(true).map_err(HttpError::Io)?;
+        let writer = stream.try_clone().map_err(HttpError::Io)?;
+        Ok(HttpClient { reader: BufReader::new(stream), writer, host: addr.to_string() })
+    }
+
+    /// Sends a request and blocks for the response (keep-alive).
+    pub fn send(&mut self, mut req: Request) -> Result<Response, HttpError> {
+        if !req.has_header("host") {
+            req.headers.push(("Host".to_string(), self.host.clone()));
+        }
+        let bytes = req.to_bytes();
+        self.writer.write_all(&bytes).map_err(HttpError::Io)?;
+        self.writer.flush().map_err(HttpError::Io)?;
+        Response::read_from(&mut self.reader)
+    }
+
+    /// Convenience: POST `body` with the given content type.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: Vec<u8>,
+    ) -> Result<Response, HttpError> {
+        self.send(Request::post(path, content_type, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_server_round_trip() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            assert_eq!(req.method, "POST");
+            let mut resp = Response::ok(XML_CONTENT_TYPE, req.body.clone());
+            resp.headers.push(("X-Echo-Path".to_string(), req.path.clone()));
+            resp
+        })
+        .unwrap();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let resp = client.post("/svc", XML_CONTENT_TYPE, b"<a>1</a>".to_vec()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"<a>1</a>");
+        assert_eq!(resp.header("x-echo-path"), Some("/svc"));
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            Response::ok("text/plain", req.body.clone())
+        })
+        .unwrap();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        for i in 0..20 {
+            let body = format!("msg {i}").into_bytes();
+            let resp = client.post("/x", "text/plain", body.clone()).unwrap();
+            assert_eq!(resp.body, body);
+        }
+        assert_eq!(handle.connections(), 1);
+    }
+
+    #[test]
+    fn binary_bodies_survive() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            Response::ok(PBIO_CONTENT_TYPE, req.body.iter().rev().copied().collect())
+        })
+        .unwrap();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body: Vec<u8> = (0..=255).collect();
+        let resp = client.post("/bin", PBIO_CONTENT_TYPE, body.clone()).unwrap();
+        let expect: Vec<u8> = body.into_iter().rev().collect();
+        assert_eq!(resp.body, expect);
+    }
+
+    #[test]
+    fn large_bodies_round_trip() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            Response::ok(PBIO_CONTENT_TYPE, req.body.clone())
+        })
+        .unwrap();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body = vec![0xabu8; 1_000_000];
+        let resp = client.post("/big", PBIO_CONTENT_TYPE, body.clone()).unwrap();
+        assert_eq!(resp.body.len(), body.len());
+        assert_eq!(resp.body, body);
+    }
+
+    #[test]
+    fn concurrent_clients_served() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            Response::ok("text/plain", req.body.clone())
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = HttpClient::connect(addr).unwrap();
+                    let body = format!("thread {i}").into_bytes();
+                    let r = c.post("/t", "text/plain", body.clone()).unwrap();
+                    assert_eq!(r.body, body);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! HTTP request/response types, serialization and parsing.
+
+use std::io::BufRead;
+
+/// HTTP-layer errors.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// Malformed request/status line or headers.
+    Malformed(String),
+    /// Header section exceeded the size limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+            HttpError::TooLarge => write!(f, "http header section too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method (`POST`, `GET`, …).
+    pub method: String,
+    /// Request target (path).
+    pub path: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A POST request with a body; `Content-Type`, `Content-Length` and
+    /// `SOAPAction` headers are set the way the reproduced stack sends
+    /// them.
+    pub fn post(path: &str, content_type: &str, body: Vec<u8>) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: vec![
+                ("Content-Type".to_string(), content_type.to_string()),
+                ("Content-Length".to_string(), body.len().to_string()),
+                ("SOAPAction".to_string(), format!("\"{path}\"")),
+            ],
+            body,
+        }
+    }
+
+    /// A bodyless GET request.
+    pub fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: vec![("Content-Length".to_string(), "0".to_string())],
+            body: Vec::new(),
+        }
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a header is present (case-insensitive).
+    pub fn has_header(&self, name: &str) -> bool {
+        self.header(name).is_some()
+    }
+
+    /// Serializes for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.path).as_bytes());
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Total on-the-wire size — the HTTP overhead the benchmarks charge.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Reads one request from a buffered stream. Returns `Ok(None)` on a
+    /// cleanly closed connection (keep-alive loop end).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+        let Some(line) = read_line(r)? else { return Ok(None) };
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::Malformed(format!("bad request line: {line:?}")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version: {version:?}")));
+        }
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Some(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body,
+        }))
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` response with a body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        Response::with_status(200, "OK", content_type, body)
+    }
+
+    /// An arbitrary-status response.
+    pub fn with_status(status: u16, reason: &str, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            reason: reason.to_string(),
+            headers: vec![
+                ("Content-Type".to_string(), content_type.to_string()),
+                ("Content-Length".to_string(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// A `500` SOAP-fault-style response.
+    pub fn server_error(body: Vec<u8>) -> Response {
+        Response::with_status(500, "Internal Server Error", "text/xml; charset=utf-8", body)
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Total on-the-wire size.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Reads one response from a buffered stream.
+    pub fn read_from(r: &mut impl BufRead) -> Result<Response, HttpError> {
+        let line = read_line(r)?
+            .ok_or_else(|| HttpError::Malformed("connection closed before response".into()))?;
+        let mut parts = line.splitn(3, ' ');
+        let _version = parts.next().unwrap_or_default();
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed(format!("bad status line: {line:?}")))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Response { status, reason, headers, body })
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line).map_err(HttpError::Io)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_HEADER_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| HttpError::Malformed("eof in headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header: {line:?}")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+}
+
+fn read_body(r: &mut impl BufRead, headers: &[(String, String)]) -> Result<Vec<u8>, HttpError> {
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::post("/svc", "text/xml", b"<x/>".to_vec());
+        let bytes = req.to_bytes();
+        let parsed = Request::read_from(&mut BufReader::new(&bytes[..])).unwrap().unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path, "/svc");
+        assert_eq!(parsed.body, b"<x/>");
+        assert_eq!(parsed.header("content-type"), Some("text/xml"));
+        assert_eq!(parsed.header("CONTENT-LENGTH"), Some("4"));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::ok("application/pbio", vec![1, 2, 3]);
+        let bytes = resp.to_bytes();
+        let parsed = Response::read_from(&mut BufReader::new(&bytes[..])).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.body, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn eof_before_request_is_clean_close() {
+        let empty: &[u8] = b"";
+        assert!(Request::read_from(&mut BufReader::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "POST /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            "POST /x\r\n\r\n",
+            "POST /x FTP/1.0\r\n\r\n",
+        ] {
+            let res = Request::read_from(&mut BufReader::new(bad.as_bytes()));
+            assert!(res.is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn oversized_headers_rejected() {
+        let huge = format!("POST /x HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(20_000));
+        assert!(matches!(
+            Request::read_from(&mut BufReader::new(huge.as_bytes())),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn wire_len_counts_headers_and_body() {
+        let req = Request::post("/s", "text/xml", vec![0; 100]);
+        assert!(req.wire_len() > 100 + 50);
+        let overhead = req.wire_len() - 100;
+        // The HTTP framing overhead SOAP pays per message: order 10^2 B.
+        assert!((60..400).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn get_has_no_body() {
+        let req = Request::get("/wsdl");
+        let parsed =
+            Request::read_from(&mut BufReader::new(&req.to_bytes()[..])).unwrap().unwrap();
+        assert_eq!(parsed.method, "GET");
+        assert!(parsed.body.is_empty());
+    }
+}

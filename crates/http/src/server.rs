@@ -1,0 +1,164 @@
+//! Threaded HTTP server (thread per connection, keep-alive).
+
+use crate::message::{HttpError, Request, Response};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A running HTTP server. The handler runs on the connection's thread; it
+/// must be `Send + Sync` because connections are concurrent.
+pub struct HttpServer;
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and serves until
+    /// the returned handle is dropped or shut down.
+    pub fn bind<H>(addr: SocketAddr, handler: H) -> std::io::Result<ServerHandle>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let requests = Arc::new(AtomicU64::new(0));
+        let handler = Arc::new(handler);
+
+        let stop2 = Arc::clone(&stop);
+        let conns2 = Arc::clone(&connections);
+        let reqs2 = Arc::clone(&requests);
+        let join = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                conns2.fetch_add(1, Ordering::SeqCst);
+                let handler = Arc::clone(&handler);
+                let reqs = Arc::clone(&reqs2);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &*handler, &reqs);
+                });
+            }
+        });
+
+        Ok(ServerHandle { addr: local, stop, join: Some(join), connections, requests })
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+    requests: &AtomicU64,
+) -> Result<(), HttpError> {
+    stream.set_nodelay(true).map_err(HttpError::Io)?;
+    let mut writer = stream.try_clone().map_err(HttpError::Io)?;
+    let mut reader = BufReader::new(stream);
+    while let Some(req) = Request::read_from(&mut reader)? {
+        requests.fetch_add(1, Ordering::SeqCst);
+        let resp = handler(&req);
+        writer.write_all(&resp.to_bytes()).map_err(HttpError::Io)?;
+        writer.flush().map_err(HttpError::Io)?;
+        let close = req
+            .header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handle to a running [`HttpServer`]; shuts the accept loop down on drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<AtomicU64>,
+    requests: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections (existing connections drain on their
+    /// own threads).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock accept
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HttpClient;
+
+    #[test]
+    fn counts_connections_and_requests() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |r: &Request| {
+            Response::ok("text/plain", r.body.clone())
+        })
+        .unwrap();
+        let mut c1 = HttpClient::connect(handle.addr()).unwrap();
+        let mut c2 = HttpClient::connect(handle.addr()).unwrap();
+        for _ in 0..3 {
+            c1.post("/a", "text/plain", b"x".to_vec()).unwrap();
+            c2.post("/b", "text/plain", b"y".to_vec()).unwrap();
+        }
+        assert_eq!(handle.connections(), 2);
+        assert_eq!(handle.requests(), 6);
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |r: &Request| {
+            Response::ok("text/plain", r.body.clone())
+        })
+        .unwrap();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let mut req = Request::post("/x", "text/plain", b"bye".to_vec());
+        req.headers.push(("Connection".to_string(), "close".to_string()));
+        let resp = client.send(req).unwrap();
+        assert_eq!(resp.body, b"bye");
+        // The server closed; the next request fails.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(client.post("/y", "text/plain", b"?".to_vec()).is_err());
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |_: &Request| {
+            Response::ok("text/plain", vec![])
+        })
+        .unwrap();
+        let addr = handle.addr();
+        handle.shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Either connect fails or the request after it fails.
+        if let Ok(mut c) = HttpClient::connect(addr) { assert!(c.post("/", "text/plain", vec![]).is_err()) }
+    }
+}

@@ -1,0 +1,20 @@
+//! The imaging application of §IV-C.1: "a real-time imaging code similar
+//! in structure to the Skyserver application … remote clients request
+//! images and transformations on these images from an image server.
+//! Transformations include routines like scaling, edge detection, etc."
+//!
+//! Images are PPM ("edge detection on PPM images … 640x480 pixels in
+//! resolution, with 3 bytes per pixel … the ideal response is close to
+//! 1MB"); the quality file lets the server drop to 320x240 when response
+//! times degrade, and the paper's star fields are replaced by a synthetic
+//! [`starfield`] generator (the actual Skyserver archive is not
+//! available — pixel content only matters through byte volume and
+//! transform cost).
+
+pub mod ppm;
+pub mod service;
+pub mod starfield;
+pub mod transform;
+
+pub use ppm::{PpmError, PpmImage};
+pub use service::{image_quality_file, image_service, install_resize_handlers, ImageStore};

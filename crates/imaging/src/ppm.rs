@@ -1,0 +1,222 @@
+//! PPM image parsing and writing (P6 binary and P3 ASCII variants).
+
+/// Errors reading PPM data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PpmError {
+    /// Missing/unknown magic number.
+    BadMagic,
+    /// Header fields missing or unparseable.
+    BadHeader(String),
+    /// Pixel data shorter than the header promises.
+    Truncated,
+    /// Only maxval 255 is supported.
+    UnsupportedMaxval(u32),
+}
+
+impl std::fmt::Display for PpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpmError::BadMagic => write!(f, "not a ppm file"),
+            PpmError::BadHeader(m) => write!(f, "bad ppm header: {m}"),
+            PpmError::Truncated => write!(f, "ppm pixel data truncated"),
+            PpmError::UnsupportedMaxval(v) => write!(f, "unsupported maxval {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+/// An 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PpmImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB triples, `3 * width * height` bytes.
+    pub data: Vec<u8>,
+}
+
+impl PpmImage {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> PpmImage {
+        PpmImage { width, height, data: vec![0; 3 * width * height] }
+    }
+
+    /// Pixel accessor (clamped to the image bounds).
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let x = x.min(self.width.saturating_sub(1));
+        let y = y.min(self.height.saturating_sub(1));
+        let i = 3 * (y * self.width + x);
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Sets one pixel (ignores out-of-bounds writes).
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            let i = 3 * (y * self.width + x);
+            self.data[i..i + 3].copy_from_slice(&rgb);
+        }
+    }
+
+    /// Size of the raw pixel payload in bytes ("close to 1MB" for the
+    /// paper's 640x480 case).
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Serializes as binary PPM (P6).
+    pub fn to_p6(&self) -> Vec<u8> {
+        let header = format!("P6\n{} {}\n255\n", self.width, self.height);
+        let mut out = Vec::with_capacity(header.len() + self.data.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses either P6 (binary) or P3 (ASCII) PPM data.
+    pub fn parse(bytes: &[u8]) -> Result<PpmImage, PpmError> {
+        if bytes.len() < 2 {
+            return Err(PpmError::BadMagic);
+        }
+        match &bytes[..2] {
+            b"P6" => Self::parse_p6(bytes),
+            b"P3" => Self::parse_p3(bytes),
+            _ => Err(PpmError::BadMagic),
+        }
+    }
+
+    fn parse_p6(bytes: &[u8]) -> Result<PpmImage, PpmError> {
+        let mut pos = 2;
+        let width = read_header_int(bytes, &mut pos)? as usize;
+        let height = read_header_int(bytes, &mut pos)? as usize;
+        let maxval = read_header_int(bytes, &mut pos)?;
+        if maxval != 255 {
+            return Err(PpmError::UnsupportedMaxval(maxval));
+        }
+        // Exactly one whitespace byte after maxval.
+        pos += 1;
+        let need = 3 * width * height;
+        if bytes.len() < pos + need {
+            return Err(PpmError::Truncated);
+        }
+        Ok(PpmImage { width, height, data: bytes[pos..pos + need].to_vec() })
+    }
+
+    fn parse_p3(bytes: &[u8]) -> Result<PpmImage, PpmError> {
+        let text = std::str::from_utf8(&bytes[2..])
+            .map_err(|_| PpmError::BadHeader("non-ascii P3 body".into()))?;
+        let mut nums = text
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or(""))
+            .flat_map(str::split_whitespace)
+            .map(|t| t.parse::<u32>());
+        let mut next = |what: &str| {
+            nums.next()
+                .ok_or_else(|| PpmError::BadHeader(format!("missing {what}")))?
+                .map_err(|_| PpmError::BadHeader(format!("bad {what}")))
+        };
+        let width = next("width")? as usize;
+        let height = next("height")? as usize;
+        let maxval = next("maxval")?;
+        if maxval != 255 {
+            return Err(PpmError::UnsupportedMaxval(maxval));
+        }
+        let mut data = Vec::with_capacity(3 * width * height);
+        for _ in 0..3 * width * height {
+            let v = next("pixel")?;
+            data.push(v.min(255) as u8);
+        }
+        Ok(PpmImage { width, height, data })
+    }
+}
+
+fn read_header_int(bytes: &[u8], pos: &mut usize) -> Result<u32, PpmError> {
+    // Skip whitespace and comments.
+    loop {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if *pos < bytes.len() && bytes[*pos] == b'#' {
+            while *pos < bytes.len() && bytes[*pos] != b'\n' {
+                *pos += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(PpmError::BadHeader("expected integer".into()));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .expect("digits are ascii")
+        .parse()
+        .map_err(|_| PpmError::BadHeader("integer overflow".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> PpmImage {
+        let mut img = PpmImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set_pixel(x, y, [(x * 7 % 256) as u8, (y * 13 % 256) as u8, ((x + y) % 256) as u8]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn p6_round_trips() {
+        let img = gradient(64, 48);
+        let bytes = img.to_p6();
+        assert_eq!(PpmImage::parse(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn paper_sizing_holds() {
+        // 640x480 x 3B ≈ 0.92 MB — "the ideal response is close to 1MB".
+        let img = PpmImage::new(640, 480);
+        assert_eq!(img.byte_size(), 921_600);
+    }
+
+    #[test]
+    fn p3_parses_with_comments() {
+        let text = b"P3\n# a comment\n2 2\n255\n255 0 0  0 255 0\n0 0 255  10 20 30\n";
+        let img = PpmImage::parse(text).unwrap();
+        assert_eq!(img.width, 2);
+        assert_eq!(img.pixel(0, 0), [255, 0, 0]);
+        assert_eq!(img.pixel(1, 1), [10, 20, 30]);
+    }
+
+    #[test]
+    fn p6_header_comments_skipped() {
+        let img = gradient(4, 4);
+        let mut bytes = b"P6\n# shot by telescope 7\n4 4\n255\n".to_vec();
+        bytes.extend_from_slice(&img.data);
+        assert_eq!(PpmImage::parse(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(PpmImage::parse(b"JPEG"), Err(PpmError::BadMagic));
+        assert_eq!(PpmImage::parse(b"P6\n2 2\n65535\n"), Err(PpmError::UnsupportedMaxval(65535)));
+        assert_eq!(PpmImage::parse(b"P6\n100 100\n255\nxx"), Err(PpmError::Truncated));
+        assert!(matches!(PpmImage::parse(b"P6\nzz"), Err(PpmError::BadHeader(_))));
+    }
+
+    #[test]
+    fn pixel_access_clamps() {
+        let img = gradient(4, 4);
+        assert_eq!(img.pixel(100, 100), img.pixel(3, 3));
+        let mut img2 = img.clone();
+        img2.set_pixel(100, 100, [1, 2, 3]); // silently ignored
+        assert_eq!(img, img2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Synthetic telescope imagery.
+//!
+//! The Skyserver archive the paper emulates is not available; these star
+//! fields exercise the same code paths (large PPM payloads, edge
+//! detection finds the stars) with deterministic, seedable content.
+
+use crate::ppm::PpmImage;
+use sbq_model::workload::Lcg;
+
+/// Generates a star field: dark sky with Poisson-ish background noise and
+/// `stars` Gaussian point sources of varying brightness.
+pub fn generate(width: usize, height: usize, stars: usize, seed: u64) -> PpmImage {
+    let mut img = PpmImage::new(width, height);
+    let mut rng = Lcg::new(seed);
+
+    // Background: faint sensor noise.
+    for y in 0..height {
+        for x in 0..width {
+            let n = (rng.next_below(12)) as u8;
+            img.set_pixel(x, y, [n, n, n + rng.next_below(3) as u8]);
+        }
+    }
+
+    // Stars: 2-D Gaussian blobs, some slightly colored.
+    for _ in 0..stars {
+        let cx = rng.next_below(width as u64) as f64;
+        let cy = rng.next_below(height as u64) as f64;
+        let brightness = 80.0 + rng.next_f64() * 175.0;
+        let sigma = 0.7 + rng.next_f64() * 1.8;
+        let tint = rng.next_below(3);
+        let radius = (sigma * 3.0).ceil() as i64;
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                let x = cx as i64 + dx;
+                let y = cy as i64 + dy;
+                if x < 0 || y < 0 || x >= width as i64 || y >= height as i64 {
+                    continue;
+                }
+                let d2 = (dx * dx + dy * dy) as f64;
+                let v = brightness * (-d2 / (2.0 * sigma * sigma)).exp();
+                let [r0, g0, b0] = img.pixel(x as usize, y as usize);
+                let add = |base: u8, scale: f64| -> u8 {
+                    (base as f64 + v * scale).min(255.0) as u8
+                };
+                let rgb = match tint {
+                    0 => [add(r0, 1.0), add(g0, 0.95), add(b0, 0.85)], // warm
+                    1 => [add(r0, 0.85), add(g0, 0.95), add(b0, 1.0)], // cool
+                    _ => [add(r0, 1.0), add(g0, 1.0), add(b0, 1.0)],   // white
+                };
+                img.set_pixel(x as usize, y as usize, rgb);
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(64, 64, 10, 7), generate(64, 64, 10, 7));
+        assert_ne!(generate(64, 64, 10, 7), generate(64, 64, 10, 8));
+    }
+
+    #[test]
+    fn stars_are_brighter_than_sky() {
+        let img = generate(128, 128, 30, 3);
+        let max = img.data.iter().copied().max().unwrap();
+        assert!(max > 100, "no stars rendered (max {max})");
+        let mean: f64 = img.data.iter().map(|&b| b as f64).sum::<f64>() / img.data.len() as f64;
+        assert!(mean < 30.0, "sky too bright (mean {mean})");
+    }
+
+    #[test]
+    fn edge_detection_finds_star_rims() {
+        let img = generate(96, 96, 15, 11);
+        let edges = transform::edge_detect(&img);
+        let strong = edges.data.iter().filter(|&&b| b > 100).count();
+        assert!(strong > 20, "edge detector found nothing ({strong})");
+    }
+
+    #[test]
+    fn paper_resolution_payload() {
+        let img = generate(640, 480, 120, 1);
+        assert_eq!(img.byte_size(), 921_600);
+    }
+}

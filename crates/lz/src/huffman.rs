@@ -1,0 +1,264 @@
+//! Order-0 Huffman coding of a byte stream.
+//!
+//! Used as the entropy stage after LZSS tokenization, mirroring the
+//! LZ77+Huffman structure of the deflate-family encoders the paper's
+//! "standard compression methods" refers to. Codes are canonical; the
+//! header stores the 256 code lengths. A decoder walks a rebuilt tree, so
+//! no code-length cap is needed.
+
+/// Encodes `input` with a Huffman code built from its own byte histogram.
+/// Layout: `[256 length bytes][bitstream]`. Returns `None` when the input
+/// is empty (callers store empty payloads raw).
+pub fn encode(input: &[u8]) -> Option<Vec<u8>> {
+    if input.is_empty() {
+        return None;
+    }
+    let mut freq = [0u64; 256];
+    for &b in input {
+        freq[b as usize] += 1;
+    }
+    let lengths = code_lengths(&freq);
+    let codes = canonical_codes(&lengths);
+    let mut out = Vec::with_capacity(input.len() / 2 + 264);
+    out.extend_from_slice(&lengths);
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &b in input {
+        let (code, len) = codes[b as usize];
+        acc |= code << nbits;
+        nbits += len as u32;
+        while nbits >= 8 {
+            out.push((acc & 0xff) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xff) as u8);
+    }
+    Some(out)
+}
+
+/// Decodes an [`encode`]-produced buffer into `count` original bytes.
+pub fn decode(input: &[u8], count: usize) -> Option<Vec<u8>> {
+    if input.len() < 256 {
+        return None;
+    }
+    let lengths: [u8; 256] = input[..256].try_into().ok()?;
+    let tree = DecodeTree::build(&lengths)?;
+    let mut out = Vec::with_capacity(count);
+    let mut node = 0usize;
+    'outer: for &byte in &input[256..] {
+        for bit in 0..8 {
+            let b = (byte >> bit) & 1;
+            node = tree.step(node, b)?;
+            if let Some(sym) = tree.leaf(node) {
+                out.push(sym);
+                if out.len() == count {
+                    break 'outer;
+                }
+                node = 0;
+            }
+        }
+    }
+    if out.len() == count {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Builds Huffman code lengths from frequencies (plain two-queue build;
+/// depths are unbounded, which the tree decoder accepts).
+fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    #[derive(Clone)]
+    struct Node {
+        weight: u64,
+        kids: Option<(usize, usize)>,
+        sym: u16,
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut live: Vec<usize> = Vec::new();
+    for (s, &w) in freq.iter().enumerate() {
+        if w > 0 {
+            nodes.push(Node { weight: w, kids: None, sym: s as u16 });
+            live.push(nodes.len() - 1);
+        }
+    }
+    let mut lengths = [0u8; 256];
+    match live.len() {
+        0 => return lengths,
+        1 => {
+            lengths[nodes[live[0]].sym as usize] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    while live.len() > 1 {
+        // Pull the two lightest (selection is O(n^2) worst case over 256
+        // symbols — negligible next to the LZSS pass).
+        live.sort_by_key(|&i| std::cmp::Reverse(nodes[i].weight));
+        let a = live.pop().expect("len > 1");
+        let b = live.pop().expect("len > 1");
+        nodes.push(Node { weight: nodes[a].weight + nodes[b].weight, kids: Some((a, b)), sym: 0 });
+        live.push(nodes.len() - 1);
+    }
+    // Walk depths.
+    let mut stack = vec![(live[0], 0u8)];
+    while let Some((i, d)) = stack.pop() {
+        match nodes[i].kids {
+            Some((a, b)) => {
+                stack.push((a, d + 1));
+                stack.push((b, d + 1));
+            }
+            None => lengths[nodes[i].sym as usize] = d.max(1),
+        }
+    }
+    lengths
+}
+
+/// Maximum accepted code length. Input sizes below 2^32 bytes cannot
+/// produce Huffman depths beyond ~47 (Fibonacci-weight argument), so this
+/// never constrains the encoder; it exists to reject hostile headers.
+const MAX_CODE_LEN: u8 = 56;
+
+/// Canonical codes (LSB-first bit order for our bitstream) from lengths.
+fn canonical_codes(lengths: &[u8; 256]) -> Vec<(u64, u8)> {
+    let mut symbols: Vec<u16> = (0..256u16).filter(|&s| lengths[s as usize] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s as usize], s));
+    let mut codes = vec![(0u64, 0u8); 256];
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &s in &symbols {
+        let len = lengths[s as usize];
+        debug_assert!(len <= MAX_CODE_LEN, "encoder produced absurd code length");
+        code <<= len - prev_len;
+        // Store bit-reversed so the encoder can emit LSB-first.
+        codes[s as usize] = (reverse_bits(code, len), len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+fn reverse_bits(v: u64, len: u8) -> u64 {
+    let mut out = 0;
+    for i in 0..len {
+        if v & (1 << i) != 0 {
+            out |= 1 << (len - 1 - i);
+        }
+    }
+    out
+}
+
+/// Binary decode tree stored as a flat array: node i has children in
+/// `nodes[i]`; leaves carry the symbol.
+struct DecodeTree {
+    nodes: Vec<[i32; 2]>,
+    syms: Vec<Option<u8>>,
+}
+
+impl DecodeTree {
+    fn build(lengths: &[u8; 256]) -> Option<DecodeTree> {
+        let mut t = DecodeTree { nodes: vec![[-1, -1]], syms: vec![None] };
+        let mut symbols: Vec<u16> = (0..256u16).filter(|&s| lengths[s as usize] > 0).collect();
+        if symbols.is_empty() {
+            return None;
+        }
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            let len = lengths[s as usize];
+            if len > MAX_CODE_LEN {
+                return None; // hostile or corrupt header
+            }
+            code <<= len - prev_len;
+            // Insert path MSB-first over the canonical code, matching the
+            // encoder's bit-reversal.
+            let mut node = 0usize;
+            for i in (0..len).rev() {
+                let bit = ((code >> i) & 1) as usize;
+                if t.nodes[node][bit] < 0 {
+                    t.nodes.push([-1, -1]);
+                    t.syms.push(None);
+                    let idx = (t.nodes.len() - 1) as i32;
+                    t.nodes[node][bit] = idx;
+                }
+                node = t.nodes[node][bit] as usize;
+                if t.syms[node].is_some() {
+                    return None; // over-subscribed code
+                }
+            }
+            if t.nodes[node] != [-1, -1] {
+                return None; // prefix violation
+            }
+            t.syms[node] = Some(s as u8);
+            code += 1;
+            prev_len = len;
+        }
+        Some(t)
+    }
+
+    fn step(&self, node: usize, bit: u8) -> Option<usize> {
+        let next = self.nodes.get(node)?[bit as usize];
+        if next < 0 {
+            None
+        } else {
+            Some(next as usize)
+        }
+    }
+
+    fn leaf(&self, node: usize) -> Option<u8> {
+        self.syms.get(node).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        match encode(data) {
+            Some(enc) => assert_eq!(decode(&enc, data.len()).unwrap(), data),
+            None => assert!(data.is_empty()),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"aaaaaaaaaa");
+        round_trip(b"abracadabra abracadabra");
+        let all: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        round_trip(&all);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let mut data = vec![b'0'; 10_000];
+        data.extend_from_slice(b"123456789");
+        let enc = encode(&data).unwrap();
+        assert!(enc.len() < data.len() / 4, "{} vs {}", enc.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn digit_text_compresses_toward_entropy() {
+        let digits: Vec<u8> = (0..20_000u64)
+            .map(|i| b'0' + ((i.wrapping_mul(2654435761)) % 10) as u8)
+            .collect();
+        let enc = encode(&digits).unwrap();
+        // ~3.33 bits/symbol for 10 symbols -> < 0.5 of original + header.
+        assert!(enc.len() < digits.len() / 2 + 300, "{}", enc.len());
+        round_trip(&digits);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let enc = encode(b"hello world hello world").unwrap();
+        assert!(decode(&enc[..200], 23).is_none());
+        assert!(decode(&enc[..enc.len() - 1], 23).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! Property tests: compression is lossless on arbitrary inputs.
+
+use proptest::prelude::*;
+use sbq_lz::{compress, decompress};
+
+proptest! {
+    #[test]
+    fn round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_repetitive(byte in any::<u8>(), n in 0usize..20000) {
+        let data = vec![byte; n];
+        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_textish(s in "[ -~]{0,2000}") {
+        let doubled = format!("{s}{s}{s}");
+        prop_assert_eq!(decompress(&compress(doubled.as_bytes())).unwrap(), doubled.as_bytes());
+    }
+
+    #[test]
+    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+    }
+}

@@ -1,0 +1,24 @@
+//! The molecular-dynamics application of §IV-C.2.
+//!
+//! "The application models the behavior of the bonds between atoms within
+//! a molecule over time. It consists of a 'bond server' that constructs a
+//! graph, where the vertices represent the atoms and the edges represent
+//! bonds. This data is available for a sequence of timesteps. Such a
+//! graph is constructed for every timestep and sent to a remote client
+//! for processing/display. The size corresponding to each of the
+//! timesteps for the response data is about 4KB."
+//!
+//! [`sim`] integrates a synthetic molecule (velocity Verlet over harmonic
+//! bonds plus soft repulsion — the paper's actual MD code is not
+//! available, and only the graph-per-timestep data shape matters);
+//! [`graph`] extracts per-timestep bond graphs sized to ~4 KB; and
+//! [`service`] is the SOAP-binQ bond server whose quality file batches
+//! 1-4 timesteps per response.
+
+pub mod graph;
+pub mod service;
+pub mod sim;
+
+pub use graph::BondGraph;
+pub use service::{batch_graphs, bond_service, md_quality_file, BondServer};
+pub use sim::Molecule;

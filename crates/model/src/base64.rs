@@ -1,0 +1,103 @@
+//! Minimal base64 (RFC 4648, standard alphabet, padded) for rendering
+//! opaque byte fields in XML (`xsd:base64Binary`).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as padded base64 text.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes padded base64 text (whitespace tolerated); `None` on malformed
+/// input.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !cleaned.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for chunk in cleaned.chunks(4) {
+        let mut n: u32 = 0;
+        let mut pad = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' {
+                if i < 2 {
+                    return None; // padding only in the last two slots
+                }
+                pad += 1;
+                0
+            } else {
+                if pad > 0 {
+                    return None; // data after padding
+                }
+                decode_char(c)? as u32
+            };
+            n = (n << 6) | v;
+        }
+        let bytes = n.to_be_bytes();
+        out.push(bytes[1]);
+        if pad < 2 {
+            out.push(bytes[2]);
+        }
+        if pad < 1 {
+            out.push(bytes[3]);
+        }
+    }
+    Some(out)
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    Some(match c {
+        b'A'..=b'Z' => c - b'A',
+        b'a'..=b'z' => c - b'a' + 26,
+        b'0'..=b'9' => c - b'0' + 52,
+        b'+' => 62,
+        b'/' => 63,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn round_trips_all_byte_values() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("Zm9").is_none(), "bad length");
+        assert!(decode("Zm9#").is_none(), "bad char");
+        assert!(decode("=m9v").is_none(), "early padding");
+        assert!(decode("Zm=v").is_none(), "data after padding");
+    }
+}

@@ -1,0 +1,58 @@
+//! Type system and dynamic value model shared by every layer of the
+//! SOAP-binQ reproduction.
+//!
+//! The paper's SOAP implementation (Soup) identifies the basic types as
+//! *integer, char, string and float*, composed through *lists* and
+//! *structs* (§III-B.a). [`TypeDesc`] mirrors exactly that schema; [`Value`]
+//! is the corresponding dynamic value. Packed array representations
+//! ([`Value::IntArray`], [`Value::FloatArray`]) are provided so that the
+//! "native format" of scientific array parameters really is a flat buffer,
+//! as it is for PBIO senders in the paper.
+//!
+//! The [`mod@project`] module implements the quality-downgrade semantics of
+//! §III-B.b: when a smaller message type is substituted for a larger one,
+//! fields common to both are copied and, on the receiving side, missing
+//! fields are padded with zeroes so legacy applications see the original
+//! message layout.
+
+pub mod base64;
+pub mod path;
+pub mod project;
+pub mod ty;
+pub mod value;
+pub mod workload;
+
+pub use path::{get_path, set_path};
+pub use project::{pad_to, project};
+pub use ty::{StructDesc, TypeDesc};
+pub use value::{StructValue, Value};
+
+/// Errors produced by model-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A value did not conform to the expected [`TypeDesc`].
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it found.
+        found: String,
+    },
+    /// A dotted field path did not resolve.
+    NoSuchPath(String),
+    /// A struct field was looked up that does not exist.
+    NoSuchField(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ModelError::NoSuchPath(p) => write!(f, "no such path: {p}"),
+            ModelError::NoSuchField(n) => write!(f, "no such field: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

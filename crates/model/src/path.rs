@@ -1,0 +1,105 @@
+//! Dotted-path access into struct values, used by quality handlers to read
+//! and rewrite individual message fields without knowing the full layout.
+
+use crate::value::Value;
+use crate::ModelError;
+
+/// Resolves a dotted path (e.g. `"meta.lat"`) inside a value.
+///
+/// List elements are addressed by decimal index segments (e.g.
+/// `"points.3.x"`).
+pub fn get_path<'v>(value: &'v Value, path: &str) -> Result<&'v Value, ModelError> {
+    let mut cur = value;
+    if path.is_empty() {
+        return Ok(cur);
+    }
+    for seg in path.split('.') {
+        cur = step(cur, seg).ok_or_else(|| ModelError::NoSuchPath(path.to_string()))?;
+    }
+    Ok(cur)
+}
+
+fn step<'v>(value: &'v Value, seg: &str) -> Option<&'v Value> {
+    match value {
+        Value::Struct(s) => s.field(seg),
+        Value::List(vs) => seg.parse::<usize>().ok().and_then(|i| vs.get(i)),
+        _ => None,
+    }
+}
+
+/// Replaces the value at a dotted path, returning the previous value.
+///
+/// Packed arrays are not addressable element-wise (they are transported as
+/// opaque buffers); convert to a generic list first if element rewriting is
+/// needed.
+pub fn set_path(value: &mut Value, path: &str, new: Value) -> Result<Value, ModelError> {
+    let target = get_path_mut(value, path)?;
+    Ok(std::mem::replace(target, new))
+}
+
+fn get_path_mut<'v>(value: &'v mut Value, path: &str) -> Result<&'v mut Value, ModelError> {
+    let mut cur = value;
+    if path.is_empty() {
+        return Ok(cur);
+    }
+    for seg in path.split('.') {
+        cur = match cur {
+            Value::Struct(s) => s.field_mut(seg),
+            Value::List(vs) => seg.parse::<usize>().ok().and_then(|i| vs.get_mut(i)),
+            _ => None,
+        }
+        .ok_or_else(|| ModelError::NoSuchPath(path.to_string()))?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Value {
+        Value::struct_of(
+            "root",
+            vec![
+                ("a", Value::Int(1)),
+                (
+                    "pts",
+                    Value::List(vec![
+                        Value::struct_of("pt", vec![("x", Value::Float(0.5))]),
+                        Value::struct_of("pt", vec![("x", Value::Float(1.5))]),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn get_resolves_nested_paths() {
+        let val = v();
+        assert_eq!(get_path(&val, "a").unwrap(), &Value::Int(1));
+        assert_eq!(get_path(&val, "pts.1.x").unwrap(), &Value::Float(1.5));
+        assert_eq!(get_path(&val, "").unwrap(), &val);
+    }
+
+    #[test]
+    fn get_reports_missing_paths() {
+        let val = v();
+        assert!(matches!(get_path(&val, "zz"), Err(ModelError::NoSuchPath(_))));
+        assert!(get_path(&val, "pts.9.x").is_err());
+        assert!(get_path(&val, "a.b").is_err());
+    }
+
+    #[test]
+    fn set_replaces_and_returns_old() {
+        let mut val = v();
+        let old = set_path(&mut val, "pts.0.x", Value::Float(9.0)).unwrap();
+        assert_eq!(old, Value::Float(0.5));
+        assert_eq!(get_path(&val, "pts.0.x").unwrap(), &Value::Float(9.0));
+    }
+
+    #[test]
+    fn set_rejects_missing_paths() {
+        let mut val = v();
+        assert!(set_path(&mut val, "nope", Value::Int(0)).is_err());
+    }
+}

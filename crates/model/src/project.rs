@@ -1,0 +1,152 @@
+//! Field projection between message types.
+//!
+//! SOAP-binQ's quality layer substitutes a smaller message type for the
+//! application's full message type when network quality degrades
+//! (paper §III-B.b): "the transport looks up the quality file to find the
+//! right message type to be sent. It then copies the relevant fields …
+//! and ignores the rest. At the other end … the relevant fields are copied
+//! from the message received from the transport, and the remaining entries
+//! are padded with zeroes."
+//!
+//! [`project`] implements the sending-side copy (full → reduced) and
+//! [`pad_to`] the receiving-side reconstruction (reduced → full).
+
+use crate::ty::TypeDesc;
+use crate::value::{StructValue, Value};
+use crate::ModelError;
+
+/// Projects `value` onto `target` by copying fields shared by name
+/// (recursively for nested structs) and dropping the rest.
+///
+/// Non-struct targets must match the value's type exactly.
+pub fn project(value: &Value, target: &TypeDesc) -> Result<Value, ModelError> {
+    match (value, target) {
+        (Value::Struct(sv), TypeDesc::Struct(td)) => {
+            let mut fields = Vec::with_capacity(td.fields.len());
+            for (fname, fty) in &td.fields {
+                match sv.field(fname) {
+                    Some(v) => fields.push((fname.clone(), project(v, fty)?)),
+                    None => return Err(ModelError::NoSuchField(fname.clone())),
+                }
+            }
+            Ok(Value::Struct(StructValue::new(td.name.clone(), fields)))
+        }
+        (v, t) if v.conforms_to(t) => Ok(v.clone()),
+        (v, t) => Err(ModelError::TypeMismatch { expected: t.name(), found: v.type_of().name() }),
+    }
+}
+
+/// Reconstructs a value of type `full` from a reduced `value`: shared
+/// fields are copied, missing fields are zero-padded.
+///
+/// This is the receiving-side transformation that lets legacy applications
+/// keep seeing the original message layout regardless of the quality level
+/// actually transmitted.
+pub fn pad_to(value: &Value, full: &TypeDesc) -> Result<Value, ModelError> {
+    match (value, full) {
+        (Value::Struct(sv), TypeDesc::Struct(fd)) => {
+            let mut fields = Vec::with_capacity(fd.fields.len());
+            for (fname, fty) in &fd.fields {
+                match sv.field(fname) {
+                    Some(v) => fields.push((fname.clone(), pad_to(v, fty)?)),
+                    None => fields.push((fname.clone(), Value::zero_of(fty))),
+                }
+            }
+            Ok(Value::Struct(StructValue::new(fd.name.clone(), fields)))
+        }
+        (v, t) if v.conforms_to(t) => Ok(v.clone()),
+        // A scalar/list mismatch inside a shared field falls back to zero:
+        // the wire carried a reduced representation for it.
+        (_, t) => Ok(Value::zero_of(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_ty() -> TypeDesc {
+        TypeDesc::struct_of(
+            "reading",
+            vec![
+                ("seq", TypeDesc::Int),
+                ("temps", TypeDesc::list_of(TypeDesc::Float)),
+                ("site", TypeDesc::Str),
+                (
+                    "meta",
+                    TypeDesc::struct_of("meta", vec![("lat", TypeDesc::Float), ("lon", TypeDesc::Float)]),
+                ),
+            ],
+        )
+    }
+
+    fn small_ty() -> TypeDesc {
+        TypeDesc::struct_of(
+            "reading_small",
+            vec![
+                ("seq", TypeDesc::Int),
+                ("meta", TypeDesc::struct_of("meta_small", vec![("lat", TypeDesc::Float)])),
+            ],
+        )
+    }
+
+    fn full_value() -> Value {
+        Value::struct_of(
+            "reading",
+            vec![
+                ("seq", Value::Int(42)),
+                ("temps", Value::FloatArray(vec![1.5, 2.5])),
+                ("site", Value::Str("gt".into())),
+                ("meta", Value::struct_of("meta", vec![("lat", Value::Float(33.7)), ("lon", Value::Float(-84.4))])),
+            ],
+        )
+    }
+
+    #[test]
+    fn project_keeps_shared_fields() {
+        let small = project(&full_value(), &small_ty()).unwrap();
+        let s = small.as_struct().unwrap();
+        assert_eq!(s.name, "reading_small");
+        assert_eq!(s.field("seq"), Some(&Value::Int(42)));
+        assert!(s.field("temps").is_none());
+        let meta = s.field("meta").unwrap().as_struct().unwrap();
+        assert_eq!(meta.field("lat"), Some(&Value::Float(33.7)));
+        assert!(meta.field("lon").is_none());
+    }
+
+    #[test]
+    fn project_missing_field_errors() {
+        let t = TypeDesc::struct_of("x", vec![("nope", TypeDesc::Int)]);
+        assert_eq!(project(&full_value(), &t), Err(ModelError::NoSuchField("nope".into())));
+    }
+
+    #[test]
+    fn pad_restores_layout_with_zeroes() {
+        let small = project(&full_value(), &small_ty()).unwrap();
+        let restored = pad_to(&small, &full_ty()).unwrap();
+        assert!(restored.conforms_to(&full_ty()));
+        let s = restored.as_struct().unwrap();
+        assert_eq!(s.field("seq"), Some(&Value::Int(42)));
+        assert_eq!(s.field("temps"), Some(&Value::FloatArray(vec![])));
+        assert_eq!(s.field("site"), Some(&Value::Str(String::new())));
+        let meta = s.field("meta").unwrap().as_struct().unwrap();
+        assert_eq!(meta.field("lat"), Some(&Value::Float(33.7)));
+        assert_eq!(meta.field("lon"), Some(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn project_then_pad_is_lossless_on_identical_type() {
+        let v = full_value();
+        let p = project(&v, &full_ty()).unwrap();
+        let r = pad_to(&p, &full_ty()).unwrap();
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn scalar_projection_requires_conformance() {
+        assert!(project(&Value::Int(1), &TypeDesc::Int).is_ok());
+        assert!(project(&Value::Int(1), &TypeDesc::Float).is_err());
+        // pad_to degrades gracefully instead.
+        assert_eq!(pad_to(&Value::Int(1), &TypeDesc::Float).unwrap(), Value::Float(0.0));
+    }
+}

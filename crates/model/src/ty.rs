@@ -1,0 +1,189 @@
+//! Type descriptions: the schema language of the reproduced system.
+
+use std::fmt;
+
+/// A type description, mirroring Soup's WSDL-derived schema: the basic
+/// types integer, char, string and float, composed through lists and
+/// structs (paper §III-B.a).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeDesc {
+    /// Signed integer (transported as 64-bit in native form; PBIO formats
+    /// may narrow it on the wire).
+    Int,
+    /// IEEE-754 double-precision float.
+    Float,
+    /// Single byte character.
+    Char,
+    /// Variable-length string.
+    Str,
+    /// Opaque byte buffer (`xsd:base64Binary` in WSDL; raw pixels, files,
+    /// pre-encoded payloads). One byte per element on the wire.
+    Bytes,
+    /// Homogeneous variable-length list of the element type.
+    List(Box<TypeDesc>),
+    /// Named record with ordered fields.
+    Struct(StructDesc),
+}
+
+/// A named, ordered field list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StructDesc {
+    /// Type name (used as the PBIO format name and the XML element tag).
+    pub name: String,
+    /// Ordered `(field name, field type)` pairs.
+    pub fields: Vec<(String, TypeDesc)>,
+}
+
+impl StructDesc {
+    /// Creates a struct description from `(name, type)` pairs.
+    pub fn new(name: impl Into<String>, fields: Vec<(String, TypeDesc)>) -> Self {
+        StructDesc { name: name.into(), fields }
+    }
+
+    /// Looks up a field's type by name.
+    pub fn field(&self, name: &str) -> Option<&TypeDesc> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the struct has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+impl TypeDesc {
+    /// Convenience constructor for a list type.
+    pub fn list_of(elem: TypeDesc) -> TypeDesc {
+        TypeDesc::List(Box::new(elem))
+    }
+
+    /// Convenience constructor for a struct type.
+    pub fn struct_of(name: impl Into<String>, fields: Vec<(&str, TypeDesc)>) -> TypeDesc {
+        TypeDesc::Struct(StructDesc::new(
+            name,
+            fields.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+        ))
+    }
+
+    /// Short display name for diagnostics.
+    pub fn name(&self) -> String {
+        match self {
+            TypeDesc::Int => "int".to_string(),
+            TypeDesc::Float => "float".to_string(),
+            TypeDesc::Char => "char".to_string(),
+            TypeDesc::Str => "string".to_string(),
+            TypeDesc::Bytes => "bytes".to_string(),
+            TypeDesc::List(e) => format!("list<{}>", e.name()),
+            TypeDesc::Struct(s) => s.name.clone(),
+        }
+    }
+
+    /// True for `Int`, `Float`, `Char` and `Str`.
+    pub fn is_basic(&self) -> bool {
+        matches!(
+            self,
+            TypeDesc::Int | TypeDesc::Float | TypeDesc::Char | TypeDesc::Str | TypeDesc::Bytes
+        )
+    }
+
+    /// Maximum nesting depth of structs/lists (a scalar has depth 0).
+    ///
+    /// The paper's nested-struct microbenchmarks are parameterised by this
+    /// depth (§IV-B).
+    pub fn depth(&self) -> usize {
+        match self {
+            t if t.is_basic() => 0,
+            TypeDesc::List(e) => 1 + e.depth(),
+            TypeDesc::Struct(s) => {
+                1 + s.fields.iter().map(|(_, t)| t.depth()).max().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Total number of scalar leaves in one value of this type, counting a
+    /// list as a single leaf position (lists are dynamically sized).
+    pub fn scalar_field_count(&self) -> usize {
+        match self {
+            TypeDesc::Struct(s) => s.fields.iter().map(|(_, t)| t.scalar_field_count()).sum(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for TypeDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TypeDesc {
+        TypeDesc::struct_of(
+            "order",
+            vec![
+                ("id", TypeDesc::Int),
+                ("price", TypeDesc::Float),
+                ("tag", TypeDesc::Char),
+                ("name", TypeDesc::Str),
+                ("qty", TypeDesc::list_of(TypeDesc::Int)),
+            ],
+        )
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(TypeDesc::Int.name(), "int");
+        assert_eq!(TypeDesc::list_of(TypeDesc::Float).name(), "list<float>");
+        assert_eq!(sample().name(), "order");
+        assert_eq!(format!("{}", TypeDesc::Str), "string");
+    }
+
+    #[test]
+    fn field_lookup() {
+        let TypeDesc::Struct(s) = sample() else { panic!() };
+        assert_eq!(s.field("price"), Some(&TypeDesc::Float));
+        assert_eq!(s.field("missing"), None);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        assert_eq!(TypeDesc::Int.depth(), 0);
+        assert_eq!(TypeDesc::list_of(TypeDesc::Int).depth(), 1);
+        let nested = TypeDesc::struct_of(
+            "outer",
+            vec![("inner", TypeDesc::struct_of("inner", vec![("x", TypeDesc::Int)]))],
+        );
+        assert_eq!(nested.depth(), 2);
+    }
+
+    #[test]
+    fn scalar_field_count_recurses() {
+        assert_eq!(sample().scalar_field_count(), 5);
+        let nested = TypeDesc::struct_of(
+            "outer",
+            vec![
+                ("a", TypeDesc::Int),
+                ("inner", TypeDesc::struct_of("inner", vec![("x", TypeDesc::Int), ("y", TypeDesc::Float)])),
+            ],
+        );
+        assert_eq!(nested.scalar_field_count(), 3);
+    }
+
+    #[test]
+    fn is_basic_classifies() {
+        assert!(TypeDesc::Char.is_basic());
+        assert!(!sample().is_basic());
+        assert!(!TypeDesc::list_of(TypeDesc::Int).is_basic());
+    }
+}

@@ -1,0 +1,247 @@
+//! Deterministic workload generators for the paper's microbenchmarks.
+//!
+//! §IV-B uses "two sets of entirely different data types … one representing
+//! scientific applications via arrays of different sizes, and a second
+//! representing business applications via a nested structure of varying
+//! depth". These generators produce exactly those shapes, deterministically
+//! (a simple LCG seeds the values so runs are reproducible without pulling
+//! in `rand` here).
+
+use crate::ty::TypeDesc;
+use crate::value::Value;
+
+/// Tiny deterministic pseudo-random sequence (LCG, Numerical Recipes
+/// constants). Good enough to avoid trivially-compressible test data while
+/// staying reproducible.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Next integer in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Next float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A packed integer array of `n` elements (scientific-array workload).
+pub fn int_array(n: usize, seed: u64) -> Value {
+    let mut rng = Lcg::new(seed);
+    Value::IntArray((0..n).map(|_| rng.next_below(1_000_000) as i64).collect())
+}
+
+/// A packed float array of `n` elements.
+pub fn float_array(n: usize, seed: u64) -> Value {
+    let mut rng = Lcg::new(seed);
+    Value::FloatArray((0..n).map(|_| rng.next_f64() * 1000.0).collect())
+}
+
+/// The type of the business-style nested struct of a given `depth`.
+///
+/// Each level carries a few scalar fields (id, amount, code, label) and one
+/// nested child, so document size grows with depth and XML tag overhead
+/// compounds at every level — the effect the paper calls out ("elements are
+/// enclosed within tags at each level of the struct").
+pub fn nested_struct_type(depth: usize) -> TypeDesc {
+    let mut ty = TypeDesc::struct_of(
+        "leaf",
+        vec![
+            ("id", TypeDesc::Int),
+            ("amount", TypeDesc::Float),
+            ("code", TypeDesc::Char),
+            ("label", TypeDesc::Str),
+        ],
+    );
+    for level in 1..=depth {
+        ty = TypeDesc::struct_of(
+            format!("record_l{level}"),
+            vec![
+                ("id", TypeDesc::Int),
+                ("amount", TypeDesc::Float),
+                ("code", TypeDesc::Char),
+                ("label", TypeDesc::Str),
+                ("child", ty),
+            ],
+        );
+    }
+    ty
+}
+
+/// A value of [`nested_struct_type`]`(depth)` with deterministic contents.
+pub fn nested_struct(depth: usize, seed: u64) -> Value {
+    let mut rng = Lcg::new(seed);
+    build_nested(depth, &mut rng)
+}
+
+fn build_nested(depth: usize, rng: &mut Lcg) -> Value {
+    let id = Value::Int(rng.next_below(1 << 31) as i64);
+    let amount = Value::Float(rng.next_f64() * 10_000.0);
+    let code = Value::Char(b'A' + rng.next_below(26) as u8);
+    let label = Value::Str(format!("item-{:06}", rng.next_below(1_000_000)));
+    if depth == 0 {
+        Value::struct_of("leaf", vec![("id", id), ("amount", amount), ("code", code), ("label", label)])
+    } else {
+        let child = build_nested(depth - 1, rng);
+        Value::struct_of(
+            format!("record_l{depth}"),
+            vec![("id", id), ("amount", amount), ("code", code), ("label", label), ("child", child)],
+        )
+    }
+}
+
+/// The type of the scalar-only business struct of a given `depth`.
+///
+/// Unlike [`nested_struct_type`], every field is a scalar (two ints, a
+/// float, two chars) — no strings. This matches the records behind the
+/// paper's nested-struct size claims: text-free scalars are where XML's
+/// per-field tag overhead compounds hardest ("a ninefold increase in the
+/// size of the XML document vs. the corresponding PBIO message").
+pub fn business_struct_type(depth: usize) -> TypeDesc {
+    let mut ty = TypeDesc::struct_of(
+        "bleaf",
+        vec![
+            ("id", TypeDesc::Int),
+            ("qty", TypeDesc::Int),
+            ("price", TypeDesc::Float),
+            ("code", TypeDesc::Char),
+            ("flag", TypeDesc::Char),
+        ],
+    );
+    for level in 1..=depth {
+        ty = TypeDesc::struct_of(
+            format!("brec_l{level}"),
+            vec![
+                ("id", TypeDesc::Int),
+                ("qty", TypeDesc::Int),
+                ("price", TypeDesc::Float),
+                ("code", TypeDesc::Char),
+                ("flag", TypeDesc::Char),
+                ("child", ty),
+            ],
+        );
+    }
+    ty
+}
+
+/// A value of [`business_struct_type`]`(depth)`.
+pub fn business_struct(depth: usize, seed: u64) -> Value {
+    let mut rng = Lcg::new(seed);
+    build_business(depth, &mut rng)
+}
+
+fn build_business(depth: usize, rng: &mut Lcg) -> Value {
+    let fields = |rng: &mut Lcg| {
+        vec![
+            ("id", Value::Int(rng.next_below(1 << 31) as i64)),
+            ("qty", Value::Int(rng.next_below(10_000) as i64)),
+            ("price", Value::Float(rng.next_f64() * 10_000.0)),
+            ("code", Value::Char(b'A' + rng.next_below(26) as u8)),
+            ("flag", Value::Char(b'0' + rng.next_below(2) as u8)),
+        ]
+    };
+    if depth == 0 {
+        Value::struct_of("bleaf", fields(rng))
+    } else {
+        let mut fs = fields(rng);
+        fs.push(("child", build_business(depth - 1, rng)));
+        Value::struct_of(format!("brec_l{depth}"), fs)
+    }
+}
+
+/// A wide nested struct: `depth` levels, each with `fanout` child structs.
+/// Used to stress format-registration cost for "very deeply nested
+/// structures" (§IV-B.e).
+pub fn wide_struct_type(depth: usize, fanout: usize) -> TypeDesc {
+    if depth == 0 {
+        return TypeDesc::struct_of("w_leaf", vec![("v", TypeDesc::Float)]);
+    }
+    let child = wide_struct_type(depth - 1, fanout);
+    let mut fields: Vec<(String, TypeDesc)> = vec![("id".to_string(), TypeDesc::Int)];
+    for i in 0..fanout {
+        fields.push((format!("c{i}"), child.clone()));
+    }
+    TypeDesc::Struct(crate::ty::StructDesc::new(format!("w_l{depth}"), fields))
+}
+
+/// A value of [`wide_struct_type`]`(depth, fanout)`.
+pub fn wide_struct(depth: usize, fanout: usize, seed: u64) -> Value {
+    let mut rng = Lcg::new(seed);
+    build_wide(depth, fanout, &mut rng)
+}
+
+fn build_wide(depth: usize, fanout: usize, rng: &mut Lcg) -> Value {
+    if depth == 0 {
+        return Value::struct_of("w_leaf", vec![("v", Value::Float(rng.next_f64()))]);
+    }
+    let mut fields: Vec<(String, Value)> =
+        vec![("id".to_string(), Value::Int(rng.next_below(1000) as i64))];
+    for i in 0..fanout {
+        fields.push((format!("c{i}"), build_wide(depth - 1, fanout, rng)));
+    }
+    Value::Struct(crate::value::StructValue::new(format!("w_l{depth}"), fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(int_array(16, 7), int_array(16, 7));
+        assert_eq!(float_array(16, 7), float_array(16, 7));
+        assert_eq!(nested_struct(3, 9), nested_struct(3, 9));
+        assert_ne!(int_array(16, 7), int_array(16, 8));
+    }
+
+    #[test]
+    fn nested_struct_conforms_to_its_type() {
+        for depth in 0..6 {
+            let v = nested_struct(depth, 1);
+            assert!(v.conforms_to(&nested_struct_type(depth)), "depth {depth}");
+            assert_eq!(nested_struct_type(depth).depth(), depth + 1);
+        }
+    }
+
+    #[test]
+    fn wide_struct_conforms() {
+        let v = wide_struct(3, 2, 5);
+        assert!(v.conforms_to(&wide_struct_type(3, 2)));
+        // 1 + 2 + 4 + 8 = 15 nodes; leaves have 1 scalar, inner 1 id.
+        assert_eq!(v.scalar_count(), 7 + 8);
+    }
+
+    #[test]
+    fn array_sizes_match_request() {
+        let Value::IntArray(v) = int_array(100, 1) else { panic!() };
+        assert_eq!(v.len(), 100);
+        let Value::FloatArray(v) = float_array(3, 1) else { panic!() };
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn lcg_next_below_zero_bound() {
+        let mut r = Lcg::new(1);
+        assert_eq!(r.next_below(0), 0);
+        let f = r.next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

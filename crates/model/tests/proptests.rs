@@ -1,0 +1,100 @@
+//! Property tests for the value model: projection/padding invariants hold
+//! for arbitrary generated schemas and conforming values.
+
+use proptest::prelude::*;
+use sbq_model::{pad_to, project, get_path, set_path, TypeDesc, Value};
+
+/// Strategy producing an arbitrary `TypeDesc` of bounded depth.
+fn arb_type(depth: u32) -> impl Strategy<Value = TypeDesc> {
+    let leaf = prop_oneof![
+        Just(TypeDesc::Int),
+        Just(TypeDesc::Float),
+        Just(TypeDesc::Char),
+        Just(TypeDesc::Str),
+        Just(TypeDesc::Bytes),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(TypeDesc::list_of),
+            (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(tys, name)| {
+                let fields = tys
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (format!("f{i}"), t))
+                    .collect();
+                TypeDesc::Struct(sbq_model::StructDesc::new(name, fields))
+            }),
+        ]
+    })
+}
+
+/// A deterministic conforming value for a schema.
+fn sample_value(ty: &TypeDesc, seed: &mut u64) -> Value {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let s = *seed;
+    match ty {
+        TypeDesc::Int => Value::Int((s % 1000) as i64 - 500),
+        TypeDesc::Float => Value::Float((s % 1000) as f64 / 7.0),
+        TypeDesc::Char => Value::Char(b'a' + (s % 26) as u8),
+        TypeDesc::Str => Value::Str(format!("s{}", s % 100)),
+        TypeDesc::Bytes => Value::Bytes((0..(s % 16) as u8).collect()),
+        TypeDesc::List(e) => {
+            let n = (s % 4) as usize;
+            match **e {
+                TypeDesc::Int => Value::IntArray((0..n as i64).collect()),
+                TypeDesc::Float => Value::FloatArray((0..n).map(|i| i as f64).collect()),
+                _ => Value::List((0..n).map(|_| sample_value(e, seed)).collect()),
+            }
+        }
+        TypeDesc::Struct(sd) => Value::Struct(sbq_model::StructValue::new(
+            sd.name.clone(),
+            sd.fields.iter().map(|(n, t)| (n.clone(), sample_value(t, seed))).collect(),
+        )),
+    }
+}
+
+proptest! {
+    #[test]
+    fn sampled_values_conform(ty in arb_type(3), seed in any::<u64>()) {
+        let mut s = seed;
+        let v = sample_value(&ty, &mut s);
+        prop_assert!(v.conforms_to(&ty));
+    }
+
+    #[test]
+    fn zero_values_conform(ty in arb_type(3)) {
+        prop_assert!(Value::zero_of(&ty).conforms_to(&ty));
+    }
+
+    #[test]
+    fn identity_projection_is_lossless(ty in arb_type(3), seed in any::<u64>()) {
+        let mut s = seed;
+        let v = sample_value(&ty, &mut s);
+        let p = project(&v, &ty).unwrap();
+        prop_assert_eq!(pad_to(&p, &ty).unwrap(), v);
+    }
+
+    #[test]
+    fn pad_always_conforms_to_full_type(from in arb_type(2), to in arb_type(2), seed in any::<u64>()) {
+        let mut s = seed;
+        let v = sample_value(&from, &mut s);
+        let padded = pad_to(&v, &to).unwrap();
+        prop_assert!(padded.conforms_to(&to));
+    }
+
+    #[test]
+    fn native_size_matches_scalar_structure(n in 0usize..512) {
+        let v = sbq_model::workload::int_array(n, 42);
+        prop_assert_eq!(v.native_size(), 4 + 8 * n);
+        prop_assert_eq!(v.scalar_count(), n);
+    }
+
+    #[test]
+    fn set_then_get_round_trips(seed in any::<u64>()) {
+        let ty = sbq_model::workload::nested_struct_type(2);
+        let mut s = seed;
+        let mut v = sample_value(&ty, &mut s);
+        set_path(&mut v, "child.child.id", Value::Int(777)).unwrap();
+        prop_assert_eq!(get_path(&v, "child.child.id").unwrap(), &Value::Int(777));
+    }
+}

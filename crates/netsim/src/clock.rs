@@ -1,0 +1,58 @@
+//! Virtual time.
+
+use std::time::Duration;
+
+/// A monotonically advancing virtual clock. All simulated experiments run
+/// on virtual time so results are deterministic and independent of host
+/// load.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: Duration,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Advances by `dt`.
+    pub fn advance(&mut self, dt: Duration) {
+        self.now += dt;
+    }
+
+    /// Advances to an absolute time (no-op if already past it).
+    pub fn advance_to(&mut self, t: Duration) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance(Duration::from_millis(3));
+        c.advance(Duration::from_millis(2));
+        assert_eq!(c.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backward() {
+        let mut c = SimClock::new();
+        c.advance(Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(5));
+        assert_eq!(c.now(), Duration::from_secs(10));
+        c.advance_to(Duration::from_secs(11));
+        assert_eq!(c.now(), Duration::from_secs(11));
+    }
+}

@@ -1,0 +1,392 @@
+//! Deterministic network simulation standing in for the paper's physical
+//! testbed.
+//!
+//! The paper's experiments run over (a) a 100 Mbps laboratory Ethernet and
+//! (b) an ADSL line with "peak bandwidth of about 1 Mbps", with congestion
+//! created by iperf UDP cross-traffic (§IV-B, §IV-C). None of that hardware
+//! is available here, so transfers are *modeled*: a transfer of `n` bytes
+//! over a link costs
+//!
+//! ```text
+//! latency + (n + ceil(n/mtu) * per_packet_overhead) * 8 / effective_bandwidth
+//! ```
+//!
+//! where `effective_bandwidth = bandwidth * (1 - cross_traffic_load(t))`.
+//! Cross-traffic load is a deterministic schedule over virtual time, which
+//! reproduces the congestion phases of Figs. 8-9 exactly and repeatably.
+//! Optional seeded jitter adds realistic measurement noise without
+//! sacrificing reproducibility.
+//!
+//! The *shape* of every paper result (who wins, crossover points, the
+//! benefit of adapting message sizes to congestion) depends only on these
+//! first-order quantities; see DESIGN.md §1 for the substitution argument.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+pub mod clock;
+pub mod traffic;
+
+pub use clock::SimClock;
+pub use traffic::CrossTraffic;
+
+/// Static description of a network link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable name used in benchmark output.
+    pub name: String,
+    /// Raw link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub latency: Duration,
+    /// Frame/packet header bytes charged per MTU-sized chunk (Ethernet +
+    /// IP + TCP ≈ 58 bytes, rounded to 60 to cover options).
+    pub per_packet_overhead: usize,
+    /// Maximum payload bytes per packet.
+    pub mtu: usize,
+}
+
+impl LinkSpec {
+    /// The paper's high-end link: single-hop 100 Mbps lab Ethernet.
+    pub fn lan_100mbps() -> LinkSpec {
+        LinkSpec {
+            name: "100Mbps LAN".to_string(),
+            bandwidth_bps: 100e6,
+            latency: Duration::from_micros(100),
+            per_packet_overhead: 60,
+            mtu: 1460,
+        }
+    }
+
+    /// An 11 Mbps wireless link with wide-area-ish latency — the
+    /// "in-vehicle camera sensors … using wireless links with limited
+    /// bandwidths" scenario of the paper's introduction. Pair with
+    /// [`SimLink::with_loss`] for the characteristic retransmissions.
+    pub fn wireless_11mbps() -> LinkSpec {
+        LinkSpec {
+            name: "11Mbps wireless".to_string(),
+            bandwidth_bps: 11e6,
+            latency: Duration::from_millis(3),
+            per_packet_overhead: 80, // 802.11-style framing
+            mtu: 1460,
+        }
+    }
+
+    /// The paper's low-end link: home ADSL, "peak bandwidth of about
+    /// 1 Mbps", wide-area latency.
+    pub fn adsl() -> LinkSpec {
+        LinkSpec {
+            name: "ADSL".to_string(),
+            bandwidth_bps: 1e6,
+            latency: Duration::from_millis(12),
+            per_packet_overhead: 60,
+            mtu: 1460,
+        }
+    }
+
+    /// One-way time to move `bytes` when `available` ∈ (0, 1] of the
+    /// bandwidth is free.
+    pub fn transfer_time(&self, bytes: usize, available: f64) -> Duration {
+        let available = available.clamp(0.05, 1.0);
+        let packets = bytes.div_ceil(self.mtu).max(1);
+        let total_bits = ((bytes + packets * self.per_packet_overhead) * 8) as f64;
+        let secs = total_bits / (self.bandwidth_bps * available);
+        self.latency + Duration::from_secs_f64(secs)
+    }
+}
+
+/// Multiplicative measurement noise driven by a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    rng: StdRng,
+    /// Maximum relative deviation, e.g. 0.05 for ±5 %.
+    amplitude: f64,
+}
+
+impl Jitter {
+    /// Creates jitter with the given seed and relative amplitude.
+    pub fn new(seed: u64, amplitude: f64) -> Jitter {
+        Jitter { rng: StdRng::seed_from_u64(seed), amplitude: amplitude.max(0.0) }
+    }
+
+    /// A multiplicative factor in `[1-a, 1+a]`.
+    pub fn factor(&mut self) -> f64 {
+        1.0 + self.amplitude * (self.rng.gen::<f64>() * 2.0 - 1.0)
+    }
+}
+
+/// A simulated link instance: spec + cross-traffic schedule + virtual
+/// clock + optional jitter + byte counters.
+#[derive(Debug, Clone)]
+pub struct SimLink {
+    /// Link parameters.
+    pub spec: LinkSpec,
+    /// Competing load over virtual time.
+    pub cross: CrossTraffic,
+    clock: SimClock,
+    jitter: Option<Jitter>,
+    loss: Option<LossModel>,
+    bytes_moved: u64,
+    transfers: u64,
+    retransmissions: u64,
+}
+
+/// Per-packet loss with go-back retransmission, modeled as an expected
+/// per-packet time inflation plus seeded discrete retransmission events
+/// for bursts.
+#[derive(Debug, Clone)]
+struct LossModel {
+    /// Independent per-packet loss probability.
+    p: f64,
+    rng: StdRng,
+}
+
+impl SimLink {
+    /// A quiet link with no jitter or loss.
+    pub fn new(spec: LinkSpec) -> SimLink {
+        SimLink {
+            spec,
+            cross: CrossTraffic::none(),
+            clock: SimClock::new(),
+            jitter: None,
+            loss: None,
+            bytes_moved: 0,
+            transfers: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Installs a per-packet loss probability `p` (0..1). Lost packets are
+    /// retransmitted: each loss adds one packet's serialization time plus
+    /// a retransmission timeout of one RTT, which is what makes lossy
+    /// wireless links *erratic* rather than merely slow.
+    pub fn with_loss(mut self, seed: u64, p: f64) -> SimLink {
+        self.loss = Some(LossModel { p: p.clamp(0.0, 0.5), rng: StdRng::seed_from_u64(seed) });
+        self
+    }
+
+    /// Installs a cross-traffic schedule.
+    pub fn with_cross_traffic(mut self, cross: CrossTraffic) -> SimLink {
+        self.cross = cross;
+        self
+    }
+
+    /// Installs seeded measurement jitter.
+    pub fn with_jitter(mut self, seed: u64, amplitude: f64) -> SimLink {
+        self.jitter = Some(Jitter::new(seed, amplitude));
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// Advances virtual time without transferring (models think time or
+    /// server compute).
+    pub fn advance(&mut self, dt: Duration) {
+        self.clock.advance(dt);
+    }
+
+    /// Simulates a one-way transfer of `bytes` starting now; advances the
+    /// clock by the transfer time and returns it.
+    pub fn send(&mut self, bytes: usize) -> Duration {
+        let available = 1.0 - self.cross.load_at(self.clock.now());
+        let mut t = self.spec.transfer_time(bytes, available);
+        if let Some(j) = &mut self.jitter {
+            t = Duration::from_secs_f64(t.as_secs_f64() * j.factor());
+        }
+        if let Some(loss) = &mut self.loss {
+            let packets = bytes.div_ceil(self.spec.mtu).max(1);
+            let per_packet = self
+                .spec
+                .transfer_time(self.spec.mtu.min(bytes.max(1)), available)
+                .saturating_sub(self.spec.latency);
+            let rto = 2 * self.spec.latency;
+            let mut lost = 0u64;
+            for _ in 0..packets {
+                if loss.rng.gen::<f64>() < loss.p {
+                    lost += 1;
+                }
+            }
+            if lost > 0 {
+                t += (per_packet + rto) * lost as u32;
+                self.retransmissions += lost;
+            }
+        }
+        self.clock.advance(t);
+        self.bytes_moved += bytes as u64;
+        self.transfers += 1;
+        t
+    }
+
+    /// Packets retransmitted so far (loss model only).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Simulates a request/response exchange: request transfer, server
+    /// processing time, response transfer. Returns the full round-trip
+    /// time (what the paper's RTT estimator sees).
+    pub fn request_response(
+        &mut self,
+        request_bytes: usize,
+        response_bytes: usize,
+        server_time: Duration,
+    ) -> Duration {
+        let t1 = self.send(request_bytes);
+        self.clock.advance(server_time);
+        let t2 = self.send(response_bytes);
+        t1 + server_time + t2
+    }
+
+    /// Total payload bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_beats_adsl() {
+        let lan = LinkSpec::lan_100mbps();
+        let adsl = LinkSpec::adsl();
+        let n = 100_000;
+        assert!(lan.transfer_time(n, 1.0) < adsl.transfer_time(n, 1.0) / 20);
+    }
+
+    #[test]
+    fn transfer_time_scales_roughly_linearly() {
+        let lan = LinkSpec::lan_100mbps();
+        let t1 = lan.transfer_time(100_000, 1.0).as_secs_f64();
+        let t2 = lan.transfer_time(1_000_000, 1.0).as_secs_f64();
+        let ratio = t2 / t1;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_messages_dominated_by_latency() {
+        let lan = LinkSpec::lan_100mbps();
+        let t = lan.transfer_time(64, 1.0);
+        assert!(t < lan.latency * 2);
+    }
+
+    #[test]
+    fn congestion_slows_transfers() {
+        let spec = LinkSpec::adsl();
+        let free = spec.transfer_time(50_000, 1.0);
+        let busy = spec.transfer_time(50_000, 0.25);
+        assert!(busy > free * 3);
+    }
+
+    #[test]
+    fn available_fraction_clamped() {
+        let spec = LinkSpec::adsl();
+        // Zero availability must not divide by zero.
+        let t = spec.transfer_time(1000, 0.0);
+        assert!(t.as_secs_f64().is_finite());
+        let t2 = spec.transfer_time(1000, 42.0);
+        assert!(t2 >= spec.latency);
+    }
+
+    #[test]
+    fn sim_link_advances_clock_and_counts() {
+        let mut link = SimLink::new(LinkSpec::lan_100mbps());
+        assert_eq!(link.now(), Duration::ZERO);
+        let t = link.send(10_000);
+        assert_eq!(link.now(), t);
+        assert_eq!(link.bytes_moved(), 10_000);
+        assert_eq!(link.transfers(), 1);
+    }
+
+    #[test]
+    fn request_response_includes_server_time() {
+        let mut link = SimLink::new(LinkSpec::lan_100mbps());
+        let server = Duration::from_millis(5);
+        let rtt = link.request_response(100, 100, server);
+        assert!(rtt >= server);
+        assert_eq!(link.now(), rtt);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut link = SimLink::new(LinkSpec::adsl()).with_jitter(seed, 0.1);
+            (0..10).map(|_| link.send(5000)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn cross_traffic_applied_over_time() {
+        let cross = CrossTraffic::square_wave(
+            Duration::from_secs(10),
+            Duration::from_secs(5),
+            0.9,
+        );
+        let mut link = SimLink::new(LinkSpec::adsl()).with_cross_traffic(cross);
+        // First window: congested (load 0.9).
+        let busy = link.send(20_000);
+        // Jump to the quiet half of the wave.
+        link.advance(Duration::from_secs(6));
+        let quiet = link.send(20_000);
+        assert!(busy > quiet * 3, "busy={busy:?} quiet={quiet:?}");
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+
+    #[test]
+    fn loss_slows_and_counts_retransmissions() {
+        let clean = {
+            let mut l = SimLink::new(LinkSpec::wireless_11mbps());
+            (0..50).map(|_| l.send(100_000)).sum::<Duration>()
+        };
+        let mut lossy = SimLink::new(LinkSpec::wireless_11mbps()).with_loss(3, 0.05);
+        let lossy_total = (0..50).map(|_| lossy.send(100_000)).sum::<Duration>();
+        assert!(lossy_total > clean, "{lossy_total:?} vs {clean:?}");
+        // ~5% of 50 * 69 packets ≈ 170 retransmissions.
+        let r = lossy.retransmissions();
+        assert!((50..400).contains(&r), "retransmissions {r}");
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut l = SimLink::new(LinkSpec::wireless_11mbps()).with_loss(seed, 0.1);
+            (0..20).map(|_| l.send(50_000)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn zero_loss_is_identity() {
+        let mut a = SimLink::new(LinkSpec::wireless_11mbps());
+        let mut b = SimLink::new(LinkSpec::wireless_11mbps()).with_loss(1, 0.0);
+        for _ in 0..10 {
+            assert_eq!(a.send(30_000), b.send(30_000));
+        }
+        assert_eq!(b.retransmissions(), 0);
+    }
+
+    #[test]
+    fn loss_probability_clamped() {
+        // p = 0.9 clamps to 0.5: the model stays finite.
+        let mut l = SimLink::new(LinkSpec::wireless_11mbps()).with_loss(1, 0.9);
+        let t = l.send(100_000);
+        assert!(t < Duration::from_secs(5));
+    }
+}

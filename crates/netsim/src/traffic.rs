@@ -1,0 +1,136 @@
+//! Cross-traffic schedules: the iperf substitute.
+//!
+//! §IV-C.1: "To emulate network variations, cross-traffic is introduced
+//! using the IPerf tool, which sends UDP packets at varying speeds." A
+//! [`CrossTraffic`] schedule maps virtual time to the fraction of link
+//! bandwidth consumed by the competing flow.
+
+use std::time::Duration;
+
+/// One schedule segment: `[start, end)` with a constant competing load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start (inclusive).
+    pub start: Duration,
+    /// Segment end (exclusive).
+    pub end: Duration,
+    /// Fraction of bandwidth consumed, `0.0..=0.95`.
+    pub load: f64,
+}
+
+/// A deterministic competing-traffic schedule over virtual time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrossTraffic {
+    segments: Vec<Segment>,
+    /// Repetition period; `None` means the schedule does not repeat and
+    /// load is zero past the last segment.
+    period: Option<Duration>,
+}
+
+impl CrossTraffic {
+    /// No competing traffic.
+    pub fn none() -> CrossTraffic {
+        CrossTraffic::default()
+    }
+
+    /// An explicit one-shot schedule (segments must be non-overlapping;
+    /// gaps mean zero load).
+    pub fn schedule(mut segments: Vec<Segment>) -> CrossTraffic {
+        segments.sort_by_key(|s| s.start);
+        CrossTraffic { segments, period: None }
+    }
+
+    /// A repeating square wave: `load` for the first `duty` of every
+    /// `period`, idle for the rest. This is the iperf on/off pattern used
+    /// by the Fig. 8 experiment.
+    pub fn square_wave(period: Duration, duty: Duration, load: f64) -> CrossTraffic {
+        CrossTraffic {
+            segments: vec![Segment { start: Duration::ZERO, end: duty, load }],
+            period: Some(period),
+        }
+    }
+
+    /// A staircase ramp: load steps through `levels`, holding each for
+    /// `step`, then repeats. Models iperf "sending UDP packets at varying
+    /// speeds" (Fig. 9).
+    pub fn staircase(step: Duration, levels: &[f64]) -> CrossTraffic {
+        let mut segments = Vec::with_capacity(levels.len());
+        let mut t = Duration::ZERO;
+        for &load in levels {
+            segments.push(Segment { start: t, end: t + step, load });
+            t += step;
+        }
+        CrossTraffic { segments, period: Some(t) }
+    }
+
+    /// Competing load at virtual time `t` (0 = idle link).
+    pub fn load_at(&self, t: Duration) -> f64 {
+        let t = match self.period {
+            Some(p) if !p.is_zero() => {
+                Duration::from_nanos((t.as_nanos() % p.as_nanos()) as u64)
+            }
+            _ => t,
+        };
+        for s in &self.segments {
+            if t >= s.start && t < s.end {
+                return s.load.clamp(0.0, 0.95);
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+
+    #[test]
+    fn none_is_always_idle() {
+        let c = CrossTraffic::none();
+        assert_eq!(c.load_at(secs(0)), 0.0);
+        assert_eq!(c.load_at(secs(1000)), 0.0);
+    }
+
+    #[test]
+    fn square_wave_repeats() {
+        let c = CrossTraffic::square_wave(secs(10), secs(4), 0.8);
+        assert_eq!(c.load_at(secs(0)), 0.8);
+        assert_eq!(c.load_at(secs(3)), 0.8);
+        assert_eq!(c.load_at(secs(5)), 0.0);
+        assert_eq!(c.load_at(secs(13)), 0.8);
+        assert_eq!(c.load_at(secs(17)), 0.0);
+    }
+
+    #[test]
+    fn staircase_steps_through_levels() {
+        let c = CrossTraffic::staircase(secs(2), &[0.1, 0.5, 0.9]);
+        assert_eq!(c.load_at(secs(1)), 0.1);
+        assert_eq!(c.load_at(secs(3)), 0.5);
+        assert_eq!(c.load_at(secs(5)), 0.9);
+        // Period 6: wraps around.
+        assert_eq!(c.load_at(secs(7)), 0.1);
+    }
+
+    #[test]
+    fn one_shot_schedule_has_gaps_and_end() {
+        let c = CrossTraffic::schedule(vec![
+            Segment { start: secs(5), end: secs(10), load: 0.7 },
+            Segment { start: secs(20), end: secs(25), load: 0.4 },
+        ]);
+        assert_eq!(c.load_at(secs(0)), 0.0);
+        assert_eq!(c.load_at(secs(7)), 0.7);
+        assert_eq!(c.load_at(secs(15)), 0.0);
+        assert_eq!(c.load_at(secs(22)), 0.4);
+        assert_eq!(c.load_at(secs(100)), 0.0);
+    }
+
+    #[test]
+    fn load_clamped_below_one() {
+        let c = CrossTraffic::schedule(vec![Segment { start: secs(0), end: secs(1), load: 5.0 }]);
+        assert_eq!(c.load_at(secs(0)), 0.95);
+    }
+}

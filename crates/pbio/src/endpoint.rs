@@ -1,0 +1,264 @@
+//! Send/receive endpoints pairing encoding with format registration,
+//! caching and conversion-plan reuse.
+
+use crate::format::FormatDesc;
+use crate::plan::{encode, ConversionPlan};
+use crate::server::{FormatDirectory, FormatServer};
+use crate::wire::WireMessage;
+use crate::PbioError;
+use sbq_model::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Statistics an endpoint accumulates — the quantities §IV's experiments
+/// report (bytes moved, first-message registration overhead, plan-cache
+/// effectiveness).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Data-message bytes produced by `send`.
+    pub data_bytes_sent: u64,
+    /// Registration-message bytes produced by `send` (first use only).
+    pub reg_bytes_sent: u64,
+    /// Data messages sent.
+    pub messages_sent: u64,
+    /// Data messages received.
+    pub messages_received: u64,
+    /// Formats learned from registrations or server consultations.
+    pub formats_cached: u64,
+    /// Times a data message's format was missing locally and the format
+    /// server had to be consulted.
+    pub server_consultations: u64,
+    /// Conversion plans compiled (cache misses).
+    pub plans_compiled: u64,
+}
+
+/// One side of a PBIO exchange.
+///
+/// A sender endpoint registers each format with the shared
+/// [`FormatServer`] the first time it sends it, and prefixes the first
+/// data message with a [`WireMessage::FormatReg`] so the peer can cache
+/// the description without a round trip. A receiver endpoint caches
+/// formats and compiled [`ConversionPlan`]s.
+pub struct PbioEndpoint {
+    server: Arc<dyn FormatDirectory>,
+    /// Formats this endpoint has announced (sender side).
+    announced: HashSet<u32>,
+    /// Formats this endpoint knows (receiver side).
+    known: HashMap<u32, FormatDesc>,
+    /// Compiled plans keyed by (wire format id, native format hash).
+    plans: HashMap<(u32, u64), Arc<ConversionPlan>>,
+    stats: EndpointStats,
+}
+
+impl PbioEndpoint {
+    /// Creates an endpoint attached to an in-process format server.
+    pub fn new(server: Arc<FormatServer>) -> Self {
+        PbioEndpoint::with_directory(server)
+    }
+
+    /// Creates an endpoint attached to any format directory — including a
+    /// remote one ([`crate::remote::RemoteFormatServer`]).
+    pub fn with_directory(server: Arc<dyn FormatDirectory>) -> Self {
+        PbioEndpoint {
+            server,
+            announced: HashSet::new(),
+            known: HashMap::new(),
+            plans: HashMap::new(),
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// The format directory this endpoint registers with.
+    pub fn directory(&self) -> &Arc<dyn FormatDirectory> {
+        &self.server
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// Resets statistics (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = EndpointStats::default();
+    }
+
+    /// Encodes `value` against `desc` and returns the wire messages to
+    /// transmit: a registration message first if this endpoint has not
+    /// announced the format yet, then the data message.
+    pub fn send(&mut self, value: &Value, desc: &FormatDesc) -> Result<Vec<WireMessage>, PbioError> {
+        let id = self.server.register(desc)?;
+        let mut out = Vec::with_capacity(2);
+        if self.announced.insert(id) {
+            let reg = WireMessage::FormatReg { id, desc: desc.to_bytes() };
+            self.stats.reg_bytes_sent += reg.wire_len() as u64;
+            out.push(reg);
+        }
+        let payload = encode(value, desc)?;
+        let data = WireMessage::Data { format_id: id, payload };
+        self.stats.data_bytes_sent += data.wire_len() as u64;
+        self.stats.messages_sent += 1;
+        out.push(data);
+        Ok(out)
+    }
+
+    /// Consumes one wire message. Registration messages update the format
+    /// cache and yield `None`; data messages decode (converting to
+    /// `native` layout when given, or the wire layout when `None`) and
+    /// yield the value.
+    pub fn receive(
+        &mut self,
+        msg: &WireMessage,
+        native: Option<&FormatDesc>,
+    ) -> Result<Option<Value>, PbioError> {
+        match msg {
+            WireMessage::FormatReg { id, desc } => {
+                let desc = FormatDesc::from_bytes(desc)?;
+                if self.known.insert(*id, desc).is_none() {
+                    self.stats.formats_cached += 1;
+                }
+                Ok(None)
+            }
+            WireMessage::Data { format_id, payload } => {
+                let wire = match self.known.get(format_id) {
+                    Some(d) => d.clone(),
+                    None => {
+                        // "Whenever a new type is encountered, the
+                        // application consults the format server."
+                        self.stats.server_consultations += 1;
+                        let d = self
+                            .server
+                            .lookup(*format_id)?
+                            .ok_or(PbioError::UnknownFormat(*format_id))?;
+                        self.known.insert(*format_id, d.clone());
+                        self.stats.formats_cached += 1;
+                        d
+                    }
+                };
+                let plan = self.plan_for(*format_id, &wire, native)?;
+                let v = plan.execute(payload)?;
+                self.stats.messages_received += 1;
+                Ok(Some(v))
+            }
+        }
+    }
+
+    fn plan_for(
+        &mut self,
+        id: u32,
+        wire: &FormatDesc,
+        native: Option<&FormatDesc>,
+    ) -> Result<Arc<ConversionPlan>, PbioError> {
+        let native_desc = native.unwrap_or(wire);
+        let key = (id, hash_desc(native_desc));
+        if let Some(p) = self.plans.get(&key) {
+            return Ok(Arc::clone(p));
+        }
+        let plan = Arc::new(ConversionPlan::compile(wire, native_desc)?);
+        self.stats.plans_compiled += 1;
+        self.plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+fn hash_desc(d: &FormatDesc) -> u64 {
+    let mut h = DefaultHasher::new();
+    d.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ByteOrder, FormatOptions};
+    use sbq_model::workload;
+
+    fn pair() -> (PbioEndpoint, PbioEndpoint) {
+        let server = Arc::new(FormatServer::new());
+        (PbioEndpoint::new(Arc::clone(&server)), PbioEndpoint::new(server))
+    }
+
+    #[test]
+    fn first_send_includes_registration_then_cached() {
+        let (mut tx, mut rx) = pair();
+        let ty = workload::nested_struct_type(2);
+        let desc = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
+        let v = workload::nested_struct(2, 42);
+
+        let msgs = tx.send(&v, &desc).unwrap();
+        assert_eq!(msgs.len(), 2, "first send carries registration");
+        assert!(matches!(msgs[0], WireMessage::FormatReg { .. }));
+        let mut got = None;
+        for m in &msgs {
+            if let Some(val) = rx.receive(m, None).unwrap() {
+                got = Some(val);
+            }
+        }
+        assert_eq!(got.unwrap(), v);
+
+        let msgs2 = tx.send(&v, &desc).unwrap();
+        assert_eq!(msgs2.len(), 1, "later sends skip registration");
+        assert_eq!(rx.receive(&msgs2[0], None).unwrap().unwrap(), v);
+        assert_eq!(rx.stats().plans_compiled, 1, "plan compiled once");
+        assert_eq!(rx.stats().messages_received, 2);
+        assert!(tx.stats().reg_bytes_sent > 0);
+    }
+
+    #[test]
+    fn receiver_without_registration_consults_server() {
+        let (mut tx, mut rx) = pair();
+        let desc =
+            FormatDesc::from_type(&workload::nested_struct_type(1), FormatOptions::default())
+                .unwrap();
+        let v = workload::nested_struct(1, 7);
+        let msgs = tx.send(&v, &desc).unwrap();
+        // Drop the registration message: simulate a receiver that joined
+        // late and must ask the format server.
+        let data = msgs.last().unwrap();
+        let got = rx.receive(data, None).unwrap().unwrap();
+        assert_eq!(got, v);
+        assert_eq!(rx.stats().server_consultations, 1);
+    }
+
+    #[test]
+    fn unknown_format_everywhere_errors() {
+        let (_, mut rx) = pair();
+        let msg = WireMessage::Data { format_id: 777, payload: vec![] };
+        assert_eq!(rx.receive(&msg, None).unwrap_err(), PbioError::UnknownFormat(777));
+    }
+
+    #[test]
+    fn heterogeneous_sender_converted_to_native() {
+        let server = Arc::new(FormatServer::new());
+        let mut sparc_tx = PbioEndpoint::new(Arc::clone(&server));
+        let mut x86_rx = PbioEndpoint::new(server);
+        let ty = workload::nested_struct_type(1);
+        let sparc =
+            FormatDesc::from_type(&ty, FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 })
+                .unwrap();
+        let native = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
+        let v = workload::nested_struct(1, 3);
+        for m in sparc_tx.send(&v, &sparc).unwrap() {
+            if let Some(got) = x86_rx.receive(&m, Some(&native)).unwrap() {
+                assert_eq!(got, v);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let (mut tx, _) = pair();
+        let desc =
+            FormatDesc::from_type(&sbq_model::TypeDesc::list_of(sbq_model::TypeDesc::Int), FormatOptions::default())
+                .unwrap();
+        let v = workload::int_array(100, 1);
+        tx.send(&v, &desc).unwrap();
+        let s = tx.stats();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.data_bytes_sent, (9 + 4 + 800) as u64);
+        tx.reset_stats();
+        assert_eq!(tx.stats(), EndpointStats::default());
+    }
+}

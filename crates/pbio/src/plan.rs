@@ -1,0 +1,724 @@
+//! Encoding, decoding, and "receiver makes right" conversion plans.
+//!
+//! A sender encodes values in its *native* layout (byte order and scalar
+//! widths from its [`FormatDesc`]); the receiver compiles a
+//! [`ConversionPlan`] from the (wire format, native format) pair once,
+//! caches it, and runs it on every subsequent message. This mirrors PBIO's
+//! dynamically-generated conversion routines with an interpreted op list —
+//! including the degenerate case where both layouts agree and conversion
+//! reduces to straight (bulk) reads.
+
+use crate::format::{ByteOrder, FormatDesc, WireType};
+use crate::PbioError;
+use sbq_model::{StructValue, Value};
+
+// ---------------------------------------------------------------------------
+// Encoding (sender side: native layout out)
+// ---------------------------------------------------------------------------
+
+/// Encodes `value` according to `desc`, producing the data-message payload.
+///
+/// Struct fields are matched by name against the format (the common case is
+/// identical ordering, which is checked first).
+pub fn encode(value: &Value, desc: &FormatDesc) -> Result<Vec<u8>, PbioError> {
+    let mut out = Vec::with_capacity(value.native_size() + 16);
+    encode_struct(value, desc, &mut out)?;
+    Ok(out)
+}
+
+fn encode_struct(value: &Value, desc: &FormatDesc, out: &mut Vec<u8>) -> Result<(), PbioError> {
+    let sv = match value {
+        Value::Struct(sv) => sv,
+        // Wrapped non-struct parameter: single synthetic "value" field.
+        other if desc.fields.len() == 1 && desc.fields[0].name == "value" => {
+            return encode_field(other, &desc.fields[0].ty, desc.byte_order, out);
+        }
+        other => {
+            return Err(PbioError::TypeMismatch(format!(
+                "format {} expects a struct, got {}",
+                desc.name,
+                other.type_of().name()
+            )))
+        }
+    };
+    for (i, f) in desc.fields.iter().enumerate() {
+        // Fast path: field i in the value has the same name.
+        let fv = match sv.fields.get(i) {
+            Some((n, v)) if *n == f.name => v,
+            _ => sv
+                .field(&f.name)
+                .ok_or_else(|| PbioError::TypeMismatch(format!("missing field {}", f.name)))?,
+        };
+        encode_field(fv, &f.ty, desc.byte_order, out)?;
+    }
+    Ok(())
+}
+
+fn encode_field(
+    value: &Value,
+    ty: &WireType,
+    bo: ByteOrder,
+    out: &mut Vec<u8>,
+) -> Result<(), PbioError> {
+    match (ty, value) {
+        (WireType::Int { width }, Value::Int(i)) => write_int(out, *i, *width, bo),
+        (WireType::Float { width }, Value::Float(x)) => write_float(out, *x, *width, bo),
+        (WireType::Char, Value::Char(c)) => out.push(*c),
+        (WireType::Str, Value::Str(s)) => {
+            write_u32(out, s.len() as u32, bo);
+            out.extend_from_slice(s.as_bytes());
+        }
+        (WireType::Bytes, Value::Bytes(b)) => {
+            write_u32(out, b.len() as u32, bo);
+            out.extend_from_slice(b);
+        }
+        (WireType::List(e), Value::IntArray(v)) => {
+            write_u32(out, v.len() as u32, bo);
+            if let WireType::Int { width } = **e {
+                for i in v {
+                    write_int(out, *i, width, bo);
+                }
+            } else {
+                return Err(PbioError::TypeMismatch("int array vs non-int list".into()));
+            }
+        }
+        (WireType::List(e), Value::FloatArray(v)) => {
+            write_u32(out, v.len() as u32, bo);
+            if let WireType::Float { width } = **e {
+                for x in v {
+                    write_float(out, *x, width, bo);
+                }
+            } else {
+                return Err(PbioError::TypeMismatch("float array vs non-float list".into()));
+            }
+        }
+        (WireType::List(e), Value::List(vs)) => {
+            write_u32(out, vs.len() as u32, bo);
+            for v in vs {
+                encode_field(v, e, bo, out)?;
+            }
+        }
+        (WireType::Struct(d), v @ Value::Struct(_)) => encode_struct(v, d, out)?,
+        (ty, v) => {
+            return Err(PbioError::TypeMismatch(format!(
+                "cannot encode {} as {:?}",
+                v.type_of().name(),
+                ty
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn write_int(out: &mut Vec<u8>, v: i64, width: u8, bo: ByteOrder) {
+    let le = v.to_le_bytes();
+    match bo {
+        ByteOrder::Little => out.extend_from_slice(&le[..width as usize]),
+        ByteOrder::Big => {
+            let be = v.to_be_bytes();
+            out.extend_from_slice(&be[8 - width as usize..]);
+        }
+    }
+}
+
+fn write_float(out: &mut Vec<u8>, v: f64, width: u8, bo: ByteOrder) {
+    match (width, bo) {
+        (8, ByteOrder::Little) => out.extend_from_slice(&v.to_le_bytes()),
+        (8, ByteOrder::Big) => out.extend_from_slice(&v.to_be_bytes()),
+        (4, ByteOrder::Little) => out.extend_from_slice(&(v as f32).to_le_bytes()),
+        (4, ByteOrder::Big) => out.extend_from_slice(&(v as f32).to_be_bytes()),
+        _ => unreachable!("widths validated at format construction"),
+    }
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32, bo: ByteOrder) {
+    match bo {
+        ByteOrder::Little => out.extend_from_slice(&v.to_le_bytes()),
+        ByteOrder::Big => out.extend_from_slice(&v.to_be_bytes()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion plans (receiver side: wire layout in, native values out)
+// ---------------------------------------------------------------------------
+
+/// What to do with each wire field, in wire order.
+#[derive(Debug, Clone)]
+enum SlotAction {
+    /// Decode and place into native field slot `i` (with a nested plan for
+    /// struct-typed fields).
+    Store(usize, Option<Box<ConversionPlan>>),
+    /// A list of structs whose element layout differs between wire and
+    /// native: run the element plan per item.
+    StoreListElems(usize, Box<ConversionPlan>),
+    /// Parse past the field; the native format does not want it.
+    Skip,
+}
+
+/// A compiled wire→native conversion, the substitute for PBIO's
+/// dynamically generated conversion code.
+#[derive(Debug, Clone)]
+pub struct ConversionPlan {
+    wire: FormatDesc,
+    native: FormatDesc,
+    actions: Vec<SlotAction>,
+    /// True when wire and native layouts agree exactly and the wire byte
+    /// order equals the host's: decode takes the bulk fast path.
+    identity: bool,
+}
+
+impl ConversionPlan {
+    /// Compiles the plan converting messages in `wire` layout to values of
+    /// the `native` layout. Fields are matched by name; wire-only fields
+    /// are skipped, native-only fields are zero-filled (the same
+    /// copy-common/pad-zero semantics SOAP-binQ's quality layer relies on).
+    pub fn compile(wire: &FormatDesc, native: &FormatDesc) -> Result<ConversionPlan, PbioError> {
+        let mut actions = Vec::with_capacity(wire.fields.len());
+        for wf in &wire.fields {
+            match native.fields.iter().position(|nf| nf.name == wf.name) {
+                Some(i) => {
+                    let action = match (&wf.ty, &native.fields[i].ty) {
+                        (WireType::Struct(wd), WireType::Struct(nd)) => {
+                            SlotAction::Store(i, Some(Box::new(ConversionPlan::compile(wd, nd)?)))
+                        }
+                        (WireType::List(w), WireType::List(n)) => {
+                            match (&**w, &**n) {
+                                (WireType::Struct(wd), WireType::Struct(nd)) if wd != nd => {
+                                    SlotAction::StoreListElems(
+                                        i,
+                                        Box::new(ConversionPlan::compile(wd, nd)?),
+                                    )
+                                }
+                                _ => {
+                                    check_compatible(&wf.name, &wf.ty, &native.fields[i].ty)?;
+                                    SlotAction::Store(i, None)
+                                }
+                            }
+                        }
+                        (w, n) => {
+                            check_compatible(&wf.name, w, n)?;
+                            SlotAction::Store(i, None)
+                        }
+                    };
+                    actions.push(action);
+                }
+                None => actions.push(SlotAction::Skip),
+            }
+        }
+        let identity = wire == native && wire.byte_order == ByteOrder::native();
+        Ok(ConversionPlan { wire: wire.clone(), native: native.clone(), actions, identity })
+    }
+
+    /// The identity plan for messages already in `desc` layout.
+    pub fn identity(desc: &FormatDesc) -> ConversionPlan {
+        ConversionPlan::compile(desc, desc).expect("identity plans always compile")
+    }
+
+    /// Whether the fast no-conversion path applies.
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// The native format this plan produces values of.
+    pub fn native(&self) -> &FormatDesc {
+        &self.native
+    }
+
+    /// Runs the plan over a data-message payload, producing a value of the
+    /// native format. Consumes the whole payload.
+    pub fn execute(&self, payload: &[u8]) -> Result<Value, PbioError> {
+        let mut pos = 0;
+        let v = self.execute_at(payload, &mut pos)?;
+        if pos != payload.len() {
+            return Err(PbioError::TypeMismatch(format!(
+                "trailing bytes: consumed {pos} of {}",
+                payload.len()
+            )));
+        }
+        Ok(v)
+    }
+
+    fn execute_at(&self, buf: &[u8], pos: &mut usize) -> Result<Value, PbioError> {
+        let bo = self.wire.byte_order;
+        // Wrapped non-struct parameter decodes transparently.
+        if self.native.fields.len() == 1
+            && self.native.fields[0].name == "value"
+            && self.wire.fields.len() == 1
+        {
+            return read_value(buf, pos, &self.wire.fields[0].ty, bo);
+        }
+        let mut slots: Vec<Option<Value>> = vec![None; self.native.fields.len()];
+        for (wf, action) in self.wire.fields.iter().zip(&self.actions) {
+            match action {
+                SlotAction::Store(i, nested) => {
+                    let v = match nested {
+                        Some(plan) => plan.execute_at(buf, pos)?,
+                        None => read_value(buf, pos, &wf.ty, bo)?,
+                    };
+                    slots[*i] = Some(v);
+                }
+                SlotAction::StoreListElems(i, plan) => {
+                    let n = read_u32(buf, pos, bo)? as usize;
+                    let mut items = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        items.push(plan.execute_at(buf, pos)?);
+                    }
+                    slots[*i] = Some(Value::List(items));
+                }
+                SlotAction::Skip => {
+                    skip_value(buf, pos, &wf.ty, bo)?;
+                }
+            }
+        }
+        let fields = self
+            .native
+            .fields
+            .iter()
+            .zip(slots)
+            .map(|(nf, slot)| {
+                let v = slot.unwrap_or_else(|| zero_for_wire(&nf.ty));
+                (nf.name.clone(), v)
+            })
+            .collect();
+        Ok(Value::Struct(StructValue::new(self.native.name.clone(), fields)))
+    }
+}
+
+/// Decodes a whole payload in `desc` layout (identity conversion).
+pub fn decode(payload: &[u8], desc: &FormatDesc) -> Result<Value, PbioError> {
+    ConversionPlan::identity(desc).execute(payload)
+}
+
+/// Verifies a matched (wire, native) field pair is convertible: same
+/// kind, any width/byte order. Rejecting kind mismatches here keeps a
+/// peer with the wrong IDL from smuggling a value of one type into a
+/// field of another.
+fn check_compatible(field: &str, wire: &WireType, native: &WireType) -> Result<(), PbioError> {
+    let ok = match (wire, native) {
+        (WireType::Int { .. }, WireType::Int { .. })
+        | (WireType::Float { .. }, WireType::Float { .. })
+        | (WireType::Char, WireType::Char)
+        | (WireType::Str, WireType::Str)
+        | (WireType::Bytes, WireType::Bytes) => true,
+        (WireType::List(w), WireType::List(n)) => {
+            return match (&**w, &**n) {
+                (WireType::Struct(wd), WireType::Struct(nd)) => {
+                    // Element structs must be convertible too.
+                    ConversionPlan::compile(wd, nd).map(|_| ())
+                }
+                (w, n) => check_compatible(field, w, n),
+            };
+        }
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(PbioError::TypeMismatch(format!(
+            "field {field}: wire {wire:?} does not convert to native {native:?}"
+        )))
+    }
+}
+
+fn zero_for_wire(ty: &WireType) -> Value {
+    match ty {
+        WireType::Int { .. } => Value::Int(0),
+        WireType::Float { .. } => Value::Float(0.0),
+        WireType::Char => Value::Char(0),
+        WireType::Str => Value::Str(String::new()),
+        WireType::Bytes => Value::Bytes(Vec::new()),
+        WireType::List(e) => match **e {
+            WireType::Int { .. } => Value::IntArray(Vec::new()),
+            WireType::Float { .. } => Value::FloatArray(Vec::new()),
+            _ => Value::List(Vec::new()),
+        },
+        WireType::Struct(d) => Value::Struct(StructValue::new(
+            d.name.clone(),
+            d.fields.iter().map(|f| (f.name.clone(), zero_for_wire(&f.ty))).collect(),
+        )),
+    }
+}
+
+fn read_value(buf: &[u8], pos: &mut usize, ty: &WireType, bo: ByteOrder) -> Result<Value, PbioError> {
+    Ok(match ty {
+        WireType::Bytes => {
+            let len = read_u32(buf, pos, bo)? as usize;
+            if *pos + len > buf.len() {
+                return Err(PbioError::Truncated);
+            }
+            let b = buf[*pos..*pos + len].to_vec();
+            *pos += len;
+            Value::Bytes(b)
+        }
+        WireType::Int { width } => Value::Int(read_int(buf, pos, *width, bo)?),
+        WireType::Float { width } => Value::Float(read_float(buf, pos, *width, bo)?),
+        WireType::Char => {
+            let b = *buf.get(*pos).ok_or(PbioError::Truncated)?;
+            *pos += 1;
+            Value::Char(b)
+        }
+        WireType::Str => {
+            let len = read_u32(buf, pos, bo)? as usize;
+            if *pos + len > buf.len() {
+                return Err(PbioError::Truncated);
+            }
+            let s = std::str::from_utf8(&buf[*pos..*pos + len]).map_err(|_| PbioError::BadUtf8)?;
+            *pos += len;
+            Value::Str(s.to_string())
+        }
+        WireType::List(e) => {
+            let n = read_u32(buf, pos, bo)? as usize;
+            match **e {
+                // Bulk fast paths for the scientific-array workloads.
+                WireType::Int { width } => {
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(read_int(buf, pos, width, bo)?);
+                    }
+                    Value::IntArray(v)
+                }
+                WireType::Float { width } => {
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(read_float(buf, pos, width, bo)?);
+                    }
+                    Value::FloatArray(v)
+                }
+                _ => {
+                    let mut v = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        v.push(read_value(buf, pos, e, bo)?);
+                    }
+                    Value::List(v)
+                }
+            }
+        }
+        WireType::Struct(d) => {
+            let mut fields = Vec::with_capacity(d.fields.len());
+            for f in &d.fields {
+                fields.push((f.name.clone(), read_value(buf, pos, &f.ty, d.byte_order)?));
+            }
+            Value::Struct(StructValue::new(d.name.clone(), fields))
+        }
+    })
+}
+
+fn skip_value(buf: &[u8], pos: &mut usize, ty: &WireType, bo: ByteOrder) -> Result<(), PbioError> {
+    match ty {
+        WireType::Int { width } => advance(buf, pos, *width as usize),
+        WireType::Float { width } => advance(buf, pos, *width as usize),
+        WireType::Char => advance(buf, pos, 1),
+        WireType::Str | WireType::Bytes => {
+            let len = read_u32(buf, pos, bo)? as usize;
+            advance(buf, pos, len)
+        }
+        WireType::List(e) => {
+            let n = read_u32(buf, pos, bo)? as usize;
+            // Fixed-size elements can be skipped in one jump.
+            match **e {
+                WireType::Int { width } | WireType::Float { width } => {
+                    advance(buf, pos, n * width as usize)
+                }
+                WireType::Char => advance(buf, pos, n),
+                _ => {
+                    for _ in 0..n {
+                        skip_value(buf, pos, e, bo)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        WireType::Struct(d) => {
+            for f in &d.fields {
+                skip_value(buf, pos, &f.ty, d.byte_order)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn advance(buf: &[u8], pos: &mut usize, n: usize) -> Result<(), PbioError> {
+    if *pos + n > buf.len() {
+        return Err(PbioError::Truncated);
+    }
+    *pos += n;
+    Ok(())
+}
+
+fn read_int(buf: &[u8], pos: &mut usize, width: u8, bo: ByteOrder) -> Result<i64, PbioError> {
+    let w = width as usize;
+    if *pos + w > buf.len() {
+        return Err(PbioError::Truncated);
+    }
+    let bytes = &buf[*pos..*pos + w];
+    *pos += w;
+    let mut tmp = [0u8; 8];
+    let v = match bo {
+        ByteOrder::Little => {
+            tmp[..w].copy_from_slice(bytes);
+            // Sign-extend from width.
+            let raw = i64::from_le_bytes(tmp);
+            sign_extend(raw, w)
+        }
+        ByteOrder::Big => {
+            tmp[8 - w..].copy_from_slice(bytes);
+            let raw = i64::from_be_bytes(tmp);
+            sign_extend_be(raw, w)
+        }
+    };
+    Ok(v)
+}
+
+fn sign_extend(raw: i64, w: usize) -> i64 {
+    if w == 8 {
+        return raw;
+    }
+    let shift = (8 - w) * 8;
+    (raw << shift) >> shift
+}
+
+fn sign_extend_be(raw: i64, w: usize) -> i64 {
+    if w == 8 {
+        return raw;
+    }
+    // Big-endian bytes were placed at the low end of the buffer, so `raw`
+    // already holds the value zero-extended; sign-extend from bit 8w-1.
+    let shift = (8 - w) * 8;
+    (raw << shift) >> shift
+}
+
+fn read_float(buf: &[u8], pos: &mut usize, width: u8, bo: ByteOrder) -> Result<f64, PbioError> {
+    let w = width as usize;
+    if *pos + w > buf.len() {
+        return Err(PbioError::Truncated);
+    }
+    let bytes = &buf[*pos..*pos + w];
+    *pos += w;
+    Ok(match (w, bo) {
+        (8, ByteOrder::Little) => f64::from_le_bytes(bytes.try_into().expect("len checked")),
+        (8, ByteOrder::Big) => f64::from_be_bytes(bytes.try_into().expect("len checked")),
+        (4, ByteOrder::Little) => f32::from_le_bytes(bytes.try_into().expect("len checked")) as f64,
+        (4, ByteOrder::Big) => f32::from_be_bytes(bytes.try_into().expect("len checked")) as f64,
+        _ => unreachable!("widths validated at format construction"),
+    })
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize, bo: ByteOrder) -> Result<u32, PbioError> {
+    if *pos + 4 > buf.len() {
+        return Err(PbioError::Truncated);
+    }
+    let bytes: [u8; 4] = buf[*pos..*pos + 4].try_into().expect("len checked");
+    *pos += 4;
+    Ok(match bo {
+        ByteOrder::Little => u32::from_le_bytes(bytes),
+        ByteOrder::Big => u32::from_be_bytes(bytes),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FormatOptions;
+    use sbq_model::{workload, TypeDesc};
+
+    fn fmt(ty: &TypeDesc, opts: FormatOptions) -> FormatDesc {
+        FormatDesc::from_type(ty, opts).unwrap()
+    }
+
+    #[test]
+    fn round_trip_native_layout() {
+        for depth in 0..5 {
+            let v = workload::nested_struct(depth, 11);
+            let d = fmt(&workload::nested_struct_type(depth), FormatOptions::default());
+            let bytes = encode(&v, &d).unwrap();
+            assert_eq!(decode(&bytes, &d).unwrap(), v, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn round_trip_arrays() {
+        let v = workload::float_array(1000, 3);
+        let d = fmt(&TypeDesc::list_of(TypeDesc::Float), FormatOptions::default());
+        let bytes = encode(&v, &d).unwrap();
+        assert_eq!(bytes.len(), 4 + 8 * 1000);
+        assert_eq!(decode(&bytes, &d).unwrap(), v);
+    }
+
+    #[test]
+    fn receiver_makes_right_across_byte_orders() {
+        // Sender: big-endian SPARC with 4-byte ints. Receiver: host order,
+        // 8-byte ints. Same field names.
+        let ty = TypeDesc::struct_of(
+            "m",
+            vec![("a", TypeDesc::Int), ("x", TypeDesc::Float), ("s", TypeDesc::Str)],
+        );
+        let sparc = FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 };
+        let wire = fmt(&ty, sparc);
+        let native = fmt(&ty, FormatOptions::default());
+        let v = Value::struct_of(
+            "m",
+            vec![("a", Value::Int(-123456)), ("x", Value::Float(2.75)), ("s", Value::Str("hello".into()))],
+        );
+        let bytes = encode(&v, &wire).unwrap();
+        let plan = ConversionPlan::compile(&wire, &native).unwrap();
+        assert!(!plan.is_identity());
+        let got = plan.execute(&bytes).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn narrow_int_sign_extension() {
+        let ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]);
+        for bo in [ByteOrder::Little, ByteOrder::Big] {
+            for width in [1u8, 2, 4, 8] {
+                let wire = fmt(&ty, FormatOptions { byte_order: bo, int_width: width, float_width: 8 });
+                let native = fmt(&ty, FormatOptions::default());
+                let v = Value::struct_of("m", vec![("a", Value::Int(-5))]);
+                let bytes = encode(&v, &wire).unwrap();
+                let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+                assert_eq!(got, v, "bo={bo:?} width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_skips_wire_only_fields_and_zero_fills_native_only() {
+        let wire_ty = TypeDesc::struct_of(
+            "m",
+            vec![("keep", TypeDesc::Int), ("drop", TypeDesc::Str), ("arr", TypeDesc::list_of(TypeDesc::Float))],
+        );
+        let native_ty = TypeDesc::struct_of(
+            "m",
+            vec![("keep", TypeDesc::Int), ("extra", TypeDesc::Float), ("arr", TypeDesc::list_of(TypeDesc::Float))],
+        );
+        let wire = fmt(&wire_ty, FormatOptions::default());
+        let native = fmt(&native_ty, FormatOptions::default());
+        let v = Value::struct_of(
+            "m",
+            vec![
+                ("keep", Value::Int(7)),
+                ("drop", Value::Str("gone".into())),
+                ("arr", Value::FloatArray(vec![1.0, 2.0])),
+            ],
+        );
+        let bytes = encode(&v, &wire).unwrap();
+        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        let s = got.as_struct().unwrap();
+        assert_eq!(s.field("keep"), Some(&Value::Int(7)));
+        assert_eq!(s.field("extra"), Some(&Value::Float(0.0)));
+        assert_eq!(s.field("arr"), Some(&Value::FloatArray(vec![1.0, 2.0])));
+        assert!(s.field("drop").is_none());
+    }
+
+    #[test]
+    fn identity_plan_detected() {
+        let d = fmt(&workload::nested_struct_type(2), FormatOptions::default());
+        assert!(ConversionPlan::identity(&d).is_identity());
+        let other = FormatOptions {
+            byte_order: match ByteOrder::native() {
+                ByteOrder::Little => ByteOrder::Big,
+                ByteOrder::Big => ByteOrder::Little,
+            },
+            ..Default::default()
+        };
+        let swapped = fmt(&workload::nested_struct_type(2), other);
+        assert!(!ConversionPlan::compile(&swapped, &swapped).unwrap().is_identity());
+    }
+
+    #[test]
+    fn field_reordering_handled() {
+        let wire_ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int), ("b", TypeDesc::Float)]);
+        let native_ty = TypeDesc::struct_of("m", vec![("b", TypeDesc::Float), ("a", TypeDesc::Int)]);
+        let wire = fmt(&wire_ty, FormatOptions::default());
+        let native = fmt(&native_ty, FormatOptions::default());
+        let v = Value::struct_of("m", vec![("a", Value::Int(1)), ("b", Value::Float(2.0))]);
+        let bytes = encode(&v, &wire).unwrap();
+        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        let s = got.as_struct().unwrap();
+        assert_eq!(s.fields[0].0, "b");
+        assert_eq!(s.field("a"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn incompatible_field_kinds_rejected_at_compile() {
+        let wire = fmt(
+            &TypeDesc::struct_of("m", vec![("a", TypeDesc::Str)]),
+            FormatOptions::default(),
+        );
+        let native = fmt(
+            &TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]),
+            FormatOptions::default(),
+        );
+        assert!(matches!(
+            ConversionPlan::compile(&wire, &native),
+            Err(PbioError::TypeMismatch(_))
+        ));
+        // Wrapped scalar parameters too (the "value" shortcut).
+        let wire = fmt(&TypeDesc::Str, FormatOptions::default());
+        let native = fmt(&TypeDesc::list_of(TypeDesc::Int), FormatOptions::default());
+        assert!(ConversionPlan::compile(&wire, &native).is_err());
+    }
+
+    #[test]
+    fn list_elements_projected_between_schemas() {
+        // Wire: list of reduced structs; native: list of the full struct.
+        // Elements must be padded individually.
+        let full_elem = TypeDesc::struct_of("e", vec![("a", TypeDesc::Int), ("b", TypeDesc::Float)]);
+        let small_elem = TypeDesc::struct_of("e", vec![("a", TypeDesc::Int)]);
+        let wire_ty = TypeDesc::struct_of("m", vec![("items", TypeDesc::list_of(small_elem))]);
+        let native_ty = TypeDesc::struct_of("m", vec![("items", TypeDesc::list_of(full_elem))]);
+        let wire = fmt(&wire_ty, FormatOptions::default());
+        let native = fmt(&native_ty, FormatOptions::default());
+        let v = Value::struct_of(
+            "m",
+            vec![(
+                "items",
+                Value::List(vec![
+                    Value::struct_of("e", vec![("a", Value::Int(1))]),
+                    Value::struct_of("e", vec![("a", Value::Int(2))]),
+                ]),
+            )],
+        );
+        let bytes = encode(&v, &wire).unwrap();
+        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        let items = got.as_struct().unwrap().field("items").unwrap();
+        let Value::List(items) = items else { panic!("expected list") };
+        assert_eq!(items.len(), 2);
+        let e0 = items[0].as_struct().unwrap();
+        assert_eq!(e0.field("a"), Some(&Value::Int(1)));
+        assert_eq!(e0.field("b"), Some(&Value::Float(0.0)), "padded");
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let d = fmt(&workload::nested_struct_type(1), FormatOptions::default());
+        let v = workload::nested_struct(1, 1);
+        let bytes = encode(&v, &d).unwrap();
+        assert_eq!(decode(&bytes[..bytes.len() - 3], &d).unwrap_err(), PbioError::Truncated);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let d = fmt(&workload::nested_struct_type(1), FormatOptions::default());
+        let v = workload::nested_struct(1, 1);
+        let mut bytes = encode(&v, &d).unwrap();
+        bytes.push(0);
+        assert!(decode(&bytes, &d).is_err());
+    }
+
+    #[test]
+    fn mismatched_value_rejected() {
+        let d = fmt(&TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]), FormatOptions::default());
+        let bad = Value::struct_of("m", vec![("a", Value::Str("not an int".into()))]);
+        assert!(matches!(encode(&bad, &d), Err(PbioError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn pbio_smaller_than_naive_text() {
+        // The headline size claim: PBIO arrays are dense.
+        let v = workload::int_array(1024, 5);
+        let d = fmt(&TypeDesc::list_of(TypeDesc::Int), FormatOptions::default());
+        let bytes = encode(&v, &d).unwrap();
+        assert_eq!(bytes.len(), 4 + 8 * 1024);
+    }
+}

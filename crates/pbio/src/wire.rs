@@ -1,0 +1,119 @@
+//! Wire framing for PBIO exchanges: format-registration messages followed
+//! by data messages that reference formats by id.
+
+use crate::PbioError;
+
+/// Message kind byte for a format registration.
+pub const MSG_FORMAT_REG: u8 = 1;
+/// Message kind byte for a data message.
+pub const MSG_DATA: u8 = 2;
+
+/// A framed PBIO message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// "Every PBIO transaction begins with a registration of the format"
+    /// — carries the serialized [`crate::FormatDesc`]. Sent once per
+    /// format per connection; its size is the first-message handshake
+    /// cost.
+    FormatReg {
+        /// Server-assigned format id.
+        id: u32,
+        /// Serialized format description ([`crate::FormatDesc::to_bytes`]).
+        desc: Vec<u8>,
+    },
+    /// A data message: payload encoded against the referenced format.
+    Data {
+        /// Format id the payload was encoded with.
+        format_id: u32,
+        /// Encoded payload.
+        payload: Vec<u8>,
+    },
+}
+
+impl WireMessage {
+    /// Serializes to `kind(1) | id(4 LE) | len(4 LE) | body`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (kind, id, body) = match self {
+            WireMessage::FormatReg { id, desc } => (MSG_FORMAT_REG, *id, desc),
+            WireMessage::Data { format_id, payload } => (MSG_DATA, *format_id, payload),
+        };
+        let mut out = Vec::with_capacity(9 + body.len());
+        out.push(kind);
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses one framed message, returning it and the bytes consumed.
+    pub fn from_bytes(buf: &[u8]) -> Result<(WireMessage, usize), PbioError> {
+        if buf.len() < 9 {
+            return Err(PbioError::Truncated);
+        }
+        let kind = buf[0];
+        let id = u32::from_le_bytes(buf[1..5].try_into().expect("len checked"));
+        let len = u32::from_le_bytes(buf[5..9].try_into().expect("len checked")) as usize;
+        if buf.len() < 9 + len {
+            return Err(PbioError::Truncated);
+        }
+        let body = buf[9..9 + len].to_vec();
+        let msg = match kind {
+            MSG_FORMAT_REG => WireMessage::FormatReg { id, desc: body },
+            MSG_DATA => WireMessage::Data { format_id: id, payload: body },
+            t => return Err(PbioError::BadTag(t)),
+        };
+        Ok((msg, 9 + len))
+    }
+
+    /// Total framed size in bytes.
+    pub fn wire_len(&self) -> usize {
+        9 + match self {
+            WireMessage::FormatReg { desc, .. } => desc.len(),
+            WireMessage::Data { payload, .. } => payload.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_round_trips() {
+        let msgs = [
+            WireMessage::FormatReg { id: 3, desc: vec![1, 2, 3] },
+            WireMessage::Data { format_id: 9, payload: vec![0xde, 0xad] },
+            WireMessage::Data { format_id: 0, payload: vec![] },
+        ];
+        for m in &msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.len(), m.wire_len());
+            let (back, consumed) = WireMessage::from_bytes(&bytes).unwrap();
+            assert_eq!(&back, m);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_stream_parses_sequentially() {
+        let a = WireMessage::FormatReg { id: 1, desc: vec![7] };
+        let b = WireMessage::Data { format_id: 1, payload: vec![8, 9] };
+        let mut stream = a.to_bytes();
+        stream.extend(b.to_bytes());
+        let (m1, used) = WireMessage::from_bytes(&stream).unwrap();
+        let (m2, _) = WireMessage::from_bytes(&stream[used..]).unwrap();
+        assert_eq!(m1, a);
+        assert_eq!(m2, b);
+    }
+
+    #[test]
+    fn truncation_and_bad_kind_detected() {
+        let m = WireMessage::Data { format_id: 1, payload: vec![1, 2, 3] };
+        let bytes = m.to_bytes();
+        assert_eq!(WireMessage::from_bytes(&bytes[..5]).unwrap_err(), PbioError::Truncated);
+        assert_eq!(WireMessage::from_bytes(&bytes[..10]).unwrap_err(), PbioError::Truncated);
+        let mut bad = bytes.clone();
+        bad[0] = 0x7f;
+        assert_eq!(WireMessage::from_bytes(&bad).unwrap_err(), PbioError::BadTag(0x7f));
+    }
+}

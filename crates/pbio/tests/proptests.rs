@@ -1,0 +1,105 @@
+//! Property tests: encode→convert round trips across arbitrary schemas and
+//! sender architectures.
+
+use proptest::prelude::*;
+use sbq_pbio::{plan, ByteOrder, ConversionPlan, FormatDesc};
+use sbq_model::{TypeDesc, Value};
+
+fn arb_type(depth: u32) -> impl Strategy<Value = TypeDesc> {
+    let leaf = prop_oneof![
+        Just(TypeDesc::Int),
+        Just(TypeDesc::Float),
+        Just(TypeDesc::Char),
+        Just(TypeDesc::Str),
+        Just(TypeDesc::Bytes),
+    ];
+    leaf.prop_recursive(depth, 20, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(TypeDesc::list_of),
+            (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(tys, name)| {
+                TypeDesc::Struct(sbq_model::StructDesc::new(
+                    name,
+                    tys.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect(),
+                ))
+            }),
+        ]
+    })
+}
+
+fn sample(ty: &TypeDesc, seed: &mut u64) -> Value {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let s = *seed;
+    match ty {
+        // Int values stay within i16 so that narrow-width wire formats
+        // (the 4-byte SPARC case uses i32; truncation only matters beyond
+        // the wire width) round-trip exactly.
+        TypeDesc::Int => Value::Int((s % 30000) as i64 - 15000),
+        // Multiples of 1/16 below 2^17 are exactly representable in f32,
+        // so 4-byte wire floats round-trip losslessly.
+        TypeDesc::Float => Value::Float(((s % 100000) as f64) / 16.0),
+        TypeDesc::Char => Value::Char((s % 256) as u8),
+        TypeDesc::Str => Value::Str(format!("v{}", s % 1000)),
+        TypeDesc::Bytes => Value::Bytes((0..(s % 16) as u8).collect()),
+        TypeDesc::List(e) => {
+            let n = (s % 5) as usize;
+            match **e {
+                TypeDesc::Int => Value::IntArray((0..n).map(|i| i as i64 * 3 - 4).collect()),
+                TypeDesc::Float => Value::FloatArray((0..n).map(|i| i as f64 * 0.5).collect()),
+                _ => Value::List((0..n).map(|_| sample(e, seed)).collect()),
+            }
+        }
+        TypeDesc::Struct(sd) => Value::Struct(sbq_model::StructValue::new(
+            sd.name.clone(),
+            sd.fields.iter().map(|(n, t)| (n.clone(), sample(t, seed))).collect(),
+        )),
+    }
+}
+
+fn opts(bo: ByteOrder, iw: u8, fw: u8) -> sbq_pbio::format::FormatOptions {
+    sbq_pbio::format::FormatOptions { byte_order: bo, int_width: iw, float_width: fw }
+}
+
+proptest! {
+    #[test]
+    fn identity_round_trip(ty in arb_type(3), seed in any::<u64>()) {
+        let mut s = seed;
+        let v = sample(&ty, &mut s);
+        let d = FormatDesc::from_type(&ty, Default::default()).unwrap();
+        let bytes = plan::encode(&v, &d).unwrap();
+        prop_assert_eq!(plan::decode(&bytes, &d).unwrap(), v);
+    }
+
+    #[test]
+    fn cross_architecture_round_trip(ty in arb_type(2), seed in any::<u64>(), big in any::<bool>()) {
+        let mut s = seed;
+        let v = sample(&ty, &mut s);
+        let bo = if big { ByteOrder::Big } else { ByteOrder::Little };
+        let wire = FormatDesc::from_type(&ty, opts(bo, 4, 8)).unwrap();
+        let native = FormatDesc::from_type(&ty, Default::default()).unwrap();
+        let bytes = plan::encode(&v, &wire).unwrap();
+        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn format_descriptions_round_trip(ty in arb_type(3), big in any::<bool>()) {
+        let bo = if big { ByteOrder::Big } else { ByteOrder::Little };
+        let d = FormatDesc::from_type(&ty, opts(bo, 8, 8)).unwrap();
+        prop_assert_eq!(FormatDesc::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupt_payload(ty in arb_type(2), seed in any::<u64>(), cut in any::<u16>()) {
+        let mut s = seed;
+        let v = sample(&ty, &mut s);
+        let d = FormatDesc::from_type(&ty, Default::default()).unwrap();
+        let mut bytes = plan::encode(&v, &d).unwrap();
+        // Truncate somewhere, possibly flipping a byte first.
+        if !bytes.is_empty() {
+            let i = (cut as usize) % bytes.len();
+            bytes[i] ^= 0x5a;
+            bytes.truncate(i);
+        }
+        let _ = plan::decode(&bytes, &d); // must not panic
+    }
+}

@@ -1,0 +1,167 @@
+//! RTT estimation (§IV-C.h).
+//!
+//! "A client sends a timestamp to the server along with the message, and
+//! the server sends back the same timestamp along with the reply. The
+//! client then computes the difference to determine the RTT for that
+//! request. This RTT value is used to update the client's measure of the
+//! cumulative RTT value through exponential averaging, using
+//! `R = α·R + (1-α)·M` … Most estimators use a value of 0.875."
+//!
+//! "Note that this RTT value calculation also includes the time spent by
+//! the server to prepare the data. This can be rectified by the server
+//! setting the timestamp back by the time taken to prepare its response
+//! data" — modeled by the `server_time` argument of
+//! [`RttEstimator::update_compensated`].
+
+use std::time::Duration;
+
+/// Exponentially-averaged RTT estimator.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    alpha: f64,
+    estimate: Option<f64>,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// The classic α = 0.875 estimator.
+    pub fn new() -> RttEstimator {
+        RttEstimator::with_alpha(0.875)
+    }
+
+    /// An estimator with a custom smoothing factor `alpha ∈ [0, 1)`.
+    pub fn with_alpha(alpha: f64) -> RttEstimator {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0,1)");
+        RttEstimator { alpha, estimate: None, samples: 0 }
+    }
+
+    /// Feeds a raw RTT sample; returns the new estimate.
+    pub fn update(&mut self, sample: Duration) -> Duration {
+        let m = sample.as_secs_f64();
+        let r = match self.estimate {
+            None => m,
+            Some(r) => self.alpha * r + (1.0 - self.alpha) * m,
+        };
+        self.estimate = Some(r);
+        self.samples += 1;
+        Duration::from_secs_f64(r.max(0.0))
+    }
+
+    /// Feeds a sample after subtracting the server's data-preparation
+    /// time (the paper's timestamp set-back).
+    pub fn update_compensated(&mut self, sample: Duration, server_time: Duration) -> Duration {
+        self.update(sample.saturating_sub(server_time))
+    }
+
+    /// Current estimate, if any sample has been observed.
+    pub fn estimate(&self) -> Option<Duration> {
+        self.estimate.map(|r| Duration::from_secs_f64(r.max(0.0)))
+    }
+
+    /// Current estimate in fractional milliseconds (the unit quality
+    /// files in this repo use), or `None` before the first sample.
+    pub fn estimate_ms(&self) -> Option<f64> {
+        self.estimate.map(|r| r * 1e3)
+    }
+
+    /// Number of samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Forgets all history.
+    pub fn reset(&mut self) {
+        self.estimate = None;
+        self.samples = 0;
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_becomes_estimate() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.update(ms(100)), ms(100));
+        assert_eq!(e.samples(), 1);
+    }
+
+    #[test]
+    fn exponential_average_matches_formula() {
+        let mut e = RttEstimator::new();
+        e.update(ms(100));
+        let r = e.update(ms(200)).as_secs_f64();
+        let expect = 0.875 * 0.100 + 0.125 * 0.200;
+        assert!((r - expect).abs() < 1e-9, "{r} vs {expect}");
+    }
+
+    #[test]
+    fn converges_toward_steady_input() {
+        let mut e = RttEstimator::new();
+        e.update(ms(500));
+        for _ in 0..100 {
+            e.update(ms(50));
+        }
+        let r = e.estimate().unwrap();
+        assert!((r.as_secs_f64() - 0.050).abs() < 0.001, "{r:?}");
+    }
+
+    #[test]
+    fn smooths_spikes() {
+        let mut e = RttEstimator::new();
+        e.update(ms(50));
+        let after_spike = e.update(ms(1000));
+        // One spike moves the estimate by only (1-α) of the difference.
+        assert!(after_spike < ms(200), "{after_spike:?}");
+    }
+
+    #[test]
+    fn compensation_subtracts_server_time() {
+        let mut raw = RttEstimator::new();
+        let mut comp = RttEstimator::new();
+        raw.update(ms(100));
+        comp.update_compensated(ms(100), ms(60));
+        assert_eq!(comp.estimate().unwrap(), ms(40));
+        assert!(comp.estimate().unwrap() < raw.estimate().unwrap());
+        // Server time exceeding the sample clamps to zero, not negative.
+        comp.reset();
+        comp.update_compensated(ms(10), ms(60));
+        assert_eq!(comp.estimate().unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn custom_alpha_weights_recent_samples() {
+        let mut fast = RttEstimator::with_alpha(0.1);
+        fast.update(ms(100));
+        let r = fast.update(ms(200));
+        assert!(r > ms(180), "{r:?}");
+        assert_eq!(fast.estimate_ms().map(|v| v.round()), Some(190.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1)")]
+    fn alpha_one_rejected() {
+        let _ = RttEstimator::with_alpha(1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = RttEstimator::new();
+        e.update(ms(5));
+        e.reset();
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.samples(), 0);
+    }
+}

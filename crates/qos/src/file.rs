@@ -1,0 +1,387 @@
+//! Quality files: interval → message-type policies.
+//!
+//! The paper's template (§III-B.b):
+//!
+//! ```text
+//! quality_attribute_1 quality_attribute_2 - message_type_0
+//! quality_attribute_2 quality_attribute_3 - message_type_1
+//! quality_attribute_3 quality_attribute_4 - message_type_2
+//! ```
+//!
+//! This implementation accepts exactly that, plus:
+//! * `#`-comments and blank lines;
+//! * `inf` as an upper bound;
+//! * an optional `attribute <name>` header naming the monitored attribute
+//!   (defaults to `rtt`);
+//! * optional `handler <message_type> <handler_name>` lines binding a
+//!   registered quality handler to a message type (in lieu of the trivial
+//!   projection handler).
+
+/// One policy rule: when the monitored attribute is in `[lo, hi)`, use
+/// `message_type`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRule {
+    /// Inclusive lower bound of the attribute interval.
+    pub lo: f64,
+    /// Exclusive upper bound (`f64::INFINITY` for the last band).
+    pub hi: f64,
+    /// Message type to transmit in this band.
+    pub message_type: String,
+    /// Optional named quality handler for this band.
+    pub handler: Option<String>,
+}
+
+/// A parsed quality file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityFile {
+    /// Monitored attribute name (`rtt` by default).
+    pub attribute: String,
+    /// Rules ordered by ascending `lo`.
+    pub rules: Vec<QualityRule>,
+}
+
+/// Quality-file parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QosParseError {
+    /// A line did not match `lo hi - message_type`.
+    BadLine(usize, String),
+    /// A bound was not a number (or `inf`).
+    BadBound(usize, String),
+    /// Intervals overlap or are unordered.
+    Overlap(String, String),
+    /// `lo >= hi`.
+    EmptyInterval(usize),
+    /// No rules present.
+    Empty,
+    /// A handler line referenced an unknown message type.
+    UnknownMessageType(String),
+}
+
+impl std::fmt::Display for QosParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QosParseError::BadLine(n, l) => write!(f, "line {n}: unparseable rule {l:?}"),
+            QosParseError::BadBound(n, b) => write!(f, "line {n}: bad bound {b:?}"),
+            QosParseError::Overlap(a, b) => write!(f, "overlapping intervals for {a} and {b}"),
+            QosParseError::EmptyInterval(n) => write!(f, "line {n}: empty interval"),
+            QosParseError::Empty => write!(f, "quality file contains no rules"),
+            QosParseError::UnknownMessageType(m) => {
+                write!(f, "handler for unknown message type {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QosParseError {}
+
+impl QualityFile {
+    /// Parses the quality-file text format.
+    pub fn parse(text: &str) -> Result<QualityFile, QosParseError> {
+        let mut attribute = "rtt".to_string();
+        let mut rules: Vec<QualityRule> = Vec::new();
+        let mut handlers: Vec<(String, String, usize)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("attribute") => {
+                    attribute = words
+                        .next()
+                        .ok_or_else(|| QosParseError::BadLine(lineno, line.into()))?
+                        .to_string();
+                }
+                Some("handler") => {
+                    let (Some(mt), Some(h)) = (words.next(), words.next()) else {
+                        return Err(QosParseError::BadLine(lineno, line.into()));
+                    };
+                    handlers.push((mt.to_string(), h.to_string(), lineno));
+                }
+                Some(first) => {
+                    let lo = parse_bound(first, lineno)?;
+                    let hi_tok =
+                        words.next().ok_or_else(|| QosParseError::BadLine(lineno, line.into()))?;
+                    let hi = parse_bound(hi_tok, lineno)?;
+                    if words.next() != Some("-") {
+                        return Err(QosParseError::BadLine(lineno, line.into()));
+                    }
+                    let mt = words
+                        .next()
+                        .ok_or_else(|| QosParseError::BadLine(lineno, line.into()))?;
+                    if lo >= hi {
+                        return Err(QosParseError::EmptyInterval(lineno));
+                    }
+                    rules.push(QualityRule {
+                        lo,
+                        hi,
+                        message_type: mt.to_string(),
+                        handler: None,
+                    });
+                }
+                None => unreachable!("empty lines skipped"),
+            }
+        }
+        if rules.is_empty() {
+            return Err(QosParseError::Empty);
+        }
+        rules.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        for pair in rules.windows(2) {
+            if pair[1].lo < pair[0].hi {
+                return Err(QosParseError::Overlap(
+                    pair[0].message_type.clone(),
+                    pair[1].message_type.clone(),
+                ));
+            }
+        }
+        for (mt, h, _line) in handlers {
+            let rule = rules
+                .iter_mut()
+                .find(|r| r.message_type == mt)
+                .ok_or(QosParseError::UnknownMessageType(mt))?;
+            rule.handler = Some(h);
+        }
+        Ok(QualityFile { attribute, rules })
+    }
+
+    /// Selects the rule whose interval contains `value`, clamping to the
+    /// nearest band when the value falls in a gap or outside all bands.
+    pub fn select(&self, value: f64) -> &QualityRule {
+        for r in &self.rules {
+            if value >= r.lo && value < r.hi {
+                return r;
+            }
+        }
+        // Clamp: below the first band or in a gap — nearest band wins.
+        let mut best = &self.rules[0];
+        let mut best_dist = f64::INFINITY;
+        for r in &self.rules {
+            let dist = if value < r.lo {
+                r.lo - value
+            } else if value >= r.hi {
+                value - r.hi
+            } else {
+                0.0
+            };
+            if dist < best_dist {
+                best_dist = dist;
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Index of the selected rule (used by [`BandSelector`]).
+    pub fn select_index(&self, value: f64) -> usize {
+        let sel = self.select(value) as *const QualityRule;
+        self.rules.iter().position(|r| std::ptr::eq(r, sel)).expect("selected rule is in rules")
+    }
+}
+
+fn parse_bound(tok: &str, lineno: usize) -> Result<f64, QosParseError> {
+    match tok {
+        "inf" | "INF" | "Inf" => Ok(f64::INFINITY),
+        _ => tok.parse().map_err(|_| QosParseError::BadBound(lineno, tok.to_string())),
+    }
+}
+
+/// How the band selection reacts to attribute changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchPolicy {
+    /// Switch toward *smaller* messages (higher band index) immediately —
+    /// congestion response should not lag.
+    pub degrade_immediately: bool,
+    /// Consecutive agreeing samples required before switching otherwise —
+    /// the paper's "simple history-based mechanism" against oscillation.
+    pub confirm_count: usize,
+}
+
+impl Default for SwitchPolicy {
+    fn default() -> Self {
+        SwitchPolicy { degrade_immediately: true, confirm_count: 3 }
+    }
+}
+
+/// Stateful band selection with hysteresis over a [`QualityFile`].
+#[derive(Debug, Clone)]
+pub struct BandSelector {
+    file: QualityFile,
+    policy: SwitchPolicy,
+    current: Option<usize>,
+    pending: Option<(usize, usize)>, // (band, consecutive count)
+    switches: u64,
+}
+
+impl BandSelector {
+    /// Creates a selector with the default switch policy.
+    pub fn new(file: QualityFile) -> BandSelector {
+        BandSelector::with_policy(file, SwitchPolicy::default())
+    }
+
+    /// Creates a selector with an explicit policy.
+    pub fn with_policy(file: QualityFile, policy: SwitchPolicy) -> BandSelector {
+        BandSelector { file, policy, current: None, pending: None, switches: 0 }
+    }
+
+    /// The underlying quality file.
+    pub fn file(&self) -> &QualityFile {
+        &self.file
+    }
+
+    /// Number of band switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Feeds an attribute sample and returns the rule to use now.
+    pub fn observe(&mut self, value: f64) -> &QualityRule {
+        let target = self.file.select_index(value);
+        let cur = match self.current {
+            None => {
+                self.current = Some(target);
+                target
+            }
+            Some(cur) if target == cur => {
+                self.pending = None;
+                cur
+            }
+            Some(cur) => {
+                let degrade = target > cur;
+                let confirmed = if degrade && self.policy.degrade_immediately {
+                    true
+                } else {
+                    let count = match self.pending {
+                        Some((band, n)) if band == target => n + 1,
+                        _ => 1,
+                    };
+                    self.pending = Some((target, count));
+                    count >= self.policy.confirm_count
+                };
+                if confirmed {
+                    self.current = Some(target);
+                    self.pending = None;
+                    self.switches += 1;
+                    target
+                } else {
+                    cur
+                }
+            }
+        };
+        &self.file.rules[cur]
+    }
+
+    /// The currently selected rule without feeding a sample.
+    pub fn current(&self) -> Option<&QualityRule> {
+        self.current.map(|i| &self.file.rules[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# image service policy (RTT in milliseconds)
+attribute rtt
+0 50 - image_full
+50 200 - image_half
+200 inf - image_min
+handler image_half resize_half
+handler image_min resize_quarter
+";
+
+    #[test]
+    fn parses_paper_template() {
+        let f = QualityFile::parse(SAMPLE).unwrap();
+        assert_eq!(f.attribute, "rtt");
+        assert_eq!(f.rules.len(), 3);
+        assert_eq!(f.rules[0].message_type, "image_full");
+        assert_eq!(f.rules[1].handler.as_deref(), Some("resize_half"));
+        assert_eq!(f.rules[2].hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn selection_honors_intervals_and_clamps() {
+        let f = QualityFile::parse(SAMPLE).unwrap();
+        assert_eq!(f.select(0.0).message_type, "image_full");
+        assert_eq!(f.select(49.999).message_type, "image_full");
+        assert_eq!(f.select(50.0).message_type, "image_half");
+        assert_eq!(f.select(1e9).message_type, "image_min");
+        assert_eq!(f.select(-5.0).message_type, "image_full");
+    }
+
+    #[test]
+    fn gap_clamps_to_nearest() {
+        let f = QualityFile::parse("0 10 - a\n20 30 - b\n").unwrap();
+        assert_eq!(f.select(12.0).message_type, "a");
+        assert_eq!(f.select(19.0).message_type, "b");
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        assert!(matches!(QualityFile::parse(""), Err(QosParseError::Empty)));
+        assert!(matches!(
+            QualityFile::parse("0 x - a\n"),
+            Err(QosParseError::BadBound(1, _))
+        ));
+        assert!(matches!(
+            QualityFile::parse("0 10 a\n"),
+            Err(QosParseError::BadLine(1, _))
+        ));
+        assert!(matches!(
+            QualityFile::parse("10 10 - a\n"),
+            Err(QosParseError::EmptyInterval(1))
+        ));
+        assert!(matches!(
+            QualityFile::parse("0 20 - a\n10 30 - b\n"),
+            Err(QosParseError::Overlap(_, _))
+        ));
+        assert!(matches!(
+            QualityFile::parse("0 10 - a\nhandler zz h\n"),
+            Err(QosParseError::UnknownMessageType(_))
+        ));
+    }
+
+    #[test]
+    fn selector_degrades_immediately_but_upgrades_with_history() {
+        let f = QualityFile::parse(SAMPLE).unwrap();
+        let mut sel = BandSelector::new(f);
+        assert_eq!(sel.observe(10.0).message_type, "image_full");
+        // Congestion: degrade right away.
+        assert_eq!(sel.observe(300.0).message_type, "image_min");
+        // One good sample is not enough to climb back.
+        assert_eq!(sel.observe(10.0).message_type, "image_min");
+        assert_eq!(sel.observe(10.0).message_type, "image_min");
+        // Third consecutive confirms.
+        assert_eq!(sel.observe(10.0).message_type, "image_full");
+        assert_eq!(sel.switches(), 2);
+    }
+
+    #[test]
+    fn selector_resets_pending_on_flapping() {
+        let f = QualityFile::parse(SAMPLE).unwrap();
+        let mut sel = BandSelector::new(f);
+        sel.observe(300.0); // start in min
+        // Alternating samples never accumulate 3 confirmations.
+        for _ in 0..10 {
+            assert_eq!(sel.observe(10.0).message_type, "image_min");
+            assert_eq!(sel.observe(10.0).message_type, "image_min");
+            assert_eq!(sel.observe(300.0).message_type, "image_min");
+        }
+        assert_eq!(sel.switches(), 0);
+    }
+
+    #[test]
+    fn symmetric_policy_requires_history_both_ways() {
+        let f = QualityFile::parse(SAMPLE).unwrap();
+        let mut sel = BandSelector::with_policy(
+            f,
+            SwitchPolicy { degrade_immediately: false, confirm_count: 2 },
+        );
+        assert_eq!(sel.observe(10.0).message_type, "image_full");
+        assert_eq!(sel.observe(300.0).message_type, "image_full"); // 1st
+        assert_eq!(sel.observe(300.0).message_type, "image_min"); // 2nd confirms
+    }
+}

@@ -1,0 +1,186 @@
+//! Jacobson/Karels round-trip estimation.
+//!
+//! §IV-C.h names this as the planned upgrade over plain exponential
+//! averaging: "with future work planning to use more complex and
+//! effective estimators like those described in \[42\]" — \[42\] being
+//! Jacobson & Karels, *Congestion Avoidance and Control* (SIGCOMM '88).
+//!
+//! The estimator tracks both the smoothed RTT and its mean deviation:
+//!
+//! ```text
+//! err    = M - SRTT
+//! SRTT  += g * err              (g = 1/8)
+//! RTTVAR += h * (|err| - RTTVAR) (h = 1/4)
+//! RTO    = SRTT + k * RTTVAR     (k = 4)
+//! ```
+//!
+//! For quality management the interesting output is [`JacobsonEstimator::upper_bound`]
+//! (the RTO expression): selecting message types against SRTT + 4·RTTVAR
+//! instead of the mean makes band selection sensitive to *variance* — a
+//! link that is fast on average but erratic degrades early, which is
+//! precisely the behavior a jitter-sensitive application wants.
+
+use std::time::Duration;
+
+/// Jacobson/Karels SRTT + RTTVAR estimator.
+#[derive(Debug, Clone)]
+pub struct JacobsonEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    g: f64,
+    h: f64,
+    k: f64,
+    samples: u64,
+}
+
+impl JacobsonEstimator {
+    /// Standard gains: g = 1/8, h = 1/4, k = 4.
+    pub fn new() -> JacobsonEstimator {
+        JacobsonEstimator { srtt: None, rttvar: 0.0, g: 0.125, h: 0.25, k: 4.0, samples: 0 }
+    }
+
+    /// Custom gains (g, h ∈ (0,1], k ≥ 0).
+    pub fn with_gains(g: f64, h: f64, k: f64) -> JacobsonEstimator {
+        assert!(g > 0.0 && g <= 1.0, "gain g out of range");
+        assert!(h > 0.0 && h <= 1.0, "gain h out of range");
+        assert!(k >= 0.0, "k must be non-negative");
+        JacobsonEstimator { srtt: None, rttvar: 0.0, g, h, k, samples: 0 }
+    }
+
+    /// Feeds one RTT sample.
+    pub fn update(&mut self, sample: Duration) {
+        let m = sample.as_secs_f64();
+        match self.srtt {
+            None => {
+                // RFC 6298 initialization.
+                self.srtt = Some(m);
+                self.rttvar = m / 2.0;
+            }
+            Some(srtt) => {
+                let err = m - srtt;
+                self.srtt = Some(srtt + self.g * err);
+                self.rttvar += self.h * (err.abs() - self.rttvar);
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Feeds a sample compensated for server preparation time.
+    pub fn update_compensated(&mut self, sample: Duration, server_time: Duration) {
+        self.update(sample.saturating_sub(server_time));
+    }
+
+    /// Smoothed RTT.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt.map(|s| Duration::from_secs_f64(s.max(0.0)))
+    }
+
+    /// Mean deviation of the RTT.
+    pub fn rttvar(&self) -> Duration {
+        Duration::from_secs_f64(self.rttvar.max(0.0))
+    }
+
+    /// `SRTT + k·RTTVAR` — the variance-aware value to select quality
+    /// bands against (and TCP's RTO).
+    pub fn upper_bound(&self) -> Option<Duration> {
+        self.srtt.map(|s| Duration::from_secs_f64((s + self.k * self.rttvar).max(0.0)))
+    }
+
+    /// Upper bound in fractional milliseconds (quality-file units).
+    pub fn upper_bound_ms(&self) -> Option<f64> {
+        self.upper_bound().map(|d| d.as_secs_f64() * 1e3)
+    }
+
+    /// Samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Default for JacobsonEstimator {
+    fn default() -> Self {
+        JacobsonEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn initialization_follows_rfc6298() {
+        let mut e = JacobsonEstimator::new();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.upper_bound(), None);
+        e.update(ms(100));
+        assert_eq!(e.srtt().unwrap(), ms(100));
+        assert_eq!(e.rttvar(), ms(50));
+        assert_eq!(e.upper_bound().unwrap(), ms(300));
+    }
+
+    #[test]
+    fn steady_input_shrinks_variance() {
+        let mut e = JacobsonEstimator::new();
+        for _ in 0..200 {
+            e.update(ms(80));
+        }
+        assert!((e.srtt().unwrap().as_secs_f64() - 0.080).abs() < 1e-6);
+        assert!(e.rttvar() < ms(1), "rttvar {:?}", e.rttvar());
+        // Upper bound converges to SRTT on a steady link.
+        assert!(e.upper_bound().unwrap() < ms(85));
+    }
+
+    #[test]
+    fn erratic_link_raises_upper_bound_even_with_same_mean() {
+        let mut steady = JacobsonEstimator::new();
+        let mut erratic = JacobsonEstimator::new();
+        for i in 0..200 {
+            steady.update(ms(100));
+            erratic.update(ms(if i % 2 == 0 { 40 } else { 160 }));
+        }
+        let s_mean = steady.srtt().unwrap().as_secs_f64();
+        let e_mean = erratic.srtt().unwrap().as_secs_f64();
+        assert!((s_mean - e_mean).abs() < 0.02, "means comparable: {s_mean} vs {e_mean}");
+        assert!(
+            erratic.upper_bound().unwrap() > steady.upper_bound().unwrap() + ms(100),
+            "variance must dominate the bound: {:?} vs {:?}",
+            erratic.upper_bound(),
+            steady.upper_bound()
+        );
+    }
+
+    #[test]
+    fn compensation_applies() {
+        let mut e = JacobsonEstimator::new();
+        e.update_compensated(ms(150), ms(100));
+        assert_eq!(e.srtt().unwrap(), ms(50));
+        e.update_compensated(ms(20), ms(100)); // clamps at zero
+        assert!(e.srtt().unwrap() < ms(50));
+    }
+
+    #[test]
+    fn spike_moves_bound_faster_than_mean() {
+        let mut e = JacobsonEstimator::new();
+        for _ in 0..50 {
+            e.update(ms(50));
+        }
+        let bound_before = e.upper_bound().unwrap();
+        e.update(ms(500));
+        let bound_after = e.upper_bound().unwrap();
+        let mean_after = e.srtt().unwrap();
+        // One spike: mean barely moves (1/8 gain) but the bound jumps via
+        // the deviation term.
+        assert!(mean_after < ms(120));
+        assert!(bound_after > bound_before + ms(100), "{bound_before:?} -> {bound_after:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain g out of range")]
+    fn bad_gains_rejected() {
+        let _ = JacobsonEstimator::with_gains(0.0, 0.25, 4.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Continuous quality management — the "Q" of SOAP-binQ.
+//!
+//! §III-B of the paper defines the machinery reproduced here:
+//!
+//! * **Quality files** ([`QualityFile`]) relate intervals of a monitored
+//!   quality attribute to message types:
+//!   `quality_attribute_1 quality_attribute_2 - message_type_0` per line.
+//! * **Quality attributes** ([`QualityAttributes`]) are monitored values —
+//!   RTT in the paper's experiments, but "a monitored attribute can use
+//!   any value that is suitable for triggering changes in data quality"
+//!   (§III-B.c). Applications update them at runtime via
+//!   [`QualityAttributes::update_attribute`], the paper's
+//!   `update_attribute()` API (§III-B.d).
+//! * **RTT estimation** ([`RttEstimator`]) uses the RFC-793 exponential
+//!   average `R = α·R + (1-α)·M` with α = 0.875, optionally compensating
+//!   for server preparation time (§IV-C.h).
+//! * **Oscillation damping** ([`BandSelector`]): "a simple history-based
+//!   mechanism … is used to prevent this" — a selected band only changes
+//!   after `confirm_count` consecutive samples agree.
+//! * **Quality handlers** ([`HandlerRegistry`], [`QualityHandler`])
+//!   transform message values (resize an image, drop timesteps). The
+//!   paper installs handlers at compile time and lists runtime
+//!   installation as future work; the registry here supports both.
+
+pub mod attributes;
+pub mod estimator;
+pub mod file;
+pub mod handler;
+pub mod jacobson;
+pub mod manager;
+
+pub use attributes::QualityAttributes;
+pub use estimator::RttEstimator;
+pub use file::{BandSelector, QualityFile, QualityRule, QosParseError, SwitchPolicy};
+pub use handler::{HandlerRegistry, QualityHandler};
+pub use jacobson::JacobsonEstimator;
+pub use manager::{PreparedMessage, QualityManager, RttEstimatorKind};

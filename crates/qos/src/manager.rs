@@ -1,0 +1,386 @@
+//! The quality manager: glue between estimator, quality file, handlers
+//! and message projection — what the generated stubs embed on both the
+//! client and the server side (§III-B.b: "the quality file is used both
+//! by the server side and client side stubs, to determine the message
+//! type and corresponding size to be used under each circumstance").
+
+use crate::attributes::QualityAttributes;
+use crate::estimator::RttEstimator;
+use crate::file::{BandSelector, QualityFile, QualityRule, SwitchPolicy};
+use crate::handler::HandlerRegistry;
+use crate::jacobson::JacobsonEstimator;
+use sbq_model::{pad_to, project, TypeDesc, Value};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Which RTT estimator drives the monitored attribute.
+///
+/// [`RttEstimatorKind::Ewma`] is the paper's current implementation
+/// (`R = αR + (1-α)M`); [`RttEstimatorKind::Jacobson`] is its stated
+/// future work — variance-aware SRTT + 4·RTTVAR selection, which reacts
+/// to *jittery* links even when the mean looks healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RttEstimatorKind {
+    /// Exponential weighted moving average, α = 0.875.
+    #[default]
+    Ewma,
+    /// Jacobson/Karels SRTT + RTTVAR.
+    Jacobson,
+}
+
+#[derive(Debug, Clone)]
+enum AnyEstimator {
+    Ewma(RttEstimator),
+    Jacobson(JacobsonEstimator),
+}
+
+impl AnyEstimator {
+    fn update_compensated(&mut self, rtt: Duration, server: Duration) -> Option<f64> {
+        match self {
+            AnyEstimator::Ewma(e) => {
+                e.update_compensated(rtt, server);
+                e.estimate_ms()
+            }
+            AnyEstimator::Jacobson(e) => {
+                e.update_compensated(rtt, server);
+                e.upper_bound_ms()
+            }
+        }
+    }
+
+    fn value_ms(&self) -> Option<f64> {
+        match self {
+            AnyEstimator::Ewma(e) => e.estimate_ms(),
+            AnyEstimator::Jacobson(e) => e.upper_bound_ms(),
+        }
+    }
+}
+
+/// The outcome of quality-managing an outgoing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedMessage {
+    /// The (possibly reduced) value to transmit.
+    pub value: Value,
+    /// The selected message type name (from the quality file).
+    pub message_type: String,
+}
+
+/// Per-connection continuous quality management state.
+#[derive(Debug)]
+pub struct QualityManager {
+    selector: BandSelector,
+    estimator: RttEstimator,
+    /// The estimator actually driving selection (kept alongside the plain
+    /// EWMA one so `estimator()` stays available for introspection).
+    driving: AnyEstimator,
+    attributes: QualityAttributes,
+    handlers: HandlerRegistry,
+    /// Message-type name → reduced schema, for the trivial projection
+    /// handler. Types absent here fall back to a named handler or to
+    /// identity.
+    message_types: HashMap<String, TypeDesc>,
+}
+
+impl QualityManager {
+    /// Creates a manager over a parsed quality file.
+    pub fn new(file: QualityFile) -> QualityManager {
+        QualityManager::with_parts(
+            file,
+            SwitchPolicy::default(),
+            QualityAttributes::new(),
+            HandlerRegistry::new(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_parts(
+        file: QualityFile,
+        policy: SwitchPolicy,
+        attributes: QualityAttributes,
+        handlers: HandlerRegistry,
+    ) -> QualityManager {
+        QualityManager {
+            selector: BandSelector::with_policy(file, policy),
+            estimator: RttEstimator::new(),
+            driving: AnyEstimator::Ewma(RttEstimator::new()),
+            attributes,
+            handlers,
+            message_types: HashMap::new(),
+        }
+    }
+
+    /// Switches the estimator driving band selection (builder style).
+    /// [`RttEstimatorKind::Jacobson`] implements the paper's future-work
+    /// upgrade: selection against `SRTT + 4·RTTVAR`.
+    pub fn with_estimator(mut self, kind: RttEstimatorKind) -> QualityManager {
+        self.driving = match kind {
+            RttEstimatorKind::Ewma => AnyEstimator::Ewma(RttEstimator::new()),
+            RttEstimatorKind::Jacobson => AnyEstimator::Jacobson(JacobsonEstimator::new()),
+        };
+        self
+    }
+
+    /// Replaces the quality policy at runtime, keeping attributes,
+    /// handlers, and estimator state.
+    ///
+    /// The paper's implementation "does not permit runtime changes in the
+    /// handlers or policies used for quality management" and lists
+    /// lifting that as future work (§III-B.d, §V); this implements it.
+    /// The band selector restarts (its history belongs to the old bands).
+    pub fn replace_policy(&mut self, file: QualityFile, policy: SwitchPolicy) {
+        self.selector = BandSelector::with_policy(file, policy);
+    }
+
+    /// Defines the reduced schema for a message type named in the quality
+    /// file, enabling the trivial projection handler for it.
+    pub fn define_message_type(&mut self, name: &str, ty: TypeDesc) {
+        self.message_types.insert(name.to_string(), ty);
+    }
+
+    /// The shared attribute map (pass to application code so it can call
+    /// `update_attribute`).
+    pub fn attributes(&self) -> &QualityAttributes {
+        &self.attributes
+    }
+
+    /// The handler registry (install resizing filters etc. here).
+    pub fn handlers(&self) -> &HandlerRegistry {
+        &self.handlers
+    }
+
+    /// The RTT estimator.
+    pub fn estimator(&self) -> &RttEstimator {
+        &self.estimator
+    }
+
+    /// Number of band switches so far.
+    pub fn switches(&self) -> u64 {
+        self.selector.switches()
+    }
+
+    /// Feeds a measured round-trip time (compensating for server
+    /// preparation time) and refreshes the monitored attribute.
+    pub fn observe_rtt(&mut self, rtt: Duration, server_time: Duration) {
+        self.estimator.update_compensated(rtt, server_time);
+        let value = self
+            .driving
+            .update_compensated(rtt, server_time)
+            .or_else(|| self.driving.value_ms())
+            .unwrap_or(0.0);
+        let attr = self.selector.file().attribute.clone();
+        self.attributes.update_attribute(&attr, value);
+    }
+
+    /// Accepts a peer-reported attribute value (in the monitored
+    /// attribute's unit) — "every time the RTT is estimated by the
+    /// client, the server is informed of the new value during the next
+    /// request" (§IV-C.h). Servers feed the client's reported estimate in
+    /// here.
+    pub fn observe_reported(&mut self, value: f64) {
+        let attr = self.selector.file().attribute.clone();
+        self.attributes.update_attribute(&attr, value);
+    }
+
+    /// The reduced schema registered for a message type, if any.
+    pub fn message_type_def(&self, name: &str) -> Option<&TypeDesc> {
+        self.message_types.get(name)
+    }
+
+    /// Selects the message type for the current attribute value — called
+    /// "just before sending the message" (§IV-C.h).
+    pub fn select(&mut self) -> &QualityRule {
+        let attr = self.selector.file().attribute.clone();
+        let value = self.attributes.get_or(&attr, 0.0);
+        self.selector.observe(value)
+    }
+
+    /// Quality-manages an outgoing message: selects the band, then either
+    /// applies the band's named quality handler, projects onto the band's
+    /// reduced message type, or passes the value through unchanged.
+    pub fn prepare(&mut self, full: &Value) -> PreparedMessage {
+        let rule = self.select().clone();
+        let value = if let Some(hname) = &rule.handler {
+            self.handlers.apply_or_identity(hname, full, &self.attributes)
+        } else if let Some(ty) = self.message_types.get(&rule.message_type) {
+            // "It then copies the relevant fields … and ignores the rest."
+            project(full, ty).unwrap_or_else(|_| full.clone())
+        } else {
+            full.clone()
+        };
+        PreparedMessage { value, message_type: rule.message_type }
+    }
+
+    /// Receiving-side reconstruction: "the relevant fields are copied from
+    /// the message received from the transport, and the remaining entries
+    /// are padded with zeroes", so legacy applications see the full
+    /// layout.
+    pub fn restore(&self, received: &Value, full_ty: &TypeDesc) -> Value {
+        pad_to(received, full_ty).unwrap_or_else(|_| received.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "\
+attribute rtt
+0 50 - reading_full
+50 inf - reading_small
+";
+
+    fn full_ty() -> TypeDesc {
+        TypeDesc::struct_of(
+            "reading",
+            vec![
+                ("seq", TypeDesc::Int),
+                ("temps", TypeDesc::list_of(TypeDesc::Float)),
+                ("site", TypeDesc::Str),
+            ],
+        )
+    }
+
+    fn small_ty() -> TypeDesc {
+        TypeDesc::struct_of("reading_small", vec![("seq", TypeDesc::Int)])
+    }
+
+    fn full_value() -> Value {
+        Value::struct_of(
+            "reading",
+            vec![
+                ("seq", Value::Int(9)),
+                ("temps", Value::FloatArray(vec![1.0, 2.0])),
+                ("site", Value::Str("gt".into())),
+            ],
+        )
+    }
+
+    fn manager() -> QualityManager {
+        let mut m = QualityManager::new(QualityFile::parse(FILE).unwrap());
+        m.define_message_type("reading_small", small_ty());
+        m
+    }
+
+    #[test]
+    fn jacobson_estimator_degrades_jittery_links() {
+        // Same mean RTT, alternating 5/75 ms: the EWMA mean (~40 ms)
+        // stays inside the full band, the Jacobson bound does not.
+        let mut ewma = manager();
+        let mut jac = manager().with_estimator(RttEstimatorKind::Jacobson);
+        for i in 0..100 {
+            let rtt = Duration::from_millis(if i % 2 == 0 { 5 } else { 75 });
+            ewma.observe_rtt(rtt, Duration::ZERO);
+            jac.observe_rtt(rtt, Duration::ZERO);
+        }
+        assert_eq!(ewma.prepare(&full_value()).message_type, "reading_full");
+        assert_eq!(jac.prepare(&full_value()).message_type, "reading_small");
+    }
+
+    #[test]
+    fn policy_replacement_at_runtime() {
+        let mut m = manager();
+        m.observe_rtt(Duration::from_millis(30), Duration::ZERO);
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_full");
+        // Tighten the policy: anything above 10 ms is now "small".
+        let strict = QualityFile::parse("attribute rtt\n0 10 - reading_full\n10 inf - reading_small\n").unwrap();
+        m.replace_policy(strict, Default::default());
+        // Estimator state survived (≈30 ms) and now lands in the small band.
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_small");
+        // Message-type definitions survived too.
+        assert!(m.message_type_def("reading_small").is_some());
+    }
+
+    #[test]
+    fn good_network_sends_full_message() {
+        let mut m = manager();
+        m.observe_rtt(Duration::from_millis(10), Duration::ZERO);
+        let p = m.prepare(&full_value());
+        assert_eq!(p.message_type, "reading_full");
+        assert_eq!(p.value, full_value());
+    }
+
+    #[test]
+    fn congestion_projects_to_small_type_and_restores() {
+        let mut m = manager();
+        m.observe_rtt(Duration::from_millis(500), Duration::ZERO);
+        let p = m.prepare(&full_value());
+        assert_eq!(p.message_type, "reading_small");
+        assert!(p.value.native_size() < full_value().native_size());
+        let restored = m.restore(&p.value, &full_ty());
+        assert!(restored.conforms_to(&full_ty()));
+        let s = restored.as_struct().unwrap();
+        assert_eq!(s.field("seq"), Some(&Value::Int(9)));
+        assert_eq!(s.field("temps"), Some(&Value::FloatArray(vec![])));
+    }
+
+    #[test]
+    fn named_handler_takes_precedence() {
+        let file = QualityFile::parse(
+            "attribute rtt\n0 50 - full\n50 inf - reduced\nhandler reduced drop_temps\n",
+        )
+        .unwrap();
+        let mut m = QualityManager::new(file);
+        m.handlers().install("drop_temps", |v: &Value, _: &QualityAttributes| {
+            let mut v = v.clone();
+            if let Value::Struct(s) = &mut v {
+                if let Some(t) = s.field_mut("temps") {
+                    *t = Value::FloatArray(vec![]);
+                }
+            }
+            v
+        });
+        m.observe_rtt(Duration::from_millis(400), Duration::ZERO);
+        let p = m.prepare(&full_value());
+        assert_eq!(p.message_type, "reduced");
+        let s = p.value.as_struct().unwrap();
+        assert_eq!(s.field("temps"), Some(&Value::FloatArray(vec![])));
+        assert_eq!(s.field("site"), Some(&Value::Str("gt".into()))); // kept
+    }
+
+    #[test]
+    fn app_driven_attribute_changes_affect_selection() {
+        // The stock-quote example of §III-B.d: the application changes its
+        // sensitivity by writing the attribute directly.
+        let mut m = manager();
+        m.attributes().update_attribute("rtt", 10.0);
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_full");
+        m.attributes().update_attribute("rtt", 900.0);
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_small");
+    }
+
+    #[test]
+    fn server_compensation_avoids_false_degradation() {
+        let mut with = manager();
+        let mut without = manager();
+        // Slow server, fast network: 450 ms total, 420 ms of it compute.
+        for _ in 0..5 {
+            with.observe_rtt(Duration::from_millis(450), Duration::from_millis(420));
+            without.observe_rtt(Duration::from_millis(450), Duration::ZERO);
+        }
+        assert_eq!(with.prepare(&full_value()).message_type, "reading_full");
+        assert_eq!(without.prepare(&full_value()).message_type, "reading_small");
+    }
+
+    #[test]
+    fn recovery_needs_history() {
+        let mut m = manager();
+        m.observe_rtt(Duration::from_millis(500), Duration::ZERO);
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_small");
+        // Estimator smooths recovery, selector needs 3 confirmations, so
+        // several good samples pass before the full type returns.
+        let mut steps = 0;
+        loop {
+            m.observe_rtt(Duration::from_millis(5), Duration::ZERO);
+            let p = m.prepare(&full_value());
+            steps += 1;
+            if p.message_type == "reading_full" {
+                break;
+            }
+            assert!(steps < 50, "never recovered");
+        }
+        assert!(steps >= 3, "recovered too eagerly ({steps} steps)");
+        // The very first selection establishes the band without counting
+        // as a switch; only the recovery transition does.
+        assert_eq!(m.switches(), 1);
+    }
+}

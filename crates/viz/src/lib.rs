@@ -1,0 +1,25 @@
+//! The remote-visualization application (paper §IV-C.4, Fig. 10).
+//!
+//! "The display client is connected to the service portal through a HTTP
+//! connection. The service portal acts as a sink for the 'ECho' event
+//! source that generates bond data. … The service portal (1) advertises
+//! its services through a set of WSDL files. These are obtained by the
+//! display clients (2), which then construct the appropriate request (3),
+//! with filter code and the desired output format. Data arriving from the
+//! bondserver (4) is then modified by the filter code, providing the
+//! output in the desired format, which is then sent back to the client
+//! (5) as the response. The client can dynamically change the filter code
+//! and the output format desired."
+//!
+//! * [`svg`] — SVG 1.0 document writer ("the display expects data in SVG
+//!   format, which is just an XML document").
+//! * [`render`] — bond graph → SVG scene.
+//! * [`portal`] — the service portal: WSDL advertisement, named filters
+//!   (runtime-installable, replacing ECho's DCG filters), frame requests.
+
+pub mod portal;
+pub mod render;
+pub mod svg;
+
+pub use portal::{portal_service, ServicePortal};
+pub use svg::SvgDoc;

@@ -1,0 +1,154 @@
+//! A small SVG 1.0 document builder over the XML writer.
+
+use sbq_xml::XmlWriter;
+
+/// An SVG document under construction.
+pub struct SvgDoc {
+    w: XmlWriter,
+    open_groups: usize,
+}
+
+impl SvgDoc {
+    /// Starts a document with the given pixel dimensions.
+    pub fn new(width: u32, height: u32) -> SvgDoc {
+        let mut w = XmlWriter::new();
+        w.declaration();
+        let (ws, hs) = (width.to_string(), height.to_string());
+        let view = format!("0 0 {width} {height}");
+        w.start_with(
+            "svg",
+            &[
+                ("xmlns", "http://www.w3.org/2000/svg"),
+                ("version", "1.0"),
+                ("width", &ws),
+                ("height", &hs),
+                ("viewBox", &view),
+            ],
+        );
+        SvgDoc { w, open_groups: 0 }
+    }
+
+    /// Opens a `<g>` group with a style attribute.
+    pub fn group(&mut self, style: &str) -> &mut SvgDoc {
+        self.w.start_with("g", &[("style", style)]);
+        self.open_groups += 1;
+        self
+    }
+
+    /// Closes the innermost group.
+    pub fn end_group(&mut self) -> &mut SvgDoc {
+        assert!(self.open_groups > 0, "no group open");
+        self.w.end();
+        self.open_groups -= 1;
+        self
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) -> &mut SvgDoc {
+        self.w.empty(
+            "circle",
+            &[
+                ("cx", &fmt(cx)),
+                ("cy", &fmt(cy)),
+                ("r", &fmt(r)),
+                ("fill", fill),
+            ],
+        );
+        self
+    }
+
+    /// A line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut SvgDoc {
+        self.w.empty(
+            "line",
+            &[
+                ("x1", &fmt(x1)),
+                ("y1", &fmt(y1)),
+                ("x2", &fmt(x2)),
+                ("y2", &fmt(y2)),
+                ("stroke", stroke),
+                ("stroke-width", &fmt(width)),
+            ],
+        );
+        self
+    }
+
+    /// A rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut SvgDoc {
+        self.w.empty(
+            "rect",
+            &[("x", &fmt(x)), ("y", &fmt(y)), ("width", &fmt(w)), ("height", &fmt(h)), ("fill", fill)],
+        );
+        self
+    }
+
+    /// Escaped text at a position.
+    pub fn text(&mut self, x: f64, y: f64, size: u32, content: &str) -> &mut SvgDoc {
+        let sz = size.to_string();
+        self.w.start_with("text", &[("x", &fmt(x)), ("y", &fmt(y)), ("font-size", &sz)]);
+        self.w.text(content);
+        self.w.end();
+        self
+    }
+
+    /// Finishes the document (closing any open groups).
+    pub fn finish(mut self) -> String {
+        while self.open_groups > 0 {
+            self.w.end();
+            self.open_groups -= 1;
+        }
+        self.w.end(); // </svg>
+        self.w.finish()
+    }
+}
+
+fn fmt(v: f64) -> String {
+    // Two decimals keep documents compact and deterministic.
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_xml::{Event, PullParser};
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(200, 100);
+        d.group("stroke:gray")
+            .line(0.0, 0.0, 10.0, 10.0, "black", 1.5)
+            .end_group()
+            .circle(5.0, 5.0, 2.0, "#ff0000")
+            .rect(1.0, 2.0, 3.0, 4.0, "blue")
+            .text(10.0, 20.0, 12, "C<sub>6</sub>");
+        let out = d.finish();
+        assert!(out.starts_with("<?xml"));
+        assert!(out.contains("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        assert!(out.contains("circle"));
+        assert!(out.contains("&lt;sub&gt;"), "text must be escaped");
+        assert!(out.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn output_is_well_formed_xml() {
+        let mut d = SvgDoc::new(50, 50);
+        d.group("x").circle(1.0, 1.0, 1.0, "red");
+        let out = d.finish(); // group auto-closed
+        let mut p = PullParser::new(&out);
+        let mut depth_ok = true;
+        loop {
+            match p.next().unwrap() {
+                Event::Eof => break,
+                Event::End { .. } if p.depth() == 0 => depth_ok = true,
+                _ => {}
+            }
+        }
+        assert!(depth_ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "no group open")]
+    fn unbalanced_group_panics() {
+        SvgDoc::new(10, 10).end_group();
+    }
+}

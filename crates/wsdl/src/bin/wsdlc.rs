@@ -1,0 +1,123 @@
+//! `wsdlc` — the WSDL compiler as a command-line tool, mirroring the
+//! paper's modified-Soup workflow: read a WSDL file (and optionally a
+//! quality file), emit the Rust stub source and the derived PBIO format
+//! summary.
+//!
+//! ```sh
+//! wsdlc service.wsdl [--quality policy.qf] [--out stubs.rs]
+//!        [--big-endian] [--int-width 4|8]
+//! ```
+
+use sbq_pbio::format::FormatOptions;
+use sbq_pbio::ByteOrder;
+use sbq_qos::QualityFile;
+use sbq_wsdl::{compile, generate_rust_stubs, parse_wsdl};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!(
+            "usage: wsdlc <service.wsdl> [--quality <file>] [--out <stubs.rs>] \
+             [--big-endian] [--int-width <4|8>]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut wsdl_path = None;
+    let mut quality_path = None;
+    let mut out_path = None;
+    let mut opts = FormatOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quality" => quality_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            "--big-endian" => opts.byte_order = ByteOrder::Big,
+            "--int-width" => {
+                opts.int_width = match it.next().map(String::as_str) {
+                    Some("4") => 4,
+                    Some("8") => 8,
+                    other => {
+                        eprintln!("wsdlc: bad --int-width {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            path if !path.starts_with('-') => wsdl_path = Some(path.to_string()),
+            other => {
+                eprintln!("wsdlc: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(wsdl_path) = wsdl_path else {
+        eprintln!("wsdlc: no input file");
+        return ExitCode::from(2);
+    };
+
+    let doc = match std::fs::read_to_string(&wsdl_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("wsdlc: cannot read {wsdl_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let svc = match parse_wsdl(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wsdlc: {wsdl_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Validate the accompanying quality file, if any (the paper compiles
+    // both together).
+    if let Some(qpath) = &quality_path {
+        match std::fs::read_to_string(qpath).map_err(|e| e.to_string()).and_then(|text| {
+            QualityFile::parse(&text).map_err(|e| e.to_string())
+        }) {
+            Ok(qf) => eprintln!(
+                "wsdlc: quality file {qpath}: attribute {:?}, {} bands",
+                qf.attribute,
+                qf.rules.len()
+            ),
+            Err(e) => {
+                eprintln!("wsdlc: quality file {qpath}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let compiled = match compile(&svc, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("wsdlc: format derivation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("wsdlc: service {} ({} operations)", svc.name, svc.operations.len());
+    for stub in &compiled.stubs {
+        eprintln!(
+            "wsdlc:   {} — formats {} ({} B) -> {} ({} B)",
+            stub.operation,
+            stub.input_format.name,
+            stub.input_format.to_bytes().len(),
+            stub.output_format.name,
+            stub.output_format.to_bytes().len(),
+        );
+    }
+
+    let stubs = generate_rust_stubs(&compiled);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, stubs) {
+                eprintln!("wsdlc: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wsdlc: wrote {path}");
+        }
+        None => print!("{stubs}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,31 @@
+//! WSDL: service descriptions and the compiler that turns them into
+//! stubs.
+//!
+//! The paper's toolchain starts from WSDL: "It consists of a WSDL compiler
+//! that generates the client and server side stubs, with conversion
+//! handlers for XML/binary interconversion" (§III-A), and "The WSDL
+//! compiler generates PBIO formats based on the description given in the
+//! WSDL file" (§III-B.a, Fig. 3).
+//!
+//! This crate provides:
+//! * [`ServiceDef`]/[`OperationDef`] — the in-memory model of a service
+//!   (operations with typed input/output messages, built from Soup's
+//!   schema: int/char/string/float + lists + structs).
+//! * [`parse_wsdl`]/[`write_wsdl`] — a WSDL 1.1 subset reader and writer
+//!   (`types/xsd:complexType`, `message`, `portType/operation`,
+//!   `service/port@location`), enough for services to advertise
+//!   themselves and clients to discover operations, as the
+//!   remote-visualization portal does in §IV-C.4.
+//! * [`compile()`] — the WSDL compiler: stub descriptors carrying the
+//!   XML↔binary conversion metadata (PBIO [`sbq_pbio::FormatDesc`]s), and
+//!   a Rust source generator mirroring the paper's generated C stubs.
+
+pub mod compile;
+pub mod model;
+pub mod parse;
+pub mod write;
+
+pub use compile::{compile, generate_rust_stubs, CompiledService, StubSpec};
+pub use model::{OperationDef, ServiceDef};
+pub use parse::{parse_wsdl, WsdlError};
+pub use write::write_wsdl;

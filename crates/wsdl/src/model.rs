@@ -1,0 +1,74 @@
+//! In-memory model of a WSDL-described service.
+
+use sbq_model::TypeDesc;
+
+/// One operation: a named request/response pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationDef {
+    /// Operation name (the SOAP method element).
+    pub name: String,
+    /// Input message type.
+    pub input: TypeDesc,
+    /// Output message type.
+    pub output: TypeDesc,
+}
+
+/// A service: named operations plus the endpoint it is reachable at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDef {
+    /// Service name.
+    pub name: String,
+    /// Target namespace URI.
+    pub namespace: String,
+    /// Endpoint location (`soap:address location` in the WSDL `port`).
+    pub location: String,
+    /// Operations in declaration order.
+    pub operations: Vec<OperationDef>,
+}
+
+impl ServiceDef {
+    /// Creates a service definition.
+    pub fn new(
+        name: impl Into<String>,
+        namespace: impl Into<String>,
+        location: impl Into<String>,
+    ) -> ServiceDef {
+        ServiceDef {
+            name: name.into(),
+            namespace: namespace.into(),
+            location: location.into(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Adds an operation (builder style).
+    pub fn with_operation(
+        mut self,
+        name: impl Into<String>,
+        input: TypeDesc,
+        output: TypeDesc,
+    ) -> ServiceDef {
+        self.operations.push(OperationDef { name: name.into(), input, output });
+        self
+    }
+
+    /// Looks an operation up by name.
+    pub fn operation(&self, name: &str) -> Option<&OperationDef> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let svc = ServiceDef::new("ImageService", "urn:sbq:image", "http://localhost/img")
+            .with_operation("get_image", TypeDesc::Str, TypeDesc::list_of(TypeDesc::Int))
+            .with_operation("ping", TypeDesc::Int, TypeDesc::Int);
+        assert_eq!(svc.operations.len(), 2);
+        assert_eq!(svc.operation("ping").unwrap().input, TypeDesc::Int);
+        assert!(svc.operation("nope").is_none());
+    }
+}

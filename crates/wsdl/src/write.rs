@@ -1,0 +1,254 @@
+//! WSDL 1.1 document generation from a [`ServiceDef`].
+//!
+//! Conventions (mirrored by the parser in [`crate::parse`]):
+//! * scalar mapping: `Int`→`xsd:long`, `Float`→`xsd:double`,
+//!   `Char`→`xsd:byte`, `Str`→`xsd:string`;
+//! * a list field becomes its element declaration with
+//!   `maxOccurs="unbounded"`;
+//! * a non-struct top-level message type is wrapped in a synthetic
+//!   complexType named `<operation>_<direction>_listwrap` holding a single
+//!   `item` element (unwrapped again on parse);
+//! * directly nested lists (`list<list<T>>`) are not expressible and are
+//!   rejected.
+
+use crate::model::ServiceDef;
+use sbq_model::{StructDesc, TypeDesc};
+use sbq_xml::XmlWriter;
+use std::collections::BTreeMap;
+
+/// Errors when generating WSDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// `list<list<T>>` has no direct XSD rendering under our conventions.
+    NestedList(String),
+    /// Two distinct struct types share a name.
+    DuplicateType(String),
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::NestedList(ctx) => write!(f, "nested list not expressible in WSDL: {ctx}"),
+            WriteError::DuplicateType(n) => write!(f, "conflicting definitions of type {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Renders a service definition as a WSDL document.
+pub fn write_wsdl(svc: &ServiceDef) -> Result<String, WriteError> {
+    // Collect every named struct type reachable from the operations.
+    let mut types: BTreeMap<String, StructDesc> = BTreeMap::new();
+    for op in &svc.operations {
+        for (ty, dir) in [(&op.input, "input"), (&op.output, "output")] {
+            collect_structs(ty, &mut types)?;
+            if !matches!(ty, TypeDesc::Struct(_)) {
+                // Synthetic wrapper for scalar/list-valued messages.
+                let wrap = StructDesc::new(
+                    format!("{}_{dir}_listwrap", op.name),
+                    vec![("item".to_string(), ty.clone())],
+                );
+                insert_struct(&mut types, wrap)?;
+            }
+        }
+    }
+
+    let mut w = XmlWriter::pretty();
+    w.declaration();
+    w.start_with(
+        "definitions",
+        &[
+            ("name", svc.name.as_str()),
+            ("targetNamespace", svc.namespace.as_str()),
+            ("xmlns", "http://schemas.xmlsoap.org/wsdl/"),
+            ("xmlns:xsd", "http://www.w3.org/2001/XMLSchema"),
+            ("xmlns:tns", svc.namespace.as_str()),
+            ("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/"),
+        ],
+    );
+
+    // <types>
+    w.start("types");
+    w.start_with("xsd:schema", &[("targetNamespace", svc.namespace.as_str())]);
+    for sd in types.values() {
+        w.start_with("xsd:complexType", &[("name", sd.name.as_str())]);
+        w.start("xsd:sequence");
+        for (fname, fty) in &sd.fields {
+            let (type_ref, unbounded) = element_type(fty, &sd.name, fname)?;
+            let mut attrs: Vec<(&str, &str)> =
+                vec![("name", fname.as_str()), ("type", type_ref.as_str())];
+            if unbounded {
+                attrs.push(("minOccurs", "0"));
+                attrs.push(("maxOccurs", "unbounded"));
+            }
+            w.empty("xsd:element", &attrs);
+        }
+        w.end(); // sequence
+        w.end(); // complexType
+    }
+    w.end(); // schema
+    w.end(); // types
+
+    // <message>s
+    for op in &svc.operations {
+        for (ty, dir) in [(&op.input, "input"), (&op.output, "output")] {
+            let part_ty = match ty {
+                TypeDesc::Struct(sd) => format!("tns:{}", sd.name),
+                _ => format!("tns:{}_{dir}_listwrap", op.name),
+            };
+            w.start_with("message", &[("name", &format!("{}_{dir}", op.name))]);
+            let part_name = if dir == "input" { "params" } else { "result" };
+            w.empty("part", &[("name", part_name), ("type", part_ty.as_str())]);
+            w.end();
+        }
+    }
+
+    // <portType>
+    w.start_with("portType", &[("name", &format!("{}PortType", svc.name))]);
+    for op in &svc.operations {
+        w.start_with("operation", &[("name", op.name.as_str())]);
+        w.empty("input", &[("message", &format!("tns:{}_input", op.name))]);
+        w.empty("output", &[("message", &format!("tns:{}_output", op.name))]);
+        w.end();
+    }
+    w.end();
+
+    // <service> with the endpoint address.
+    w.start_with("service", &[("name", svc.name.as_str())]);
+    w.start_with("port", &[
+        ("name", &format!("{}Port", svc.name)),
+        ("binding", &format!("tns:{}Binding", svc.name)),
+    ]);
+    w.empty("soap:address", &[("location", svc.location.as_str())]);
+    w.end();
+    w.end();
+
+    w.end(); // definitions
+    Ok(w.finish())
+}
+
+fn collect_structs(
+    ty: &TypeDesc,
+    out: &mut BTreeMap<String, StructDesc>,
+) -> Result<(), WriteError> {
+    match ty {
+        TypeDesc::Struct(sd) => {
+            insert_struct(out, sd.clone())?;
+            for (_, fty) in &sd.fields {
+                collect_structs(fty, out)?;
+            }
+            Ok(())
+        }
+        TypeDesc::List(e) => collect_structs(e, out),
+        _ => Ok(()),
+    }
+}
+
+fn insert_struct(
+    out: &mut BTreeMap<String, StructDesc>,
+    sd: StructDesc,
+) -> Result<(), WriteError> {
+    if let Some(prev) = out.get(&sd.name) {
+        if *prev != sd {
+            return Err(WriteError::DuplicateType(sd.name));
+        }
+        return Ok(());
+    }
+    out.insert(sd.name.clone(), sd);
+    Ok(())
+}
+
+/// Maps a field type to `(XSD type reference, needs maxOccurs=unbounded)`.
+fn element_type(ty: &TypeDesc, owner: &str, field: &str) -> Result<(String, bool), WriteError> {
+    Ok(match ty {
+        TypeDesc::Int => ("xsd:long".to_string(), false),
+        TypeDesc::Float => ("xsd:double".to_string(), false),
+        TypeDesc::Char => ("xsd:byte".to_string(), false),
+        TypeDesc::Str => ("xsd:string".to_string(), false),
+        TypeDesc::Bytes => ("xsd:base64Binary".to_string(), false),
+        TypeDesc::Struct(sd) => (format!("tns:{}", sd.name), false),
+        TypeDesc::List(e) => match &**e {
+            TypeDesc::List(_) => {
+                return Err(WriteError::NestedList(format!("{owner}.{field}")))
+            }
+            inner => {
+                let (t, _) = element_type(inner, owner, field)?;
+                (t, true)
+            }
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServiceDef;
+    use sbq_model::workload;
+
+    fn svc() -> ServiceDef {
+        ServiceDef::new("BondService", "urn:sbq:bonds", "http://localhost:9000/bonds")
+            .with_operation(
+                "get_bonds",
+                TypeDesc::struct_of("bond_request", vec![("timestep", TypeDesc::Int)]),
+                workload::nested_struct_type(2),
+            )
+            .with_operation("get_array", TypeDesc::Int, TypeDesc::list_of(TypeDesc::Float))
+    }
+
+    #[test]
+    fn wsdl_contains_expected_sections() {
+        let doc = write_wsdl(&svc()).unwrap();
+        for needle in [
+            "<definitions",
+            "xsd:complexType",
+            "name=\"bond_request\"",
+            "message name=\"get_bonds_input\"",
+            "portType",
+            "operation name=\"get_array\"",
+            "soap:address location=\"http://localhost:9000/bonds\"",
+            "get_array_output_listwrap",
+            "maxOccurs=\"unbounded\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn nested_lists_rejected() {
+        let bad = ServiceDef::new("S", "urn:s", "http://x").with_operation(
+            "op",
+            TypeDesc::struct_of(
+                "m",
+                vec![("matrix", TypeDesc::list_of(TypeDesc::list_of(TypeDesc::Int)))],
+            ),
+            TypeDesc::Int,
+        );
+        assert!(matches!(write_wsdl(&bad), Err(WriteError::NestedList(_))));
+    }
+
+    #[test]
+    fn conflicting_type_names_rejected() {
+        let bad = ServiceDef::new("S", "urn:s", "http://x")
+            .with_operation(
+                "a",
+                TypeDesc::struct_of("m", vec![("x", TypeDesc::Int)]),
+                TypeDesc::Int,
+            )
+            .with_operation(
+                "b",
+                TypeDesc::struct_of("m", vec![("y", TypeDesc::Float)]),
+                TypeDesc::Int,
+            );
+        assert!(matches!(write_wsdl(&bad), Err(WriteError::DuplicateType(_))));
+    }
+
+    #[test]
+    fn output_is_well_formed_xml() {
+        let doc = write_wsdl(&svc()).unwrap();
+        let mut p = sbq_xml::PullParser::new(&doc);
+        loop {
+            if p.next().unwrap() == sbq_xml::Event::Eof { break }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! `wsdlc` command-line smoke tests (the binary is the paper's
+//! WSDL-compiler workflow).
+
+use std::process::Command;
+
+const WSDL: &str = r#"<definitions name="CliSvc" targetNamespace="urn:t:cli"
+    xmlns:tns="urn:t:cli" xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <types><xsd:schema>
+    <xsd:complexType name="req"><xsd:sequence>
+      <xsd:element name="id" type="xsd:long"/>
+    </xsd:sequence></xsd:complexType>
+  </xsd:schema></types>
+  <message name="go_input"><part name="params" type="tns:req"/></message>
+  <message name="go_output"><part name="result" type="xsd:string"/></message>
+  <portType name="P"><operation name="go">
+    <input message="tns:go_input"/><output message="tns:go_output"/>
+  </operation></portType>
+</definitions>"#;
+
+const QUALITY: &str = "attribute rtt\n0 50 - full\n50 inf - small\n";
+
+fn wsdlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wsdlc"))
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sbq_wsdlc_{}_{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn compiles_wsdl_to_stubs_on_stdout() {
+    let wsdl = temp_file("ok.wsdl", WSDL);
+    let out = wsdlc().arg(&wsdl).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("pub struct CliSvcClient"));
+    assert!(stdout.contains("pub fn go(&mut self, params: Value)"));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("1 operations"));
+}
+
+#[test]
+fn validates_quality_file() {
+    let wsdl = temp_file("q.wsdl", WSDL);
+    let qf = temp_file("ok.qf", QUALITY);
+    let out = wsdlc().arg(&wsdl).arg("--quality").arg(&qf).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("2 bands"));
+
+    let bad = temp_file("bad.qf", "0 zz - broken\n");
+    let out = wsdlc().arg(&wsdl).arg("--quality").arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn writes_output_file() {
+    let wsdl = temp_file("out.wsdl", WSDL);
+    let dest = std::env::temp_dir().join(format!("sbq_wsdlc_out_{}.rs", std::process::id()));
+    let out = wsdlc().arg(&wsdl).arg("--out").arg(&dest).output().unwrap();
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&dest).unwrap();
+    assert!(written.contains("CliSvcClient"));
+    let _ = std::fs::remove_file(dest);
+}
+
+#[test]
+fn rejects_bad_inputs() {
+    // No args.
+    let out = wsdlc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing file.
+    let out = wsdlc().arg("/nonexistent/x.wsdl").output().unwrap();
+    assert!(!out.status.success());
+    // Garbage WSDL.
+    let bad = temp_file("garbage.wsdl", "<hello/>");
+    let out = wsdlc().arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    // Unknown flag.
+    let ok = temp_file("flag.wsdl", WSDL);
+    let out = wsdlc().arg(&ok).arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn honors_format_flags() {
+    let wsdl = temp_file("fmt.wsdl", WSDL);
+    let out = wsdlc().arg(&wsdl).arg("--big-endian").arg("--int-width").arg("4").output().unwrap();
+    assert!(out.status.success());
+    let out = wsdlc().arg(&wsdl).arg("--int-width").arg("7").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

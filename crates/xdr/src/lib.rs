@@ -1,0 +1,22 @@
+//! Sun RPC with XDR data representation — the baseline SOAP-bin is
+//! compared against in the paper's §IV-A ("First, we demonstrate the
+//! performance of SOAP-bin by comparing it with Sun RPC (which uses the
+//! XDR data representation)").
+//!
+//! * [`xdr`] — External Data Representation (RFC 4506 subset): big-endian,
+//!   4-byte aligned primitives; strings and variable arrays carry `u32`
+//!   length prefixes.
+//! * [`rpc`] — ONC RPC v2 (RFC 1057/5531 subset) over TCP with record
+//!   marking: call/reply headers, `AUTH_NONE` credentials, and a blocking
+//!   client plus a threaded server for end-to-end tests.
+//!
+//! XDR differs from PBIO in exactly the ways the paper leans on: both
+//! sides always translate to/from the canonical big-endian form (symmetric
+//! up/down translation), whereas PBIO's sender transmits native data and
+//! only the receiver converts.
+
+pub mod rpc;
+pub mod xdr;
+
+pub use rpc::{RpcClient, RpcError, RpcServer};
+pub use xdr::{decode, encode, XdrError};

@@ -1,0 +1,295 @@
+//! XDR (RFC 4506) encoding of [`Value`]s against [`TypeDesc`] schemas.
+//!
+//! Canonical big-endian representation with 4-byte alignment:
+//!
+//! | schema type | XDR form |
+//! |---|---|
+//! | `Int` | hyper (8 bytes) |
+//! | `Float` | double (8 bytes) |
+//! | `Char` | int (4 bytes — XDR has no byte-sized scalar) |
+//! | `Str` | string: `u32` length + bytes + pad to 4 |
+//! | `List(T)` | variable array: `u32` count + elements |
+//! | `Struct` | fields in order |
+
+use sbq_model::{StructValue, TypeDesc, Value};
+
+/// XDR encode/decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// Input ended mid-structure.
+    Truncated,
+    /// Value did not conform to the schema.
+    TypeMismatch(String),
+    /// Non-UTF-8 string payload.
+    BadUtf8,
+    /// Non-zero padding bytes (strict decoding).
+    BadPadding,
+}
+
+impl std::fmt::Display for XdrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XdrError::Truncated => write!(f, "xdr: truncated input"),
+            XdrError::TypeMismatch(m) => write!(f, "xdr: type mismatch: {m}"),
+            XdrError::BadUtf8 => write!(f, "xdr: invalid utf-8"),
+            XdrError::BadPadding => write!(f, "xdr: non-zero padding"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Encodes `value` (which must conform to `ty`) into XDR bytes.
+pub fn encode(value: &Value, ty: &TypeDesc) -> Result<Vec<u8>, XdrError> {
+    let mut out = Vec::with_capacity(value.native_size() + 16);
+    encode_into(value, ty, &mut out)?;
+    Ok(out)
+}
+
+/// Appends the XDR form of `value` to `out`.
+pub fn encode_into(value: &Value, ty: &TypeDesc, out: &mut Vec<u8>) -> Result<(), XdrError> {
+    match (value, ty) {
+        (Value::Int(i), TypeDesc::Int) => out.extend_from_slice(&i.to_be_bytes()),
+        (Value::Float(x), TypeDesc::Float) => out.extend_from_slice(&x.to_be_bytes()),
+        (Value::Char(c), TypeDesc::Char) => out.extend_from_slice(&(*c as u32).to_be_bytes()),
+        (Value::Str(s), TypeDesc::Str) => {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+            pad(out, s.len());
+        }
+        (Value::Bytes(b), TypeDesc::Bytes) => {
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(b);
+            pad(out, b.len());
+        }
+        (Value::IntArray(v), TypeDesc::List(e)) if **e == TypeDesc::Int => {
+            out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+            for i in v {
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+        }
+        (Value::FloatArray(v), TypeDesc::List(e)) if **e == TypeDesc::Float => {
+            out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+            for x in v {
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+        }
+        (Value::List(vs), TypeDesc::List(e)) => {
+            out.extend_from_slice(&(vs.len() as u32).to_be_bytes());
+            for v in vs {
+                encode_into(v, e, out)?;
+            }
+        }
+        (Value::Struct(sv), TypeDesc::Struct(sd)) => {
+            for (fname, fty) in &sd.fields {
+                let fv = sv.field(fname).ok_or_else(|| {
+                    XdrError::TypeMismatch(format!("missing field {fname}"))
+                })?;
+                encode_into(fv, fty, out)?;
+            }
+        }
+        (v, t) => {
+            return Err(XdrError::TypeMismatch(format!(
+                "{} does not encode as {}",
+                v.type_of().name(),
+                t.name()
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn pad(out: &mut Vec<u8>, len: usize) {
+    for _ in 0..(4 - len % 4) % 4 {
+        out.push(0);
+    }
+}
+
+/// Decodes XDR bytes back into a value of schema `ty`, consuming the whole
+/// buffer.
+pub fn decode(buf: &[u8], ty: &TypeDesc) -> Result<Value, XdrError> {
+    let mut pos = 0;
+    let v = decode_at(buf, &mut pos, ty)?;
+    if pos != buf.len() {
+        return Err(XdrError::TypeMismatch(format!(
+            "trailing bytes: consumed {pos} of {}",
+            buf.len()
+        )));
+    }
+    Ok(v)
+}
+
+/// Decodes one value of schema `ty` starting at `*pos`.
+pub fn decode_at(buf: &[u8], pos: &mut usize, ty: &TypeDesc) -> Result<Value, XdrError> {
+    Ok(match ty {
+        TypeDesc::Int => Value::Int(i64::from_be_bytes(take::<8>(buf, pos)?)),
+        TypeDesc::Float => Value::Float(f64::from_be_bytes(take::<8>(buf, pos)?)),
+        TypeDesc::Char => {
+            let v = u32::from_be_bytes(take::<4>(buf, pos)?);
+            Value::Char((v & 0xff) as u8)
+        }
+        TypeDesc::Str => {
+            let len = u32::from_be_bytes(take::<4>(buf, pos)?) as usize;
+            if *pos + len > buf.len() {
+                return Err(XdrError::Truncated);
+            }
+            let s = std::str::from_utf8(&buf[*pos..*pos + len]).map_err(|_| XdrError::BadUtf8)?;
+            let v = Value::Str(s.to_string());
+            *pos += len;
+            skip_pad(buf, pos, len)?;
+            v
+        }
+        TypeDesc::Bytes => {
+            let len = u32::from_be_bytes(take::<4>(buf, pos)?) as usize;
+            if *pos + len > buf.len() {
+                return Err(XdrError::Truncated);
+            }
+            let b = buf[*pos..*pos + len].to_vec();
+            *pos += len;
+            skip_pad(buf, pos, len)?;
+            Value::Bytes(b)
+        }
+        TypeDesc::List(e) => {
+            let n = u32::from_be_bytes(take::<4>(buf, pos)?) as usize;
+            match **e {
+                TypeDesc::Int => {
+                    let mut v = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        v.push(i64::from_be_bytes(take::<8>(buf, pos)?));
+                    }
+                    Value::IntArray(v)
+                }
+                TypeDesc::Float => {
+                    let mut v = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        v.push(f64::from_be_bytes(take::<8>(buf, pos)?));
+                    }
+                    Value::FloatArray(v)
+                }
+                _ => {
+                    let mut v = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        v.push(decode_at(buf, pos, e)?);
+                    }
+                    Value::List(v)
+                }
+            }
+        }
+        TypeDesc::Struct(sd) => {
+            let mut fields = Vec::with_capacity(sd.fields.len());
+            for (fname, fty) in &sd.fields {
+                fields.push((fname.clone(), decode_at(buf, pos, fty)?));
+            }
+            Value::Struct(StructValue::new(sd.name.clone(), fields))
+        }
+    })
+}
+
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], XdrError> {
+    if *pos + N > buf.len() {
+        return Err(XdrError::Truncated);
+    }
+    let arr = buf[*pos..*pos + N].try_into().expect("len checked");
+    *pos += N;
+    Ok(arr)
+}
+
+fn skip_pad(buf: &[u8], pos: &mut usize, len: usize) -> Result<(), XdrError> {
+    let padding = (4 - len % 4) % 4;
+    if *pos + padding > buf.len() {
+        return Err(XdrError::Truncated);
+    }
+    if buf[*pos..*pos + padding].iter().any(|&b| b != 0) {
+        return Err(XdrError::BadPadding);
+    }
+    *pos += padding;
+    Ok(())
+}
+
+/// Writers for the raw XDR primitives the RPC headers use.
+pub mod prim {
+    use super::XdrError;
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, XdrError> {
+        if *pos + 4 > buf.len() {
+            return Err(XdrError::Truncated);
+        }
+        let v = u32::from_be_bytes(buf[*pos..*pos + 4].try_into().expect("len checked"));
+        *pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_model::workload;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (v, t) in [
+            (Value::Int(-42), TypeDesc::Int),
+            (Value::Float(3.25), TypeDesc::Float),
+            (Value::Char(b'x'), TypeDesc::Char),
+            (Value::Str("hello".into()), TypeDesc::Str),
+        ] {
+            let bytes = encode(&v, &t).unwrap();
+            assert_eq!(bytes.len() % 4, 0, "alignment for {t}");
+            assert_eq!(decode(&bytes, &t).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn string_padding_is_zeroed_and_checked() {
+        let bytes = encode(&Value::Str("ab".into()), &TypeDesc::Str).unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[6..], &[0, 0]);
+        let mut bad = bytes.clone();
+        bad[7] = 1;
+        assert_eq!(decode(&bad, &TypeDesc::Str).unwrap_err(), XdrError::BadPadding);
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let v = workload::int_array(257, 3);
+        let t = TypeDesc::list_of(TypeDesc::Int);
+        let bytes = encode(&v, &t).unwrap();
+        assert_eq!(bytes.len(), 4 + 8 * 257);
+        assert_eq!(decode(&bytes, &t).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_structs_round_trip() {
+        for depth in 0..6 {
+            let v = workload::nested_struct(depth, 21);
+            let t = workload::nested_struct_type(depth);
+            let bytes = encode(&v, &t).unwrap();
+            assert_eq!(decode(&bytes, &t).unwrap(), v, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn char_occupies_four_bytes() {
+        // XDR's lack of a byte-sized scalar is one reason PBIO messages
+        // can be denser.
+        let bytes = encode(&Value::Char(7), &TypeDesc::Char).unwrap();
+        assert_eq!(bytes.len(), 4);
+    }
+
+    #[test]
+    fn mismatches_and_truncation_error() {
+        assert!(encode(&Value::Int(1), &TypeDesc::Str).is_err());
+        let t = workload::nested_struct_type(1);
+        let bytes = encode(&workload::nested_struct(1, 1), &t).unwrap();
+        assert_eq!(decode(&bytes[..bytes.len() - 2], &t).unwrap_err(), XdrError::Truncated);
+        let mut extra = bytes.clone();
+        extra.extend_from_slice(&[0; 4]);
+        assert!(decode(&extra, &t).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: XDR round trips for arbitrary schemas/values.
+
+use proptest::prelude::*;
+use sbq_model::{StructDesc, StructValue, TypeDesc, Value};
+use sbq_xdr::xdr;
+
+fn arb_type(depth: u32) -> impl Strategy<Value = TypeDesc> {
+    let leaf = prop_oneof![
+        Just(TypeDesc::Int),
+        Just(TypeDesc::Float),
+        Just(TypeDesc::Char),
+        Just(TypeDesc::Str),
+        Just(TypeDesc::Bytes),
+    ];
+    leaf.prop_recursive(depth, 20, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(TypeDesc::list_of),
+            (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(tys, name)| {
+                TypeDesc::Struct(StructDesc::new(
+                    name,
+                    tys.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect(),
+                ))
+            }),
+        ]
+    })
+}
+
+fn sample(ty: &TypeDesc, seed: &mut u64) -> Value {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let s = *seed;
+    match ty {
+        TypeDesc::Int => Value::Int(s as i64),
+        TypeDesc::Float => Value::Float((s % 1_000_000) as f64 / 3.0),
+        TypeDesc::Char => Value::Char((s % 256) as u8),
+        TypeDesc::Str => Value::Str(format!("str-{}", s % 10000)),
+        TypeDesc::Bytes => Value::Bytes((0..(s % 16) as u8).collect()),
+        TypeDesc::List(e) => {
+            let n = (s % 5) as usize;
+            match **e {
+                TypeDesc::Int => Value::IntArray((0..n).map(|i| (s ^ i as u64) as i64).collect()),
+                TypeDesc::Float => Value::FloatArray((0..n).map(|i| i as f64 + 0.25).collect()),
+                _ => Value::List((0..n).map(|_| sample(e, seed)).collect()),
+            }
+        }
+        TypeDesc::Struct(sd) => Value::Struct(StructValue::new(
+            sd.name.clone(),
+            sd.fields.iter().map(|(n, t)| (n.clone(), sample(t, seed))).collect(),
+        )),
+    }
+}
+
+proptest! {
+    #[test]
+    fn xdr_round_trips(ty in arb_type(3), seed in any::<u64>()) {
+        let mut s = seed;
+        let v = sample(&ty, &mut s);
+        let bytes = xdr::encode(&v, &ty).unwrap();
+        prop_assert_eq!(bytes.len() % 4, 0, "xdr output always 4-aligned");
+        prop_assert_eq!(xdr::decode(&bytes, &ty).unwrap(), v);
+    }
+
+    #[test]
+    fn xdr_decode_never_panics(ty in arb_type(2), data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = xdr::decode(&data, &ty);
+    }
+}

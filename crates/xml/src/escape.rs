@@ -1,0 +1,117 @@
+//! XML entity escaping and unescaping.
+
+/// Escapes text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> String {
+    escape_into(s, false)
+}
+
+/// Escapes attribute values: `&`, `<`, `>`, `"`, `'`.
+pub fn escape_attr(s: &str) -> String {
+    escape_into(s, true)
+}
+
+fn escape_into(s: &str, attr: bool) -> String {
+    // Fast path: nothing to escape.
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decodes the five predefined entities plus decimal (`&#NN;`) and hex
+/// (`&#xNN;`) character references. Unknown or malformed references are
+/// passed through verbatim (lenient, like Expat in non-validating mode
+/// with external entity handling disabled).
+pub fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(end) = s[i..].find(';').map(|e| i + e) {
+                let ent = &s[i + 1..end];
+                let decoded = match ent {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                        u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                    }
+                    _ if ent.starts_with('#') => {
+                        ent[1..].parse::<u32>().ok().and_then(char::from_u32)
+                    }
+                    _ => None,
+                };
+                if let Some(c) = decoded {
+                    out.push(c);
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        // Not a reference start (or malformed): copy the full char.
+        let c = s[i..].chars().next().expect("in-bounds index");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_covers_markup_chars() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_text("plain"), "plain");
+        // Quotes untouched in text context.
+        assert_eq!(escape_text("\"q'\""), "\"q'\"");
+    }
+
+    #[test]
+    fn attr_escaping_covers_quotes() {
+        assert_eq!(escape_attr("a\"b'c"), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        let s = "x < y && z > \"w\" 'v'";
+        assert_eq!(unescape(&escape_attr(s)), s);
+        assert_eq!(unescape(&escape_text(s)), s);
+    }
+
+    #[test]
+    fn numeric_references_decode() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+        assert_eq!(unescape("snowman &#9731;!"), "snowman ☃!");
+    }
+
+    #[test]
+    fn malformed_references_pass_through() {
+        assert_eq!(unescape("&unknown; &#zz; &"), "&unknown; &#zz; &");
+        assert_eq!(unescape("a & b"), "a & b");
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let s = "héllo ☃ < 世界";
+        assert_eq!(unescape(&escape_text(s)), s);
+    }
+}

@@ -1,0 +1,21 @@
+//! A small, fast, non-validating streaming XML toolkit.
+//!
+//! The paper's SOAP stack leans on Expat/libxml2 for the text side of every
+//! experiment: plain SOAP marshals parameters to XML, the compatibility
+//! mode parses XML back out, and the remote-visualization client consumes
+//! SVG ("just an XML document"). This crate is the from-scratch substitute:
+//! a pull parser in the style of the XML Pull Parser the paper cites
+//! (§II), plus an escaping-aware writer.
+//!
+//! Deliberately non-validating (no DTD, no namespace resolution beyond
+//! prefix-preserving names): the reproduced experiments only require
+//! well-formedness, which *is* enforced (tag balance, attribute syntax,
+//! entity syntax).
+
+pub mod escape;
+pub mod parser;
+pub mod writer;
+
+pub use escape::{escape_attr, escape_text, unescape};
+pub use parser::{Event, PullParser, XmlError};
+pub use writer::XmlWriter;

@@ -1,0 +1,62 @@
+//! Property tests: writer output always reparses to the same structure.
+
+use proptest::prelude::*;
+use sbq_xml::{escape_attr, escape_text, unescape, Event, PullParser, XmlWriter};
+
+proptest! {
+    #[test]
+    fn escape_text_round_trips(s in "\\PC*") {
+        prop_assert_eq!(unescape(&escape_text(&s)), s);
+    }
+
+    #[test]
+    fn escape_attr_round_trips(s in "\\PC*") {
+        prop_assert_eq!(unescape(&escape_attr(&s)), s);
+    }
+
+    #[test]
+    fn written_tree_reparses(names in proptest::collection::vec("[a-z][a-z0-9]{0,6}", 1..8),
+                             texts in proptest::collection::vec("[ -~]{0,12}", 1..8)) {
+        // Build a nested document name[0] > name[1] > … with text leaves.
+        let mut w = XmlWriter::new();
+        for n in &names {
+            w.start(n);
+        }
+        for t in &texts {
+            if !t.trim().is_empty() {
+                w.leaf("LEAF", t);
+            }
+        }
+        let doc = w.finish();
+        let mut p = PullParser::new(&doc);
+        let mut starts = Vec::new();
+        let mut leaf_texts = Vec::new();
+        loop {
+            match p.next().unwrap() {
+                Event::Start { name, .. } if name != "LEAF" => starts.push(name),
+                Event::Text(t) => leaf_texts.push(t),
+                Event::Eof => break,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(starts, names);
+        let expected: Vec<String> = texts.iter().filter(|t| !t.trim().is_empty()).cloned().collect();
+        prop_assert_eq!(leaf_texts, expected);
+    }
+
+    #[test]
+    fn attributes_round_trip(vals in proptest::collection::vec("[ -~]{0,16}", 0..6)) {
+        let mut w = XmlWriter::new();
+        let attrs: Vec<(String, String)> = vals.iter().enumerate()
+            .map(|(i, v)| (format!("a{i}"), v.clone()))
+            .collect();
+        let borrowed: Vec<(&str, &str)> = attrs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        w.start_with("e", &borrowed);
+        let doc = w.finish();
+        let mut p = PullParser::new(&doc);
+        match p.next().unwrap() {
+            Event::Start { attrs: parsed, .. } => prop_assert_eq!(parsed, attrs),
+            other => prop_assert!(false, "unexpected event {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The airline operational information system (paper §IV-C.3, Table I):
+//! a caterer pulls meal manifests over SOAP; the example also prints the
+//! four Table-I encodings of one event side by side.
+//!
+//! ```sh
+//! cargo run --example airline_ois
+//! ```
+
+use sbq_airline::{airline_service, catering_event_type, CateringEvent, Dataset, OisServer};
+use sbq_model::Value;
+use sbq_pbio::{plan, FormatDesc};
+use soap_binq::{marshal, SoapClient, WireEncoding};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One Table-I event, encoded four ways.
+    let ds = Dataset::generate(12, 42);
+    let idx = ds
+        .flights
+        .iter()
+        .position(|f| f.duration_min >= 90)
+        .expect("generated dataset has a long-haul flight");
+    let event = CateringEvent::build(&ds, idx, 0);
+    let value = event.to_value();
+    let ty = catering_event_type();
+    let format = FormatDesc::from_type(
+        &ty,
+        sbq_pbio::format::FormatOptions { int_width: 4, ..Default::default() },
+    )?;
+    let xml = marshal::value_to_xml(&value, "catering_event");
+    let pbio = plan::encode(&value, &format)?;
+    let lz = sbq_lz::compress(xml.as_bytes());
+    println!("one catering event ({} meal lines) encoded:", event.meals.len());
+    println!("  SOAP XML        : {:>6} bytes", xml.len());
+    println!("  SOAP-bin (PBIO) : {:>6} bytes", pbio.len());
+    println!("  compressed XML  : {:>6} bytes", lz.len());
+    println!("  (paper Table I:   3898 / 860 / 1264 bytes)");
+
+    // Live service: list flights, pull manifests.
+    let ois = OisServer::new(12, 42);
+    let server = ois.serve("127.0.0.1:0".parse()?, WireEncoding::Pbio)?;
+    let svc = airline_service("x");
+    let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?;
+
+    let Value::List(flights) = client.call("list_flights", Value::Int(0))? else {
+        panic!("expected a flight list");
+    };
+    println!("\n{} flights in the OIS", flights.len());
+
+    let flight = flights[idx].as_str()?.to_string();
+    println!("pulling catering manifests for {flight}:");
+    for cart in 0..3 {
+        let req =
+            Value::struct_of("catering_request", vec![("flight", Value::Str(flight.clone()))]);
+        let v = client.call("get_catering", req)?;
+        let e = CateringEvent::from_value(&v).expect("well-formed event");
+        let special = e.meals.iter().filter(|m| m.special == 1).count();
+        println!(
+            "  cart {cart}: {} meals ({} special), {} -> {}, {} pax",
+            e.meals.len(),
+            special,
+            e.origin,
+            e.dest,
+            e.passengers
+        );
+        if let Some(m) = e.meals.first() {
+            println!(
+                "    first line: seat {} pnr {} class {} meal {} x{}",
+                m.seat, m.pnr, m.class as char, m.meal_code as char, m.qty
+            );
+        }
+    }
+    Ok(())
+}

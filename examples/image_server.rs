@@ -1,0 +1,83 @@
+//! The Skyserver-style imaging application (paper §IV-C.1): an image
+//! server with continuous quality management. The client requests
+//! edge-detected telescope frames; when it reports degraded RTT, the
+//! server halves the resolution; when conditions recover, full frames
+//! return.
+//!
+//! ```sh
+//! cargo run --example image_server
+//! ```
+
+use sbq_imaging::{image_quality_file, install_resize_handlers, service, ImageStore};
+use sbq_model::Value;
+use sbq_qos::QualityManager;
+use soap_binq::{SoapClient, WireEncoding};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Server: three synthetic star fields, quality threshold 100 ms.
+    let store = ImageStore::with_starfields(3, 2024);
+    let server = store.serve("127.0.0.1:0".parse()?, WireEncoding::Pbio, Some(100.0))?;
+    println!("image server on {}", server.addr());
+
+    // Client with its own quality manager (same policy file).
+    let qm = QualityManager::new(image_quality_file(100.0));
+    install_resize_handlers(qm.handlers());
+    let svc = service::image_service("x");
+    let mut client =
+        SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?.with_quality(qm);
+
+    let request = |name: &str| {
+        Value::struct_of(
+            "image_request",
+            vec![
+                ("name", Value::Str(name.into())),
+                ("operation", Value::Str("edge_detect".into())),
+            ],
+        )
+    };
+
+    println!("\nphase 1 — healthy network:");
+    for i in 0..3 {
+        let v = client.call("get_image", request(&format!("sky-{i}")))?;
+        let img = service::value_to_image(&v).expect("well-formed image");
+        println!(
+            "  frame sky-{i}: {}x{} ({} KB) [{}]",
+            img.width,
+            img.height,
+            img.byte_size() / 1024,
+            client.stats().last_message_type.as_deref().unwrap_or("image_full"),
+        );
+    }
+
+    println!("\nphase 2 — congestion reported (RTT 400 ms):");
+    for _ in 0..3 {
+        client.quality_mut().unwrap().observe_rtt(Duration::from_millis(400), Duration::ZERO);
+    }
+    for i in 0..3 {
+        let v = client.call("get_image", request(&format!("sky-{i}")))?;
+        let img = service::value_to_image(&v).expect("well-formed image");
+        println!(
+            "  frame sky-{i}: {}x{} ({} KB) [{}]",
+            img.width,
+            img.height,
+            img.byte_size() / 1024,
+            client.stats().last_message_type.as_deref().unwrap_or("image_full"),
+        );
+    }
+
+    println!("\nphase 3 — recovery (loopback RTTs flow back in):");
+    let mut frames = 0;
+    loop {
+        let v = client.call("get_image", request("sky-0"))?;
+        let img = service::value_to_image(&v).expect("well-formed image");
+        frames += 1;
+        if img.width == 640 || frames > 60 {
+            println!("  full resolution restored after {frames} frames");
+            break;
+        }
+    }
+
+    println!("\nserver served {} requests, {} reduced", server.requests(), server.reduced_responses());
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The molecular-dynamics bond server (paper §IV-C.2): a client streams
+//! bond graphs; the quality policy batches 1-4 timesteps per response
+//! depending on reported network quality.
+//!
+//! ```sh
+//! cargo run --example molecular_dynamics
+//! ```
+
+use sbq_mdsim::{batch_graphs, bond_service, md_quality_file, BondServer};
+use sbq_model::Value;
+use sbq_qos::QualityManager;
+use soap_binq::{SoapClient, WireEncoding};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bands = [10.0, 50.0, 150.0];
+    let server = BondServer::new(110, 7).serve(
+        "127.0.0.1:0".parse()?,
+        WireEncoding::Pbio,
+        Some(bands),
+    )?;
+    println!("bond server on {}", server.addr());
+
+    let svc = bond_service("x");
+    let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?
+        .with_quality(QualityManager::new(md_quality_file(bands)));
+    let request = || Value::struct_of("bond_request", vec![("max_timesteps", Value::Int(4))]);
+
+    println!("\nidle network — expect 4 timesteps per response:");
+    for _ in 0..3 {
+        let batch = batch_graphs(&client.call("get_bonds", request())?);
+        let ts: Vec<u64> = batch.iter().map(|g| g.timestep).collect();
+        println!(
+            "  batch of {} (timesteps {ts:?}), ~{} KB",
+            batch.len(),
+            batch.iter().map(|g| g.native_size()).sum::<usize>() / 1024
+        );
+    }
+
+    println!("\nsustained congestion (RTT 400 ms) — batches shrink:");
+    for round in 0..4 {
+        for _ in 0..4 {
+            client.quality_mut().unwrap().observe_rtt(Duration::from_millis(400), Duration::ZERO);
+        }
+        let batch = batch_graphs(&client.call("get_bonds", request())?);
+        println!("  round {round}: {} timesteps per response", batch.len());
+    }
+
+    println!("\nrecovery — loopback RTTs restore the full batch:");
+    let mut calls = 0;
+    loop {
+        let batch = batch_graphs(&client.call("get_bonds", request())?);
+        calls += 1;
+        if batch.len() == 4 || calls > 80 {
+            println!("  back to 4 timesteps after {calls} calls");
+            break;
+        }
+    }
+    Ok(())
+}

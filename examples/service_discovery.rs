@@ -1,0 +1,102 @@
+//! UDDI-style discovery (paper §III-B.b future work): a provider
+//! publishes its WSDL *and* its quality file to a registry; a client
+//! discovers both and talks to the service with quality management
+//! configured entirely from the registry — "without knowledge of the
+//! actual message types used in data transmission".
+//!
+//! ```sh
+//! cargo run --example service_discovery
+//! ```
+
+use sbq_model::{TypeDesc, Value};
+use sbq_registry::{RegistryClient, RegistryServer};
+use sbq_wsdl::ServiceDef;
+use soap_binq::{SoapClient, SoapServerBuilder, WireEncoding};
+use std::time::Duration;
+
+const QUALITY_FILE: &str = "\
+attribute rtt
+0 50 - reading_full
+50 inf - reading_small
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The registry itself.
+    let registry = RegistryServer::new().serve("127.0.0.1:0".parse()?, WireEncoding::Pbio)?;
+    println!("registry on {}", registry.addr());
+
+    // --- provider side -----------------------------------------------------
+    let reading_ty = TypeDesc::struct_of(
+        "reading",
+        vec![
+            ("seq", TypeDesc::Int),
+            ("temps", TypeDesc::list_of(TypeDesc::Float)),
+            ("site", TypeDesc::Str),
+        ],
+    );
+    // Start the actual sensor service first so its WSDL can advertise the
+    // real endpoint.
+    let mut builder_svc = ServiceDef::new("SensorFeed", "urn:demo:sensors", "pending")
+        .with_operation("read", TypeDesc::Int, reading_ty.clone());
+    let mut builder = SoapServerBuilder::new(&builder_svc, WireEncoding::Pbio)?;
+    builder.handle("read", |seq| {
+        Value::struct_of(
+            "reading",
+            vec![
+                ("seq", seq),
+                ("temps", Value::FloatArray(vec![20.5, 21.0, 20.75])),
+                ("site", Value::Str("rooftop".into())),
+            ],
+        )
+    });
+    // Server-side quality management from the very same file we publish.
+    let mut qm = sbq_qos::QualityManager::new(sbq_qos::QualityFile::parse(QUALITY_FILE)?);
+    qm.define_message_type(
+        "reading_small",
+        TypeDesc::struct_of("reading_small", vec![("seq", TypeDesc::Int)]),
+    );
+    builder.with_quality(qm);
+    let sensor_server = builder.bind("127.0.0.1:0".parse()?)?;
+    builder_svc.location = format!("http://{}/sensors", sensor_server.addr());
+    println!("sensor service on {}", sensor_server.addr());
+
+    // Publish WSDL + quality file.
+    let mut provider = RegistryClient::connect(registry.addr(), WireEncoding::Pbio)?;
+    provider.publish(&builder_svc, Some(QUALITY_FILE))?;
+    println!("published {:?} with its quality file", builder_svc.name);
+
+    // --- consumer side ------------------------------------------------------
+    let mut consumer = RegistryClient::connect(registry.addr(), WireEncoding::Pbio)?;
+    println!("registry lists: {:?}", consumer.list()?);
+    let (svc, qm) = consumer.discover("SensorFeed")?;
+    println!(
+        "discovered {} at {} ({} operations, quality file: {})",
+        svc.name,
+        svc.location,
+        svc.operations.len(),
+        if qm.is_some() { "yes" } else { "no" }
+    );
+
+    // Connect to the advertised endpoint with the discovered quality
+    // manager attached.
+    let addr: std::net::SocketAddr = svc
+        .location
+        .trim_start_matches("http://")
+        .trim_end_matches("/sensors")
+        .parse()?;
+    let mut client = SoapClient::connect(addr, &svc, WireEncoding::Pbio)?
+        .with_quality(qm.expect("quality file was published"));
+
+    let v = client.call("read", Value::Int(1))?;
+    println!("\nhealthy network: {v}");
+
+    for _ in 0..5 {
+        client.quality_mut().unwrap().observe_rtt(Duration::from_millis(300), Duration::ZERO);
+    }
+    let v = client.call("read", Value::Int(2))?;
+    println!(
+        "congested ({}): {v}",
+        client.stats().last_message_type.as_deref().unwrap_or("full")
+    );
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! The paper's opening motivation: "the use of in-vehicle camera sensors
+//! to report on traffic or emergency situations, using wireless links
+//! with limited bandwidths."
+//!
+//! A fleet of camera sensors shares a lossy 11 Mbps wireless uplink. Each
+//! sensor pushes edge-detected frames through SOAP-binQ quality
+//! management; when its share of the link degrades (congestion from the
+//! other sensors plus packet loss), it independently drops to half
+//! resolution, recovering when the air clears. The whole scenario runs on
+//! the deterministic virtual-time simulator.
+//!
+//! ```sh
+//! cargo run --release --example wireless_sensors
+//! ```
+
+use sbq_imaging::{image_quality_file, install_resize_handlers};
+use sbq_netsim::{CrossTraffic, LinkSpec, SimLink};
+use sbq_qos::{QualityManager, RttEstimatorKind};
+use std::time::Duration;
+
+const FULL_FRAME: usize = 640 * 480 * 3;
+const HALF_FRAME: usize = 320 * 240 * 3;
+const SENSORS: usize = 4;
+const RUN: Duration = Duration::from_secs(90);
+
+struct Sensor {
+    id: usize,
+    link: SimLink,
+    qm: QualityManager,
+    sent_full: usize,
+    sent_half: usize,
+    worst_ms: f64,
+}
+
+fn main() {
+    println!(
+        "{} in-vehicle cameras on a shared lossy {} uplink\n",
+        SENSORS,
+        LinkSpec::wireless_11mbps().name
+    );
+
+    // Each sensor sees the shared medium as background load from the
+    // other sensors (staggered bursts) plus 2% packet loss from motion.
+    let mut sensors: Vec<Sensor> = (0..SENSORS)
+        .map(|id| {
+            let phase = Duration::from_secs(10 * id as u64);
+            let mut bursts = vec![0.30; SENSORS - 1]; // steady peers
+            bursts.push(0.85); // a passing heavy burst
+            let cross = CrossTraffic::schedule(vec![
+                sbq_netsim::traffic::Segment {
+                    start: phase + Duration::from_secs(20),
+                    end: phase + Duration::from_secs(40),
+                    load: bursts[id % bursts.len()],
+                },
+            ]);
+            // EWMA keeps the fleet steady; swap in
+            // `RttEstimatorKind::Jacobson` to see variance-sensitive
+            // degradation kick in earlier on this lossy link.
+            let qm = QualityManager::new(image_quality_file(900.0))
+                .with_estimator(RttEstimatorKind::Ewma);
+            install_resize_handlers(qm.handlers());
+            Sensor {
+                id,
+                link: SimLink::new(LinkSpec::wireless_11mbps())
+                    .with_cross_traffic(cross)
+                    .with_loss(100 + id as u64, 0.02)
+                    .with_jitter(id as u64, 0.10),
+                qm,
+                sent_full: 0,
+                sent_half: 0,
+                worst_ms: 0.0,
+            }
+        })
+        .collect();
+
+    for sensor in &mut sensors {
+        while sensor.link.now() < RUN {
+            let half = sensor.qm.select().message_type == "image_half";
+            let frame = if half { HALF_FRAME } else { FULL_FRAME };
+            let server_time = Duration::from_millis(if half { 2 } else { 8 });
+            let rtt = sensor.link.request_response(180, frame + 300, server_time);
+            sensor.qm.observe_rtt(rtt, server_time);
+            if half {
+                sensor.sent_half += 1;
+            } else {
+                sensor.sent_full += 1;
+            }
+            sensor.worst_ms = sensor.worst_ms.max(rtt.as_secs_f64() * 1e3);
+            sensor.link.advance(Duration::from_millis(800)); // frame cadence
+        }
+    }
+
+    println!("sensor | full frames | half frames | worst resp | retransmits | band switches");
+    println!("{}", "-".repeat(80));
+    for s in &sensors {
+        println!(
+            "{:>6} | {:>11} | {:>11} | {:>8.1}ms | {:>11} | {:>13}",
+            s.id,
+            s.sent_full,
+            s.sent_half,
+            s.worst_ms,
+            s.link.retransmissions(),
+            s.qm.switches(),
+        );
+    }
+    println!(
+        "\nEach camera degrades during its burst window and recovers afterwards —\n\
+         the continuous quality management the paper motivates in its first page,\n\
+         on the substrate its intro describes."
+    );
+}

@@ -1,0 +1,33 @@
+//! Meta-crate for the SOAP-binQ reproduction: re-exports every workspace
+//! crate under one roof so integration tests, examples, and downstream
+//! experiments can depend on a single package.
+//!
+//! See the repository README for the map; the short version:
+//!
+//! * [`soap_binq`] — the protocol (envelope, marshalling, modes,
+//!   client/server, XML quality handlers);
+//! * [`sbq_model`] — types and values; [`sbq_xml`] — XML; [`sbq_pbio`] —
+//!   the binary wire format; [`sbq_http`] — transport; [`sbq_wsdl`] — the
+//!   WSDL compiler; [`sbq_qos`] — continuous quality management;
+//! * [`sbq_lz`] / [`sbq_xdr`] — the compressed-XML and Sun RPC baselines;
+//! * [`sbq_netsim`] — the simulated testbed;
+//! * [`sbq_imaging`] / [`sbq_mdsim`] / [`sbq_airline`] / [`sbq_echo`] /
+//!   [`sbq_viz`] — the paper's evaluation applications;
+//! * [`sbq_registry`] — the UDDI-style WSDL + quality-file registry.
+
+pub use sbq_airline;
+pub use sbq_echo;
+pub use sbq_http;
+pub use sbq_imaging;
+pub use sbq_lz;
+pub use sbq_mdsim;
+pub use sbq_model;
+pub use sbq_netsim;
+pub use sbq_pbio;
+pub use sbq_qos;
+pub use sbq_registry;
+pub use sbq_viz;
+pub use sbq_wsdl;
+pub use sbq_xdr;
+pub use sbq_xml;
+pub use soap_binq;

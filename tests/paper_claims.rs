@@ -1,0 +1,191 @@
+//! The paper's quantitative claims, encoded as tests. Each test cites the
+//! claim it checks; thresholds are set to the *shape* (who wins, rough
+//! factors), not the authors' absolute 2004 numbers.
+
+use sbq_model::{workload, TypeDesc, Value};
+use sbq_netsim::LinkSpec;
+use sbq_pbio::{format::FormatOptions, plan, FormatDesc, FormatServer, PbioEndpoint};
+use soap_binq::marshal;
+use std::sync::Arc;
+
+fn paper_opts() -> FormatOptions {
+    FormatOptions { int_width: 4, ..Default::default() }
+}
+
+/// §IV-B.e: "The XML parameters generated are about 4-5 times the size of
+/// the corresponding PBIO messages."
+#[test]
+fn xml_is_4_to_5x_pbio_for_arrays() {
+    let ty = TypeDesc::list_of(TypeDesc::Int);
+    let f = FormatDesc::from_type(&ty, paper_opts()).unwrap();
+    for n in [1000usize, 10_000, 100_000] {
+        let v = workload::int_array(n, 2);
+        let pbio = plan::encode(&v, &f).unwrap().len();
+        let xml = marshal::value_to_xml(&v, "p").len();
+        let ratio = xml as f64 / pbio as f64;
+        assert!((3.5..6.0).contains(&ratio), "n={n}: ratio {ratio}");
+    }
+}
+
+/// §IV-B.e: "The difference is even greater for the nested structure."
+#[test]
+fn struct_blowup_exceeds_array_blowup() {
+    let aty = TypeDesc::list_of(TypeDesc::Int);
+    let af = FormatDesc::from_type(&aty, paper_opts()).unwrap();
+    let av = workload::int_array(5000, 1);
+    let a_ratio = marshal::value_to_xml(&av, "p").len() as f64
+        / plan::encode(&av, &af).unwrap().len() as f64;
+
+    let sty = workload::business_struct_type(8);
+    let sf = FormatDesc::from_type(&sty, paper_opts()).unwrap();
+    let sv = workload::business_struct(8, 1);
+    let s_ratio = marshal::value_to_xml(&sv, "p").len() as f64
+        / plan::encode(&sv, &sf).unwrap().len() as f64;
+
+    assert!(s_ratio > a_ratio, "struct {s_ratio} <= array {a_ratio}");
+    assert!(s_ratio > 5.0, "struct blowup only {s_ratio}");
+}
+
+/// §IV-B.e: "Compressed XML is mostly the same size as, and sometimes
+/// smaller than the equivalent PBIO data."
+#[test]
+fn compressed_xml_is_near_pbio_size() {
+    let ty = TypeDesc::list_of(TypeDesc::Int);
+    let f = FormatDesc::from_type(&ty, paper_opts()).unwrap();
+    let v = workload::int_array(20_000, 5);
+    let pbio = plan::encode(&v, &f).unwrap().len();
+    let xml = marshal::value_to_xml(&v, "p");
+    let lz = sbq_lz::compress(xml.as_bytes()).len();
+    let ratio = lz as f64 / pbio as f64;
+    assert!((0.5..2.0).contains(&ratio), "lz/pbio {ratio}");
+}
+
+/// §I: "message transmission times are improved by a factor of about 15
+/// for 1MByte message sizes" — the wire-size factor drives transmission;
+/// the CPU factor is where our modern hosts land near the paper's 15x.
+#[test]
+fn megabyte_messages_improve_substantially() {
+    let ty = TypeDesc::list_of(TypeDesc::Int);
+    let f = FormatDesc::from_type(&ty, paper_opts()).unwrap();
+    let v = workload::int_array(262_144, 9); // 1 MiB of 4-byte ints
+    let pbio = plan::encode(&v, &f).unwrap();
+    let xml = marshal::value_to_xml(&v, "p");
+    let link = LinkSpec::adsl();
+    let t_xml = link.transfer_time(xml.len(), 1.0);
+    let t_pbio = link.transfer_time(pbio.len(), 1.0);
+    let factor = t_xml.as_secs_f64() / t_pbio.as_secs_f64();
+    assert!(factor > 3.5, "transmission improvement only {factor}x");
+}
+
+/// §III-B.a: format registration happens once; later messages use the
+/// cache. §IV-B.e: the first-message cost matters only for deep formats.
+#[test]
+fn registration_amortizes_and_grows_with_depth() {
+    let server = Arc::new(FormatServer::new());
+    let mut tx = PbioEndpoint::new(Arc::clone(&server));
+    let ty = workload::business_struct_type(6);
+    let f = FormatDesc::from_type(&ty, paper_opts()).unwrap();
+    let v = workload::business_struct(6, 1);
+    let first = tx.send(&v, &f).unwrap();
+    let second = tx.send(&v, &f).unwrap();
+    assert_eq!(first.len(), 2);
+    assert_eq!(second.len(), 1);
+    let reg_bytes = first[0].wire_len();
+    let shallow_f =
+        FormatDesc::from_type(&workload::business_struct_type(1), paper_opts()).unwrap();
+    let shallow_reg = 9 + shallow_f.to_bytes().len();
+    assert!(reg_bytes > 2 * shallow_reg, "deep {reg_bytes} vs shallow {shallow_reg}");
+}
+
+/// §IV-A: Sun RPC beats SOAP-bin on nested structs but not dramatically
+/// on large arrays — at the *encoding* level, XDR and PBIO are both
+/// binary, so payload sizes must be comparable (XDR pads, PBIO doesn't).
+#[test]
+fn xdr_and_pbio_payloads_comparable() {
+    let ty = workload::nested_struct_type(4);
+    let v = workload::nested_struct(4, 4);
+    let f = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
+    let pbio = plan::encode(&v, &f).unwrap().len();
+    let xdr = sbq_xdr::encode(&v, &ty).unwrap().len();
+    let ratio = xdr as f64 / pbio as f64;
+    assert!((0.5..2.0).contains(&ratio), "xdr/pbio {ratio}");
+}
+
+/// Table I: the four encodings of a catering event keep the paper's size
+/// ordering: SOAP >> compressed/PBIO; SOAP ≈ 4-5x SOAP-bin.
+#[test]
+fn airline_event_size_ordering() {
+    use sbq_airline::{catering_event_type, CateringEvent, Dataset};
+    let ds = Dataset::generate(10, 42);
+    let idx = ds.flights.iter().position(|f| f.duration_min >= 90).unwrap();
+    let value = CateringEvent::build(&ds, idx, 0).to_value();
+    let ty = catering_event_type();
+    let f = FormatDesc::from_type(&ty, paper_opts()).unwrap();
+    let pbio = plan::encode(&value, &f).unwrap().len();
+    let xml = marshal::value_to_xml(&value, "catering_event");
+    let lz = sbq_lz::compress(xml.as_bytes()).len();
+    assert!(xml.len() > 3 * pbio, "xml {} vs pbio {pbio}", xml.len());
+    assert!(xml.len() > 3 * lz, "xml {} vs lz {lz}", xml.len());
+    let ratio = xml.len() as f64 / pbio as f64;
+    assert!((3.5..7.0).contains(&ratio), "soap/soap-bin ratio {ratio}");
+}
+
+/// §IV-B: variance of repeated marshalling runs is small (the paper
+/// reports <1% variance; we allow generous slack for shared CI hosts but
+/// require the same order of magnitude).
+#[test]
+fn marshalling_cost_is_stable() {
+    let v = workload::int_array(10_000, 3);
+    let times: Vec<f64> = (0..10)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(marshal::value_to_xml(&v, "p"));
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let min = times.iter().cloned().fold(f64::MAX, f64::min);
+    let median = {
+        let mut t = times.clone();
+        t.sort_by(f64::total_cmp);
+        t[t.len() / 2]
+    };
+    assert!(median < min * 10.0, "median {median} vs min {min}");
+}
+
+/// The quality layer's padding contract: whatever the wire carried, the
+/// application always sees the full message layout (§III-B.b).
+#[test]
+fn quality_padding_contract_holds_for_every_band() {
+    use sbq_qos::{QualityFile, QualityManager};
+    let file = QualityFile::parse("attribute rtt\n0 10 - full\n10 20 - mid\n20 inf - min\n").unwrap();
+    let full_ty = TypeDesc::struct_of(
+        "m",
+        vec![
+            ("a", TypeDesc::Int),
+            ("b", TypeDesc::list_of(TypeDesc::Float)),
+            ("c", TypeDesc::Str),
+        ],
+    );
+    let mut qm = QualityManager::new(file);
+    qm.define_message_type("mid", TypeDesc::struct_of("mid", vec![("a", TypeDesc::Int), ("c", TypeDesc::Str)]));
+    qm.define_message_type("min", TypeDesc::struct_of("min", vec![("a", TypeDesc::Int)]));
+    let full = Value::struct_of(
+        "m",
+        vec![
+            ("a", Value::Int(5)),
+            ("b", Value::FloatArray(vec![1.0])),
+            ("c", Value::Str("x".into())),
+        ],
+    );
+    for rtt in [5.0, 15.0, 100.0] {
+        qm.attributes().update_attribute("rtt", rtt);
+        let p = qm.prepare(&full);
+        let restored = qm.restore(&p.value, &full_ty);
+        assert!(restored.conforms_to(&full_ty), "rtt={rtt}, type {}", p.message_type);
+        assert_eq!(
+            restored.as_struct().unwrap().field("a"),
+            Some(&Value::Int(5)),
+            "shared field survives at rtt={rtt}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Simulated-network adaptation tests: the Fig. 8/9 behavioral claims as
+//! deterministic assertions over `sbq-netsim` virtual time.
+
+use sbq_imaging::{image_quality_file, install_resize_handlers};
+use sbq_mdsim::md_quality_file;
+use sbq_netsim::{CrossTraffic, LinkSpec, SimLink};
+use sbq_qos::QualityManager;
+use std::time::Duration;
+
+const FULL_IMG: usize = 640 * 480 * 3;
+const HALF_IMG: usize = 320 * 240 * 3;
+
+/// Runs the imaging scenario for a policy, returning per-request response
+/// times in ms and the count of half-resolution responses.
+fn run_imaging(policy: &str) -> (Vec<f64>, usize) {
+    let cross =
+        CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
+    let mut link = SimLink::new(LinkSpec::lan_100mbps()).with_cross_traffic(cross);
+    let mut qm = QualityManager::new(image_quality_file(200.0));
+    install_resize_handlers(qm.handlers());
+
+    let mut times = Vec::new();
+    let mut halves = 0;
+    while link.now() < Duration::from_secs(120) {
+        let half = match policy {
+            "full" => false,
+            "half" => true,
+            _ => qm.select().message_type == "image_half",
+        };
+        let bytes = if half { HALF_IMG } else { FULL_IMG };
+        let server = Duration::from_millis(if half { 2 } else { 8 });
+        let rtt = link.request_response(200, bytes + 300, server);
+        if policy == "adaptive" {
+            qm.observe_rtt(rtt, server);
+        }
+        times.push(rtt.as_secs_f64() * 1e3);
+        halves += half as usize;
+        link.advance(Duration::from_millis(500));
+    }
+    (times, halves)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn jitter(xs: &[f64]) -> f64 {
+    xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Fig. 8: "the adaptative method's performance lies 'between' the
+/// performance attained for large vs. small image files."
+#[test]
+fn adaptive_imaging_sits_between_fixed_policies() {
+    let (full, _) = run_imaging("full");
+    let (half, _) = run_imaging("half");
+    let (adaptive, reduced) = run_imaging("adaptive");
+    let (mf, mh, ma) = (mean(&full), mean(&half), mean(&adaptive));
+    assert!(mh < ma && ma < mf, "means: half {mh}, adaptive {ma}, full {mf}");
+    assert!(reduced > 0, "adaptive policy never reduced");
+    assert!(reduced < adaptive.len(), "adaptive policy never recovered");
+}
+
+/// Abstract of the paper: adaptation "significantly reduces the jitter
+/// experienced".
+#[test]
+fn adaptation_reduces_jitter_vs_fixed_full() {
+    let (full, _) = run_imaging("full");
+    let (adaptive, _) = run_imaging("adaptive");
+    assert!(
+        jitter(&adaptive) < jitter(&full),
+        "adaptive jitter {} >= full jitter {}",
+        jitter(&adaptive),
+        jitter(&full)
+    );
+}
+
+/// Fig. 8 text: the adaptive client sends full resolution in good
+/// conditions and low resolution during congestion phases.
+#[test]
+fn adaptive_tracks_congestion_phases() {
+    let cross =
+        CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
+    let mut link = SimLink::new(LinkSpec::lan_100mbps()).with_cross_traffic(cross.clone());
+    let mut qm = QualityManager::new(image_quality_file(200.0));
+    install_resize_handlers(qm.handlers());
+    let mut by_phase: [(usize, usize); 2] = [(0, 0); 2]; // (halves, total) per phase
+    while link.now() < Duration::from_secs(120) {
+        let congested = cross.load_at(link.now()) > 0.5;
+        let half = qm.select().message_type == "image_half";
+        let bytes = if half { HALF_IMG } else { FULL_IMG };
+        let server = Duration::from_millis(5);
+        let rtt = link.request_response(200, bytes + 300, server);
+        qm.observe_rtt(rtt, server);
+        let slot = &mut by_phase[congested as usize];
+        slot.0 += half as usize;
+        slot.1 += 1;
+        link.advance(Duration::from_millis(500));
+    }
+    let idle_half_rate = by_phase[0].0 as f64 / by_phase[0].1 as f64;
+    let busy_half_rate = by_phase[1].0 as f64 / by_phase[1].1 as f64;
+    assert!(
+        busy_half_rate > idle_half_rate + 0.3,
+        "half-res rate congested {busy_half_rate} vs idle {idle_half_rate}"
+    );
+}
+
+/// Fig. 9: the adaptive batch policy keeps response times inside the
+/// policy band while fixed-4 spikes and fixed-1 under-utilizes.
+#[test]
+fn md_batching_bounds_response_times() {
+    let bands = [120.0, 200.0, 350.0];
+    let per_graph = 4400usize;
+    let run = |policy: &str| -> (Vec<f64>, f64) {
+        let cross = CrossTraffic::staircase(Duration::from_secs(15), &[0.0, 0.35, 0.85, 0.5]);
+        let mut link = SimLink::new(LinkSpec::adsl()).with_cross_traffic(cross);
+        let mut qm = QualityManager::new(md_quality_file(bands));
+        let mut times = Vec::new();
+        let mut steps_total = 0usize;
+        while link.now() < Duration::from_secs(120) {
+            let k = match policy {
+                "fixed4" => 4,
+                "fixed1" => 1,
+                _ => match qm.select().message_type.as_str() {
+                    "batch_4" => 4,
+                    "batch_3" => 3,
+                    "batch_2" => 2,
+                    _ => 1,
+                },
+            };
+            let server = Duration::from_micros(300 * k as u64);
+            let rtt = link.request_response(150, k * per_graph + 200, server);
+            if policy == "adaptive" {
+                qm.observe_rtt(rtt, server);
+            }
+            times.push(rtt.as_secs_f64() * 1e3);
+            steps_total += k;
+            link.advance(Duration::from_millis(100));
+        }
+        (times, steps_total as f64)
+    };
+
+    let (fixed4, _) = run("fixed4");
+    let (fixed1, steps1) = run("fixed1");
+    let (adaptive, steps_a) = run("adaptive");
+
+    let max4 = fixed4.iter().cloned().fold(0.0, f64::max);
+    let maxa = adaptive.iter().cloned().fold(0.0, f64::max);
+    assert!(maxa < max4, "adaptive max {maxa} >= fixed-4 max {max4}");
+    // Adaptive moves more science than fixed-1 on the same virtual clock
+    // budget (throughput per call is higher when the network allows it).
+    let per_call_a = steps_a / adaptive.len() as f64;
+    let per_call_1 = steps1 / fixed1.len() as f64;
+    assert!(per_call_a > per_call_1 * 1.3, "adaptive {per_call_a} vs fixed1 {per_call_1} steps/call");
+}
+
+/// §IV-C.h: the history mechanism prevents rapid oscillation between two
+/// message types even at a band boundary.
+#[test]
+fn no_oscillation_at_band_boundary() {
+    let mut qm = QualityManager::new(image_quality_file(200.0));
+    // Alternate samples straddling the 200 ms boundary.
+    let mut switches = 0;
+    let mut last: Option<String> = None;
+    for i in 0..200 {
+        let rtt = if i % 2 == 0 { 195.0 } else { 205.0 };
+        qm.attributes().update_attribute("rtt", rtt);
+        let mt = qm.select().message_type.clone();
+        if let Some(prev) = &last {
+            if *prev != mt {
+                switches += 1;
+            }
+        }
+        last = Some(mt);
+    }
+    assert!(switches <= 2, "oscillated {switches} times");
+}
