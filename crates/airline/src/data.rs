@@ -46,10 +46,15 @@ pub struct Dataset {
     pub passengers: Vec<Passenger>,
 }
 
-const AIRPORTS: [&str; 10] =
-    ["ATL", "JFK", "LAX", "ORD", "DFW", "DEN", "SEA", "BOS", "MIA", "SFO"];
-const AIRCRAFT: [(&str, usize); 4] =
-    [("B767-300", 210), ("B757-200", 180), ("MD-88", 140), ("B737-800", 160)];
+const AIRPORTS: [&str; 10] = [
+    "ATL", "JFK", "LAX", "ORD", "DFW", "DEN", "SEA", "BOS", "MIA", "SFO",
+];
+const AIRCRAFT: [(&str, usize); 4] = [
+    ("B767-300", 210),
+    ("B757-200", 180),
+    ("MD-88", 140),
+    ("B737-800", 160),
+];
 
 impl Dataset {
     /// Generates a deterministic dataset of `flights` flights with a
@@ -62,7 +67,8 @@ impl Dataset {
             let origin = AIRPORTS[rng.next_below(10) as usize];
             let mut dest = AIRPORTS[rng.next_below(10) as usize];
             if dest == origin {
-                dest = AIRPORTS[(AIRPORTS.iter().position(|a| *a == origin).expect("member") + 1) % 10];
+                dest = AIRPORTS
+                    [(AIRPORTS.iter().position(|a| *a == origin).expect("member") + 1) % 10];
             }
             ds.flights.push(Flight {
                 number: format!("DL{:04}", 100 + i),

@@ -170,7 +170,11 @@ mod tests {
 
     fn event() -> CateringEvent {
         let ds = Dataset::generate(10, 42);
-        let idx = ds.flights.iter().position(|f| f.duration_min >= 90).unwrap();
+        let idx = ds
+            .flights
+            .iter()
+            .position(|f| f.duration_min >= 90)
+            .unwrap();
         CateringEvent::build(&ds, idx, 0)
     }
 
@@ -194,7 +198,11 @@ mod tests {
     #[test]
     fn carts_rotate_through_the_cabin() {
         let ds = Dataset::generate(5, 13);
-        let idx = ds.flights.iter().position(|f| f.duration_min >= 90).unwrap();
+        let idx = ds
+            .flights
+            .iter()
+            .position(|f| f.duration_min >= 90)
+            .unwrap();
         let e0 = CateringEvent::build(&ds, idx, 0);
         let e1 = CateringEvent::build(&ds, idx, LINES_PER_EVENT);
         assert_eq!(e0.meals.len(), LINES_PER_EVENT);

@@ -49,8 +49,19 @@ pub fn meal_for(flight: &Flight, p: &Passenger) -> Option<MealLine> {
         _ if p.class == b'Y' => (b'C', 0),
         _ => (b'H', 0),
     };
-    let qty = if p.class == b'F' && flight.duration_min > 300 { 2 } else { 1 };
-    Some(MealLine { pnr: pnr_of(p.id), seat: p.seat.clone(), class: p.class, meal_code, special, qty })
+    let qty = if p.class == b'F' && flight.duration_min > 300 {
+        2
+    } else {
+        1
+    };
+    Some(MealLine {
+        pnr: pnr_of(p.id),
+        seat: p.seat.clone(),
+        class: p.class,
+        meal_code,
+        special,
+        qty,
+    })
 }
 
 /// Renders a booking id as a 6-character base-36 record locator.
@@ -68,8 +79,10 @@ pub fn pnr_of(id: u64) -> String {
 /// All meal lines for a flight, in seat order.
 pub fn catering_for(ds: &Dataset, flight_idx: usize) -> Vec<MealLine> {
     let flight = &ds.flights[flight_idx];
-    let mut lines: Vec<MealLine> =
-        ds.passengers_of(flight_idx).filter_map(|p| meal_for(flight, p)).collect();
+    let mut lines: Vec<MealLine> = ds
+        .passengers_of(flight_idx)
+        .filter_map(|p| meal_for(flight, p))
+        .collect();
     lines.sort_by(|a, b| a.seat.cmp(&b.seat));
     lines
 }
@@ -91,7 +104,13 @@ mod tests {
     }
 
     fn pax(class: u8, pref: u8) -> Passenger {
-        Passenger { id: 1, seat: "12A".into(), class, meal_pref: pref, flight: 0 }
+        Passenger {
+            id: 1,
+            seat: "12A".into(),
+            class,
+            meal_pref: pref,
+            flight: 0,
+        }
     }
 
     #[test]
@@ -122,10 +141,18 @@ mod tests {
     fn catering_covers_most_of_a_long_haul_cabin() {
         let ds = Dataset::generate(5, 11);
         // Find a long flight.
-        let idx = ds.flights.iter().position(|f| f.duration_min >= 90).unwrap();
+        let idx = ds
+            .flights
+            .iter()
+            .position(|f| f.duration_min >= 90)
+            .unwrap();
         let lines = catering_for(&ds, idx);
         let pax_count = ds.passengers_of(idx).count();
-        assert!(lines.len() > pax_count * 8 / 10, "{} of {pax_count}", lines.len());
+        assert!(
+            lines.len() > pax_count * 8 / 10,
+            "{} of {pax_count}",
+            lines.len()
+        );
         // Sorted by seat.
         assert!(lines.windows(2).all(|w| w[0].seat <= w[1].seat));
     }

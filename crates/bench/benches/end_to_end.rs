@@ -1,12 +1,17 @@
 //! End-to-end loopback SOAP calls per wire encoding (real sockets, real
 //! stack): the per-call overhead floor of SOAP-bin vs the XML baselines,
 //! plus a Sun RPC loopback comparison (Fig. 4's protagonists).
+//!
+//! Plain `harness = false` timing: minimum wall time over a fixed run
+//! count per encoding.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbq_bench::time_min;
 use sbq_model::{workload, TypeDesc, Value};
 use sbq_wsdl::ServiceDef;
 use sbq_xdr::{RpcClient, RpcServer};
 use soap_binq::{SoapClient, SoapServerBuilder, WireEncoding};
+
+const ITERS: usize = 50;
 
 fn echo_service() -> ServiceDef {
     ServiceDef::new("Echo", "urn:bench:echo", "x").with_operation(
@@ -16,48 +21,46 @@ fn echo_service() -> ServiceDef {
     )
 }
 
-fn bench_soap_encodings(c: &mut Criterion) {
-    let mut g = c.benchmark_group("loopback_call");
-    for enc in [WireEncoding::Pbio, WireEncoding::Xml, WireEncoding::CompressedXml] {
+fn bench_soap_encodings() {
+    for enc in [
+        WireEncoding::Pbio,
+        WireEncoding::Xml,
+        WireEncoding::CompressedXml,
+    ] {
         let svc = echo_service();
-        let mut b = SoapServerBuilder::new(&svc, enc).unwrap();
-        b.handle("echo", |v| v);
-        let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let server = SoapServerBuilder::new(&svc, enc)
+            .unwrap()
+            .handle("echo", |v| v)
+            .bind("127.0.0.1:0".parse().unwrap())
+            .unwrap();
         let mut client = SoapClient::connect(server.addr(), &svc, enc).unwrap();
         let v = workload::int_array(1024, 1);
         // Warm up: format registration + caches.
         client.call("echo", v.clone()).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("soap", format!("{enc:?}_int1k")),
-            &v,
-            |b, v| b.iter(|| client.call("echo", v.clone()).unwrap()),
+        let d = time_min(ITERS, || client.call("echo", v.clone()).unwrap());
+        println!(
+            "loopback_call/soap/{enc:?}_int1k: {:.1}us (min of {ITERS})",
+            d.as_secs_f64() * 1e6
         );
-        drop(client);
     }
-    g.finish();
 }
 
-fn bench_sun_rpc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("loopback_call");
+fn bench_sun_rpc() {
     let arr = TypeDesc::list_of(TypeDesc::Int);
     let mut srv = RpcServer::new(0x2100_0001, 1);
     srv.register(1, arr.clone(), arr.clone(), |v: Value| v);
     let (addr, _handle) = srv.serve("127.0.0.1:0".parse().unwrap()).unwrap();
     let mut client = RpcClient::connect(addr, 0x2100_0001, 1).unwrap();
     let v = workload::int_array(1024, 1);
-    g.bench_function("sun_rpc_int1k", |b| {
-        b.iter(|| client.call(1, &v, &arr, &arr).unwrap())
-    });
-    g.finish();
+    let d = time_min(ITERS, || client.call(1, &v, &arr, &arr).unwrap());
+    println!(
+        "loopback_call/sun_rpc_int1k: {:.1}us (min of {ITERS})",
+        d.as_secs_f64() * 1e6
+    );
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    println!("end-to-end loopback benchmarks\n");
+    bench_soap_encodings();
+    bench_sun_rpc();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_soap_encodings, bench_sun_rpc
-}
-criterion_main!(benches);

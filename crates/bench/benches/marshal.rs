@@ -1,15 +1,35 @@
-//! Criterion micro-benchmarks for the CPU-side costs behind Figs. 4-7:
-//! XML marshal/unmarshal, PBIO encode/decode (+ cross-architecture
-//! conversion plans), XDR encode/decode, LZ compress/decompress.
+//! Micro-benchmarks for the CPU-side costs behind Figs. 4-7: XML
+//! marshal/unmarshal, PBIO encode/decode (+ cross-architecture conversion
+//! plans), XDR encode/decode, LZ compress/decompress.
+//!
+//! Plain `harness = false` timing (minimum-of-N, see
+//! [`sbq_bench::time_min`]) — the container has no external benchmark
+//! harness, and a noise-free floor is what the figures need anyway.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbq_bench::{fmt_bytes, time_min};
 use sbq_model::{workload, TypeDesc, Value};
 use sbq_pbio::{format::FormatOptions, plan, ByteOrder, ConversionPlan, FormatDesc};
 use soap_binq::marshal;
+use std::time::Duration;
+
+const ITERS: usize = 40;
+
+fn report(group: &str, name: &str, bytes: usize, d: Duration) {
+    let per_byte = d.as_secs_f64() * 1e9 / bytes.max(1) as f64;
+    println!(
+        "{group:24} {name:32} {:>12} {:>10} bytes  ({per_byte:.2} ns/byte)",
+        format!("{:.1}us", d.as_secs_f64() * 1e6),
+        fmt_bytes(bytes),
+    );
+}
 
 fn array_and_struct() -> Vec<(&'static str, Value, TypeDesc)> {
     vec![
-        ("int_array_8k", workload::int_array(8192, 1), TypeDesc::list_of(TypeDesc::Int)),
+        (
+            "int_array_8k",
+            workload::int_array(8192, 1),
+            TypeDesc::list_of(TypeDesc::Int),
+        ),
         (
             "business_struct_d6",
             workload::business_struct(6, 1),
@@ -18,84 +38,64 @@ fn array_and_struct() -> Vec<(&'static str, Value, TypeDesc)> {
     ]
 }
 
-fn bench_xml(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xml");
+fn bench_xml() {
     for (name, v, ty) in array_and_struct() {
         let xml = marshal::value_to_xml(&v, "p");
-        g.throughput(Throughput::Bytes(xml.len() as u64));
-        g.bench_with_input(BenchmarkId::new("marshal", name), &v, |b, v| {
-            b.iter(|| marshal::value_to_xml(v, "p"))
-        });
-        g.bench_with_input(BenchmarkId::new("unmarshal", name), &xml, |b, xml| {
-            b.iter(|| marshal::parse_document(xml, &ty).unwrap())
-        });
+        let d = time_min(ITERS, || marshal::value_to_xml(&v, "p"));
+        report("xml/marshal", name, xml.len(), d);
+        let d = time_min(ITERS, || marshal::parse_document(&xml, &ty).unwrap());
+        report("xml/unmarshal", name, xml.len(), d);
     }
-    g.finish();
 }
 
-fn bench_pbio(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pbio");
+fn bench_pbio() {
     for (name, v, ty) in array_and_struct() {
         let native = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
         let sparc = FormatDesc::from_type(
             &ty,
-            FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 },
+            FormatOptions {
+                byte_order: ByteOrder::Big,
+                int_width: 4,
+                float_width: 8,
+            },
         )
         .unwrap();
         let bytes = plan::encode(&v, &native).unwrap();
         let foreign = plan::encode(&v, &sparc).unwrap();
         let convert = ConversionPlan::compile(&sparc, &native).unwrap();
-        g.throughput(Throughput::Bytes(bytes.len() as u64));
-        g.bench_with_input(BenchmarkId::new("encode", name), &v, |b, v| {
-            b.iter(|| plan::encode(v, &native).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("decode_identity", name), &bytes, |b, bytes| {
-            b.iter(|| plan::decode(bytes, &native).unwrap())
-        });
-        g.bench_with_input(
-            BenchmarkId::new("decode_receiver_makes_right", name),
-            &foreign,
-            |b, foreign| b.iter(|| convert.execute(foreign).unwrap()),
-        );
+        let d = time_min(ITERS, || plan::encode(&v, &native).unwrap());
+        report("pbio/encode", name, bytes.len(), d);
+        let d = time_min(ITERS, || plan::decode(&bytes, &native).unwrap());
+        report("pbio/decode_identity", name, bytes.len(), d);
+        let d = time_min(ITERS, || convert.execute(&foreign).unwrap());
+        report("pbio/decode_rmr", name, foreign.len(), d);
     }
-    g.finish();
 }
 
-fn bench_xdr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("xdr");
+fn bench_xdr() {
     for (name, v, ty) in array_and_struct() {
         let bytes = sbq_xdr::encode(&v, &ty).unwrap();
-        g.throughput(Throughput::Bytes(bytes.len() as u64));
-        g.bench_with_input(BenchmarkId::new("encode", name), &v, |b, v| {
-            b.iter(|| sbq_xdr::encode(v, &ty).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
-            b.iter(|| sbq_xdr::decode(bytes, &ty).unwrap())
-        });
+        let d = time_min(ITERS, || sbq_xdr::encode(&v, &ty).unwrap());
+        report("xdr/encode", name, bytes.len(), d);
+        let d = time_min(ITERS, || sbq_xdr::decode(&bytes, &ty).unwrap());
+        report("xdr/decode", name, bytes.len(), d);
     }
-    g.finish();
 }
 
-fn bench_lz(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lz");
+fn bench_lz() {
     let v = workload::int_array(8192, 1);
     let xml = marshal::value_to_xml(&v, "p");
     let compressed = sbq_lz::compress(xml.as_bytes());
-    g.throughput(Throughput::Bytes(xml.len() as u64));
-    g.bench_function("compress_xml_154k", |b| b.iter(|| sbq_lz::compress(xml.as_bytes())));
-    g.bench_function("decompress_xml_154k", |b| {
-        b.iter(|| sbq_lz::decompress(&compressed).unwrap())
-    });
-    g.finish();
+    let d = time_min(ITERS, || sbq_lz::compress(xml.as_bytes()));
+    report("lz/compress", "xml_154k", xml.len(), d);
+    let d = time_min(ITERS, || sbq_lz::decompress(&compressed).unwrap());
+    report("lz/decompress", "xml_154k", xml.len(), d);
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    println!("marshalling micro-benchmarks (min of {ITERS} runs)\n");
+    bench_xml();
+    bench_pbio();
+    bench_xdr();
+    bench_lz();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_xml, bench_pbio, bench_xdr, bench_lz
-}
-criterion_main!(benches);

@@ -86,7 +86,10 @@ fn main() {
         &["confirm_count", "mean (ms)", "jitter (ms)", "band switches"],
     );
     for confirm in [1usize, 3, 5, 8] {
-        let policy = SwitchPolicy { degrade_immediately: true, confirm_count: confirm };
+        let policy = SwitchPolicy {
+            degrade_immediately: true,
+            confirm_count: confirm,
+        };
         let (mean, jitter, switches) = boundary_hover_run(policy);
         println!("{confirm:>13} | {mean:9.1} | {jitter:11.1} | {switches:13}");
     }
@@ -96,9 +99,10 @@ fn main() {
         "2. estimator choice (same scenario)",
         &["estimator", "mean (ms)", "jitter (ms)", "band switches"],
     );
-    for (name, kind) in
-        [("ewma 0.875", RttEstimatorKind::Ewma), ("jacobson", RttEstimatorKind::Jacobson)]
-    {
+    for (name, kind) in [
+        ("ewma 0.875", RttEstimatorKind::Ewma),
+        ("jacobson", RttEstimatorKind::Jacobson),
+    ] {
         let (mean, jitter, switches) = imaging_run(SwitchPolicy::default(), kind);
         println!("{name:>13} | {mean:9.1} | {jitter:11.1} | {switches:13}");
     }
@@ -150,8 +154,18 @@ fn main() {
             std::hint::black_box(plan.execute(&payload).unwrap());
         }
     });
-    println!("{:>13} | {} | {}", "cached plan", fmt_dur(cached), fmt_dur(cached / n));
-    println!("{:>13} | {} | {}", "recompiled", fmt_dur(uncached), fmt_dur(uncached / n));
+    println!(
+        "{:>13} | {} | {}",
+        "cached plan",
+        fmt_dur(cached),
+        fmt_dur(cached / n)
+    );
+    println!(
+        "{:>13} | {} | {}",
+        "recompiled",
+        fmt_dur(uncached),
+        fmt_dur(uncached / n)
+    );
     println!(
         "{:>13} | plan reuse saves {:4.1}x",
         "",

@@ -1,0 +1,94 @@
+//! Concurrency micro-benchmark for the worker-pool transport: per-call
+//! latency percentiles (p50/p99) at 1, 8, and 64 concurrent clients
+//! hammering one SOAP-binQ echo server over loopback.
+//!
+//! What to look for: p50 should stay near the single-client floor while
+//! the pool multiplexes keep-alive connections; p99 reveals queueing when
+//! clients outnumber workers.
+//!
+//! ```sh
+//! cargo run --release -p sbq-bench --bin concurrency
+//! ```
+
+use sbq_bench::{fmt_dur, header};
+use sbq_model::{workload, TypeDesc};
+use sbq_wsdl::ServiceDef;
+use soap_binq::{ServerConfig, SoapClient, SoapServerBuilder, WireEncoding};
+use std::time::{Duration, Instant};
+
+const CALLS_PER_CLIENT: usize = 50;
+
+fn echo_service() -> ServiceDef {
+    ServiceDef::new("Echo", "urn:bench:conc", "x").with_operation(
+        "echo",
+        TypeDesc::list_of(TypeDesc::Int),
+        TypeDesc::list_of(TypeDesc::Int),
+    )
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_level(clients: usize, workers: usize) -> (Duration, Duration, Duration) {
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().worker_threads(workers))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let mut c = SoapClient::connect(addr, &svc, WireEncoding::Pbio).unwrap();
+                let v = workload::int_array(256, 1);
+                c.call("echo", v.clone()).unwrap(); // warm-up + handshake
+                let mut samples = Vec::with_capacity(CALLS_PER_CLIENT);
+                for _ in 0..CALLS_PER_CLIENT {
+                    let t0 = Instant::now();
+                    c.call("echo", v.clone()).unwrap();
+                    samples.push(t0.elapsed());
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let mut all: Vec<Duration> = Vec::with_capacity(clients * CALLS_PER_CLIENT);
+    for h in handles {
+        all.extend(h.join().expect("client thread finished"));
+    }
+    all.sort_unstable();
+    (
+        percentile(&all, 0.50),
+        percentile(&all, 0.99),
+        *all.last().unwrap(),
+    )
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    header(
+        &format!("worker-pool call latency ({workers} workers, {CALLS_PER_CLIENT} calls/client)"),
+        &["clients", "p50", "p99", "max"],
+    );
+    for clients in [1usize, 8, 64] {
+        let (p50, p99, max) = run_level(clients, workers);
+        println!(
+            "{clients:>7} | {} | {} | {}",
+            fmt_dur(p50),
+            fmt_dur(p99),
+            fmt_dur(max)
+        );
+    }
+}

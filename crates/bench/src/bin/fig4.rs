@@ -53,7 +53,13 @@ fn main() {
 
     header(
         "(a) integer arrays",
-        &["workload", "pbio bytes", "sun rpc", "soap-bin", "soapbin/rpc"],
+        &[
+            "workload",
+            "pbio bytes",
+            "sun rpc",
+            "soap-bin",
+            "soapbin/rpc",
+        ],
     );
     for &n in &[32usize, 256, 2048, 16_384, 131_072] {
         let v = workload::int_array(n, 1);
@@ -68,7 +74,13 @@ fn main() {
 
     header(
         "(b) nested structs",
-        &["workload", "pbio bytes", "sun rpc", "soap-bin", "soapbin/rpc"],
+        &[
+            "workload",
+            "pbio bytes",
+            "sun rpc",
+            "soap-bin",
+            "soapbin/rpc",
+        ],
     );
     for depth in 1..=8 {
         let v = workload::nested_struct(depth, 2);

@@ -15,7 +15,14 @@ fn main() {
 
     header(
         "encoded sizes (int arrays)",
-        &["elements", "native/pbio", "xml", "lz(xml)", "xml/pbio", "lz/pbio"],
+        &[
+            "elements",
+            "native/pbio",
+            "xml",
+            "lz(xml)",
+            "xml/pbio",
+            "lz/pbio",
+        ],
     );
     for &n in &sizes {
         let v = workload::int_array(n, 2);
@@ -35,7 +42,14 @@ fn main() {
     for link in [LinkSpec::lan_100mbps(), LinkSpec::adsl()] {
         header(
             &format!("overall one-way costs over {} (int arrays)", link.name),
-            &["elements", "pbio enc+dec", "pbio+tx", "lz comp+dec", "lz+tx", "xml direct tx"],
+            &[
+                "elements",
+                "pbio enc+dec",
+                "pbio+tx",
+                "lz comp+dec",
+                "lz+tx",
+                "xml direct tx",
+            ],
         );
         for &n in &sizes {
             let v = workload::int_array(n, 2);
@@ -45,7 +59,8 @@ fn main() {
             let pbio = plan::encode(&v, &format).unwrap();
             let pb_dec = time_min(iters, || plan::decode(&pbio, &format).unwrap());
             let pb_cpu = pb_enc + pb_dec;
-            let pb_total = pb_cpu + transfer(&link, pbio.len() + 9 + http_request_overhead(pbio.len()));
+            let pb_total =
+                pb_cpu + transfer(&link, pbio.len() + 9 + http_request_overhead(pbio.len()));
 
             let xml = marshal::value_to_xml(&v, "p");
             let lz_c = time_min(iters, || sbq_lz::compress(xml.as_bytes()));

@@ -34,7 +34,10 @@ fn main() {
 
     for link in [LinkSpec::lan_100mbps(), LinkSpec::adsl()] {
         header(
-            &format!("one-way costs over {} (struct depth 8, replicated x64 for weight)", link.name),
+            &format!(
+                "one-way costs over {} (struct depth 8, replicated x64 for weight)",
+                link.name
+            ),
             &["path", "cpu", "wire bytes", "total"],
         );
         // A single depth-8 struct is tiny; the paper's experiments move

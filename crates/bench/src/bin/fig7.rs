@@ -43,7 +43,11 @@ fn run_workload(label: &str, value: &Value, ty: &TypeDesc) {
 fn main() {
     println!("Figure 7 — modes of operation");
     let arr = workload::int_array(65_536, 4);
-    run_workload("(a) int array, 64Ki elements", &arr, &TypeDesc::list_of(TypeDesc::Int));
+    run_workload(
+        "(a) int array, 64Ki elements",
+        &arr,
+        &TypeDesc::list_of(TypeDesc::Int),
+    );
 
     let ty = TypeDesc::list_of(workload::business_struct_type(6));
     let v = Value::List((0..128).map(|i| workload::business_struct(6, i)).collect());

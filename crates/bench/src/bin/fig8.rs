@@ -29,11 +29,7 @@ struct Outcome {
 
 fn run(policy: Policy, edge_full_ms: f64, edge_half_ms: f64) -> Outcome {
     // Cross traffic: 40 s period, first 20 s congested at 92 % load.
-    let cross = CrossTraffic::square_wave(
-        Duration::from_secs(40),
-        Duration::from_secs(20),
-        0.92,
-    );
+    let cross = CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
     let mut link = SimLink::new(LinkSpec::lan_100mbps()).with_cross_traffic(cross);
 
     // Quality management exactly as the application wires it.
@@ -56,8 +52,11 @@ fn run(policy: Policy, edge_full_ms: f64, edge_half_ms: f64) -> Outcome {
                 rule.message_type == "image_half"
             }
         };
-        let (resp_bytes, server_ms) =
-            if half { (half_bytes, edge_half_ms) } else { (full_bytes, edge_full_ms) };
+        let (resp_bytes, server_ms) = if half {
+            (half_bytes, edge_half_ms)
+        } else {
+            (full_bytes, edge_full_ms)
+        };
         let server_time = Duration::from_secs_f64(server_ms / 1e3);
         let rtt = link.request_response(req_bytes, resp_bytes, server_time);
         if policy == Policy::Adaptive {
@@ -91,10 +90,8 @@ fn main() {
     // Measure real edge-detection cost per resolution.
     let img_full = starfield::generate(640, 480, 120, 1);
     let img_half = transform::half(&img_full);
-    let edge_full_ms =
-        time_min(3, || transform::edge_detect(&img_full)).as_secs_f64() * 1e3;
-    let edge_half_ms =
-        time_min(3, || transform::edge_detect(&img_half)).as_secs_f64() * 1e3;
+    let edge_full_ms = time_min(3, || transform::edge_detect(&img_full)).as_secs_f64() * 1e3;
+    let edge_half_ms = time_min(3, || transform::edge_detect(&img_half)).as_secs_f64() * 1e3;
     println!("measured edge-detect cost: full {edge_full_ms:.1} ms, half {edge_half_ms:.1} ms");
 
     let full = run(Policy::FixedFull, edge_full_ms, edge_half_ms);
@@ -109,9 +106,15 @@ fn main() {
     summarize("320x240", &half);
     summarize("adaptive", &adaptive);
 
-    header("adaptive time series (sampled)", &["t (s)", "resp (ms)", "resolution"]);
+    header(
+        "adaptive time series (sampled)",
+        &["t (s)", "resp (ms)", "resolution"],
+    );
     for (t, ms, h) in adaptive.times.iter().step_by(6) {
-        println!("{t:6.1} | {ms:9.1} | {}", if *h { "320x240" } else { "640x480" });
+        println!(
+            "{t:6.1} | {ms:9.1} | {}",
+            if *h { "320x240" } else { "640x480" }
+        );
     }
 
     println!(

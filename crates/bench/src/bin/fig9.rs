@@ -38,10 +38,7 @@ fn batch_size_for(rule: &str) -> usize {
 
 fn run(policy: Policy, per_graph: usize) -> Vec<(f64, f64, usize)> {
     // Cross-traffic staircase: idle, light, heavy, moderate — repeating.
-    let cross = CrossTraffic::staircase(
-        Duration::from_secs(15),
-        &[0.0, 0.35, 0.85, 0.5],
-    );
+    let cross = CrossTraffic::staircase(Duration::from_secs(15), &[0.0, 0.35, 0.85, 0.5]);
     let mut link = SimLink::new(LinkSpec::adsl()).with_cross_traffic(cross);
     let mut qm = QualityManager::new(md_quality_file([120.0, 200.0, 350.0]));
 
@@ -70,11 +67,8 @@ fn summarize(name: &str, series: &[(f64, f64, usize)]) {
     let max = ms.iter().cloned().fold(0.0, f64::max);
     let min = ms.iter().cloned().fold(f64::MAX, f64::min);
     let jitter = ms.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ms.len() - 1) as f64;
-    let steps: f64 =
-        series.iter().map(|(_, _, k)| *k as f64).sum::<f64>() / series.len() as f64;
-    println!(
-        "{name:>12} | {mean:8.1} | {min:8.1} | {max:8.1} | {jitter:8.1} | {steps:9.2}"
-    );
+    let steps: f64 = series.iter().map(|(_, _, k)| *k as f64).sum::<f64>() / series.len() as f64;
+    println!("{name:>12} | {mean:8.1} | {min:8.1} | {max:8.1} | {jitter:8.1} | {steps:9.2}");
 }
 
 fn main() {
@@ -96,7 +90,10 @@ fn main() {
     summarize("1 step/req", &fixed1);
     summarize("adaptive", &adaptive);
 
-    header("adaptive time series (sampled)", &["t (s)", "resp (ms)", "steps"]);
+    header(
+        "adaptive time series (sampled)",
+        &["t (s)", "resp (ms)", "steps"],
+    );
     for (t, ms, k) in adaptive.iter().step_by(25) {
         println!("{t:6.1} | {ms:9.1} | {k:5}");
     }

@@ -16,7 +16,10 @@ fn main() {
     println!("Headline claims (§I, §IV-B)");
 
     // --- size ratios -----------------------------------------------------
-    header("size ratios (xml / pbio)", &["workload", "pbio", "xml", "ratio"]);
+    header(
+        "size ratios (xml / pbio)",
+        &["workload", "pbio", "xml", "ratio"],
+    );
     let cases: Vec<(String, Value, TypeDesc)> = vec![
         (
             "int array 128Ki".into(),

@@ -35,8 +35,20 @@ fn main() {
     let link = LinkSpec::adsl();
     let iters = 40;
 
-    println!("Table I — event rates for the airline application over {}", link.name);
-    header("encodings", &["encoding", "size (B)", "cpu/event", "wire/event", "events/sec"]);
+    println!(
+        "Table I — event rates for the airline application over {}",
+        link.name
+    );
+    header(
+        "encodings",
+        &[
+            "encoding",
+            "size (B)",
+            "cpu/event",
+            "wire/event",
+            "events/sec",
+        ],
+    );
 
     let mut rows: Vec<(String, usize, Duration, usize)> = Vec::new();
 
@@ -44,7 +56,12 @@ fn main() {
     let xml = marshal::value_to_xml(&value, "catering_event");
     let cpu = time_min(iters, || marshal::value_to_xml(&value, "catering_event"))
         + time_min(iters, || marshal::parse_document(&xml, &ty).unwrap());
-    rows.push(("SOAP".into(), xml.len(), cpu, xml.len() + http_request_overhead(xml.len())));
+    rows.push((
+        "SOAP".into(),
+        xml.len(),
+        cpu,
+        xml.len() + http_request_overhead(xml.len()),
+    ));
 
     // SOAP-bin: PBIO payload over HTTP.
     let pbio = plan::encode(&value, &format).unwrap();

@@ -22,7 +22,10 @@ fn main() {
     let mut m = Molecule::branched_chain(400, 7);
     m.run(50);
     let graph = BondGraph::capture(&m, 1.2);
-    println!("bond graph payload: {} bytes (paper: 16K)", fmt_bytes(graph.native_size()));
+    println!(
+        "bond graph payload: {} bytes (paper: 16K)",
+        fmt_bytes(graph.native_size())
+    );
 
     let bus = EchoBus::new();
     bus.create_channel("bonds", BondGraph::type_desc()).unwrap();
@@ -30,11 +33,16 @@ fn main() {
     bus.submit("bonds", graph.to_value()).unwrap();
     std::thread::sleep(std::time::Duration::from_millis(50));
 
-    let server = portal.serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio).unwrap();
+    let server = portal
+        .serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio)
+        .unwrap();
     let svc = portal_service("x");
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
 
-    header("measured loopback response times", &["format", "payload", "mean", "min"]);
+    header(
+        "measured loopback response times",
+        &["format", "payload", "mean", "min"],
+    );
     for format in ["xml", "svg"] {
         let req = || {
             Value::struct_of(

@@ -103,7 +103,10 @@ pub fn fmt_bytes(n: usize) -> String {
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n=== {title} ===");
     println!("{}", cols.join(" | "));
-    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>().max(20)));
+    println!(
+        "{}",
+        "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>().max(20))
+    );
 }
 
 #[cfg(test)]

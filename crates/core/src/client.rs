@@ -7,6 +7,13 @@
 //! carries the client's timestamp and current RTT estimate; every reply
 //! updates the estimator (compensated by the server-reported preparation
 //! time, §IV-C.h).
+//!
+//! Transient transport failures are handled by [`SoapClient::call_with_retry`]
+//! under the connection's [`RetryPolicy`]: reconnect (which starts a fresh
+//! PBIO session, so the format-registration handshake replays), back off
+//! exponentially with jitter, try again. Calls completed on a retry do
+//! *not* feed the RTT estimator — the measured time spans the failure and
+//! would poison the estimate (Karn's algorithm).
 
 use crate::envelope::{self, QosHeader};
 use crate::marshal;
@@ -16,6 +23,7 @@ use sbq_http::{HttpClient, Request, Response};
 use sbq_model::{pad_to, TypeDesc, Value};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
 use sbq_qos::QualityManager;
+use sbq_runtime::SmallRng;
 use sbq_wsdl::{compile, CompiledService, ServiceDef};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +31,129 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+/// How a client retries calls that failed in a retryable way (see
+/// [`SoapError::is_retryable`]): up to `max_attempts` total tries with
+/// exponentially growing, jittered pauses in between.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry (a single attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::default().max_attempts(1)
+    }
+
+    /// Total attempts, including the first (at least 1).
+    pub fn max_attempts(mut self, n: u32) -> RetryPolicy {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Pause before the first retry; later retries double it.
+    pub fn base_backoff(mut self, d: Duration) -> RetryPolicy {
+        self.base_backoff = d;
+        self
+    }
+
+    /// Upper bound on any single pause.
+    pub fn max_backoff(mut self, d: Duration) -> RetryPolicy {
+        self.max_backoff = d;
+        self
+    }
+
+    /// Fraction of each pause randomized away, in `[0, 1]`: with jitter
+    /// `j`, the pause is uniform in `[(1-j)·b, b]`. Jitter decorrelates
+    /// clients that failed together so they do not retry together.
+    pub fn jitter(mut self, j: f64) -> RetryPolicy {
+        self.jitter = j.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Attempts this policy allows in total.
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The pause before retry number `retry` (zero-based).
+    fn backoff(&self, retry: u32, rng: &mut SmallRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .checked_mul(1u32 << retry.min(20))
+            .unwrap_or(self.max_backoff)
+            .min(self.max_backoff);
+        exp.mul_f64(1.0 - self.jitter * rng.gen_f64())
+    }
+}
+
+/// Client-side configuration: wire encoding aside (that is a property of
+/// the endpoint, passed to `connect`), everything about how calls behave —
+/// transport deadlines, size limits, and the retry policy.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    http: sbq_http::ClientConfig,
+    retry: RetryPolicy,
+}
+
+impl ClientConfig {
+    /// The default configuration.
+    pub fn new() -> ClientConfig {
+        ClientConfig::default()
+    }
+
+    /// Deadline for establishing the TCP connection.
+    pub fn connect_timeout(mut self, d: Duration) -> ClientConfig {
+        self.http = self.http.connect_timeout(d);
+        self
+    }
+
+    /// Deadline for a call's response to start arriving (and for each
+    /// subsequent read while it streams in).
+    pub fn call_timeout(mut self, d: Duration) -> ClientConfig {
+        self.http = self.http.read_timeout(d);
+        self
+    }
+
+    /// Per-write deadline while sending a request.
+    pub fn write_timeout(mut self, d: Duration) -> ClientConfig {
+        self.http = self.http.write_timeout(d);
+        self
+    }
+
+    /// Cap on response body size.
+    pub fn max_body_bytes(mut self, n: usize) -> ClientConfig {
+        self.http = self.http.max_body_bytes(n);
+        self
+    }
+
+    /// How [`SoapClient::call_with_retry`] retries retryable failures.
+    pub fn retry_policy(mut self, p: RetryPolicy) -> ClientConfig {
+        self.retry = p;
+        self
+    }
+
+    /// Full control over the HTTP-level configuration.
+    pub fn http(mut self, http: sbq_http::ClientConfig) -> ClientConfig {
+        self.http = http;
+        self
+    }
+}
 
 /// Per-client call statistics (what the application-level experiments
 /// chart).
@@ -38,30 +169,46 @@ pub struct CallStats {
     pub last_rtt: Option<Duration>,
     /// Message type of the most recent response, if quality-reduced.
     pub last_message_type: Option<String>,
+    /// Reconnects performed (each one starts a fresh PBIO session).
+    pub reconnects: u64,
+    /// Retried attempts across all calls.
+    pub retries: u64,
 }
 
 /// A blocking SOAP-binQ client.
 pub struct SoapClient {
     http: HttpClient,
     addr: SocketAddr,
+    config: ClientConfig,
     compiled: CompiledService,
     encoding: WireEncoding,
     endpoint: PbioEndpoint,
     quality: Option<QualityManager>,
     session: u64,
     stats: CallStats,
+    rng: SmallRng,
 }
 
 impl SoapClient {
-    /// Connects and compiles the service with default (native host) PBIO
+    /// Connects with the default [`ClientConfig`] and native-host PBIO
     /// format options.
     pub fn connect(
         addr: SocketAddr,
         svc: &ServiceDef,
         encoding: WireEncoding,
     ) -> Result<SoapClient, SoapError> {
+        SoapClient::connect_with(addr, svc, encoding, ClientConfig::default())
+    }
+
+    /// Connects with explicit configuration.
+    pub fn connect_with(
+        addr: SocketAddr,
+        svc: &ServiceDef,
+        encoding: WireEncoding,
+        config: ClientConfig,
+    ) -> Result<SoapClient, SoapError> {
         let compiled = compile(svc, Default::default())?;
-        SoapClient::connect_compiled(addr, compiled, encoding)
+        SoapClient::connect_compiled(addr, compiled, encoding, config)
     }
 
     /// Connects with an already-compiled service (custom format options,
@@ -70,17 +217,21 @@ impl SoapClient {
         addr: SocketAddr,
         compiled: CompiledService,
         encoding: WireEncoding,
+        config: ClientConfig,
     ) -> Result<SoapClient, SoapError> {
-        let http = HttpClient::connect(addr)?;
+        let http = HttpClient::connect_with(addr, &config.http)?;
+        let session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
         Ok(SoapClient {
             http,
             addr,
+            config,
             compiled,
             encoding,
             endpoint: PbioEndpoint::new(Arc::new(FormatServer::new())),
             quality: None,
-            session: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
+            session,
             stats: CallStats::default(),
+            rng: SmallRng::seed_from_u64(0x5b9_0a77e5 ^ session),
         })
     }
 
@@ -110,6 +261,11 @@ impl SoapClient {
         self.addr
     }
 
+    /// The current PBIO session id (changes on every reconnect).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
     /// Re-establishes the HTTP connection after a transport failure.
     ///
     /// A *new* PBIO session begins: format announcements replay on the
@@ -117,22 +273,31 @@ impl SoapClient {
     /// quality manager's estimator state is kept — the network did not
     /// forget its conditions just because a socket died.
     pub fn reconnect(&mut self) -> Result<(), SoapError> {
-        self.http = HttpClient::connect(self.addr)?;
+        self.http = HttpClient::connect_with(self.addr, &self.config.http)?;
         self.endpoint = PbioEndpoint::new(Arc::new(FormatServer::new()));
         self.session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+        self.stats.reconnects += 1;
         Ok(())
     }
 
-    /// Calls `operation`, reconnecting once and retrying if the transport
-    /// failed (idempotent operations only — the first attempt may have
-    /// executed server-side).
+    /// Calls `operation`, retrying retryable failures under the
+    /// configured [`RetryPolicy`]: reconnect (fresh socket, fresh PBIO
+    /// session — the format handshake replays), back off with jitter, try
+    /// again. Use for idempotent operations only — a failed attempt may
+    /// still have executed server-side.
     pub fn call_with_retry(&mut self, operation: &str, params: Value) -> Result<Value, SoapError> {
-        match self.call(operation, params.clone()) {
-            Err(SoapError::Http(_)) => {
-                self.reconnect()?;
-                self.call(operation, params)
+        let policy = self.config.retry.clone();
+        let mut retry = 0u32;
+        loop {
+            match self.call_attempt(operation, params.clone(), retry > 0) {
+                Err(e) if e.is_retryable() && retry + 1 < policy.attempts() => {
+                    std::thread::sleep(policy.backoff(retry, &mut self.rng));
+                    retry += 1;
+                    self.stats.retries += 1;
+                    self.reconnect()?;
+                }
+                other => return other,
             }
-            other => other,
         }
     }
 
@@ -141,41 +306,59 @@ impl SoapClient {
         &self.compiled
     }
 
-    /// Invokes `operation` with `params`, blocking for the result.
+    /// Invokes `operation` with `params`, blocking for the result (a
+    /// single attempt; see [`SoapClient::call_with_retry`]).
     ///
     /// The result is always presented in the operation's *full* output
     /// type: quality-reduced responses are padded back ("the remaining
     /// entries are padded with zeroes", §III-B.b).
     pub fn call(&mut self, operation: &str, params: Value) -> Result<Value, SoapError> {
+        self.call_attempt(operation, params, false)
+    }
+
+    fn call_attempt(
+        &mut self,
+        operation: &str,
+        params: Value,
+        is_retry: bool,
+    ) -> Result<Value, SoapError> {
         let stub = self
             .compiled
             .stub(operation)
-            .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?
+            .ok_or_else(|| SoapError::protocol(format!("unknown operation {operation}")))?
             .clone();
 
-        let mut header = QosHeader {
-            timestamp_us: 0,
-            rtt_ms: self.quality.as_ref().and_then(|q| q.estimator().estimate_ms()),
+        let header = QosHeader {
+            timestamp_us: 0, // echoed value unused: we time locally
+            rtt_ms: self
+                .quality
+                .as_ref()
+                .and_then(|q| q.estimator().estimate_ms()),
             server_time_us: 0,
             message_type: None,
         };
 
         let t0 = Instant::now();
-        header.timestamp_us = 0; // echoed value unused: we time locally
-
         let req = self.encode_request(operation, &params, &stub.input_format, &header)?;
         self.stats.bytes_sent += req.body.len() as u64;
         let resp = self.http.send(req)?;
         let rtt = t0.elapsed();
         self.stats.bytes_received += resp.body.len() as u64;
 
-        let (value, resp_header) = self.decode_response(&resp, &stub.output, &stub.output_format)?;
+        let (value, resp_header) =
+            self.decode_response(&resp, &stub.output, &stub.output_format)?;
 
         self.stats.calls += 1;
         self.stats.last_rtt = Some(rtt);
         self.stats.last_message_type = resp_header.message_type.clone();
         if let Some(q) = &mut self.quality {
-            q.observe_rtt(rtt, Duration::from_micros(resp_header.server_time_us));
+            if is_retry {
+                // Karn's algorithm: an RTT measured across a retransmission
+                // is ambiguous, so it must not reach the estimator.
+                q.observe_retry();
+            } else {
+                q.observe_rtt(rtt, Duration::from_micros(resp_header.server_time_us));
+            }
         }
         Ok(value)
     }
@@ -187,11 +370,14 @@ impl SoapClient {
         let stub = self
             .compiled
             .stub(operation)
-            .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?
+            .ok_or_else(|| SoapError::protocol(format!("unknown operation {operation}")))?
             .clone();
         let params = marshal::parse_document(params_xml, &stub.input)?;
         let result = self.call(operation, params)?;
-        Ok(marshal::value_to_xml(&result, &format!("{operation}Result")))
+        Ok(marshal::value_to_xml(
+            &result,
+            &format!("{operation}Result"),
+        ))
     }
 
     fn encode_request(
@@ -210,14 +396,20 @@ impl SoapClient {
                     body.extend_from_slice(&m.to_bytes());
                 }
                 let mut req = Request::post(&path, self.encoding.content_type(), body);
-                req.headers.push(("X-Soap-Op".to_string(), operation.to_string()));
-                req.headers.push(("X-Pbio-Session".to_string(), self.session.to_string()));
+                req.headers
+                    .push(("X-Soap-Op".to_string(), operation.to_string()));
+                req.headers
+                    .push(("X-Pbio-Session".to_string(), self.session.to_string()));
                 req.headers.extend(header.to_http_headers());
                 Ok(req)
             }
             WireEncoding::Xml => {
                 let xml = envelope::build_request(operation, params, header);
-                Ok(Request::post(&path, self.encoding.content_type(), xml.into_bytes()))
+                Ok(Request::post(
+                    &path,
+                    self.encoding.content_type(),
+                    xml.into_bytes(),
+                ))
             }
             WireEncoding::CompressedXml => {
                 let xml = envelope::build_request(operation, params, header);
@@ -240,7 +432,10 @@ impl SoapClient {
                         .header("x-soap-error")
                         .unwrap_or("server error")
                         .to_string();
-                    return Err(SoapError::Fault { code: "soap:Server".into(), message: msg });
+                    return Err(SoapError::Fault {
+                        code: "soap:Server".into(),
+                        message: msg,
+                    });
                 }
                 let header = QosHeader::from_http_headers(|n| resp.header(n));
                 let mut value = None;
@@ -255,7 +450,7 @@ impl SoapClient {
                     }
                 }
                 let value =
-                    value.ok_or_else(|| SoapError::Protocol("response had no data message".into()))?;
+                    value.ok_or_else(|| SoapError::protocol("response had no data message"))?;
                 Ok((value, header))
             }
             WireEncoding::Xml | WireEncoding::CompressedXml => {
@@ -264,7 +459,7 @@ impl SoapClient {
                     _ => resp.body.clone(),
                 };
                 let xml = std::str::from_utf8(&xml_bytes)
-                    .map_err(|_| SoapError::Xml("response is not utf-8".into()))?;
+                    .map_err(|_| SoapError::xml("response is not utf-8"))?;
                 // Resolve the body type: reduced message types parse with
                 // their registered schema, everything else with the full
                 // output type. (Faults are handled inside parse_envelope.)
@@ -280,12 +475,11 @@ impl SoapClient {
                         // Retry with the reduced type named in the header,
                         // if the quality config knows it.
                         let hdr = peek_header(xml);
-                        let reduced = hdr
-                            .message_type
-                            .as_deref()
-                            .and_then(|mt| {
-                                quality.as_ref().and_then(|q| q.message_type_def(mt).cloned())
-                            });
+                        let reduced = hdr.message_type.as_deref().and_then(|mt| {
+                            quality
+                                .as_ref()
+                                .and_then(|q| q.message_type_def(mt).cloned())
+                        });
                         match reduced {
                             Some(ty) => envelope::parse_envelope(xml, |_| Some(ty.clone()))?,
                             None => return Err(first_err),

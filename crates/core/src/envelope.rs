@@ -42,7 +42,10 @@ impl QosHeader {
             h.push(("X-Qos-Rtt".to_string(), format!("{rtt}")));
         }
         if self.server_time_us > 0 {
-            h.push(("X-Qos-Server-Time".to_string(), self.server_time_us.to_string()));
+            h.push((
+                "X-Qos-Server-Time".to_string(),
+                self.server_time_us.to_string(),
+            ));
         }
         if let Some(mt) = &self.message_type {
             h.push(("X-Qos-Message-Type".to_string(), mt.clone()));
@@ -52,28 +55,39 @@ impl QosHeader {
 
     /// Extracts the header fields from HTTP headers (lenient: absent
     /// fields default).
-    pub fn from_http_headers<'a>(
-        mut lookup: impl FnMut(&str) -> Option<&'a str>,
-    ) -> QosHeader {
+    pub fn from_http_headers<'a>(mut lookup: impl FnMut(&str) -> Option<&'a str>) -> QosHeader {
         QosHeader {
-            timestamp_us: lookup("X-Qos-Timestamp").and_then(|v| v.parse().ok()).unwrap_or(0),
+            timestamp_us: lookup("X-Qos-Timestamp")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             rtt_ms: lookup("X-Qos-Rtt").and_then(|v| v.parse().ok()),
-            server_time_us: lookup("X-Qos-Server-Time").and_then(|v| v.parse().ok()).unwrap_or(0),
+            server_time_us: lookup("X-Qos-Server-Time")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             message_type: lookup("X-Qos-Message-Type").map(str::to_string),
         }
     }
 
     fn write_xml(&self, out: &mut String) {
         out.push_str("<soap:Header>");
-        out.push_str(&format!("<qos:timestamp>{}</qos:timestamp>", self.timestamp_us));
+        out.push_str(&format!(
+            "<qos:timestamp>{}</qos:timestamp>",
+            self.timestamp_us
+        ));
         if let Some(rtt) = self.rtt_ms {
             out.push_str(&format!("<qos:rtt>{rtt}</qos:rtt>"));
         }
         if self.server_time_us > 0 {
-            out.push_str(&format!("<qos:serverTime>{}</qos:serverTime>", self.server_time_us));
+            out.push_str(&format!(
+                "<qos:serverTime>{}</qos:serverTime>",
+                self.server_time_us
+            ));
         }
         if let Some(mt) = &self.message_type {
-            out.push_str(&format!("<qos:messageType>{}</qos:messageType>", escape_text(mt)));
+            out.push_str(&format!(
+                "<qos:messageType>{}</qos:messageType>",
+                escape_text(mt)
+            ));
         }
         out.push_str("</soap:Header>");
     }
@@ -107,10 +121,15 @@ fn build_envelope(body_tag: &str, value: &Value, header: &QosHeader) -> String {
 pub fn build_fault(code: &str, message: &str) -> String {
     let mut out = String::with_capacity(256);
     out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-    out.push_str(&format!("<soap:Envelope xmlns:soap=\"{ENVELOPE_NS}\"><soap:Body>"));
+    out.push_str(&format!(
+        "<soap:Envelope xmlns:soap=\"{ENVELOPE_NS}\"><soap:Body>"
+    ));
     out.push_str("<soap:Fault>");
     out.push_str(&format!("<faultcode>{}</faultcode>", escape_text(code)));
-    out.push_str(&format!("<faultstring>{}</faultstring>", escape_text(message)));
+    out.push_str(&format!(
+        "<faultstring>{}</faultstring>",
+        escape_text(message)
+    ));
     out.push_str("</soap:Fault></soap:Body></soap:Envelope>");
     out
 }
@@ -147,14 +166,18 @@ pub fn parse_envelope(
                 // Consume </Body> and </Envelope>.
                 consume_end(&mut p)?;
                 consume_end(&mut p)?;
-                return Ok(ParsedEnvelope { operation: op, header, value });
+                return Ok(ParsedEnvelope {
+                    operation: op,
+                    header,
+                    value,
+                });
             }
             Event::Start { name, .. } => {
-                return Err(SoapError::Xml(format!("unexpected element <{name}> in envelope")))
+                return Err(SoapError::xml(format!(
+                    "unexpected element <{name}> in envelope"
+                )))
             }
-            Event::End { .. } | Event::Eof => {
-                return Err(SoapError::Xml("envelope has no body".into()))
-            }
+            Event::End { .. } | Event::Eof => return Err(SoapError::xml("envelope has no body")),
             Event::Text(_) => {}
         }
     }
@@ -176,7 +199,7 @@ fn parse_header(p: &mut PullParser<'_>) -> Result<QosHeader, SoapError> {
             }
             Event::End { .. } => return Ok(h),
             Event::Text(_) => {}
-            Event::Eof => return Err(SoapError::Xml("eof in soap header".into())),
+            Event::Eof => return Err(SoapError::xml("eof in soap header")),
         }
     }
 }
@@ -193,19 +216,21 @@ fn parse_body(
                     return Err(parse_fault(p));
                 }
                 let op = name.clone();
-                let ty = resolve(&op).ok_or_else(|| SoapError::Protocol(format!(
-                    "unknown operation element <{op}>{}",
-                    header
-                        .message_type
-                        .as_deref()
-                        .map(|m| format!(" (message type {m})"))
-                        .unwrap_or_default()
-                )))?;
+                let ty = resolve(&op).ok_or_else(|| {
+                    SoapError::protocol(format!(
+                        "unknown operation element <{op}>{}",
+                        header
+                            .message_type
+                            .as_deref()
+                            .map(|m| format!(" (message type {m})"))
+                            .unwrap_or_default()
+                    ))
+                })?;
                 let value = value_from_xml(p, &ty)?;
                 return Ok((op, value));
             }
             Event::Text(_) => {}
-            other => return Err(SoapError::Xml(format!("empty soap body ({other:?})"))),
+            other => return Err(SoapError::xml(format!("empty soap body ({other:?})"))),
         }
     }
 }
@@ -235,10 +260,10 @@ fn expect_start(p: &mut PullParser<'_>, what: &str) -> Result<(), SoapError> {
         match p.next()? {
             Event::Start { name, .. } if local(&name) == what => return Ok(()),
             Event::Start { name, .. } => {
-                return Err(SoapError::Xml(format!("expected <{what}>, found <{name}>")))
+                return Err(SoapError::xml(format!("expected <{what}>, found <{name}>")))
             }
             Event::Text(_) => {}
-            other => return Err(SoapError::Xml(format!("expected <{what}>, got {other:?}"))),
+            other => return Err(SoapError::xml(format!("expected <{what}>, got {other:?}"))),
         }
     }
 }
@@ -248,7 +273,7 @@ fn consume_end(p: &mut PullParser<'_>) -> Result<(), SoapError> {
         match p.next()? {
             Event::End { .. } => return Ok(()),
             Event::Text(_) => {}
-            other => return Err(SoapError::Xml(format!("expected end tag, got {other:?}"))),
+            other => return Err(SoapError::xml(format!("expected end tag, got {other:?}"))),
         }
     }
 }
@@ -292,7 +317,10 @@ mod tests {
 
     #[test]
     fn server_time_survives() {
-        let h = QosHeader { server_time_us: 777, ..Default::default() };
+        let h = QosHeader {
+            server_time_us: 777,
+            ..Default::default()
+        };
         let xml = build_response("op", &Value::Int(0), &h);
         let parsed = parse_envelope(&xml, resolver(TypeDesc::Int)).unwrap();
         assert_eq!(parsed.header.server_time_us, 777);
@@ -328,7 +356,10 @@ mod tests {
         };
         let rendered = h.to_http_headers();
         let parsed = QosHeader::from_http_headers(|name| {
-            rendered.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+            rendered
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
         });
         assert_eq!(parsed, h);
     }
@@ -356,6 +387,10 @@ mod tests {
         let v = workload::int_array(1000, 1);
         let xml = build_request("op", &v, &QosHeader::default());
         let body = crate::marshal::value_to_xml(&v, "op");
-        assert!(xml.len() - body.len() < 300, "envelope overhead {}", xml.len() - body.len());
+        assert!(
+            xml.len() - body.len() < 300,
+            "envelope overhead {}",
+            xml.len() - body.len()
+        );
     }
 }

@@ -16,9 +16,11 @@
 //! * [`modes`] — the three SOAP-bin operating modes (§I) and the two
 //!   baselines (plain XML SOAP, compressed-XML SOAP), as composable
 //!   encoding pipelines with measured costs.
-//! * [`client`] / [`server`] — a blocking SOAP client and a threaded SOAP
-//!   server over HTTP, generic over the wire encoding, with per-call
-//!   continuous quality management.
+//! * [`client`] / [`server`] — a blocking SOAP client and a worker-pool
+//!   SOAP server over HTTP, generic over the wire encoding, with per-call
+//!   continuous quality management. Both ends are configured through
+//!   [`ClientConfig`] and [`ServerConfig`]; transient transport failures
+//!   are retried under a [`RetryPolicy`] with exponential backoff.
 //!
 //! ## Quick start
 //!
@@ -32,9 +34,11 @@
 //!     .with_operation("double", TypeDesc::Int, TypeDesc::Int);
 //!
 //! // Server.
-//! let mut builder = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
-//! builder.handle("double", |v| Value::Int(v.as_int().unwrap() * 2));
-//! let server = builder.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+//! let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+//!     .unwrap()
+//!     .handle("double", |v| Value::Int(v.as_int().unwrap() * 2))
+//!     .bind("127.0.0.1:0".parse().unwrap())
+//!     .unwrap();
 //!
 //! // Client.
 //! let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
@@ -48,23 +52,32 @@ pub mod modes;
 pub mod server;
 pub mod xml_handler;
 
-pub use client::SoapClient;
-pub use xml_handler::XmlHandler;
+pub use client::{CallStats, ClientConfig, RetryPolicy, SoapClient};
 pub use envelope::QosHeader;
 pub use modes::{Mode, WireEncoding};
 pub use server::{SoapServer, SoapServerBuilder};
+pub use xml_handler::XmlHandler;
 
-/// Errors surfaced by SOAP-binQ calls.
+// The full transport configuration and error surface, so downstream
+// binaries import everything from one crate.
+pub use sbq_http::{FaultAction, FaultSchedule, HttpError, Limits, ServerConfig, TimeoutKind};
+
+/// Errors surfaced by SOAP-binQ calls, split by layer: transport problems
+/// and timeouts (usually retryable — see [`SoapError::is_retryable`]),
+/// protocol problems (a malformed message at some encoding layer),
+/// quality-management problems, and SOAP faults returned by the server.
 #[derive(Debug)]
 pub enum SoapError {
-    /// Transport failure.
-    Http(sbq_http::HttpError),
-    /// XML envelope/body problem.
-    Xml(String),
-    /// Binary payload problem.
-    Pbio(sbq_pbio::PbioError),
-    /// Compressed payload problem.
-    Lz(sbq_lz::LzError),
+    /// The HTTP/socket layer failed (includes the peer closing or
+    /// garbling a response mid-flight).
+    Transport(sbq_http::HttpError),
+    /// A configured transport deadline elapsed.
+    Timeout(sbq_http::TimeoutKind),
+    /// A well-transported message violated some protocol layer.
+    Protocol(ProtocolError),
+    /// The quality-management layer failed (bad quality file, unknown
+    /// message type, …).
+    Quality(String),
     /// The server returned a SOAP fault.
     Fault {
         /// Fault code (e.g. `soap:Client`, `soap:Server`).
@@ -72,54 +85,167 @@ pub enum SoapError {
         /// Human-readable fault string.
         message: String,
     },
+}
+
+/// Which protocol layer rejected a message.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// XML envelope/body problem.
+    Xml(String),
+    /// Binary payload problem.
+    Pbio(sbq_pbio::PbioError),
+    /// Compressed payload problem.
+    Lz(sbq_lz::LzError),
     /// Value/schema mismatch.
     Model(sbq_model::ModelError),
     /// Anything else (unknown operation, bad headers, …).
-    Protocol(String),
+    Other(String),
+}
+
+impl SoapError {
+    /// A generic protocol error.
+    pub fn protocol(msg: impl Into<String>) -> SoapError {
+        SoapError::Protocol(ProtocolError::Other(msg.into()))
+    }
+
+    /// An XML-layer protocol error.
+    pub fn xml(msg: impl Into<String>) -> SoapError {
+        SoapError::Protocol(ProtocolError::Xml(msg.into()))
+    }
+
+    /// Whether retrying the call on a fresh connection could plausibly
+    /// succeed: timeouts and transport failures qualify, protocol errors
+    /// and server faults do not (the same bytes would fail again).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SoapError::Timeout(_) => true,
+            SoapError::Transport(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for SoapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SoapError::Http(e) => write!(f, "soap transport error: {e}"),
-            SoapError::Xml(m) => write!(f, "soap xml error: {m}"),
-            SoapError::Pbio(e) => write!(f, "soap binary error: {e}"),
-            SoapError::Lz(e) => write!(f, "soap compression error: {e}"),
+            SoapError::Transport(e) => write!(f, "soap transport error: {e}"),
+            SoapError::Timeout(k) => write!(f, "soap {k} timeout"),
+            SoapError::Protocol(e) => e.fmt(f),
+            SoapError::Quality(m) => write!(f, "soap quality error: {m}"),
             SoapError::Fault { code, message } => write!(f, "soap fault {code}: {message}"),
-            SoapError::Model(e) => write!(f, "soap value error: {e}"),
-            SoapError::Protocol(m) => write!(f, "soap protocol error: {m}"),
         }
     }
 }
 
-impl std::error::Error for SoapError {}
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Xml(m) => write!(f, "soap xml error: {m}"),
+            ProtocolError::Pbio(e) => write!(f, "soap binary error: {e}"),
+            ProtocolError::Lz(e) => write!(f, "soap compression error: {e}"),
+            ProtocolError::Model(e) => write!(f, "soap value error: {e}"),
+            ProtocolError::Other(m) => write!(f, "soap protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Pbio(e) => Some(e),
+            ProtocolError::Lz(e) => Some(e),
+            ProtocolError::Model(e) => Some(e),
+            ProtocolError::Xml(_) | ProtocolError::Other(_) => None,
+        }
+    }
+}
+
+impl std::error::Error for SoapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoapError::Transport(e) => Some(e),
+            SoapError::Protocol(e) => e.source(),
+            _ => None,
+        }
+    }
+}
 
 impl From<sbq_http::HttpError> for SoapError {
     fn from(e: sbq_http::HttpError) -> Self {
-        SoapError::Http(e)
+        match e {
+            sbq_http::HttpError::Timeout(k) => SoapError::Timeout(k),
+            other => SoapError::Transport(other),
+        }
     }
 }
 
 impl From<sbq_pbio::PbioError> for SoapError {
     fn from(e: sbq_pbio::PbioError) -> Self {
-        SoapError::Pbio(e)
+        SoapError::Protocol(ProtocolError::Pbio(e))
     }
 }
 
 impl From<sbq_lz::LzError> for SoapError {
     fn from(e: sbq_lz::LzError) -> Self {
-        SoapError::Lz(e)
+        SoapError::Protocol(ProtocolError::Lz(e))
     }
 }
 
 impl From<sbq_model::ModelError> for SoapError {
     fn from(e: sbq_model::ModelError) -> Self {
-        SoapError::Model(e)
+        SoapError::Protocol(ProtocolError::Model(e))
     }
 }
 
 impl From<sbq_xml::XmlError> for SoapError {
     fn from(e: sbq_xml::XmlError) -> Self {
-        SoapError::Xml(e.to_string())
+        SoapError::xml(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeouts_and_transport_errors_are_retryable() {
+        assert!(SoapError::Timeout(TimeoutKind::Read).is_retryable());
+        let closed = SoapError::from(sbq_http::HttpError::Protocol(
+            "connection closed before response".into(),
+        ));
+        assert!(
+            closed.is_retryable(),
+            "a dying server mid-response is retryable"
+        );
+        assert!(!SoapError::protocol("unknown operation").is_retryable());
+        assert!(!SoapError::Fault {
+            code: "soap:Server".into(),
+            message: "x".into()
+        }
+        .is_retryable());
+        let too_large = SoapError::from(sbq_http::HttpError::TooLarge {
+            what: "body",
+            limit: 1,
+        });
+        assert!(
+            !too_large.is_retryable(),
+            "the same oversized body would fail again"
+        );
+    }
+
+    #[test]
+    fn http_timeouts_surface_as_soap_timeouts() {
+        let e = SoapError::from(sbq_http::HttpError::Timeout(TimeoutKind::Read));
+        assert!(matches!(e, SoapError::Timeout(TimeoutKind::Read)));
+    }
+
+    #[test]
+    fn sources_chain_to_the_causing_layer() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e = SoapError::from(sbq_http::HttpError::Transport(io));
+        let http = std::error::Error::source(&e).expect("transport chains to HttpError");
+        assert!(http.to_string().contains("pipe"));
+        let io = std::error::Error::source(http).expect("HttpError chains to io::Error");
+        assert_eq!(io.to_string(), "pipe");
     }
 }

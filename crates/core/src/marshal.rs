@@ -103,28 +103,28 @@ pub fn value_from_xml(parser: &mut PullParser<'_>, ty: &TypeDesc) -> Result<Valu
             text.trim()
                 .parse::<i64>()
                 .map(Value::Int)
-                .map_err(|_| SoapError::Xml(format!("bad int literal {text:?}")))
+                .map_err(|_| SoapError::xml(format!("bad int literal {text:?}")))
         }
         TypeDesc::Float => {
             let text = parser.text_content()?;
             text.trim()
                 .parse::<f64>()
                 .map(Value::Float)
-                .map_err(|_| SoapError::Xml(format!("bad float literal {text:?}")))
+                .map_err(|_| SoapError::xml(format!("bad float literal {text:?}")))
         }
         TypeDesc::Char => {
             let text = parser.text_content()?;
             text.trim()
                 .parse::<u8>()
                 .map(Value::Char)
-                .map_err(|_| SoapError::Xml(format!("bad char literal {text:?}")))
+                .map_err(|_| SoapError::xml(format!("bad char literal {text:?}")))
         }
         TypeDesc::Str => Ok(Value::Str(parser.text_content()?)),
         TypeDesc::Bytes => {
             let text = parser.text_content()?;
             sbq_model::base64::decode(&text)
                 .map(Value::Bytes)
-                .ok_or_else(|| SoapError::Xml("bad base64 literal".into()))
+                .ok_or_else(|| SoapError::xml("bad base64 literal"))
         }
         TypeDesc::List(elem) => {
             let mut items = Vec::new();
@@ -134,18 +134,21 @@ pub fn value_from_xml(parser: &mut PullParser<'_>, ty: &TypeDesc) -> Result<Valu
                     Event::End { .. } => break,
                     Event::Text(t) if t.trim().is_empty() => {}
                     Event::Text(t) => {
-                        return Err(SoapError::Xml(format!("unexpected text {t:?} in list")))
+                        return Err(SoapError::xml(format!("unexpected text {t:?} in list")))
                     }
-                    Event::Eof => return Err(SoapError::Xml("eof in list".into())),
+                    Event::Eof => return Err(SoapError::xml("eof in list")),
                 }
             }
             // Pack homogeneous scalar lists.
             Ok(match **elem {
-                TypeDesc::Int => Value::IntArray(
-                    items.iter().map(Value::as_int).collect::<Result<_, _>>()?,
-                ),
+                TypeDesc::Int => {
+                    Value::IntArray(items.iter().map(Value::as_int).collect::<Result<_, _>>()?)
+                }
                 TypeDesc::Float => Value::FloatArray(
-                    items.iter().map(Value::as_float).collect::<Result<_, _>>()?,
+                    items
+                        .iter()
+                        .map(Value::as_float)
+                        .collect::<Result<_, _>>()?,
                 ),
                 _ => Value::List(items),
             })
@@ -156,16 +159,16 @@ pub fn value_from_xml(parser: &mut PullParser<'_>, ty: &TypeDesc) -> Result<Valu
                 match parser.next()? {
                     Event::Start { name, .. } => {
                         let fty = sd.field(&name).ok_or_else(|| {
-                            SoapError::Xml(format!("unknown field <{name}> in {}", sd.name))
+                            SoapError::xml(format!("unknown field <{name}> in {}", sd.name))
                         })?;
                         fields.push((name, value_from_xml(parser, fty)?));
                     }
                     Event::End { .. } => break,
                     Event::Text(t) if t.trim().is_empty() => {}
                     Event::Text(t) => {
-                        return Err(SoapError::Xml(format!("unexpected text {t:?} in struct")))
+                        return Err(SoapError::xml(format!("unexpected text {t:?} in struct")))
                     }
-                    Event::Eof => return Err(SoapError::Xml("eof in struct".into())),
+                    Event::Eof => return Err(SoapError::xml("eof in struct")),
                 }
             }
             // Fields may arrive in any order; emit them in schema order,
@@ -175,11 +178,11 @@ pub fn value_from_xml(parser: &mut PullParser<'_>, ty: &TypeDesc) -> Result<Valu
                 let idx = fields
                     .iter()
                     .position(|(n, _)| n == fname)
-                    .ok_or_else(|| SoapError::Xml(format!("missing field <{fname}>")))?;
+                    .ok_or_else(|| SoapError::xml(format!("missing field <{fname}>")))?;
                 ordered.push(fields.remove(idx));
             }
             if let Some((extra, _)) = fields.first() {
-                return Err(SoapError::Xml(format!("duplicate field <{extra}>")));
+                return Err(SoapError::xml(format!("duplicate field <{extra}>")));
             }
             Ok(Value::Struct(StructValue::new(sd.name.clone(), ordered)))
         }
@@ -195,10 +198,12 @@ pub fn parse_document(xml: &str, ty: &TypeDesc) -> Result<Value, SoapError> {
             let v = value_from_xml(&mut p, ty)?;
             match p.next()? {
                 Event::Eof => Ok(v),
-                other => Err(SoapError::Xml(format!("trailing content: {other:?}"))),
+                other => Err(SoapError::xml(format!("trailing content: {other:?}"))),
             }
         }
-        other => Err(SoapError::Xml(format!("expected an element, got {other:?}"))),
+        other => Err(SoapError::xml(format!(
+            "expected an element, got {other:?}"
+        ))),
     }
 }
 
@@ -228,13 +233,19 @@ mod tests {
         let xml = value_to_xml(&v, "arr");
         assert_eq!(xml.matches("<item>").count(), 100);
         round_trip(&v, &TypeDesc::list_of(TypeDesc::Int));
-        round_trip(&workload::float_array(50, 4), &TypeDesc::list_of(TypeDesc::Float));
+        round_trip(
+            &workload::float_array(50, 4),
+            &TypeDesc::list_of(TypeDesc::Float),
+        );
     }
 
     #[test]
     fn nested_structs_round_trip() {
         for depth in 0..6 {
-            round_trip(&workload::nested_struct(depth, 5), &workload::nested_struct_type(depth));
+            round_trip(
+                &workload::nested_struct(depth, 5),
+                &workload::nested_struct_type(depth),
+            );
         }
     }
 
@@ -250,7 +261,10 @@ mod tests {
         let s = workload::nested_struct(8, 1);
         let xml_s = value_to_xml(&s, "s");
         let ratio_s = xml_s.len() as f64 / s.native_size() as f64;
-        assert!(ratio_s > ratio, "struct blowup {ratio_s} <= array blowup {ratio}");
+        assert!(
+            ratio_s > ratio,
+            "struct blowup {ratio_s} <= array blowup {ratio}"
+        );
     }
 
     #[test]
@@ -268,9 +282,18 @@ mod tests {
         assert!(parse_document("<p>1</p><p>2</p>", &TypeDesc::Int).is_err());
         let ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]);
         assert!(parse_document("<m></m>", &ty).is_err(), "missing field");
-        assert!(parse_document("<m><a>1</a><a>2</a></m>", &ty).is_err(), "duplicate field");
-        assert!(parse_document("<m><zz>1</zz></m>", &ty).is_err(), "unknown field");
-        assert!(parse_document("<m>text<a>1</a></m>", &ty).is_err(), "stray text");
+        assert!(
+            parse_document("<m><a>1</a><a>2</a></m>", &ty).is_err(),
+            "duplicate field"
+        );
+        assert!(
+            parse_document("<m><zz>1</zz></m>", &ty).is_err(),
+            "unknown field"
+        );
+        assert!(
+            parse_document("<m>text<a>1</a></m>", &ty).is_err(),
+            "stray text"
+        );
     }
 
     #[test]

@@ -62,8 +62,11 @@ pub enum Mode {
 
 impl Mode {
     /// All modes, in the order the paper discusses them.
-    pub const ALL: [Mode; 3] =
-        [Mode::HighPerformance, Mode::Interoperability, Mode::Compatibility];
+    pub const ALL: [Mode; 3] = [
+        Mode::HighPerformance,
+        Mode::Interoperability,
+        Mode::Compatibility,
+    ];
 
     /// Display name matching the paper's terminology.
     pub fn name(self) -> &'static str {
@@ -114,7 +117,11 @@ pub fn measure_mode(
             let back = plan::decode(&wire, format)?;
             let receiver = t1.elapsed();
             debug_assert_eq!(&back, value);
-            Ok(PipelineCost { sender, receiver, wire_bytes: wire.len() })
+            Ok(PipelineCost {
+                sender,
+                receiver,
+                wire_bytes: wire.len(),
+            })
         }
         Mode::Interoperability => {
             // The XML side's document exists beforehand (e.g. produced by
@@ -128,7 +135,11 @@ pub fn measure_mode(
             let t1 = Instant::now();
             let _ = plan::decode(&wire, format)?;
             let receiver = t1.elapsed();
-            Ok(PipelineCost { sender, receiver, wire_bytes: wire.len() })
+            Ok(PipelineCost {
+                sender,
+                receiver,
+                wire_bytes: wire.len(),
+            })
         }
         Mode::Compatibility => {
             let xml = value_to_xml(value, "p");
@@ -140,7 +151,11 @@ pub fn measure_mode(
             let native2 = plan::decode(&wire, format)?;
             let _xml2 = value_to_xml(&native2, "p");
             let receiver = t1.elapsed();
-            Ok(PipelineCost { sender, receiver, wire_bytes: wire.len() })
+            Ok(PipelineCost {
+                sender,
+                receiver,
+                wire_bytes: wire.len(),
+            })
         }
     }
 }
@@ -154,7 +169,11 @@ pub fn measure_plain_xml(value: &Value, ty: &TypeDesc) -> Result<PipelineCost, S
     let t1 = Instant::now();
     let _ = parse_document(&xml, ty)?;
     let receiver = t1.elapsed();
-    Ok(PipelineCost { sender, receiver, wire_bytes })
+    Ok(PipelineCost {
+        sender,
+        receiver,
+        wire_bytes,
+    })
 }
 
 /// Measures the compressed-XML SOAP baseline. When `xml_exists` is true
@@ -167,18 +186,26 @@ pub fn measure_compressed_xml(
 ) -> Result<PipelineCost, SoapError> {
     let pre = value_to_xml(value, "p");
     let t0 = Instant::now();
-    let xml = if xml_exists { pre } else { value_to_xml(value, "p") };
+    let xml = if xml_exists {
+        pre
+    } else {
+        value_to_xml(value, "p")
+    };
     let wire = sbq_lz::compress(xml.as_bytes());
     let sender = t0.elapsed();
     let wire_bytes = wire.len();
     let t1 = Instant::now();
     let xml2 = sbq_lz::decompress(&wire)?;
     let _ = parse_document(
-        std::str::from_utf8(&xml2).map_err(|_| SoapError::Xml("non-utf8 after lz".into()))?,
+        std::str::from_utf8(&xml2).map_err(|_| SoapError::xml("non-utf8 after lz"))?,
         ty,
     )?;
     let receiver = t1.elapsed();
-    Ok(PipelineCost { sender, receiver, wire_bytes })
+    Ok(PipelineCost {
+        sender,
+        receiver,
+        wire_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -209,11 +236,19 @@ mod tests {
         let (v, ty, f) = setup(5000);
         // Take the minimum over a few runs to suppress scheduling noise.
         let hp = (0..5)
-            .map(|_| measure_mode(Mode::HighPerformance, &v, &ty, &f).unwrap().cpu())
+            .map(|_| {
+                measure_mode(Mode::HighPerformance, &v, &ty, &f)
+                    .unwrap()
+                    .cpu()
+            })
             .min()
             .unwrap();
         let interop = (0..5)
-            .map(|_| measure_mode(Mode::Interoperability, &v, &ty, &f).unwrap().cpu())
+            .map(|_| {
+                measure_mode(Mode::Interoperability, &v, &ty, &f)
+                    .unwrap()
+                    .cpu()
+            })
             .min()
             .unwrap();
         assert!(interop > hp, "interop {interop:?} <= high-perf {hp:?}");
@@ -222,7 +257,9 @@ mod tests {
     #[test]
     fn xml_baseline_wire_is_larger_than_pbio() {
         let (v, ty, f) = setup(2000);
-        let pbio = measure_mode(Mode::HighPerformance, &v, &ty, &f).unwrap().wire_bytes;
+        let pbio = measure_mode(Mode::HighPerformance, &v, &ty, &f)
+            .unwrap()
+            .wire_bytes;
         let xml = measure_plain_xml(&v, &ty).unwrap().wire_bytes;
         let ratio = xml as f64 / pbio as f64;
         assert!(ratio > 2.0, "xml/pbio ratio {ratio}");
@@ -233,7 +270,9 @@ mod tests {
         // §IV-B.e: "Compressed XML is mostly the same size as, and
         // sometimes smaller than the equivalent PBIO data."
         let (v, ty, f) = setup(2000);
-        let pbio = measure_mode(Mode::HighPerformance, &v, &ty, &f).unwrap().wire_bytes;
+        let pbio = measure_mode(Mode::HighPerformance, &v, &ty, &f)
+            .unwrap()
+            .wire_bytes;
         let lz = measure_compressed_xml(&v, &ty, true).unwrap().wire_bytes;
         let ratio = lz as f64 / pbio as f64;
         assert!(ratio < 2.0, "compressed/pbio ratio {ratio}");
@@ -244,7 +283,9 @@ mod tests {
         let sv = workload::nested_struct(8, 3);
         let sty = workload::nested_struct_type(8);
         let sf = FormatDesc::from_type(&sty, FormatOptions::default()).unwrap();
-        let s_pbio = measure_mode(Mode::HighPerformance, &sv, &sty, &sf).unwrap().wire_bytes;
+        let s_pbio = measure_mode(Mode::HighPerformance, &sv, &sty, &sf)
+            .unwrap()
+            .wire_bytes;
         let s_xml = measure_plain_xml(&sv, &sty).unwrap().wire_bytes;
 
         // The paper's array case uses integer arrays (§IV-A/B); their
@@ -253,7 +294,9 @@ mod tests {
         let av = workload::int_array(200, 7);
         let aty = TypeDesc::list_of(TypeDesc::Int);
         let af = FormatDesc::from_type(&aty, FormatOptions::default()).unwrap();
-        let a_pbio = measure_mode(Mode::HighPerformance, &av, &aty, &af).unwrap().wire_bytes;
+        let a_pbio = measure_mode(Mode::HighPerformance, &av, &aty, &af)
+            .unwrap()
+            .wire_bytes;
         let a_xml = measure_plain_xml(&av, &aty).unwrap().wire_bytes;
 
         let s_ratio = s_xml as f64 / s_pbio as f64;
@@ -263,11 +306,14 @@ mod tests {
 
     #[test]
     fn content_types_distinct() {
-        let set: std::collections::HashSet<&str> =
-            [WireEncoding::Pbio, WireEncoding::Xml, WireEncoding::CompressedXml]
-                .iter()
-                .map(|e| e.content_type())
-                .collect();
+        let set: std::collections::HashSet<&str> = [
+            WireEncoding::Pbio,
+            WireEncoding::Xml,
+            WireEncoding::CompressedXml,
+        ]
+        .iter()
+        .map(|e| e.content_type())
+        .collect();
         assert_eq!(set.len(), 3);
     }
 

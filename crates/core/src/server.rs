@@ -15,10 +15,10 @@
 use crate::envelope::{self, QosHeader};
 use crate::modes::WireEncoding;
 use crate::SoapError;
-use parking_lot::Mutex;
-use sbq_http::{HttpServer, Request, Response, ServerHandle};
+use sbq_http::{HttpServer, Request, Response, ServerConfig, ServerHandle};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
 use sbq_qos::QualityManager;
+use sbq_runtime::sync::Mutex;
 use sbq_wsdl::{compile, CompiledService, ServiceDef, StubSpec};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -35,38 +35,56 @@ pub struct SoapServerBuilder {
     encoding: WireEncoding,
     handlers: HashMap<String, Handler>,
     quality: Option<QualityManager>,
+    transport: ServerConfig,
 }
 
 impl SoapServerBuilder {
     /// Starts a builder from a service definition (native-host PBIO
     /// formats).
     pub fn new(svc: &ServiceDef, encoding: WireEncoding) -> Result<SoapServerBuilder, SoapError> {
-        Ok(SoapServerBuilder::new_compiled(compile(svc, Default::default())?, encoding))
+        Ok(SoapServerBuilder::new_compiled(
+            compile(svc, Default::default())?,
+            encoding,
+        ))
     }
 
     /// Starts a builder from a compiled service.
     pub fn new_compiled(compiled: CompiledService, encoding: WireEncoding) -> SoapServerBuilder {
-        SoapServerBuilder { compiled, encoding, handlers: HashMap::new(), quality: None }
+        SoapServerBuilder {
+            compiled,
+            encoding,
+            handlers: HashMap::new(),
+            quality: None,
+            transport: ServerConfig::default(),
+        }
     }
 
-    /// Registers the implementation of an operation.
+    /// Registers the implementation of an operation (consuming builder).
     pub fn handle(
-        &mut self,
+        mut self,
         operation: &str,
         f: impl Fn(Value) -> Value + Send + Sync + 'static,
-    ) -> &mut SoapServerBuilder {
+    ) -> SoapServerBuilder {
         self.handlers.insert(operation.to_string(), Arc::new(f));
         self
     }
 
     /// Attaches server-side continuous quality management.
-    pub fn with_quality(&mut self, quality: QualityManager) -> &mut SoapServerBuilder {
+    pub fn with_quality(mut self, quality: QualityManager) -> SoapServerBuilder {
         self.quality = Some(quality);
         self
     }
 
+    /// Sets the transport configuration (worker pool size, timeouts,
+    /// limits, fault injection) the bound server will run with.
+    pub fn transport(mut self, config: ServerConfig) -> SoapServerBuilder {
+        self.transport = config;
+        self
+    }
+
     /// Binds and starts serving.
-    pub fn bind(self, addr: SocketAddr) -> std::io::Result<SoapServer> {
+    pub fn bind(self, addr: SocketAddr) -> Result<SoapServer, SoapError> {
+        let transport = self.transport;
         let wsdl = sbq_wsdl::write_wsdl(&self.compiled.service).ok();
         let state = Arc::new(ServerState {
             compiled: self.compiled,
@@ -80,7 +98,8 @@ impl SoapServerBuilder {
             reduced_responses: AtomicU64::new(0),
         });
         let st = Arc::clone(&state);
-        let handle = HttpServer::bind(addr, move |req| st.serve(req))?;
+        let handle = HttpServer::bind_with(addr, transport, move |req| st.serve(req))
+            .map_err(|e| SoapError::Transport(sbq_http::HttpError::Transport(e)))?;
         Ok(SoapServer { handle, state })
     }
 }
@@ -110,6 +129,22 @@ impl SoapServer {
     /// Responses that were quality-reduced (message type ≠ full).
     pub fn reduced_responses(&self) -> u64 {
         self.state.reduced_responses.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn connections(&self) -> u64 {
+        self.handle.connections()
+    }
+
+    /// Connections currently being served or parked keep-alive.
+    pub fn active_connections(&self) -> u64 {
+        self.handle.active_connections()
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins every
+    /// acceptor/worker thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.handle.shutdown();
     }
 }
 
@@ -161,7 +196,8 @@ impl ServerState {
                     self.encoding.content_type(),
                     Vec::new(),
                 );
-                resp.headers.push(("X-Soap-Error".to_string(), err.to_string()));
+                resp.headers
+                    .push(("X-Soap-Error".to_string(), err.to_string()));
                 resp
             }
             WireEncoding::Xml => {
@@ -176,7 +212,8 @@ impl ServerState {
                     self.encoding.content_type(),
                     sbq_lz::compress(body.as_bytes()),
                 );
-                resp.headers.push(("X-Soap-Error".to_string(), err.to_string()));
+                resp.headers
+                    .push(("X-Soap-Error".to_string(), err.to_string()));
                 resp
             }
         }
@@ -187,12 +224,12 @@ impl ServerState {
         let stub = self
             .compiled
             .stub(&operation)
-            .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?
+            .ok_or_else(|| SoapError::protocol(format!("unknown operation {operation}")))?
             .clone();
         let handler = self
             .handlers
             .get(&operation)
-            .ok_or_else(|| SoapError::Protocol(format!("no handler for {operation}")))?
+            .ok_or_else(|| SoapError::protocol(format!("no handler for {operation}")))?
             .clone();
 
         // Quality: absorb the client-reported estimate before selecting.
@@ -225,10 +262,7 @@ impl ServerState {
         self.encode_response(&operation, &result, &stub, &resp_header, session)
     }
 
-    fn decode_request(
-        &self,
-        req: &Request,
-    ) -> Result<(String, Value, QosHeader, u64), SoapError> {
+    fn decode_request(&self, req: &Request) -> Result<(String, Value, QosHeader, u64), SoapError> {
         // Content-type negotiation: a client speaking a different wire
         // encoding gets a clear fault instead of a confusing parse error.
         if let Some(ct) = req.header("content-type") {
@@ -236,7 +270,7 @@ impl ServerState {
             let expect_base = expect.split(';').next().unwrap_or(expect).trim();
             let got_base = ct.split(';').next().unwrap_or(ct).trim();
             if !got_base.eq_ignore_ascii_case(expect_base) {
-                return Err(SoapError::Protocol(format!(
+                return Err(SoapError::protocol(format!(
                     "unsupported content type {got_base:?}: this endpoint speaks {expect_base:?}"
                 )));
             }
@@ -245,15 +279,17 @@ impl ServerState {
             WireEncoding::Pbio => {
                 let operation = req
                     .header("x-soap-op")
-                    .ok_or_else(|| SoapError::Protocol("missing X-Soap-Op".into()))?
+                    .ok_or_else(|| SoapError::protocol("missing X-Soap-Op"))?
                     .to_string();
-                let session: u64 =
-                    req.header("x-pbio-session").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let session: u64 = req
+                    .header("x-pbio-session")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
                 let qos = QosHeader::from_http_headers(|n| req.header(n));
                 let stub = self
                     .compiled
                     .stub(&operation)
-                    .ok_or_else(|| SoapError::Protocol(format!("unknown operation {operation}")))?;
+                    .ok_or_else(|| SoapError::protocol(format!("unknown operation {operation}")))?;
                 let mut sessions = self.sessions.lock();
                 let endpoint = sessions
                     .entry(session)
@@ -267,8 +303,8 @@ impl ServerState {
                         value = Some(v);
                     }
                 }
-                let value = value
-                    .ok_or_else(|| SoapError::Protocol("request had no data message".into()))?;
+                let value =
+                    value.ok_or_else(|| SoapError::protocol("request had no data message"))?;
                 Ok((operation, value, qos, session))
             }
             WireEncoding::Xml | WireEncoding::CompressedXml => {
@@ -277,11 +313,10 @@ impl ServerState {
                     _ => req.body.clone(),
                 };
                 let xml = std::str::from_utf8(&xml_bytes)
-                    .map_err(|_| SoapError::Xml("request is not utf-8".into()))?;
+                    .map_err(|_| SoapError::xml("request is not utf-8"))?;
                 let compiled = &self.compiled;
-                let parsed = envelope::parse_envelope(xml, |op| {
-                    compiled.stub(op).map(|s| s.input.clone())
-                })?;
+                let parsed =
+                    envelope::parse_envelope(xml, |op| compiled.stub(op).map(|s| s.input.clone()))?;
                 Ok((parsed.operation, parsed.value, parsed.header, 0))
             }
         }
@@ -315,7 +350,8 @@ impl ServerState {
                     body.extend_from_slice(&m.to_bytes());
                 }
                 let mut resp = Response::ok(self.encoding.content_type(), body);
-                resp.headers.push(("X-Soap-Op".to_string(), operation.to_string()));
+                resp.headers
+                    .push(("X-Soap-Op".to_string(), operation.to_string()));
                 resp.headers.extend(header.to_http_headers());
                 Ok(resp)
             }
@@ -325,7 +361,10 @@ impl ServerState {
             }
             WireEncoding::CompressedXml => {
                 let xml = envelope::build_response(operation, result, header);
-                Ok(Response::ok(self.encoding.content_type(), sbq_lz::compress(xml.as_bytes())))
+                Ok(Response::ok(
+                    self.encoding.content_type(),
+                    sbq_lz::compress(xml.as_bytes()),
+                ))
             }
         }
     }

@@ -35,7 +35,12 @@ where
     pub fn new(tag: impl Into<String>, output: TypeDesc, f: F) -> XmlHandler<F> {
         let tag = tag.into();
         let description = format!("xml handler on <{tag}>");
-        XmlHandler { tag, output, f, description }
+        XmlHandler {
+            tag,
+            output,
+            f,
+            description,
+        }
     }
 }
 
@@ -92,13 +97,17 @@ mod tests {
 
     #[test]
     fn handler_reads_attributes() {
-        let h = XmlHandler::new("p", TypeDesc::Int, |xml: &str, attrs: &QualityAttributes| {
-            if attrs.get_or("redact", 0.0) > 0.0 {
-                "<p>0</p>".to_string()
-            } else {
-                xml.to_string()
-            }
-        });
+        let h = XmlHandler::new(
+            "p",
+            TypeDesc::Int,
+            |xml: &str, attrs: &QualityAttributes| {
+                if attrs.get_or("redact", 0.0) > 0.0 {
+                    "<p>0</p>".to_string()
+                } else {
+                    xml.to_string()
+                }
+            },
+        );
         let attrs = QualityAttributes::new();
         assert_eq!(h.apply(&Value::Int(41), &attrs), Value::Int(41));
         attrs.update_attribute("redact", 1.0);
@@ -127,6 +136,9 @@ mod tests {
         let attrs = QualityAttributes::new();
         let out = reg.apply_or_identity("xml_strip", &Value::Str("a secret thing".into()), &attrs);
         assert_eq!(out, Value::Str("a [redacted] thing".into()));
-        assert_eq!(reg.names(), vec!["bin_noop".to_string(), "xml_strip".to_string()]);
+        assert_eq!(
+            reg.names(),
+            vec!["bin_noop".to_string(), "xml_strip".to_string()]
+        );
     }
 }

@@ -9,7 +9,11 @@ use std::time::Duration;
 
 fn echo_service() -> ServiceDef {
     ServiceDef::new("Echo", "urn:sbq:echo", "http://127.0.0.1:0/echo")
-        .with_operation("echo_array", TypeDesc::list_of(TypeDesc::Int), TypeDesc::list_of(TypeDesc::Int))
+        .with_operation(
+            "echo_array",
+            TypeDesc::list_of(TypeDesc::Int),
+            TypeDesc::list_of(TypeDesc::Int),
+        )
         .with_operation(
             "echo_struct",
             workload::nested_struct_type(3),
@@ -22,16 +26,22 @@ fn echo_service() -> ServiceDef {
 fn start_echo(encoding: WireEncoding) -> (soap_binq::SoapServer, ServiceDef) {
     let svc = echo_service();
     let mut b = SoapServerBuilder::new(&svc, encoding).unwrap();
-    b.handle("echo_array", |v| v);
-    b.handle("echo_struct", |v| v);
-    b.handle("double", |v| Value::Int(v.as_int().unwrap() * 2));
-    b.handle("greet", |v| Value::Str(format!("hello, {}", v.as_str().unwrap())));
+    b = b.handle("echo_array", |v| v);
+    b = b.handle("echo_struct", |v| v);
+    b = b.handle("double", |v| Value::Int(v.as_int().unwrap() * 2));
+    b = b.handle("greet", |v| {
+        Value::Str(format!("hello, {}", v.as_str().unwrap()))
+    });
     let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
     (server, svc)
 }
 
 fn all_encodings() -> [WireEncoding; 3] {
-    [WireEncoding::Pbio, WireEncoding::Xml, WireEncoding::CompressedXml]
+    [
+        WireEncoding::Pbio,
+        WireEncoding::Xml,
+        WireEncoding::CompressedXml,
+    ]
 }
 
 #[test]
@@ -41,14 +51,27 @@ fn echo_round_trips_across_all_encodings() {
         let mut client = SoapClient::connect(server.addr(), &svc, enc).unwrap();
 
         let arr = workload::int_array(500, 3);
-        assert_eq!(client.call("echo_array", arr.clone()).unwrap(), arr, "{enc:?}");
+        assert_eq!(
+            client.call("echo_array", arr.clone()).unwrap(),
+            arr,
+            "{enc:?}"
+        );
 
         let st = workload::nested_struct(3, 8);
-        assert_eq!(client.call("echo_struct", st.clone()).unwrap(), st, "{enc:?}");
-
-        assert_eq!(client.call("double", Value::Int(21)).unwrap(), Value::Int(42));
         assert_eq!(
-            client.call("greet", Value::Str("world & <tags>".into())).unwrap(),
+            client.call("echo_struct", st.clone()).unwrap(),
+            st,
+            "{enc:?}"
+        );
+
+        assert_eq!(
+            client.call("double", Value::Int(21)).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            client
+                .call("greet", Value::Str("world & <tags>".into()))
+                .unwrap(),
             Value::Str("hello, world & <tags>".into())
         );
         assert_eq!(client.stats().calls, 4);
@@ -77,8 +100,11 @@ fn unknown_operation_faults() {
         let client = SoapClient::connect(server.addr(), &svc, enc).unwrap();
         // Client-side check fires first for unknown stubs, so spoof a
         // known stub name with a handler-less server.
-        let svc2 = ServiceDef::new("Echo", "urn:sbq:echo", "x")
-            .with_operation("nope", TypeDesc::Int, TypeDesc::Int);
+        let svc2 = ServiceDef::new("Echo", "urn:sbq:echo", "x").with_operation(
+            "nope",
+            TypeDesc::Int,
+            TypeDesc::Int,
+        );
         let mut client2 = SoapClient::connect(server.addr(), &svc2, enc).unwrap();
         let err = client2.call("nope", Value::Int(1)).unwrap_err();
         assert!(
@@ -92,14 +118,14 @@ fn unknown_operation_faults() {
 
 #[test]
 fn handler_panic_is_isolated_per_connection() {
-    // A handler that panics kills that connection's thread; the server
-    // keeps serving new connections.
+    // A panicking handler answers 500 and closes that connection; the
+    // worker pool survives and keeps serving new connections.
     let svc = ServiceDef::new("Echo", "urn:sbq:echo", "x")
         .with_operation("boom", TypeDesc::Int, TypeDesc::Int)
         .with_operation("ok", TypeDesc::Int, TypeDesc::Int);
     let mut b = SoapServerBuilder::new(&svc, WireEncoding::Xml).unwrap();
-    b.handle("boom", |_| panic!("handler exploded"));
-    b.handle("ok", |v| v);
+    b = b.handle("boom", |_| panic!("handler exploded"));
+    b = b.handle("ok", |v| v);
     let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
 
     let mut c1 = SoapClient::connect(server.addr(), &svc, WireEncoding::Xml).unwrap();
@@ -132,7 +158,10 @@ fn reading_value() -> Value {
         "reading",
         vec![
             ("seq", Value::Int(7)),
-            ("temps", Value::FloatArray((0..200).map(|i| i as f64).collect())),
+            (
+                "temps",
+                Value::FloatArray((0..200).map(|i| i as f64).collect()),
+            ),
             ("site", Value::Str("tower-3".into())),
         ],
     )
@@ -153,8 +182,8 @@ fn server_side_quality_reduction_round_trips() {
             reading_ty(),
         );
         let mut b = SoapServerBuilder::new(&svc, enc).unwrap();
-        b.handle("read", |_| reading_value());
-        b.with_quality(quality_manager());
+        b = b.handle("read", |_| reading_value());
+        b = b.with_quality(quality_manager());
         let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
 
         let mut client = SoapClient::connect(server.addr(), &svc, enc)
@@ -171,8 +200,15 @@ fn server_side_quality_reduction_round_trips() {
         assert!(v.conforms_to(&reading_ty()), "{enc:?}");
         let s = v.as_struct().unwrap();
         assert_eq!(s.field("seq"), Some(&Value::Int(7)), "{enc:?}");
-        assert_eq!(s.field("temps"), Some(&Value::FloatArray(vec![])), "{enc:?}: padded");
-        assert_eq!(client.stats().last_message_type.as_deref(), Some("reading_small"));
+        assert_eq!(
+            s.field("temps"),
+            Some(&Value::FloatArray(vec![])),
+            "{enc:?}: padded"
+        );
+        assert_eq!(
+            client.stats().last_message_type.as_deref(),
+            Some("reading_small")
+        );
         assert!(server.reduced_responses() >= 1);
     }
 }
@@ -185,8 +221,8 @@ fn good_network_keeps_full_quality() {
         reading_ty(),
     );
     let mut b = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
-    b.handle("read", |_| reading_value());
-    b.with_quality(quality_manager());
+    b = b.handle("read", |_| reading_value());
+    b = b.with_quality(quality_manager());
     let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)
         .unwrap()
@@ -207,17 +243,23 @@ fn quality_recovers_after_congestion_clears() {
         reading_ty(),
     );
     let mut b = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
-    b.handle("read", |_| reading_value());
-    b.with_quality(quality_manager());
+    b = b.handle("read", |_| reading_value());
+    b = b.with_quality(quality_manager());
     let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)
         .unwrap()
         .with_quality(quality_manager());
 
     // Congested phase.
-    client.quality_mut().unwrap().observe_rtt(Duration::from_millis(600), Duration::ZERO);
+    client
+        .quality_mut()
+        .unwrap()
+        .observe_rtt(Duration::from_millis(600), Duration::ZERO);
     let v = client.call("read", Value::Int(0)).unwrap();
-    assert_eq!(v.as_struct().unwrap().field("temps"), Some(&Value::FloatArray(vec![])));
+    assert_eq!(
+        v.as_struct().unwrap().field("temps"),
+        Some(&Value::FloatArray(vec![]))
+    );
 
     // Recovery: real loopback RTTs are tiny; estimator + hysteresis need
     // several calls before the full type returns.
@@ -246,8 +288,7 @@ fn interoperability_xml_call_surface() {
 fn update_attribute_api_drives_quality() {
     // §III-B.d's stock-quote scenario: the application flips its own
     // sensitivity attribute at runtime.
-    let file =
-        QualityFile::parse("attribute granularity\n0 2 - fine\n2 inf - coarse\n").unwrap();
+    let file = QualityFile::parse("attribute granularity\n0 2 - fine\n2 inf - coarse\n").unwrap();
     let mut qm = QualityManager::new(file);
     qm.define_message_type("coarse", reading_small_ty());
     let attrs: QualityAttributes = qm.attributes().clone();
@@ -258,8 +299,8 @@ fn update_attribute_api_drives_quality() {
         reading_ty(),
     );
     let mut b = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
-    b.handle("quote", |_| reading_value());
-    b.with_quality(qm);
+    b = b.handle("quote", |_| reading_value());
+    b = b.with_quality(qm);
     let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
 
@@ -268,7 +309,10 @@ fn update_attribute_api_drives_quality() {
 
     attrs.update_attribute("granularity", 5.0);
     let v = client.call("quote", Value::Int(1)).unwrap();
-    assert_eq!(v.as_struct().unwrap().field("temps"), Some(&Value::FloatArray(vec![])));
+    assert_eq!(
+        v.as_struct().unwrap().field("temps"),
+        Some(&Value::FloatArray(vec![]))
+    );
 }
 
 #[test]
@@ -319,7 +363,7 @@ fn reconnect_recovers_after_transport_failure() {
     let addr = listener.local_addr().unwrap();
     let accepted = std::thread::spawn(move || {
         let _ = listener.accept(); // connection dropped on return
-        // listener dropped here: the port frees up for the real server
+                                   // listener dropped here: the port frees up for the real server
     });
     let svc = echo_service();
     let mut client = SoapClient::connect(addr, &svc, WireEncoding::Pbio).unwrap();
@@ -327,7 +371,7 @@ fn reconnect_recovers_after_transport_failure() {
 
     // Bring the real server up on the same address.
     let mut b = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
-    b.handle("echo_array", |v| v);
+    b = b.handle("echo_array", |v| v);
     let Ok(_server) = b.bind(addr) else {
         eprintln!("port {addr} not immediately reusable; skipping");
         return;

@@ -1,35 +1,45 @@
-//! Property tests over the SOAP layers: envelope round trips, marshalling
-//! round trips, and cross-encoding agreement for arbitrary schemas and
-//! conforming values.
+//! Randomized-property tests over the SOAP layers: envelope round trips,
+//! marshalling round trips, and cross-encoding agreement for arbitrary
+//! schemas and conforming values. Seeded generation keeps every case
+//! reproducible.
 
-use proptest::prelude::*;
 use sbq_model::{StructDesc, StructValue, TypeDesc, Value};
+use sbq_runtime::SmallRng;
 use soap_binq::envelope::{self, QosHeader};
 use soap_binq::marshal;
 
-fn arb_type(depth: u32) -> impl Strategy<Value = TypeDesc> {
-    let leaf = prop_oneof![
-        Just(TypeDesc::Int),
-        Just(TypeDesc::Float),
-        Just(TypeDesc::Char),
-        Just(TypeDesc::Str),
-        Just(TypeDesc::Bytes),
-    ];
-    leaf.prop_recursive(depth, 20, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(TypeDesc::list_of),
-            (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(tys, name)| {
-                TypeDesc::Struct(StructDesc::new(
-                    name,
-                    tys.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect(),
-                ))
-            }),
-        ]
-    })
+const CASES: u64 = 192;
+
+fn arb_type(rng: &mut SmallRng, depth: u32) -> TypeDesc {
+    let leaf = |rng: &mut SmallRng| match rng.gen_below(5) {
+        0 => TypeDesc::Int,
+        1 => TypeDesc::Float,
+        2 => TypeDesc::Char,
+        3 => TypeDesc::Str,
+        _ => TypeDesc::Bytes,
+    };
+    if depth == 0 || rng.gen_bool(0.4) {
+        return leaf(rng);
+    }
+    match rng.gen_below(2) {
+        0 => TypeDesc::list_of(arb_type(rng, depth - 1)),
+        _ => {
+            let n = 1 + rng.gen_below(3) as usize;
+            let fields = (0..n)
+                .map(|i| (format!("f{i}"), arb_type(rng, depth - 1)))
+                .collect();
+            let name: String = (0..1 + rng.gen_below(6))
+                .map(|_| (b'a' + rng.gen_below(26) as u8) as char)
+                .collect();
+            TypeDesc::Struct(StructDesc::new(name, fields))
+        }
+    }
 }
 
 fn sample(ty: &TypeDesc, seed: &mut u64) -> Value {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let s = *seed;
     match ty {
         TypeDesc::Int => Value::Int(s as i64 / 3),
@@ -48,72 +58,97 @@ fn sample(ty: &TypeDesc, seed: &mut u64) -> Value {
         }
         TypeDesc::Struct(sd) => Value::Struct(StructValue::new(
             sd.name.clone(),
-            sd.fields.iter().map(|(n, t)| (n.clone(), sample(t, seed))).collect(),
+            sd.fields
+                .iter()
+                .map(|(n, t)| (n.clone(), sample(t, seed)))
+                .collect(),
         )),
     }
 }
 
-proptest! {
-    #[test]
-    fn marshal_round_trips(ty in arb_type(3), seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn marshal_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0001);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 3);
+        let mut s = rng.next_u64();
         let v = sample(&ty, &mut s);
         let xml = marshal::value_to_xml(&v, "p");
-        prop_assert_eq!(marshal::parse_document(&xml, &ty).unwrap(), v);
+        assert_eq!(marshal::parse_document(&xml, &ty).unwrap(), v, "{ty:?}");
     }
+}
 
-    #[test]
-    fn envelope_round_trips(ty in arb_type(2), seed in any::<u64>(),
-                            ts in any::<u64>(), rtt in proptest::option::of(0.0f64..1e6),
-                            server_us in any::<u32>()) {
-        let mut s = seed;
+#[test]
+fn envelope_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0002);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 2);
+        let mut s = rng.next_u64();
         let v = sample(&ty, &mut s);
         let header = QosHeader {
-            timestamp_us: ts,
-            rtt_ms: rtt,
-            server_time_us: server_us as u64,
+            timestamp_us: rng.next_u64(),
+            rtt_ms: if rng.gen_bool(0.5) {
+                Some(rng.gen_f64() * 1e6)
+            } else {
+                None
+            },
+            server_time_us: rng.gen_below(u32::MAX as u64),
             message_type: Some("band_x".to_string()),
         };
         let xml = envelope::build_request("op_name", &v, &header);
         let parsed = envelope::parse_envelope(&xml, |_| Some(ty.clone())).unwrap();
-        prop_assert_eq!(parsed.operation, "op_name");
-        prop_assert_eq!(parsed.value, v);
-        prop_assert_eq!(parsed.header, header);
+        assert_eq!(parsed.operation, "op_name");
+        assert_eq!(parsed.value, v);
+        assert_eq!(parsed.header, header);
     }
+}
 
-    #[test]
-    fn envelope_parse_never_panics(doc in "\\PC*") {
+#[test]
+fn envelope_parse_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0003);
+    for _ in 0..CASES {
+        let n = rng.gen_below(256);
+        let doc: String = (0..n)
+            .map(|_| {
+                let hostile = ['<', '>', '&', '/', '"', 'x', ' ', 'é'];
+                hostile[rng.gen_below(hostile.len() as u64) as usize]
+            })
+            .collect();
         let _ = envelope::parse_envelope(&doc, |_| Some(TypeDesc::Int));
     }
+}
 
-    #[test]
-    fn compressed_envelope_agrees_with_plain(ty in arb_type(2), seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn compressed_envelope_agrees_with_plain() {
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0004);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 2);
+        let mut s = rng.next_u64();
         let v = sample(&ty, &mut s);
         let xml = envelope::build_request("op", &v, &QosHeader::default());
         let lz = sbq_lz::compress(xml.as_bytes());
         let back = sbq_lz::decompress(&lz).unwrap();
-        let parsed = envelope::parse_envelope(
-            std::str::from_utf8(&back).unwrap(),
-            |_| Some(ty.clone()),
-        ).unwrap();
-        prop_assert_eq!(parsed.value, v);
+        let parsed =
+            envelope::parse_envelope(std::str::from_utf8(&back).unwrap(), |_| Some(ty.clone()))
+                .unwrap();
+        assert_eq!(parsed.value, v);
     }
+}
 
-    #[test]
-    fn pbio_and_xml_transport_agree(ty in arb_type(2), seed in any::<u64>()) {
-        // The same value pushed through both serializations decodes
-        // identically — the cross-encoding agreement the three modes
-        // depend on.
-        let mut s = seed;
+#[test]
+fn pbio_and_xml_transport_agree() {
+    // The same value pushed through both serializations decodes
+    // identically — the cross-encoding agreement the three modes
+    // depend on.
+    let mut rng = SmallRng::seed_from_u64(0xc0de_0005);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 2);
+        let mut s = rng.next_u64();
         let v = sample(&ty, &mut s);
         let format = sbq_pbio::FormatDesc::from_type(&ty, Default::default()).unwrap();
-        let via_pbio = sbq_pbio::plan::decode(
-            &sbq_pbio::plan::encode(&v, &format).unwrap(),
-            &format,
-        ).unwrap();
-        let via_xml =
-            marshal::parse_document(&marshal::value_to_xml(&v, "p"), &ty).unwrap();
-        prop_assert_eq!(via_pbio, via_xml);
+        let via_pbio =
+            sbq_pbio::plan::decode(&sbq_pbio::plan::encode(&v, &format).unwrap(), &format).unwrap();
+        let via_xml = marshal::parse_document(&marshal::value_to_xml(&v, "p"), &ty).unwrap();
+        assert_eq!(via_pbio, via_xml);
     }
 }

@@ -15,9 +15,9 @@
 //!   the filter may transform or drop events;
 //! * sinks receive events in submission order (per source).
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
 use sbq_model::{TypeDesc, Value};
+use sbq_runtime::channel::{unbounded, Receiver, Sender};
+use sbq_runtime::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -146,7 +146,8 @@ impl EchoBus {
                 found: event.type_of().name(),
             });
         }
-        ch.submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ch.submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // Fan out to sinks, dropping disconnected ones.
         ch.sinks.write().retain(|tx| tx.send(event.clone()).is_ok());
         // Feed derived channels.
@@ -163,7 +164,10 @@ impl EchoBus {
 
     /// Events submitted to a channel so far.
     pub fn submitted(&self, name: &str) -> Result<u64, EchoError> {
-        Ok(self.get(name)?.submitted.load(std::sync::atomic::Ordering::Relaxed))
+        Ok(self
+            .get(name)?
+            .submitted
+            .load(std::sync::atomic::Ordering::Relaxed))
     }
 }
 
@@ -197,14 +201,20 @@ mod tests {
         bus.create_channel("pts", point_ty()).unwrap();
         let err = bus.submit("pts", Value::Int(5)).unwrap_err();
         assert!(matches!(err, EchoError::TypeMismatch { .. }));
-        assert!(matches!(bus.submit("zzz", pt(0.0, 0.0)), Err(EchoError::NoSuchChannel(_))));
+        assert!(matches!(
+            bus.submit("zzz", pt(0.0, 0.0)),
+            Err(EchoError::NoSuchChannel(_))
+        ));
     }
 
     #[test]
     fn duplicate_channel_rejected() {
         let bus = EchoBus::new();
         bus.create_channel("a", TypeDesc::Int).unwrap();
-        assert_eq!(bus.create_channel("a", TypeDesc::Int), Err(EchoError::Exists("a".into())));
+        assert_eq!(
+            bus.create_channel("a", TypeDesc::Int),
+            Err(EchoError::Exists("a".into()))
+        );
     }
 
     #[test]
@@ -235,10 +245,20 @@ mod tests {
     fn chained_derivation() {
         let bus = EchoBus::new();
         bus.create_channel("a", TypeDesc::Int).unwrap();
-        bus.derive("a", "b", TypeDesc::Int, Arc::new(|v| Some(Value::Int(v.as_int().ok()? * 2))))
-            .unwrap();
-        bus.derive("b", "c", TypeDesc::Int, Arc::new(|v| Some(Value::Int(v.as_int().ok()? + 1))))
-            .unwrap();
+        bus.derive(
+            "a",
+            "b",
+            TypeDesc::Int,
+            Arc::new(|v| Some(Value::Int(v.as_int().ok()? * 2))),
+        )
+        .unwrap();
+        bus.derive(
+            "b",
+            "c",
+            TypeDesc::Int,
+            Arc::new(|v| Some(Value::Int(v.as_int().ok()? + 1))),
+        )
+        .unwrap();
         let rx = bus.subscribe("c").unwrap();
         bus.submit("a", Value::Int(10)).unwrap();
         assert_eq!(rx.try_recv().unwrap(), Value::Int(21));

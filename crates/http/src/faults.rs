@@ -1,0 +1,101 @@
+//! Server-side fault injection for resilience tests.
+//!
+//! A [`FaultSchedule`] is keyed by the server's global request counter, the
+//! same way `sbq-netsim` keys its network schedules by virtual time: the
+//! test declares up front "request 0 loses its response, request 3 is
+//! delayed 200 ms", runs the workload, and asserts on the recovery path.
+//! Scheduling by request index keeps runs deterministic under any thread
+//! interleaving.
+
+use std::time::Duration;
+
+/// What to do to a single response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Swallow the response and close the connection — the client sees the
+    /// peer hang up before any status line.
+    DropResponse,
+    /// Hold the response for the given duration before sending it intact.
+    DelayResponse(Duration),
+    /// Send only the first `n` bytes of the response, then close.
+    TruncateResponse(usize),
+    /// Send half of the response bytes, then close mid-body.
+    CloseMidResponse,
+}
+
+/// An ordered plan of response faults, keyed by the zero-based index of the
+/// request (counting every successfully parsed request across all
+/// connections).
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    entries: Vec<(u64, FaultAction)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule: no faults.
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Schedules `action` for the `request`-th parsed request.
+    pub fn at(mut self, request: u64, action: FaultAction) -> FaultSchedule {
+        self.entries.push((request, action));
+        self
+    }
+
+    /// Schedules `action` for each of the first `n` requests.
+    pub fn for_first(mut self, n: u64, action: FaultAction) -> FaultSchedule {
+        for i in 0..n {
+            self.entries.push((i, action));
+        }
+        self
+    }
+
+    /// Whether any fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The action (if any) for request number `request`.
+    pub fn action_for(&self, request: u64) -> Option<FaultAction> {
+        self.entries
+            .iter()
+            .find(|(i, _)| *i == request)
+            .map(|(_, a)| *a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_never_fires() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.action_for(0), None);
+        assert_eq!(s.action_for(17), None);
+    }
+
+    #[test]
+    fn actions_fire_at_their_index_only() {
+        let s = FaultSchedule::new()
+            .at(0, FaultAction::DropResponse)
+            .at(3, FaultAction::DelayResponse(Duration::from_millis(5)));
+        assert_eq!(s.action_for(0), Some(FaultAction::DropResponse));
+        assert_eq!(s.action_for(1), None);
+        assert_eq!(
+            s.action_for(3),
+            Some(FaultAction::DelayResponse(Duration::from_millis(5)))
+        );
+    }
+
+    #[test]
+    fn for_first_covers_prefix() {
+        let s = FaultSchedule::new().for_first(3, FaultAction::CloseMidResponse);
+        for i in 0..3 {
+            assert_eq!(s.action_for(i), Some(FaultAction::CloseMidResponse));
+        }
+        assert_eq!(s.action_for(3), None);
+    }
+}

@@ -7,35 +7,127 @@
 //! (no chunked encoding — SOAP messages know their length), byte bodies
 //! with any content type (`text/xml` for classic SOAP, the
 //! `application/pbio` type defined in [`PBIO_CONTENT_TYPE`] for SOAP-bin).
+//!
+//! The server is a fixed worker pool behind a bounded accept queue (see
+//! [`server`]); both ends are configured through [`ServerConfig`] and
+//! [`ClientConfig`], and resilience tests inject response faults through
+//! [`FaultSchedule`].
 
+pub mod faults;
 pub mod message;
 pub mod server;
 
-pub use message::{HttpError, Request, Response};
-pub use server::{HttpServer, ServerHandle};
+pub use faults::{FaultAction, FaultSchedule};
+pub use message::{HttpError, Limits, Request, Response, TimeoutKind};
+pub use server::{HttpServer, ServerConfig, ServerHandle};
 
+use message::DEFAULT_IO_TIMEOUT;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// Content type used for binary (PBIO-encoded) SOAP parameter payloads.
 pub const PBIO_CONTENT_TYPE: &str = "application/pbio";
 /// Content type used for textual SOAP envelopes.
 pub const XML_CONTENT_TYPE: &str = "text/xml; charset=utf-8";
 
+/// Client-side transport configuration; construct with
+/// [`ClientConfig::default`] and refine with the consuming builder
+/// methods. `None` timeouts mean "wait forever".
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    limits: Limits,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(DEFAULT_IO_TIMEOUT),
+            write_timeout: Some(DEFAULT_IO_TIMEOUT),
+            limits: Limits::default(),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub fn connect_timeout(mut self, d: Duration) -> ClientConfig {
+        self.connect_timeout = Some(d);
+        self
+    }
+
+    /// Per-read deadline while waiting for a response.
+    pub fn read_timeout(mut self, d: Duration) -> ClientConfig {
+        self.read_timeout = Some(d);
+        self
+    }
+
+    /// Per-write deadline while sending a request.
+    pub fn write_timeout(mut self, d: Duration) -> ClientConfig {
+        self.write_timeout = Some(d);
+        self
+    }
+
+    /// Removes every deadline (block indefinitely on I/O).
+    pub fn no_timeouts(mut self) -> ClientConfig {
+        self.connect_timeout = None;
+        self.read_timeout = None;
+        self.write_timeout = None;
+        self
+    }
+
+    /// Cap on response header bytes.
+    pub fn max_header_bytes(mut self, n: usize) -> ClientConfig {
+        self.limits.max_header_bytes = n;
+        self
+    }
+
+    /// Cap on response body bytes (declared `Content-Length`).
+    pub fn max_body_bytes(mut self, n: usize) -> ClientConfig {
+        self.limits.max_body_bytes = n;
+        self
+    }
+}
+
 /// A blocking HTTP/1.1 client holding one persistent connection.
 pub struct HttpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     host: String,
+    limits: Limits,
 }
 
 impl HttpClient {
-    /// Connects to an HTTP server.
+    /// Connects to an HTTP server with the default [`ClientConfig`].
     pub fn connect(addr: SocketAddr) -> Result<HttpClient, HttpError> {
-        let stream = TcpStream::connect(addr).map_err(HttpError::Io)?;
-        stream.set_nodelay(true).map_err(HttpError::Io)?;
-        let writer = stream.try_clone().map_err(HttpError::Io)?;
-        Ok(HttpClient { reader: BufReader::new(stream), writer, host: addr.to_string() })
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects to an HTTP server with explicit configuration.
+    pub fn connect_with(addr: SocketAddr, config: &ClientConfig) -> Result<HttpClient, HttpError> {
+        let stream = match config.connect_timeout {
+            Some(d) => TcpStream::connect_timeout(&addr, d)
+                .map_err(|e| HttpError::from_io(e, TimeoutKind::Connect))?,
+            None => TcpStream::connect(addr).map_err(HttpError::Transport)?,
+        };
+        stream.set_nodelay(true).map_err(HttpError::Transport)?;
+        stream
+            .set_read_timeout(config.read_timeout)
+            .map_err(HttpError::Transport)?;
+        stream
+            .set_write_timeout(config.write_timeout)
+            .map_err(HttpError::Transport)?;
+        let writer = stream.try_clone().map_err(HttpError::Transport)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+            host: addr.to_string(),
+            limits: config.limits,
+        })
     }
 
     /// Sends a request and blocks for the response (keep-alive).
@@ -44,9 +136,11 @@ impl HttpClient {
             req.headers.push(("Host".to_string(), self.host.clone()));
         }
         let bytes = req.to_bytes();
-        self.writer.write_all(&bytes).map_err(HttpError::Io)?;
-        self.writer.flush().map_err(HttpError::Io)?;
-        Response::read_from(&mut self.reader)
+        self.writer
+            .write_all(&bytes)
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| HttpError::from_io(e, TimeoutKind::Write))?;
+        Response::read_from_with(&mut self.reader, &self.limits)
     }
 
     /// Convenience: POST `body` with the given content type.
@@ -69,12 +163,15 @@ mod tests {
         let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
             assert_eq!(req.method, "POST");
             let mut resp = Response::ok(XML_CONTENT_TYPE, req.body.clone());
-            resp.headers.push(("X-Echo-Path".to_string(), req.path.clone()));
+            resp.headers
+                .push(("X-Echo-Path".to_string(), req.path.clone()));
             resp
         })
         .unwrap();
         let mut client = HttpClient::connect(handle.addr()).unwrap();
-        let resp = client.post("/svc", XML_CONTENT_TYPE, b"<a>1</a>".to_vec()).unwrap();
+        let resp = client
+            .post("/svc", XML_CONTENT_TYPE, b"<a>1</a>".to_vec())
+            .unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"<a>1</a>");
         assert_eq!(resp.header("x-echo-path"), Some("/svc"));
@@ -103,7 +200,9 @@ mod tests {
         .unwrap();
         let mut client = HttpClient::connect(handle.addr()).unwrap();
         let body: Vec<u8> = (0..=255).collect();
-        let resp = client.post("/bin", PBIO_CONTENT_TYPE, body.clone()).unwrap();
+        let resp = client
+            .post("/bin", PBIO_CONTENT_TYPE, body.clone())
+            .unwrap();
         let expect: Vec<u8> = body.into_iter().rev().collect();
         assert_eq!(resp.body, expect);
     }
@@ -116,7 +215,9 @@ mod tests {
         .unwrap();
         let mut client = HttpClient::connect(handle.addr()).unwrap();
         let body = vec![0xabu8; 1_000_000];
-        let resp = client.post("/big", PBIO_CONTENT_TYPE, body.clone()).unwrap();
+        let resp = client
+            .post("/big", PBIO_CONTENT_TYPE, body.clone())
+            .unwrap();
         assert_eq!(resp.body.len(), body.len());
         assert_eq!(resp.body, body);
     }
@@ -141,5 +242,47 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn client_read_timeout_fires() {
+        let handle = HttpServer::bind_with(
+            "127.0.0.1:0".parse().unwrap(),
+            ServerConfig::default().faults(
+                FaultSchedule::new().at(0, FaultAction::DelayResponse(Duration::from_millis(400))),
+            ),
+            |req: &Request| Response::ok("text/plain", req.body.clone()),
+        )
+        .unwrap();
+        let config = ClientConfig::default().read_timeout(Duration::from_millis(80));
+        let mut client = HttpClient::connect_with(handle.addr(), &config).unwrap();
+        let err = client
+            .post("/slow", "text/plain", b"x".to_vec())
+            .unwrap_err();
+        assert!(
+            matches!(err, HttpError::Timeout(TimeoutKind::Read)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn client_response_body_limit_enforced() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |_req: &Request| {
+            Response::ok("text/plain", vec![b'z'; 4096])
+        })
+        .unwrap();
+        let config = ClientConfig::default().max_body_bytes(100);
+        let mut client = HttpClient::connect_with(handle.addr(), &config).unwrap();
+        let err = client.post("/big", "text/plain", vec![]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HttpError::TooLarge {
+                    what: "body",
+                    limit: 100
+                }
+            ),
+            "{err}"
+        );
     }
 }

@@ -1,32 +1,116 @@
 //! HTTP request/response types, serialization and parsing.
 
 use std::io::BufRead;
+use std::time::Duration;
 
-/// HTTP-layer errors.
+/// Which deadline a [`HttpError::Timeout`] missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutKind {
+    /// TCP connect did not complete in time.
+    Connect,
+    /// Reading a request/response exceeded the read timeout.
+    Read,
+    /// Writing a request/response exceeded the write timeout.
+    Write,
+    /// A keep-alive connection sat idle past the idle timeout.
+    Idle,
+}
+
+impl std::fmt::Display for TimeoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TimeoutKind::Connect => "connect",
+            TimeoutKind::Read => "read",
+            TimeoutKind::Write => "write",
+            TimeoutKind::Idle => "idle",
+        })
+    }
+}
+
+/// HTTP-layer errors, split by what the caller can do about them:
+/// [`HttpError::Timeout`] and [`HttpError::Transport`] are retryable with a
+/// fresh connection, [`HttpError::Protocol`] and [`HttpError::TooLarge`]
+/// are not.
 #[derive(Debug)]
 pub enum HttpError {
-    /// Socket failure.
-    Io(std::io::Error),
-    /// Malformed request/status line or headers.
-    Malformed(String),
-    /// Header section exceeded the size limit.
-    TooLarge,
+    /// Socket-level failure (refused, reset, broken pipe, …).
+    Transport(std::io::Error),
+    /// A configured deadline elapsed.
+    Timeout(TimeoutKind),
+    /// The peer spoke something that is not the HTTP we accept.
+    Protocol(String),
+    /// A message exceeded a configured size limit.
+    TooLarge {
+        /// Which part overflowed (`"header"` or `"body"`).
+        what: &'static str,
+        /// The limit in bytes that was exceeded.
+        limit: usize,
+    },
+}
+
+impl HttpError {
+    /// Maps an I/O error, classifying timeout-ish kinds (`WouldBlock`,
+    /// `TimedOut`) as [`HttpError::Timeout`] of the given kind.
+    pub fn from_io(e: std::io::Error, kind: TimeoutKind) -> HttpError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                HttpError::Timeout(kind)
+            }
+            _ => HttpError::Transport(e),
+        }
+    }
+
+    /// Whether a retry on a fresh connection could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, HttpError::Transport(_) | HttpError::Timeout(_))
+            // A truncated/garbled response usually means the server died
+            // mid-write; the request itself may still be fine.
+            || matches!(self, HttpError::Protocol(_))
+    }
 }
 
 impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HttpError::Io(e) => write!(f, "http io error: {e}"),
-            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
-            HttpError::TooLarge => write!(f, "http header section too large"),
+            HttpError::Transport(e) => write!(f, "http transport error: {e}"),
+            HttpError::Timeout(k) => write!(f, "http {k} timeout"),
+            HttpError::Protocol(m) => write!(f, "http protocol error: {m}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "http {what} exceeds limit of {limit} bytes")
+            }
         }
     }
 }
 
-impl std::error::Error for HttpError {}
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-const MAX_HEADER_BYTES: usize = 16 * 1024;
-const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+/// Message-size limits enforced while parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Cap on the request/status line plus the header section.
+    pub max_header_bytes: usize,
+    /// Cap on the declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Default timeout used where a caller does not configure one.
+pub(crate) const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// An HTTP request.
 #[derive(Debug, Clone)]
@@ -98,20 +182,31 @@ impl Request {
         self.to_bytes().len()
     }
 
-    /// Reads one request from a buffered stream. Returns `Ok(None)` on a
+    /// Reads one request with default [`Limits`]. Returns `Ok(None)` on a
     /// cleanly closed connection (keep-alive loop end).
     pub fn read_from(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-        let Some(line) = read_line(r)? else { return Ok(None) };
+        Request::read_from_with(r, &Limits::default())
+    }
+
+    /// Reads one request from a buffered stream, enforcing `limits`.
+    /// Returns `Ok(None)` on a cleanly closed connection.
+    pub fn read_from_with(
+        r: &mut impl BufRead,
+        limits: &Limits,
+    ) -> Result<Option<Request>, HttpError> {
+        let Some(line) = read_line(r, limits)? else {
+            return Ok(None);
+        };
         let mut parts = line.split_whitespace();
         let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
         else {
-            return Err(HttpError::Malformed(format!("bad request line: {line:?}")));
+            return Err(HttpError::Protocol(format!("bad request line: {line:?}")));
         };
         if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!("bad version: {version:?}")));
+            return Err(HttpError::Protocol(format!("bad version: {version:?}")));
         }
-        let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
+        let headers = read_headers(r, limits)?;
+        let body = read_body(r, &headers, limits)?;
         Ok(Some(Request {
             method: method.to_string(),
             path: path.to_string(),
@@ -155,7 +250,12 @@ impl Response {
 
     /// A `500` SOAP-fault-style response.
     pub fn server_error(body: Vec<u8>) -> Response {
-        Response::with_status(500, "Internal Server Error", "text/xml; charset=utf-8", body)
+        Response::with_status(
+            500,
+            "Internal Server Error",
+            "text/xml; charset=utf-8",
+            body,
+        )
     }
 
     /// Case-insensitive header lookup.
@@ -183,31 +283,46 @@ impl Response {
         self.to_bytes().len()
     }
 
-    /// Reads one response from a buffered stream.
+    /// Reads one response with default [`Limits`].
     pub fn read_from(r: &mut impl BufRead) -> Result<Response, HttpError> {
-        let line = read_line(r)?
-            .ok_or_else(|| HttpError::Malformed("connection closed before response".into()))?;
+        Response::read_from_with(r, &Limits::default())
+    }
+
+    /// Reads one response from a buffered stream, enforcing `limits`.
+    pub fn read_from_with(r: &mut impl BufRead, limits: &Limits) -> Result<Response, HttpError> {
+        let line = read_line(r, limits)?
+            .ok_or_else(|| HttpError::Protocol("connection closed before response".into()))?;
         let mut parts = line.splitn(3, ' ');
         let _version = parts.next().unwrap_or_default();
         let status: u16 = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| HttpError::Malformed(format!("bad status line: {line:?}")))?;
+            .ok_or_else(|| HttpError::Protocol(format!("bad status line: {line:?}")))?;
         let reason = parts.next().unwrap_or("").to_string();
-        let headers = read_headers(r)?;
-        let body = read_body(r, &headers)?;
-        Ok(Response { status, reason, headers, body })
+        let headers = read_headers(r, limits)?;
+        let body = read_body(r, &headers, limits)?;
+        Ok(Response {
+            status,
+            reason,
+            headers,
+            body,
+        })
     }
 }
 
-fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+fn read_line(r: &mut impl BufRead, limits: &Limits) -> Result<Option<String>, HttpError> {
     let mut line = String::new();
-    let n = r.read_line(&mut line).map_err(HttpError::Io)?;
+    let n = r
+        .read_line(&mut line)
+        .map_err(|e| HttpError::from_io(e, TimeoutKind::Read))?;
     if n == 0 {
         return Ok(None);
     }
-    if line.len() > MAX_HEADER_BYTES {
-        return Err(HttpError::TooLarge);
+    if line.len() > limits.max_header_bytes {
+        return Err(HttpError::TooLarge {
+            what: "header",
+            limit: limits.max_header_bytes,
+        });
     }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
@@ -215,37 +330,50 @@ fn read_line(r: &mut impl BufRead) -> Result<Option<String>, HttpError> {
     Ok(Some(line))
 }
 
-fn read_headers(r: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
+fn read_headers(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<(String, String)>, HttpError> {
     let mut headers = Vec::new();
     let mut total = 0usize;
     loop {
-        let line = read_line(r)?
-            .ok_or_else(|| HttpError::Malformed("eof in headers".into()))?;
+        let line =
+            read_line(r, limits)?.ok_or_else(|| HttpError::Protocol("eof in headers".into()))?;
         if line.is_empty() {
             return Ok(headers);
         }
         total += line.len();
-        if total > MAX_HEADER_BYTES {
-            return Err(HttpError::TooLarge);
+        if total > limits.max_header_bytes {
+            return Err(HttpError::TooLarge {
+                what: "header",
+                limit: limits.max_header_bytes,
+            });
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| HttpError::Malformed(format!("bad header: {line:?}")))?;
+            .ok_or_else(|| HttpError::Protocol(format!("bad header: {line:?}")))?;
         headers.push((name.trim().to_string(), value.trim().to_string()));
     }
 }
 
-fn read_body(r: &mut impl BufRead, headers: &[(String, String)]) -> Result<Vec<u8>, HttpError> {
+fn read_body(
+    r: &mut impl BufRead,
+    headers: &[(String, String)],
+    limits: &Limits,
+) -> Result<Vec<u8>, HttpError> {
     let len: usize = headers
         .iter()
         .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
         .and_then(|(_, v)| v.parse().ok())
         .unwrap_or(0);
-    if len > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge);
+    if len > limits.max_body_bytes {
+        // Checked against the declared length *before* reading, so an
+        // oversized upload is rejected without buffering any of it.
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: limits.max_body_bytes,
+        });
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    r.read_exact(&mut body)
+        .map_err(|e| HttpError::from_io(e, TimeoutKind::Read))?;
     Ok(body)
 }
 
@@ -258,7 +386,9 @@ mod tests {
     fn request_round_trips() {
         let req = Request::post("/svc", "text/xml", b"<x/>".to_vec());
         let bytes = req.to_bytes();
-        let parsed = Request::read_from(&mut BufReader::new(&bytes[..])).unwrap().unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&bytes[..]))
+            .unwrap()
+            .unwrap();
         assert_eq!(parsed.method, "POST");
         assert_eq!(parsed.path, "/svc");
         assert_eq!(parsed.body, b"<x/>");
@@ -279,7 +409,9 @@ mod tests {
     #[test]
     fn eof_before_request_is_clean_close() {
         let empty: &[u8] = b"";
-        assert!(Request::read_from(&mut BufReader::new(empty)).unwrap().is_none());
+        assert!(Request::read_from(&mut BufReader::new(empty))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -291,7 +423,10 @@ mod tests {
             "POST /x FTP/1.0\r\n\r\n",
         ] {
             let res = Request::read_from(&mut BufReader::new(bad.as_bytes()));
-            assert!(res.is_err(), "{bad:?} should be rejected");
+            assert!(
+                matches!(res, Err(HttpError::Protocol(_))),
+                "{bad:?} should be rejected"
+            );
         }
     }
 
@@ -300,8 +435,60 @@ mod tests {
         let huge = format!("POST /x HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(20_000));
         assert!(matches!(
             Request::read_from(&mut BufReader::new(huge.as_bytes())),
-            Err(HttpError::TooLarge)
+            Err(HttpError::TooLarge { what: "header", .. })
         ));
+    }
+
+    #[test]
+    fn oversized_body_rejected_by_declared_length() {
+        let limits = Limits {
+            max_body_bytes: 64,
+            ..Limits::default()
+        };
+        // Declares a big body but sends none: must fail on the declaration,
+        // not by trying to read 1 MB.
+        let doc = "POST /x HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n";
+        assert!(matches!(
+            Request::read_from_with(&mut BufReader::new(doc.as_bytes()), &limits),
+            Err(HttpError::TooLarge {
+                what: "body",
+                limit: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn custom_header_limit_enforced() {
+        let limits = Limits {
+            max_header_bytes: 32,
+            ..Limits::default()
+        };
+        let doc = format!("POST /x HTTP/1.1\r\nX: {}\r\n\r\n", "b".repeat(100));
+        assert!(matches!(
+            Request::read_from_with(&mut BufReader::new(doc.as_bytes()), &limits),
+            Err(HttpError::TooLarge { what: "header", .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_io_errors_classified() {
+        let e = std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow");
+        assert!(matches!(
+            HttpError::from_io(e, TimeoutKind::Read),
+            HttpError::Timeout(TimeoutKind::Read)
+        ));
+        let e = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "rst");
+        assert!(matches!(
+            HttpError::from_io(e, TimeoutKind::Read),
+            HttpError::Transport(_)
+        ));
+    }
+
+    #[test]
+    fn transport_errors_chain_source() {
+        let e = HttpError::Transport(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "bp"));
+        let src = std::error::Error::source(&e).expect("transport must chain its io cause");
+        assert!(src.to_string().contains("bp"));
     }
 
     #[test]
@@ -316,8 +503,9 @@ mod tests {
     #[test]
     fn get_has_no_body() {
         let req = Request::get("/wsdl");
-        let parsed =
-            Request::read_from(&mut BufReader::new(&req.to_bytes()[..])).unwrap().unwrap();
+        let parsed = Request::read_from(&mut BufReader::new(&req.to_bytes()[..]))
+            .unwrap()
+            .unwrap();
         assert_eq!(parsed.method, "GET");
         assert!(parsed.body.is_empty());
     }

@@ -1,19 +1,149 @@
-//! Threaded HTTP server (thread per connection, keep-alive).
+//! Worker-pool HTTP server.
+//!
+//! A single acceptor thread feeds a *bounded* accept queue (the bound is
+//! the backpressure: when every worker is busy and the queue is full, the
+//! acceptor blocks and new connections wait in the kernel backlog). A
+//! fixed pool of workers multiplexes all open connections: each worker
+//! takes a connection, serves whatever requests arrive within a short
+//! slice, and either closes it (peer gone, `Connection: close`, idle too
+//! long, shutdown) or parks it back on the resume queue for the next free
+//! worker. A fixed pool therefore serves arbitrarily many keep-alive
+//! connections — unlike thread-per-connection, which pins one OS thread to
+//! every idle client.
 
-use crate::message::{HttpError, Request, Response};
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::faults::{FaultAction, FaultSchedule};
+use crate::message::{HttpError, Limits, Request, Response, DEFAULT_IO_TIMEOUT};
+use sbq_runtime::channel::{self, Receiver, Sender, TryRecvError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A running HTTP server. The handler runs on the connection's thread; it
-/// must be `Send + Sync` because connections are concurrent.
+/// How long a worker waits on a parked connection for new data before
+/// handing it back to the resume queue. Also bounds how quickly workers
+/// notice shutdown.
+const SLICE: Duration = Duration::from_millis(20);
+/// How long an idle worker blocks on the resume queue before checking the
+/// accept queue again.
+const CONNQ_POLL: Duration = Duration::from_millis(20);
+/// Cap on requests served in one slice, so one chatty connection cannot
+/// monopolize a worker while others wait.
+const MAX_REQUESTS_PER_SLICE: u32 = 32;
+
+/// Server-side transport configuration; construct with
+/// [`ServerConfig::default`] and refine with the consuming builder
+/// methods.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    worker_threads: usize,
+    accept_backlog: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    keep_alive_timeout: Duration,
+    limits: Limits,
+    faults: FaultSchedule,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            accept_backlog: 128,
+            read_timeout: DEFAULT_IO_TIMEOUT,
+            write_timeout: DEFAULT_IO_TIMEOUT,
+            keep_alive_timeout: Duration::from_secs(60),
+            limits: Limits::default(),
+            faults: FaultSchedule::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Fixed number of worker threads (at least 1). Defaults to the
+    /// machine's available parallelism.
+    pub fn worker_threads(mut self, n: usize) -> ServerConfig {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Capacity of the accept queue; the acceptor blocks when it is full.
+    pub fn accept_backlog(mut self, n: usize) -> ServerConfig {
+        self.accept_backlog = n.max(1);
+        self
+    }
+
+    /// Per-read deadline while parsing a request that has started
+    /// arriving; a stalled sender gets `408` and the connection closed.
+    pub fn read_timeout(mut self, d: Duration) -> ServerConfig {
+        self.read_timeout = d;
+        self
+    }
+
+    /// Per-write deadline for responses.
+    pub fn write_timeout(mut self, d: Duration) -> ServerConfig {
+        self.write_timeout = d;
+        self
+    }
+
+    /// How long a keep-alive connection may sit with no request before the
+    /// server closes it.
+    pub fn keep_alive_timeout(mut self, d: Duration) -> ServerConfig {
+        self.keep_alive_timeout = d;
+        self
+    }
+
+    /// Cap on request-line plus header bytes; beyond it the request gets
+    /// `413`.
+    pub fn max_header_bytes(mut self, n: usize) -> ServerConfig {
+        self.limits.max_header_bytes = n;
+        self
+    }
+
+    /// Cap on declared body length; beyond it the request gets `413`
+    /// without the body being read.
+    pub fn max_body_bytes(mut self, n: usize) -> ServerConfig {
+        self.limits.max_body_bytes = n;
+        self
+    }
+
+    /// Replaces both size limits at once.
+    pub fn limits(mut self, limits: Limits) -> ServerConfig {
+        self.limits = limits;
+        self
+    }
+
+    /// Installs a response-fault schedule (tests only in spirit, but safe
+    /// in production: the default schedule is empty).
+    pub fn faults(mut self, faults: FaultSchedule) -> ServerConfig {
+        self.faults = faults;
+        self
+    }
+}
+
+/// A running HTTP server. The handler runs on pool workers; it must be
+/// `Send + Sync` because requests are concurrent.
 pub struct HttpServer;
 
 impl HttpServer {
-    /// Binds to `addr` (use port 0 for an ephemeral port) and serves until
-    /// the returned handle is dropped or shut down.
+    /// Binds to `addr` (use port 0 for an ephemeral port) with the default
+    /// [`ServerConfig`].
     pub fn bind<H>(addr: SocketAddr, handler: H) -> std::io::Result<ServerHandle>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        Self::bind_with(addr, ServerConfig::default(), handler)
+    }
+
+    /// Binds to `addr` and serves with the given configuration until the
+    /// returned handle is dropped or shut down.
+    pub fn bind_with<H>(
+        addr: SocketAddr,
+        config: ServerConfig,
+        handler: H,
+    ) -> std::io::Result<ServerHandle>
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
@@ -21,62 +151,263 @@ impl HttpServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
-        let requests = Arc::new(AtomicU64::new(0));
-        let handler = Arc::new(handler);
+        let workers_n = config.worker_threads;
+        let ctx = Arc::new(Ctx {
+            handler: Box::new(handler),
+            config,
+            stop: Arc::clone(&stop),
+            requests: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+        });
+
+        let (accept_tx, accept_rx) = channel::bounded::<TcpStream>(ctx.config.accept_backlog);
+        let (conn_tx, conn_rx) = channel::unbounded::<Conn>();
 
         let stop2 = Arc::clone(&stop);
         let conns2 = Arc::clone(&connections);
-        let reqs2 = Arc::clone(&requests);
-        let join = std::thread::spawn(move || {
+        let acceptor = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
                 conns2.fetch_add(1, Ordering::SeqCst);
-                let handler = Arc::clone(&handler);
-                let reqs = Arc::clone(&reqs2);
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &*handler, &reqs);
-                });
+                // Blocks while the queue is full: that is the backpressure.
+                if accept_tx.send(stream).is_err() {
+                    break;
+                }
             }
+            // accept_tx drops here; workers drain the queue and exit.
         });
 
-        Ok(ServerHandle { addr: local, stop, join: Some(join), connections, requests })
+        let workers = (0..workers_n)
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                let accept_rx = accept_rx.clone();
+                let conn_tx = conn_tx.clone();
+                let conn_rx = conn_rx.clone();
+                std::thread::spawn(move || worker_loop(&ctx, &accept_rx, &conn_tx, &conn_rx))
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            connections,
+            ctx,
+        })
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
-    requests: &AtomicU64,
-) -> Result<(), HttpError> {
-    stream.set_nodelay(true).map_err(HttpError::Io)?;
-    let mut writer = stream.try_clone().map_err(HttpError::Io)?;
-    let mut reader = BufReader::new(stream);
-    while let Some(req) = Request::read_from(&mut reader)? {
-        requests.fetch_add(1, Ordering::SeqCst);
-        let resp = handler(&req);
-        writer.write_all(&resp.to_bytes()).map_err(HttpError::Io)?;
-        writer.flush().map_err(HttpError::Io)?;
-        let close = req
-            .header("connection")
-            .map(|v| v.eq_ignore_ascii_case("close"))
-            .unwrap_or(false);
-        if close {
-            break;
+struct Ctx {
+    handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    requests: AtomicU64,
+    active: AtomicU64,
+}
+
+/// One open connection, parked between worker slices.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    last_activity: Instant,
+}
+
+fn worker_loop(
+    ctx: &Ctx,
+    accept_rx: &Receiver<TcpStream>,
+    conn_tx: &Sender<Conn>,
+    conn_rx: &Receiver<Conn>,
+) {
+    loop {
+        // New connections first — a cheap nonblocking check, so resumed
+        // connections can never starve the accept queue.
+        match accept_rx.try_recv() {
+            Ok(stream) => {
+                if let Some(conn) = open_conn(ctx, stream) {
+                    slice_then_park(ctx, conn, conn_tx);
+                }
+                continue;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                // Acceptor exited (shutdown). Drain parked connections —
+                // slices close them now that the stop flag is set — then
+                // leave.
+                match conn_rx.try_recv() {
+                    Ok(conn) => slice_then_park(ctx, conn, conn_tx),
+                    Err(_) => break,
+                }
+                continue;
+            }
+        }
+        if let Ok(conn) = conn_rx.recv_timeout(CONNQ_POLL) {
+            slice_then_park(ctx, conn, conn_tx);
         }
     }
-    Ok(())
 }
 
-/// Handle to a running [`HttpServer`]; shuts the accept loop down on drop.
+fn open_conn(ctx: &Ctx, stream: TcpStream) -> Option<Conn> {
+    stream.set_nodelay(true).ok()?;
+    stream
+        .set_write_timeout(Some(ctx.config.write_timeout))
+        .ok()?;
+    let writer = stream.try_clone().ok()?;
+    ctx.active.fetch_add(1, Ordering::SeqCst);
+    Some(Conn {
+        reader: BufReader::new(stream),
+        writer,
+        last_activity: Instant::now(),
+    })
+}
+
+fn slice_then_park(ctx: &Ctx, conn: Conn, conn_tx: &Sender<Conn>) {
+    match run_slice(ctx, conn) {
+        Some(conn) => {
+            // Unbounded resume queue: send only fails at teardown, when
+            // the connection should die anyway.
+            let _ = conn_tx.send(conn);
+        }
+        None => {
+            ctx.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Serves one connection for one slice. Returns the connection to park it,
+/// or `None` once it is closed.
+fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
+    let mut handled = 0u32;
+    loop {
+        // Wait up to SLICE for the start of a request.
+        conn.reader.get_ref().set_read_timeout(Some(SLICE)).ok()?;
+        match conn.reader.fill_buf() {
+            Ok([]) => return None, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return None; // drained: no pending data at shutdown
+                }
+                if conn.last_activity.elapsed() >= ctx.config.keep_alive_timeout {
+                    return None; // keep-alive idle timeout
+                }
+                return Some(conn); // park until data arrives
+            }
+            Err(_) => return None,
+        }
+
+        // Data has started arriving: parse the full request under the real
+        // read deadline.
+        conn.reader
+            .get_ref()
+            .set_read_timeout(Some(ctx.config.read_timeout))
+            .ok()?;
+        match Request::read_from_with(&mut conn.reader, &ctx.config.limits) {
+            Ok(None) => return None,
+            Ok(Some(req)) => {
+                conn.last_activity = Instant::now();
+                let close_requested = req
+                    .header("connection")
+                    .map(|v| v.eq_ignore_ascii_case("close"))
+                    .unwrap_or(false);
+                let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
+                // A panicking handler must not take a pool worker (and on a
+                // small pool, the whole server) down with it: catch it and
+                // answer 500, closing this connection only.
+                let resp =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (ctx.handler)(&req)));
+                let Ok(resp) = resp else {
+                    let mut resp = Response::with_status(
+                        500,
+                        "Internal Server Error",
+                        "text/plain",
+                        b"handler panicked".to_vec(),
+                    );
+                    resp.headers
+                        .push(("Connection".to_string(), "close".to_string()));
+                    write_response(&mut conn.writer, &resp, None);
+                    return None;
+                };
+                let keep =
+                    write_response(&mut conn.writer, &resp, ctx.config.faults.action_for(idx));
+                if !keep || close_requested {
+                    return None;
+                }
+                handled += 1;
+                if handled >= MAX_REQUESTS_PER_SLICE {
+                    if ctx.stop.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                    return Some(conn); // yield the worker to other connections
+                }
+            }
+            Err(e) => {
+                write_error_response(&mut conn.writer, &e);
+                return None;
+            }
+        }
+    }
+}
+
+/// Writes `resp`, applying the scheduled fault if any. Returns whether the
+/// connection may be kept alive afterwards.
+fn write_response(w: &mut TcpStream, resp: &Response, fault: Option<FaultAction>) -> bool {
+    let bytes = resp.to_bytes();
+    let write_all = |w: &mut TcpStream, b: &[u8]| w.write_all(b).and_then(|_| w.flush()).is_ok();
+    match fault {
+        None => write_all(w, &bytes),
+        Some(FaultAction::DropResponse) => false,
+        Some(FaultAction::DelayResponse(d)) => {
+            std::thread::sleep(d);
+            write_all(w, &bytes)
+        }
+        Some(FaultAction::TruncateResponse(n)) => {
+            let n = n.min(bytes.len());
+            write_all(w, &bytes[..n]);
+            false
+        }
+        Some(FaultAction::CloseMidResponse) => {
+            write_all(w, &bytes[..bytes.len() / 2]);
+            false
+        }
+    }
+}
+
+/// Best-effort error reply before closing: `413` for size-limit
+/// violations, `408` for a stalled sender, `400` for anything malformed.
+fn write_error_response(w: &mut TcpStream, e: &HttpError) {
+    let (status, reason) = match e {
+        HttpError::TooLarge { .. } => (413, "Payload Too Large"),
+        HttpError::Timeout(_) => (408, "Request Timeout"),
+        HttpError::Protocol(_) => (400, "Bad Request"),
+        HttpError::Transport(_) => return, // socket is gone; nothing to say
+    };
+    let mut resp = Response::with_status(
+        status,
+        reason,
+        "text/plain; charset=utf-8",
+        e.to_string().into(),
+    );
+    resp.headers
+        .push(("Connection".to_string(), "close".to_string()));
+    let _ = w.write_all(&resp.to_bytes());
+    let _ = w.flush();
+}
+
+/// Handle to a running [`HttpServer`]; shuts the pool down on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    join: Option<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     connections: Arc<AtomicU64>,
-    requests: Arc<AtomicU64>,
+    ctx: Arc<Ctx>,
 }
 
 impl ServerHandle {
@@ -92,16 +423,35 @@ impl ServerHandle {
 
     /// Requests served so far.
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::SeqCst)
+        self.ctx.requests.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting connections (existing connections drain on their
-    /// own threads).
+    /// Connections currently open (accepted and not yet closed).
+    pub fn active_connections(&self) -> u64 {
+        self.ctx.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains pending requests on open connections, and
+    /// joins every pool thread before returning.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr); // unblock accept
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
+        // Unblock the acceptor. A wildcard bind (0.0.0.0/::) is not itself
+        // connectable, so aim at the matching loopback address instead.
+        let ip = if self.addr.ip().is_unspecified() {
+            match self.addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            }
+        } else {
+            self.addr.ip()
+        };
+        let unblock = SocketAddr::new(ip, self.addr.port());
+        let _ = TcpStream::connect_timeout(&unblock, Duration::from_secs(1));
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -116,13 +466,18 @@ impl Drop for ServerHandle {
 mod tests {
     use super::*;
     use crate::HttpClient;
+    use std::io::Read;
+
+    fn echo_server(config: ServerConfig) -> ServerHandle {
+        HttpServer::bind_with("127.0.0.1:0".parse().unwrap(), config, |r: &Request| {
+            Response::ok("text/plain", r.body.clone())
+        })
+        .unwrap()
+    }
 
     #[test]
     fn counts_connections_and_requests() {
-        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |r: &Request| {
-            Response::ok("text/plain", r.body.clone())
-        })
-        .unwrap();
+        let handle = echo_server(ServerConfig::default());
         let mut c1 = HttpClient::connect(handle.addr()).unwrap();
         let mut c2 = HttpClient::connect(handle.addr()).unwrap();
         for _ in 0..3 {
@@ -131,34 +486,187 @@ mod tests {
         }
         assert_eq!(handle.connections(), 2);
         assert_eq!(handle.requests(), 6);
+        assert_eq!(handle.active_connections(), 2);
     }
 
     #[test]
     fn connection_close_honored() {
-        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |r: &Request| {
-            Response::ok("text/plain", r.body.clone())
-        })
-        .unwrap();
+        let handle = echo_server(ServerConfig::default());
         let mut client = HttpClient::connect(handle.addr()).unwrap();
         let mut req = Request::post("/x", "text/plain", b"bye".to_vec());
-        req.headers.push(("Connection".to_string(), "close".to_string()));
+        req.headers
+            .push(("Connection".to_string(), "close".to_string()));
         let resp = client.send(req).unwrap();
         assert_eq!(resp.body, b"bye");
         // The server closed; the next request fails.
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(50));
         assert!(client.post("/y", "text/plain", b"?".to_vec()).is_err());
     }
 
     #[test]
-    fn shutdown_stops_accepting() {
-        let mut handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |_: &Request| {
-            Response::ok("text/plain", vec![])
-        })
-        .unwrap();
+    fn shutdown_stops_accepting_and_joins() {
+        let mut handle = echo_server(ServerConfig::default());
         let addr = handle.addr();
         handle.shutdown();
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(handle.workers.is_empty(), "all workers joined");
+        assert_eq!(handle.active_connections(), 0);
         // Either connect fails or the request after it fails.
-        if let Ok(mut c) = HttpClient::connect(addr) { assert!(c.post("/", "text/plain", vec![]).is_err()) }
+        if let Ok(mut c) = HttpClient::connect(addr) {
+            assert!(c.post("/", "text/plain", vec![]).is_err());
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_open_connections() {
+        let mut handle = echo_server(ServerConfig::default());
+        let clients: Vec<_> = (0..4)
+            .map(|_| HttpClient::connect(handle.addr()).unwrap())
+            .collect();
+        // Give the pool a beat to register the connections.
+        let t0 = Instant::now();
+        while handle.active_connections() < 4 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handle.active_connections(), 4);
+        handle.shutdown();
+        assert_eq!(handle.active_connections(), 0, "drained on shutdown");
+        drop(clients);
+    }
+
+    #[test]
+    fn small_pool_multiplexes_many_keepalive_connections() {
+        // 2 workers, 8 concurrent persistent connections: thread-per-
+        // connection semantics would need 8 threads; the pool must
+        // interleave them without deadlock.
+        let handle = echo_server(ServerConfig::default().worker_threads(2));
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = HttpClient::connect(addr).unwrap();
+                    for j in 0..5 {
+                        let body = format!("c{i} r{j}").into_bytes();
+                        let r = c.post("/m", "text/plain", body.clone()).unwrap();
+                        assert_eq!(r.body, body);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.requests(), 40);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let handle = echo_server(ServerConfig::default());
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"NOT VALID HTTP AT ALL\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap(); // server responds then closes
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let handle = echo_server(ServerConfig::default().max_body_bytes(64));
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+    }
+
+    #[test]
+    fn oversized_headers_get_413() {
+        let handle = echo_server(ServerConfig::default().max_header_bytes(128));
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let big = format!("POST /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(1000));
+        s.write_all(big.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+    }
+
+    #[test]
+    fn stalled_request_gets_408() {
+        let handle = echo_server(ServerConfig::default().read_timeout(Duration::from_millis(60)));
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        // Start a request but never finish the headers.
+        s.write_all(b"POST /x HTTP/1.1\r\nContent-Le").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 408"), "got: {text}");
+    }
+
+    #[test]
+    fn keep_alive_idle_timeout_closes() {
+        let handle =
+            echo_server(ServerConfig::default().keep_alive_timeout(Duration::from_millis(80)));
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        client.post("/a", "text/plain", b"1".to_vec()).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(
+            client.post("/b", "text/plain", b"2".to_vec()).is_err(),
+            "idle connection should have been closed"
+        );
+    }
+
+    #[test]
+    fn fault_drop_response_closes_without_reply() {
+        let handle = echo_server(
+            ServerConfig::default().faults(FaultSchedule::new().at(0, FaultAction::DropResponse)),
+        );
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let err = client.post("/a", "text/plain", b"x".to_vec()).unwrap_err();
+        assert!(matches!(err, HttpError::Protocol(_)), "{err}");
+        // Only the first request is faulted; a fresh connection succeeds.
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let r = client.post("/a", "text/plain", b"x".to_vec()).unwrap();
+        assert_eq!(r.body, b"x");
+    }
+
+    #[test]
+    fn fault_truncate_breaks_the_response() {
+        let handle = echo_server(
+            ServerConfig::default()
+                .faults(FaultSchedule::new().at(0, FaultAction::TruncateResponse(7))),
+        );
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        assert!(client
+            .post("/a", "text/plain", b"0123456789".to_vec())
+            .is_err());
+    }
+
+    #[test]
+    fn fault_delay_holds_the_response() {
+        let handle = echo_server(ServerConfig::default().faults(
+            FaultSchedule::new().at(0, FaultAction::DelayResponse(Duration::from_millis(120))),
+        ));
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let t0 = Instant::now();
+        let r = client.post("/a", "text/plain", b"x".to_vec()).unwrap();
+        assert_eq!(r.body, b"x");
+        assert!(t0.elapsed() >= Duration::from_millis(120));
+    }
+
+    #[test]
+    fn wildcard_bind_shutdown_does_not_hang() {
+        let mut handle = HttpServer::bind("0.0.0.0:0".parse().unwrap(), |r: &Request| {
+            Response::ok("text/plain", r.body.clone())
+        })
+        .unwrap();
+        let t0 = Instant::now();
+        handle.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown hung on wildcard bind"
+        );
     }
 }

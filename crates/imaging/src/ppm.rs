@@ -40,7 +40,11 @@ pub struct PpmImage {
 impl PpmImage {
     /// A black image.
     pub fn new(width: usize, height: usize) -> PpmImage {
-        PpmImage { width, height, data: vec![0; 3 * width * height] }
+        PpmImage {
+            width,
+            height,
+            data: vec![0; 3 * width * height],
+        }
     }
 
     /// Pixel accessor (clamped to the image bounds).
@@ -100,7 +104,11 @@ impl PpmImage {
         if bytes.len() < pos + need {
             return Err(PpmError::Truncated);
         }
-        Ok(PpmImage { width, height, data: bytes[pos..pos + need].to_vec() })
+        Ok(PpmImage {
+            width,
+            height,
+            data: bytes[pos..pos + need].to_vec(),
+        })
     }
 
     fn parse_p3(bytes: &[u8]) -> Result<PpmImage, PpmError> {
@@ -127,7 +135,11 @@ impl PpmImage {
             let v = next("pixel")?;
             data.push(v.min(255) as u8);
         }
-        Ok(PpmImage { width, height, data })
+        Ok(PpmImage {
+            width,
+            height,
+            data,
+        })
     }
 }
 
@@ -166,7 +178,15 @@ mod tests {
         let mut img = PpmImage::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                img.set_pixel(x, y, [(x * 7 % 256) as u8, (y * 13 % 256) as u8, ((x + y) % 256) as u8]);
+                img.set_pixel(
+                    x,
+                    y,
+                    [
+                        (x * 7 % 256) as u8,
+                        (y * 13 % 256) as u8,
+                        ((x + y) % 256) as u8,
+                    ],
+                );
             }
         }
         img
@@ -206,9 +226,18 @@ mod tests {
     #[test]
     fn errors_reported() {
         assert_eq!(PpmImage::parse(b"JPEG"), Err(PpmError::BadMagic));
-        assert_eq!(PpmImage::parse(b"P6\n2 2\n65535\n"), Err(PpmError::UnsupportedMaxval(65535)));
-        assert_eq!(PpmImage::parse(b"P6\n100 100\n255\nxx"), Err(PpmError::Truncated));
-        assert!(matches!(PpmImage::parse(b"P6\nzz"), Err(PpmError::BadHeader(_))));
+        assert_eq!(
+            PpmImage::parse(b"P6\n2 2\n65535\n"),
+            Err(PpmError::UnsupportedMaxval(65535))
+        );
+        assert_eq!(
+            PpmImage::parse(b"P6\n100 100\n255\nxx"),
+            Err(PpmError::Truncated)
+        );
+        assert!(matches!(
+            PpmImage::parse(b"P6\nzz"),
+            Err(PpmError::BadHeader(_))
+        ));
     }
 
     #[test]

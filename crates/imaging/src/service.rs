@@ -19,7 +19,11 @@ use std::net::SocketAddr;
 pub fn image_type() -> TypeDesc {
     TypeDesc::struct_of(
         "image",
-        vec![("width", TypeDesc::Int), ("height", TypeDesc::Int), ("pixels", TypeDesc::Bytes)],
+        vec![
+            ("width", TypeDesc::Int),
+            ("height", TypeDesc::Int),
+            ("pixels", TypeDesc::Bytes),
+        ],
     )
 }
 
@@ -52,14 +56,22 @@ pub fn value_to_image(value: &Value) -> Option<PpmImage> {
     if data.len() != 3 * width * height {
         return None;
     }
-    Some(PpmImage { width, height, data })
+    Some(PpmImage {
+        width,
+        height,
+        data,
+    })
 }
 
 /// The image service definition (what its WSDL advertises).
 pub fn image_service(location: &str) -> ServiceDef {
     ServiceDef::new("ImageService", "urn:sbq:imaging", location)
         .with_operation("get_image", request_type(), image_type())
-        .with_operation("list_images", TypeDesc::Int, TypeDesc::list_of(TypeDesc::Str))
+        .with_operation(
+            "list_images",
+            TypeDesc::Int,
+            TypeDesc::list_of(TypeDesc::Str),
+        )
 }
 
 /// The Fig. 8 quality file: full resolution under `threshold_ms`, half
@@ -74,21 +86,23 @@ pub fn image_quality_file(threshold_ms: f64) -> QualityFile {
 /// Installs the resizing quality handlers ("applying resizing handlers to
 /// images", §III-B.b).
 pub fn install_resize_handlers(registry: &HandlerRegistry) {
-    registry.install("resize_half", |v: &Value, _attrs: &QualityAttributes| {
-        match value_to_image(v) {
+    registry.install(
+        "resize_half",
+        |v: &Value, _attrs: &QualityAttributes| match value_to_image(v) {
             Some(img) => image_to_value(&transform::half(&img)),
             None => v.clone(),
-        }
-    });
-    registry.install("resize_quarter", |v: &Value, _attrs: &QualityAttributes| {
-        match value_to_image(v) {
+        },
+    );
+    registry.install(
+        "resize_quarter",
+        |v: &Value, _attrs: &QualityAttributes| match value_to_image(v) {
             Some(img) => {
                 let q = transform::resize(&img, (img.width / 4).max(1), (img.height / 4).max(1));
                 image_to_value(&q)
             }
             None => v.clone(),
-        }
-    });
+        },
+    );
 }
 
 /// A named collection of images (the paper's "collection of servers, each
@@ -110,7 +124,10 @@ impl ImageStore {
     pub fn with_starfields(n: usize, seed: u64) -> ImageStore {
         let mut store = ImageStore::new();
         for i in 0..n {
-            store.insert(format!("sky-{i}"), starfield::generate(640, 480, 120, seed + i as u64));
+            store.insert(
+                format!("sky-{i}"),
+                starfield::generate(640, 480, 120, seed + i as u64),
+            );
         }
         store
     }
@@ -138,11 +155,15 @@ impl ImageStore {
     /// server behavior).
     pub fn handle_get_image(&self, request: Value) -> Value {
         let fallback = || image_to_value(&PpmImage::new(1, 1));
-        let Ok(s) = request.as_struct() else { return fallback() };
+        let Ok(s) = request.as_struct() else {
+            return fallback();
+        };
         let (Some(name), Some(op)) = (s.field("name"), s.field("operation")) else {
             return fallback();
         };
-        let (Ok(name), Ok(op)) = (name.as_str(), op.as_str()) else { return fallback() };
+        let (Ok(name), Ok(op)) = (name.as_str(), op.as_str()) else {
+            return fallback();
+        };
         match self.get(name).and_then(|img| transform::apply(img, op)) {
             Some(result) => image_to_value(&result),
             None => fallback(),
@@ -156,23 +177,24 @@ impl ImageStore {
         addr: SocketAddr,
         encoding: WireEncoding,
         quality_threshold_ms: Option<f64>,
-    ) -> std::io::Result<SoapServer> {
+    ) -> Result<SoapServer, soap_binq::SoapError> {
         let svc = image_service("http://0.0.0.0/imaging");
         let mut builder = SoapServerBuilder::new(&svc, encoding)
             .expect("image service compiles with default formats");
         if let Some(threshold) = quality_threshold_ms {
             let qm = QualityManager::new(image_quality_file(threshold));
             install_resize_handlers(qm.handlers());
-            builder.with_quality(qm);
+            builder = builder.with_quality(qm);
         }
         let names = self.names();
         let store = std::sync::Arc::new(self);
         let st = std::sync::Arc::clone(&store);
-        builder.handle("get_image", move |req| st.handle_get_image(req));
-        builder.handle("list_images", move |_| {
-            Value::List(names.iter().map(|n| Value::Str(n.clone())).collect())
-        });
-        builder.bind(addr)
+        builder
+            .handle("get_image", move |req| st.handle_get_image(req))
+            .handle("list_images", move |_| {
+                Value::List(names.iter().map(|n| Value::Str(n.clone())).collect())
+            })
+            .bind(addr)
     }
 }
 
@@ -222,7 +244,10 @@ mod tests {
 
         let req = Value::struct_of(
             "image_request",
-            vec![("name", Value::Str("sky-0".into())), ("operation", Value::Str("edge_detect".into()))],
+            vec![
+                ("name", Value::Str("sky-0".into())),
+                ("operation", Value::Str("edge_detect".into())),
+            ],
         );
         let resp = client.call("get_image", req).unwrap();
         assert_eq!(value_to_image(&resp).unwrap(), expected);
@@ -232,7 +257,11 @@ mod tests {
     fn congestion_halves_resolution() {
         let store = ImageStore::with_starfields(1, 7);
         let server = store
-            .serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio, Some(50.0))
+            .serve(
+                "127.0.0.1:0".parse().unwrap(),
+                WireEncoding::Pbio,
+                Some(50.0),
+            )
             .unwrap();
         let svc = image_service("x");
         let qm = QualityManager::new(image_quality_file(50.0));
@@ -244,7 +273,10 @@ mod tests {
         let req = || {
             Value::struct_of(
                 "image_request",
-                vec![("name", Value::Str("sky-0".into())), ("operation", Value::Str("identity".into()))],
+                vec![
+                    ("name", Value::Str("sky-0".into())),
+                    ("operation", Value::Str("identity".into())),
+                ],
             )
         };
 
@@ -261,7 +293,10 @@ mod tests {
         let v = client.call("get_image", req()).unwrap();
         let img = value_to_image(&v).unwrap();
         assert_eq!((img.width, img.height), (320, 240));
-        assert_eq!(client.stats().last_message_type.as_deref(), Some("image_half"));
+        assert_eq!(
+            client.stats().last_message_type.as_deref(),
+            Some("image_half")
+        );
     }
 
     #[test]
@@ -269,7 +304,10 @@ mod tests {
         let store = ImageStore::with_starfields(1, 7);
         let bad = Value::struct_of(
             "image_request",
-            vec![("name", Value::Str("nope".into())), ("operation", Value::Str("identity".into()))],
+            vec![
+                ("name", Value::Str("nope".into())),
+                ("operation", Value::Str("identity".into())),
+            ],
         );
         let img = value_to_image(&store.handle_get_image(bad)).unwrap();
         assert_eq!((img.width, img.height), (1, 1));

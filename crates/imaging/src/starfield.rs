@@ -39,9 +39,8 @@ pub fn generate(width: usize, height: usize, stars: usize, seed: u64) -> PpmImag
                 let d2 = (dx * dx + dy * dy) as f64;
                 let v = brightness * (-d2 / (2.0 * sigma * sigma)).exp();
                 let [r0, g0, b0] = img.pixel(x as usize, y as usize);
-                let add = |base: u8, scale: f64| -> u8 {
-                    (base as f64 + v * scale).min(255.0) as u8
-                };
+                let add =
+                    |base: u8, scale: f64| -> u8 { (base as f64 + v * scale).min(255.0) as u8 };
                 let rgb = match tint {
                     0 => [add(r0, 1.0), add(g0, 0.95), add(b0, 0.85)], // warm
                     1 => [add(r0, 0.85), add(g0, 0.95), add(b0, 1.0)], // cool

@@ -69,7 +69,11 @@ pub fn resize(img: &PpmImage, new_w: usize, new_h: usize) -> PpmImage {
                 }
             }
             let n = n.max(1);
-            out.set_pixel(ox, oy, [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8]);
+            out.set_pixel(
+                ox,
+                oy,
+                [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8],
+            );
         }
     }
     out

@@ -81,7 +81,11 @@ fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
     let mut live: Vec<usize> = Vec::new();
     for (s, &w) in freq.iter().enumerate() {
         if w > 0 {
-            nodes.push(Node { weight: w, kids: None, sym: s as u16 });
+            nodes.push(Node {
+                weight: w,
+                kids: None,
+                sym: s as u16,
+            });
             live.push(nodes.len() - 1);
         }
     }
@@ -100,7 +104,11 @@ fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
         live.sort_by_key(|&i| std::cmp::Reverse(nodes[i].weight));
         let a = live.pop().expect("len > 1");
         let b = live.pop().expect("len > 1");
-        nodes.push(Node { weight: nodes[a].weight + nodes[b].weight, kids: Some((a, b)), sym: 0 });
+        nodes.push(Node {
+            weight: nodes[a].weight + nodes[b].weight,
+            kids: Some((a, b)),
+            sym: 0,
+        });
         live.push(nodes.len() - 1);
     }
     // Walk depths.
@@ -160,7 +168,10 @@ struct DecodeTree {
 
 impl DecodeTree {
     fn build(lengths: &[u8; 256]) -> Option<DecodeTree> {
-        let mut t = DecodeTree { nodes: vec![[-1, -1]], syms: vec![None] };
+        let mut t = DecodeTree {
+            nodes: vec![[-1, -1]],
+            syms: vec![None],
+        };
         let mut symbols: Vec<u16> = (0..256u16).filter(|&s| lengths[s as usize] > 0).collect();
         if symbols.is_empty() {
             return None;
@@ -240,7 +251,12 @@ mod tests {
         let mut data = vec![b'0'; 10_000];
         data.extend_from_slice(b"123456789");
         let enc = encode(&data).unwrap();
-        assert!(enc.len() < data.len() / 4, "{} vs {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 4,
+            "{} vs {}",
+            enc.len(),
+            data.len()
+        );
         round_trip(&data);
     }
 

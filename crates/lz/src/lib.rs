@@ -161,8 +161,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzError> {
             if input.len() < 9 {
                 return Err(LzError("missing huffman header"));
             }
-            let toklen =
-                u32::from_le_bytes(input[5..9].try_into().expect("len checked")) as usize;
+            let toklen = u32::from_le_bytes(input[5..9].try_into().expect("len checked")) as usize;
             let tokens =
                 huffman::decode(&input[9..], toklen).ok_or(LzError("bad huffman stream"))?;
             decode_tokens(&tokens, expect)
@@ -257,7 +256,12 @@ mod tests {
     fn repeated_data_compresses_well() {
         let data = b"<item>42</item>".repeat(500);
         let c = compress(&data);
-        assert!(c.len() < data.len() / 5, "compressed {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 5,
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -282,7 +286,9 @@ mod tests {
         let mut x = 12345u64;
         let data: Vec<u8> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();
@@ -328,6 +334,11 @@ mod tests {
         let raw = compress_lzss_only(&data);
         assert_eq!(decompress(&raw).unwrap(), data);
         let full = compress(&data);
-        assert!(full.len() <= raw.len(), "huffman stage must not hurt: {} vs {}", full.len(), raw.len());
+        assert!(
+            full.len() <= raw.len(),
+            "huffman stage must not hurt: {} vs {}",
+            full.len(),
+            raw.len()
+        );
     }
 }

@@ -1,28 +1,54 @@
-//! Property tests: compression is lossless on arbitrary inputs.
+//! Randomized-property tests: compression is lossless on arbitrary
+//! inputs. Seeded generation keeps every case reproducible.
 
-use proptest::prelude::*;
 use sbq_lz::{compress, decompress};
+use sbq_runtime::SmallRng;
 
-proptest! {
-    #[test]
-    fn round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+const CASES: u64 = 128;
+
+#[test]
+fn round_trip_arbitrary_bytes() {
+    let mut rng = SmallRng::seed_from_u64(0x12_0001);
+    for _ in 0..CASES {
+        let n = rng.gen_below(4096) as usize;
+        let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
+}
 
-    #[test]
-    fn round_trip_repetitive(byte in any::<u8>(), n in 0usize..20000) {
+#[test]
+fn round_trip_repetitive() {
+    let mut rng = SmallRng::seed_from_u64(0x12_0002);
+    for _ in 0..CASES {
+        let byte = rng.next_u64() as u8;
+        let n = rng.gen_below(20_000) as usize;
         let data = vec![byte; n];
-        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
+}
 
-    #[test]
-    fn round_trip_textish(s in "[ -~]{0,2000}") {
+#[test]
+fn round_trip_textish() {
+    let mut rng = SmallRng::seed_from_u64(0x12_0003);
+    for _ in 0..CASES {
+        let n = rng.gen_below(2000);
+        let s: String = (0..n)
+            .map(|_| (b' ' + rng.gen_below(95) as u8) as char)
+            .collect();
         let doubled = format!("{s}{s}{s}");
-        prop_assert_eq!(decompress(&compress(doubled.as_bytes())).unwrap(), doubled.as_bytes());
+        assert_eq!(
+            decompress(&compress(doubled.as_bytes())).unwrap(),
+            doubled.as_bytes()
+        );
     }
+}
 
-    #[test]
-    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn decompress_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x12_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_below(512) as usize;
+        let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         let _ = decompress(&data);
     }
 }

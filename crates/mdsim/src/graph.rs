@@ -36,7 +36,10 @@ impl BondGraph {
         // Transient contacts.
         for i in 0..m.atoms.len() {
             for j in (i + 1)..m.atoms.len() {
-                if m.bonds.iter().any(|b| (b.a == i && b.b == j) || (b.a == j && b.b == i)) {
+                if m.bonds
+                    .iter()
+                    .any(|b| (b.a == i && b.b == j) || (b.a == j && b.b == i))
+                {
                     continue;
                 }
                 let d: f64 = (0..3)
@@ -49,7 +52,12 @@ impl BondGraph {
                 }
             }
         }
-        BondGraph { timestep: m.step, elements, positions, bonds }
+        BondGraph {
+            timestep: m.step,
+            elements,
+            positions,
+            bonds,
+        }
     }
 
     /// The message schema for one bond graph.

@@ -6,9 +6,9 @@
 
 use crate::graph::BondGraph;
 use crate::sim::Molecule;
-use parking_lot::Mutex;
 use sbq_model::{TypeDesc, Value};
 use sbq_qos::{QualityAttributes, QualityFile, QualityManager};
+use sbq_runtime::sync::Mutex;
 use sbq_wsdl::ServiceDef;
 use soap_binq::{SoapServer, SoapServerBuilder, WireEncoding};
 use std::net::SocketAddr;
@@ -52,18 +52,26 @@ pub fn md_quality_file(band_ms: [f64; 3]) -> QualityFile {
 /// §III-B.b).
 pub fn install_batch_handlers(attrs_target: &sbq_qos::HandlerRegistry) {
     for k in 1..=4usize {
-        attrs_target.install(&format!("keep_{k}"), move |v: &Value, _: &QualityAttributes| {
-            truncate_batch(v, k)
-        });
+        attrs_target.install(
+            &format!("keep_{k}"),
+            move |v: &Value, _: &QualityAttributes| truncate_batch(v, k),
+        );
     }
 }
 
 fn truncate_batch(v: &Value, k: usize) -> Value {
-    let Ok(s) = v.as_struct() else { return v.clone() };
-    let Some(Value::List(graphs)) = s.field("graphs") else { return v.clone() };
+    let Ok(s) = v.as_struct() else {
+        return v.clone();
+    };
+    let Some(Value::List(graphs)) = s.field("graphs") else {
+        return v.clone();
+    };
     Value::struct_of(
         "bond_batch",
-        vec![("graphs", Value::List(graphs.iter().take(k).cloned().collect()))],
+        vec![(
+            "graphs",
+            Value::List(graphs.iter().take(k).cloned().collect()),
+        )],
     )
 }
 
@@ -107,26 +115,26 @@ impl BondServer {
         addr: SocketAddr,
         encoding: WireEncoding,
         quality_bands: Option<[f64; 3]>,
-    ) -> std::io::Result<SoapServer> {
+    ) -> Result<SoapServer, soap_binq::SoapError> {
         let svc = bond_service("http://0.0.0.0/mdsim");
-        let mut builder =
-            SoapServerBuilder::new(&svc, encoding).expect("bond service compiles");
+        let mut builder = SoapServerBuilder::new(&svc, encoding).expect("bond service compiles");
         if let Some(bands) = quality_bands {
             let qm = QualityManager::new(md_quality_file(bands));
             install_batch_handlers(qm.handlers());
-            builder.with_quality(qm);
+            builder = builder.with_quality(qm);
         }
         let server = Arc::new(self);
-        builder.handle("get_bonds", move |req| {
-            let max = req
-                .as_struct()
-                .ok()
-                .and_then(|s| s.field("max_timesteps").map(|v| v.as_int().unwrap_or(4)))
-                .unwrap_or(4)
-                .clamp(1, 4) as usize;
-            server.next_batch(max)
-        });
-        builder.bind(addr)
+        builder
+            .handle("get_bonds", move |req| {
+                let max = req
+                    .as_struct()
+                    .ok()
+                    .and_then(|s| s.field("max_timesteps").map(|v| v.as_int().unwrap_or(4)))
+                    .unwrap_or(4)
+                    .clamp(1, 4) as usize;
+                server.next_batch(max)
+            })
+            .bind(addr)
     }
 }
 
@@ -177,7 +185,11 @@ mod tests {
     #[test]
     fn adaptive_bond_server_over_soap() {
         let server = BondServer::new(80, 3)
-            .serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio, Some([5.0, 15.0, 40.0]))
+            .serve(
+                "127.0.0.1:0".parse().unwrap(),
+                WireEncoding::Pbio,
+                Some([5.0, 15.0, 40.0]),
+            )
             .unwrap();
         let svc = bond_service("x");
         let qm = QualityManager::new(md_quality_file([5.0, 15.0, 40.0]));

@@ -73,11 +73,19 @@ impl Molecule {
                 // Side branch off the previous backbone atom.
                 let parent = *backbone.last().expect("non-empty backbone");
                 let p: &Atom = &atoms[parent];
-                [p.pos[0] + jitter(&mut rng), p.pos[1] + 1.4 + jitter(&mut rng), p.pos[2] + jitter(&mut rng)]
+                [
+                    p.pos[0] + jitter(&mut rng),
+                    p.pos[1] + 1.4 + jitter(&mut rng),
+                    p.pos[2] + jitter(&mut rng),
+                ]
             } else {
                 let parent = *backbone.last().unwrap_or(&0);
                 let p = &atoms[parent];
-                [p.pos[0] + 1.5 + jitter(&mut rng), p.pos[1] + jitter(&mut rng), p.pos[2] + jitter(&mut rng)]
+                [
+                    p.pos[0] + 1.5 + jitter(&mut rng),
+                    p.pos[1] + jitter(&mut rng),
+                    p.pos[2] + jitter(&mut rng),
+                ]
             };
             let vel = [
                 (rng.next_f64() - 0.5) * 0.2,
@@ -93,12 +101,21 @@ impl Molecule {
                     backbone.push(i);
                     p
                 };
-                bonds.push(Bond { a: parent, b: i, rest: 1.5 });
+                bonds.push(Bond {
+                    a: parent,
+                    b: i,
+                    rest: 1.5,
+                });
             } else {
                 backbone.push(0);
             }
         }
-        Molecule { atoms, bonds, step: 0, dt: 0.01 }
+        Molecule {
+            atoms,
+            bonds,
+            step: 0,
+            dt: 0.01,
+        }
     }
 
     /// Advances one velocity-Verlet step.
@@ -108,7 +125,8 @@ impl Molecule {
         // Half-kick + drift.
         for i in 0..n {
             for k in 0..3 {
-                self.atoms[i].vel[k] = (self.atoms[i].vel[k] + 0.5 * self.dt * forces[i][k]) * DAMPING;
+                self.atoms[i].vel[k] =
+                    (self.atoms[i].vel[k] + 0.5 * self.dt * forces[i][k]) * DAMPING;
                 self.atoms[i].pos[k] += self.dt * self.atoms[i].vel[k];
             }
         }

@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn get_reports_missing_paths() {
         let val = v();
-        assert!(matches!(get_path(&val, "zz"), Err(ModelError::NoSuchPath(_))));
+        assert!(matches!(
+            get_path(&val, "zz"),
+            Err(ModelError::NoSuchPath(_))
+        ));
         assert!(get_path(&val, "pts.9.x").is_err());
         assert!(get_path(&val, "a.b").is_err());
     }

@@ -32,7 +32,10 @@ pub fn project(value: &Value, target: &TypeDesc) -> Result<Value, ModelError> {
             Ok(Value::Struct(StructValue::new(td.name.clone(), fields)))
         }
         (v, t) if v.conforms_to(t) => Ok(v.clone()),
-        (v, t) => Err(ModelError::TypeMismatch { expected: t.name(), found: v.type_of().name() }),
+        (v, t) => Err(ModelError::TypeMismatch {
+            expected: t.name(),
+            found: v.type_of().name(),
+        }),
     }
 }
 
@@ -74,7 +77,10 @@ mod tests {
                 ("site", TypeDesc::Str),
                 (
                     "meta",
-                    TypeDesc::struct_of("meta", vec![("lat", TypeDesc::Float), ("lon", TypeDesc::Float)]),
+                    TypeDesc::struct_of(
+                        "meta",
+                        vec![("lat", TypeDesc::Float), ("lon", TypeDesc::Float)],
+                    ),
                 ),
             ],
         )
@@ -85,7 +91,10 @@ mod tests {
             "reading_small",
             vec![
                 ("seq", TypeDesc::Int),
-                ("meta", TypeDesc::struct_of("meta_small", vec![("lat", TypeDesc::Float)])),
+                (
+                    "meta",
+                    TypeDesc::struct_of("meta_small", vec![("lat", TypeDesc::Float)]),
+                ),
             ],
         )
     }
@@ -97,7 +106,13 @@ mod tests {
                 ("seq", Value::Int(42)),
                 ("temps", Value::FloatArray(vec![1.5, 2.5])),
                 ("site", Value::Str("gt".into())),
-                ("meta", Value::struct_of("meta", vec![("lat", Value::Float(33.7)), ("lon", Value::Float(-84.4))])),
+                (
+                    "meta",
+                    Value::struct_of(
+                        "meta",
+                        vec![("lat", Value::Float(33.7)), ("lon", Value::Float(-84.4))],
+                    ),
+                ),
             ],
         )
     }
@@ -117,7 +132,10 @@ mod tests {
     #[test]
     fn project_missing_field_errors() {
         let t = TypeDesc::struct_of("x", vec![("nope", TypeDesc::Int)]);
-        assert_eq!(project(&full_value(), &t), Err(ModelError::NoSuchField("nope".into())));
+        assert_eq!(
+            project(&full_value(), &t),
+            Err(ModelError::NoSuchField("nope".into()))
+        );
     }
 
     #[test]
@@ -147,6 +165,9 @@ mod tests {
         assert!(project(&Value::Int(1), &TypeDesc::Int).is_ok());
         assert!(project(&Value::Int(1), &TypeDesc::Float).is_err());
         // pad_to degrades gracefully instead.
-        assert_eq!(pad_to(&Value::Int(1), &TypeDesc::Float).unwrap(), Value::Float(0.0));
+        assert_eq!(
+            pad_to(&Value::Int(1), &TypeDesc::Float).unwrap(),
+            Value::Float(0.0)
+        );
     }
 }

@@ -37,7 +37,10 @@ pub struct StructDesc {
 impl StructDesc {
     /// Creates a struct description from `(name, type)` pairs.
     pub fn new(name: impl Into<String>, fields: Vec<(String, TypeDesc)>) -> Self {
-        StructDesc { name: name.into(), fields }
+        StructDesc {
+            name: name.into(),
+            fields,
+        }
     }
 
     /// Looks up a field's type by name.
@@ -66,7 +69,10 @@ impl TypeDesc {
     pub fn struct_of(name: impl Into<String>, fields: Vec<(&str, TypeDesc)>) -> TypeDesc {
         TypeDesc::Struct(StructDesc::new(
             name,
-            fields.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+            fields
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
         ))
     }
 
@@ -99,9 +105,7 @@ impl TypeDesc {
         match self {
             t if t.is_basic() => 0,
             TypeDesc::List(e) => 1 + e.depth(),
-            TypeDesc::Struct(s) => {
-                1 + s.fields.iter().map(|(_, t)| t.depth()).max().unwrap_or(0)
-            }
+            TypeDesc::Struct(s) => 1 + s.fields.iter().map(|(_, t)| t.depth()).max().unwrap_or(0),
             _ => 0,
         }
     }
@@ -149,7 +153,9 @@ mod tests {
 
     #[test]
     fn field_lookup() {
-        let TypeDesc::Struct(s) = sample() else { panic!() };
+        let TypeDesc::Struct(s) = sample() else {
+            panic!()
+        };
         assert_eq!(s.field("price"), Some(&TypeDesc::Float));
         assert_eq!(s.field("missing"), None);
         assert_eq!(s.len(), 5);
@@ -162,7 +168,10 @@ mod tests {
         assert_eq!(TypeDesc::list_of(TypeDesc::Int).depth(), 1);
         let nested = TypeDesc::struct_of(
             "outer",
-            vec![("inner", TypeDesc::struct_of("inner", vec![("x", TypeDesc::Int)]))],
+            vec![(
+                "inner",
+                TypeDesc::struct_of("inner", vec![("x", TypeDesc::Int)]),
+            )],
         );
         assert_eq!(nested.depth(), 2);
     }
@@ -174,7 +183,13 @@ mod tests {
             "outer",
             vec![
                 ("a", TypeDesc::Int),
-                ("inner", TypeDesc::struct_of("inner", vec![("x", TypeDesc::Int), ("y", TypeDesc::Float)])),
+                (
+                    "inner",
+                    TypeDesc::struct_of(
+                        "inner",
+                        vec![("x", TypeDesc::Int), ("y", TypeDesc::Float)],
+                    ),
+                ),
             ],
         );
         assert_eq!(nested.scalar_field_count(), 3);

@@ -44,7 +44,10 @@ pub struct StructValue {
 impl StructValue {
     /// Creates a struct value.
     pub fn new(name: impl Into<String>, fields: Vec<(String, Value)>) -> Self {
-        StructValue { name: name.into(), fields }
+        StructValue {
+            name: name.into(),
+            fields,
+        }
     }
 
     /// Returns the value of the named field, if present.
@@ -54,7 +57,10 @@ impl StructValue {
 
     /// Mutable access to the named field.
     pub fn field_mut(&mut self, name: &str) -> Option<&mut Value> {
-        self.fields.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.fields
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -63,7 +69,10 @@ impl Value {
     pub fn struct_of(name: impl Into<String>, fields: Vec<(&str, Value)>) -> Value {
         Value::Struct(StructValue::new(
             name,
-            fields.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            fields
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
         ))
     }
 
@@ -86,7 +95,10 @@ impl Value {
             }
             Value::Struct(s) => TypeDesc::Struct(StructDesc::new(
                 s.name.clone(),
-                s.fields.iter().map(|(n, v)| (n.clone(), v.type_of())).collect(),
+                s.fields
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.type_of()))
+                    .collect(),
             )),
         }
     }
@@ -131,7 +143,10 @@ impl Value {
             },
             TypeDesc::Struct(sd) => Value::Struct(StructValue::new(
                 sd.name.clone(),
-                sd.fields.iter().map(|(n, t)| (n.clone(), Value::zero_of(t))).collect(),
+                sd.fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), Value::zero_of(t)))
+                    .collect(),
             )),
         }
     }
@@ -224,7 +239,10 @@ impl Value {
 }
 
 fn mismatch(expected: &str, found: &Value) -> ModelError {
-    ModelError::TypeMismatch { expected: expected.to_string(), found: found.type_of().name() }
+    ModelError::TypeMismatch {
+        expected: expected.to_string(),
+        found: found.type_of().name(),
+    }
 }
 
 impl fmt::Display for Value {
@@ -260,7 +278,11 @@ mod tests {
     fn type_inference_round_trips() {
         let v = Value::struct_of(
             "point",
-            vec![("x", Value::Float(1.0)), ("y", Value::Float(2.0)), ("id", Value::Int(7))],
+            vec![
+                ("x", Value::Float(1.0)),
+                ("y", Value::Float(2.0)),
+                ("id", Value::Int(7)),
+            ],
         );
         let ty = v.type_of();
         assert!(v.conforms_to(&ty));
@@ -303,7 +325,12 @@ mod tests {
     fn accessors_enforce_types() {
         assert_eq!(Value::Int(3).as_int().unwrap(), 3);
         assert!(Value::Int(3).as_float().is_err());
-        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).as_int_array().unwrap(), vec![1, 2]);
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+                .as_int_array()
+                .unwrap(),
+            vec![1, 2]
+        );
         assert!(Value::Str("x".into()).as_struct().is_err());
     }
 
@@ -327,7 +354,10 @@ mod tests {
 
     #[test]
     fn display_renders_structs() {
-        let v = Value::struct_of("p", vec![("x", Value::Int(1)), ("s", Value::Str("hi".into()))]);
+        let v = Value::struct_of(
+            "p",
+            vec![("x", Value::Int(1)), ("s", Value::Str("hi".into()))],
+        );
         assert_eq!(format!("{v}"), "p{x: 1, s: \"hi\"}");
     }
 }

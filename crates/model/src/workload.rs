@@ -19,12 +19,17 @@ pub struct Lcg(u64);
 impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+        Lcg(seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493))
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0
     }
 
@@ -98,12 +103,26 @@ fn build_nested(depth: usize, rng: &mut Lcg) -> Value {
     let code = Value::Char(b'A' + rng.next_below(26) as u8);
     let label = Value::Str(format!("item-{:06}", rng.next_below(1_000_000)));
     if depth == 0 {
-        Value::struct_of("leaf", vec![("id", id), ("amount", amount), ("code", code), ("label", label)])
+        Value::struct_of(
+            "leaf",
+            vec![
+                ("id", id),
+                ("amount", amount),
+                ("code", code),
+                ("label", label),
+            ],
+        )
     } else {
         let child = build_nested(depth - 1, rng);
         Value::struct_of(
             format!("record_l{depth}"),
-            vec![("id", id), ("amount", amount), ("code", code), ("label", label), ("child", child)],
+            vec![
+                ("id", id),
+                ("amount", amount),
+                ("code", code),
+                ("label", label),
+                ("child", child),
+            ],
         )
     }
 }
@@ -197,7 +216,10 @@ fn build_wide(depth: usize, fanout: usize, rng: &mut Lcg) -> Value {
     for i in 0..fanout {
         fields.push((format!("c{i}"), build_wide(depth - 1, fanout, rng)));
     }
-    Value::Struct(crate::value::StructValue::new(format!("w_l{depth}"), fields))
+    Value::Struct(crate::value::StructValue::new(
+        format!("w_l{depth}"),
+        fields,
+    ))
 }
 
 #[cfg(test)]
@@ -231,9 +253,13 @@ mod tests {
 
     #[test]
     fn array_sizes_match_request() {
-        let Value::IntArray(v) = int_array(100, 1) else { panic!() };
+        let Value::IntArray(v) = int_array(100, 1) else {
+            panic!()
+        };
         assert_eq!(v.len(), 100);
-        let Value::FloatArray(v) = float_array(3, 1) else { panic!() };
+        let Value::FloatArray(v) = float_array(3, 1) else {
+            panic!()
+        };
         assert_eq!(v.len(), 3);
     }
 

@@ -1,36 +1,45 @@
-//! Property tests for the value model: projection/padding invariants hold
-//! for arbitrary generated schemas and conforming values.
+//! Randomized-property tests for the value model: projection/padding
+//! invariants hold for arbitrary generated schemas and conforming values.
+//! Generation is driven by the workspace's seeded PRNG so every case is
+//! reproducible from its seed (no registry-only property-test framework).
 
-use proptest::prelude::*;
-use sbq_model::{pad_to, project, get_path, set_path, TypeDesc, Value};
+use sbq_model::{get_path, pad_to, project, set_path, TypeDesc, Value};
+use sbq_runtime::SmallRng;
 
-/// Strategy producing an arbitrary `TypeDesc` of bounded depth.
-fn arb_type(depth: u32) -> impl Strategy<Value = TypeDesc> {
-    let leaf = prop_oneof![
-        Just(TypeDesc::Int),
-        Just(TypeDesc::Float),
-        Just(TypeDesc::Char),
-        Just(TypeDesc::Str),
-        Just(TypeDesc::Bytes),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(TypeDesc::list_of),
-            (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(tys, name)| {
-                let fields = tys
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, t)| (format!("f{i}"), t))
-                    .collect();
-                TypeDesc::Struct(sbq_model::StructDesc::new(name, fields))
-            }),
-        ]
-    })
+const CASES: u64 = 256;
+
+/// An arbitrary `TypeDesc` of bounded depth.
+fn arb_type(rng: &mut SmallRng, depth: u32) -> TypeDesc {
+    let leaf = |rng: &mut SmallRng| match rng.gen_below(5) {
+        0 => TypeDesc::Int,
+        1 => TypeDesc::Float,
+        2 => TypeDesc::Char,
+        3 => TypeDesc::Str,
+        _ => TypeDesc::Bytes,
+    };
+    if depth == 0 || rng.gen_bool(0.4) {
+        return leaf(rng);
+    }
+    match rng.gen_below(2) {
+        0 => TypeDesc::list_of(arb_type(rng, depth - 1)),
+        _ => {
+            let n = 1 + rng.gen_below(3) as usize;
+            let fields = (0..n)
+                .map(|i| (format!("f{i}"), arb_type(rng, depth - 1)))
+                .collect();
+            let name: String = (0..1 + rng.gen_below(6))
+                .map(|_| (b'a' + rng.gen_below(26) as u8) as char)
+                .collect();
+            TypeDesc::Struct(sbq_model::StructDesc::new(name, fields))
+        }
+    }
 }
 
 /// A deterministic conforming value for a schema.
 fn sample_value(ty: &TypeDesc, seed: &mut u64) -> Value {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let s = *seed;
     match ty {
         TypeDesc::Int => Value::Int((s % 1000) as i64 - 500),
@@ -48,53 +57,78 @@ fn sample_value(ty: &TypeDesc, seed: &mut u64) -> Value {
         }
         TypeDesc::Struct(sd) => Value::Struct(sbq_model::StructValue::new(
             sd.name.clone(),
-            sd.fields.iter().map(|(n, t)| (n.clone(), sample_value(t, seed))).collect(),
+            sd.fields
+                .iter()
+                .map(|(n, t)| (n.clone(), sample_value(t, seed)))
+                .collect(),
         )),
     }
 }
 
-proptest! {
-    #[test]
-    fn sampled_values_conform(ty in arb_type(3), seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn sampled_values_conform() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0001);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 3);
+        let mut s = rng.next_u64();
         let v = sample_value(&ty, &mut s);
-        prop_assert!(v.conforms_to(&ty));
+        assert!(v.conforms_to(&ty), "{ty:?}");
     }
+}
 
-    #[test]
-    fn zero_values_conform(ty in arb_type(3)) {
-        prop_assert!(Value::zero_of(&ty).conforms_to(&ty));
+#[test]
+fn zero_values_conform() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0002);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 3);
+        assert!(Value::zero_of(&ty).conforms_to(&ty), "{ty:?}");
     }
+}
 
-    #[test]
-    fn identity_projection_is_lossless(ty in arb_type(3), seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn identity_projection_is_lossless() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0003);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 3);
+        let mut s = rng.next_u64();
         let v = sample_value(&ty, &mut s);
         let p = project(&v, &ty).unwrap();
-        prop_assert_eq!(pad_to(&p, &ty).unwrap(), v);
+        assert_eq!(pad_to(&p, &ty).unwrap(), v, "{ty:?}");
     }
+}
 
-    #[test]
-    fn pad_always_conforms_to_full_type(from in arb_type(2), to in arb_type(2), seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn pad_always_conforms_to_full_type() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0004);
+    for _ in 0..CASES {
+        let from = arb_type(&mut rng, 2);
+        let to = arb_type(&mut rng, 2);
+        let mut s = rng.next_u64();
         let v = sample_value(&from, &mut s);
         let padded = pad_to(&v, &to).unwrap();
-        prop_assert!(padded.conforms_to(&to));
+        assert!(padded.conforms_to(&to), "{from:?} -> {to:?}");
     }
+}
 
-    #[test]
-    fn native_size_matches_scalar_structure(n in 0usize..512) {
+#[test]
+fn native_size_matches_scalar_structure() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_below(512) as usize;
         let v = sbq_model::workload::int_array(n, 42);
-        prop_assert_eq!(v.native_size(), 4 + 8 * n);
-        prop_assert_eq!(v.scalar_count(), n);
+        assert_eq!(v.native_size(), 4 + 8 * n);
+        assert_eq!(v.scalar_count(), n);
     }
+}
 
-    #[test]
-    fn set_then_get_round_trips(seed in any::<u64>()) {
+#[test]
+fn set_then_get_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_0006);
+    for _ in 0..CASES {
         let ty = sbq_model::workload::nested_struct_type(2);
-        let mut s = seed;
+        let mut s = rng.next_u64();
         let mut v = sample_value(&ty, &mut s);
         set_path(&mut v, "child.child.id", Value::Int(777)).unwrap();
-        prop_assert_eq!(get_path(&v, "child.child.id").unwrap(), &Value::Int(777));
+        assert_eq!(get_path(&v, "child.child.id").unwrap(), &Value::Int(777));
     }
 }

@@ -21,8 +21,7 @@
 //! benefit of adapting message sizes to congestion) depends only on these
 //! first-order quantities; see DESIGN.md §1 for the substitution argument.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sbq_runtime::SmallRng;
 use std::time::Duration;
 
 pub mod clock;
@@ -99,7 +98,7 @@ impl LinkSpec {
 /// Multiplicative measurement noise driven by a seeded RNG.
 #[derive(Debug, Clone)]
 pub struct Jitter {
-    rng: StdRng,
+    rng: SmallRng,
     /// Maximum relative deviation, e.g. 0.05 for ±5 %.
     amplitude: f64,
 }
@@ -107,12 +106,15 @@ pub struct Jitter {
 impl Jitter {
     /// Creates jitter with the given seed and relative amplitude.
     pub fn new(seed: u64, amplitude: f64) -> Jitter {
-        Jitter { rng: StdRng::seed_from_u64(seed), amplitude: amplitude.max(0.0) }
+        Jitter {
+            rng: SmallRng::seed_from_u64(seed),
+            amplitude: amplitude.max(0.0),
+        }
     }
 
     /// A multiplicative factor in `[1-a, 1+a]`.
     pub fn factor(&mut self) -> f64 {
-        1.0 + self.amplitude * (self.rng.gen::<f64>() * 2.0 - 1.0)
+        1.0 + self.amplitude * (self.rng.gen_f64() * 2.0 - 1.0)
     }
 }
 
@@ -139,7 +141,7 @@ pub struct SimLink {
 struct LossModel {
     /// Independent per-packet loss probability.
     p: f64,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl SimLink {
@@ -162,7 +164,10 @@ impl SimLink {
     /// a retransmission timeout of one RTT, which is what makes lossy
     /// wireless links *erratic* rather than merely slow.
     pub fn with_loss(mut self, seed: u64, p: f64) -> SimLink {
-        self.loss = Some(LossModel { p: p.clamp(0.0, 0.5), rng: StdRng::seed_from_u64(seed) });
+        self.loss = Some(LossModel {
+            p: p.clamp(0.0, 0.5),
+            rng: SmallRng::seed_from_u64(seed),
+        });
         self
     }
 
@@ -206,7 +211,7 @@ impl SimLink {
             let rto = 2 * self.spec.latency;
             let mut lost = 0u64;
             for _ in 0..packets {
-                if loss.rng.gen::<f64>() < loss.p {
+                if loss.rng.gen_f64() < loss.p {
                     lost += 1;
                 }
             }
@@ -329,11 +334,7 @@ mod tests {
 
     #[test]
     fn cross_traffic_applied_over_time() {
-        let cross = CrossTraffic::square_wave(
-            Duration::from_secs(10),
-            Duration::from_secs(5),
-            0.9,
-        );
+        let cross = CrossTraffic::square_wave(Duration::from_secs(10), Duration::from_secs(5), 0.9);
         let mut link = SimLink::new(LinkSpec::adsl()).with_cross_traffic(cross);
         // First window: congested (load 0.9).
         let busy = link.send(20_000);

@@ -37,7 +37,10 @@ impl CrossTraffic {
     /// gaps mean zero load).
     pub fn schedule(mut segments: Vec<Segment>) -> CrossTraffic {
         segments.sort_by_key(|s| s.start);
-        CrossTraffic { segments, period: None }
+        CrossTraffic {
+            segments,
+            period: None,
+        }
     }
 
     /// A repeating square wave: `load` for the first `duty` of every
@@ -45,7 +48,11 @@ impl CrossTraffic {
     /// by the Fig. 8 experiment.
     pub fn square_wave(period: Duration, duty: Duration, load: f64) -> CrossTraffic {
         CrossTraffic {
-            segments: vec![Segment { start: Duration::ZERO, end: duty, load }],
+            segments: vec![Segment {
+                start: Duration::ZERO,
+                end: duty,
+                load,
+            }],
             period: Some(period),
         }
     }
@@ -57,18 +64,23 @@ impl CrossTraffic {
         let mut segments = Vec::with_capacity(levels.len());
         let mut t = Duration::ZERO;
         for &load in levels {
-            segments.push(Segment { start: t, end: t + step, load });
+            segments.push(Segment {
+                start: t,
+                end: t + step,
+                load,
+            });
             t += step;
         }
-        CrossTraffic { segments, period: Some(t) }
+        CrossTraffic {
+            segments,
+            period: Some(t),
+        }
     }
 
     /// Competing load at virtual time `t` (0 = idle link).
     pub fn load_at(&self, t: Duration) -> f64 {
         let t = match self.period {
-            Some(p) if !p.is_zero() => {
-                Duration::from_nanos((t.as_nanos() % p.as_nanos()) as u64)
-            }
+            Some(p) if !p.is_zero() => Duration::from_nanos((t.as_nanos() % p.as_nanos()) as u64),
             _ => t,
         };
         for s in &self.segments {
@@ -118,8 +130,16 @@ mod tests {
     #[test]
     fn one_shot_schedule_has_gaps_and_end() {
         let c = CrossTraffic::schedule(vec![
-            Segment { start: secs(5), end: secs(10), load: 0.7 },
-            Segment { start: secs(20), end: secs(25), load: 0.4 },
+            Segment {
+                start: secs(5),
+                end: secs(10),
+                load: 0.7,
+            },
+            Segment {
+                start: secs(20),
+                end: secs(25),
+                load: 0.4,
+            },
         ]);
         assert_eq!(c.load_at(secs(0)), 0.0);
         assert_eq!(c.load_at(secs(7)), 0.7);
@@ -130,7 +150,11 @@ mod tests {
 
     #[test]
     fn load_clamped_below_one() {
-        let c = CrossTraffic::schedule(vec![Segment { start: secs(0), end: secs(1), load: 5.0 }]);
+        let c = CrossTraffic::schedule(vec![Segment {
+            start: secs(0),
+            end: secs(1),
+            load: 5.0,
+        }]);
         assert_eq!(c.load_at(secs(0)), 0.95);
     }
 }

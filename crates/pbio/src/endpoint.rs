@@ -88,16 +88,26 @@ impl PbioEndpoint {
     /// Encodes `value` against `desc` and returns the wire messages to
     /// transmit: a registration message first if this endpoint has not
     /// announced the format yet, then the data message.
-    pub fn send(&mut self, value: &Value, desc: &FormatDesc) -> Result<Vec<WireMessage>, PbioError> {
+    pub fn send(
+        &mut self,
+        value: &Value,
+        desc: &FormatDesc,
+    ) -> Result<Vec<WireMessage>, PbioError> {
         let id = self.server.register(desc)?;
         let mut out = Vec::with_capacity(2);
         if self.announced.insert(id) {
-            let reg = WireMessage::FormatReg { id, desc: desc.to_bytes() };
+            let reg = WireMessage::FormatReg {
+                id,
+                desc: desc.to_bytes(),
+            };
             self.stats.reg_bytes_sent += reg.wire_len() as u64;
             out.push(reg);
         }
         let payload = encode(value, desc)?;
-        let data = WireMessage::Data { format_id: id, payload };
+        let data = WireMessage::Data {
+            format_id: id,
+            payload,
+        };
         self.stats.data_bytes_sent += data.wire_len() as u64;
         self.stats.messages_sent += 1;
         out.push(data);
@@ -177,7 +187,10 @@ mod tests {
 
     fn pair() -> (PbioEndpoint, PbioEndpoint) {
         let server = Arc::new(FormatServer::new());
-        (PbioEndpoint::new(Arc::clone(&server)), PbioEndpoint::new(server))
+        (
+            PbioEndpoint::new(Arc::clone(&server)),
+            PbioEndpoint::new(server),
+        )
     }
 
     #[test]
@@ -225,8 +238,14 @@ mod tests {
     #[test]
     fn unknown_format_everywhere_errors() {
         let (_, mut rx) = pair();
-        let msg = WireMessage::Data { format_id: 777, payload: vec![] };
-        assert_eq!(rx.receive(&msg, None).unwrap_err(), PbioError::UnknownFormat(777));
+        let msg = WireMessage::Data {
+            format_id: 777,
+            payload: vec![],
+        };
+        assert_eq!(
+            rx.receive(&msg, None).unwrap_err(),
+            PbioError::UnknownFormat(777)
+        );
     }
 
     #[test]
@@ -235,9 +254,15 @@ mod tests {
         let mut sparc_tx = PbioEndpoint::new(Arc::clone(&server));
         let mut x86_rx = PbioEndpoint::new(server);
         let ty = workload::nested_struct_type(1);
-        let sparc =
-            FormatDesc::from_type(&ty, FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 })
-                .unwrap();
+        let sparc = FormatDesc::from_type(
+            &ty,
+            FormatOptions {
+                byte_order: ByteOrder::Big,
+                int_width: 4,
+                float_width: 8,
+            },
+        )
+        .unwrap();
         let native = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
         let v = workload::nested_struct(1, 3);
         for m in sparc_tx.send(&v, &sparc).unwrap() {
@@ -250,9 +275,11 @@ mod tests {
     #[test]
     fn stats_track_bytes() {
         let (mut tx, _) = pair();
-        let desc =
-            FormatDesc::from_type(&sbq_model::TypeDesc::list_of(sbq_model::TypeDesc::Int), FormatOptions::default())
-                .unwrap();
+        let desc = FormatDesc::from_type(
+            &sbq_model::TypeDesc::list_of(sbq_model::TypeDesc::Int),
+            FormatOptions::default(),
+        )
+        .unwrap();
         let v = workload::int_array(100, 1);
         tx.send(&v, &desc).unwrap();
         let s = tx.stats();

@@ -86,7 +86,11 @@ pub struct FormatOptions {
 
 impl Default for FormatOptions {
     fn default() -> Self {
-        FormatOptions { byte_order: ByteOrder::native(), int_width: 8, float_width: 8 }
+        FormatOptions {
+            byte_order: ByteOrder::native(),
+            int_width: 8,
+            float_width: 8,
+        }
     }
 }
 
@@ -102,15 +106,25 @@ impl FormatDesc {
                     .fields
                     .iter()
                     .map(|(n, t)| {
-                        Ok(FieldDesc { name: n.clone(), ty: wire_type(t, opts)? })
+                        Ok(FieldDesc {
+                            name: n.clone(),
+                            ty: wire_type(t, opts)?,
+                        })
                     })
                     .collect::<Result<Vec<_>, PbioError>>()?;
-                Ok(FormatDesc { name: sd.name.clone(), byte_order: opts.byte_order, fields })
+                Ok(FormatDesc {
+                    name: sd.name.clone(),
+                    byte_order: opts.byte_order,
+                    fields,
+                })
             }
             // Non-struct top-level parameters are wrapped in a synthetic
             // single-field record, like SOAP wraps them in an element.
             other => {
-                let f = FieldDesc { name: "value".to_string(), ty: wire_type(other, opts)? };
+                let f = FieldDesc {
+                    name: "value".to_string(),
+                    ty: wire_type(other, opts)?,
+                };
                 Ok(FormatDesc {
                     name: format!("{}_param", other.name().replace(['<', '>'], "_")),
                     byte_order: opts.byte_order,
@@ -153,7 +167,9 @@ impl FormatDesc {
         let mut pos = 0;
         let desc = Self::read_from(buf, &mut pos)?;
         if pos != buf.len() {
-            return Err(PbioError::TypeMismatch("trailing bytes after format".into()));
+            return Err(PbioError::TypeMismatch(
+                "trailing bytes after format".into(),
+            ));
         }
         Ok(desc)
     }
@@ -172,14 +188,22 @@ impl FormatDesc {
             let ty = read_wire_type(buf, pos)?;
             fields.push(FieldDesc { name: fname, ty });
         }
-        Ok(FormatDesc { name, byte_order: bo, fields })
+        Ok(FormatDesc {
+            name,
+            byte_order: bo,
+            fields,
+        })
     }
 }
 
 fn wire_type(ty: &TypeDesc, opts: FormatOptions) -> Result<WireType, PbioError> {
     Ok(match ty {
-        TypeDesc::Int => WireType::Int { width: check_int_width(opts.int_width)? },
-        TypeDesc::Float => WireType::Float { width: check_float_width(opts.float_width)? },
+        TypeDesc::Int => WireType::Int {
+            width: check_int_width(opts.int_width)?,
+        },
+        TypeDesc::Float => WireType::Float {
+            width: check_float_width(opts.float_width)?,
+        },
         TypeDesc::Char => WireType::Char,
         TypeDesc::Str => WireType::Str,
         TypeDesc::Bytes => WireType::Bytes,
@@ -235,8 +259,12 @@ fn write_wire_type(out: &mut Vec<u8>, ty: &WireType) {
 
 fn read_wire_type(buf: &[u8], pos: &mut usize) -> Result<WireType, PbioError> {
     Ok(match read_u8(buf, pos)? {
-        0 => WireType::Int { width: check_int_width(read_u8(buf, pos)?)? },
-        1 => WireType::Float { width: check_float_width(read_u8(buf, pos)?)? },
+        0 => WireType::Int {
+            width: check_int_width(read_u8(buf, pos)?)?,
+        },
+        1 => WireType::Float {
+            width: check_float_width(read_u8(buf, pos)?)?,
+        },
         2 => WireType::Char,
         3 => WireType::Str,
         6 => WireType::Bytes,
@@ -297,21 +325,27 @@ mod tests {
         assert_eq!(d.name, "m");
         assert_eq!(d.fields.len(), 5);
         assert_eq!(d.fields[0].ty, WireType::Int { width: 8 });
-        assert_eq!(d.fields[4].ty, WireType::List(Box::new(WireType::Float { width: 8 })));
+        assert_eq!(
+            d.fields[4].ty,
+            WireType::List(Box::new(WireType::Float { width: 8 }))
+        );
     }
 
     #[test]
     fn non_struct_parameters_get_wrapped() {
-        let d =
-            FormatDesc::from_type(&TypeDesc::list_of(TypeDesc::Int), FormatOptions::default())
-                .unwrap();
+        let d = FormatDesc::from_type(&TypeDesc::list_of(TypeDesc::Int), FormatOptions::default())
+            .unwrap();
         assert_eq!(d.fields.len(), 1);
         assert_eq!(d.fields[0].name, "value");
     }
 
     #[test]
     fn sparc_like_options_respected() {
-        let opts = FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 };
+        let opts = FormatOptions {
+            byte_order: ByteOrder::Big,
+            int_width: 4,
+            float_width: 8,
+        };
         let d = FormatDesc::from_type(&TypeDesc::struct_of("x", vec![("a", TypeDesc::Int)]), opts)
             .unwrap();
         assert_eq!(d.byte_order, ByteOrder::Big);
@@ -320,8 +354,12 @@ mod tests {
 
     #[test]
     fn bad_widths_rejected() {
-        let opts = FormatOptions { int_width: 3, ..Default::default() };
-        let err = FormatDesc::from_type(&TypeDesc::struct_of("x", vec![("a", TypeDesc::Int)]), opts);
+        let opts = FormatOptions {
+            int_width: 3,
+            ..Default::default()
+        };
+        let err =
+            FormatDesc::from_type(&TypeDesc::struct_of("x", vec![("a", TypeDesc::Int)]), opts);
         assert_eq!(err.unwrap_err(), PbioError::BadWidth(3));
     }
 
@@ -337,14 +375,16 @@ mod tests {
 
     #[test]
     fn registration_size_grows_with_nesting() {
-        let shallow = FormatDesc::from_type(&workload::nested_struct_type(1), FormatOptions::default())
-            .unwrap()
-            .to_bytes()
-            .len();
-        let deep = FormatDesc::from_type(&workload::nested_struct_type(8), FormatOptions::default())
-            .unwrap()
-            .to_bytes()
-            .len();
+        let shallow =
+            FormatDesc::from_type(&workload::nested_struct_type(1), FormatOptions::default())
+                .unwrap()
+                .to_bytes()
+                .len();
+        let deep =
+            FormatDesc::from_type(&workload::nested_struct_type(8), FormatOptions::default())
+                .unwrap()
+                .to_bytes()
+                .len();
         assert!(deep > 4 * shallow, "deep={deep} shallow={shallow}");
     }
 
@@ -353,7 +393,10 @@ mod tests {
         let d = FormatDesc::from_type(&workload::nested_struct_type(2), FormatOptions::default())
             .unwrap();
         let bytes = d.to_bytes();
-        assert_eq!(FormatDesc::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(), PbioError::Truncated);
+        assert_eq!(
+            FormatDesc::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            PbioError::Truncated
+        );
         let mut garbage = bytes.clone();
         garbage.push(0xff);
         assert!(FormatDesc::from_bytes(&garbage).is_err());

@@ -89,7 +89,9 @@ fn encode_field(
                     write_float(out, *x, width, bo);
                 }
             } else {
-                return Err(PbioError::TypeMismatch("float array vs non-float list".into()));
+                return Err(PbioError::TypeMismatch(
+                    "float array vs non-float list".into(),
+                ));
             }
         }
         (WireType::List(e), Value::List(vs)) => {
@@ -181,20 +183,18 @@ impl ConversionPlan {
                         (WireType::Struct(wd), WireType::Struct(nd)) => {
                             SlotAction::Store(i, Some(Box::new(ConversionPlan::compile(wd, nd)?)))
                         }
-                        (WireType::List(w), WireType::List(n)) => {
-                            match (&**w, &**n) {
-                                (WireType::Struct(wd), WireType::Struct(nd)) if wd != nd => {
-                                    SlotAction::StoreListElems(
-                                        i,
-                                        Box::new(ConversionPlan::compile(wd, nd)?),
-                                    )
-                                }
-                                _ => {
-                                    check_compatible(&wf.name, &wf.ty, &native.fields[i].ty)?;
-                                    SlotAction::Store(i, None)
-                                }
+                        (WireType::List(w), WireType::List(n)) => match (&**w, &**n) {
+                            (WireType::Struct(wd), WireType::Struct(nd)) if wd != nd => {
+                                SlotAction::StoreListElems(
+                                    i,
+                                    Box::new(ConversionPlan::compile(wd, nd)?),
+                                )
                             }
-                        }
+                            _ => {
+                                check_compatible(&wf.name, &wf.ty, &native.fields[i].ty)?;
+                                SlotAction::Store(i, None)
+                            }
+                        },
                         (w, n) => {
                             check_compatible(&wf.name, w, n)?;
                             SlotAction::Store(i, None)
@@ -206,7 +206,12 @@ impl ConversionPlan {
             }
         }
         let identity = wire == native && wire.byte_order == ByteOrder::native();
-        Ok(ConversionPlan { wire: wire.clone(), native: native.clone(), actions, identity })
+        Ok(ConversionPlan {
+            wire: wire.clone(),
+            native: native.clone(),
+            actions,
+            identity,
+        })
     }
 
     /// The identity plan for messages already in `desc` layout.
@@ -280,7 +285,10 @@ impl ConversionPlan {
                 (nf.name.clone(), v)
             })
             .collect();
-        Ok(Value::Struct(StructValue::new(self.native.name.clone(), fields)))
+        Ok(Value::Struct(StructValue::new(
+            self.native.name.clone(),
+            fields,
+        )))
     }
 }
 
@@ -334,12 +342,20 @@ fn zero_for_wire(ty: &WireType) -> Value {
         },
         WireType::Struct(d) => Value::Struct(StructValue::new(
             d.name.clone(),
-            d.fields.iter().map(|f| (f.name.clone(), zero_for_wire(&f.ty))).collect(),
+            d.fields
+                .iter()
+                .map(|f| (f.name.clone(), zero_for_wire(&f.ty)))
+                .collect(),
         )),
     }
 }
 
-fn read_value(buf: &[u8], pos: &mut usize, ty: &WireType, bo: ByteOrder) -> Result<Value, PbioError> {
+fn read_value(
+    buf: &[u8],
+    pos: &mut usize,
+    ty: &WireType,
+    bo: ByteOrder,
+) -> Result<Value, PbioError> {
     Ok(match ty {
         WireType::Bytes => {
             let len = read_u32(buf, pos, bo)? as usize;
@@ -529,7 +545,10 @@ mod tests {
     fn round_trip_native_layout() {
         for depth in 0..5 {
             let v = workload::nested_struct(depth, 11);
-            let d = fmt(&workload::nested_struct_type(depth), FormatOptions::default());
+            let d = fmt(
+                &workload::nested_struct_type(depth),
+                FormatOptions::default(),
+            );
             let bytes = encode(&v, &d).unwrap();
             assert_eq!(decode(&bytes, &d).unwrap(), v, "depth {depth}");
         }
@@ -538,7 +557,10 @@ mod tests {
     #[test]
     fn round_trip_arrays() {
         let v = workload::float_array(1000, 3);
-        let d = fmt(&TypeDesc::list_of(TypeDesc::Float), FormatOptions::default());
+        let d = fmt(
+            &TypeDesc::list_of(TypeDesc::Float),
+            FormatOptions::default(),
+        );
         let bytes = encode(&v, &d).unwrap();
         assert_eq!(bytes.len(), 4 + 8 * 1000);
         assert_eq!(decode(&bytes, &d).unwrap(), v);
@@ -550,14 +572,26 @@ mod tests {
         // 8-byte ints. Same field names.
         let ty = TypeDesc::struct_of(
             "m",
-            vec![("a", TypeDesc::Int), ("x", TypeDesc::Float), ("s", TypeDesc::Str)],
+            vec![
+                ("a", TypeDesc::Int),
+                ("x", TypeDesc::Float),
+                ("s", TypeDesc::Str),
+            ],
         );
-        let sparc = FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 };
+        let sparc = FormatOptions {
+            byte_order: ByteOrder::Big,
+            int_width: 4,
+            float_width: 8,
+        };
         let wire = fmt(&ty, sparc);
         let native = fmt(&ty, FormatOptions::default());
         let v = Value::struct_of(
             "m",
-            vec![("a", Value::Int(-123456)), ("x", Value::Float(2.75)), ("s", Value::Str("hello".into()))],
+            vec![
+                ("a", Value::Int(-123456)),
+                ("x", Value::Float(2.75)),
+                ("s", Value::Str("hello".into())),
+            ],
         );
         let bytes = encode(&v, &wire).unwrap();
         let plan = ConversionPlan::compile(&wire, &native).unwrap();
@@ -571,11 +605,21 @@ mod tests {
         let ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]);
         for bo in [ByteOrder::Little, ByteOrder::Big] {
             for width in [1u8, 2, 4, 8] {
-                let wire = fmt(&ty, FormatOptions { byte_order: bo, int_width: width, float_width: 8 });
+                let wire = fmt(
+                    &ty,
+                    FormatOptions {
+                        byte_order: bo,
+                        int_width: width,
+                        float_width: 8,
+                    },
+                );
                 let native = fmt(&ty, FormatOptions::default());
                 let v = Value::struct_of("m", vec![("a", Value::Int(-5))]);
                 let bytes = encode(&v, &wire).unwrap();
-                let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+                let got = ConversionPlan::compile(&wire, &native)
+                    .unwrap()
+                    .execute(&bytes)
+                    .unwrap();
                 assert_eq!(got, v, "bo={bo:?} width={width}");
             }
         }
@@ -585,11 +629,19 @@ mod tests {
     fn plan_skips_wire_only_fields_and_zero_fills_native_only() {
         let wire_ty = TypeDesc::struct_of(
             "m",
-            vec![("keep", TypeDesc::Int), ("drop", TypeDesc::Str), ("arr", TypeDesc::list_of(TypeDesc::Float))],
+            vec![
+                ("keep", TypeDesc::Int),
+                ("drop", TypeDesc::Str),
+                ("arr", TypeDesc::list_of(TypeDesc::Float)),
+            ],
         );
         let native_ty = TypeDesc::struct_of(
             "m",
-            vec![("keep", TypeDesc::Int), ("extra", TypeDesc::Float), ("arr", TypeDesc::list_of(TypeDesc::Float))],
+            vec![
+                ("keep", TypeDesc::Int),
+                ("extra", TypeDesc::Float),
+                ("arr", TypeDesc::list_of(TypeDesc::Float)),
+            ],
         );
         let wire = fmt(&wire_ty, FormatOptions::default());
         let native = fmt(&native_ty, FormatOptions::default());
@@ -602,7 +654,10 @@ mod tests {
             ],
         );
         let bytes = encode(&v, &wire).unwrap();
-        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        let got = ConversionPlan::compile(&wire, &native)
+            .unwrap()
+            .execute(&bytes)
+            .unwrap();
         let s = got.as_struct().unwrap();
         assert_eq!(s.field("keep"), Some(&Value::Int(7)));
         assert_eq!(s.field("extra"), Some(&Value::Float(0.0)));
@@ -622,18 +677,24 @@ mod tests {
             ..Default::default()
         };
         let swapped = fmt(&workload::nested_struct_type(2), other);
-        assert!(!ConversionPlan::compile(&swapped, &swapped).unwrap().is_identity());
+        assert!(!ConversionPlan::compile(&swapped, &swapped)
+            .unwrap()
+            .is_identity());
     }
 
     #[test]
     fn field_reordering_handled() {
         let wire_ty = TypeDesc::struct_of("m", vec![("a", TypeDesc::Int), ("b", TypeDesc::Float)]);
-        let native_ty = TypeDesc::struct_of("m", vec![("b", TypeDesc::Float), ("a", TypeDesc::Int)]);
+        let native_ty =
+            TypeDesc::struct_of("m", vec![("b", TypeDesc::Float), ("a", TypeDesc::Int)]);
         let wire = fmt(&wire_ty, FormatOptions::default());
         let native = fmt(&native_ty, FormatOptions::default());
         let v = Value::struct_of("m", vec![("a", Value::Int(1)), ("b", Value::Float(2.0))]);
         let bytes = encode(&v, &wire).unwrap();
-        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        let got = ConversionPlan::compile(&wire, &native)
+            .unwrap()
+            .execute(&bytes)
+            .unwrap();
         let s = got.as_struct().unwrap();
         assert_eq!(s.fields[0].0, "b");
         assert_eq!(s.field("a"), Some(&Value::Int(1)));
@@ -663,7 +724,8 @@ mod tests {
     fn list_elements_projected_between_schemas() {
         // Wire: list of reduced structs; native: list of the full struct.
         // Elements must be padded individually.
-        let full_elem = TypeDesc::struct_of("e", vec![("a", TypeDesc::Int), ("b", TypeDesc::Float)]);
+        let full_elem =
+            TypeDesc::struct_of("e", vec![("a", TypeDesc::Int), ("b", TypeDesc::Float)]);
         let small_elem = TypeDesc::struct_of("e", vec![("a", TypeDesc::Int)]);
         let wire_ty = TypeDesc::struct_of("m", vec![("items", TypeDesc::list_of(small_elem))]);
         let native_ty = TypeDesc::struct_of("m", vec![("items", TypeDesc::list_of(full_elem))]);
@@ -680,9 +742,14 @@ mod tests {
             )],
         );
         let bytes = encode(&v, &wire).unwrap();
-        let got = ConversionPlan::compile(&wire, &native).unwrap().execute(&bytes).unwrap();
+        let got = ConversionPlan::compile(&wire, &native)
+            .unwrap()
+            .execute(&bytes)
+            .unwrap();
         let items = got.as_struct().unwrap().field("items").unwrap();
-        let Value::List(items) = items else { panic!("expected list") };
+        let Value::List(items) = items else {
+            panic!("expected list")
+        };
         assert_eq!(items.len(), 2);
         let e0 = items[0].as_struct().unwrap();
         assert_eq!(e0.field("a"), Some(&Value::Int(1)));
@@ -694,7 +761,10 @@ mod tests {
         let d = fmt(&workload::nested_struct_type(1), FormatOptions::default());
         let v = workload::nested_struct(1, 1);
         let bytes = encode(&v, &d).unwrap();
-        assert_eq!(decode(&bytes[..bytes.len() - 3], &d).unwrap_err(), PbioError::Truncated);
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 3], &d).unwrap_err(),
+            PbioError::Truncated
+        );
     }
 
     #[test]
@@ -708,7 +778,10 @@ mod tests {
 
     #[test]
     fn mismatched_value_rejected() {
-        let d = fmt(&TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]), FormatOptions::default());
+        let d = fmt(
+            &TypeDesc::struct_of("m", vec![("a", TypeDesc::Int)]),
+            FormatOptions::default(),
+        );
         let bad = Value::struct_of("m", vec![("a", Value::Str("not an int".into()))]);
         assert!(matches!(encode(&bad, &d), Err(PbioError::TypeMismatch(_))));
     }

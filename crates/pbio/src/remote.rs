@@ -21,8 +21,8 @@
 use crate::format::FormatDesc;
 use crate::server::{FormatDirectory, FormatServer};
 use crate::PbioError;
-use parking_lot::{Mutex, RwLock};
 use sbq_http::{HttpClient, HttpServer, Request, Response, ServerHandle};
+use sbq_runtime::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -33,26 +33,32 @@ pub fn serve_format_directory(
     server: Arc<FormatServer>,
     addr: SocketAddr,
 ) -> std::io::Result<ServerHandle> {
-    HttpServer::bind(addr, move |req: &Request| match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/register") => match FormatDesc::from_bytes(&req.body) {
-            Ok(desc) => {
-                let id = server.register(&desc);
-                Response::ok("text/plain", format!("{id:08}").into_bytes())
+    HttpServer::bind(addr, move |req: &Request| {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/register") => match FormatDesc::from_bytes(&req.body) {
+                Ok(desc) => {
+                    let id = server.register(&desc);
+                    Response::ok("text/plain", format!("{id:08}").into_bytes())
+                }
+                Err(e) => Response::with_status(
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    e.to_string().into_bytes(),
+                ),
+            },
+            ("GET", path) if path.starts_with("/format/") => {
+                match path["/format/".len()..]
+                    .parse::<u32>()
+                    .ok()
+                    .and_then(|id| server.lookup(id))
+                {
+                    Some(desc) => Response::ok("application/octet-stream", desc.to_bytes()),
+                    None => Response::with_status(404, "Not Found", "text/plain", Vec::new()),
+                }
             }
-            Err(e) => Response::with_status(
-                400,
-                "Bad Request",
-                "text/plain",
-                e.to_string().into_bytes(),
-            ),
-        },
-        ("GET", path) if path.starts_with("/format/") => {
-            match path["/format/".len()..].parse::<u32>().ok().and_then(|id| server.lookup(id)) {
-                Some(desc) => Response::ok("application/octet-stream", desc.to_bytes()),
-                None => Response::with_status(404, "Not Found", "text/plain", Vec::new()),
-            }
+            _ => Response::with_status(404, "Not Found", "text/plain", Vec::new()),
         }
-        _ => Response::with_status(404, "Not Found", "text/plain", Vec::new()),
     })
 }
 
@@ -83,11 +89,13 @@ impl RemoteFormatServer {
 
     /// Network round trips performed (cache misses only).
     pub fn consultations(&self) -> u64 {
-        self.consultations.load(std::sync::atomic::Ordering::Relaxed)
+        self.consultations
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn request(&self, req: Request) -> Result<Response, PbioError> {
-        self.consultations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.consultations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut guard = self.http.lock();
         // One reconnect attempt on a dead keep-alive connection.
         for attempt in 0..2 {
@@ -167,8 +175,11 @@ mod tests {
     }
 
     fn desc(depth: usize) -> FormatDesc {
-        FormatDesc::from_type(&workload::nested_struct_type(depth), FormatOptions::default())
-            .unwrap()
+        FormatDesc::from_type(
+            &workload::nested_struct_type(depth),
+            FormatOptions::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -221,14 +232,20 @@ mod tests {
         assert_eq!(msgs2.len(), 1);
         let got2 = rx.receive(&msgs2[0], None).unwrap().unwrap();
         assert_eq!(got2, v);
-        assert_eq!(rx.stats().server_consultations, 1, "consultation occurs only once");
+        assert_eq!(
+            rx.stats().server_consultations,
+            1,
+            "consultation occurs only once"
+        );
     }
 
     #[test]
     fn garbage_registration_rejected() {
         let (_backing, handle) = spawn_directory();
         let mut http = HttpClient::connect(handle.addr()).unwrap();
-        let resp = http.post("/register", "application/octet-stream", vec![1, 2, 3]).unwrap();
+        let resp = http
+            .post("/register", "application/octet-stream", vec![1, 2, 3])
+            .unwrap();
         assert_eq!(resp.status, 400);
         let resp = http.send(Request::get("/format/not-a-number")).unwrap();
         assert_eq!(resp.status, 404);

@@ -9,7 +9,7 @@
 
 use crate::format::FormatDesc;
 use crate::PbioError;
-use parking_lot::RwLock;
+use sbq_runtime::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 

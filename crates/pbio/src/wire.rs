@@ -59,7 +59,10 @@ impl WireMessage {
         let body = buf[9..9 + len].to_vec();
         let msg = match kind {
             MSG_FORMAT_REG => WireMessage::FormatReg { id, desc: body },
-            MSG_DATA => WireMessage::Data { format_id: id, payload: body },
+            MSG_DATA => WireMessage::Data {
+                format_id: id,
+                payload: body,
+            },
             t => return Err(PbioError::BadTag(t)),
         };
         Ok((msg, 9 + len))
@@ -81,9 +84,18 @@ mod tests {
     #[test]
     fn framing_round_trips() {
         let msgs = [
-            WireMessage::FormatReg { id: 3, desc: vec![1, 2, 3] },
-            WireMessage::Data { format_id: 9, payload: vec![0xde, 0xad] },
-            WireMessage::Data { format_id: 0, payload: vec![] },
+            WireMessage::FormatReg {
+                id: 3,
+                desc: vec![1, 2, 3],
+            },
+            WireMessage::Data {
+                format_id: 9,
+                payload: vec![0xde, 0xad],
+            },
+            WireMessage::Data {
+                format_id: 0,
+                payload: vec![],
+            },
         ];
         for m in &msgs {
             let bytes = m.to_bytes();
@@ -96,8 +108,14 @@ mod tests {
 
     #[test]
     fn concatenated_stream_parses_sequentially() {
-        let a = WireMessage::FormatReg { id: 1, desc: vec![7] };
-        let b = WireMessage::Data { format_id: 1, payload: vec![8, 9] };
+        let a = WireMessage::FormatReg {
+            id: 1,
+            desc: vec![7],
+        };
+        let b = WireMessage::Data {
+            format_id: 1,
+            payload: vec![8, 9],
+        };
         let mut stream = a.to_bytes();
         stream.extend(b.to_bytes());
         let (m1, used) = WireMessage::from_bytes(&stream).unwrap();
@@ -108,12 +126,24 @@ mod tests {
 
     #[test]
     fn truncation_and_bad_kind_detected() {
-        let m = WireMessage::Data { format_id: 1, payload: vec![1, 2, 3] };
+        let m = WireMessage::Data {
+            format_id: 1,
+            payload: vec![1, 2, 3],
+        };
         let bytes = m.to_bytes();
-        assert_eq!(WireMessage::from_bytes(&bytes[..5]).unwrap_err(), PbioError::Truncated);
-        assert_eq!(WireMessage::from_bytes(&bytes[..10]).unwrap_err(), PbioError::Truncated);
+        assert_eq!(
+            WireMessage::from_bytes(&bytes[..5]).unwrap_err(),
+            PbioError::Truncated
+        );
+        assert_eq!(
+            WireMessage::from_bytes(&bytes[..10]).unwrap_err(),
+            PbioError::Truncated
+        );
         let mut bad = bytes.clone();
         bad[0] = 0x7f;
-        assert_eq!(WireMessage::from_bytes(&bad).unwrap_err(), PbioError::BadTag(0x7f));
+        assert_eq!(
+            WireMessage::from_bytes(&bad).unwrap_err(),
+            PbioError::BadTag(0x7f)
+        );
     }
 }

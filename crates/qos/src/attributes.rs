@@ -1,6 +1,6 @@
 //! Quality attributes and the `update_attribute()` API (§III-B.c/d).
 
-use parking_lot::RwLock;
+use sbq_runtime::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

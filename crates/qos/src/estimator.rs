@@ -32,7 +32,11 @@ impl RttEstimator {
     /// An estimator with a custom smoothing factor `alpha ∈ [0, 1)`.
     pub fn with_alpha(alpha: f64) -> RttEstimator {
         assert!((0.0..1.0).contains(&alpha), "alpha must be in [0,1)");
-        RttEstimator { alpha, estimate: None, samples: 0 }
+        RttEstimator {
+            alpha,
+            estimate: None,
+            samples: 0,
+        }
     }
 
     /// Feeds a raw RTT sample; returns the new estimate.

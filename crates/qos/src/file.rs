@@ -102,8 +102,9 @@ impl QualityFile {
                 }
                 Some(first) => {
                     let lo = parse_bound(first, lineno)?;
-                    let hi_tok =
-                        words.next().ok_or_else(|| QosParseError::BadLine(lineno, line.into()))?;
+                    let hi_tok = words
+                        .next()
+                        .ok_or_else(|| QosParseError::BadLine(lineno, line.into()))?;
                     let hi = parse_bound(hi_tok, lineno)?;
                     if words.next() != Some("-") {
                         return Err(QosParseError::BadLine(lineno, line.into()));
@@ -176,14 +177,19 @@ impl QualityFile {
     /// Index of the selected rule (used by [`BandSelector`]).
     pub fn select_index(&self, value: f64) -> usize {
         let sel = self.select(value) as *const QualityRule;
-        self.rules.iter().position(|r| std::ptr::eq(r, sel)).expect("selected rule is in rules")
+        self.rules
+            .iter()
+            .position(|r| std::ptr::eq(r, sel))
+            .expect("selected rule is in rules")
     }
 }
 
 fn parse_bound(tok: &str, lineno: usize) -> Result<f64, QosParseError> {
     match tok {
         "inf" | "INF" | "Inf" => Ok(f64::INFINITY),
-        _ => tok.parse().map_err(|_| QosParseError::BadBound(lineno, tok.to_string())),
+        _ => tok
+            .parse()
+            .map_err(|_| QosParseError::BadBound(lineno, tok.to_string())),
     }
 }
 
@@ -200,7 +206,10 @@ pub struct SwitchPolicy {
 
 impl Default for SwitchPolicy {
     fn default() -> Self {
-        SwitchPolicy { degrade_immediately: true, confirm_count: 3 }
+        SwitchPolicy {
+            degrade_immediately: true,
+            confirm_count: 3,
+        }
     }
 }
 
@@ -222,7 +231,13 @@ impl BandSelector {
 
     /// Creates a selector with an explicit policy.
     pub fn with_policy(file: QualityFile, policy: SwitchPolicy) -> BandSelector {
-        BandSelector { file, policy, current: None, pending: None, switches: 0 }
+        BandSelector {
+            file,
+            policy,
+            current: None,
+            pending: None,
+            switches: 0,
+        }
     }
 
     /// The underlying quality file.
@@ -364,7 +379,7 @@ handler image_min resize_quarter
         let f = QualityFile::parse(SAMPLE).unwrap();
         let mut sel = BandSelector::new(f);
         sel.observe(300.0); // start in min
-        // Alternating samples never accumulate 3 confirmations.
+                            // Alternating samples never accumulate 3 confirmations.
         for _ in 0..10 {
             assert_eq!(sel.observe(10.0).message_type, "image_min");
             assert_eq!(sel.observe(10.0).message_type, "image_min");
@@ -378,7 +393,10 @@ handler image_min resize_quarter
         let f = QualityFile::parse(SAMPLE).unwrap();
         let mut sel = BandSelector::with_policy(
             f,
-            SwitchPolicy { degrade_immediately: false, confirm_count: 2 },
+            SwitchPolicy {
+                degrade_immediately: false,
+                confirm_count: 2,
+            },
         );
         assert_eq!(sel.observe(10.0).message_type, "image_full");
         assert_eq!(sel.observe(300.0).message_type, "image_full"); // 1st

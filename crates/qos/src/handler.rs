@@ -11,8 +11,8 @@
 //! or replaced while the system runs.
 
 use crate::attributes::QualityAttributes;
-use parking_lot::RwLock;
 use sbq_model::Value;
+use sbq_runtime::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -53,7 +53,9 @@ impl HandlerRegistry {
     /// Installs (or replaces) a handler under `name`. Runtime installation
     /// is the paper's future-work extension, implemented here.
     pub fn install(&self, name: &str, handler: impl QualityHandler + 'static) {
-        self.inner.write().insert(name.to_string(), Arc::new(handler));
+        self.inner
+            .write()
+            .insert(name.to_string(), Arc::new(handler));
     }
 
     /// Removes a handler.
@@ -86,7 +88,9 @@ impl HandlerRegistry {
 
 impl std::fmt::Debug for HandlerRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HandlerRegistry").field("handlers", &self.names()).finish()
+        f.debug_struct("HandlerRegistry")
+            .field("handlers", &self.names())
+            .finish()
     }
 }
 
@@ -96,9 +100,7 @@ mod tests {
 
     fn halve_array(value: &Value, _attrs: &QualityAttributes) -> Value {
         match value {
-            Value::FloatArray(v) => {
-                Value::FloatArray(v.iter().copied().step_by(2).collect())
-            }
+            Value::FloatArray(v) => Value::FloatArray(v.iter().copied().step_by(2).collect()),
             other => other.clone(),
         }
     }
@@ -145,7 +147,10 @@ mod tests {
         reg.install("h", |_: &Value, _: &QualityAttributes| Value::Int(1));
         reg.install("h", |_: &Value, _: &QualityAttributes| Value::Int(2));
         let attrs = QualityAttributes::new();
-        assert_eq!(reg.apply_or_identity("h", &Value::Int(0), &attrs), Value::Int(2));
+        assert_eq!(
+            reg.apply_or_identity("h", &Value::Int(0), &attrs),
+            Value::Int(2)
+        );
         assert!(reg.remove("h"));
         assert!(!reg.remove("h"));
         assert_eq!(reg.names(), Vec::<String>::new());

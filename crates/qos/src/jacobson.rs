@@ -36,7 +36,14 @@ pub struct JacobsonEstimator {
 impl JacobsonEstimator {
     /// Standard gains: g = 1/8, h = 1/4, k = 4.
     pub fn new() -> JacobsonEstimator {
-        JacobsonEstimator { srtt: None, rttvar: 0.0, g: 0.125, h: 0.25, k: 4.0, samples: 0 }
+        JacobsonEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            g: 0.125,
+            h: 0.25,
+            k: 4.0,
+            samples: 0,
+        }
     }
 
     /// Custom gains (g, h ∈ (0,1], k ≥ 0).
@@ -44,7 +51,14 @@ impl JacobsonEstimator {
         assert!(g > 0.0 && g <= 1.0, "gain g out of range");
         assert!(h > 0.0 && h <= 1.0, "gain h out of range");
         assert!(k >= 0.0, "k must be non-negative");
-        JacobsonEstimator { srtt: None, rttvar: 0.0, g, h, k, samples: 0 }
+        JacobsonEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            g,
+            h,
+            k,
+            samples: 0,
+        }
     }
 
     /// Feeds one RTT sample.
@@ -83,7 +97,8 @@ impl JacobsonEstimator {
     /// `SRTT + k·RTTVAR` — the variance-aware value to select quality
     /// bands against (and TCP's RTO).
     pub fn upper_bound(&self) -> Option<Duration> {
-        self.srtt.map(|s| Duration::from_secs_f64((s + self.k * self.rttvar).max(0.0)))
+        self.srtt
+            .map(|s| Duration::from_secs_f64((s + self.k * self.rttvar).max(0.0)))
     }
 
     /// Upper bound in fractional milliseconds (quality-file units).
@@ -144,7 +159,10 @@ mod tests {
         }
         let s_mean = steady.srtt().unwrap().as_secs_f64();
         let e_mean = erratic.srtt().unwrap().as_secs_f64();
-        assert!((s_mean - e_mean).abs() < 0.02, "means comparable: {s_mean} vs {e_mean}");
+        assert!(
+            (s_mean - e_mean).abs() < 0.02,
+            "means comparable: {s_mean} vs {e_mean}"
+        );
         assert!(
             erratic.upper_bound().unwrap() > steady.upper_bound().unwrap() + ms(100),
             "variance must dominate the bound: {:?} vs {:?}",
@@ -175,7 +193,10 @@ mod tests {
         // One spike: mean barely moves (1/8 gain) but the bound jumps via
         // the deviation term.
         assert!(mean_after < ms(120));
-        assert!(bound_after > bound_before + ms(100), "{bound_before:?} -> {bound_after:?}");
+        assert!(
+            bound_after > bound_before + ms(100),
+            "{bound_before:?} -> {bound_after:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod manager;
 
 pub use attributes::QualityAttributes;
 pub use estimator::RttEstimator;
-pub use file::{BandSelector, QualityFile, QualityRule, QosParseError, SwitchPolicy};
+pub use file::{BandSelector, QosParseError, QualityFile, QualityRule, SwitchPolicy};
 pub use handler::{HandlerRegistry, QualityHandler};
 pub use jacobson::JacobsonEstimator;
 pub use manager::{PreparedMessage, QualityManager, RttEstimatorKind};

@@ -79,6 +79,8 @@ pub struct QualityManager {
     /// handler. Types absent here fall back to a named handler or to
     /// identity.
     message_types: HashMap<String, TypeDesc>,
+    /// RTT samples discarded because their call was retransmitted.
+    suppressed: u64,
 }
 
 impl QualityManager {
@@ -106,6 +108,7 @@ impl QualityManager {
             attributes,
             handlers,
             message_types: HashMap::new(),
+            suppressed: 0,
         }
     }
 
@@ -171,6 +174,20 @@ impl QualityManager {
         self.attributes.update_attribute(&attr, value);
     }
 
+    /// Records that a call was completed only after a retransmission, so
+    /// its round-trip time is ambiguous and must *not* feed the estimator
+    /// (Karn's algorithm: an RTT measured across a retry cannot be
+    /// attributed to either transmission). The sample is counted in
+    /// [`QualityManager::suppressed_samples`] and otherwise discarded.
+    pub fn observe_retry(&mut self) {
+        self.suppressed += 1;
+    }
+
+    /// RTT samples suppressed so far because their call was retried.
+    pub fn suppressed_samples(&self) -> u64 {
+        self.suppressed
+    }
+
     /// Accepts a peer-reported attribute value (in the monitored
     /// attribute's unit) — "every time the RTT is estimated by the
     /// client, the server is informed of the new value during the next
@@ -200,14 +217,18 @@ impl QualityManager {
     pub fn prepare(&mut self, full: &Value) -> PreparedMessage {
         let rule = self.select().clone();
         let value = if let Some(hname) = &rule.handler {
-            self.handlers.apply_or_identity(hname, full, &self.attributes)
+            self.handlers
+                .apply_or_identity(hname, full, &self.attributes)
         } else if let Some(ty) = self.message_types.get(&rule.message_type) {
             // "It then copies the relevant fields … and ignores the rest."
             project(full, ty).unwrap_or_else(|_| full.clone())
         } else {
             full.clone()
         };
-        PreparedMessage { value, message_type: rule.message_type }
+        PreparedMessage {
+            value,
+            message_type: rule.message_type,
+        }
     }
 
     /// Receiving-side reconstruction: "the relevant fields are copied from
@@ -262,6 +283,20 @@ attribute rtt
     }
 
     #[test]
+    fn retried_calls_do_not_feed_the_estimator() {
+        let mut m = manager();
+        m.observe_rtt(Duration::from_millis(10), Duration::ZERO);
+        let estimate = m.estimator().estimate_ms();
+        // A retried call reports only the suppression, never a sample —
+        // otherwise one retransmission-inflated RTT would poison the EWMA.
+        m.observe_retry();
+        m.observe_retry();
+        assert_eq!(m.estimator().samples(), 1);
+        assert_eq!(m.estimator().estimate_ms(), estimate);
+        assert_eq!(m.suppressed_samples(), 2);
+    }
+
+    #[test]
     fn jacobson_estimator_degrades_jittery_links() {
         // Same mean RTT, alternating 5/75 ms: the EWMA mean (~40 ms)
         // stays inside the full band, the Jacobson bound does not.
@@ -282,7 +317,9 @@ attribute rtt
         m.observe_rtt(Duration::from_millis(30), Duration::ZERO);
         assert_eq!(m.prepare(&full_value()).message_type, "reading_full");
         // Tighten the policy: anything above 10 ms is now "small".
-        let strict = QualityFile::parse("attribute rtt\n0 10 - reading_full\n10 inf - reading_small\n").unwrap();
+        let strict =
+            QualityFile::parse("attribute rtt\n0 10 - reading_full\n10 inf - reading_small\n")
+                .unwrap();
         m.replace_policy(strict, Default::default());
         // Estimator state survived (≈30 ms) and now lands in the small band.
         assert_eq!(m.prepare(&full_value()).message_type, "reading_small");
@@ -320,15 +357,16 @@ attribute rtt
         )
         .unwrap();
         let mut m = QualityManager::new(file);
-        m.handlers().install("drop_temps", |v: &Value, _: &QualityAttributes| {
-            let mut v = v.clone();
-            if let Value::Struct(s) = &mut v {
-                if let Some(t) = s.field_mut("temps") {
-                    *t = Value::FloatArray(vec![]);
+        m.handlers()
+            .install("drop_temps", |v: &Value, _: &QualityAttributes| {
+                let mut v = v.clone();
+                if let Value::Struct(s) = &mut v {
+                    if let Some(t) = s.field_mut("temps") {
+                        *t = Value::FloatArray(vec![]);
+                    }
                 }
-            }
-            v
-        });
+                v
+            });
         m.observe_rtt(Duration::from_millis(400), Duration::ZERO);
         let p = m.prepare(&full_value());
         assert_eq!(p.message_type, "reduced");

@@ -13,9 +13,9 @@
 //! ready-made [`QualityManager`] — no out-of-band knowledge of message
 //! types required.
 
-use parking_lot::RwLock;
 use sbq_model::{TypeDesc, Value};
 use sbq_qos::{QualityFile, QualityManager};
+use sbq_runtime::sync::RwLock;
 use sbq_wsdl::{parse_wsdl, ServiceDef, WsdlError};
 use soap_binq::{SoapClient, SoapServer, SoapServerBuilder, WireEncoding};
 use std::collections::HashMap;
@@ -98,15 +98,21 @@ pub struct RegistryServer {
 impl RegistryServer {
     /// An empty registry.
     pub fn new() -> RegistryServer {
-        RegistryServer { entries: Arc::new(RwLock::new(HashMap::new())) }
+        RegistryServer {
+            entries: Arc::new(RwLock::new(HashMap::new())),
+        }
     }
 
     /// Starts serving on `addr`.
-    pub fn serve(self, addr: SocketAddr, encoding: WireEncoding) -> std::io::Result<SoapServer> {
+    pub fn serve(
+        self,
+        addr: SocketAddr,
+        encoding: WireEncoding,
+    ) -> Result<SoapServer, soap_binq::SoapError> {
         let svc = registry_service("http://0.0.0.0/registry");
         let mut builder = SoapServerBuilder::new(&svc, encoding).expect("registry compiles");
         let entries = Arc::clone(&self.entries);
-        builder.handle("publish", move |req| {
+        builder = builder.handle("publish", move |req| {
             let ok = (|| {
                 let s = req.as_struct().ok()?;
                 let name = s.field("name")?.as_str().ok()?.to_string();
@@ -120,14 +126,21 @@ impl RegistryServer {
                 if !quality.is_empty() && QualityFile::parse(&quality).is_err() {
                     return None;
                 }
-                entries.write().insert(name.clone(), RegistryEntry { name, wsdl, quality });
+                entries.write().insert(
+                    name.clone(),
+                    RegistryEntry {
+                        name,
+                        wsdl,
+                        quality,
+                    },
+                );
                 Some(())
             })()
             .is_some();
             Value::Int(ok as i64)
         });
         let entries = Arc::clone(&self.entries);
-        builder.handle("lookup", move |req| {
+        builder = builder.handle("lookup", move |req| {
             let name = req.as_str().unwrap_or_default();
             match entries.read().get(name) {
                 Some(e) => Value::struct_of(
@@ -149,7 +162,7 @@ impl RegistryServer {
             }
         });
         let entries = Arc::clone(&self.entries);
-        builder.handle("list", move |_| {
+        builder = builder.handle("list", move |_| {
             let mut names: Vec<String> = entries.read().keys().cloned().collect();
             names.sort();
             Value::List(names.into_iter().map(Value::Str).collect())
@@ -171,9 +184,14 @@ pub struct RegistryClient {
 
 impl RegistryClient {
     /// Connects to a registry.
-    pub fn connect(addr: SocketAddr, encoding: WireEncoding) -> Result<RegistryClient, RegistryError> {
+    pub fn connect(
+        addr: SocketAddr,
+        encoding: WireEncoding,
+    ) -> Result<RegistryClient, RegistryError> {
         let svc = registry_service("x");
-        Ok(RegistryClient { client: SoapClient::connect(addr, &svc, encoding)? })
+        Ok(RegistryClient {
+            client: SoapClient::connect(addr, &svc, encoding)?,
+        })
     }
 
     /// Publishes a service description (+ optional quality file text).
@@ -183,7 +201,7 @@ impl RegistryClient {
         quality: Option<&str>,
     ) -> Result<bool, RegistryError> {
         let wsdl = sbq_wsdl::write_wsdl(svc)
-            .map_err(|e| RegistryError::Soap(soap_binq::SoapError::Protocol(e.to_string())))?;
+            .map_err(|e| RegistryError::Soap(soap_binq::SoapError::protocol(e.to_string())))?;
         let req = Value::struct_of(
             "registry_entry",
             vec![
@@ -278,7 +296,10 @@ mod tests {
     #[test]
     fn missing_service_reported() {
         let (_server, mut client) = start();
-        assert!(matches!(client.discover("nope"), Err(RegistryError::NotFound(_))));
+        assert!(matches!(
+            client.discover("nope"),
+            Err(RegistryError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -310,7 +331,10 @@ mod tests {
             "registry_entry",
             vec![
                 ("name", Value::Str("evil2".into())),
-                ("wsdl", Value::Str(sbq_wsdl::write_wsdl(&sample_service()).unwrap())),
+                (
+                    "wsdl",
+                    Value::Str(sbq_wsdl::write_wsdl(&sample_service()).unwrap()),
+                ),
                 ("quality", Value::Str("0 x - broken".into())),
             ],
         );

@@ -1,0 +1,350 @@
+//! Cloneable MPMC channels (the `crossbeam-channel` subset the workspace
+//! uses): unbounded for event fan-out, bounded for backpressure queues
+//! such as the HTTP server's accept queue.
+//!
+//! Semantics:
+//! * any number of senders and receivers, all cloneable;
+//! * `send` fails once every receiver is gone (so publishers can prune
+//!   dead sinks);
+//! * `recv` fails once every sender is gone *and* the queue is drained
+//!   (so workers exit cleanly when the producer shuts down);
+//! * bounded `send` blocks while the queue is full — that blocking *is*
+//!   the backpressure.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; gives
+/// the rejected value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is drained and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Drained and no sender remains.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Deadline passed with nothing queued.
+    Timeout,
+    /// Drained and no sender remains.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signaled when the queue gains an item or the last sender leaves.
+    readable: Condvar,
+    /// Signaled when the queue loses an item or the last receiver leaves.
+    writable: Condvar,
+    capacity: Option<usize>,
+}
+
+fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+    shared.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a channel holding at most `capacity` queued items; senders
+/// block while it is full.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(capacity.max(1)))
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Sending half; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Queues `value`, blocking while a bounded channel is full. Fails if
+    /// every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = lock(&self.shared);
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .shared
+                        .writable
+                        .wait(st)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.readable.notify_one();
+        Ok(())
+    }
+
+    /// Queued items right now (racy; for introspection only).
+    pub fn len(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+
+    /// Whether the queue is empty right now (racy; for introspection only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        lock(&self.shared).senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared);
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+/// Receiving half; cloneable (each item is delivered to exactly one
+/// receiver).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = lock(&self.shared);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .readable
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Blocks up to `timeout` for an item.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.shared);
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .readable
+                .wait_timeout(st, left)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Takes an item if one is queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = lock(&self.shared);
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.shared.writable.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Drains currently-queued items without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+
+    /// Blocking iterator that ends when every sender is gone.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+
+    /// Queued items right now (racy; for introspection only).
+    pub fn len(&self) -> usize {
+        lock(&self.shared).queue.len()
+    }
+
+    /// Whether the queue is empty right now (racy; for introspection only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        lock(&self.shared).receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared);
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.shared.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(
+            rx.try_iter().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a recv frees a slot
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished(), "bounded send did not apply backpressure");
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn items_delivered_exactly_once_across_receivers() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let workers: Vec<_> = [rx, rx2]
+            .into_iter()
+            .map(|rx| std::thread::spawn(move || rx.iter().collect::<Vec<u32>>()))
+            .collect();
+        for i in 0..1000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = unbounded::<u8>();
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(40)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(40)), Ok(9));
+    }
+}

@@ -1,0 +1,22 @@
+//! Zero-dependency runtime primitives.
+//!
+//! The reproduction must build and test on machines with no crates.io
+//! access (the paper-era toolchain assumption, and the offline-first rule
+//! in ROADMAP.md), so the few external utility crates the workspace used
+//! to pull in are replaced by these std-only equivalents:
+//!
+//! * [`sync`] — [`Mutex`]/[`RwLock`] with `parking_lot`-style guards
+//!   (locking never returns a `Result`; a poisoned lock propagates the
+//!   original panic instead of surfacing `PoisonError` at every caller).
+//! * [`channel`] — cloneable MPMC channels with bounded (backpressure)
+//!   and unbounded flavors, the subset of `crossbeam-channel` the event
+//!   bus and the HTTP accept queue need.
+//! * [`rand`] — a small, seedable, splittable PRNG (SplitMix64 core) for
+//!   deterministic jitter, loss, and fuzz-test generation.
+
+pub mod channel;
+pub mod rand;
+pub mod sync;
+
+pub use rand::SmallRng;
+pub use sync::{Mutex, RwLock};

@@ -1,0 +1,118 @@
+//! A small seedable PRNG (SplitMix64) for deterministic simulation and
+//! fuzz-test generation.
+//!
+//! Not cryptographic — it exists so the netsim's jitter/loss schedules
+//! and the fuzz suites stay reproducible per seed, which is what the
+//! paper-figure regeneration depends on.
+
+/// SplitMix64 generator: tiny state, full 64-bit period, passes BigCrush
+/// for this workspace's purposes (statistical noise, not keys).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 mantissa bits of a uniform u64 → uniform [0,1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below(0)");
+        // Modulo bias is ≤ bound/2^64 — irrelevant at these magnitudes.
+        self.next_u64() % bound
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo < hi` required.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "gen_range({lo}, {hi})");
+        lo + self.gen_below((hi - lo) as u64) as i64
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A derived, independently-seeded generator (for giving each worker
+    /// or test case its own stream).
+    pub fn split(&mut self) -> SmallRng {
+        SmallRng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_below_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for bound in [1u64, 2, 26, 1000] {
+            for _ in 0..200 {
+                assert!(r.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut s1 = r.split();
+        let mut s2 = r.split();
+        assert_ne!(
+            (0..8).map(|_| s1.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| s2.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

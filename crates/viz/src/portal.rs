@@ -18,10 +18,10 @@
 //!   (focus-of-interest cropping).
 
 use crate::render::render_svg;
-use parking_lot::{Mutex, RwLock};
 use sbq_echo::EchoBus;
 use sbq_mdsim::BondGraph;
 use sbq_model::{TypeDesc, Value};
+use sbq_runtime::sync::{Mutex, RwLock};
 use sbq_wsdl::{write_wsdl, ServiceDef};
 use soap_binq::{marshal, SoapServer, SoapServerBuilder, WireEncoding};
 use std::collections::HashMap;
@@ -66,9 +66,7 @@ impl FilterSpec {
     pub fn apply(&self, g: &BondGraph) -> BondGraph {
         let keep: Vec<bool> = match self {
             FilterSpec::Identity => return g.clone(),
-            FilterSpec::Elements(set) => {
-                g.elements.iter().map(|e| set.contains(e)).collect()
-            }
+            FilterSpec::Elements(set) => g.elements.iter().map(|e| set.contains(e)).collect(),
             FilterSpec::Stride(k) => (0..g.elements.len()).map(|i| i % k == 0).collect(),
             FilterSpec::HalfBox => {
                 let n = g.elements.len();
@@ -101,7 +99,12 @@ impl FilterSpec {
                 bonds.push(remap[b] as i64);
             }
         }
-        BondGraph { timestep: g.timestep, elements, positions, bonds }
+        BondGraph {
+            timestep: g.timestep,
+            elements,
+            positions,
+            bonds,
+        }
     }
 }
 
@@ -149,17 +152,21 @@ impl ServicePortal {
                 }
             }
         });
-        Ok(ServicePortal { latest, filters: Arc::new(RwLock::new(HashMap::new())) })
+        Ok(ServicePortal {
+            latest,
+            filters: Arc::new(RwLock::new(HashMap::new())),
+        })
     }
 
     /// Renders one frame for a filter spec (or installed filter name) and
     /// output format (`svg` or `xml`).
     pub fn frame(&self, filter: &str, format: &str) -> String {
-        let graph = self
-            .latest
-            .lock()
-            .clone()
-            .unwrap_or(BondGraph { timestep: 0, elements: vec![], positions: vec![], bonds: vec![] });
+        let graph = self.latest.lock().clone().unwrap_or(BondGraph {
+            timestep: 0,
+            elements: vec![],
+            positions: vec![],
+            bonds: vec![],
+        });
         let spec = self
             .filters
             .read()
@@ -187,37 +194,46 @@ impl ServicePortal {
     }
 
     /// Starts serving over SOAP-binQ.
-    pub fn serve(self, addr: SocketAddr, encoding: WireEncoding) -> std::io::Result<SoapServer> {
+    pub fn serve(
+        self,
+        addr: SocketAddr,
+        encoding: WireEncoding,
+    ) -> Result<SoapServer, soap_binq::SoapError> {
         let svc = portal_service("http://0.0.0.0/viz");
         let wsdl = write_wsdl(&svc).expect("portal service renders to WSDL");
-        let mut builder = SoapServerBuilder::new(&svc, encoding).expect("service compiles");
+        let builder = SoapServerBuilder::new(&svc, encoding).expect("service compiles");
         let portal = Arc::new(self);
-        builder.handle("get_wsdl", move |_| Value::Str(wsdl.clone()));
         let p = Arc::clone(&portal);
-        builder.handle("get_frame", move |req| {
-            let (filter, format) = match req.as_struct() {
-                Ok(s) => (
-                    s.field("filter").and_then(|v| v.as_str().ok().map(str::to_string)).unwrap_or_default(),
-                    s.field("format").and_then(|v| v.as_str().ok().map(str::to_string)).unwrap_or_default(),
-                ),
-                Err(_) => (String::new(), String::new()),
-            };
-            Value::Str(p.frame(&filter, &format))
-        });
-        let p = Arc::clone(&portal);
-        builder.handle("install_filter", move |req| {
-            let ok = req
-                .as_struct()
-                .ok()
-                .and_then(|s| {
-                    let name = s.field("name")?.as_str().ok()?;
-                    let spec = s.field("spec")?.as_str().ok()?;
-                    Some(p.install_filter(name, spec))
-                })
-                .unwrap_or(false);
-            Value::Int(ok as i64)
-        });
-        builder.bind(addr)
+        let q = Arc::clone(&portal);
+        builder
+            .handle("get_wsdl", move |_| Value::Str(wsdl.clone()))
+            .handle("get_frame", move |req| {
+                let (filter, format) = match req.as_struct() {
+                    Ok(s) => (
+                        s.field("filter")
+                            .and_then(|v| v.as_str().ok().map(str::to_string))
+                            .unwrap_or_default(),
+                        s.field("format")
+                            .and_then(|v| v.as_str().ok().map(str::to_string))
+                            .unwrap_or_default(),
+                    ),
+                    Err(_) => (String::new(), String::new()),
+                };
+                Value::Str(p.frame(&filter, &format))
+            })
+            .handle("install_filter", move |req| {
+                let ok = req
+                    .as_struct()
+                    .ok()
+                    .and_then(|s| {
+                        let name = s.field("name")?.as_str().ok()?;
+                        let spec = s.field("spec")?.as_str().ok()?;
+                        Some(q.install_filter(name, spec))
+                    })
+                    .unwrap_or(false);
+                Value::Int(ok as i64)
+            })
+            .bind(addr)
     }
 }
 
@@ -242,7 +258,10 @@ mod tests {
     #[test]
     fn filter_specs_parse() {
         assert_eq!(FilterSpec::parse("identity"), Some(FilterSpec::Identity));
-        assert_eq!(FilterSpec::parse("elements:CN"), Some(FilterSpec::Elements(vec![b'C', b'N'])));
+        assert_eq!(
+            FilterSpec::parse("elements:CN"),
+            Some(FilterSpec::Elements(vec![b'C', b'N']))
+        );
         assert_eq!(FilterSpec::parse("stride:3"), Some(FilterSpec::Stride(3)));
         assert_eq!(FilterSpec::parse("halfbox"), Some(FilterSpec::HalfBox));
         assert_eq!(FilterSpec::parse("stride:0"), None);
@@ -290,7 +309,9 @@ mod tests {
         let portal = ServicePortal::new(&bus, "bonds").unwrap();
         bus.submit("bonds", g.to_value()).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let server = portal.serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio).unwrap();
+        let server = portal
+            .serve("127.0.0.1:0".parse().unwrap(), WireEncoding::Pbio)
+            .unwrap();
         let svc = portal_service("x");
         let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
 
@@ -303,7 +324,10 @@ mod tests {
         // (3)-(5): request an SVG frame with a filter.
         let req = Value::struct_of(
             "frame_request",
-            vec![("filter", Value::Str("elements:C".into())), ("format", Value::Str("svg".into()))],
+            vec![
+                ("filter", Value::Str("elements:C".into())),
+                ("format", Value::Str("svg".into())),
+            ],
         );
         let svg = client.call("get_frame", req).unwrap();
         assert!(svg.as_str().unwrap().starts_with("<?xml"));
@@ -311,12 +335,18 @@ mod tests {
         // Dynamically change the filter and output format.
         let inst = Value::struct_of(
             "filter_def",
-            vec![("name", Value::Str("mine".into())), ("spec", Value::Str("stride:2".into()))],
+            vec![
+                ("name", Value::Str("mine".into())),
+                ("spec", Value::Str("stride:2".into())),
+            ],
         );
         assert_eq!(client.call("install_filter", inst).unwrap(), Value::Int(1));
         let req = Value::struct_of(
             "frame_request",
-            vec![("filter", Value::Str("mine".into())), ("format", Value::Str("xml".into()))],
+            vec![
+                ("filter", Value::Str("mine".into())),
+                ("format", Value::Str("xml".into())),
+            ],
         );
         let xml = client.call("get_frame", req).unwrap();
         assert!(xml.as_str().unwrap().starts_with("<bond_graph>"));
@@ -324,7 +354,10 @@ mod tests {
         // Bad filter spec is rejected.
         let bad = Value::struct_of(
             "filter_def",
-            vec![("name", Value::Str("x".into())), ("spec", Value::Str("??".into()))],
+            vec![
+                ("name", Value::Str("x".into())),
+                ("spec", Value::Str("??".into())),
+            ],
         );
         assert_eq!(client.call("install_filter", bad).unwrap(), Value::Int(0));
     }

@@ -56,7 +56,12 @@ pub fn render_svg(graph: &BondGraph) -> String {
         doc.circle(x, y, r, color);
     }
 
-    doc.text(10.0, (h - 10) as f64, 12, &format!("timestep {}", graph.timestep));
+    doc.text(
+        10.0,
+        (h - 10) as f64,
+        12,
+        &format!("timestep {}", graph.timestep),
+    );
     doc.finish()
 }
 
@@ -95,7 +100,9 @@ mod tests {
         let svg = render_svg(&graph());
         let mut p = sbq_xml::PullParser::new(&svg);
         loop {
-            if p.next().unwrap() == sbq_xml::Event::Eof { break }
+            if p.next().unwrap() == sbq_xml::Event::Eof {
+                break;
+            }
         }
     }
 
@@ -107,7 +114,13 @@ mod tests {
             match p.next().unwrap() {
                 sbq_xml::Event::Start { name, attrs } if name == "circle" => {
                     let get = |k: &str| -> f64 {
-                        attrs.iter().find(|(n, _)| n == k).unwrap().1.parse().unwrap()
+                        attrs
+                            .iter()
+                            .find(|(n, _)| n == k)
+                            .unwrap()
+                            .1
+                            .parse()
+                            .unwrap()
                     };
                     let (cx, cy) = (get("cx"), get("cy"));
                     assert!((0.0..=640.0).contains(&cx), "cx {cx}");
@@ -121,7 +134,12 @@ mod tests {
 
     #[test]
     fn empty_graph_renders_background_only() {
-        let g = BondGraph { timestep: 0, elements: vec![], positions: vec![], bonds: vec![] };
+        let g = BondGraph {
+            timestep: 0,
+            elements: vec![],
+            positions: vec![],
+            bonds: vec![],
+        };
         let svg = render_svg(&g);
         assert!(svg.contains("<rect"));
         assert!(!svg.contains("<circle"));

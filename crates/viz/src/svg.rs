@@ -58,7 +58,15 @@ impl SvgDoc {
     }
 
     /// A line segment.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut SvgDoc {
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+    ) -> &mut SvgDoc {
         self.w.empty(
             "line",
             &[
@@ -77,7 +85,13 @@ impl SvgDoc {
     pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut SvgDoc {
         self.w.empty(
             "rect",
-            &[("x", &fmt(x)), ("y", &fmt(y)), ("width", &fmt(w)), ("height", &fmt(h)), ("fill", fill)],
+            &[
+                ("x", &fmt(x)),
+                ("y", &fmt(y)),
+                ("width", &fmt(w)),
+                ("height", &fmt(h)),
+                ("fill", fill),
+            ],
         );
         self
     }
@@ -85,7 +99,10 @@ impl SvgDoc {
     /// Escaped text at a position.
     pub fn text(&mut self, x: f64, y: f64, size: u32, content: &str) -> &mut SvgDoc {
         let sz = size.to_string();
-        self.w.start_with("text", &[("x", &fmt(x)), ("y", &fmt(y)), ("font-size", &sz)]);
+        self.w.start_with(
+            "text",
+            &[("x", &fmt(x)), ("y", &fmt(y)), ("font-size", &sz)],
+        );
         self.w.text(content);
         self.w.end();
         self

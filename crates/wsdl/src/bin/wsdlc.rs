@@ -74,9 +74,10 @@ fn main() -> ExitCode {
     // Validate the accompanying quality file, if any (the paper compiles
     // both together).
     if let Some(qpath) = &quality_path {
-        match std::fs::read_to_string(qpath).map_err(|e| e.to_string()).and_then(|text| {
-            QualityFile::parse(&text).map_err(|e| e.to_string())
-        }) {
+        match std::fs::read_to_string(qpath)
+            .map_err(|e| e.to_string())
+            .and_then(|text| QualityFile::parse(&text).map_err(|e| e.to_string()))
+        {
             Ok(qf) => eprintln!(
                 "wsdlc: quality file {qpath}: attribute {:?}, {} bands",
                 qf.attribute,
@@ -96,7 +97,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("wsdlc: service {} ({} operations)", svc.name, svc.operations.len());
+    eprintln!(
+        "wsdlc: service {} ({} operations)",
+        svc.name,
+        svc.operations.len()
+    );
     for stub in &compiled.stubs {
         eprintln!(
             "wsdlc:   {} — formats {} ({} B) -> {} ({} B)",

@@ -48,7 +48,11 @@ impl ServiceDef {
         input: TypeDesc,
         output: TypeDesc,
     ) -> ServiceDef {
-        self.operations.push(OperationDef { name: name.into(), input, output });
+        self.operations.push(OperationDef {
+            name: name.into(),
+            input,
+            output,
+        });
         self
     }
 

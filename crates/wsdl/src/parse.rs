@@ -62,17 +62,28 @@ struct RawDoc {
 /// Parses a WSDL document into a [`ServiceDef`].
 pub fn parse_wsdl(doc: &str) -> Result<ServiceDef, WsdlError> {
     let raw = scan(doc)?;
-    let mut svc = ServiceDef::new(raw.name.clone(), raw.namespace.clone(), raw.location.clone());
+    let mut svc = ServiceDef::new(
+        raw.name.clone(),
+        raw.namespace.clone(),
+        raw.location.clone(),
+    );
     for (op, in_msg, out_msg) in &raw.operations {
         let input = resolve_message(&raw, in_msg, op)?;
         let output = resolve_message(&raw, out_msg, op)?;
-        svc.operations.push(OperationDef { name: op.clone(), input, output });
+        svc.operations.push(OperationDef {
+            name: op.clone(),
+            input,
+            output,
+        });
     }
     Ok(svc)
 }
 
 fn attr<'a>(attrs: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    attrs
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 fn local(name: &str) -> &str {
@@ -95,8 +106,9 @@ fn scan(doc: &str) -> Result<RawDoc, WsdlError> {
                 "definitions" => {
                     saw_definitions = true;
                     raw.name = attr(&attrs, "name").unwrap_or("Service").to_string();
-                    raw.namespace =
-                        attr(&attrs, "targetNamespace").unwrap_or("urn:unnamed").to_string();
+                    raw.namespace = attr(&attrs, "targetNamespace")
+                        .unwrap_or("urn:unnamed")
+                        .to_string();
                 }
                 "complexType" => {
                     let tname = attr(&attrs, "name")
@@ -182,7 +194,9 @@ fn scan(doc: &str) -> Result<RawDoc, WsdlError> {
         }
     }
     if !saw_definitions {
-        return Err(WsdlError::Unsupported("document has no <definitions> root".into()));
+        return Err(WsdlError::Unsupported(
+            "document has no <definitions> root".into(),
+        ));
     }
     Ok(raw)
 }
@@ -203,7 +217,11 @@ fn resolve_message(raw: &RawDoc, msg_ref: &str, op: &str) -> Result<TypeDesc, Ws
     Ok(ty)
 }
 
-fn resolve_type(raw: &RawDoc, type_ref: &str, stack: &mut Vec<String>) -> Result<TypeDesc, WsdlError> {
+fn resolve_type(
+    raw: &RawDoc,
+    type_ref: &str,
+    stack: &mut Vec<String>,
+) -> Result<TypeDesc, WsdlError> {
     let name = local(type_ref);
     if let Some(scalar) = scalar_type(name) {
         return Ok(scalar);
@@ -219,7 +237,11 @@ fn resolve_type(raw: &RawDoc, type_ref: &str, stack: &mut Vec<String>) -> Result
     let mut resolved = Vec::with_capacity(fields.len());
     for f in fields {
         let base = resolve_type(raw, &f.type_ref, stack)?;
-        let ty = if f.unbounded { TypeDesc::list_of(base) } else { base };
+        let ty = if f.unbounded {
+            TypeDesc::list_of(base)
+        } else {
+            base
+        };
         resolved.push((f.name.clone(), ty));
     }
     stack.pop();
@@ -328,6 +350,9 @@ mod tests {
 
     #[test]
     fn malformed_xml_reported() {
-        assert!(matches!(parse_wsdl("<definitions><unclosed>"), Err(WsdlError::Xml(_))));
+        assert!(matches!(
+            parse_wsdl("<definitions><unclosed>"),
+            Err(WsdlError::Xml(_))
+        ));
     }
 }

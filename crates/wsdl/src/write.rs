@@ -116,10 +116,13 @@ pub fn write_wsdl(svc: &ServiceDef) -> Result<String, WriteError> {
 
     // <service> with the endpoint address.
     w.start_with("service", &[("name", svc.name.as_str())]);
-    w.start_with("port", &[
-        ("name", &format!("{}Port", svc.name)),
-        ("binding", &format!("tns:{}Binding", svc.name)),
-    ]);
+    w.start_with(
+        "port",
+        &[
+            ("name", &format!("{}Port", svc.name)),
+            ("binding", &format!("tns:{}Binding", svc.name)),
+        ],
+    );
     w.empty("soap:address", &[("location", svc.location.as_str())]);
     w.end();
     w.end();
@@ -145,10 +148,7 @@ fn collect_structs(
     }
 }
 
-fn insert_struct(
-    out: &mut BTreeMap<String, StructDesc>,
-    sd: StructDesc,
-) -> Result<(), WriteError> {
+fn insert_struct(out: &mut BTreeMap<String, StructDesc>, sd: StructDesc) -> Result<(), WriteError> {
     if let Some(prev) = out.get(&sd.name) {
         if *prev != sd {
             return Err(WriteError::DuplicateType(sd.name));
@@ -169,9 +169,7 @@ fn element_type(ty: &TypeDesc, owner: &str, field: &str) -> Result<(String, bool
         TypeDesc::Bytes => ("xsd:base64Binary".to_string(), false),
         TypeDesc::Struct(sd) => (format!("tns:{}", sd.name), false),
         TypeDesc::List(e) => match &**e {
-            TypeDesc::List(_) => {
-                return Err(WriteError::NestedList(format!("{owner}.{field}")))
-            }
+            TypeDesc::List(_) => return Err(WriteError::NestedList(format!("{owner}.{field}"))),
             inner => {
                 let (t, _) = element_type(inner, owner, field)?;
                 (t, true)
@@ -187,13 +185,21 @@ mod tests {
     use sbq_model::workload;
 
     fn svc() -> ServiceDef {
-        ServiceDef::new("BondService", "urn:sbq:bonds", "http://localhost:9000/bonds")
-            .with_operation(
-                "get_bonds",
-                TypeDesc::struct_of("bond_request", vec![("timestep", TypeDesc::Int)]),
-                workload::nested_struct_type(2),
-            )
-            .with_operation("get_array", TypeDesc::Int, TypeDesc::list_of(TypeDesc::Float))
+        ServiceDef::new(
+            "BondService",
+            "urn:sbq:bonds",
+            "http://localhost:9000/bonds",
+        )
+        .with_operation(
+            "get_bonds",
+            TypeDesc::struct_of("bond_request", vec![("timestep", TypeDesc::Int)]),
+            workload::nested_struct_type(2),
+        )
+        .with_operation(
+            "get_array",
+            TypeDesc::Int,
+            TypeDesc::list_of(TypeDesc::Float),
+        )
     }
 
     #[test]
@@ -220,7 +226,10 @@ mod tests {
             "op",
             TypeDesc::struct_of(
                 "m",
-                vec![("matrix", TypeDesc::list_of(TypeDesc::list_of(TypeDesc::Int)))],
+                vec![(
+                    "matrix",
+                    TypeDesc::list_of(TypeDesc::list_of(TypeDesc::Int)),
+                )],
             ),
             TypeDesc::Int,
         );
@@ -240,7 +249,10 @@ mod tests {
                 TypeDesc::struct_of("m", vec![("y", TypeDesc::Float)]),
                 TypeDesc::Int,
             );
-        assert!(matches!(write_wsdl(&bad), Err(WriteError::DuplicateType(_))));
+        assert!(matches!(
+            write_wsdl(&bad),
+            Err(WriteError::DuplicateType(_))
+        ));
     }
 
     #[test]
@@ -248,7 +260,9 @@ mod tests {
         let doc = write_wsdl(&svc()).unwrap();
         let mut p = sbq_xml::PullParser::new(&doc);
         loop {
-            if p.next().unwrap() == sbq_xml::Event::Eof { break }
+            if p.next().unwrap() == sbq_xml::Event::Eof {
+                break;
+            }
         }
     }
 }

@@ -33,7 +33,11 @@ fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
 fn compiles_wsdl_to_stubs_on_stdout() {
     let wsdl = temp_file("ok.wsdl", WSDL);
     let out = wsdlc().arg(&wsdl).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("pub struct CliSvcClient"));
     assert!(stdout.contains("pub fn go(&mut self, params: Value)"));
@@ -45,12 +49,22 @@ fn compiles_wsdl_to_stubs_on_stdout() {
 fn validates_quality_file() {
     let wsdl = temp_file("q.wsdl", WSDL);
     let qf = temp_file("ok.qf", QUALITY);
-    let out = wsdlc().arg(&wsdl).arg("--quality").arg(&qf).output().unwrap();
+    let out = wsdlc()
+        .arg(&wsdl)
+        .arg("--quality")
+        .arg(&qf)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("2 bands"));
 
     let bad = temp_file("bad.qf", "0 zz - broken\n");
-    let out = wsdlc().arg(&wsdl).arg("--quality").arg(&bad).output().unwrap();
+    let out = wsdlc()
+        .arg(&wsdl)
+        .arg("--quality")
+        .arg(&bad)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -86,8 +100,19 @@ fn rejects_bad_inputs() {
 #[test]
 fn honors_format_flags() {
     let wsdl = temp_file("fmt.wsdl", WSDL);
-    let out = wsdlc().arg(&wsdl).arg("--big-endian").arg("--int-width").arg("4").output().unwrap();
+    let out = wsdlc()
+        .arg(&wsdl)
+        .arg("--big-endian")
+        .arg("--int-width")
+        .arg("4")
+        .output()
+        .unwrap();
     assert!(out.status.success());
-    let out = wsdlc().arg(&wsdl).arg("--int-width").arg("7").output().unwrap();
+    let out = wsdlc()
+        .arg(&wsdl)
+        .arg("--int-width")
+        .arg("7")
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }

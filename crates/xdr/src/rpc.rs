@@ -165,7 +165,12 @@ impl RpcClient {
     pub fn connect(addr: SocketAddr, prog: u32, vers: u32) -> Result<Self, RpcError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(RpcClient { stream, prog, vers, next_xid: 1 })
+        Ok(RpcClient {
+            stream,
+            prog,
+            vers,
+            next_xid: 1,
+        })
     }
 
     /// Calls `proc_num` with `args`, blocking for the typed result.
@@ -189,7 +194,9 @@ fn parse_reply(buf: &[u8], want_xid: u32, result_ty: &TypeDesc) -> Result<Value,
     let mut pos = 0;
     let xid = prim::get_u32(buf, &mut pos)?;
     if xid != want_xid {
-        return Err(RpcError::Protocol(format!("xid mismatch: {xid} != {want_xid}")));
+        return Err(RpcError::Protocol(format!(
+            "xid mismatch: {xid} != {want_xid}"
+        )));
     }
     if prim::get_u32(buf, &mut pos)? != MSG_REPLY {
         return Err(RpcError::Protocol("not a reply".into()));
@@ -234,7 +241,11 @@ pub struct RpcServer {
 impl RpcServer {
     /// Creates a server for program `prog`, version `vers`.
     pub fn new(prog: u32, vers: u32) -> Self {
-        RpcServer { procs: HashMap::new(), prog, vers }
+        RpcServer {
+            procs: HashMap::new(),
+            prog,
+            vers,
+        }
     }
 
     /// Registers a procedure.
@@ -245,7 +256,14 @@ impl RpcServer {
         result_ty: TypeDesc,
         handler: impl Fn(Value) -> Value + Send + Sync + 'static,
     ) {
-        self.procs.insert(proc_num, ProcEntry { args_ty, result_ty, handler: Box::new(handler) });
+        self.procs.insert(
+            proc_num,
+            ProcEntry {
+                args_ty,
+                result_ty,
+                handler: Box::new(handler),
+            },
+        );
     }
 
     /// Binds to `addr` and serves until the returned handle is shut down.
@@ -271,7 +289,15 @@ impl RpcServer {
                 });
             }
         });
-        Ok((local, ServerHandle { stop, addr: local, join: Some(join), connections: conns }))
+        Ok((
+            local,
+            ServerHandle {
+                stop,
+                addr: local,
+                join: Some(join),
+                connections: conns,
+            },
+        ))
     }
 
     fn handle_connection(&self, mut stream: TcpStream) -> Result<(), RpcError> {
@@ -382,7 +408,9 @@ mod tests {
         let st = workload::nested_struct_type(3);
         let v = workload::nested_struct(3, 2);
         assert_eq!(client.call(2, &v, &st, &st).unwrap(), v);
-        let got = client.call(3, &Value::Int(21), &TypeDesc::Int, &TypeDesc::Int).unwrap();
+        let got = client
+            .call(3, &Value::Int(21), &TypeDesc::Int, &TypeDesc::Int)
+            .unwrap();
         assert_eq!(got, Value::Int(42));
     }
 
@@ -402,7 +430,9 @@ mod tests {
     fn unknown_procedure_rejected() {
         let (addr, _h) = echo_server();
         let mut client = RpcClient::connect(addr, 0x2000_1234, 1).unwrap();
-        let err = client.call(99, &Value::Int(1), &TypeDesc::Int, &TypeDesc::Int).unwrap_err();
+        let err = client
+            .call(99, &Value::Int(1), &TypeDesc::Int, &TypeDesc::Int)
+            .unwrap_err();
         assert!(matches!(err, RpcError::Rejected(_)), "{err}");
     }
 
@@ -410,7 +440,9 @@ mod tests {
     fn wrong_program_rejected() {
         let (addr, _h) = echo_server();
         let mut client = RpcClient::connect(addr, 0xdead, 1).unwrap();
-        let err = client.call(1, &Value::Int(1), &TypeDesc::Int, &TypeDesc::Int).unwrap_err();
+        let err = client
+            .call(1, &Value::Int(1), &TypeDesc::Int, &TypeDesc::Int)
+            .unwrap_err();
         assert!(matches!(err, RpcError::Rejected(_)));
     }
 

@@ -82,9 +82,9 @@ pub fn encode_into(value: &Value, ty: &TypeDesc, out: &mut Vec<u8>) -> Result<()
         }
         (Value::Struct(sv), TypeDesc::Struct(sd)) => {
             for (fname, fty) in &sd.fields {
-                let fv = sv.field(fname).ok_or_else(|| {
-                    XdrError::TypeMismatch(format!("missing field {fname}"))
-                })?;
+                let fv = sv
+                    .field(fname)
+                    .ok_or_else(|| XdrError::TypeMismatch(format!("missing field {fname}")))?;
                 encode_into(fv, fty, out)?;
             }
         }
@@ -252,7 +252,10 @@ mod tests {
         assert_eq!(&bytes[6..], &[0, 0]);
         let mut bad = bytes.clone();
         bad[7] = 1;
-        assert_eq!(decode(&bad, &TypeDesc::Str).unwrap_err(), XdrError::BadPadding);
+        assert_eq!(
+            decode(&bad, &TypeDesc::Str).unwrap_err(),
+            XdrError::BadPadding
+        );
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
         assert!(encode(&Value::Int(1), &TypeDesc::Str).is_err());
         let t = workload::nested_struct_type(1);
         let bytes = encode(&workload::nested_struct(1, 1), &t).unwrap();
-        assert_eq!(decode(&bytes[..bytes.len() - 2], &t).unwrap_err(), XdrError::Truncated);
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 2], &t).unwrap_err(),
+            XdrError::Truncated
+        );
         let mut extra = bytes.clone();
         extra.extend_from_slice(&[0; 4]);
         assert!(decode(&extra, &t).is_err());

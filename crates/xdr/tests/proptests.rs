@@ -1,32 +1,42 @@
-//! Property tests: XDR round trips for arbitrary schemas/values.
+//! Randomized-property tests: XDR round trips for arbitrary
+//! schemas/values. Seeded generation keeps every case reproducible.
 
-use proptest::prelude::*;
 use sbq_model::{StructDesc, StructValue, TypeDesc, Value};
+use sbq_runtime::SmallRng;
 use sbq_xdr::xdr;
 
-fn arb_type(depth: u32) -> impl Strategy<Value = TypeDesc> {
-    let leaf = prop_oneof![
-        Just(TypeDesc::Int),
-        Just(TypeDesc::Float),
-        Just(TypeDesc::Char),
-        Just(TypeDesc::Str),
-        Just(TypeDesc::Bytes),
-    ];
-    leaf.prop_recursive(depth, 20, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(TypeDesc::list_of),
-            (proptest::collection::vec(inner, 1..4), "[a-z]{1,6}").prop_map(|(tys, name)| {
-                TypeDesc::Struct(StructDesc::new(
-                    name,
-                    tys.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect(),
-                ))
-            }),
-        ]
-    })
+const CASES: u64 = 256;
+
+fn arb_type(rng: &mut SmallRng, depth: u32) -> TypeDesc {
+    let leaf = |rng: &mut SmallRng| match rng.gen_below(5) {
+        0 => TypeDesc::Int,
+        1 => TypeDesc::Float,
+        2 => TypeDesc::Char,
+        3 => TypeDesc::Str,
+        _ => TypeDesc::Bytes,
+    };
+    if depth == 0 || rng.gen_bool(0.4) {
+        return leaf(rng);
+    }
+    match rng.gen_below(2) {
+        0 => TypeDesc::list_of(arb_type(rng, depth - 1)),
+        _ => {
+            let n = 1 + rng.gen_below(3) as usize;
+            let fields = (0..n)
+                .map(|i| (format!("f{i}"), arb_type(rng, depth - 1)))
+                .collect();
+            let name: String = (0..1 + rng.gen_below(6))
+                .map(|_| (b'a' + rng.gen_below(26) as u8) as char)
+                .collect();
+            TypeDesc::Struct(StructDesc::new(name, fields))
+        }
+    }
 }
 
 fn sample(ty: &TypeDesc, seed: &mut u64) -> Value {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let s = *seed;
     match ty {
         TypeDesc::Int => Value::Int(s as i64),
@@ -44,23 +54,34 @@ fn sample(ty: &TypeDesc, seed: &mut u64) -> Value {
         }
         TypeDesc::Struct(sd) => Value::Struct(StructValue::new(
             sd.name.clone(),
-            sd.fields.iter().map(|(n, t)| (n.clone(), sample(t, seed))).collect(),
+            sd.fields
+                .iter()
+                .map(|(n, t)| (n.clone(), sample(t, seed)))
+                .collect(),
         )),
     }
 }
 
-proptest! {
-    #[test]
-    fn xdr_round_trips(ty in arb_type(3), seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn xdr_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0xd8_0001);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 3);
+        let mut s = rng.next_u64();
         let v = sample(&ty, &mut s);
         let bytes = xdr::encode(&v, &ty).unwrap();
-        prop_assert_eq!(bytes.len() % 4, 0, "xdr output always 4-aligned");
-        prop_assert_eq!(xdr::decode(&bytes, &ty).unwrap(), v);
+        assert_eq!(bytes.len() % 4, 0, "xdr output always 4-aligned");
+        assert_eq!(xdr::decode(&bytes, &ty).unwrap(), v);
     }
+}
 
-    #[test]
-    fn xdr_decode_never_panics(ty in arb_type(2), data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn xdr_decode_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xd8_0002);
+    for _ in 0..CASES {
+        let ty = arb_type(&mut rng, 2);
+        let n = rng.gen_below(256) as usize;
+        let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
         let _ = xdr::decode(&data, &ty);
     }
 }

@@ -12,7 +12,10 @@ pub fn escape_attr(s: &str) -> String {
 
 fn escape_into(s: &str, attr: bool) -> String {
     // Fast path: nothing to escape.
-    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+    if !s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\''))
+    {
         return s.to_string();
     }
     let mut out = String::with_capacity(s.len() + 8);
@@ -51,7 +54,9 @@ pub fn unescape(s: &str) -> String {
                     "quot" => Some('"'),
                     "apos" => Some('\''),
                     _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                        u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                        u32::from_str_radix(&ent[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
                     }
                     _ if ent.starts_with('#') => {
                         ent[1..].parse::<u32>().ok().and_then(char::from_u32)

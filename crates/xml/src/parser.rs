@@ -13,7 +13,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// `<name attr="v">` — attributes are unescaped.
-    Start { name: String, attrs: Vec<(String, String)> },
+    Start {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
     /// `</name>`, also synthesized for self-closing `<name/>`.
     End { name: String },
     /// Character data (entity references resolved). Whitespace-only runs
@@ -34,7 +37,10 @@ pub struct XmlError {
 
 impl XmlError {
     fn new(message: impl Into<String>, offset: usize) -> Self {
-        XmlError { message: message.into(), offset }
+        XmlError {
+            message: message.into(),
+            offset,
+        }
     }
 }
 
@@ -60,7 +66,13 @@ pub struct PullParser<'a> {
 impl<'a> PullParser<'a> {
     /// Creates a parser over `src`.
     pub fn new(src: &'a str) -> Self {
-        PullParser { src, pos: 0, stack: Vec::new(), done: false, pending_end: None }
+        PullParser {
+            src,
+            pos: 0,
+            stack: Vec::new(),
+            done: false,
+            pending_end: None,
+        }
     }
 
     /// Current byte offset (diagnostics).
@@ -93,7 +105,10 @@ impl<'a> PullParser<'a> {
             if self.pos >= self.src.len() {
                 if !self.stack.is_empty() {
                     return Err(XmlError::new(
-                        format!("unexpected end of input; unclosed <{}>", self.stack.last().unwrap()),
+                        format!(
+                            "unexpected end of input; unclosed <{}>",
+                            self.stack.last().unwrap()
+                        ),
                         self.pos,
                     ));
                 }
@@ -134,7 +149,10 @@ impl<'a> PullParser<'a> {
                 self.pos += idx + pat.len();
                 Ok(())
             }
-            None => Err(XmlError::new(format!("unterminated construct (missing {pat:?})"), self.pos)),
+            None => Err(XmlError::new(
+                format!("unterminated construct (missing {pat:?})"),
+                self.pos,
+            )),
         }
     }
 
@@ -210,7 +228,10 @@ impl<'a> PullParser<'a> {
                     let aname = self.read_name()?;
                     self.skip_ws();
                     if self.bytes().get(self.pos) != Some(&b'=') {
-                        return Err(XmlError::new(format!("attribute {aname:?} missing '='"), self.pos));
+                        return Err(XmlError::new(
+                            format!("attribute {aname:?} missing '='"),
+                            self.pos,
+                        ));
                     }
                     self.pos += 1;
                     self.skip_ws();
@@ -249,7 +270,10 @@ impl<'a> PullParser<'a> {
                 format!("mismatched end tag: expected </{open}>, found </{name}>"),
                 self.pos,
             )),
-            None => Err(XmlError::new(format!("unexpected end tag </{name}>"), self.pos)),
+            None => Err(XmlError::new(
+                format!("unexpected end tag </{name}>"),
+                self.pos,
+            )),
         }
     }
 }
@@ -327,8 +351,14 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::Start { name: "a".into(), attrs: vec![] },
-                Event::Start { name: "b".into(), attrs: vec![("x".into(), "1".into())] },
+                Event::Start {
+                    name: "a".into(),
+                    attrs: vec![]
+                },
+                Event::Start {
+                    name: "b".into(),
+                    attrs: vec![("x".into(), "1".into())]
+                },
                 Event::Text("hi".into()),
                 Event::End { name: "b".into() },
                 Event::End { name: "a".into() },
@@ -344,14 +374,23 @@ mod tests {
         assert_eq!(evs[2], Event::End { name: "b".into() });
         assert_eq!(
             evs[3],
-            Event::Start { name: "c".into(), attrs: vec![("attr".into(), "v".into())] }
+            Event::Start {
+                name: "c".into(),
+                attrs: vec![("attr".into(), "v".into())]
+            }
         );
     }
 
     #[test]
     fn declaration_comments_doctype_skipped() {
         let evs = events("<?xml version=\"1.0\"?><!DOCTYPE a><!-- c --><a>t</a>");
-        assert_eq!(evs[0], Event::Start { name: "a".into(), attrs: vec![] });
+        assert_eq!(
+            evs[0],
+            Event::Start {
+                name: "a".into(),
+                attrs: vec![]
+            }
+        );
         assert_eq!(evs[1], Event::Text("t".into()));
     }
 
@@ -364,7 +403,13 @@ mod tests {
     #[test]
     fn entities_decoded_in_text_and_attrs() {
         let evs = events("<a k=\"&lt;&amp;&gt;\">&#65;&amp;B</a>");
-        assert_eq!(evs[0], Event::Start { name: "a".into(), attrs: vec![("k".into(), "<&>".into())] });
+        assert_eq!(
+            evs[0],
+            Event::Start {
+                name: "a".into(),
+                attrs: vec![("k".into(), "<&>".into())]
+            }
+        );
         assert_eq!(evs[1], Event::Text("A&B".into()));
     }
 

@@ -20,18 +20,29 @@ impl XmlWriter {
     /// A compact writer (no insignificant whitespace) — the form used on
     /// the wire, where document size is part of what is measured.
     pub fn new() -> Self {
-        XmlWriter { buf: String::new(), stack: Vec::new(), pretty: false, had_children: Vec::new() }
+        XmlWriter {
+            buf: String::new(),
+            stack: Vec::new(),
+            pretty: false,
+            had_children: Vec::new(),
+        }
     }
 
     /// A pretty-printing writer (2-space indent) for human-facing output
     /// such as the SVG documents of the remote-visualization app.
     pub fn pretty() -> Self {
-        XmlWriter { buf: String::new(), stack: Vec::new(), pretty: true, had_children: Vec::new() }
+        XmlWriter {
+            buf: String::new(),
+            stack: Vec::new(),
+            pretty: true,
+            had_children: Vec::new(),
+        }
     }
 
     /// Emits the XML declaration. Call before any element.
     pub fn declaration(&mut self) -> &mut Self {
-        self.buf.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        self.buf
+            .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
         if self.pretty {
             self.buf.push('\n');
         }
@@ -143,7 +154,10 @@ impl XmlWriter {
     /// Panics if no element is open — that is a program bug, not an input
     /// error.
     pub fn end(&mut self) -> &mut Self {
-        let name = self.stack.pop().expect("XmlWriter::end with no open element");
+        let name = self
+            .stack
+            .pop()
+            .expect("XmlWriter::end with no open element");
         self.had_children.pop();
         self.indent();
         self.buf.push_str("</");
@@ -189,7 +203,11 @@ mod tests {
     #[test]
     fn compact_output() {
         let mut w = XmlWriter::new();
-        w.start("a").start_with("b", &[("x", "1")]).text("hi").end().empty("c", &[]);
+        w.start("a")
+            .start_with("b", &[("x", "1")])
+            .text("hi")
+            .end()
+            .empty("c", &[]);
         assert_eq!(w.finish(), "<a><b x=\"1\">hi</b><c/></a>");
     }
 
@@ -197,7 +215,10 @@ mod tests {
     fn attrs_and_text_escaped() {
         let mut w = XmlWriter::new();
         w.start_with("a", &[("k", "<\"&>")]).text("1 < 2 & 3");
-        assert_eq!(w.finish(), "<a k=\"&lt;&quot;&amp;&gt;\">1 &lt; 2 &amp; 3</a>");
+        assert_eq!(
+            w.finish(),
+            "<a k=\"&lt;&quot;&amp;&gt;\">1 &lt; 2 &amp; 3</a>"
+        );
     }
 
     #[test]

@@ -24,12 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ty = catering_event_type();
     let format = FormatDesc::from_type(
         &ty,
-        sbq_pbio::format::FormatOptions { int_width: 4, ..Default::default() },
+        sbq_pbio::format::FormatOptions {
+            int_width: 4,
+            ..Default::default()
+        },
     )?;
     let xml = marshal::value_to_xml(&value, "catering_event");
     let pbio = plan::encode(&value, &format)?;
     let lz = sbq_lz::compress(xml.as_bytes());
-    println!("one catering event ({} meal lines) encoded:", event.meals.len());
+    println!(
+        "one catering event ({} meal lines) encoded:",
+        event.meals.len()
+    );
     println!("  SOAP XML        : {:>6} bytes", xml.len());
     println!("  SOAP-bin (PBIO) : {:>6} bytes", pbio.len());
     println!("  compressed XML  : {:>6} bytes", lz.len());
@@ -49,8 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flight = flights[idx].as_str()?.to_string();
     println!("pulling catering manifests for {flight}:");
     for cart in 0..3 {
-        let req =
-            Value::struct_of("catering_request", vec![("flight", Value::Str(flight.clone()))]);
+        let req = Value::struct_of(
+            "catering_request",
+            vec![("flight", Value::Str(flight.clone()))],
+        );
         let v = client.call("get_catering", req)?;
         let e = CateringEvent::from_value(&v).expect("well-formed event");
         let special = e.meals.iter().filter(|m| m.special == 1).count();

@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qm = QualityManager::new(image_quality_file(100.0));
     install_resize_handlers(qm.handlers());
     let svc = service::image_service("x");
-    let mut client =
-        SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?.with_quality(qm);
+    let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?.with_quality(qm);
 
     let request = |name: &str| {
         Value::struct_of(
@@ -46,13 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             img.width,
             img.height,
             img.byte_size() / 1024,
-            client.stats().last_message_type.as_deref().unwrap_or("image_full"),
+            client
+                .stats()
+                .last_message_type
+                .as_deref()
+                .unwrap_or("image_full"),
         );
     }
 
     println!("\nphase 2 — congestion reported (RTT 400 ms):");
     for _ in 0..3 {
-        client.quality_mut().unwrap().observe_rtt(Duration::from_millis(400), Duration::ZERO);
+        client
+            .quality_mut()
+            .unwrap()
+            .observe_rtt(Duration::from_millis(400), Duration::ZERO);
     }
     for i in 0..3 {
         let v = client.call("get_image", request(&format!("sky-{i}")))?;
@@ -62,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             img.width,
             img.height,
             img.byte_size() / 1024,
-            client.stats().last_message_type.as_deref().unwrap_or("image_full"),
+            client
+                .stats()
+                .last_message_type
+                .as_deref()
+                .unwrap_or("image_full"),
         );
     }
 
@@ -78,6 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\nserver served {} requests, {} reduced", server.requests(), server.reduced_responses());
+    println!(
+        "\nserver served {} requests, {} reduced",
+        server.requests(),
+        server.reduced_responses()
+    );
     Ok(())
 }

@@ -14,11 +14,8 @@ use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bands = [10.0, 50.0, 150.0];
-    let server = BondServer::new(110, 7).serve(
-        "127.0.0.1:0".parse()?,
-        WireEncoding::Pbio,
-        Some(bands),
-    )?;
+    let server =
+        BondServer::new(110, 7).serve("127.0.0.1:0".parse()?, WireEncoding::Pbio, Some(bands))?;
     println!("bond server on {}", server.addr());
 
     let svc = bond_service("x");
@@ -40,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsustained congestion (RTT 400 ms) — batches shrink:");
     for round in 0..4 {
         for _ in 0..4 {
-            client.quality_mut().unwrap().observe_rtt(Duration::from_millis(400), Duration::ZERO);
+            client
+                .quality_mut()
+                .unwrap()
+                .observe_rtt(Duration::from_millis(400), Duration::ZERO);
         }
         let batch = batch_graphs(&client.call("get_bonds", request())?);
         println!("  round {round}: {} timesteps per response", batch.len());

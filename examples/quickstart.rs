@@ -17,43 +17,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_operation(
             "stats",
             TypeDesc::list_of(TypeDesc::Float),
-            TypeDesc::struct_of("stats", vec![("mean", TypeDesc::Float), ("max", TypeDesc::Float)]),
+            TypeDesc::struct_of(
+                "stats",
+                vec![("mean", TypeDesc::Float), ("max", TypeDesc::Float)],
+            ),
         );
     println!("--- WSDL the service advertises ---");
     println!("{}", write_wsdl(&svc)?);
 
     // 2. Implement and bind the server (binary PBIO wire encoding: the
     //    SOAP-bin high-performance mode).
-    let mut builder = SoapServerBuilder::new(&svc, WireEncoding::Pbio)?;
-    builder.handle("sum", |v| {
-        Value::Int(v.as_int_array().map(|xs| xs.iter().sum()).unwrap_or(0))
-    });
-    builder.handle("stats", |v| {
-        let xs = v.as_float_array().unwrap_or_default();
-        let mean = if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
-        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
-        Value::struct_of("stats", vec![("mean", Value::Float(mean)), ("max", Value::Float(max))])
-    });
-    let server = builder.bind("127.0.0.1:0".parse()?)?;
-    println!("server listening on {}", server.addr());
-
-    // 3. Call it with each wire encoding and compare the bytes moved.
-    for enc in [WireEncoding::Pbio, WireEncoding::Xml, WireEncoding::CompressedXml] {
-        // A server speaks one encoding; spin one per encoding here so the
-        // comparison is honest.
-        let mut b = SoapServerBuilder::new(&svc, enc)?;
-        b.handle("sum", |v| Value::Int(v.as_int_array().map(|xs| xs.iter().sum()).unwrap_or(0)));
-        b.handle("stats", |v| {
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)?
+        .handle("sum", |v| {
+            Value::Int(v.as_int_array().map(|xs| xs.iter().sum()).unwrap_or(0))
+        })
+        .handle("stats", |v| {
             let xs = v.as_float_array().unwrap_or_default();
-            let mean =
-                if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+            let mean = if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            };
             let max = xs.iter().cloned().fold(f64::MIN, f64::max);
             Value::struct_of(
                 "stats",
                 vec![("mean", Value::Float(mean)), ("max", Value::Float(max))],
             )
-        });
-        let server = b.bind("127.0.0.1:0".parse()?)?;
+        })
+        .bind("127.0.0.1:0".parse()?)?;
+    println!("server listening on {}", server.addr());
+
+    // 3. Call it with each wire encoding and compare the bytes moved.
+    for enc in [
+        WireEncoding::Pbio,
+        WireEncoding::Xml,
+        WireEncoding::CompressedXml,
+    ] {
+        // A server speaks one encoding; spin one per encoding here so the
+        // comparison is honest.
+        let server = SoapServerBuilder::new(&svc, enc)?
+            .handle("sum", |v| {
+                Value::Int(v.as_int_array().map(|xs| xs.iter().sum()).unwrap_or(0))
+            })
+            .handle("stats", |v| {
+                let xs = v.as_float_array().unwrap_or_default();
+                let mean = if xs.is_empty() {
+                    0.0
+                } else {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                };
+                let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+                Value::struct_of(
+                    "stats",
+                    vec![("mean", Value::Float(mean)), ("max", Value::Float(max))],
+                )
+            })
+            .bind("127.0.0.1:0".parse()?)?;
         let mut client = SoapClient::connect(server.addr(), &svc, enc)?;
 
         let arr = workload::int_array(1000, 7);

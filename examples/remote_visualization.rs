@@ -47,16 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "discovered service {:?} with operations {:?}",
         parsed.name,
-        parsed.operations.iter().map(|o| o.name.as_str()).collect::<Vec<_>>()
+        parsed
+            .operations
+            .iter()
+            .map(|o| o.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // (3)/(5) Request frames with different filters and formats.
-    for (filter, format) in
-        [("identity", "svg"), ("elements:C", "svg"), ("stride:2", "xml"), ("halfbox", "svg")]
-    {
+    for (filter, format) in [
+        ("identity", "svg"),
+        ("elements:C", "svg"),
+        ("stride:2", "xml"),
+        ("halfbox", "svg"),
+    ] {
         let req = Value::struct_of(
             "frame_request",
-            vec![("filter", Value::Str(filter.into())), ("format", Value::Str(format.into()))],
+            vec![
+                ("filter", Value::Str(filter.into())),
+                ("format", Value::Str(format.into())),
+            ],
         );
         let t0 = std::time::Instant::now();
         let frame = client.call("get_frame", req)?;
@@ -71,12 +81,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Dynamically install a named filter, then use it.
     let inst = Value::struct_of(
         "filter_def",
-        vec![("name", Value::Str("carbon".into())), ("spec", Value::Str("elements:C".into()))],
+        vec![
+            ("name", Value::Str("carbon".into())),
+            ("spec", Value::Str("elements:C".into())),
+        ],
     );
     client.call("install_filter", inst)?;
     let req = Value::struct_of(
         "frame_request",
-        vec![("filter", Value::Str("carbon".into())), ("format", Value::Str("svg".into()))],
+        vec![
+            ("filter", Value::Str("carbon".into())),
+            ("format", Value::Str("svg".into())),
+        ],
     );
     let svg = client.call("get_frame", req)?;
     let path = std::env::temp_dir().join("sbq_molecule.svg");

@@ -38,25 +38,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // real endpoint.
     let mut builder_svc = ServiceDef::new("SensorFeed", "urn:demo:sensors", "pending")
         .with_operation("read", TypeDesc::Int, reading_ty.clone());
-    let mut builder = SoapServerBuilder::new(&builder_svc, WireEncoding::Pbio)?;
-    builder.handle("read", |seq| {
-        Value::struct_of(
-            "reading",
-            vec![
-                ("seq", seq),
-                ("temps", Value::FloatArray(vec![20.5, 21.0, 20.75])),
-                ("site", Value::Str("rooftop".into())),
-            ],
-        )
-    });
     // Server-side quality management from the very same file we publish.
     let mut qm = sbq_qos::QualityManager::new(sbq_qos::QualityFile::parse(QUALITY_FILE)?);
     qm.define_message_type(
         "reading_small",
         TypeDesc::struct_of("reading_small", vec![("seq", TypeDesc::Int)]),
     );
-    builder.with_quality(qm);
-    let sensor_server = builder.bind("127.0.0.1:0".parse()?)?;
+    let sensor_server = SoapServerBuilder::new(&builder_svc, WireEncoding::Pbio)?
+        .handle("read", |seq| {
+            Value::struct_of(
+                "reading",
+                vec![
+                    ("seq", seq),
+                    ("temps", Value::FloatArray(vec![20.5, 21.0, 20.75])),
+                    ("site", Value::Str("rooftop".into())),
+                ],
+            )
+        })
+        .with_quality(qm)
+        .bind("127.0.0.1:0".parse()?)?;
     builder_svc.location = format!("http://{}/sensors", sensor_server.addr());
     println!("sensor service on {}", sensor_server.addr());
 
@@ -91,12 +91,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nhealthy network: {v}");
 
     for _ in 0..5 {
-        client.quality_mut().unwrap().observe_rtt(Duration::from_millis(300), Duration::ZERO);
+        client
+            .quality_mut()
+            .unwrap()
+            .observe_rtt(Duration::from_millis(300), Duration::ZERO);
     }
     let v = client.call("read", Value::Int(2))?;
     println!(
         "congested ({}): {v}",
-        client.stats().last_message_type.as_deref().unwrap_or("full")
+        client
+            .stats()
+            .last_message_type
+            .as_deref()
+            .unwrap_or("full")
     );
     Ok(())
 }

@@ -46,13 +46,11 @@ fn main() {
             let phase = Duration::from_secs(10 * id as u64);
             let mut bursts = vec![0.30; SENSORS - 1]; // steady peers
             bursts.push(0.85); // a passing heavy burst
-            let cross = CrossTraffic::schedule(vec![
-                sbq_netsim::traffic::Segment {
-                    start: phase + Duration::from_secs(20),
-                    end: phase + Duration::from_secs(40),
-                    load: bursts[id % bursts.len()],
-                },
-            ]);
+            let cross = CrossTraffic::schedule(vec![sbq_netsim::traffic::Segment {
+                start: phase + Duration::from_secs(20),
+                end: phase + Duration::from_secs(40),
+                load: bursts[id % bursts.len()],
+            }]);
             // EWMA keeps the fleet steady; swap in
             // `RttEstimatorKind::Jacobson` to see variance-sensitive
             // degradation kick in earlier on this lossy link.

@@ -56,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let svc: ServiceDef = parse_wsdl(&doc)?;
     println!("service {} @ {}", svc.name, svc.location);
     for op in &svc.operations {
-        println!("  operation {}: {} -> {}", op.name, op.input.name(), op.output.name());
+        println!(
+            "  operation {}: {} -> {}",
+            op.name,
+            op.input.name(),
+            op.output.name()
+        );
     }
 
     // Derive PBIO formats (Fig. 3's WSDL -> PBIO format generation).

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate-3e09d0e2c5be3831.d: crates/bench/src/bin/ablate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate-3e09d0e2c5be3831.rmeta: crates/bench/src/bin/ablate.rs Cargo.toml
+
+crates/bench/src/bin/ablate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate-489af3267c837fed.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/debug/deps/ablate-489af3267c837fed: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate-acfe76d0452c4898.d: crates/bench/src/bin/ablate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate-acfe76d0452c4898.rmeta: crates/bench/src/bin/ablate.rs Cargo.toml
+
+crates/bench/src/bin/ablate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

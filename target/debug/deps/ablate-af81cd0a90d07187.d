@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate-af81cd0a90d07187.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/debug/deps/ablate-af81cd0a90d07187: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-0d34327f8faf7f4d.d: crates/wsdl/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-0d34327f8faf7f4d.rmeta: crates/wsdl/tests/cli.rs Cargo.toml
+
+crates/wsdl/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_wsdlc=placeholder:wsdlc
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

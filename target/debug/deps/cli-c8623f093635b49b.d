@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-c8623f093635b49b.d: crates/wsdl/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-c8623f093635b49b: crates/wsdl/tests/cli.rs
+
+crates/wsdl/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_wsdlc=/root/repo/target/debug/wsdlc

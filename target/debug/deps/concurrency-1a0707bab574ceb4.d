@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-1a0707bab574ceb4.d: crates/bench/src/bin/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-1a0707bab574ceb4.rmeta: crates/bench/src/bin/concurrency.rs Cargo.toml
+
+crates/bench/src/bin/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

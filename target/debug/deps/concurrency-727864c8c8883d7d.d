@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-727864c8c8883d7d.d: crates/bench/src/bin/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-727864c8c8883d7d.rmeta: crates/bench/src/bin/concurrency.rs Cargo.toml
+
+crates/bench/src/bin/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

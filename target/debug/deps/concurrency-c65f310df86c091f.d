@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-c65f310df86c091f.d: crates/bench/src/bin/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-c65f310df86c091f: crates/bench/src/bin/concurrency.rs
+
+crates/bench/src/bin/concurrency.rs:

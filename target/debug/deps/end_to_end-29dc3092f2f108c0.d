@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-29dc3092f2f108c0.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-29dc3092f2f108c0: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

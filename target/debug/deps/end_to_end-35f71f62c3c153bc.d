@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-35f71f62c3c153bc.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-35f71f62c3c153bc: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

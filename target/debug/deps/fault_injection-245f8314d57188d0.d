@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-245f8314d57188d0.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-245f8314d57188d0: tests/fault_injection.rs
+
+tests/fault_injection.rs:

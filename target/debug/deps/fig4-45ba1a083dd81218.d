@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-45ba1a083dd81218.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-45ba1a083dd81218: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

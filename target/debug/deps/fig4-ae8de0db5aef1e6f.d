@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ae8de0db5aef1e6f.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ae8de0db5aef1e6f: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

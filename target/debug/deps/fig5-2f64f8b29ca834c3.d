@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2f64f8b29ca834c3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2f64f8b29ca834c3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

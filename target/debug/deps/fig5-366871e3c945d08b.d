@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-366871e3c945d08b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-366871e3c945d08b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

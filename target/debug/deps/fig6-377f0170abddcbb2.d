@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-377f0170abddcbb2.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-377f0170abddcbb2: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

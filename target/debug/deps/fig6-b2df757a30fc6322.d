@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b2df757a30fc6322.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b2df757a30fc6322: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-0cc97ee4b2ef00cc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-0cc97ee4b2ef00cc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-952fde9b7d4f6f4a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-952fde9b7d4f6f4a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

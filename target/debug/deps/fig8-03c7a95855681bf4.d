@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-03c7a95855681bf4.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-03c7a95855681bf4: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

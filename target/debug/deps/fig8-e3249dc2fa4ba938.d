@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-e3249dc2fa4ba938.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-e3249dc2fa4ba938: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-6fe5129aad7a48c7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-6fe5129aad7a48c7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

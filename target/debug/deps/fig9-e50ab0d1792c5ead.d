@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e50ab0d1792c5ead.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-e50ab0d1792c5ead: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

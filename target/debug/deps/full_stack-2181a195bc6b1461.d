@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-2181a195bc6b1461.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-2181a195bc6b1461: tests/full_stack.rs
+
+tests/full_stack.rs:

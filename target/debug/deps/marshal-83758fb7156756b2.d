@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/marshal-83758fb7156756b2.d: crates/bench/benches/marshal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarshal-83758fb7156756b2.rmeta: crates/bench/benches/marshal.rs Cargo.toml
+
+crates/bench/benches/marshal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/marshal-bfa4017439001beb.d: crates/bench/benches/marshal.rs
+
+/root/repo/target/debug/deps/marshal-bfa4017439001beb: crates/bench/benches/marshal.rs
+
+crates/bench/benches/marshal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-6314e343e5bb7839.d: crates/bench/src/bin/micro.rs
+
+/root/repo/target/debug/deps/micro-6314e343e5bb7839: crates/bench/src/bin/micro.rs
+
+crates/bench/src/bin/micro.rs:

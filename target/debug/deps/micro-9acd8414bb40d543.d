@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-9acd8414bb40d543.d: crates/bench/src/bin/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-9acd8414bb40d543.rmeta: crates/bench/src/bin/micro.rs Cargo.toml
+
+crates/bench/src/bin/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

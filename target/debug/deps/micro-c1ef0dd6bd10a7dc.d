@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-c1ef0dd6bd10a7dc.d: crates/bench/src/bin/micro.rs
+
+/root/repo/target/debug/deps/micro-c1ef0dd6bd10a7dc: crates/bench/src/bin/micro.rs
+
+crates/bench/src/bin/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-d1e98f3d69d750b8.d: crates/bench/src/bin/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-d1e98f3d69d750b8.rmeta: crates/bench/src/bin/micro.rs Cargo.toml
+
+crates/bench/src/bin/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-8bc018fdd8f70d5e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-8bc018fdd8f70d5e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-19ecdf3ce1fe46c3.d: crates/pbio/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-19ecdf3ce1fe46c3: crates/pbio/tests/proptests.rs
+
+crates/pbio/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-257ee0c21f59c801.d: crates/xml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-257ee0c21f59c801: crates/xml/tests/proptests.rs
+
+crates/xml/tests/proptests.rs:

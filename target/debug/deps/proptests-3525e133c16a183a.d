@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3525e133c16a183a.d: crates/lz/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3525e133c16a183a.rmeta: crates/lz/tests/proptests.rs Cargo.toml
+
+crates/lz/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

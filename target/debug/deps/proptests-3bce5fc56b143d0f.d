@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3bce5fc56b143d0f.d: crates/lz/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3bce5fc56b143d0f: crates/lz/tests/proptests.rs
+
+crates/lz/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6f229b157cb2cee8.d: crates/pbio/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6f229b157cb2cee8.rmeta: crates/pbio/tests/proptests.rs Cargo.toml
+
+crates/pbio/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

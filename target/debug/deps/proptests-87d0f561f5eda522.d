@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-87d0f561f5eda522.d: crates/xml/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-87d0f561f5eda522.rmeta: crates/xml/tests/proptests.rs Cargo.toml
+
+crates/xml/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

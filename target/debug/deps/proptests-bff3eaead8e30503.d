@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-bff3eaead8e30503.d: crates/xdr/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-bff3eaead8e30503.rmeta: crates/xdr/tests/proptests.rs Cargo.toml
+
+crates/xdr/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ebeaf65c4322ac45.d: crates/model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ebeaf65c4322ac45: crates/model/tests/proptests.rs
+
+crates/model/tests/proptests.rs:

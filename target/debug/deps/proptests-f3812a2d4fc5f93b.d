@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f3812a2d4fc5f93b.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f3812a2d4fc5f93b: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fd058347d897d56a.d: crates/xdr/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fd058347d897d56a: crates/xdr/tests/proptests.rs
+
+crates/xdr/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quality_simulation-5902cfe69f7cb715.d: tests/quality_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquality_simulation-5902cfe69f7cb715.rmeta: tests/quality_simulation.rs Cargo.toml
+
+tests/quality_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

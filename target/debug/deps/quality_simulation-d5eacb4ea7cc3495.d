@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality_simulation-d5eacb4ea7cc3495.d: tests/quality_simulation.rs
+
+/root/repo/target/debug/deps/quality_simulation-d5eacb4ea7cc3495: tests/quality_simulation.rs
+
+tests/quality_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_airline-1239e7ff448665e5.d: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+/root/repo/target/debug/deps/sbq_airline-1239e7ff448665e5: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+crates/airline/src/lib.rs:
+crates/airline/src/data.rs:
+crates/airline/src/event.rs:
+crates/airline/src/rules.rs:
+crates/airline/src/service.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_airline-1b495ccac9b43d47.d: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+/root/repo/target/debug/deps/libsbq_airline-1b495ccac9b43d47.rlib: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+/root/repo/target/debug/deps/libsbq_airline-1b495ccac9b43d47.rmeta: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+crates/airline/src/lib.rs:
+crates/airline/src/data.rs:
+crates/airline/src/event.rs:
+crates/airline/src/rules.rs:
+crates/airline/src/service.rs:

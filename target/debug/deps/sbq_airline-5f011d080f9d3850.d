@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbq_airline-5f011d080f9d3850.d: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_airline-5f011d080f9d3850.rmeta: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs Cargo.toml
+
+crates/airline/src/lib.rs:
+crates/airline/src/data.rs:
+crates/airline/src/event.rs:
+crates/airline/src/rules.rs:
+crates/airline/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_bench-3a3df9c7dee9386e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_bench-3a3df9c7dee9386e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

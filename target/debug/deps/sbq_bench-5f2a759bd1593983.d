@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbq_bench-5f2a759bd1593983.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsbq_bench-5f2a759bd1593983.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsbq_bench-5f2a759bd1593983.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_bench-f00a57aca035f920.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_bench-f00a57aca035f920.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

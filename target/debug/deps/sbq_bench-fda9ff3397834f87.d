@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbq_bench-fda9ff3397834f87.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sbq_bench-fda9ff3397834f87: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

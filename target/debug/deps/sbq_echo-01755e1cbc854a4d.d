@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbq_echo-01755e1cbc854a4d.d: crates/echo/src/lib.rs
+
+/root/repo/target/debug/deps/libsbq_echo-01755e1cbc854a4d.rlib: crates/echo/src/lib.rs
+
+/root/repo/target/debug/deps/libsbq_echo-01755e1cbc854a4d.rmeta: crates/echo/src/lib.rs
+
+crates/echo/src/lib.rs:

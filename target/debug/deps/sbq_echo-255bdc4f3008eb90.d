@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_echo-255bdc4f3008eb90.d: crates/echo/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_echo-255bdc4f3008eb90.rmeta: crates/echo/src/lib.rs Cargo.toml
+
+crates/echo/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbq_echo-797e5a37f4fe4faf.d: crates/echo/src/lib.rs
+
+/root/repo/target/debug/deps/sbq_echo-797e5a37f4fe4faf: crates/echo/src/lib.rs
+
+crates/echo/src/lib.rs:

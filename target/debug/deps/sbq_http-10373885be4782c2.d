@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbq_http-10373885be4782c2.d: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/sbq_http-10373885be4782c2: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/faults.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:

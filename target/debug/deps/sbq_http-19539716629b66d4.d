@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_http-19539716629b66d4.d: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_http-19539716629b66d4.rmeta: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs Cargo.toml
+
+crates/http/src/lib.rs:
+crates/http/src/faults.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

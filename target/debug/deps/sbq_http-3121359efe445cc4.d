@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbq_http-3121359efe445cc4.d: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/libsbq_http-3121359efe445cc4.rlib: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/debug/deps/libsbq_http-3121359efe445cc4.rmeta: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/faults.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_http-8e2b8b0b3f964174.d: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_http-8e2b8b0b3f964174.rmeta: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs Cargo.toml
+
+crates/http/src/lib.rs:
+crates/http/src/faults.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

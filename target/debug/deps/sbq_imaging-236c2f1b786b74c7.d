@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_imaging-236c2f1b786b74c7.d: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+/root/repo/target/debug/deps/libsbq_imaging-236c2f1b786b74c7.rlib: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+/root/repo/target/debug/deps/libsbq_imaging-236c2f1b786b74c7.rmeta: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/ppm.rs:
+crates/imaging/src/service.rs:
+crates/imaging/src/starfield.rs:
+crates/imaging/src/transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_imaging-3fa92fbf504eb783.d: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+/root/repo/target/debug/deps/sbq_imaging-3fa92fbf504eb783: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/ppm.rs:
+crates/imaging/src/service.rs:
+crates/imaging/src/starfield.rs:
+crates/imaging/src/transform.rs:

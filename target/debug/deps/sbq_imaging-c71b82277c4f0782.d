@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbq_imaging-c71b82277c4f0782.d: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_imaging-c71b82277c4f0782.rmeta: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs Cargo.toml
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/ppm.rs:
+crates/imaging/src/service.rs:
+crates/imaging/src/starfield.rs:
+crates/imaging/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbq_lz-08c28292affc8a97.d: crates/lz/src/lib.rs crates/lz/src/huffman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_lz-08c28292affc8a97.rmeta: crates/lz/src/lib.rs crates/lz/src/huffman.rs Cargo.toml
+
+crates/lz/src/lib.rs:
+crates/lz/src/huffman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbq_lz-4768aad9326690e9.d: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+/root/repo/target/debug/deps/sbq_lz-4768aad9326690e9: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+crates/lz/src/lib.rs:
+crates/lz/src/huffman.rs:

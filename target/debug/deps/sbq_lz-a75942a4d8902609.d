@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbq_lz-a75942a4d8902609.d: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+/root/repo/target/debug/deps/libsbq_lz-a75942a4d8902609.rlib: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+/root/repo/target/debug/deps/libsbq_lz-a75942a4d8902609.rmeta: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+crates/lz/src/lib.rs:
+crates/lz/src/huffman.rs:

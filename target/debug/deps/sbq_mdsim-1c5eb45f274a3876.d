@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_mdsim-1c5eb45f274a3876.d: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_mdsim-1c5eb45f274a3876.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs Cargo.toml
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/graph.rs:
+crates/mdsim/src/service.rs:
+crates/mdsim/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_mdsim-2c206b6f835d5c33.d: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_mdsim-2c206b6f835d5c33.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs Cargo.toml
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/graph.rs:
+crates/mdsim/src/service.rs:
+crates/mdsim/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

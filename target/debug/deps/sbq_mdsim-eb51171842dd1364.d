@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbq_mdsim-eb51171842dd1364.d: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+/root/repo/target/debug/deps/sbq_mdsim-eb51171842dd1364: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/graph.rs:
+crates/mdsim/src/service.rs:
+crates/mdsim/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbq_mdsim-fb81a3a57ab69ba8.d: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+/root/repo/target/debug/deps/libsbq_mdsim-fb81a3a57ab69ba8.rlib: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+/root/repo/target/debug/deps/libsbq_mdsim-fb81a3a57ab69ba8.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/graph.rs:
+crates/mdsim/src/service.rs:
+crates/mdsim/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_model-25eb06182124b54d.d: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+/root/repo/target/debug/deps/sbq_model-25eb06182124b54d: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+crates/model/src/lib.rs:
+crates/model/src/base64.rs:
+crates/model/src/path.rs:
+crates/model/src/project.rs:
+crates/model/src/ty.rs:
+crates/model/src/value.rs:
+crates/model/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbq_model-91937dc40c5df7d4.d: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+/root/repo/target/debug/deps/libsbq_model-91937dc40c5df7d4.rlib: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+/root/repo/target/debug/deps/libsbq_model-91937dc40c5df7d4.rmeta: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+crates/model/src/lib.rs:
+crates/model/src/base64.rs:
+crates/model/src/path.rs:
+crates/model/src/project.rs:
+crates/model/src/ty.rs:
+crates/model/src/value.rs:
+crates/model/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbq_model-ca40c7f2adf23fcd.d: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_model-ca40c7f2adf23fcd.rmeta: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/base64.rs:
+crates/model/src/path.rs:
+crates/model/src/project.rs:
+crates/model/src/ty.rs:
+crates/model/src/value.rs:
+crates/model/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

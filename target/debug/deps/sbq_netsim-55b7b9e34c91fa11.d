@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_netsim-55b7b9e34c91fa11.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/libsbq_netsim-55b7b9e34c91fa11.rlib: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/libsbq_netsim-55b7b9e34c91fa11.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_netsim-70a7eea6bfb34d02.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_netsim-70a7eea6bfb34d02.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbq_netsim-736ace94c414260e.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/debug/deps/sbq_netsim-736ace94c414260e: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/traffic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbq_pbio-10e441fedf20f365.d: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_pbio-10e441fedf20f365.rmeta: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs Cargo.toml
+
+crates/pbio/src/lib.rs:
+crates/pbio/src/endpoint.rs:
+crates/pbio/src/format.rs:
+crates/pbio/src/plan.rs:
+crates/pbio/src/remote.rs:
+crates/pbio/src/server.rs:
+crates/pbio/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_pbio-155876d89fbf6ad3.d: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+/root/repo/target/debug/deps/sbq_pbio-155876d89fbf6ad3: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+crates/pbio/src/lib.rs:
+crates/pbio/src/endpoint.rs:
+crates/pbio/src/format.rs:
+crates/pbio/src/plan.rs:
+crates/pbio/src/remote.rs:
+crates/pbio/src/server.rs:
+crates/pbio/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbq_pbio-d39d2e5743afb3fc.d: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+/root/repo/target/debug/deps/libsbq_pbio-d39d2e5743afb3fc.rlib: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+/root/repo/target/debug/deps/libsbq_pbio-d39d2e5743afb3fc.rmeta: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+crates/pbio/src/lib.rs:
+crates/pbio/src/endpoint.rs:
+crates/pbio/src/format.rs:
+crates/pbio/src/plan.rs:
+crates/pbio/src/remote.rs:
+crates/pbio/src/server.rs:
+crates/pbio/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbq_qos-354053520cbfbac6.d: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_qos-354053520cbfbac6.rmeta: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs Cargo.toml
+
+crates/qos/src/lib.rs:
+crates/qos/src/attributes.rs:
+crates/qos/src/estimator.rs:
+crates/qos/src/file.rs:
+crates/qos/src/handler.rs:
+crates/qos/src/jacobson.rs:
+crates/qos/src/manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_qos-a0ad2cd7b303014d.d: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+/root/repo/target/debug/deps/sbq_qos-a0ad2cd7b303014d: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/attributes.rs:
+crates/qos/src/estimator.rs:
+crates/qos/src/file.rs:
+crates/qos/src/handler.rs:
+crates/qos/src/jacobson.rs:
+crates/qos/src/manager.rs:

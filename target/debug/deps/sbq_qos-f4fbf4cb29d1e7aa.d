@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbq_qos-f4fbf4cb29d1e7aa.d: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+/root/repo/target/debug/deps/libsbq_qos-f4fbf4cb29d1e7aa.rlib: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+/root/repo/target/debug/deps/libsbq_qos-f4fbf4cb29d1e7aa.rmeta: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/attributes.rs:
+crates/qos/src/estimator.rs:
+crates/qos/src/file.rs:
+crates/qos/src/handler.rs:
+crates/qos/src/jacobson.rs:
+crates/qos/src/manager.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbq_registry-08b883923b4f1759.d: crates/registry/src/lib.rs
+
+/root/repo/target/debug/deps/libsbq_registry-08b883923b4f1759.rlib: crates/registry/src/lib.rs
+
+/root/repo/target/debug/deps/libsbq_registry-08b883923b4f1759.rmeta: crates/registry/src/lib.rs
+
+crates/registry/src/lib.rs:

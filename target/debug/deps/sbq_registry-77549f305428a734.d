@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbq_registry-77549f305428a734.d: crates/registry/src/lib.rs
+
+/root/repo/target/debug/deps/sbq_registry-77549f305428a734: crates/registry/src/lib.rs
+
+crates/registry/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_registry-86ac3ccc73db63de.d: crates/registry/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_registry-86ac3ccc73db63de.rmeta: crates/registry/src/lib.rs Cargo.toml
+
+crates/registry/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_registry-e36cd228dba64845.d: crates/registry/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_registry-e36cd228dba64845.rmeta: crates/registry/src/lib.rs Cargo.toml
+
+crates/registry/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbq_runtime-072c4b1a72237874.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+/root/repo/target/debug/deps/libsbq_runtime-072c4b1a72237874.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+/root/repo/target/debug/deps/libsbq_runtime-072c4b1a72237874.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/rand.rs:
+crates/runtime/src/sync.rs:

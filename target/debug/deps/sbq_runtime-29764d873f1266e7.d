@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbq_runtime-29764d873f1266e7.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+/root/repo/target/debug/deps/sbq_runtime-29764d873f1266e7: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/rand.rs:
+crates/runtime/src/sync.rs:

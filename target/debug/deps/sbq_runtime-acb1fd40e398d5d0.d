@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_runtime-acb1fd40e398d5d0.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_runtime-acb1fd40e398d5d0.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/rand.rs:
+crates/runtime/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbq_viz-2a053abcded7f66d.d: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/sbq_viz-2a053abcded7f66d: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/portal.rs:
+crates/viz/src/render.rs:
+crates/viz/src/svg.rs:

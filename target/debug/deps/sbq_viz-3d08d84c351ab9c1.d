@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_viz-3d08d84c351ab9c1.d: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_viz-3d08d84c351ab9c1.rmeta: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs Cargo.toml
+
+crates/viz/src/lib.rs:
+crates/viz/src/portal.rs:
+crates/viz/src/render.rs:
+crates/viz/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

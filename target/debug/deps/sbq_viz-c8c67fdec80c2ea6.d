@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbq_viz-c8c67fdec80c2ea6.d: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libsbq_viz-c8c67fdec80c2ea6.rlib: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libsbq_viz-c8c67fdec80c2ea6.rmeta: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/portal.rs:
+crates/viz/src/render.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_viz-fed26a6b8fea6c8b.d: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_viz-fed26a6b8fea6c8b.rmeta: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs Cargo.toml
+
+crates/viz/src/lib.rs:
+crates/viz/src/portal.rs:
+crates/viz/src/render.rs:
+crates/viz/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

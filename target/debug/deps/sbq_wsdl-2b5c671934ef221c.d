@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbq_wsdl-2b5c671934ef221c.d: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_wsdl-2b5c671934ef221c.rmeta: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs Cargo.toml
+
+crates/wsdl/src/lib.rs:
+crates/wsdl/src/compile.rs:
+crates/wsdl/src/model.rs:
+crates/wsdl/src/parse.rs:
+crates/wsdl/src/write.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

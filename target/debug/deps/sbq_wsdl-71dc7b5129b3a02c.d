@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_wsdl-71dc7b5129b3a02c.d: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+/root/repo/target/debug/deps/sbq_wsdl-71dc7b5129b3a02c: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+crates/wsdl/src/lib.rs:
+crates/wsdl/src/compile.rs:
+crates/wsdl/src/model.rs:
+crates/wsdl/src/parse.rs:
+crates/wsdl/src/write.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_wsdl-bf926754243c1cb9.d: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+/root/repo/target/debug/deps/libsbq_wsdl-bf926754243c1cb9.rlib: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+/root/repo/target/debug/deps/libsbq_wsdl-bf926754243c1cb9.rmeta: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+crates/wsdl/src/lib.rs:
+crates/wsdl/src/compile.rs:
+crates/wsdl/src/model.rs:
+crates/wsdl/src/parse.rs:
+crates/wsdl/src/write.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_xdr-01a7305fb18f23bc.d: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_xdr-01a7305fb18f23bc.rmeta: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs Cargo.toml
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/rpc.rs:
+crates/xdr/src/xdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbq_xdr-33b1373f236ce8af.d: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+/root/repo/target/debug/deps/libsbq_xdr-33b1373f236ce8af.rlib: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+/root/repo/target/debug/deps/libsbq_xdr-33b1373f236ce8af.rmeta: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/rpc.rs:
+crates/xdr/src/xdr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbq_xdr-891a81db5b58d7f5.d: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+/root/repo/target/debug/deps/sbq_xdr-891a81db5b58d7f5: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/rpc.rs:
+crates/xdr/src/xdr.rs:

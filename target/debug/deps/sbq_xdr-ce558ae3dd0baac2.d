@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbq_xdr-ce558ae3dd0baac2.d: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_xdr-ce558ae3dd0baac2.rmeta: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs Cargo.toml
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/rpc.rs:
+crates/xdr/src/xdr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

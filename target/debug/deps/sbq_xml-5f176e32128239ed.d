@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbq_xml-5f176e32128239ed.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libsbq_xml-5f176e32128239ed.rlib: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libsbq_xml-5f176e32128239ed.rmeta: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_xml-8b5aec94fa686202.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_xml-8b5aec94fa686202.rmeta: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbq_xml-95373ac04d1b3b04.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbq_xml-95373ac04d1b3b04.rmeta: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbq_xml-a4a0d2ed7c7b4376.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/sbq_xml-a4a0d2ed7c7b4376: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/writer.rs:

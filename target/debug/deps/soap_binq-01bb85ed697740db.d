@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/soap_binq-01bb85ed697740db.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+/root/repo/target/debug/deps/libsoap_binq-01bb85ed697740db.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+/root/repo/target/debug/deps/libsoap_binq-01bb85ed697740db.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/envelope.rs:
+crates/core/src/marshal.rs:
+crates/core/src/modes.rs:
+crates/core/src/server.rs:
+crates/core/src/xml_handler.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/soap_binq-59b53d33725cdcca.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoap_binq-59b53d33725cdcca.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/envelope.rs:
+crates/core/src/marshal.rs:
+crates/core/src/modes.rs:
+crates/core/src/server.rs:
+crates/core/src/xml_handler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

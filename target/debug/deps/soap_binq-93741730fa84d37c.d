@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soap_binq-93741730fa84d37c.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+/root/repo/target/debug/deps/soap_binq-93741730fa84d37c: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/envelope.rs:
+crates/core/src/marshal.rs:
+crates/core/src/modes.rs:
+crates/core/src/server.rs:
+crates/core/src/xml_handler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soap_binq_repro-0bbdc07c24f8f05d.d: src/lib.rs
+
+/root/repo/target/debug/deps/soap_binq_repro-0bbdc07c24f8f05d: src/lib.rs
+
+src/lib.rs:

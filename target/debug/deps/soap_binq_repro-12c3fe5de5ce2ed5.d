@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soap_binq_repro-12c3fe5de5ce2ed5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoap_binq_repro-12c3fe5de5ce2ed5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soap_binq_repro-42add2986a642e25.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoap_binq_repro-42add2986a642e25.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoap_binq_repro-42add2986a642e25.rmeta: src/lib.rs
+
+src/lib.rs:

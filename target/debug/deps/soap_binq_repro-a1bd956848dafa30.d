@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soap_binq_repro-a1bd956848dafa30.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoap_binq_repro-a1bd956848dafa30.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

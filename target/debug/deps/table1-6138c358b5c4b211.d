@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6138c358b5c4b211.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-6138c358b5c4b211: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-63c4d7e7c07f5ff3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-63c4d7e7c07f5ff3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

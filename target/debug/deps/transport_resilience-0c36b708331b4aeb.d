@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_resilience-0c36b708331b4aeb.d: tests/transport_resilience.rs
+
+/root/repo/target/debug/deps/transport_resilience-0c36b708331b4aeb: tests/transport_resilience.rs
+
+tests/transport_resilience.rs:

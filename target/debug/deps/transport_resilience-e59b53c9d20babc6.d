@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_resilience-e59b53c9d20babc6.d: tests/transport_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_resilience-e59b53c9d20babc6.rmeta: tests/transport_resilience.rs Cargo.toml
+
+tests/transport_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

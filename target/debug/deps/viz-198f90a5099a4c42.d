@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/viz-198f90a5099a4c42.d: crates/bench/src/bin/viz.rs
+
+/root/repo/target/debug/deps/viz-198f90a5099a4c42: crates/bench/src/bin/viz.rs
+
+crates/bench/src/bin/viz.rs:

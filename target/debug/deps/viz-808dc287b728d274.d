@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/viz-808dc287b728d274.d: crates/bench/src/bin/viz.rs
+
+/root/repo/target/debug/deps/viz-808dc287b728d274: crates/bench/src/bin/viz.rs
+
+crates/bench/src/bin/viz.rs:

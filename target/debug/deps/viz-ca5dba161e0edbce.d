@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/viz-ca5dba161e0edbce.d: crates/bench/src/bin/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libviz-ca5dba161e0edbce.rmeta: crates/bench/src/bin/viz.rs Cargo.toml
+
+crates/bench/src/bin/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

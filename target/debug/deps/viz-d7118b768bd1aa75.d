@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/viz-d7118b768bd1aa75.d: crates/bench/src/bin/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libviz-d7118b768bd1aa75.rmeta: crates/bench/src/bin/viz.rs Cargo.toml
+
+crates/bench/src/bin/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

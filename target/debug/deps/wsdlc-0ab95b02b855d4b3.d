@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsdlc-0ab95b02b855d4b3.d: crates/wsdl/src/bin/wsdlc.rs
+
+/root/repo/target/debug/deps/wsdlc-0ab95b02b855d4b3: crates/wsdl/src/bin/wsdlc.rs
+
+crates/wsdl/src/bin/wsdlc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsdlc-123bd4685ceab5dd.d: crates/wsdl/src/bin/wsdlc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsdlc-123bd4685ceab5dd.rmeta: crates/wsdl/src/bin/wsdlc.rs Cargo.toml
+
+crates/wsdl/src/bin/wsdlc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsdlc-59b6c927c8d3f58d.d: crates/wsdl/src/bin/wsdlc.rs
+
+/root/repo/target/debug/deps/wsdlc-59b6c927c8d3f58d: crates/wsdl/src/bin/wsdlc.rs
+
+crates/wsdl/src/bin/wsdlc.rs:

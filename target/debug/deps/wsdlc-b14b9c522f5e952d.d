@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsdlc-b14b9c522f5e952d.d: crates/wsdl/src/bin/wsdlc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsdlc-b14b9c522f5e952d.rmeta: crates/wsdl/src/bin/wsdlc.rs Cargo.toml
+
+crates/wsdl/src/bin/wsdlc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/airline_ois-298fa91f4e686c41.d: examples/airline_ois.rs
+
+/root/repo/target/debug/examples/airline_ois-298fa91f4e686c41: examples/airline_ois.rs
+
+examples/airline_ois.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/airline_ois-556549fec106bd9b.d: examples/airline_ois.rs Cargo.toml
+
+/root/repo/target/debug/examples/libairline_ois-556549fec106bd9b.rmeta: examples/airline_ois.rs Cargo.toml
+
+examples/airline_ois.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

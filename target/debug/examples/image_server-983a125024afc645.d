@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_server-983a125024afc645.d: examples/image_server.rs
+
+/root/repo/target/debug/examples/image_server-983a125024afc645: examples/image_server.rs
+
+examples/image_server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_server-a50e534a84962c80.d: examples/image_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_server-a50e534a84962c80.rmeta: examples/image_server.rs Cargo.toml
+
+examples/image_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/molecular_dynamics-b3f81c0d922a2736.d: examples/molecular_dynamics.rs
+
+/root/repo/target/debug/examples/molecular_dynamics-b3f81c0d922a2736: examples/molecular_dynamics.rs
+
+examples/molecular_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/molecular_dynamics-c53ada128dbb1560.d: examples/molecular_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmolecular_dynamics-c53ada128dbb1560.rmeta: examples/molecular_dynamics.rs Cargo.toml
+
+examples/molecular_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

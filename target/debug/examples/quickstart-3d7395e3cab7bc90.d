@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-3d7395e3cab7bc90.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-3d7395e3cab7bc90.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-684cc3c8ae62acdd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-684cc3c8ae62acdd: examples/quickstart.rs
+
+examples/quickstart.rs:

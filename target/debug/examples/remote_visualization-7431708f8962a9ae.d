@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_visualization-7431708f8962a9ae.d: examples/remote_visualization.rs
+
+/root/repo/target/debug/examples/remote_visualization-7431708f8962a9ae: examples/remote_visualization.rs
+
+examples/remote_visualization.rs:

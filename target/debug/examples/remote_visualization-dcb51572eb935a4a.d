@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remote_visualization-dcb51572eb935a4a.d: examples/remote_visualization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremote_visualization-dcb51572eb935a4a.rmeta: examples/remote_visualization.rs Cargo.toml
+
+examples/remote_visualization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

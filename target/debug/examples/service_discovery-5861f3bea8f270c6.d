@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/service_discovery-5861f3bea8f270c6.d: examples/service_discovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libservice_discovery-5861f3bea8f270c6.rmeta: examples/service_discovery.rs Cargo.toml
+
+examples/service_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_discovery-7ba5a24a7ade0bba.d: examples/service_discovery.rs
+
+/root/repo/target/debug/examples/service_discovery-7ba5a24a7ade0bba: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wireless_sensors-5787dc3a76f7bafa.d: examples/wireless_sensors.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwireless_sensors-5787dc3a76f7bafa.rmeta: examples/wireless_sensors.rs Cargo.toml
+
+examples/wireless_sensors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wireless_sensors-b593e1f7c6582162.d: examples/wireless_sensors.rs
+
+/root/repo/target/debug/examples/wireless_sensors-b593e1f7c6582162: examples/wireless_sensors.rs
+
+examples/wireless_sensors.rs:

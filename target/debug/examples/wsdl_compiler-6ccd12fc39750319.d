@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wsdl_compiler-6ccd12fc39750319.d: examples/wsdl_compiler.rs
+
+/root/repo/target/debug/examples/wsdl_compiler-6ccd12fc39750319: examples/wsdl_compiler.rs
+
+examples/wsdl_compiler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wsdl_compiler-f2847b172415c92a.d: examples/wsdl_compiler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwsdl_compiler-f2847b172415c92a.rmeta: examples/wsdl_compiler.rs Cargo.toml
+
+examples/wsdl_compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

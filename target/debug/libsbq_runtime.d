@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsbq_runtime.rlib: /root/repo/crates/runtime/src/channel.rs /root/repo/crates/runtime/src/lib.rs /root/repo/crates/runtime/src/rand.rs /root/repo/crates/runtime/src/sync.rs

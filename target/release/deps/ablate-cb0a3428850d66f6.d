@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate-cb0a3428850d66f6.d: crates/bench/src/bin/ablate.rs
+
+/root/repo/target/release/deps/ablate-cb0a3428850d66f6: crates/bench/src/bin/ablate.rs
+
+crates/bench/src/bin/ablate.rs:

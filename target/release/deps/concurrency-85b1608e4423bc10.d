@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-85b1608e4423bc10.d: crates/bench/src/bin/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-85b1608e4423bc10: crates/bench/src/bin/concurrency.rs
+
+crates/bench/src/bin/concurrency.rs:

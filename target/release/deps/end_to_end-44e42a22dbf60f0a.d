@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-44e42a22dbf60f0a.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-44e42a22dbf60f0a: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

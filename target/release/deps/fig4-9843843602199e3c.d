@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-9843843602199e3c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-9843843602199e3c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-76a6b7e7b6d4a476.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-76a6b7e7b6d4a476: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-f7c405a6e68b9705.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-f7c405a6e68b9705: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

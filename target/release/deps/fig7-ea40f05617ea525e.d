@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-ea40f05617ea525e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-ea40f05617ea525e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

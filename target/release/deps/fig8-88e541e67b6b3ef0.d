@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-88e541e67b6b3ef0.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-88e541e67b6b3ef0: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

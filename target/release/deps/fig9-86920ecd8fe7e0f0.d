@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-86920ecd8fe7e0f0.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-86920ecd8fe7e0f0: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

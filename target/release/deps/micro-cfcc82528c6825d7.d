@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-cfcc82528c6825d7.d: crates/bench/src/bin/micro.rs
+
+/root/repo/target/release/deps/micro-cfcc82528c6825d7: crates/bench/src/bin/micro.rs
+
+crates/bench/src/bin/micro.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sbq_airline-b1b5c02d6996d5d0.d: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+/root/repo/target/release/deps/libsbq_airline-b1b5c02d6996d5d0.rlib: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+/root/repo/target/release/deps/libsbq_airline-b1b5c02d6996d5d0.rmeta: crates/airline/src/lib.rs crates/airline/src/data.rs crates/airline/src/event.rs crates/airline/src/rules.rs crates/airline/src/service.rs
+
+crates/airline/src/lib.rs:
+crates/airline/src/data.rs:
+crates/airline/src/event.rs:
+crates/airline/src/rules.rs:
+crates/airline/src/service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbq_bench-ac0bc3560111f163.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsbq_bench-ac0bc3560111f163.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsbq_bench-ac0bc3560111f163.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbq_echo-d6d56d46d230add4.d: crates/echo/src/lib.rs
+
+/root/repo/target/release/deps/libsbq_echo-d6d56d46d230add4.rlib: crates/echo/src/lib.rs
+
+/root/repo/target/release/deps/libsbq_echo-d6d56d46d230add4.rmeta: crates/echo/src/lib.rs
+
+crates/echo/src/lib.rs:

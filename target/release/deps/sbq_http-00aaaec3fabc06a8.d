@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbq_http-00aaaec3fabc06a8.d: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/release/deps/libsbq_http-00aaaec3fabc06a8.rlib: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+/root/repo/target/release/deps/libsbq_http-00aaaec3fabc06a8.rmeta: crates/http/src/lib.rs crates/http/src/faults.rs crates/http/src/message.rs crates/http/src/server.rs
+
+crates/http/src/lib.rs:
+crates/http/src/faults.rs:
+crates/http/src/message.rs:
+crates/http/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sbq_imaging-761e0665ecf61b55.d: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+/root/repo/target/release/deps/libsbq_imaging-761e0665ecf61b55.rlib: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+/root/repo/target/release/deps/libsbq_imaging-761e0665ecf61b55.rmeta: crates/imaging/src/lib.rs crates/imaging/src/ppm.rs crates/imaging/src/service.rs crates/imaging/src/starfield.rs crates/imaging/src/transform.rs
+
+crates/imaging/src/lib.rs:
+crates/imaging/src/ppm.rs:
+crates/imaging/src/service.rs:
+crates/imaging/src/starfield.rs:
+crates/imaging/src/transform.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sbq_lz-13d0530400994286.d: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+/root/repo/target/release/deps/libsbq_lz-13d0530400994286.rlib: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+/root/repo/target/release/deps/libsbq_lz-13d0530400994286.rmeta: crates/lz/src/lib.rs crates/lz/src/huffman.rs
+
+crates/lz/src/lib.rs:
+crates/lz/src/huffman.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbq_mdsim-5c1ba303fdc85c35.d: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+/root/repo/target/release/deps/libsbq_mdsim-5c1ba303fdc85c35.rlib: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+/root/repo/target/release/deps/libsbq_mdsim-5c1ba303fdc85c35.rmeta: crates/mdsim/src/lib.rs crates/mdsim/src/graph.rs crates/mdsim/src/service.rs crates/mdsim/src/sim.rs
+
+crates/mdsim/src/lib.rs:
+crates/mdsim/src/graph.rs:
+crates/mdsim/src/service.rs:
+crates/mdsim/src/sim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbq_model-ee49022a84f97291.d: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+/root/repo/target/release/deps/libsbq_model-ee49022a84f97291.rlib: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+/root/repo/target/release/deps/libsbq_model-ee49022a84f97291.rmeta: crates/model/src/lib.rs crates/model/src/base64.rs crates/model/src/path.rs crates/model/src/project.rs crates/model/src/ty.rs crates/model/src/value.rs crates/model/src/workload.rs
+
+crates/model/src/lib.rs:
+crates/model/src/base64.rs:
+crates/model/src/path.rs:
+crates/model/src/project.rs:
+crates/model/src/ty.rs:
+crates/model/src/value.rs:
+crates/model/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbq_netsim-db062f25aca4abf1.d: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/release/deps/libsbq_netsim-db062f25aca4abf1.rlib: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+/root/repo/target/release/deps/libsbq_netsim-db062f25aca4abf1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/clock.rs crates/netsim/src/traffic.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/clock.rs:
+crates/netsim/src/traffic.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbq_pbio-a0bf55b36cbbc32d.d: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+/root/repo/target/release/deps/libsbq_pbio-a0bf55b36cbbc32d.rlib: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+/root/repo/target/release/deps/libsbq_pbio-a0bf55b36cbbc32d.rmeta: crates/pbio/src/lib.rs crates/pbio/src/endpoint.rs crates/pbio/src/format.rs crates/pbio/src/plan.rs crates/pbio/src/remote.rs crates/pbio/src/server.rs crates/pbio/src/wire.rs
+
+crates/pbio/src/lib.rs:
+crates/pbio/src/endpoint.rs:
+crates/pbio/src/format.rs:
+crates/pbio/src/plan.rs:
+crates/pbio/src/remote.rs:
+crates/pbio/src/server.rs:
+crates/pbio/src/wire.rs:

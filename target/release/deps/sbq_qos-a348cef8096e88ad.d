@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbq_qos-a348cef8096e88ad.d: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+/root/repo/target/release/deps/libsbq_qos-a348cef8096e88ad.rlib: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+/root/repo/target/release/deps/libsbq_qos-a348cef8096e88ad.rmeta: crates/qos/src/lib.rs crates/qos/src/attributes.rs crates/qos/src/estimator.rs crates/qos/src/file.rs crates/qos/src/handler.rs crates/qos/src/jacobson.rs crates/qos/src/manager.rs
+
+crates/qos/src/lib.rs:
+crates/qos/src/attributes.rs:
+crates/qos/src/estimator.rs:
+crates/qos/src/file.rs:
+crates/qos/src/handler.rs:
+crates/qos/src/jacobson.rs:
+crates/qos/src/manager.rs:

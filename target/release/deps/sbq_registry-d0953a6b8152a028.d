@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbq_registry-d0953a6b8152a028.d: crates/registry/src/lib.rs
+
+/root/repo/target/release/deps/libsbq_registry-d0953a6b8152a028.rlib: crates/registry/src/lib.rs
+
+/root/repo/target/release/deps/libsbq_registry-d0953a6b8152a028.rmeta: crates/registry/src/lib.rs
+
+crates/registry/src/lib.rs:

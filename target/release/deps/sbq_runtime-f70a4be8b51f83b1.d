@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbq_runtime-f70a4be8b51f83b1.d: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+/root/repo/target/release/deps/libsbq_runtime-f70a4be8b51f83b1.rlib: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+/root/repo/target/release/deps/libsbq_runtime-f70a4be8b51f83b1.rmeta: crates/runtime/src/lib.rs crates/runtime/src/channel.rs crates/runtime/src/rand.rs crates/runtime/src/sync.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/channel.rs:
+crates/runtime/src/rand.rs:
+crates/runtime/src/sync.rs:

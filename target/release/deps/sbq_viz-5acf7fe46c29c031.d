@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbq_viz-5acf7fe46c29c031.d: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libsbq_viz-5acf7fe46c29c031.rlib: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libsbq_viz-5acf7fe46c29c031.rmeta: crates/viz/src/lib.rs crates/viz/src/portal.rs crates/viz/src/render.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/portal.rs:
+crates/viz/src/render.rs:
+crates/viz/src/svg.rs:

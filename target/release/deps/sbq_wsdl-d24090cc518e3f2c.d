@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sbq_wsdl-d24090cc518e3f2c.d: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+/root/repo/target/release/deps/libsbq_wsdl-d24090cc518e3f2c.rlib: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+/root/repo/target/release/deps/libsbq_wsdl-d24090cc518e3f2c.rmeta: crates/wsdl/src/lib.rs crates/wsdl/src/compile.rs crates/wsdl/src/model.rs crates/wsdl/src/parse.rs crates/wsdl/src/write.rs
+
+crates/wsdl/src/lib.rs:
+crates/wsdl/src/compile.rs:
+crates/wsdl/src/model.rs:
+crates/wsdl/src/parse.rs:
+crates/wsdl/src/write.rs:

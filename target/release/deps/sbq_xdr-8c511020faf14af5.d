@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbq_xdr-8c511020faf14af5.d: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+/root/repo/target/release/deps/libsbq_xdr-8c511020faf14af5.rlib: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+/root/repo/target/release/deps/libsbq_xdr-8c511020faf14af5.rmeta: crates/xdr/src/lib.rs crates/xdr/src/rpc.rs crates/xdr/src/xdr.rs
+
+crates/xdr/src/lib.rs:
+crates/xdr/src/rpc.rs:
+crates/xdr/src/xdr.rs:

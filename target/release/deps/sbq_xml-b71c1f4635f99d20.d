@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbq_xml-b71c1f4635f99d20.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libsbq_xml-b71c1f4635f99d20.rlib: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libsbq_xml-b71c1f4635f99d20.rmeta: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/soap_binq-047a60da1b97609c.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+/root/repo/target/release/deps/libsoap_binq-047a60da1b97609c.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+/root/repo/target/release/deps/libsoap_binq-047a60da1b97609c.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/envelope.rs crates/core/src/marshal.rs crates/core/src/modes.rs crates/core/src/server.rs crates/core/src/xml_handler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/envelope.rs:
+crates/core/src/marshal.rs:
+crates/core/src/modes.rs:
+crates/core/src/server.rs:
+crates/core/src/xml_handler.rs:

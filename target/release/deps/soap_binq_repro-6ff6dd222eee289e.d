@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soap_binq_repro-6ff6dd222eee289e.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoap_binq_repro-6ff6dd222eee289e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoap_binq_repro-6ff6dd222eee289e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-be904adfe9efe673.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-be904adfe9efe673: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/viz-c51d53ec86106282.d: crates/bench/src/bin/viz.rs
+
+/root/repo/target/release/deps/viz-c51d53ec86106282: crates/bench/src/bin/viz.rs
+
+crates/bench/src/bin/viz.rs:

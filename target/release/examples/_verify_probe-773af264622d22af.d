@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-773af264622d22af.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-773af264622d22af: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

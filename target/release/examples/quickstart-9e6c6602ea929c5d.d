@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9e6c6602ea929c5d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9e6c6602ea929c5d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/service_discovery-34bfbba8e8944256.d: examples/service_discovery.rs
+
+/root/repo/target/release/examples/service_discovery-34bfbba8e8944256: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -12,9 +12,12 @@ fn echo_server(enc: WireEncoding) -> (soap_binq::SoapServer, ServiceDef) {
         TypeDesc::list_of(TypeDesc::Int),
         TypeDesc::list_of(TypeDesc::Int),
     );
-    let mut b = SoapServerBuilder::new(&svc, enc).unwrap();
-    b.handle("echo", |v| v);
-    (b.bind("127.0.0.1:0".parse().unwrap()).unwrap(), svc)
+    let server = SoapServerBuilder::new(&svc, enc)
+        .unwrap()
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    (server, svc)
 }
 
 #[test]
@@ -47,14 +50,16 @@ fn corrupt_pbio_body_gets_fault_response() {
 
     let mut raw = HttpClient::connect(server.addr()).unwrap();
     for body in [
-        &[0xffu8, 0, 0, 0, 0][..],          // bad message kind
-        &[2u8, 1, 0, 0, 0, 99, 0, 0, 0][..], // data message, absurd length
-        &[][..],                              // empty
+        &[0xffu8, 0, 0, 0, 0][..],             // bad message kind
+        &[2u8, 1, 0, 0, 0, 99, 0, 0, 0][..],   // data message, absurd length
+        &[][..],                               // empty
         &[2u8, 0x7f, 0, 0, 0, 0, 0, 0, 0][..], // unknown format id
     ] {
         let mut req = Request::post("/Echo", sbq_http::PBIO_CONTENT_TYPE, body.to_vec());
-        req.headers.push(("X-Soap-Op".to_string(), "echo".to_string()));
-        req.headers.push(("X-Pbio-Session".to_string(), "42".to_string()));
+        req.headers
+            .push(("X-Soap-Op".to_string(), "echo".to_string()));
+        req.headers
+            .push(("X-Pbio-Session".to_string(), "42".to_string()));
         let resp = raw.send(req).unwrap();
         assert_eq!(resp.status, 500, "body {body:?}");
         assert!(resp.header("x-soap-error").is_some());
@@ -84,7 +89,9 @@ fn missing_pbio_headers_rejected_cleanly() {
     let (server, _svc) = echo_server(WireEncoding::Pbio);
     let mut raw = HttpClient::connect(server.addr()).unwrap();
     // No X-Soap-Op header at all.
-    let resp = raw.post("/Echo", sbq_http::PBIO_CONTENT_TYPE, vec![]).unwrap();
+    let resp = raw
+        .post("/Echo", sbq_http::PBIO_CONTENT_TYPE, vec![])
+        .unwrap();
     assert_eq!(resp.status, 500);
     assert!(resp.header("x-soap-error").unwrap().contains("X-Soap-Op"));
 }
@@ -100,7 +107,9 @@ fn wrong_typed_arguments_fault_not_crash() {
     );
     let (server, _svc) = echo_server(WireEncoding::Pbio);
     let mut liar = SoapClient::connect(server.addr(), &svc_lying, WireEncoding::Pbio).unwrap();
-    let err = liar.call("echo", Value::Str("not an array".into())).unwrap_err();
+    let err = liar
+        .call("echo", Value::Str("not an array".into()))
+        .unwrap_err();
     assert!(matches!(err, soap_binq::SoapError::Fault { .. }), "{err}");
 }
 
@@ -131,10 +140,14 @@ fn mismatched_content_type_rejected_clearly() {
     // content-type fault, not a parse-garbage error.
     let (pbio_server, _) = echo_server(WireEncoding::Pbio);
     let mut raw = HttpClient::connect(pbio_server.addr()).unwrap();
-    let resp = raw.post("/Echo", "text/xml; charset=utf-8", b"<x/>".to_vec()).unwrap();
+    let resp = raw
+        .post("/Echo", "text/xml; charset=utf-8", b"<x/>".to_vec())
+        .unwrap();
     assert_eq!(resp.status, 500);
     assert!(
-        resp.header("x-soap-error").unwrap().contains("content type"),
+        resp.header("x-soap-error")
+            .unwrap()
+            .contains("content type"),
         "{:?}",
         resp.header("x-soap-error")
     );
@@ -142,7 +155,11 @@ fn mismatched_content_type_rejected_clearly() {
     let (xml_server, _) = echo_server(WireEncoding::Xml);
     let mut raw = HttpClient::connect(xml_server.addr()).unwrap();
     let resp = raw
-        .post("/Echo", sbq_http::PBIO_CONTENT_TYPE, vec![2, 1, 0, 0, 0, 0, 0, 0, 0])
+        .post(
+            "/Echo",
+            sbq_http::PBIO_CONTENT_TYPE,
+            vec![2, 1, 0, 0, 0, 0, 0, 0, 0],
+        )
         .unwrap();
     assert_eq!(resp.status, 500);
     assert!(String::from_utf8_lossy(&resp.body).contains("content type"));

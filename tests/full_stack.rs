@@ -10,7 +10,10 @@ fn sensor_service() -> ServiceDef {
     ServiceDef::new("SensorService", "urn:test:sensors", "http://127.0.0.1:0/s")
         .with_operation(
             "get_reading",
-            TypeDesc::struct_of("query", vec![("sensor_id", TypeDesc::Int), ("window", TypeDesc::Int)]),
+            TypeDesc::struct_of(
+                "query",
+                vec![("sensor_id", TypeDesc::Int), ("window", TypeDesc::Int)],
+            ),
             TypeDesc::struct_of(
                 "reading",
                 vec![
@@ -24,22 +27,27 @@ fn sensor_service() -> ServiceDef {
 }
 
 fn start_server(svc: &ServiceDef, enc: WireEncoding) -> soap_binq::SoapServer {
-    let mut b = SoapServerBuilder::new(svc, enc).unwrap();
-    b.handle("get_reading", |req| {
-        let s = req.as_struct().unwrap();
-        let id = s.field("sensor_id").unwrap().as_int().unwrap();
-        let window = s.field("window").unwrap().as_int().unwrap() as usize;
-        Value::struct_of(
-            "reading",
-            vec![
-                ("sensor_id", Value::Int(id)),
-                ("samples", Value::FloatArray((0..window).map(|i| i as f64 * 0.5).collect())),
-                ("frame", Value::Bytes((0..32u8).collect())),
-            ],
-        )
-    });
-    b.handle("ping", |v| v);
-    b.bind("127.0.0.1:0".parse().unwrap()).unwrap()
+    SoapServerBuilder::new(svc, enc)
+        .unwrap()
+        .handle("get_reading", |req| {
+            let s = req.as_struct().unwrap();
+            let id = s.field("sensor_id").unwrap().as_int().unwrap();
+            let window = s.field("window").unwrap().as_int().unwrap() as usize;
+            Value::struct_of(
+                "reading",
+                vec![
+                    ("sensor_id", Value::Int(id)),
+                    (
+                        "samples",
+                        Value::FloatArray((0..window).map(|i| i as f64 * 0.5).collect()),
+                    ),
+                    ("frame", Value::Bytes((0..32u8).collect())),
+                ],
+            )
+        })
+        .handle("ping", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap()
 }
 
 #[test]
@@ -53,11 +61,17 @@ fn wsdl_discovery_drives_live_calls() {
 
     let server = start_server(&rediscovered, WireEncoding::Pbio);
     let mut client = SoapClient::connect(server.addr(), &rediscovered, WireEncoding::Pbio).unwrap();
-    let req = Value::struct_of("query", vec![("sensor_id", Value::Int(7)), ("window", Value::Int(5))]);
+    let req = Value::struct_of(
+        "query",
+        vec![("sensor_id", Value::Int(7)), ("window", Value::Int(5))],
+    );
     let v = client.call("get_reading", req).unwrap();
     let s = v.as_struct().unwrap();
     assert_eq!(s.field("sensor_id"), Some(&Value::Int(7)));
-    assert_eq!(s.field("samples"), Some(&Value::FloatArray(vec![0.0, 0.5, 1.0, 1.5, 2.0])));
+    assert_eq!(
+        s.field("samples"),
+        Some(&Value::FloatArray(vec![0.0, 0.5, 1.0, 1.5, 2.0]))
+    );
     assert_eq!(s.field("frame").unwrap().as_bytes().unwrap().len(), 32);
 }
 
@@ -67,24 +81,45 @@ fn heterogeneous_client_converted_by_receiver() {
     // native server: "receiver makes right" end to end over real sockets.
     let svc = sensor_service();
     let server = start_server(&svc, WireEncoding::Pbio);
-    let sparc = FormatOptions { byte_order: ByteOrder::Big, int_width: 4, float_width: 8 };
+    let sparc = FormatOptions {
+        byte_order: ByteOrder::Big,
+        int_width: 4,
+        float_width: 8,
+    };
     let compiled = compile(&svc, sparc).unwrap();
-    let mut client =
-        SoapClient::connect_compiled(server.addr(), compiled, WireEncoding::Pbio).unwrap();
-    let req =
-        Value::struct_of("query", vec![("sensor_id", Value::Int(-3)), ("window", Value::Int(2))]);
+    let mut client = SoapClient::connect_compiled(
+        server.addr(),
+        compiled,
+        WireEncoding::Pbio,
+        soap_binq::ClientConfig::default(),
+    )
+    .unwrap();
+    let req = Value::struct_of(
+        "query",
+        vec![("sensor_id", Value::Int(-3)), ("window", Value::Int(2))],
+    );
     let v = client.call("get_reading", req).unwrap();
-    assert_eq!(v.as_struct().unwrap().field("sensor_id"), Some(&Value::Int(-3)));
+    assert_eq!(
+        v.as_struct().unwrap().field("sensor_id"),
+        Some(&Value::Int(-3))
+    );
 }
 
 #[test]
 fn all_encodings_serve_the_same_results() {
     let svc = sensor_service();
     let req = || {
-        Value::struct_of("query", vec![("sensor_id", Value::Int(1)), ("window", Value::Int(8))])
+        Value::struct_of(
+            "query",
+            vec![("sensor_id", Value::Int(1)), ("window", Value::Int(8))],
+        )
     };
     let mut answers = Vec::new();
-    for enc in [WireEncoding::Pbio, WireEncoding::Xml, WireEncoding::CompressedXml] {
+    for enc in [
+        WireEncoding::Pbio,
+        WireEncoding::Xml,
+        WireEncoding::CompressedXml,
+    ] {
         let server = start_server(&svc, enc);
         let mut client = SoapClient::connect(server.addr(), &svc, enc).unwrap();
         answers.push(client.call("get_reading", req()).unwrap());
@@ -99,7 +134,10 @@ fn xml_interop_surface_round_trips() {
     let server = start_server(&svc, WireEncoding::Pbio);
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
     let out = client
-        .call_xml("get_reading", "<q><sensor_id>9</sensor_id><window>1</window></q>")
+        .call_xml(
+            "get_reading",
+            "<q><sensor_id>9</sensor_id><window>1</window></q>",
+        )
         .unwrap();
     assert!(out.contains("<sensor_id>9</sensor_id>"), "{out}");
     assert!(out.starts_with("<get_readingResult>"));
@@ -121,9 +159,11 @@ fn large_payloads_cross_the_stack() {
         TypeDesc::list_of(TypeDesc::Float),
         TypeDesc::list_of(TypeDesc::Float),
     );
-    let mut b = SoapServerBuilder::new(&svc, WireEncoding::Pbio).unwrap();
-    b.handle("echo", |v| v);
-    let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
     // ~8 MB payload.
     let v = workload::float_array(1_000_000, 3);
@@ -132,12 +172,18 @@ fn large_payloads_cross_the_stack() {
 
 #[test]
 fn faults_cross_every_encoding() {
-    for enc in [WireEncoding::Pbio, WireEncoding::Xml, WireEncoding::CompressedXml] {
+    for enc in [
+        WireEncoding::Pbio,
+        WireEncoding::Xml,
+        WireEncoding::CompressedXml,
+    ] {
         let svc = sensor_service();
         // Server without the ping handler registered.
-        let mut b = SoapServerBuilder::new(&svc, enc).unwrap();
-        b.handle("get_reading", |v| v);
-        let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let server = SoapServerBuilder::new(&svc, enc)
+            .unwrap()
+            .handle("get_reading", |v| v)
+            .bind("127.0.0.1:0".parse().unwrap())
+            .unwrap();
         let mut client = SoapClient::connect(server.addr(), &svc, enc).unwrap();
         let err = client.call("ping", Value::Int(1)).unwrap_err();
         match err {

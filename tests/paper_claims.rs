@@ -9,7 +9,10 @@ use soap_binq::marshal;
 use std::sync::Arc;
 
 fn paper_opts() -> FormatOptions {
-    FormatOptions { int_width: 4, ..Default::default() }
+    FormatOptions {
+        int_width: 4,
+        ..Default::default()
+    }
 }
 
 /// §IV-B.e: "The XML parameters generated are about 4-5 times the size of
@@ -33,14 +36,14 @@ fn struct_blowup_exceeds_array_blowup() {
     let aty = TypeDesc::list_of(TypeDesc::Int);
     let af = FormatDesc::from_type(&aty, paper_opts()).unwrap();
     let av = workload::int_array(5000, 1);
-    let a_ratio = marshal::value_to_xml(&av, "p").len() as f64
-        / plan::encode(&av, &af).unwrap().len() as f64;
+    let a_ratio =
+        marshal::value_to_xml(&av, "p").len() as f64 / plan::encode(&av, &af).unwrap().len() as f64;
 
     let sty = workload::business_struct_type(8);
     let sf = FormatDesc::from_type(&sty, paper_opts()).unwrap();
     let sv = workload::business_struct(8, 1);
-    let s_ratio = marshal::value_to_xml(&sv, "p").len() as f64
-        / plan::encode(&sv, &sf).unwrap().len() as f64;
+    let s_ratio =
+        marshal::value_to_xml(&sv, "p").len() as f64 / plan::encode(&sv, &sf).unwrap().len() as f64;
 
     assert!(s_ratio > a_ratio, "struct {s_ratio} <= array {a_ratio}");
     assert!(s_ratio > 5.0, "struct blowup only {s_ratio}");
@@ -94,7 +97,10 @@ fn registration_amortizes_and_grows_with_depth() {
     let shallow_f =
         FormatDesc::from_type(&workload::business_struct_type(1), paper_opts()).unwrap();
     let shallow_reg = 9 + shallow_f.to_bytes().len();
-    assert!(reg_bytes > 2 * shallow_reg, "deep {reg_bytes} vs shallow {shallow_reg}");
+    assert!(
+        reg_bytes > 2 * shallow_reg,
+        "deep {reg_bytes} vs shallow {shallow_reg}"
+    );
 }
 
 /// §IV-A: Sun RPC beats SOAP-bin on nested structs but not dramatically
@@ -117,7 +123,11 @@ fn xdr_and_pbio_payloads_comparable() {
 fn airline_event_size_ordering() {
     use sbq_airline::{catering_event_type, CateringEvent, Dataset};
     let ds = Dataset::generate(10, 42);
-    let idx = ds.flights.iter().position(|f| f.duration_min >= 90).unwrap();
+    let idx = ds
+        .flights
+        .iter()
+        .position(|f| f.duration_min >= 90)
+        .unwrap();
     let value = CateringEvent::build(&ds, idx, 0).to_value();
     let ty = catering_event_type();
     let f = FormatDesc::from_type(&ty, paper_opts()).unwrap();
@@ -157,7 +167,8 @@ fn marshalling_cost_is_stable() {
 #[test]
 fn quality_padding_contract_holds_for_every_band() {
     use sbq_qos::{QualityFile, QualityManager};
-    let file = QualityFile::parse("attribute rtt\n0 10 - full\n10 20 - mid\n20 inf - min\n").unwrap();
+    let file =
+        QualityFile::parse("attribute rtt\n0 10 - full\n10 20 - mid\n20 inf - min\n").unwrap();
     let full_ty = TypeDesc::struct_of(
         "m",
         vec![
@@ -167,8 +178,14 @@ fn quality_padding_contract_holds_for_every_band() {
         ],
     );
     let mut qm = QualityManager::new(file);
-    qm.define_message_type("mid", TypeDesc::struct_of("mid", vec![("a", TypeDesc::Int), ("c", TypeDesc::Str)]));
-    qm.define_message_type("min", TypeDesc::struct_of("min", vec![("a", TypeDesc::Int)]));
+    qm.define_message_type(
+        "mid",
+        TypeDesc::struct_of("mid", vec![("a", TypeDesc::Int), ("c", TypeDesc::Str)]),
+    );
+    qm.define_message_type(
+        "min",
+        TypeDesc::struct_of("min", vec![("a", TypeDesc::Int)]),
+    );
     let full = Value::struct_of(
         "m",
         vec![
@@ -181,7 +198,11 @@ fn quality_padding_contract_holds_for_every_band() {
         qm.attributes().update_attribute("rtt", rtt);
         let p = qm.prepare(&full);
         let restored = qm.restore(&p.value, &full_ty);
-        assert!(restored.conforms_to(&full_ty), "rtt={rtt}, type {}", p.message_type);
+        assert!(
+            restored.conforms_to(&full_ty),
+            "rtt={rtt}, type {}",
+            p.message_type
+        );
         assert_eq!(
             restored.as_struct().unwrap().field("a"),
             Some(&Value::Int(5)),

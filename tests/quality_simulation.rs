@@ -13,8 +13,7 @@ const HALF_IMG: usize = 320 * 240 * 3;
 /// Runs the imaging scenario for a policy, returning per-request response
 /// times in ms and the count of half-resolution responses.
 fn run_imaging(policy: &str) -> (Vec<f64>, usize) {
-    let cross =
-        CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
+    let cross = CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
     let mut link = SimLink::new(LinkSpec::lan_100mbps()).with_cross_traffic(cross);
     let mut qm = QualityManager::new(image_quality_file(200.0));
     install_resize_handlers(qm.handlers());
@@ -56,7 +55,10 @@ fn adaptive_imaging_sits_between_fixed_policies() {
     let (half, _) = run_imaging("half");
     let (adaptive, reduced) = run_imaging("adaptive");
     let (mf, mh, ma) = (mean(&full), mean(&half), mean(&adaptive));
-    assert!(mh < ma && ma < mf, "means: half {mh}, adaptive {ma}, full {mf}");
+    assert!(
+        mh < ma && ma < mf,
+        "means: half {mh}, adaptive {ma}, full {mf}"
+    );
     assert!(reduced > 0, "adaptive policy never reduced");
     assert!(reduced < adaptive.len(), "adaptive policy never recovered");
 }
@@ -79,8 +81,7 @@ fn adaptation_reduces_jitter_vs_fixed_full() {
 /// conditions and low resolution during congestion phases.
 #[test]
 fn adaptive_tracks_congestion_phases() {
-    let cross =
-        CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
+    let cross = CrossTraffic::square_wave(Duration::from_secs(40), Duration::from_secs(20), 0.92);
     let mut link = SimLink::new(LinkSpec::lan_100mbps()).with_cross_traffic(cross.clone());
     let mut qm = QualityManager::new(image_quality_file(200.0));
     install_resize_handlers(qm.handlers());
@@ -151,7 +152,10 @@ fn md_batching_bounds_response_times() {
     // budget (throughput per call is higher when the network allows it).
     let per_call_a = steps_a / adaptive.len() as f64;
     let per_call_1 = steps1 / fixed1.len() as f64;
-    assert!(per_call_a > per_call_1 * 1.3, "adaptive {per_call_a} vs fixed1 {per_call_1} steps/call");
+    assert!(
+        per_call_a > per_call_1 * 1.3,
+        "adaptive {per_call_a} vs fixed1 {per_call_1} steps/call"
+    );
 }
 
 /// §IV-C.h: the history mechanism prevents rapid oscillation between two

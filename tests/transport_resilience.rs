@@ -1,0 +1,213 @@
+//! Transport-runtime resilience across the full SOAP-binQ stack: a fixed
+//! worker pool serving many concurrent keep-alive clients, request-size
+//! and parse-error policing at the HTTP layer, retry-with-reconnect
+//! (including the PBIO format-registration handshake replay and the Karn
+//! guard on the RTT estimator), and clean shutdown that drains in-flight
+//! connections.
+
+use sbq_http::{HttpClient, Request};
+use sbq_model::{TypeDesc, Value};
+use sbq_qos::{QualityFile, QualityManager};
+use sbq_wsdl::ServiceDef;
+use soap_binq::{
+    ClientConfig, FaultAction, FaultSchedule, RetryPolicy, ServerConfig, SoapClient,
+    SoapServerBuilder, WireEncoding,
+};
+use std::time::Duration;
+
+fn echo_service() -> ServiceDef {
+    ServiceDef::new("Echo", "urn:tr:echo", "x").with_operation(
+        "echo",
+        TypeDesc::list_of(TypeDesc::Int),
+        TypeDesc::list_of(TypeDesc::Int),
+    )
+}
+
+fn single_band_quality() -> QualityManager {
+    QualityManager::new(QualityFile::parse("attribute rtt\n0 inf - full\n").unwrap())
+}
+
+#[test]
+fn sixty_four_concurrent_clients_on_a_small_pool() {
+    // Far more keep-alive connections than workers: the pool must
+    // multiplex without losing, duplicating, or cross-wiring responses —
+    // each client checks its own distinct payload, so a PBIO session mixup
+    // between clients would be caught as a wrong echo.
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().worker_threads(4))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..64)
+        .map(|i: i64| {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let mut c = SoapClient::connect(addr, &svc, WireEncoding::Pbio).unwrap();
+                for call in 0..5i64 {
+                    let v = Value::IntArray(vec![i, call, i * 1000 + call]);
+                    assert_eq!(
+                        c.call("echo", v.clone()).unwrap(),
+                        v,
+                        "client {i} call {call}"
+                    );
+                }
+                c.stats().calls
+            })
+        })
+        .collect();
+
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 64 * 5, "no lost or duplicated responses");
+    assert_eq!(server.connections(), 64);
+    assert!(server.requests() >= 64 * 5);
+}
+
+#[test]
+fn malformed_and_oversized_requests_rejected_at_the_http_layer() {
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().max_body_bytes(4 * 1024))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    // A request line that is not HTTP at all → 400 before any SOAP layer.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.read_to_string(&mut reply).ok();
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply:?}");
+
+    // A body over the configured cap → 413, rejected on declared length.
+    let mut http = HttpClient::connect(server.addr()).unwrap();
+    let mut req = Request::post("/Echo", sbq_http::PBIO_CONTENT_TYPE, vec![0u8; 64 * 1024]);
+    req.headers
+        .push(("X-Soap-Op".to_string(), "echo".to_string()));
+    let resp = http.send(req).unwrap();
+    assert_eq!(resp.status, 413);
+
+    // The server is still healthy for well-formed traffic.
+    let mut good = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
+    let v = Value::IntArray(vec![1, 2, 3]);
+    assert_eq!(good.call("echo", v.clone()).unwrap(), v);
+}
+
+#[test]
+fn retry_survives_a_dropped_response_and_replays_the_handshake() {
+    // The server drops its very first response on the floor (fault
+    // injection). The client's retry layer must notice the dead
+    // connection, reconnect — starting a fresh PBIO session whose format
+    // registration replays — and complete the call. Per Karn's algorithm
+    // the retried call must NOT feed the client RTT estimator.
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default().faults(FaultSchedule::new().at(0, FaultAction::DropResponse)),
+        )
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let config = ClientConfig::default()
+        .call_timeout(Duration::from_millis(500))
+        .retry_policy(
+            RetryPolicy::default()
+                .max_attempts(3)
+                .base_backoff(Duration::from_millis(5)),
+        );
+    let mut client = SoapClient::connect_with(server.addr(), &svc, WireEncoding::Pbio, config)
+        .unwrap()
+        .with_quality(single_band_quality());
+
+    let first_session = client.session();
+    let v = Value::IntArray(vec![9, 8, 7]);
+    assert_eq!(client.call_with_retry("echo", v.clone()).unwrap(), v);
+
+    assert_eq!(client.stats().retries, 1, "exactly one retry");
+    assert_eq!(client.stats().reconnects, 1, "reconnected once");
+    assert_ne!(
+        client.session(),
+        first_session,
+        "fresh PBIO session after reconnect"
+    );
+    // The server saw two sessions: each of them received a registration
+    // message (handshake re-established), and the echoed value decoded
+    // correctly under the new session's formats.
+    assert_eq!(server.connections(), 2);
+
+    let q = client.quality().unwrap();
+    assert_eq!(
+        q.estimator().samples(),
+        0,
+        "retried RTT never reaches the estimator"
+    );
+    assert_eq!(q.suppressed_samples(), 1, "the suppression was recorded");
+
+    // A follow-up clean call does feed the estimator.
+    assert_eq!(client.call_with_retry("echo", v.clone()).unwrap(), v);
+    assert_eq!(client.quality().unwrap().estimator().samples(), 1);
+}
+
+#[test]
+fn protocol_errors_are_not_retried() {
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
+    // Unknown operation is a protocol error: the retry loop must give up
+    // immediately instead of hammering the server.
+    let err = client
+        .call_with_retry("no_such_op", Value::Int(1))
+        .unwrap_err();
+    assert!(!err.is_retryable());
+    assert_eq!(client.stats().retries, 0);
+}
+
+#[test]
+fn shutdown_drains_inflight_connections_and_joins_threads() {
+    let svc = echo_service();
+    let mut server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().worker_threads(2))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let addr = server.addr();
+
+    // Park several keep-alive connections with completed calls.
+    let mut clients: Vec<SoapClient> = (0..6)
+        .map(|i: i64| {
+            let mut c = SoapClient::connect(addr, &svc, WireEncoding::Pbio).unwrap();
+            let v = Value::IntArray(vec![i]);
+            assert_eq!(c.call("echo", v.clone()).unwrap(), v);
+            c
+        })
+        .collect();
+    assert!(server.active_connections() > 0);
+
+    // shutdown() must return (all threads joined) and leave nothing open.
+    server.shutdown();
+    assert_eq!(server.active_connections(), 0, "all connections drained");
+
+    // New connects are refused or die immediately; parked clients see a
+    // closed connection on their next call.
+    let err = clients[0]
+        .call("echo", Value::IntArray(vec![1]))
+        .unwrap_err();
+    assert!(
+        err.is_retryable(),
+        "closed connection surfaces as retryable transport error"
+    );
+    drop(clients);
+}
