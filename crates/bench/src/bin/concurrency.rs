@@ -1,22 +1,30 @@
 //! Concurrency micro-benchmark for the worker-pool transport: per-call
-//! latency percentiles (p50/p99) at 1, 8, and 64 concurrent clients
-//! hammering one SOAP-binQ echo server over loopback.
+//! latency percentiles (p50/p99) at increasing numbers of concurrent
+//! clients hammering one SOAP-binQ echo server over loopback.
 //!
 //! What to look for: p50 should stay near the single-client floor while
 //! the pool multiplexes keep-alive connections; p99 reveals queueing when
 //! clients outnumber workers.
 //!
+//! Latencies are recorded into `sbq-telemetry` histograms (the same
+//! log-bucketed type the servers expose over `/metrics`), and the run
+//! writes its percentile summary to `BENCH_concurrency.json`. Each level
+//! also fetches the live `GET /metrics` exposition and validates it with
+//! the telemetry crate's parser — the process exits nonzero on malformed
+//! exposition text, which is what the CI smoke step checks.
+//!
 //! ```sh
-//! cargo run --release -p sbq-bench --bin concurrency
+//! cargo run --release -p sbq-bench --bin concurrency [-- --short]
 //! ```
+//!
+//! `--short` (or `BENCH_SHORT=1`) runs a reduced matrix for CI smoke.
 
 use sbq_bench::{fmt_dur, header};
 use sbq_model::{workload, TypeDesc};
+use sbq_telemetry::{expo, HistogramSnapshot, Registry};
 use sbq_wsdl::ServiceDef;
-use soap_binq::{ServerConfig, SoapClient, SoapServerBuilder, WireEncoding};
+use soap_binq::{ClientConfig, ServerConfig, SoapClient, SoapServerBuilder, WireEncoding};
 use std::time::{Duration, Instant};
-
-const CALLS_PER_CLIENT: usize = 50;
 
 fn echo_service() -> ServiceDef {
     ServiceDef::new("Echo", "urn:bench:conc", "x").with_operation(
@@ -26,69 +34,105 @@ fn echo_service() -> ServiceDef {
     )
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
+/// Fetches `GET /metrics` from the live server and validates the text
+/// exposition; exits nonzero on any malformation.
+fn check_metrics_exposition(addr: std::net::SocketAddr) {
+    let mut http = sbq_http::HttpClient::connect(addr).expect("connect for /metrics");
+    let resp = http
+        .send(sbq_http::Request::get("/metrics"))
+        .expect("GET /metrics");
+    assert_eq!(resp.status, 200, "/metrics status");
+    let text = String::from_utf8(resp.body).expect("metrics text is utf-8");
+    let samples = match expo::parse_text(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("malformed /metrics exposition: {e}\n---\n{text}");
+            std::process::exit(1);
+        }
+    };
+    for required in [
+        "http_requests_post",
+        "http_status_2xx",
+        "marshal_pbio_encode_count",
+    ] {
+        if !samples.iter().any(|s| s.name == required) {
+            eprintln!("/metrics exposition is missing {required}\n---\n{text}");
+            std::process::exit(1);
+        }
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
-fn run_level(clients: usize, workers: usize) -> (Duration, Duration, Duration) {
+fn run_level(clients: usize, workers: usize, calls: usize, reg: &Registry) -> HistogramSnapshot {
     let svc = echo_service();
     let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
         .unwrap()
-        .transport(ServerConfig::default().worker_threads(workers))
+        .transport(
+            ServerConfig::default()
+                .worker_threads(workers)
+                .telemetry(reg.clone()),
+        )
         .handle("echo", |v| v)
         .bind("127.0.0.1:0".parse().unwrap())
         .unwrap();
     let addr = server.addr();
 
+    let hist = reg.histogram(&format!("bench.call_ns.c{clients}"));
     let handles: Vec<_> = (0..clients)
         .map(|_| {
             let svc = svc.clone();
+            let hist = hist.clone();
+            let config = ClientConfig::default().telemetry(reg.clone());
             std::thread::spawn(move || {
-                let mut c = SoapClient::connect(addr, &svc, WireEncoding::Pbio).unwrap();
+                let mut c =
+                    SoapClient::connect_with(addr, &svc, WireEncoding::Pbio, config).unwrap();
                 let v = workload::int_array(256, 1);
                 c.call("echo", v.clone()).unwrap(); // warm-up + handshake
-                let mut samples = Vec::with_capacity(CALLS_PER_CLIENT);
-                for _ in 0..CALLS_PER_CLIENT {
+                for _ in 0..calls {
                     let t0 = Instant::now();
                     c.call("echo", v.clone()).unwrap();
-                    samples.push(t0.elapsed());
+                    hist.record_duration(t0.elapsed());
                 }
-                samples
             })
         })
         .collect();
-
-    let mut all: Vec<Duration> = Vec::with_capacity(clients * CALLS_PER_CLIENT);
     for h in handles {
-        all.extend(h.join().expect("client thread finished"));
+        h.join().expect("client thread finished");
     }
-    all.sort_unstable();
-    (
-        percentile(&all, 0.50),
-        percentile(&all, 0.99),
-        *all.last().unwrap(),
-    )
+
+    check_metrics_exposition(addr);
+    hist.snapshot()
 }
 
 fn main() {
+    let short = std::env::args().any(|a| a == "--short") || std::env::var("BENCH_SHORT").is_ok();
+    let calls = if short { 5 } else { 50 };
+    let levels: &[usize] = if short { &[1, 4] } else { &[1, 8, 64] };
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let reg = Registry::new();
+
     header(
-        &format!("worker-pool call latency ({workers} workers, {CALLS_PER_CLIENT} calls/client)"),
+        &format!("worker-pool call latency ({workers} workers, {calls} calls/client)"),
         &["clients", "p50", "p99", "max"],
     );
-    for clients in [1usize, 8, 64] {
-        let (p50, p99, max) = run_level(clients, workers);
+    let mut level_json = Vec::new();
+    for &clients in levels {
+        let snap = run_level(clients, workers, calls, &reg);
         println!(
             "{clients:>7} | {} | {} | {}",
-            fmt_dur(p50),
-            fmt_dur(p99),
-            fmt_dur(max)
+            fmt_dur(Duration::from_nanos(snap.quantile(0.5))),
+            fmt_dur(Duration::from_nanos(snap.quantile(0.99))),
+            fmt_dur(Duration::from_nanos(snap.max)),
         );
+        level_json.push(format!("\"c{clients}\":{}", expo::histogram_json(&snap)));
     }
+
+    let json = format!(
+        "{{\"bench\":\"concurrency\",\"short\":{short},\"workers\":{workers},\
+         \"calls_per_client\":{calls},\"unit\":\"ns\",\"levels\":{{{}}}}}",
+        level_json.join(",")
+    );
+    std::fs::write("BENCH_concurrency.json", format!("{json}\n")).expect("write bench json");
+    println!("\nwrote BENCH_concurrency.json; /metrics exposition validated");
 }

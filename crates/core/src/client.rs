@@ -24,6 +24,7 @@ use sbq_model::{pad_to, TypeDesc, Value};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
 use sbq_qos::QualityManager;
 use sbq_runtime::SmallRng;
+use sbq_telemetry::{Counter, Histogram, Registry, Span};
 use sbq_wsdl::{compile, CompiledService, ServiceDef};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,6 +110,7 @@ impl RetryPolicy {
 pub struct ClientConfig {
     http: sbq_http::ClientConfig,
     retry: RetryPolicy,
+    telemetry: Registry,
 }
 
 impl ClientConfig {
@@ -153,6 +155,61 @@ impl ClientConfig {
         self.http = http;
         self
     }
+
+    /// Telemetry registry the client records into (call counters,
+    /// marshal/unmarshal spans, retry/backoff metrics). Defaults to the
+    /// process-wide [`Registry::global`]; pass [`Registry::disabled`] to
+    /// turn instrumentation off.
+    pub fn telemetry(mut self, registry: Registry) -> ClientConfig {
+        self.telemetry = registry;
+        self
+    }
+
+    /// The registry this configuration records into.
+    pub fn telemetry_registry(&self) -> &Registry {
+        &self.telemetry
+    }
+}
+
+/// Pre-resolved client telemetry handles (resolved once at connect).
+///
+/// | name                  | type      | meaning                               |
+/// |-----------------------|-----------|---------------------------------------|
+/// | `client.calls`        | counter   | calls completed successfully          |
+/// | `client.retries`      | counter   | retried attempts                      |
+/// | `client.reconnects`   | counter   | reconnects (fresh PBIO session each)  |
+/// | `client.backoff_ns`   | histogram | retry backoff sleeps                  |
+/// | `client.msgtype.<t>`  | counter   | quality-reduced responses by type     |
+/// | `marshal.<enc>.encode`| histogram | request marshal time for the encoding |
+/// | `marshal.<enc>.decode`| histogram | response unmarshal time               |
+struct ClientMetrics {
+    registry: Registry,
+    calls: Counter,
+    retries: Counter,
+    reconnects: Counter,
+    backoff: Histogram,
+    encode: Histogram,
+    decode: Histogram,
+}
+
+impl ClientMetrics {
+    fn new(registry: &Registry, encoding: WireEncoding) -> ClientMetrics {
+        ClientMetrics {
+            calls: registry.counter("client.calls"),
+            retries: registry.counter("client.retries"),
+            reconnects: registry.counter("client.reconnects"),
+            backoff: registry.histogram("client.backoff_ns"),
+            encode: registry.histogram(&format!("marshal.{}.encode", encoding.name())),
+            decode: registry.histogram(&format!("marshal.{}.decode", encoding.name())),
+            registry: registry.clone(),
+        }
+    }
+
+    fn message_type(&self, mt: &str) {
+        if self.registry.is_enabled() {
+            self.registry.counter(&format!("client.msgtype.{mt}")).inc();
+        }
+    }
 }
 
 /// Per-client call statistics (what the application-level experiments
@@ -187,6 +244,7 @@ pub struct SoapClient {
     session: u64,
     stats: CallStats,
     rng: SmallRng,
+    metrics: ClientMetrics,
 }
 
 impl SoapClient {
@@ -221,6 +279,7 @@ impl SoapClient {
     ) -> Result<SoapClient, SoapError> {
         let http = HttpClient::connect_with(addr, &config.http)?;
         let session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+        let metrics = ClientMetrics::new(&config.telemetry, encoding);
         Ok(SoapClient {
             http,
             addr,
@@ -232,6 +291,7 @@ impl SoapClient {
             session,
             stats: CallStats::default(),
             rng: SmallRng::seed_from_u64(0x5b9_0a77e5 ^ session),
+            metrics,
         })
     }
 
@@ -277,6 +337,7 @@ impl SoapClient {
         self.endpoint = PbioEndpoint::new(Arc::new(FormatServer::new()));
         self.session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
         self.stats.reconnects += 1;
+        self.metrics.reconnects.inc();
         Ok(())
     }
 
@@ -291,9 +352,12 @@ impl SoapClient {
         loop {
             match self.call_attempt(operation, params.clone(), retry > 0) {
                 Err(e) if e.is_retryable() && retry + 1 < policy.attempts() => {
-                    std::thread::sleep(policy.backoff(retry, &mut self.rng));
+                    let pause = policy.backoff(retry, &mut self.rng);
+                    self.metrics.backoff.record_duration(pause);
+                    std::thread::sleep(pause);
                     retry += 1;
                     self.stats.retries += 1;
+                    self.metrics.retries.inc();
                     self.reconnect()?;
                 }
                 other => return other,
@@ -339,18 +403,27 @@ impl SoapClient {
         };
 
         let t0 = Instant::now();
-        let req = self.encode_request(operation, &params, &stub.input_format, &header)?;
+        let req = {
+            let _span = Span::on(&self.metrics.encode);
+            self.encode_request(operation, &params, &stub.input_format, &header)?
+        };
         self.stats.bytes_sent += req.body.len() as u64;
         let resp = self.http.send(req)?;
         let rtt = t0.elapsed();
         self.stats.bytes_received += resp.body.len() as u64;
 
-        let (value, resp_header) =
-            self.decode_response(&resp, &stub.output, &stub.output_format)?;
+        let (value, resp_header) = {
+            let _span = Span::on(&self.metrics.decode);
+            self.decode_response(&resp, &stub.output, &stub.output_format)?
+        };
 
         self.stats.calls += 1;
+        self.metrics.calls.inc();
         self.stats.last_rtt = Some(rtt);
         self.stats.last_message_type = resp_header.message_type.clone();
+        if let Some(mt) = &resp_header.message_type {
+            self.metrics.message_type(mt);
+        }
         if let Some(q) = &mut self.quality {
             if is_retry {
                 // Karn's algorithm: an RTT measured across a retransmission

@@ -44,6 +44,16 @@ impl WireEncoding {
             WireEncoding::CompressedXml => "application/x-soap-lz",
         }
     }
+
+    /// Short lowercase name, used to key per-encoding metrics
+    /// (`marshal.pbio.encode` and friends).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireEncoding::Pbio => "pbio",
+            WireEncoding::Xml => "xml",
+            WireEncoding::CompressedXml => "lzxml",
+        }
+    }
 }
 
 /// The three SOAP-bin deployment modes of §I.

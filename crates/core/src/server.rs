@@ -19,6 +19,7 @@ use sbq_http::{HttpServer, Request, Response, ServerConfig, ServerHandle};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
 use sbq_qos::QualityManager;
 use sbq_runtime::sync::Mutex;
+use sbq_telemetry::{Counter, Histogram, Registry, Span};
 use sbq_wsdl::{compile, CompiledService, ServiceDef, StubSpec};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -86,6 +87,7 @@ impl SoapServerBuilder {
     pub fn bind(self, addr: SocketAddr) -> Result<SoapServer, SoapError> {
         let transport = self.transport;
         let wsdl = sbq_wsdl::write_wsdl(&self.compiled.service).ok();
+        let metrics = ServerMetrics::new(transport.telemetry_registry(), self.encoding);
         let state = Arc::new(ServerState {
             compiled: self.compiled,
             wsdl,
@@ -96,6 +98,7 @@ impl SoapServerBuilder {
             sessions: Mutex::new(HashMap::new()),
             faults: AtomicU64::new(0),
             reduced_responses: AtomicU64::new(0),
+            metrics,
         });
         let st = Arc::clone(&state);
         let handle = HttpServer::bind_with(addr, transport, move |req| st.serve(req))
@@ -148,6 +151,42 @@ impl SoapServer {
     }
 }
 
+/// Pre-resolved server telemetry handles (resolved at bind from the
+/// transport's registry, [`ServerConfig::telemetry`]).
+///
+/// | name                   | type      | meaning                             |
+/// |------------------------|-----------|-------------------------------------|
+/// | `server.faults`        | counter   | SOAP faults returned                |
+/// | `server.reduced`       | counter   | quality-reduced responses           |
+/// | `server.msgtype.<t>`   | counter   | selected response types             |
+/// | `marshal.<enc>.decode` | histogram | request unmarshal time              |
+/// | `marshal.<enc>.encode` | histogram | response marshal time               |
+struct ServerMetrics {
+    registry: Registry,
+    faults: Counter,
+    reduced: Counter,
+    decode: Histogram,
+    encode: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry, encoding: WireEncoding) -> ServerMetrics {
+        ServerMetrics {
+            faults: registry.counter("server.faults"),
+            reduced: registry.counter("server.reduced"),
+            decode: registry.histogram(&format!("marshal.{}.decode", encoding.name())),
+            encode: registry.histogram(&format!("marshal.{}.encode", encoding.name())),
+            registry: registry.clone(),
+        }
+    }
+
+    fn message_type(&self, mt: &str) {
+        if self.registry.is_enabled() {
+            self.registry.counter(&format!("server.msgtype.{mt}")).inc();
+        }
+    }
+}
+
 struct ServerState {
     compiled: CompiledService,
     /// Rendered WSDL served on `GET …?wsdl` (None when the service
@@ -163,6 +202,7 @@ struct ServerState {
     sessions: Mutex<HashMap<u64, PbioEndpoint>>,
     faults: AtomicU64,
     reduced_responses: AtomicU64,
+    metrics: ServerMetrics,
 }
 
 impl ServerState {
@@ -182,6 +222,7 @@ impl ServerState {
             Ok(resp) => resp,
             Err(e) => {
                 self.faults.fetch_add(1, Ordering::Relaxed);
+                self.metrics.faults.inc();
                 self.fault_response(&e)
             }
         }
@@ -220,7 +261,10 @@ impl ServerState {
     }
 
     fn try_serve(&self, req: &Request) -> Result<Response, SoapError> {
-        let (operation, params, qos, session) = self.decode_request(req)?;
+        let (operation, params, qos, session) = {
+            let _span = Span::on(&self.metrics.decode);
+            self.decode_request(req)?
+        };
         let stub = self
             .compiled
             .stub(&operation)
@@ -251,6 +295,10 @@ impl ServerState {
 
         if message_type.is_some() && result != original {
             self.reduced_responses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.reduced.inc();
+        }
+        if let Some(mt) = &message_type {
+            self.metrics.message_type(mt);
         }
 
         let resp_header = QosHeader {
@@ -259,6 +307,7 @@ impl ServerState {
             server_time_us: server_time.as_micros() as u64,
             message_type,
         };
+        let _span = Span::on(&self.metrics.encode);
         self.encode_response(&operation, &result, &stub, &resp_header, session)
     }
 

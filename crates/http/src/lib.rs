@@ -12,9 +12,15 @@
 //! [`server`]); both ends are configured through [`ServerConfig`] and
 //! [`ClientConfig`], and resilience tests inject response faults through
 //! [`FaultSchedule`].
+//!
+//! The server is instrumented with `sbq-telemetry` (request/status
+//! counters, queue-wait and stage histograms) and exposes its registry
+//! over the reserved paths `GET /metrics` and `GET /metrics.json`; see
+//! [`ServerConfig::telemetry`].
 
 pub mod faults;
 pub mod message;
+mod metrics;
 pub mod server;
 
 pub use faults::{FaultAction, FaultSchedule};

@@ -1,0 +1,84 @@
+//! Pre-resolved telemetry handles for the transport hot path.
+//!
+//! Handles are resolved once at bind time; workers record through them
+//! without ever touching the registry maps. Request methods map onto a
+//! fixed set of counters so a hostile client cannot mint unbounded
+//! metric names.
+
+use sbq_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Metric names exposed by the HTTP server (dotted form; the text
+/// exposition rewrites dots to underscores).
+///
+/// | name                  | type      | meaning                                    |
+/// |-----------------------|-----------|--------------------------------------------|
+/// | `http.requests.get`   | counter   | GET requests parsed                        |
+/// | `http.requests.post`  | counter   | POST requests parsed                       |
+/// | `http.requests.other` | counter   | requests with any other method             |
+/// | `http.status.2xx`.. | counter   | responses by status class (`2xx`..`5xx`, `other`) |
+/// | `http.panics`         | counter   | handler panics answered with 500           |
+/// | `http.connections.active` | gauge | connections currently open                 |
+/// | `http.requests.inflight`  | gauge | requests currently inside a handler        |
+/// | `http.queue_wait_ns`  | histogram | accept-queue wait, accept → worker pickup  |
+/// | `http.read_ns`        | histogram | request parse time (first byte → parsed)   |
+/// | `http.write_ns`       | histogram | response write time                        |
+/// | `http.handler_ns`     | histogram | handler dispatch time                      |
+pub(crate) struct HttpMetrics {
+    get: Counter,
+    post: Counter,
+    other: Counter,
+    status_2xx: Counter,
+    status_3xx: Counter,
+    status_4xx: Counter,
+    status_5xx: Counter,
+    status_other: Counter,
+    pub(crate) panics: Counter,
+    pub(crate) active: Gauge,
+    pub(crate) inflight: Gauge,
+    pub(crate) queue_wait: Histogram,
+    pub(crate) read: Histogram,
+    pub(crate) write: Histogram,
+    pub(crate) handler: Histogram,
+}
+
+impl HttpMetrics {
+    pub(crate) fn new(reg: &Registry) -> HttpMetrics {
+        HttpMetrics {
+            get: reg.counter("http.requests.get"),
+            post: reg.counter("http.requests.post"),
+            other: reg.counter("http.requests.other"),
+            status_2xx: reg.counter("http.status.2xx"),
+            status_3xx: reg.counter("http.status.3xx"),
+            status_4xx: reg.counter("http.status.4xx"),
+            status_5xx: reg.counter("http.status.5xx"),
+            status_other: reg.counter("http.status.other"),
+            panics: reg.counter("http.panics"),
+            active: reg.gauge("http.connections.active"),
+            inflight: reg.gauge("http.requests.inflight"),
+            queue_wait: reg.histogram("http.queue_wait_ns"),
+            read: reg.histogram("http.read_ns"),
+            write: reg.histogram("http.write_ns"),
+            handler: reg.histogram("http.handler_ns"),
+        }
+    }
+
+    pub(crate) fn method(&self, method: &str) {
+        if method.eq_ignore_ascii_case("GET") {
+            self.get.inc();
+        } else if method.eq_ignore_ascii_case("POST") {
+            self.post.inc();
+        } else {
+            self.other.inc();
+        }
+    }
+
+    pub(crate) fn status(&self, status: u16) {
+        match status / 100 {
+            2 => self.status_2xx.inc(),
+            3 => self.status_3xx.inc(),
+            4 => self.status_4xx.inc(),
+            5 => self.status_5xx.inc(),
+            _ => self.status_other.inc(),
+        }
+    }
+}

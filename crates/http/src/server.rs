@@ -13,7 +13,9 @@
 
 use crate::faults::{FaultAction, FaultSchedule};
 use crate::message::{HttpError, Limits, Request, Response, DEFAULT_IO_TIMEOUT};
+use crate::metrics::HttpMetrics;
 use sbq_runtime::channel::{self, Receiver, Sender, TryRecvError};
+use sbq_telemetry::{Registry, Span};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,6 +45,7 @@ pub struct ServerConfig {
     keep_alive_timeout: Duration,
     limits: Limits,
     faults: FaultSchedule,
+    telemetry: Registry,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +60,7 @@ impl Default for ServerConfig {
             keep_alive_timeout: Duration::from_secs(60),
             limits: Limits::default(),
             faults: FaultSchedule::new(),
+            telemetry: Registry::default(),
         }
     }
 }
@@ -121,6 +125,20 @@ impl ServerConfig {
         self.faults = faults;
         self
     }
+
+    /// Telemetry registry the server records into and exposes over
+    /// `GET /metrics` (text) and `GET /metrics.json`. Defaults to the
+    /// process-wide [`Registry::global`]; pass [`Registry::disabled`] to
+    /// turn instrumentation off.
+    pub fn telemetry(mut self, registry: Registry) -> ServerConfig {
+        self.telemetry = registry;
+        self
+    }
+
+    /// The registry this configuration records into.
+    pub fn telemetry_registry(&self) -> &Registry {
+        &self.telemetry
+    }
 }
 
 /// A running HTTP server. The handler runs on pool workers; it must be
@@ -152,15 +170,20 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
         let workers_n = config.worker_threads;
+        let metrics = HttpMetrics::new(&config.telemetry);
         let ctx = Arc::new(Ctx {
             handler: Box::new(handler),
+            metrics,
             config,
             stop: Arc::clone(&stop),
             requests: AtomicU64::new(0),
             active: AtomicU64::new(0),
         });
 
-        let (accept_tx, accept_rx) = channel::bounded::<TcpStream>(ctx.config.accept_backlog);
+        // Each accepted stream carries its accept timestamp so the worker
+        // that picks it up can record the queue wait.
+        let (accept_tx, accept_rx) =
+            channel::bounded::<(TcpStream, Instant)>(ctx.config.accept_backlog);
         let (conn_tx, conn_rx) = channel::unbounded::<Conn>();
 
         let stop2 = Arc::clone(&stop);
@@ -173,7 +196,7 @@ impl HttpServer {
                 let Ok(stream) = stream else { continue };
                 conns2.fetch_add(1, Ordering::SeqCst);
                 // Blocks while the queue is full: that is the backpressure.
-                if accept_tx.send(stream).is_err() {
+                if accept_tx.send((stream, Instant::now())).is_err() {
                     break;
                 }
             }
@@ -203,6 +226,7 @@ impl HttpServer {
 
 struct Ctx {
     handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
+    metrics: HttpMetrics,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     requests: AtomicU64,
@@ -218,7 +242,7 @@ struct Conn {
 
 fn worker_loop(
     ctx: &Ctx,
-    accept_rx: &Receiver<TcpStream>,
+    accept_rx: &Receiver<(TcpStream, Instant)>,
     conn_tx: &Sender<Conn>,
     conn_rx: &Receiver<Conn>,
 ) {
@@ -226,7 +250,10 @@ fn worker_loop(
         // New connections first — a cheap nonblocking check, so resumed
         // connections can never starve the accept queue.
         match accept_rx.try_recv() {
-            Ok(stream) => {
+            Ok((stream, accepted_at)) => {
+                ctx.metrics
+                    .queue_wait
+                    .record_duration(accepted_at.elapsed());
                 if let Some(conn) = open_conn(ctx, stream) {
                     slice_then_park(ctx, conn, conn_tx);
                 }
@@ -257,6 +284,7 @@ fn open_conn(ctx: &Ctx, stream: TcpStream) -> Option<Conn> {
         .ok()?;
     let writer = stream.try_clone().ok()?;
     ctx.active.fetch_add(1, Ordering::SeqCst);
+    ctx.metrics.active.inc();
     Some(Conn {
         reader: BufReader::new(stream),
         writer,
@@ -273,6 +301,7 @@ fn slice_then_park(ctx: &Ctx, conn: Conn, conn_tx: &Sender<Conn>) {
         }
         None => {
             ctx.active.fetch_sub(1, Ordering::SeqCst);
+            ctx.metrics.active.dec();
         }
     }
 }
@@ -308,7 +337,10 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
             .get_ref()
             .set_read_timeout(Some(ctx.config.read_timeout))
             .ok()?;
-        match Request::read_from_with(&mut conn.reader, &ctx.config.limits) {
+        let read_span = Span::on(&ctx.metrics.read);
+        let parsed = Request::read_from_with(&mut conn.reader, &ctx.config.limits);
+        drop(read_span);
+        match parsed {
             Ok(None) => return None,
             Ok(Some(req)) => {
                 conn.last_activity = Instant::now();
@@ -317,25 +349,49 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                     .map(|v| v.eq_ignore_ascii_case("close"))
                     .unwrap_or(false);
                 let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
-                // A panicking handler must not take a pool worker (and on a
-                // small pool, the whole server) down with it: catch it and
-                // answer 500, closing this connection only.
-                let resp =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (ctx.handler)(&req)));
-                let Ok(resp) = resp else {
-                    let mut resp = Response::with_status(
-                        500,
-                        "Internal Server Error",
-                        "text/plain",
-                        b"handler panicked".to_vec(),
-                    );
-                    resp.headers
-                        .push(("Connection".to_string(), "close".to_string()));
-                    write_response(&mut conn.writer, &resp, None);
-                    return None;
+                ctx.metrics.method(&req.method);
+                let resp = match builtin_response(ctx, &req) {
+                    Some(resp) => resp,
+                    None => {
+                        // A panicking handler must not take a pool worker
+                        // (and on a small pool, the whole server) down with
+                        // it: catch it and answer 500, closing this
+                        // connection only. The request id in the body lets
+                        // a client report which call blew up.
+                        ctx.metrics.inflight.inc();
+                        let handler_span = Span::on(&ctx.metrics.handler);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            (ctx.handler)(&req)
+                        }));
+                        drop(handler_span);
+                        ctx.metrics.inflight.dec();
+                        match result {
+                            Ok(resp) => resp,
+                            Err(_) => {
+                                ctx.metrics.panics.inc();
+                                ctx.metrics.status(500);
+                                let mut resp = Response::with_status(
+                                    500,
+                                    "Internal Server Error",
+                                    "text/plain",
+                                    format!("handler panicked (request {idx})").into_bytes(),
+                                );
+                                resp.headers
+                                    .push(("X-Request-Id".to_string(), idx.to_string()));
+                                resp.headers
+                                    .push(("Connection".to_string(), "close".to_string()));
+                                let _write_span = Span::on(&ctx.metrics.write);
+                                write_response(&mut conn.writer, &resp, None);
+                                return None;
+                            }
+                        }
+                    }
                 };
-                let keep =
-                    write_response(&mut conn.writer, &resp, ctx.config.faults.action_for(idx));
+                ctx.metrics.status(resp.status);
+                let keep = {
+                    let _write_span = Span::on(&ctx.metrics.write);
+                    write_response(&mut conn.writer, &resp, ctx.config.faults.action_for(idx))
+                };
                 if !keep || close_requested {
                     return None;
                 }
@@ -352,6 +408,27 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                 return None;
             }
         }
+    }
+}
+
+/// Built-in observability endpoints, served ahead of the application
+/// handler: `GET /metrics` (text exposition) and `GET /metrics.json`.
+/// These two paths are reserved — requests to them never reach the
+/// handler.
+fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
+    if req.method != "GET" {
+        return None;
+    }
+    match req.path.as_str() {
+        "/metrics" => Some(Response::ok(
+            "text/plain; version=0.0.4; charset=utf-8",
+            ctx.config.telemetry.render_text().into_bytes(),
+        )),
+        "/metrics.json" => Some(Response::ok(
+            "application/json",
+            ctx.config.telemetry.render_json().into_bytes(),
+        )),
+        _ => None,
     }
 }
 
@@ -654,6 +731,98 @@ mod tests {
         let r = client.post("/a", "text/plain", b"x".to_vec()).unwrap();
         assert_eq!(r.body, b"x");
         assert!(t0.elapsed() >= Duration::from_millis(120));
+    }
+
+    #[test]
+    fn panic_response_carries_the_request_id() {
+        let reg = Registry::new();
+        let handle = HttpServer::bind_with(
+            "127.0.0.1:0".parse().unwrap(),
+            ServerConfig::default().telemetry(reg.clone()),
+            |r: &Request| {
+                if r.path == "/boom" {
+                    panic!("kaboom");
+                }
+                Response::ok("text/plain", r.body.clone())
+            },
+        )
+        .unwrap();
+        // Two good requests first, so the panicking one has a nonzero id.
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/ok", "text/plain", b"1".to_vec()).unwrap();
+        c.post("/ok", "text/plain", b"2".to_vec()).unwrap();
+        let resp = c.post("/boom", "text/plain", vec![]).unwrap();
+        assert_eq!(resp.status, 500);
+        assert_eq!(resp.body, b"handler panicked (request 2)");
+        assert_eq!(resp.header("x-request-id"), Some("2"));
+        assert_eq!(reg.counter("http.panics").get(), 1);
+        // The connection closed; later requests on new connections still
+        // get monotonically increasing ids.
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        let resp = c.post("/boom", "text/plain", vec![]).unwrap();
+        assert_eq!(resp.body, b"handler panicked (request 3)");
+        assert_eq!(reg.counter("http.panics").get(), 2);
+    }
+
+    #[test]
+    fn metrics_endpoints_expose_live_counters() {
+        let reg = Registry::new();
+        let handle = HttpServer::bind_with(
+            "127.0.0.1:0".parse().unwrap(),
+            ServerConfig::default().telemetry(reg.clone()),
+            |r: &Request| Response::ok("text/plain", r.body.clone()),
+        )
+        .unwrap();
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        for _ in 0..5 {
+            c.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        }
+        let resp = c.send(Request::get("/metrics")).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        let samples = sbq_telemetry::expo::parse_text(&text).expect("exposition parses");
+        let get = |n: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == n && s.quantile.is_none())
+                .unwrap_or_else(|| panic!("missing {n} in:\n{text}"))
+                .value
+        };
+        assert_eq!(get("http_requests_post"), 5.0);
+        // The /metrics GET itself was counted before rendering.
+        assert!(get("http_requests_get") >= 1.0);
+        assert_eq!(get("http_status_2xx"), 5.0);
+        assert_eq!(get("http_connections_active"), 1.0);
+        assert!(get("http_read_ns_count") >= 5.0);
+        assert!(get("http_write_ns_count") >= 5.0);
+        assert_eq!(
+            get("http_handler_ns_count"),
+            5.0,
+            "metrics GET skips handler"
+        );
+
+        let resp = c.send(Request::get("/metrics.json")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        let json = String::from_utf8(resp.body).unwrap();
+        assert!(json.contains("\"http.requests.post\":5"), "{json}");
+        assert!(json.contains("\"http.queue_wait_ns\":{"), "{json}");
+    }
+
+    #[test]
+    fn disabled_telemetry_still_serves_metrics_paths() {
+        let handle = HttpServer::bind_with(
+            "127.0.0.1:0".parse().unwrap(),
+            ServerConfig::default().telemetry(Registry::disabled()),
+            |r: &Request| Response::ok("text/plain", r.body.clone()),
+        )
+        .unwrap();
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        let resp = c.send(Request::get("/metrics")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"# telemetry disabled\n");
+        let resp = c.send(Request::get("/metrics.json")).unwrap();
+        assert_eq!(resp.body, b"{\"enabled\":false}");
     }
 
     #[test]

@@ -64,8 +64,11 @@ impl RttEstimator {
 
     /// Current estimate in fractional milliseconds (the unit quality
     /// files in this repo use), or `None` before the first sample.
+    /// Sub-millisecond estimates stay fractional (a 250µs sample reads
+    /// back as `0.25`), and the value is clamped non-negative exactly
+    /// like [`RttEstimator::estimate`].
     pub fn estimate_ms(&self) -> Option<f64> {
-        self.estimate.map(|r| r * 1e3)
+        self.estimate.map(|r| (r * 1e3).max(0.0))
     }
 
     /// Number of samples observed.
@@ -152,6 +155,24 @@ mod tests {
         let r = fast.update(ms(200));
         assert!(r > ms(180), "{r:?}");
         assert_eq!(fast.estimate_ms().map(|v| v.round()), Some(190.0));
+    }
+
+    #[test]
+    fn estimate_ms_keeps_submillisecond_precision() {
+        // Regression: LAN-class RTTs are well under a millisecond; an
+        // integer-ms reading would collapse them all to 0 and the band
+        // selector could never tell 250µs from 900µs.
+        let mut e = RttEstimator::new();
+        e.update(Duration::from_micros(250));
+        assert_eq!(e.estimate_ms(), Some(0.25));
+        e.reset();
+        // Full server-time compensation clamps to exactly 0.0 (not -0.0
+        // or negative), consistent with estimate().
+        e.update_compensated(Duration::from_micros(250), Duration::from_millis(5));
+        let ms = e.estimate_ms().unwrap();
+        assert_eq!(ms, 0.0);
+        assert!(ms.is_sign_positive());
+        assert_eq!(e.estimate(), Some(Duration::ZERO));
     }
 
     #[test]

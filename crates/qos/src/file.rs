@@ -17,6 +17,8 @@
 //!   registered quality handler to a message type (in lieu of the trivial
 //!   projection handler).
 
+use sbq_telemetry::{Counter, Gauge, Registry};
+
 /// One policy rule: when the monitored attribute is in `[lo, hi)`, use
 /// `message_type`.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +223,9 @@ pub struct BandSelector {
     current: Option<usize>,
     pending: Option<(usize, usize)>, // (band, consecutive count)
     switches: u64,
+    band_gauge: Gauge,
+    degrades: Counter,
+    upgrades: Counter,
 }
 
 impl BandSelector {
@@ -237,7 +242,24 @@ impl BandSelector {
             current: None,
             pending: None,
             switches: 0,
+            band_gauge: Gauge::disabled(),
+            degrades: Counter::disabled(),
+            upgrades: Counter::disabled(),
         }
+    }
+
+    /// Attaches telemetry (builder style): the current band index is
+    /// mirrored to the `qos.band` gauge and confirmed switches are counted
+    /// by direction in `qos.band_switch.degrade` /
+    /// `qos.band_switch.upgrade`. Selection behavior is unchanged.
+    pub fn telemetry(mut self, registry: &Registry) -> BandSelector {
+        self.band_gauge = registry.gauge("qos.band");
+        self.degrades = registry.counter("qos.band_switch.degrade");
+        self.upgrades = registry.counter("qos.band_switch.upgrade");
+        if let Some(cur) = self.current {
+            self.band_gauge.set(cur as i64);
+        }
+        self
     }
 
     /// The underlying quality file.
@@ -256,6 +278,7 @@ impl BandSelector {
         let cur = match self.current {
             None => {
                 self.current = Some(target);
+                self.band_gauge.set(target as i64);
                 target
             }
             Some(cur) if target == cur => {
@@ -278,6 +301,12 @@ impl BandSelector {
                     self.current = Some(target);
                     self.pending = None;
                     self.switches += 1;
+                    self.band_gauge.set(target as i64);
+                    if degrade {
+                        self.degrades.inc();
+                    } else {
+                        self.upgrades.inc();
+                    }
                     target
                 } else {
                     cur
@@ -401,5 +430,87 @@ handler image_min resize_quarter
         assert_eq!(sel.observe(10.0).message_type, "image_full");
         assert_eq!(sel.observe(300.0).message_type, "image_full"); // 1st
         assert_eq!(sel.observe(300.0).message_type, "image_min"); // 2nd confirms
+    }
+
+    /// A deterministic RTT trace that straddles the 50 ms band boundary
+    /// with short spikes (length 1–2, always below `confirm_count = 3`),
+    /// then makes two genuine sustained regime shifts.
+    fn noisy_boundary_trace() -> Vec<f64> {
+        let mut seq = Vec::new();
+        for i in 0..200 {
+            seq.push(match i % 7 {
+                2 => 54.0,     // lone spike over the boundary
+                4 | 5 => 52.0, // double spike, still unconfirmable
+                _ => 46.0,
+            });
+        }
+        seq.extend(std::iter::repeat_n(220.0, 50)); // genuine congestion
+        seq.extend(std::iter::repeat_n(120.0, 50)); // genuine partial recovery
+        seq
+    }
+
+    #[test]
+    fn noisy_boundary_spikes_do_not_oscillate() {
+        // Anti-oscillation under a symmetric confirm-3 policy: the spiky
+        // 200-sample plateau must produce zero switches; only the two
+        // sustained regime shifts may switch. Run identically with and
+        // without telemetry attached — instrumentation must not change
+        // selection behavior.
+        let seq = noisy_boundary_trace();
+        let hysteresis = SwitchPolicy {
+            degrade_immediately: false,
+            confirm_count: 3,
+        };
+        for with_telemetry in [false, true] {
+            let reg = Registry::new();
+            let mut sel =
+                BandSelector::with_policy(QualityFile::parse(SAMPLE).unwrap(), hysteresis);
+            if with_telemetry {
+                sel = sel.telemetry(&reg);
+            }
+            // Reference selector with no history requirement at all: it
+            // chases every crossing of the boundary.
+            let mut naive = BandSelector::with_policy(
+                QualityFile::parse(SAMPLE).unwrap(),
+                SwitchPolicy {
+                    degrade_immediately: true,
+                    confirm_count: 1,
+                },
+            );
+            for &v in &seq {
+                sel.observe(v);
+                naive.observe(v);
+            }
+            assert_eq!(
+                sel.switches(),
+                2,
+                "hysteresis admits only the two sustained shifts"
+            );
+            assert!(
+                naive.switches() > 50,
+                "trace really does flap ({} naive switches)",
+                naive.switches()
+            );
+            assert_eq!(sel.current().unwrap().message_type, "image_half");
+            if with_telemetry {
+                let degrades = reg.counter("qos.band_switch.degrade").get();
+                let upgrades = reg.counter("qos.band_switch.upgrade").get();
+                assert_eq!(degrades, 1);
+                assert_eq!(upgrades, 1);
+                assert_eq!(degrades + upgrades, sel.switches());
+                assert_eq!(reg.gauge("qos.band").get(), 1, "ends in image_half");
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_attachment_mirrors_established_band() {
+        let f = QualityFile::parse(SAMPLE).unwrap();
+        let mut sel = BandSelector::new(f);
+        sel.observe(300.0); // establish image_min before attaching
+        let reg = Registry::new();
+        let sel = sel.telemetry(&reg);
+        assert_eq!(reg.gauge("qos.band").get(), 2);
+        assert_eq!(sel.current().unwrap().message_type, "image_min");
     }
 }

@@ -10,6 +10,7 @@ use crate::file::{BandSelector, QualityFile, QualityRule, SwitchPolicy};
 use crate::handler::HandlerRegistry;
 use crate::jacobson::JacobsonEstimator;
 use sbq_model::{pad_to, project, TypeDesc, Value};
+use sbq_telemetry::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -81,6 +82,11 @@ pub struct QualityManager {
     message_types: HashMap<String, TypeDesc>,
     /// RTT samples discarded because their call was retransmitted.
     suppressed: u64,
+    /// Where QoS metrics go; kept so policy replacement can re-attach the
+    /// fresh selector.
+    telemetry: Registry,
+    rtt_hist: Histogram,
+    karn: Counter,
 }
 
 impl QualityManager {
@@ -101,15 +107,33 @@ impl QualityManager {
         attributes: QualityAttributes,
         handlers: HandlerRegistry,
     ) -> QualityManager {
+        let telemetry = Registry::default();
         QualityManager {
-            selector: BandSelector::with_policy(file, policy),
+            selector: BandSelector::with_policy(file, policy).telemetry(&telemetry),
             estimator: RttEstimator::new(),
             driving: AnyEstimator::Ewma(RttEstimator::new()),
             attributes,
             handlers,
             message_types: HashMap::new(),
             suppressed: 0,
+            rtt_hist: telemetry.histogram("qos.rtt_us"),
+            karn: telemetry.counter("qos.karn_suppressed"),
+            telemetry,
         }
+    }
+
+    /// Routes this manager's metrics into `registry` (builder style):
+    /// compensated RTT samples into the `qos.rtt_us` histogram,
+    /// Karn-suppressed samples into `qos.karn_suppressed`, and the band
+    /// selector's gauge/switch counters (see [`BandSelector::telemetry`]).
+    /// Defaults to the process-wide registry; pass
+    /// [`Registry::disabled`] to silence the QoS layer.
+    pub fn telemetry(mut self, registry: &Registry) -> QualityManager {
+        self.rtt_hist = registry.histogram("qos.rtt_us");
+        self.karn = registry.counter("qos.karn_suppressed");
+        self.selector = self.selector.telemetry(registry);
+        self.telemetry = registry.clone();
+        self
     }
 
     /// Switches the estimator driving band selection (builder style).
@@ -131,7 +155,7 @@ impl QualityManager {
     /// lifting that as future work (§III-B.d, §V); this implements it.
     /// The band selector restarts (its history belongs to the old bands).
     pub fn replace_policy(&mut self, file: QualityFile, policy: SwitchPolicy) {
-        self.selector = BandSelector::with_policy(file, policy);
+        self.selector = BandSelector::with_policy(file, policy).telemetry(&self.telemetry);
     }
 
     /// Defines the reduced schema for a message type named in the quality
@@ -164,6 +188,8 @@ impl QualityManager {
     /// Feeds a measured round-trip time (compensating for server
     /// preparation time) and refreshes the monitored attribute.
     pub fn observe_rtt(&mut self, rtt: Duration, server_time: Duration) {
+        self.rtt_hist
+            .record(rtt.saturating_sub(server_time).as_micros() as u64);
         self.estimator.update_compensated(rtt, server_time);
         let value = self
             .driving
@@ -181,6 +207,7 @@ impl QualityManager {
     /// [`QualityManager::suppressed_samples`] and otherwise discarded.
     pub fn observe_retry(&mut self) {
         self.suppressed += 1;
+        self.karn.inc();
     }
 
     /// RTT samples suppressed so far because their call was retried.
@@ -294,6 +321,37 @@ attribute rtt
         assert_eq!(m.estimator().samples(), 1);
         assert_eq!(m.estimator().estimate_ms(), estimate);
         assert_eq!(m.suppressed_samples(), 2);
+    }
+
+    #[test]
+    fn telemetry_records_rtt_karn_and_band() {
+        let reg = Registry::new();
+        let mut m = manager().telemetry(&reg);
+        for _ in 0..10 {
+            m.observe_rtt(Duration::from_millis(2), Duration::from_millis(1));
+        }
+        m.observe_retry();
+        m.select();
+        let rtt = reg.histogram("qos.rtt_us").snapshot();
+        assert_eq!(rtt.count, 10);
+        // Compensated samples: 2 ms − 1 ms server time ≈ 1000 µs.
+        let p50 = rtt.quantile(0.5) as f64;
+        assert!((p50 - 1000.0).abs() / 1000.0 <= 0.07, "{p50}");
+        assert_eq!(reg.counter("qos.karn_suppressed").get(), 1);
+        assert_eq!(reg.gauge("qos.band").get(), 0);
+        // Sustained congestion degrades; the switch shows up in telemetry.
+        for _ in 0..5 {
+            m.observe_rtt(Duration::from_millis(900), Duration::ZERO);
+            m.select();
+        }
+        assert_eq!(reg.gauge("qos.band").get(), 1);
+        assert_eq!(reg.counter("qos.band_switch.degrade").get(), 1);
+        // Policy replacement keeps recording into the same registry.
+        m.replace_policy(QualityFile::parse(FILE).unwrap(), Default::default());
+        m.observe_retry();
+        assert_eq!(reg.counter("qos.karn_suppressed").get(), 2);
+        m.select();
+        assert_eq!(reg.gauge("qos.band").get(), 1, "estimator state survived");
     }
 
     #[test]

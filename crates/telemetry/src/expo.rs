@@ -1,0 +1,273 @@
+//! Exposition: rendering a registry as text or JSON, and a validating
+//! parser for the text form.
+//!
+//! ## Text format
+//!
+//! Prometheus-style exposition. Dotted metric names are rewritten to
+//! underscore form; counters and gauges emit one sample line, histograms
+//! emit summary quantiles plus `_sum`/`_count`/`_max`:
+//!
+//! ```text
+//! # TYPE http_requests_post counter
+//! http_requests_post 42
+//! # TYPE qos_rtt_us summary
+//! qos_rtt_us{quantile="0.5"} 180
+//! qos_rtt_us{quantile="0.9"} 410
+//! qos_rtt_us{quantile="0.99"} 900
+//! qos_rtt_us_sum 12345
+//! qos_rtt_us_count 57
+//! qos_rtt_us_max 1021
+//! ```
+//!
+//! [`parse_text`] accepts exactly this grammar and is what the CI smoke
+//! check runs against a live `/metrics` endpoint.
+//!
+//! ## JSON format
+//!
+//! One object with `counters`, `gauges`, and `histograms` maps (original
+//! dotted names); each histogram carries
+//! `count/sum/mean/max/p50/p90/p99`. `BENCH_*.json` artifacts reuse this
+//! histogram shape.
+
+use crate::RegistryInner;
+
+fn text_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == '.' || c == '-' { '_' } else { c })
+        .collect()
+}
+
+pub(crate) fn render_text(inner: &RegistryInner) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, cell) in crate::read(&inner.counters).iter() {
+        let n = text_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", cell.get()));
+    }
+    for (name, cell) in crate::read(&inner.gauges).iter() {
+        let n = text_name(name);
+        let g = crate::Gauge(Some(std::sync::Arc::clone(cell)));
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+    }
+    for (name, cell) in crate::read(&inner.histograms).iter() {
+        let n = text_name(name);
+        let s = cell.snapshot();
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!("{n}{{quantile=\"{label}\"}} {}\n", s.quantile(q)));
+        }
+        out.push_str(&format!("{n}_sum {}\n", s.sum));
+        out.push_str(&format!("{n}_count {}\n", s.count));
+        out.push_str(&format!("{n}_max {}\n", s.max));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    // Registered names are sanitized to [A-Za-z0-9._-], but escape anyway
+    // so this writer is safe for any caller.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one histogram snapshot as the JSON object used both by
+/// `/metrics.json` and by `BENCH_*.json` artifacts.
+pub fn histogram_json(s: &crate::HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        s.count,
+        s.sum,
+        s.mean(),
+        s.max,
+        s.quantile(0.5),
+        s.quantile(0.9),
+        s.quantile(0.99)
+    )
+}
+
+pub(crate) fn render_json(inner: &RegistryInner) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"enabled\":true,\"counters\":{");
+    for (i, (name, cell)) in crate::read(&inner.counters).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(name), cell.get()));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, cell)) in crate::read(&inner.gauges).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let g = crate::Gauge(Some(std::sync::Arc::clone(cell)));
+        out.push_str(&format!("\"{}\":{}", json_escape(name), g.get()));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, cell)) in crate::read(&inner.histograms).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{}",
+            json_escape(name),
+            histogram_json(&cell.snapshot())
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// One parsed sample line of the text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name in underscore form (quantile label stripped).
+    pub name: String,
+    /// The `quantile` label value, if the line carried one.
+    pub quantile: Option<String>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Validates text exposition and returns its samples. Errors name the
+/// offending line — this is the malformed-exposition check the CI smoke
+/// step relies on.
+pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let words: Vec<&str> = comment.split_whitespace().collect();
+            if words.first() == Some(&"TYPE")
+                && !(words.len() == 3 && is_name(words[1]) && is_metric_type(words[2]))
+            {
+                return Err(format!("line {lineno}: malformed TYPE comment {line:?}"));
+            }
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value in {line:?}"))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad value {value_part:?}"))?;
+        let (name, quantile) = match name_part.split_once('{') {
+            None => (name_part.to_string(), None),
+            Some((name, rest)) => {
+                let q = rest
+                    .strip_prefix("quantile=\"")
+                    .and_then(|r| r.strip_suffix("\"}"))
+                    .ok_or_else(|| format!("line {lineno}: malformed label in {line:?}"))?;
+                if q.parse::<f64>().is_err() {
+                    return Err(format!("line {lineno}: non-numeric quantile {q:?}"));
+                }
+                (name.to_string(), Some(q.to_string()))
+            }
+        };
+        if !is_name(&name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        samples.push(Sample {
+            name,
+            quantile,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_metric_type(s: &str) -> bool {
+    matches!(s, "counter" | "gauge" | "summary")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        reg.counter("http.requests.post").add(42);
+        reg.gauge("http.inflight").set(3);
+        for v in 1..=100u64 {
+            reg.histogram("qos.rtt_us").record(v * 10);
+        }
+        reg
+    }
+
+    #[test]
+    fn text_round_trips_through_the_parser() {
+        let text = populated().render_text();
+        let samples = parse_text(&text).expect("own exposition parses");
+        let get = |n: &str| samples.iter().find(|s| s.name == n && s.quantile.is_none());
+        assert_eq!(get("http_requests_post").unwrap().value, 42.0);
+        assert_eq!(get("http_inflight").unwrap().value, 3.0);
+        assert_eq!(get("qos_rtt_us_count").unwrap().value, 100.0);
+        assert_eq!(get("qos_rtt_us_max").unwrap().value, 1000.0);
+        let p50 = samples
+            .iter()
+            .find(|s| s.name == "qos_rtt_us" && s.quantile.as_deref() == Some("0.5"))
+            .unwrap();
+        assert!((p50.value - 500.0).abs() / 500.0 <= 0.07, "{}", p50.value);
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(parse_text("no_value_here\n").is_err());
+        assert!(parse_text("name not-a-number\n").is_err());
+        assert!(parse_text("1leading_digit 5\n").is_err());
+        assert!(parse_text("bad{label=\"x\"} 5\n").is_err());
+        assert!(parse_text("# TYPE broken\n").is_err());
+        assert!(parse_text("# TYPE name nonsense\n").is_err());
+        assert!(parse_text("").is_ok());
+        assert!(parse_text("# a free comment\nok_name 1\n").is_ok());
+    }
+
+    #[test]
+    fn json_has_the_documented_shape() {
+        let json = populated().render_json();
+        assert!(json.starts_with("{\"enabled\":true,\"counters\":{"));
+        assert!(json.contains("\"http.requests.post\":42"));
+        assert!(json.contains("\"http.inflight\":3"));
+        assert!(json.contains("\"qos.rtt_us\":{\"count\":100,"));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.ends_with("}}"));
+        // Balanced braces (cheap well-formedness check without a parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_registry_renders_validly() {
+        let reg = Registry::new();
+        assert!(parse_text(&reg.render_text()).unwrap().is_empty());
+        assert_eq!(
+            reg.render_json(),
+            "{\"enabled\":true,\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

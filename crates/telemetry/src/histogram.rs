@@ -1,0 +1,330 @@
+//! Log-bucketed histograms.
+//!
+//! Values (typically nanoseconds or microseconds) land in log-linear
+//! buckets: values below 2^[`SUB_BITS`] get an exact bucket each; every
+//! octave above is split into 2^[`SUB_BITS`] linear sub-buckets, bounding
+//! the relative width of any bucket to 1/2^[`SUB_BITS`] (12.5%) and the
+//! midpoint-quantile error to half that. Each shard owns a full bucket
+//! array plus count/sum/max cells, so hot-path recording is a shard pick,
+//! one `leading_zeros`, and four relaxed atomic ops — no locks, no
+//! allocation.
+
+use crate::metrics::{thread_shard, PaddedU64, SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave (and the count of exact low-value buckets).
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves covered above the exact range: 2^3 .. 2^63.
+const OCTAVES: usize = 61;
+/// Total bucket count.
+pub(crate) const BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// The bucket index for a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // 2^msb <= v, msb >= SUB_BITS
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (msb - SUB_BITS) as usize * SUB + sub
+}
+
+/// The inclusive value range `[lo, hi]` a bucket covers.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB {
+        return (index as u64, index as u64);
+    }
+    let oct = (index - SUB) / SUB;
+    let sub = ((index - SUB) % SUB) as u64;
+    let msb = oct as u32 + SUB_BITS;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lo = (1u64 << msb) + sub * width;
+    (lo, lo + width - 1)
+}
+
+/// The representative value reported for a bucket (its midpoint).
+fn bucket_mid(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    lo + (hi - lo) / 2
+}
+
+// Buckets within a shard are plain (unpadded) atomics: threads map to
+// distinct shards, so intra-shard false sharing cannot happen, and padding
+// every bucket would inflate each histogram by 16×. The shard-level
+// count/sum/max cells are padded because they sit at the shard boundary.
+struct HistShard {
+    buckets: Vec<AtomicU64>,
+    count: PaddedU64,
+    sum: PaddedU64,
+    max: PaddedU64,
+}
+
+pub(crate) struct HistCell {
+    shards: Vec<HistShard>,
+}
+
+impl Default for HistCell {
+    fn default() -> HistCell {
+        HistCell {
+            shards: (0..SHARDS)
+                .map(|_| HistShard {
+                    buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                    count: PaddedU64::default(),
+                    sum: PaddedU64::default(),
+                    max: PaddedU64::default(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl HistCell {
+    pub(crate) fn record(&self, v: u64) {
+        let shard = &self.shards[thread_shard()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.count.0.fetch_add(1, Ordering::Relaxed);
+        shard.sum.0.fetch_add(v, Ordering::Relaxed);
+        shard.max.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for shard in &self.shards {
+            count += shard.count.0.load(Ordering::Relaxed);
+            sum += shard.sum.0.load(Ordering::Relaxed);
+            max = max.max(shard.max.0.load(Ordering::Relaxed));
+            for (acc, b) in buckets.iter_mut().zip(&shard.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+}
+
+/// A frozen view of a histogram: merged buckets plus count/sum/max, from
+/// which quantiles are computed.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (what disabled histograms report).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, or 0 for an empty histogram.
+    /// Accurate to the bucket's relative width (≤ ±6.25%); `q = 1.0`
+    /// reports the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q.max(0.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                // The top bucket's midpoint can exceed the true max.
+                return bucket_mid(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values, or 0.0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A histogram handle. Cloning is cheap; all clones record into the same
+/// cell. Disabled handles no-op.
+#[derive(Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// A no-op histogram.
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(v);
+        }
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        if self.0.is_some() {
+            self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A frozen copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map(|c| c.snapshot())
+            .unwrap_or_else(HistogramSnapshot::empty)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, max={})", s.count, s.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled() -> Histogram {
+        Histogram(Some(Arc::new(HistCell::default())))
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [0u64, 3, 8, 12, 100, 999, 12345, 1 << 30, u64::MAX / 2] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_vec_oracle() {
+        // Deterministic skewed data: a splitmix-style scramble of i,
+        // squashed into a long-tailed distribution.
+        let mut values: Vec<u64> = (0..10_000u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+                z ^= z >> 30;
+                z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+                (z % 1_000_000) * ((z >> 40) % 17 + 1)
+            })
+            .collect();
+        let h = enabled();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, values.len() as u64);
+        assert_eq!(snap.max, *values.last().unwrap());
+        for q in [0.5, 0.9, 0.99] {
+            let oracle = values[((q * (values.len() - 1) as f64).round()) as usize];
+            let est = snap.quantile(q);
+            let err = (est as f64 - oracle as f64).abs() / oracle as f64;
+            assert!(
+                err <= 0.07,
+                "q={q}: est {est} vs oracle {oracle} (err {err:.3})"
+            );
+        }
+        assert_eq!(snap.quantile(1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn small_exact_values_are_exact() {
+        let h = enabled();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 7);
+        assert_eq!(snap.sum, 28);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = enabled();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.max, 7 * 10_000 + 4_999);
+    }
+
+    #[test]
+    fn disabled_histogram_noops() {
+        let h = Histogram::disabled();
+        h.record(100);
+        h.record_duration(std::time::Duration::from_secs(1));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = enabled().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.99), 0);
+    }
+}

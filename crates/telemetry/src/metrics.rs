@@ -1,0 +1,230 @@
+//! Counters and gauges over sharded atomics.
+//!
+//! A [`Counter`] spreads its increments over [`SHARDS`] cache-line-padded
+//! atomic cells indexed by a per-thread slot, so concurrent recorders
+//! never contend on one cache line; reads sum the shards. A [`Gauge`] is
+//! a single signed atomic — gauges are set/adjusted orders of magnitude
+//! less often than counters are bumped, and `set` has no sharded
+//! equivalent.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shard count for counters and histograms (power of two).
+pub const SHARDS: usize = 16;
+
+/// One atomic on its own cache line, so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+pub(crate) struct PaddedU64(pub AtomicU64);
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// This thread's shard index (assigned round-robin on first use).
+#[inline]
+pub(crate) fn thread_shard() -> usize {
+    THREAD_SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            s.set(v);
+            v
+        }
+    })
+}
+
+#[derive(Default)]
+pub(crate) struct CounterCell {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl CounterCell {
+    pub(crate) fn add(&self, n: u64) {
+        self.shards[thread_shard()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning is cheap; all
+/// clones record into the same cell. A handle from
+/// [`Registry::disabled`](crate::Registry::disabled) no-ops.
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// A no-op counter (what disabled registries hand out).
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.add(n);
+        }
+    }
+
+    /// Current value (sums every shard; 0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map(|c| c.get()).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct GaugeCell {
+    value: AtomicI64,
+}
+
+/// A gauge handle: a signed value that can move both ways (in-flight
+/// requests, current quality band). Cloning is cheap; disabled handles
+/// no-op.
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the value outright.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map(|c| c.value.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter(Some(Arc::new(CounterCell::default())));
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn disabled_counter_noops() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge(Some(Arc::new(GaugeCell::default())));
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        g.add(10);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn disabled_gauge_noops() {
+        let g = Gauge::disabled();
+        g.set(5);
+        g.inc();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let c = Counter(Some(Arc::new(CounterCell::default())));
+        let c2 = c.clone();
+        c.inc();
+        c2.inc();
+        assert_eq!(c.get(), 2);
+        assert_eq!(c2.get(), 2);
+    }
+
+    #[test]
+    fn sharded_counter_is_exact_under_contention() {
+        let c = Counter(Some(Arc::new(CounterCell::default())));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lightweight span timing for pipeline stages.
+//!
+//! A [`Span`] times a scope and records the elapsed nanoseconds into a
+//! histogram when dropped:
+//!
+//! ```
+//! use sbq_telemetry::{Registry, Span};
+//!
+//! let reg = Registry::new();
+//! {
+//!     let _span = reg.span("marshal.pbio.encode");
+//!     // ... stage work ...
+//! } // elapsed ns recorded into the "marshal.pbio.encode" histogram
+//! assert_eq!(reg.histogram("marshal.pbio.encode").snapshot().count, 1);
+//! ```
+//!
+//! Spans from a disabled registry skip the clock read entirely, so
+//! instrumented code pays only a branch when telemetry is off.
+
+use crate::histogram::Histogram;
+use crate::Registry;
+use std::time::Instant;
+
+/// An RAII stage timer; see the module docs.
+#[must_use = "a span records when dropped; binding it to _ drops immediately"]
+pub struct Span {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span recording into `name` on the global registry.
+    pub fn enter(name: &str) -> Span {
+        Registry::global().span(name)
+    }
+
+    /// Starts a span recording into an explicit histogram handle (for hot
+    /// paths that pre-resolve their handles).
+    pub fn on(hist: &Histogram) -> Span {
+        Span {
+            start: hist.is_enabled().then(Instant::now),
+            hist: hist.clone(),
+        }
+    }
+
+    /// A span that records nothing.
+    pub fn disabled() -> Span {
+        Span {
+            hist: Histogram::disabled(),
+            start: None,
+        }
+    }
+
+    /// Abandons the span without recording.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.hist.record_duration(t0.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_elapsed_time() {
+        let reg = Registry::new();
+        {
+            let _span = reg.span("stage.sleep");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = reg.histogram("stage.sleep").snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 5_000_000, "recorded {} ns", snap.max);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let reg = Registry::disabled();
+        {
+            let _span = reg.span("stage.noop");
+        }
+        assert_eq!(reg.histogram("stage.noop").snapshot().count, 0);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let reg = Registry::new();
+        let span = reg.span("stage.cancelled");
+        span.cancel();
+        assert_eq!(reg.histogram("stage.cancelled").snapshot().count, 0);
+    }
+
+    #[test]
+    fn span_on_prereolved_handle() {
+        let reg = Registry::new();
+        let h = reg.histogram("stage.pre");
+        for _ in 0..3 {
+            let _span = Span::on(&h);
+        }
+        assert_eq!(h.snapshot().count, 3);
+    }
+}

@@ -44,6 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Live service: list flights, pull manifests.
     let ois = OisServer::new(12, 42);
     let server = ois.serve("127.0.0.1:0".parse()?, WireEncoding::Pbio)?;
+    println!("OIS server on {}", server.addr());
+    println!("metrics at http://{}/metrics", server.addr());
     let svc = airline_service("x");
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?;
 

@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = ImageStore::with_starfields(3, 2024);
     let server = store.serve("127.0.0.1:0".parse()?, WireEncoding::Pbio, Some(100.0))?;
     println!("image server on {}", server.addr());
+    println!("metrics at http://{}/metrics", server.addr());
 
     // Client with its own quality manager (same policy file).
     let qm = QualityManager::new(image_quality_file(100.0));

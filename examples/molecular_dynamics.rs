@@ -17,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server =
         BondServer::new(110, 7).serve("127.0.0.1:0".parse()?, WireEncoding::Pbio, Some(bands))?;
     println!("bond server on {}", server.addr());
+    println!("metrics at http://{}/metrics", server.addr());
 
     let svc = bond_service("x");
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?

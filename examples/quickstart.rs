@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .bind("127.0.0.1:0".parse()?)?;
     println!("server listening on {}", server.addr());
+    println!("metrics at http://{}/metrics", server.addr());
 
     // 3. Call it with each wire encoding and compare the bytes moved.
     for enc in [

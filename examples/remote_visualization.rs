@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::thread::sleep(std::time::Duration::from_millis(100));
     let server = portal.serve("127.0.0.1:0".parse()?, WireEncoding::Pbio)?;
     println!("service portal on {}", server.addr());
+    println!("metrics at http://{}/metrics", server.addr());
 
     // (1)/(2) The display client discovers the service.
     let svc = portal_service("x");

@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The registry itself.
     let registry = RegistryServer::new().serve("127.0.0.1:0".parse()?, WireEncoding::Pbio)?;
     println!("registry on {}", registry.addr());
+    println!("metrics at http://{}/metrics", registry.addr());
 
     // --- provider side -----------------------------------------------------
     let reading_ty = TypeDesc::struct_of(
@@ -59,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .bind("127.0.0.1:0".parse()?)?;
     builder_svc.location = format!("http://{}/sensors", sensor_server.addr());
     println!("sensor service on {}", sensor_server.addr());
+    println!("metrics at http://{}/metrics", sensor_server.addr());
 
     // Publish WSDL + quality file.
     let mut provider = RegistryClient::connect(registry.addr(), WireEncoding::Pbio)?;

@@ -157,6 +157,69 @@ fn retry_survives_a_dropped_response_and_replays_the_handshake() {
 }
 
 #[test]
+fn metrics_endpoint_reports_live_traffic_and_qos_bands() {
+    // One shared telemetry registry wired into all three instrumented
+    // layers: the HTTP transport (via ServerConfig), the SOAP client
+    // (via ClientConfig), and the quality manager. After real traffic,
+    // `GET /metrics` on the server must expose live per-method counters
+    // and the QoS band/RTT metrics in well-formed exposition text.
+    let reg = soap_binq::Registry::new();
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().telemetry(reg.clone()))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let quality = single_band_quality().telemetry(&reg);
+    let mut client = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Pbio,
+        ClientConfig::default().telemetry(reg.clone()),
+    )
+    .unwrap()
+    .with_quality(quality);
+
+    let v = Value::IntArray(vec![4, 5, 6]);
+    for _ in 0..3 {
+        assert_eq!(client.call("echo", v.clone()).unwrap(), v);
+    }
+
+    let mut http = HttpClient::connect(server.addr()).unwrap();
+    let resp = http.send(Request::get("/metrics")).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    let samples = sbq_telemetry::expo::parse_text(&text).expect("well-formed exposition");
+    let value = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.quantile.is_none())
+            .unwrap_or_else(|| panic!("{name} missing from /metrics:\n{text}"))
+            .value
+    };
+
+    // Transport saw the echo POSTs (plus the PBIO registration handshake).
+    assert!(value("http_requests_post") >= 3.0, "{text}");
+    assert!(value("http_status_2xx") >= 3.0, "{text}");
+    // Client-side instrumentation shares the registry.
+    assert!(value("client_calls") >= 3.0, "{text}");
+    assert!(value("marshal_pbio_encode_count") >= 3.0, "{text}");
+    // Quality management: every clean call fed an RTT sample, and the
+    // selector pinned the (single) band — index 0 — on the gauge.
+    assert!(value("qos_rtt_us_count") >= 3.0, "{text}");
+    assert_eq!(value("qos_band"), 0.0, "{text}");
+
+    // The JSON endpoint exposes the same registry.
+    let resp = http.send(Request::get("/metrics.json")).unwrap();
+    assert_eq!(resp.status, 200);
+    let json = String::from_utf8(resp.body).unwrap();
+    assert!(json.contains("\"qos.band\""), "{json}");
+    assert!(json.contains("\"http.requests.post\""), "{json}");
+}
+
+#[test]
 fn protocol_errors_are_not_retried() {
     let svc = echo_service();
     let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
