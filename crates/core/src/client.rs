@@ -11,9 +11,12 @@
 //! Transient transport failures are handled by [`SoapClient::call_with_retry`]
 //! under the connection's [`RetryPolicy`]: reconnect (which starts a fresh
 //! PBIO session, so the format-registration handshake replays), back off
-//! exponentially with jitter, try again. Calls completed on a retry do
-//! *not* feed the RTT estimator — the measured time spans the failure and
-//! would poison the estimate (Karn's algorithm).
+//! exponentially with jitter, try again. Retries are idempotency-aware:
+//! ambiguous failures (a garbled or truncated response, where the server
+//! may already have executed the call) replay only for calls marked
+//! idempotent. Calls completed on a retry do *not* feed the RTT
+//! estimator — the measured time spans the failure and would poison the
+//! estimate (Karn's algorithm).
 
 use crate::envelope::{self, QosHeader};
 use crate::marshal;
@@ -111,6 +114,7 @@ pub struct ClientConfig {
     http: sbq_http::ClientConfig,
     retry: RetryPolicy,
     telemetry: Registry,
+    idempotent: bool,
 }
 
 impl ClientConfig {
@@ -150,6 +154,31 @@ impl ClientConfig {
         self
     }
 
+    /// Declares every operation on this client idempotent (default:
+    /// `false`). Idempotent calls may be replayed through ambiguous
+    /// wire-protocol failures — a garbled or truncated response where the
+    /// server might already have executed the request. Non-idempotent
+    /// clients only retry failures where the request provably never
+    /// completed (timeouts, connect failures); ambiguous ones surface to
+    /// the caller and increment `client.retry.suppressed`.
+    pub fn idempotent(mut self, yes: bool) -> ClientConfig {
+        self.idempotent = yes;
+        self
+    }
+
+    /// Send request bodies of at least `threshold` bytes with chunked
+    /// transfer encoding instead of `Content-Length` framing.
+    pub fn chunk_threshold(mut self, threshold: usize) -> ClientConfig {
+        self.http = self.http.chunk_threshold(threshold);
+        self
+    }
+
+    /// Chunk payload size used when chunked framing applies.
+    pub fn chunk_size(mut self, n: usize) -> ClientConfig {
+        self.http = self.http.chunk_size(n);
+        self
+    }
+
     /// Full control over the HTTP-level configuration.
     pub fn http(mut self, http: sbq_http::ClientConfig) -> ClientConfig {
         self.http = http;
@@ -177,6 +206,7 @@ impl ClientConfig {
 /// |-----------------------|-----------|---------------------------------------|
 /// | `client.calls`        | counter   | calls completed successfully          |
 /// | `client.retries`      | counter   | retried attempts                      |
+/// | `client.retry.suppressed` | counter | retries withheld: failure was ambiguous and the call was not marked idempotent |
 /// | `client.reconnects`   | counter   | reconnects (fresh PBIO session each)  |
 /// | `client.backoff_ns`   | histogram | retry backoff sleeps                  |
 /// | `client.msgtype.<t>`  | counter   | quality-reduced responses by type     |
@@ -186,6 +216,7 @@ struct ClientMetrics {
     registry: Registry,
     calls: Counter,
     retries: Counter,
+    retries_suppressed: Counter,
     reconnects: Counter,
     backoff: Histogram,
     encode: Histogram,
@@ -197,6 +228,7 @@ impl ClientMetrics {
         ClientMetrics {
             calls: registry.counter("client.calls"),
             retries: registry.counter("client.retries"),
+            retries_suppressed: registry.counter("client.retry.suppressed"),
             reconnects: registry.counter("client.reconnects"),
             backoff: registry.histogram("client.backoff_ns"),
             encode: registry.histogram(&format!("marshal.{}.encode", encoding.name())),
@@ -230,6 +262,9 @@ pub struct CallStats {
     pub reconnects: u64,
     /// Retried attempts across all calls.
     pub retries: u64,
+    /// Retries withheld because the failure was ambiguous (the server may
+    /// have executed the call) and the call was not marked idempotent.
+    pub retries_suppressed: u64,
 }
 
 /// A blocking SOAP-binQ client.
@@ -344,14 +379,52 @@ impl SoapClient {
     /// Calls `operation`, retrying retryable failures under the
     /// configured [`RetryPolicy`]: reconnect (fresh socket, fresh PBIO
     /// session — the format handshake replays), back off with jitter, try
-    /// again. Use for idempotent operations only — a failed attempt may
-    /// still have executed server-side.
+    /// again.
+    ///
+    /// Retry classification is idempotency-aware. Failures where the
+    /// request provably never completed (timeouts, connect failures) are
+    /// always retried. *Ambiguous* failures — the peer closed or garbled
+    /// the response after the request was sent, so the server may already
+    /// have executed the call — are retried only when the call is marked
+    /// idempotent via [`ClientConfig::idempotent`] or
+    /// [`SoapClient::call_with_retry_idempotent`]; otherwise the error
+    /// surfaces to the caller and `client.retry.suppressed` is
+    /// incremented.
     pub fn call_with_retry(&mut self, operation: &str, params: Value) -> Result<Value, SoapError> {
+        self.call_with_retry_inner(operation, params, self.config.idempotent)
+    }
+
+    /// Like [`SoapClient::call_with_retry`], but marks this call
+    /// idempotent regardless of [`ClientConfig::idempotent`]: ambiguous
+    /// wire failures (garbled/truncated responses) are replayed too,
+    /// because re-executing the operation server-side is harmless.
+    pub fn call_with_retry_idempotent(
+        &mut self,
+        operation: &str,
+        params: Value,
+    ) -> Result<Value, SoapError> {
+        self.call_with_retry_inner(operation, params, true)
+    }
+
+    fn call_with_retry_inner(
+        &mut self,
+        operation: &str,
+        params: Value,
+        idempotent: bool,
+    ) -> Result<Value, SoapError> {
         let policy = self.config.retry.clone();
         let mut retry = 0u32;
         loop {
             match self.call_attempt(operation, params.clone(), retry > 0) {
-                Err(e) if e.is_retryable() && retry + 1 < policy.attempts() => {
+                Err(e) if retry + 1 < policy.attempts() && e.is_retryable_when_idempotent() => {
+                    if !idempotent && !e.is_retryable() {
+                        // The request may have executed server-side;
+                        // replaying a non-idempotent call risks double
+                        // execution. Surface the error instead.
+                        self.stats.retries_suppressed += 1;
+                        self.metrics.retries_suppressed.inc();
+                        return Err(e);
+                    }
                     let pause = policy.backoff(retry, &mut self.rng);
                     self.metrics.backoff.record_duration(pause);
                     std::thread::sleep(pause);

@@ -114,13 +114,30 @@ impl SoapError {
         SoapError::Protocol(ProtocolError::Xml(msg.into()))
     }
 
-    /// Whether retrying the call on a fresh connection could plausibly
-    /// succeed: timeouts and transport failures qualify, protocol errors
-    /// and server faults do not (the same bytes would fail again).
+    /// Whether retrying the call on a fresh connection is safe regardless
+    /// of the operation's semantics: timeouts and connection-establishment
+    /// failures qualify — the request provably never completed. A garbled
+    /// or truncated response does *not* qualify: the server may already
+    /// have executed the call, so replaying it blindly risks double
+    /// execution (see [`SoapError::is_retryable_when_idempotent`]).
     pub fn is_retryable(&self) -> bool {
         match self {
             SoapError::Timeout(_) => true,
             SoapError::Transport(e) => e.is_retryable(),
+            _ => false,
+        }
+    }
+
+    /// Whether retrying could plausibly succeed *if* the operation is
+    /// idempotent: everything [`SoapError::is_retryable`] accepts, plus
+    /// wire-protocol failures where the request may have executed but the
+    /// response never arrived intact (peer closed or garbled the reply
+    /// mid-flight). Callers opt in via `ClientConfig::idempotent` or
+    /// [`crate::client::SoapClient::call_with_retry_idempotent`].
+    pub fn is_retryable_when_idempotent(&self) -> bool {
+        match self {
+            SoapError::Timeout(_) => true,
+            SoapError::Transport(e) => e.is_retryable_when_idempotent(),
             _ => false,
         }
     }
@@ -215,10 +232,18 @@ mod tests {
             "connection closed before response".into(),
         ));
         assert!(
-            closed.is_retryable(),
-            "a dying server mid-response is retryable"
+            !closed.is_retryable(),
+            "a garbled response is ambiguous: the call may have executed"
+        );
+        assert!(
+            closed.is_retryable_when_idempotent(),
+            "idempotent calls may replay through a garbled response"
         );
         assert!(!SoapError::protocol("unknown operation").is_retryable());
+        assert!(
+            !SoapError::protocol("unknown operation").is_retryable_when_idempotent(),
+            "the same malformed request would fail again even if idempotent"
+        );
         assert!(!SoapError::Fault {
             code: "soap:Server".into(),
             message: "x".into()

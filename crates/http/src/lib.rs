@@ -3,10 +3,15 @@
 //! transactions", §IV-A; the framing overhead this crate adds per message
 //! is precisely what that observation is about).
 //!
-//! Scope: persistent connections, `POST`/`GET`, `Content-Length` bodies
-//! (no chunked encoding — SOAP messages know their length), byte bodies
-//! with any content type (`text/xml` for classic SOAP, the
+//! Scope: persistent connections, `POST`/`GET`, strict `Content-Length`
+//! bodies and `Transfer-Encoding: chunked` streaming (see [`body`]), byte
+//! bodies with any content type (`text/xml` for classic SOAP, the
 //! `application/pbio` type defined in [`PBIO_CONTENT_TYPE`] for SOAP-bin).
+//! Both ends always *accept* both framings; *sending* chunked is opt-in
+//! above a configured threshold ([`ClientConfig::chunk_threshold`],
+//! [`ServerConfig::chunk_threshold`]), which keeps large imaging and
+//! visualization payloads streaming through transient buffers bounded by
+//! the chunk size instead of the body size.
 //!
 //! The server is a fixed worker pool behind a bounded accept queue (see
 //! [`server`]); both ends are configured through [`ServerConfig`] and
@@ -18,17 +23,21 @@
 //! over the reserved paths `GET /metrics` and `GET /metrics.json`; see
 //! [`ServerConfig::telemetry`].
 
+pub mod body;
 pub mod faults;
 pub mod message;
 mod metrics;
 pub mod server;
 
+pub use body::{
+    peak_framing_buffer, reset_peak_framing_buffer, BodyFraming, BodyReader, ChunkPolicy,
+};
 pub use faults::{FaultAction, FaultSchedule};
 pub use message::{HttpError, Limits, Request, Response, TimeoutKind};
 pub use server::{HttpServer, ServerConfig, ServerHandle};
 
 use message::DEFAULT_IO_TIMEOUT;
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -46,6 +55,7 @@ pub struct ClientConfig {
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     limits: Limits,
+    chunking: ChunkPolicy,
 }
 
 impl Default for ClientConfig {
@@ -55,6 +65,7 @@ impl Default for ClientConfig {
             read_timeout: Some(DEFAULT_IO_TIMEOUT),
             write_timeout: Some(DEFAULT_IO_TIMEOUT),
             limits: Limits::default(),
+            chunking: ChunkPolicy::disabled(),
         }
     }
 }
@@ -92,9 +103,26 @@ impl ClientConfig {
         self
     }
 
-    /// Cap on response body bytes (declared `Content-Length`).
+    /// Cap on response body bytes (declared `Content-Length`, or the
+    /// running chunked total).
     pub fn max_body_bytes(mut self, n: usize) -> ClientConfig {
         self.limits.max_body_bytes = n;
+        self
+    }
+
+    /// Opt in to `Transfer-Encoding: chunked` for request bodies of at
+    /// least `threshold` bytes (off by default — smaller SOAP messages
+    /// know their length and keep `Content-Length` framing).
+    pub fn chunk_threshold(mut self, threshold: usize) -> ClientConfig {
+        self.chunking = ChunkPolicy::above(threshold).chunk_size(self.chunking.chunk_bytes());
+        self
+    }
+
+    /// Chunk size used when chunking applies (default
+    /// [`ChunkPolicy::DEFAULT_CHUNK_SIZE`]); it bounds the receiver's
+    /// per-chunk transient buffer.
+    pub fn chunk_size(mut self, n: usize) -> ClientConfig {
+        self.chunking = self.chunking.chunk_size(n);
         self
     }
 }
@@ -105,6 +133,7 @@ pub struct HttpClient {
     writer: TcpStream,
     host: String,
     limits: Limits,
+    chunking: ChunkPolicy,
 }
 
 impl HttpClient {
@@ -133,18 +162,19 @@ impl HttpClient {
             writer,
             host: addr.to_string(),
             limits: config.limits,
+            chunking: config.chunking,
         })
     }
 
-    /// Sends a request and blocks for the response (keep-alive).
+    /// Sends a request and blocks for the response (keep-alive). The
+    /// request is streamed: bodies above the configured chunk threshold go
+    /// out as `Transfer-Encoding: chunked`, and no framing buffer beyond
+    /// one chunk is ever allocated.
     pub fn send(&mut self, mut req: Request) -> Result<Response, HttpError> {
         if !req.has_header("host") {
             req.headers.push(("Host".to_string(), self.host.clone()));
         }
-        let bytes = req.to_bytes();
-        self.writer
-            .write_all(&bytes)
-            .and_then(|_| self.writer.flush())
+        req.write_to(&mut self.writer, &self.chunking)
             .map_err(|e| HttpError::from_io(e, TimeoutKind::Write))?;
         Response::read_from_with(&mut self.reader, &self.limits)
     }
@@ -247,6 +277,70 @@ mod tests {
             .collect();
         for t in threads {
             t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn chunked_round_trip_both_directions() {
+        // Server: chunked responses above 1 KiB; it must also *accept*
+        // chunked requests. Client: chunked requests above 1 KiB. The
+        // payload round-trips unchanged, and both peers saw chunked wire
+        // framing (asserted via the server metrics counters).
+        let reg = sbq_telemetry::Registry::new();
+        let handle = HttpServer::bind_with(
+            "127.0.0.1:0".parse().unwrap(),
+            ServerConfig::default()
+                .telemetry(reg.clone())
+                .chunk_threshold(1024)
+                .chunk_size(4096),
+            |req: &Request| {
+                if req.body.len() > 1024 {
+                    assert!(
+                        req.header("transfer-encoding").is_some(),
+                        "large request should have arrived chunked"
+                    );
+                }
+                Response::ok(PBIO_CONTENT_TYPE, req.body.clone())
+            },
+        )
+        .unwrap();
+        let config = ClientConfig::default()
+            .chunk_threshold(1024)
+            .chunk_size(2048);
+        let mut client = HttpClient::connect_with(handle.addr(), &config).unwrap();
+        let body: Vec<u8> = (0..100_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let resp = client
+            .post("/big", PBIO_CONTENT_TYPE, body.clone())
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+        assert!(resp.header("content-length").is_none());
+        assert_eq!(resp.body, body);
+        assert_eq!(reg.counter("http.chunked.rx").get(), 1);
+        assert_eq!(reg.counter("http.chunked.tx").get(), 1);
+
+        // A small message on the same connection stays Content-Length
+        // framed, proving the connection is still in sync after chunks.
+        let resp = client.post("/small", "text/plain", b"x".to_vec()).unwrap();
+        assert_eq!(resp.body, b"x");
+        assert_eq!(resp.header("content-length"), Some("1"));
+    }
+
+    #[test]
+    fn bad_content_length_gets_400_not_desync() {
+        let handle = HttpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &Request| {
+            Response::ok("text/plain", req.body.clone())
+        })
+        .unwrap();
+        for bad in ["-5", "banana", "1x", ""] {
+            let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+            use std::io::{Read, Write};
+            s.write_all(format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 400"), "CL {bad:?} got: {text}");
         }
     }
 

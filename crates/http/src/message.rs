@@ -1,6 +1,7 @@
 //! HTTP request/response types, serialization and parsing.
 
-use std::io::BufRead;
+use crate::body::{self, BodyReader, ChunkPolicy};
+use std::io::{BufRead, Write};
 use std::time::Duration;
 
 /// Which deadline a [`HttpError::Timeout`] missed.
@@ -60,12 +61,25 @@ impl HttpError {
         }
     }
 
-    /// Whether a retry on a fresh connection could plausibly succeed.
+    /// Whether a retry on a fresh connection could plausibly succeed
+    /// *without risking a duplicate execution*: only failures where the
+    /// request provably never completed qualify. A garbled or truncated
+    /// response ([`HttpError::Protocol`]) is **not** retryable here — the
+    /// server may well have executed the call before dying mid-write, and
+    /// replaying a non-idempotent operation would execute it twice.
     pub fn is_retryable(&self) -> bool {
         matches!(self, HttpError::Transport(_) | HttpError::Timeout(_))
-            // A truncated/garbled response usually means the server died
-            // mid-write; the request itself may still be fine.
-            || matches!(self, HttpError::Protocol(_))
+    }
+
+    /// Whether a retry could plausibly succeed *when the caller declares
+    /// the operation idempotent*: everything in [`is_retryable`] plus
+    /// [`HttpError::Protocol`] — a truncated/garbled response usually
+    /// means the server died mid-write, and an idempotent call is safe to
+    /// replay even if it did execute.
+    ///
+    /// [`is_retryable`]: HttpError::is_retryable
+    pub fn is_retryable_when_idempotent(&self) -> bool {
+        self.is_retryable() || matches!(self, HttpError::Protocol(_))
     }
 }
 
@@ -91,13 +105,18 @@ impl std::error::Error for HttpError {
     }
 }
 
-/// Message-size limits enforced while parsing.
+/// Message-size limits enforced while parsing. Every limit is enforced
+/// *incrementally*: no input can make the parser buffer beyond it before
+/// the check fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Limits {
     /// Cap on the request/status line plus the header section.
     pub max_header_bytes: usize,
-    /// Cap on the declared `Content-Length`.
+    /// Cap on the body: the declared `Content-Length`, or the running
+    /// total of decoded chunk data for chunked bodies.
     pub max_body_bytes: usize,
+    /// Cap on any single declared chunk in a chunked body.
+    pub max_chunk_bytes: usize,
 }
 
 impl Default for Limits {
@@ -105,6 +124,7 @@ impl Default for Limits {
         Limits {
             max_header_bytes: 16 * 1024,
             max_body_bytes: 256 * 1024 * 1024,
+            max_chunk_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -165,16 +185,22 @@ impl Request {
         self.header(name).is_some()
     }
 
-    /// Serializes for the wire.
+    /// Serializes for the wire with `Content-Length` framing,
+    /// materializing the whole message (head plus a body copy). Prefer
+    /// [`Request::write_to`] on the transmit path — it streams the body
+    /// from `self` without this second copy.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 256);
-        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.path).as_bytes());
-        for (k, v) in &self.headers {
-            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
+        write_framed_request(&mut out, self, &ChunkPolicy::disabled()).expect("Vec write");
         out
+    }
+
+    /// Streams this request to `w`: small head buffer, body written from
+    /// `self.body` directly — whole under `Content-Length` framing, in
+    /// bounded slices as `Transfer-Encoding: chunked` when `policy`
+    /// applies to the body size.
+    pub fn write_to(&self, w: &mut impl Write, policy: &ChunkPolicy) -> std::io::Result<()> {
+        write_framed_request(w, self, policy)
     }
 
     /// Total on-the-wire size — the HTTP overhead the benchmarks charge.
@@ -266,16 +292,28 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Serializes for the wire.
+    /// Serializes for the wire with `Content-Length` framing,
+    /// materializing the whole message. Prefer [`Response::write_to`] on
+    /// the transmit path.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_wire_bytes(&ChunkPolicy::disabled())
+    }
+
+    /// Serializes with the given chunking policy applied (used by the
+    /// fault-injection write path, which needs the framed bytes to
+    /// truncate them).
+    pub fn to_wire_bytes(&self, policy: &ChunkPolicy) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 128);
-        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
-        for (k, v) in &self.headers {
-            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
-        }
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(&self.body);
+        write_framed_response(&mut out, self, policy).expect("Vec write");
         out
+    }
+
+    /// Streams this response to `w`: small head buffer, body written from
+    /// `self.body` directly — whole under `Content-Length` framing, in
+    /// bounded slices as `Transfer-Encoding: chunked` when `policy`
+    /// applies to the body size.
+    pub fn write_to(&self, w: &mut impl Write, policy: &ChunkPolicy) -> std::io::Result<()> {
+        write_framed_response(w, self, policy)
     }
 
     /// Total on-the-wire size.
@@ -310,24 +348,26 @@ impl Response {
     }
 }
 
+fn write_framed_request(
+    w: &mut impl Write,
+    req: &Request,
+    policy: &ChunkPolicy,
+) -> std::io::Result<()> {
+    let start = format!("{} {} HTTP/1.1\r\n", req.method, req.path);
+    body::write_framed(w, &start, &req.headers, &req.body, policy)
+}
+
+fn write_framed_response(
+    w: &mut impl Write,
+    resp: &Response,
+    policy: &ChunkPolicy,
+) -> std::io::Result<()> {
+    let start = format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason);
+    body::write_framed(w, &start, &resp.headers, &resp.body, policy)
+}
+
 fn read_line(r: &mut impl BufRead, limits: &Limits) -> Result<Option<String>, HttpError> {
-    let mut line = String::new();
-    let n = r
-        .read_line(&mut line)
-        .map_err(|e| HttpError::from_io(e, TimeoutKind::Read))?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if line.len() > limits.max_header_bytes {
-        return Err(HttpError::TooLarge {
-            what: "header",
-            limit: limits.max_header_bytes,
-        });
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(Some(line))
+    body::read_line_capped(r, limits.max_header_bytes, "header")
 }
 
 fn read_headers(r: &mut impl BufRead, limits: &Limits) -> Result<Vec<(String, String)>, HttpError> {
@@ -358,23 +398,11 @@ fn read_body(
     headers: &[(String, String)],
     limits: &Limits,
 ) -> Result<Vec<u8>, HttpError> {
-    let len: usize = headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse().ok())
-        .unwrap_or(0);
-    if len > limits.max_body_bytes {
-        // Checked against the declared length *before* reading, so an
-        // oversized upload is rejected without buffering any of it.
-        return Err(HttpError::TooLarge {
-            what: "body",
-            limit: limits.max_body_bytes,
-        });
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)
-        .map_err(|e| HttpError::from_io(e, TimeoutKind::Read))?;
-    Ok(body)
+    // Strict framing resolution: malformed/conflicting declarations are
+    // protocol errors (and close the connection), never "empty body" — a
+    // silently skipped body would be parsed as the next pipelined message.
+    let framing = body::parse_framing(headers)?;
+    BodyReader::new(r, framing, limits)?.read_to_vec()
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@ use sbq_telemetry::{Counter, Gauge, Histogram, Registry};
 /// | `http.requests.other` | counter   | requests with any other method             |
 /// | `http.status.2xx`.. | counter   | responses by status class (`2xx`..`5xx`, `other`) |
 /// | `http.panics`         | counter   | handler panics answered with 500           |
+/// | `http.chunked.rx`     | counter   | requests received with chunked framing     |
+/// | `http.chunked.tx`     | counter   | responses sent with chunked framing        |
 /// | `http.connections.active` | gauge | connections currently open                 |
 /// | `http.requests.inflight`  | gauge | requests currently inside a handler        |
 /// | `http.queue_wait_ns`  | histogram | accept-queue wait, accept → worker pickup  |
@@ -33,6 +35,8 @@ pub(crate) struct HttpMetrics {
     status_5xx: Counter,
     status_other: Counter,
     pub(crate) panics: Counter,
+    pub(crate) chunked_rx: Counter,
+    pub(crate) chunked_tx: Counter,
     pub(crate) active: Gauge,
     pub(crate) inflight: Gauge,
     pub(crate) queue_wait: Histogram,
@@ -53,6 +57,8 @@ impl HttpMetrics {
             status_5xx: reg.counter("http.status.5xx"),
             status_other: reg.counter("http.status.other"),
             panics: reg.counter("http.panics"),
+            chunked_rx: reg.counter("http.chunked.rx"),
+            chunked_tx: reg.counter("http.chunked.tx"),
             active: reg.gauge("http.connections.active"),
             inflight: reg.gauge("http.requests.inflight"),
             queue_wait: reg.histogram("http.queue_wait_ns"),

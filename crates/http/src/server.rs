@@ -11,6 +11,7 @@
 //! connections — unlike thread-per-connection, which pins one OS thread to
 //! every idle client.
 
+use crate::body::ChunkPolicy;
 use crate::faults::{FaultAction, FaultSchedule};
 use crate::message::{HttpError, Limits, Request, Response, DEFAULT_IO_TIMEOUT};
 use crate::metrics::HttpMetrics;
@@ -46,6 +47,7 @@ pub struct ServerConfig {
     limits: Limits,
     faults: FaultSchedule,
     telemetry: Registry,
+    chunking: ChunkPolicy,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +63,7 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             faults: FaultSchedule::new(),
             telemetry: Registry::default(),
+            chunking: ChunkPolicy::disabled(),
         }
     }
 }
@@ -113,9 +116,24 @@ impl ServerConfig {
         self
     }
 
-    /// Replaces both size limits at once.
+    /// Replaces all size limits at once.
     pub fn limits(mut self, limits: Limits) -> ServerConfig {
         self.limits = limits;
+        self
+    }
+
+    /// Opt in to `Transfer-Encoding: chunked` for response bodies of at
+    /// least `threshold` bytes (off by default). Chunked *requests* are
+    /// always accepted regardless of this setting.
+    pub fn chunk_threshold(mut self, threshold: usize) -> ServerConfig {
+        self.chunking = ChunkPolicy::above(threshold).chunk_size(self.chunking.chunk_bytes());
+        self
+    }
+
+    /// Chunk size used when response chunking applies (default
+    /// [`ChunkPolicy::DEFAULT_CHUNK_SIZE`]).
+    pub fn chunk_size(mut self, n: usize) -> ServerConfig {
+        self.chunking = self.chunking.chunk_size(n);
         self
     }
 
@@ -344,6 +362,9 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
             Ok(None) => return None,
             Ok(Some(req)) => {
                 conn.last_activity = Instant::now();
+                if req.has_header("transfer-encoding") {
+                    ctx.metrics.chunked_rx.inc();
+                }
                 let close_requested = req
                     .header("connection")
                     .map(|v| v.eq_ignore_ascii_case("close"))
@@ -381,7 +402,7 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                                 resp.headers
                                     .push(("Connection".to_string(), "close".to_string()));
                                 let _write_span = Span::on(&ctx.metrics.write);
-                                write_response(&mut conn.writer, &resp, None);
+                                write_response(ctx, &mut conn.writer, &resp, None);
                                 return None;
                             }
                         }
@@ -390,7 +411,12 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                 ctx.metrics.status(resp.status);
                 let keep = {
                     let _write_span = Span::on(&ctx.metrics.write);
-                    write_response(&mut conn.writer, &resp, ctx.config.faults.action_for(idx))
+                    write_response(
+                        ctx,
+                        &mut conn.writer,
+                        &resp,
+                        ctx.config.faults.action_for(idx),
+                    )
                 };
                 if !keep || close_requested {
                     return None;
@@ -432,24 +458,40 @@ fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
     }
 }
 
-/// Writes `resp`, applying the scheduled fault if any. Returns whether the
-/// connection may be kept alive afterwards.
-fn write_response(w: &mut TcpStream, resp: &Response, fault: Option<FaultAction>) -> bool {
-    let bytes = resp.to_bytes();
+/// Writes `resp` under the configured chunking policy, applying the
+/// scheduled fault if any. Returns whether the connection may be kept
+/// alive afterwards.
+///
+/// The fault-free path streams straight from the response body with no
+/// second body-sized buffer; the faulted paths materialize the framed
+/// bytes first, because truncation faults are defined on wire offsets
+/// (including mid-chunk offsets of a chunked response).
+fn write_response(
+    ctx: &Ctx,
+    w: &mut TcpStream,
+    resp: &Response,
+    fault: Option<FaultAction>,
+) -> bool {
+    let policy = &ctx.config.chunking;
+    if policy.applies_to(resp.body.len()) {
+        ctx.metrics.chunked_tx.inc();
+    }
     let write_all = |w: &mut TcpStream, b: &[u8]| w.write_all(b).and_then(|_| w.flush()).is_ok();
     match fault {
-        None => write_all(w, &bytes),
+        None => resp.write_to(w, policy).is_ok(),
         Some(FaultAction::DropResponse) => false,
         Some(FaultAction::DelayResponse(d)) => {
             std::thread::sleep(d);
-            write_all(w, &bytes)
+            resp.write_to(w, policy).is_ok()
         }
         Some(FaultAction::TruncateResponse(n)) => {
+            let bytes = resp.to_wire_bytes(policy);
             let n = n.min(bytes.len());
             write_all(w, &bytes[..n]);
             false
         }
         Some(FaultAction::CloseMidResponse) => {
+            let bytes = resp.to_wire_bytes(policy);
             write_all(w, &bytes[..bytes.len() / 2]);
             false
         }

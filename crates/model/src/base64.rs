@@ -31,6 +31,13 @@ pub fn encode(data: &[u8]) -> String {
 
 /// Decodes padded base64 text (whitespace tolerated); `None` on malformed
 /// input.
+///
+/// Decoding is canonical-strict (RFC 4648 §3.5): in a padded final group
+/// the unused trailing bits of the last data character must be zero, so
+/// every byte string has exactly one encoding. `"Zg=="` decodes; `"Zh=="`
+/// (same byte, nonzero discarded bits) is rejected. Accepting both would
+/// let one payload travel under multiple encodings — a classic way past
+/// signature or dedup checks.
 pub fn decode(text: &str) -> Option<Vec<u8>> {
     let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     if !cleaned.len().is_multiple_of(4) {
@@ -54,6 +61,13 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
                 decode_char(c)? as u32
             };
             n = (n << 6) | v;
+        }
+        // Canonical check: bits not covered by the decoded bytes must be
+        // zero. With two pads only bits 23..16 are data (low 4 bits of the
+        // second character spill into 15..12); with one pad, bits 23..8
+        // (low 2 bits of the third character spill into 7..6).
+        if (pad == 2 && n & 0xFFFF != 0) || (pad == 1 && n & 0xFF != 0) {
+            return None;
         }
         let bytes = n.to_be_bytes();
         out.push(bytes[1]);
@@ -111,5 +125,17 @@ mod tests {
         assert!(decode("Zm9#").is_none(), "bad char");
         assert!(decode("=m9v").is_none(), "early padding");
         assert!(decode("Zm=v").is_none(), "data after padding");
+    }
+
+    #[test]
+    fn non_canonical_trailing_bits_rejected() {
+        // "Zg==" and "Zh==" would both decode to b"f" under a lenient
+        // decoder; only the canonical form (discarded bits zero) is valid.
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert!(decode("Zh==").is_none(), "nonzero 4 trailing bits");
+        assert_eq!(decode("Zm8=").unwrap(), b"fo");
+        assert!(decode("Zm9=").is_none(), "nonzero 2 trailing bits");
+        // Unpadded groups are unaffected.
+        assert_eq!(decode("Zm9v").unwrap(), b"foo");
     }
 }

@@ -32,6 +32,13 @@ fn escape_into(s: &str, attr: bool) -> String {
     out
 }
 
+/// Longest entity body this decoder will look for between `&` and `;`.
+/// The longest decodable references are well under this (`quot`/`apos` at
+/// 4 chars, `#x0010FFFF` at 10 with leading zeros); the bound exists so a
+/// `&` is never followed by an unbounded scan for a `;` that is not there
+/// — without it, text of N ampersands and no semicolons costs O(N²).
+const MAX_ENTITY_LEN: usize = 16;
+
 /// Decodes the five predefined entities plus decimal (`&#NN;`) and hex
 /// (`&#xNN;`) character references. Unknown or malformed references are
 /// passed through verbatim (lenient, like Expat in non-validating mode
@@ -45,7 +52,14 @@ pub fn unescape(s: &str) -> String {
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'&' {
-            if let Some(end) = s[i..].find(';').map(|e| i + e) {
+            // `&` and `;` are single-byte in UTF-8, so a byte-window scan
+            // cannot split a multi-byte character.
+            let window_end = (i + 1 + MAX_ENTITY_LEN + 1).min(bytes.len());
+            let end = bytes[i + 1..window_end]
+                .iter()
+                .position(|&b| b == b';')
+                .map(|e| i + 1 + e);
+            if let Some(end) = end {
                 let ent = &s[i + 1..end];
                 let decoded = match ent {
                     "amp" => Some('&'),
@@ -112,6 +126,31 @@ mod tests {
     fn malformed_references_pass_through() {
         assert_eq!(unescape("&unknown; &#zz; &"), "&unknown; &#zz; &");
         assert_eq!(unescape("a & b"), "a & b");
+        // A reference body longer than any decodable entity passes through
+        // even though a `;` exists further out.
+        let long = format!("&{};", "x".repeat(200));
+        assert_eq!(unescape(&long), long);
+    }
+
+    #[test]
+    fn pathological_ampersand_flood_is_linear() {
+        // 100k ampersands with no semicolon anywhere: the bounded window
+        // keeps this O(n·k) instead of O(n²). The old unbounded scan took
+        // ~10^10 byte comparisons here; the assertion is a generous
+        // wall-clock ceiling that the quadratic version cannot meet.
+        let s = "&".repeat(100_000);
+        let t0 = std::time::Instant::now();
+        assert_eq!(unescape(&s), s);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "unescape took {:?} on a 100k-ampersand flood",
+            t0.elapsed()
+        );
+        // Same flood, but every reference is valid: still linear, decodes.
+        let s = "&amp;".repeat(100_000);
+        let t0 = std::time::Instant::now();
+        assert_eq!(unescape(&s), "&".repeat(100_000));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
     }
 
     #[test]

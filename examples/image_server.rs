@@ -11,7 +11,7 @@
 use sbq_imaging::{image_quality_file, install_resize_handlers, service, ImageStore};
 use sbq_model::Value;
 use sbq_qos::QualityManager;
-use soap_binq::{SoapClient, WireEncoding};
+use soap_binq::{ClientConfig, SoapClient, WireEncoding};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qm = QualityManager::new(image_quality_file(100.0));
     install_resize_handlers(qm.handlers());
     let svc = service::image_service("x");
-    let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio)?.with_quality(qm);
+    // Frames are large: stream request/response bodies ≥ 64 KiB as chunked
+    // transfer so the framing layer never buffers a whole frame. Image
+    // fetches are reads, so retrying through a garbled response is safe.
+    let config = ClientConfig::default()
+        .chunk_threshold(64 << 10)
+        .idempotent(true);
+    let mut client =
+        SoapClient::connect_with(server.addr(), &svc, WireEncoding::Pbio, config)?.with_quality(qm);
 
     let request = |name: &str| {
         Value::struct_of(

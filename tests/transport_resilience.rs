@@ -116,8 +116,12 @@ fn retry_survives_a_dropped_response_and_replays_the_handshake() {
         .bind("127.0.0.1:0".parse().unwrap())
         .unwrap();
 
+    // A dropped response is ambiguous (the server executed the call before
+    // the fault swallowed the reply), so only idempotent calls may replay
+    // through it.
     let config = ClientConfig::default()
         .call_timeout(Duration::from_millis(500))
+        .idempotent(true)
         .retry_policy(
             RetryPolicy::default()
                 .max_attempts(3)
@@ -269,8 +273,286 @@ fn shutdown_drains_inflight_connections_and_joins_threads() {
         .call("echo", Value::IntArray(vec![1]))
         .unwrap_err();
     assert!(
-        err.is_retryable(),
-        "closed connection surfaces as retryable transport error"
+        err.is_retryable_when_idempotent(),
+        "closed connection is replayable for idempotent calls"
     );
     drop(clients);
+}
+
+#[test]
+fn garbled_response_does_not_replay_a_non_idempotent_call() {
+    // The server executes the first call but its response is cut mid-body.
+    // A non-idempotent client must NOT replay the request (the server-side
+    // effect already happened): the error surfaces, the handler invocation
+    // counter stays at 1, and the suppression is recorded.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let svc = echo_service();
+    let invocations = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&invocations);
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default()
+                .faults(FaultSchedule::new().at(0, FaultAction::CloseMidResponse)),
+        )
+        .handle("echo", move |v| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            v
+        })
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let reg = soap_binq::Registry::new();
+    let config = ClientConfig::default()
+        .telemetry(reg.clone())
+        .call_timeout(Duration::from_millis(500))
+        .retry_policy(
+            RetryPolicy::default()
+                .max_attempts(3)
+                .base_backoff(Duration::from_millis(5)),
+        );
+    let mut client =
+        SoapClient::connect_with(server.addr(), &svc, WireEncoding::Pbio, config).unwrap();
+
+    let v = Value::IntArray(vec![1, 2, 3]);
+    let err = client.call_with_retry("echo", v).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            soap_binq::SoapError::Transport(soap_binq::HttpError::Protocol(_))
+        ),
+        "truncated response surfaces as a protocol-class transport error: {err}"
+    );
+    assert!(
+        !err.is_retryable(),
+        "ambiguous failure is not blind-retryable"
+    );
+    assert!(err.is_retryable_when_idempotent());
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        1,
+        "the call must not have been re-executed server-side"
+    );
+    assert_eq!(client.stats().retries, 0);
+    assert_eq!(client.stats().retries_suppressed, 1);
+    assert_eq!(reg.counter("client.retry.suppressed").get(), 1);
+}
+
+#[test]
+fn idempotent_calls_replay_through_a_garbled_response() {
+    // Same fault as above, but the call is marked idempotent: the retry
+    // layer reconnects and replays, the call completes, and the handler
+    // ran twice (which is fine — that is what idempotent means).
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let svc = echo_service();
+    let invocations = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&invocations);
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default()
+                .faults(FaultSchedule::new().at(0, FaultAction::CloseMidResponse)),
+        )
+        .handle("echo", move |v| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            v
+        })
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let config = ClientConfig::default()
+        .call_timeout(Duration::from_millis(500))
+        .retry_policy(
+            RetryPolicy::default()
+                .max_attempts(3)
+                .base_backoff(Duration::from_millis(5)),
+        );
+    let mut client =
+        SoapClient::connect_with(server.addr(), &svc, WireEncoding::Pbio, config).unwrap();
+
+    let v = Value::IntArray(vec![4, 5, 6]);
+    // Per-call override: the client default is non-idempotent.
+    assert_eq!(
+        client
+            .call_with_retry_idempotent("echo", v.clone())
+            .unwrap(),
+        v
+    );
+    assert_eq!(
+        invocations.load(Ordering::SeqCst),
+        2,
+        "the replay re-executed the handler"
+    );
+    assert_eq!(client.stats().retries, 1);
+    assert_eq!(client.stats().retries_suppressed, 0);
+}
+
+#[test]
+fn bad_content_length_cannot_desync_a_pipelined_connection() {
+    // Regression for the Content-Length desync: a request declaring a
+    // malformed length followed by pipelined bytes that look like a second
+    // request. Lenient parsing (treating the bad length as 0) would answer
+    // the smuggled "request" too; strict framing must answer exactly one
+    // 400 and close the connection.
+    use std::io::{Read, Write};
+
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(
+        b"POST /Echo HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n\
+          GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+    )
+    .unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).ok();
+
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply:?}");
+    assert_eq!(
+        reply.matches("HTTP/1.1").count(),
+        1,
+        "the pipelined bytes must not be parsed as a second request: {reply:?}"
+    );
+}
+
+#[test]
+fn chunked_round_trip_through_the_soap_stack() {
+    // End-to-end chunked framing in both directions: a client above its
+    // chunk threshold streams the request chunked; the server parses it,
+    // echoes, and streams the response chunked under its own policy.
+    let reg = soap_binq::Registry::new();
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default()
+                .telemetry(reg.clone())
+                .chunk_threshold(4 * 1024),
+        )
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let config = ClientConfig::default().chunk_threshold(4 * 1024);
+    let mut client =
+        SoapClient::connect_with(server.addr(), &svc, WireEncoding::Pbio, config).unwrap();
+
+    // ~160 KiB of payload: far above both thresholds.
+    let big = Value::IntArray((0..20_000i64).collect());
+    assert_eq!(client.call("echo", big.clone()).unwrap(), big);
+    assert!(
+        reg.counter("http.chunked.rx").get() >= 1,
+        "request arrived chunked"
+    );
+    assert!(
+        reg.counter("http.chunked.tx").get() >= 1,
+        "response left chunked"
+    );
+
+    // A small call on the same connection drops back to Content-Length
+    // framing and still round-trips.
+    let small = Value::IntArray(vec![7]);
+    assert_eq!(client.call("echo", small.clone()).unwrap(), small);
+}
+
+#[test]
+fn truncated_chunked_response_surfaces_as_protocol_error() {
+    // Fault injection cuts a chunked response mid-chunk; the client must
+    // classify it as a protocol error (ambiguous — not blind-retryable).
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default()
+                .chunk_threshold(1024)
+                .faults(FaultSchedule::new().at(0, FaultAction::CloseMidResponse)),
+        )
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let mut client = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Pbio,
+        ClientConfig::default().call_timeout(Duration::from_millis(500)),
+    )
+    .unwrap();
+
+    // ~80 KiB echo: the chunked response is cut halfway through its body.
+    let big = Value::IntArray((0..10_000i64).collect());
+    let err = client.call("echo", big).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            soap_binq::SoapError::Transport(soap_binq::HttpError::Protocol(_))
+        ),
+        "truncated chunk is a protocol error: {err}"
+    );
+    assert!(!err.is_retryable());
+    assert!(err.is_retryable_when_idempotent());
+}
+
+#[test]
+fn huge_streamed_body_uses_bounded_framing_buffers() {
+    // A 64 MiB upload streamed as 256 KiB chunks: the framing layer must
+    // never materialize more than one chunk at a time. The peak framing
+    // buffer gauge (process-wide high-water mark across line buffers, head
+    // buffers, and chunk reads/writes) proves it stays under the chunk
+    // size — not under 64 MiB.
+    use sbq_http::{ClientConfig as HttpClientConfig, HttpClient, HttpServer, ServerConfig};
+
+    const CHUNK: usize = 256 * 1024;
+    const BODY: usize = 64 * 1024 * 1024;
+
+    let server = HttpServer::bind_with(
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default().max_body_bytes(BODY + 1024),
+        |req: &Request| {
+            // Answer with a tiny digest so the response side cannot hide an
+            // unbounded buffer either.
+            let sum: u64 = req.body.iter().map(|&b| b as u64).sum();
+            let digest = format!("{}:{sum}", req.body.len());
+            sbq_http::Response::ok("text/plain", digest.into_bytes())
+        },
+    )
+    .unwrap();
+
+    let config = HttpClientConfig::default()
+        .chunk_threshold(1024)
+        .chunk_size(CHUNK)
+        .read_timeout(Duration::from_secs(60))
+        .write_timeout(Duration::from_secs(60));
+    let mut client = HttpClient::connect_with(server.addr(), &config).unwrap();
+
+    let body: Vec<u8> = (0..BODY).map(|i| (i % 251) as u8).collect();
+    let expected_sum: u64 = body.iter().map(|&b| b as u64).sum();
+
+    sbq_http::reset_peak_framing_buffer();
+    let resp = client
+        .send(Request::post("/upload", "application/octet-stream", body))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        String::from_utf8(resp.body).unwrap(),
+        format!("{BODY}:{expected_sum}"),
+        "the whole 64 MiB body arrived intact"
+    );
+
+    let peak = sbq_http::peak_framing_buffer();
+    assert!(
+        peak <= CHUNK,
+        "framing buffers stayed within one chunk: peak {peak} bytes > {CHUNK}"
+    );
+    assert!(peak > 0, "the instrumentation actually recorded");
 }
