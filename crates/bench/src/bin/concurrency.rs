@@ -10,8 +10,11 @@
 //! log-bucketed type the servers expose over `/metrics`), and the run
 //! writes its percentile summary to `BENCH_concurrency.json`. Each level
 //! also fetches the live `GET /metrics` exposition and validates it with
-//! the telemetry crate's parser — the process exits nonzero on malformed
-//! exposition text, which is what the CI smoke step checks.
+//! the telemetry crate's parser, and fetches `GET /trace.json` and
+//! validates it as well-formed Chrome trace JSON (the last level's export
+//! is written to `BENCH_trace.json`) — the process exits nonzero on
+//! malformed output of either kind, which is what the CI smoke step
+//! checks.
 //!
 //! ```sh
 //! cargo run --release -p sbq-bench --bin concurrency [-- --short]
@@ -21,7 +24,7 @@
 
 use sbq_bench::{fmt_dur, header};
 use sbq_model::{workload, TypeDesc};
-use sbq_telemetry::{expo, HistogramSnapshot, Registry};
+use sbq_telemetry::{expo, HistogramSnapshot, Registry, TraceConfig};
 use sbq_wsdl::ServiceDef;
 use soap_binq::{ClientConfig, ServerConfig, SoapClient, SoapServerBuilder, WireEncoding};
 use std::time::{Duration, Instant};
@@ -32,6 +35,29 @@ fn echo_service() -> ServiceDef {
         TypeDesc::list_of(TypeDesc::Int),
         TypeDesc::list_of(TypeDesc::Int),
     )
+}
+
+/// Fetches `GET /trace.json` from the live server, validates that it is
+/// well-formed Chrome trace JSON, and returns it; exits nonzero when the
+/// export is malformed or empty of the spans this bench must produce.
+fn check_trace_export(addr: std::net::SocketAddr) -> String {
+    let mut http = sbq_http::HttpClient::connect(addr).expect("connect for /trace.json");
+    let resp = http
+        .send(sbq_http::Request::get("/trace.json"))
+        .expect("GET /trace.json");
+    assert_eq!(resp.status, 200, "/trace.json status");
+    let text = String::from_utf8(resp.body).expect("trace export is utf-8");
+    if let Err(e) = expo::validate_json(&text) {
+        eprintln!("malformed /trace.json export: {e}\n---\n{text}");
+        std::process::exit(1);
+    }
+    for required in ["\"traceEvents\"", "server.request", "server.handler"] {
+        if !text.contains(required) {
+            eprintln!("/trace.json export is missing {required}\n---\n{text}");
+            std::process::exit(1);
+        }
+    }
+    text
 }
 
 /// Fetches `GET /metrics` from the live server and validates the text
@@ -62,7 +88,12 @@ fn check_metrics_exposition(addr: std::net::SocketAddr) {
     }
 }
 
-fn run_level(clients: usize, workers: usize, calls: usize, reg: &Registry) -> HistogramSnapshot {
+fn run_level(
+    clients: usize,
+    workers: usize,
+    calls: usize,
+    reg: &Registry,
+) -> (HistogramSnapshot, String) {
     let svc = echo_service();
     let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
         .unwrap()
@@ -100,7 +131,8 @@ fn run_level(clients: usize, workers: usize, calls: usize, reg: &Registry) -> Hi
     }
 
     check_metrics_exposition(addr);
-    hist.snapshot()
+    let trace_json = check_trace_export(addr);
+    (hist.snapshot(), trace_json)
 }
 
 fn main() {
@@ -111,14 +143,19 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let reg = Registry::new();
+    // Trace the run: sample a fraction of calls (errors always record) into
+    // a ring big enough that the final level's spans survive to export.
+    reg.set_trace_config(TraceConfig::new().capacity(4096).sample_one_in(8));
 
     header(
         &format!("worker-pool call latency ({workers} workers, {calls} calls/client)"),
         &["clients", "p50", "p99", "max"],
     );
     let mut level_json = Vec::new();
+    let mut trace_json = String::new();
     for &clients in levels {
-        let snap = run_level(clients, workers, calls, &reg);
+        let (snap, trace) = run_level(clients, workers, calls, &reg);
+        trace_json = trace;
         println!(
             "{clients:>7} | {} | {} | {}",
             fmt_dur(Duration::from_nanos(snap.quantile(0.5))),
@@ -134,5 +171,9 @@ fn main() {
         level_json.join(",")
     );
     std::fs::write("BENCH_concurrency.json", format!("{json}\n")).expect("write bench json");
-    println!("\nwrote BENCH_concurrency.json; /metrics exposition validated");
+    std::fs::write("BENCH_trace.json", format!("{trace_json}\n")).expect("write trace json");
+    println!(
+        "\nwrote BENCH_concurrency.json and BENCH_trace.json; \
+         /metrics and /trace.json validated"
+    );
 }

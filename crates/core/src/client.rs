@@ -27,7 +27,8 @@ use sbq_model::{pad_to, TypeDesc, Value};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
 use sbq_qos::QualityManager;
 use sbq_runtime::SmallRng;
-use sbq_telemetry::{Counter, Histogram, Registry, Span};
+use sbq_telemetry::trace::TRACE_HEADER;
+use sbq_telemetry::{Counter, Histogram, Registry, Span, TraceSpan, Tracer};
 use sbq_wsdl::{compile, CompiledService, ServiceDef};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -221,18 +222,26 @@ struct ClientMetrics {
     backoff: Histogram,
     encode: Histogram,
     decode: Histogram,
+    tracer: Tracer,
+    encode_name: String,
+    decode_name: String,
 }
 
 impl ClientMetrics {
     fn new(registry: &Registry, encoding: WireEncoding) -> ClientMetrics {
+        let encode_name = format!("marshal.{}.encode", encoding.name());
+        let decode_name = format!("marshal.{}.decode", encoding.name());
         ClientMetrics {
             calls: registry.counter("client.calls"),
             retries: registry.counter("client.retries"),
             retries_suppressed: registry.counter("client.retry.suppressed"),
             reconnects: registry.counter("client.reconnects"),
             backoff: registry.histogram("client.backoff_ns"),
-            encode: registry.histogram(&format!("marshal.{}.encode", encoding.name())),
-            decode: registry.histogram(&format!("marshal.{}.decode", encoding.name())),
+            encode: registry.histogram(&encode_name),
+            decode: registry.histogram(&decode_name),
+            tracer: registry.tracer(),
+            encode_name,
+            decode_name,
             registry: registry.clone(),
         }
     }
@@ -280,6 +289,9 @@ pub struct SoapClient {
     stats: CallStats,
     rng: SmallRng,
     metrics: ClientMetrics,
+    /// Whether the next PBIO call carries the format-registration
+    /// handshake (true after connect and every reconnect).
+    handshake_pending: bool,
 }
 
 impl SoapClient {
@@ -327,6 +339,7 @@ impl SoapClient {
             stats: CallStats::default(),
             rng: SmallRng::seed_from_u64(0x5b9_0a77e5 ^ session),
             metrics,
+            handshake_pending: true,
         })
     }
 
@@ -373,6 +386,7 @@ impl SoapClient {
         self.session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
         self.stats.reconnects += 1;
         self.metrics.reconnects.inc();
+        self.handshake_pending = true;
         Ok(())
     }
 
@@ -412,10 +426,16 @@ impl SoapClient {
         params: Value,
         idempotent: bool,
     ) -> Result<Value, SoapError> {
+        // One root span covers every attempt: retries, backoffs, and
+        // reconnects appear as sibling child spans under it, so a
+        // Karn-suppressed RTT sample is still visible as a span.
+        let mut root = self.metrics.tracer.root_span("client.call");
+        root.add_tag("op", operation);
+        let root_ctx = root.context();
         let policy = self.config.retry.clone();
         let mut retry = 0u32;
-        loop {
-            match self.call_attempt(operation, params.clone(), retry > 0) {
+        let result = loop {
+            match self.call_attempt(operation, params.clone(), retry > 0, &root_ctx) {
                 Err(e) if retry + 1 < policy.attempts() && e.is_retryable_when_idempotent() => {
                     if !idempotent && !e.is_retryable() {
                         // The request may have executed server-side;
@@ -423,19 +443,38 @@ impl SoapClient {
                         // execution. Surface the error instead.
                         self.stats.retries_suppressed += 1;
                         self.metrics.retries_suppressed.inc();
-                        return Err(e);
+                        break Err(e);
                     }
+                    root.force_record();
                     let pause = policy.backoff(retry, &mut self.rng);
                     self.metrics.backoff.record_duration(pause);
-                    std::thread::sleep(pause);
+                    {
+                        let mut bspan = self.metrics.tracer.child_span("client.backoff", &root_ctx);
+                        bspan.force_record();
+                        bspan.add_tag_u64("retry", (retry + 1) as u64);
+                        std::thread::sleep(pause);
+                    }
                     retry += 1;
                     self.stats.retries += 1;
                     self.metrics.retries.inc();
-                    self.reconnect()?;
+                    let mut rspan = self
+                        .metrics
+                        .tracer
+                        .child_span("client.reconnect", &root_ctx);
+                    rspan.force_record();
+                    if let Err(e) = self.reconnect() {
+                        rspan.set_error();
+                        drop(rspan);
+                        break Err(e);
+                    }
                 }
-                other => return other,
+                other => break other,
             }
+        };
+        if result.is_err() {
+            root.set_error();
         }
+        result
     }
 
     /// The compiled service this client speaks.
@@ -450,14 +489,44 @@ impl SoapClient {
     /// type: quality-reduced responses are padded back ("the remaining
     /// entries are padded with zeroes", §III-B.b).
     pub fn call(&mut self, operation: &str, params: Value) -> Result<Value, SoapError> {
-        self.call_attempt(operation, params, false)
+        let mut root = self.metrics.tracer.root_span("client.call");
+        root.add_tag("op", operation);
+        let root_ctx = root.context();
+        let result = self.call_attempt(operation, params, false, &root_ctx);
+        if result.is_err() {
+            root.set_error();
+        }
+        result
     }
 
+    /// One attempt as a child span of `parent` (the per-call root).
+    /// Retried attempts are force-recorded so they are visible even in
+    /// an unsampled trace.
     fn call_attempt(
         &mut self,
         operation: &str,
         params: Value,
         is_retry: bool,
+        parent: &sbq_telemetry::TraceContext,
+    ) -> Result<Value, SoapError> {
+        let mut attempt = self.metrics.tracer.child_span("client.attempt", parent);
+        if is_retry {
+            attempt.force_record();
+            attempt.add_tag("retry", "1");
+        }
+        let result = self.attempt_inner(operation, params, is_retry, &mut attempt);
+        if result.is_err() {
+            attempt.set_error();
+        }
+        result
+    }
+
+    fn attempt_inner(
+        &mut self,
+        operation: &str,
+        params: Value,
+        is_retry: bool,
+        attempt: &mut TraceSpan,
     ) -> Result<Value, SoapError> {
         let stub = self
             .compiled
@@ -475,18 +544,37 @@ impl SoapClient {
             message_type: None,
         };
 
+        let attempt_ctx = attempt.context();
+        let tracer = self.metrics.tracer.clone();
         let t0 = Instant::now();
-        let req = {
+        let mut req = {
             let _span = Span::on(&self.metrics.encode);
+            let _tspan = tracer.child_span(&self.metrics.encode_name, &attempt_ctx);
+            // The first PBIO encode of a session also carries the
+            // format-registration handshake (§III-B.a) — make that cost
+            // visible as its own span.
+            let _handshake = (self.handshake_pending && self.encoding == WireEncoding::Pbio)
+                .then(|| tracer.child_span("pbio.handshake", &attempt_ctx));
             self.encode_request(operation, &params, &stub.input_format, &header)?
         };
+        self.handshake_pending = false;
+        if let Some(h) = attempt.header_value() {
+            req.headers.push((TRACE_HEADER.to_string(), h));
+        }
         self.stats.bytes_sent += req.body.len() as u64;
         let resp = self.http.send(req)?;
         let rtt = t0.elapsed();
         self.stats.bytes_received += resp.body.len() as u64;
+        // The server reports its own span id back; tagging it here lets
+        // a reader jump from the client's attempt straight to the
+        // server's subtree even if the two rings are exported separately.
+        if let Some(server) = resp.server_span() {
+            attempt.add_tag_hex("server_span", server.span_id);
+        }
 
         let (value, resp_header) = {
             let _span = Span::on(&self.metrics.decode);
+            let _tspan = tracer.child_span(&self.metrics.decode_name, &attempt_ctx);
             self.decode_response(&resp, &stub.output, &stub.output_format)?
         };
 
@@ -496,6 +584,7 @@ impl SoapClient {
         self.stats.last_message_type = resp_header.message_type.clone();
         if let Some(mt) = &resp_header.message_type {
             self.metrics.message_type(mt);
+            attempt.add_tag("mt", mt);
         }
         if let Some(q) = &mut self.quality {
             if is_retry {

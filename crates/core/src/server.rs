@@ -19,7 +19,8 @@ use sbq_http::{HttpServer, Request, Response, ServerConfig, ServerHandle};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
 use sbq_qos::QualityManager;
 use sbq_runtime::sync::Mutex;
-use sbq_telemetry::{Counter, Histogram, Registry, Span};
+use sbq_telemetry::trace::{self, TraceContext};
+use sbq_telemetry::{Counter, Histogram, Registry, Span, TraceSpan, Tracer};
 use sbq_wsdl::{compile, CompiledService, ServiceDef, StubSpec};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -167,15 +168,23 @@ struct ServerMetrics {
     reduced: Counter,
     decode: Histogram,
     encode: Histogram,
+    tracer: Tracer,
+    decode_name: String,
+    encode_name: String,
 }
 
 impl ServerMetrics {
     fn new(registry: &Registry, encoding: WireEncoding) -> ServerMetrics {
+        let decode_name = format!("marshal.{}.decode", encoding.name());
+        let encode_name = format!("marshal.{}.encode", encoding.name());
         ServerMetrics {
             faults: registry.counter("server.faults"),
             reduced: registry.counter("server.reduced"),
-            decode: registry.histogram(&format!("marshal.{}.decode", encoding.name())),
-            encode: registry.histogram(&format!("marshal.{}.encode", encoding.name())),
+            decode: registry.histogram(&decode_name),
+            encode: registry.histogram(&encode_name),
+            tracer: registry.tracer(),
+            decode_name,
+            encode_name,
             registry: registry.clone(),
         }
     }
@@ -183,6 +192,16 @@ impl ServerMetrics {
     fn message_type(&self, mt: &str) {
         if self.registry.is_enabled() {
             self.registry.counter(&format!("server.msgtype.{mt}")).inc();
+        }
+    }
+
+    /// A trace child span under the HTTP layer's thread-local handler
+    /// context, or a no-op span when no context is installed (handler
+    /// invoked outside a traced request).
+    fn trace_child(&self, name: &str, parent: Option<TraceContext>) -> TraceSpan {
+        match parent {
+            Some(p) => self.tracer.child_span(name, &p),
+            None => TraceSpan::disabled(),
         }
     }
 }
@@ -261,8 +280,10 @@ impl ServerState {
     }
 
     fn try_serve(&self, req: &Request) -> Result<Response, SoapError> {
+        let parent = trace::current();
         let (operation, params, qos, session) = {
             let _span = Span::on(&self.metrics.decode);
+            let _tspan = self.metrics.trace_child(&self.metrics.decode_name, parent);
             self.decode_request(req)?
         };
         let stub = self
@@ -308,6 +329,7 @@ impl ServerState {
             message_type,
         };
         let _span = Span::on(&self.metrics.encode);
+        let _tspan = self.metrics.trace_child(&self.metrics.encode_name, parent);
         self.encode_response(&operation, &result, &stub, &resp_header, session)
     }
 
@@ -340,6 +362,10 @@ impl ServerState {
                     .stub(&operation)
                     .ok_or_else(|| SoapError::protocol(format!("unknown operation {operation}")))?;
                 let mut sessions = self.sessions.lock();
+                // A session we have never seen carries the PBIO format
+                // handshake in this request; time it as its own span.
+                let handshake = (!sessions.contains_key(&session))
+                    .then(|| self.metrics.trace_child("pbio.handshake", trace::current()));
                 let endpoint = sessions
                     .entry(session)
                     .or_insert_with(|| PbioEndpoint::new(Arc::clone(&self.format_server)));
@@ -352,6 +378,7 @@ impl ServerState {
                         value = Some(v);
                     }
                 }
+                drop(handshake);
                 let value =
                     value.ok_or_else(|| SoapError::protocol("request had no data message"))?;
                 Ok((operation, value, qos, session))

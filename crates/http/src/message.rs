@@ -185,6 +185,13 @@ impl Request {
         self.header(name).is_some()
     }
 
+    /// The caller's trace context from the `X-SBQ-Trace` header, if one
+    /// is present and well-formed. Malformed or oversized values yield
+    /// `None` — propagation is best-effort and never rejects a request.
+    pub fn trace_context(&self) -> Option<sbq_telemetry::TraceContext> {
+        sbq_telemetry::TraceContext::parse(self.header(sbq_telemetry::trace::TRACE_HEADER)?)
+    }
+
     /// Serializes for the wire with `Content-Length` framing,
     /// materializing the whole message (head plus a body copy). Prefer
     /// [`Request::write_to`] on the transmit path — it streams the body
@@ -282,6 +289,13 @@ impl Response {
             "text/xml; charset=utf-8",
             body,
         )
+    }
+
+    /// The server's span context from the `X-SBQ-Span` response header,
+    /// if present and well-formed — what lets a client stitch the
+    /// server's subtree under its own root span.
+    pub fn server_span(&self) -> Option<sbq_telemetry::TraceContext> {
+        sbq_telemetry::TraceContext::parse(self.header(sbq_telemetry::trace::SPAN_HEADER)?)
     }
 
     /// Case-insensitive header lookup.

@@ -16,7 +16,8 @@ use crate::faults::{FaultAction, FaultSchedule};
 use crate::message::{HttpError, Limits, Request, Response, DEFAULT_IO_TIMEOUT};
 use crate::metrics::HttpMetrics;
 use sbq_runtime::channel::{self, Receiver, Sender, TryRecvError};
-use sbq_telemetry::{Registry, Span};
+use sbq_telemetry::trace;
+use sbq_telemetry::{Registry, Span, Tracer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -189,9 +190,11 @@ impl HttpServer {
         let connections = Arc::new(AtomicU64::new(0));
         let workers_n = config.worker_threads;
         let metrics = HttpMetrics::new(&config.telemetry);
+        let tracer = config.telemetry.tracer();
         let ctx = Arc::new(Ctx {
             handler: Box::new(handler),
             metrics,
+            tracer,
             config,
             stop: Arc::clone(&stop),
             requests: AtomicU64::new(0),
@@ -245,6 +248,7 @@ impl HttpServer {
 struct Ctx {
     handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
     metrics: HttpMetrics,
+    tracer: Tracer,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     requests: AtomicU64,
@@ -256,6 +260,9 @@ struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     last_activity: Instant,
+    /// Accept-queue wait, attached as a span to the first request served
+    /// on this connection (then taken).
+    queue_wait: Option<Duration>,
 }
 
 fn worker_loop(
@@ -269,10 +276,9 @@ fn worker_loop(
         // connections can never starve the accept queue.
         match accept_rx.try_recv() {
             Ok((stream, accepted_at)) => {
-                ctx.metrics
-                    .queue_wait
-                    .record_duration(accepted_at.elapsed());
-                if let Some(conn) = open_conn(ctx, stream) {
+                let wait = accepted_at.elapsed();
+                ctx.metrics.queue_wait.record_duration(wait);
+                if let Some(conn) = open_conn(ctx, stream, wait) {
                     slice_then_park(ctx, conn, conn_tx);
                 }
                 continue;
@@ -295,7 +301,7 @@ fn worker_loop(
     }
 }
 
-fn open_conn(ctx: &Ctx, stream: TcpStream) -> Option<Conn> {
+fn open_conn(ctx: &Ctx, stream: TcpStream, queue_wait: Duration) -> Option<Conn> {
     stream.set_nodelay(true).ok()?;
     stream
         .set_write_timeout(Some(ctx.config.write_timeout))
@@ -307,6 +313,7 @@ fn open_conn(ctx: &Ctx, stream: TcpStream) -> Option<Conn> {
         reader: BufReader::new(stream),
         writer,
         last_activity: Instant::now(),
+        queue_wait: Some(queue_wait),
     })
 }
 
@@ -355,6 +362,7 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
             .get_ref()
             .set_read_timeout(Some(ctx.config.read_timeout))
             .ok()?;
+        let read_start = Instant::now();
         let read_span = Span::on(&ctx.metrics.read);
         let parsed = Request::read_from_with(&mut conn.reader, &ctx.config.limits);
         drop(read_span);
@@ -371,7 +379,28 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                     .unwrap_or(false);
                 let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
                 ctx.metrics.method(&req.method);
-                let resp = match builtin_response(ctx, &req) {
+                let rid = request_id(&req, idx);
+                // A malformed or absent X-SBQ-Trace is simply "no caller
+                // context": the request is served normally, the server
+                // span becomes a root.
+                let mut req_span = match req.trace_context() {
+                    Some(caller) => ctx
+                        .tracer
+                        .child_span_at("server.request", &caller, read_start),
+                    None => ctx.tracer.root_span("server.request"),
+                };
+                req_span.add_tag("req_id", &rid);
+                req_span.add_tag("method", &req.method);
+                let sctx = req_span.context();
+                if let Some(wait) = conn.queue_wait.take() {
+                    drop(ctx.tracer.child_span_at(
+                        "server.queue_wait",
+                        &sctx,
+                        trace::backdate(read_start, wait),
+                    ));
+                }
+                drop(ctx.tracer.child_span_at("server.read", &sctx, read_start));
+                let mut resp = match builtin_response(ctx, &req) {
                     Some(resp) => resp,
                     None => {
                         // A panicking handler must not take a pool worker
@@ -381,9 +410,19 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                         // a client report which call blew up.
                         ctx.metrics.inflight.inc();
                         let handler_span = Span::on(&ctx.metrics.handler);
+                        let mut handler_tspan = ctx.tracer.child_span("server.handler", &sctx);
+                        let hctx = handler_tspan.context();
+                        let enabled = handler_tspan.is_enabled();
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            // Lower layers (marshalling, QoS) parent their
+                            // spans on this thread-local context.
+                            let _guard = enabled.then(|| trace::set_current(hctx));
                             (ctx.handler)(&req)
                         }));
+                        if result.is_err() {
+                            handler_tspan.set_error();
+                        }
+                        drop(handler_tspan);
                         drop(handler_span);
                         ctx.metrics.inflight.dec();
                         match result {
@@ -397,27 +436,47 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                                     "text/plain",
                                     format!("handler panicked (request {idx})").into_bytes(),
                                 );
-                                resp.headers
-                                    .push(("X-Request-Id".to_string(), idx.to_string()));
+                                resp.headers.push(("X-Request-Id".to_string(), rid.clone()));
                                 resp.headers
                                     .push(("Connection".to_string(), "close".to_string()));
-                                let _write_span = Span::on(&ctx.metrics.write);
+                                req_span.set_error();
+                                req_span.add_tag_u64("status", 500);
+                                if let Some(h) = req_span.header_value() {
+                                    resp.headers.push((trace::SPAN_HEADER.to_string(), h));
+                                }
+                                let write_span = Span::on(&ctx.metrics.write);
+                                let wspan = ctx.tracer.child_span("server.write", &sctx);
                                 write_response(ctx, &mut conn.writer, &resp, None);
+                                drop(wspan);
+                                drop(write_span);
                                 return None;
                             }
                         }
                     }
                 };
                 ctx.metrics.status(resp.status);
+                resp.headers.push(("X-Request-Id".to_string(), rid.clone()));
+                if let Some(h) = req_span.header_value() {
+                    resp.headers.push((trace::SPAN_HEADER.to_string(), h));
+                }
+                req_span.add_tag_u64("status", resp.status as u64);
+                if resp.status >= 500 {
+                    req_span.set_error();
+                }
                 let keep = {
-                    let _write_span = Span::on(&ctx.metrics.write);
-                    write_response(
+                    let write_span = Span::on(&ctx.metrics.write);
+                    let wspan = ctx.tracer.child_span("server.write", &sctx);
+                    let keep = write_response(
                         ctx,
                         &mut conn.writer,
                         &resp,
                         ctx.config.faults.action_for(idx),
-                    )
+                    );
+                    drop(wspan);
+                    drop(write_span);
+                    keep
                 };
+                drop(req_span);
                 if !keep || close_requested {
                     return None;
                 }
@@ -430,17 +489,33 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                 }
             }
             Err(e) => {
-                write_error_response(&mut conn.writer, &e);
+                let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
+                write_error_response(&mut conn.writer, &e, idx);
                 return None;
             }
         }
     }
 }
 
+/// The request id echoed on every response: the client-supplied
+/// `X-Request-Id` when it is sane (non-empty, ≤ 128 bytes, printable
+/// ASCII), else the server's monotonic request index.
+fn request_id(req: &Request, idx: u64) -> String {
+    match req.header("x-request-id").map(str::trim) {
+        Some(v)
+            if !v.is_empty() && v.len() <= 128 && v.bytes().all(|b| (0x20..0x7f).contains(&b)) =>
+        {
+            v.to_string()
+        }
+        _ => idx.to_string(),
+    }
+}
+
 /// Built-in observability endpoints, served ahead of the application
-/// handler: `GET /metrics` (text exposition) and `GET /metrics.json`.
-/// These two paths are reserved — requests to them never reach the
-/// handler.
+/// handler: `GET /metrics` (text exposition), `GET /metrics.json`,
+/// `GET /trace.json` (Chrome `trace_event` snapshot of the flight
+/// recorder), and `GET /trace.txt` (compact span-tree dump). These
+/// paths are reserved — requests to them never reach the handler.
 fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
     if req.method != "GET" {
         return None;
@@ -453,6 +528,14 @@ fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
         "/metrics.json" => Some(Response::ok(
             "application/json",
             ctx.config.telemetry.render_json().into_bytes(),
+        )),
+        "/trace.json" => Some(Response::ok(
+            "application/json",
+            ctx.tracer.render_chrome_json().into_bytes(),
+        )),
+        "/trace.txt" => Some(Response::ok(
+            "text/plain; charset=utf-8",
+            ctx.tracer.render_text_dump().into_bytes(),
         )),
         _ => None,
     }
@@ -500,7 +583,9 @@ fn write_response(
 
 /// Best-effort error reply before closing: `413` for size-limit
 /// violations, `408` for a stalled sender, `400` for anything malformed.
-fn write_error_response(w: &mut TcpStream, e: &HttpError) {
+/// Even these carry an `X-Request-Id` (minted — the request never parsed,
+/// so there is no client id to echo).
+fn write_error_response(w: &mut TcpStream, e: &HttpError, idx: u64) {
     let (status, reason) = match e {
         HttpError::TooLarge { .. } => (413, "Payload Too Large"),
         HttpError::Timeout(_) => (408, "Request Timeout"),
@@ -513,6 +598,8 @@ fn write_error_response(w: &mut TcpStream, e: &HttpError) {
         "text/plain; charset=utf-8",
         e.to_string().into(),
     );
+    resp.headers
+        .push(("X-Request-Id".to_string(), idx.to_string()));
     resp.headers
         .push(("Connection".to_string(), "close".to_string()));
     let _ = w.write_all(&resp.to_bytes());
@@ -865,6 +952,142 @@ mod tests {
         assert_eq!(resp.body, b"# telemetry disabled\n");
         let resp = c.send(Request::get("/metrics.json")).unwrap();
         assert_eq!(resp.body, b"{\"enabled\":false}");
+    }
+
+    #[test]
+    fn every_response_carries_a_request_id() {
+        let handle = echo_server(ServerConfig::default());
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        // Minted on a plain request (monotonic index).
+        let resp = c.post("/a", "text/plain", b"x".to_vec()).unwrap();
+        assert_eq!(resp.header("x-request-id"), Some("0"));
+        // Builtin endpoints carry one too.
+        let resp = c.send(Request::get("/metrics")).unwrap();
+        assert_eq!(resp.header("x-request-id"), Some("1"));
+        // A client-supplied id is echoed, not replaced.
+        let mut req = Request::post("/b", "text/plain", b"y".to_vec());
+        req.headers
+            .push(("X-Request-Id".to_string(), "client-abc-123".to_string()));
+        let resp = c.send(req).unwrap();
+        assert_eq!(resp.header("x-request-id"), Some("client-abc-123"));
+        // A hostile id (oversized) is replaced with a minted one.
+        let mut req = Request::post("/c", "text/plain", b"z".to_vec());
+        req.headers
+            .push(("X-Request-Id".to_string(), "x".repeat(500)));
+        let resp = c.send(req).unwrap();
+        assert_eq!(resp.header("x-request-id"), Some("3"));
+    }
+
+    #[test]
+    fn error_responses_carry_a_request_id() {
+        let handle = echo_server(ServerConfig::default().max_body_bytes(64));
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+        assert!(
+            text.to_ascii_lowercase().contains("x-request-id:"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn malformed_trace_header_is_ignored_never_400() {
+        let reg = Registry::new();
+        let handle = echo_server(ServerConfig::default().telemetry(reg.clone()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        for bad in [
+            "not-a-context".to_string(),
+            String::new(),
+            "00-zzzz-yyyy-01".to_string(),
+            "x".repeat(10_000), // oversized (but under the header cap)
+            "00-00000000000000000000000000000000-0000000000000000-01".to_string(),
+        ] {
+            let mut req = Request::post("/x", "text/plain", b"hi".to_vec());
+            req.headers.push(("X-SBQ-Trace".to_string(), bad));
+            let resp = c.send(req).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, b"hi");
+            // No caller context → the server span is a fresh root, and
+            // the response still reports it.
+            assert!(resp.server_span().is_some());
+        }
+    }
+
+    #[test]
+    fn wellformed_trace_header_is_adopted_and_echoed() {
+        let reg = Registry::new();
+        let handle = echo_server(ServerConfig::default().telemetry(reg.clone()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        let caller = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        let mut req = Request::post("/x", "text/plain", b"hi".to_vec());
+        req.headers
+            .push(("X-SBQ-Trace".to_string(), caller.to_string()));
+        let resp = c.send(req).unwrap();
+        let span = resp.server_span().expect("server reports its span");
+        assert_eq!(span.trace_id, 0x4bf92f3577b34da6a3ce929d0e0e4736);
+        assert_ne!(span.span_id, 0x00f067aa0ba902b7, "fresh server span id");
+        assert!(span.sampled());
+        // The recorded server spans share the caller's trace id.
+        let events = reg.tracer().snapshot();
+        let req_span = events
+            .iter()
+            .find(|e| e.name == "server.request")
+            .expect("server.request recorded");
+        assert_eq!(req_span.trace_id, 0x4bf92f3577b34da6a3ce929d0e0e4736);
+        assert_eq!(req_span.parent_id, 0x00f067aa0ba902b7);
+        for phase in [
+            "server.queue_wait",
+            "server.read",
+            "server.handler",
+            "server.write",
+        ] {
+            let e = events
+                .iter()
+                .find(|e| e.name == phase)
+                .unwrap_or_else(|| panic!("{phase} missing"));
+            assert_eq!(e.trace_id, req_span.trace_id);
+            assert_eq!(e.parent_id, req_span.span_id, "{phase} parents on request");
+        }
+    }
+
+    #[test]
+    fn trace_json_endpoint_serves_valid_chrome_json() {
+        let reg = Registry::new();
+        let handle = echo_server(ServerConfig::default().telemetry(reg.clone()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        let resp = c.send(Request::get("/trace.json")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        let json = String::from_utf8(resp.body).unwrap();
+        sbq_telemetry::expo::validate_json(&json).expect("trace.json validates");
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"server.request\""));
+        let resp = c.send(Request::get("/trace.txt")).unwrap();
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("server.request"));
+    }
+
+    #[test]
+    fn disabled_telemetry_trace_json_is_empty_but_valid() {
+        let handle = echo_server(ServerConfig::default().telemetry(Registry::disabled()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        let resp = c.send(Request::get("/trace.json")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+        // Responses still carry request ids with telemetry off.
+        assert_eq!(resp.header("x-request-id"), Some("1"));
+        // But no span header: there is nothing to stitch.
+        assert_eq!(resp.server_span(), None);
     }
 
     #[test]

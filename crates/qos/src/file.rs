@@ -320,6 +320,12 @@ impl BandSelector {
     pub fn current(&self) -> Option<&QualityRule> {
         self.current.map(|i| &self.file.rules[i])
     }
+
+    /// Index of the currently selected band (what the `qos.band` gauge
+    /// mirrors), or `None` before the first sample.
+    pub fn band(&self) -> Option<usize> {
+        self.current
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::file::{BandSelector, QualityFile, QualityRule, SwitchPolicy};
 use crate::handler::HandlerRegistry;
 use crate::jacobson::JacobsonEstimator;
 use sbq_model::{pad_to, project, TypeDesc, Value};
-use sbq_telemetry::{Counter, Histogram, Registry};
+use sbq_telemetry::{trace, Counter, Histogram, Registry, TraceSpan, Tracer};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -87,6 +87,7 @@ pub struct QualityManager {
     telemetry: Registry,
     rtt_hist: Histogram,
     karn: Counter,
+    tracer: Tracer,
 }
 
 impl QualityManager {
@@ -118,6 +119,7 @@ impl QualityManager {
             suppressed: 0,
             rtt_hist: telemetry.histogram("qos.rtt_us"),
             karn: telemetry.counter("qos.karn_suppressed"),
+            tracer: telemetry.tracer(),
             telemetry,
         }
     }
@@ -132,6 +134,7 @@ impl QualityManager {
         self.rtt_hist = registry.histogram("qos.rtt_us");
         self.karn = registry.counter("qos.karn_suppressed");
         self.selector = self.selector.telemetry(registry);
+        self.tracer = registry.tracer();
         self.telemetry = registry.clone();
         self
     }
@@ -243,13 +246,27 @@ impl QualityManager {
     /// reduced message type, or passes the value through unchanged.
     pub fn prepare(&mut self, full: &Value) -> PreparedMessage {
         let rule = self.select().clone();
+        // Annotate the enclosing request trace (if any) with what quality
+        // management decided: the active band, the selected message type,
+        // and which reduction path ran.
+        let mut tspan = match trace::current() {
+            Some(parent) => self.tracer.child_span("qos.prepare", &parent),
+            None => TraceSpan::disabled(),
+        };
+        if let Some(band) = self.selector.band() {
+            tspan.add_tag_u64("band", band as u64);
+        }
+        tspan.add_tag("mt", &rule.message_type);
         let value = if let Some(hname) = &rule.handler {
+            tspan.add_tag("reduce", hname);
             self.handlers
                 .apply_or_identity(hname, full, &self.attributes)
         } else if let Some(ty) = self.message_types.get(&rule.message_type) {
             // "It then copies the relevant fields … and ignores the rest."
+            tspan.add_tag("reduce", "project");
             project(full, ty).unwrap_or_else(|_| full.clone())
         } else {
+            tspan.add_tag("reduce", "none");
             full.clone()
         };
         PreparedMessage {
@@ -352,6 +369,40 @@ attribute rtt
         assert_eq!(reg.counter("qos.karn_suppressed").get(), 2);
         m.select();
         assert_eq!(reg.gauge("qos.band").get(), 1, "estimator state survived");
+    }
+
+    #[test]
+    fn prepare_tags_the_current_trace_with_band_and_reduction() {
+        let reg = Registry::new();
+        let tracer = reg.tracer();
+        let mut m = manager().telemetry(&reg);
+        m.observe_rtt(Duration::from_millis(500), Duration::ZERO);
+        // Outside any request trace, prepare must not record anything.
+        m.prepare(&full_value());
+        assert_eq!(tracer.recorded_total(), 0);
+        // Under an installed context it becomes a child span.
+        let root = tracer.root_span("test.root");
+        let root_span = root.context().span_id;
+        {
+            let _guard = trace::set_current(root.context());
+            m.prepare(&full_value());
+        }
+        drop(root);
+        let spans = tracer.snapshot();
+        let qos = spans
+            .iter()
+            .find(|s| s.name == "qos.prepare")
+            .expect("qos.prepare span recorded");
+        assert_eq!(qos.parent_id, root_span);
+        let tag = |k: &str| {
+            qos.tags
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(tag("band"), Some("1"), "congested: small band active");
+        assert_eq!(tag("mt"), Some("reading_small"));
+        assert_eq!(tag("reduce"), Some("project"), "projection handler ran");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cargo bench -p sbq-telemetry
 //! ```
 
-use sbq_telemetry::{Registry, Span};
+use sbq_telemetry::{Registry, Span, TraceConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -51,6 +51,31 @@ fn main() {
     ns_per_op("histogram.record (disabled)", |i| h_off.record(i));
 
     ns_per_op("span (disabled)", |_| drop(Span::on(&h_off)));
+
+    // Trace spans into the flight recorder: sampled (packs + publishes
+    // a 26-word slot), unsampled (clock reads only), and disabled.
+    reg.set_trace_config(TraceConfig::new().capacity(4096));
+    let tracer = reg.tracer();
+    ns_per_op("trace.span (recorded)", |_| {
+        drop(tracer.root_span("bench.trace"))
+    });
+    ns_per_op("trace.span + 3 tags", |i| {
+        let mut s = tracer.root_span("bench.trace");
+        s.add_tag("op", "bench");
+        s.add_tag_u64("i", i);
+        s.add_tag_hex("peer", i);
+    });
+    let unsampled = Registry::new();
+    unsampled.set_trace_config(TraceConfig::new().sample_one_in(u64::MAX));
+    let unsampled = unsampled.tracer();
+    drop(unsampled.root_span("burn.first.ticket"));
+    ns_per_op("trace.span (unsampled)", |_| {
+        drop(unsampled.root_span("bench.trace"))
+    });
+    let tracer_off = off.tracer();
+    ns_per_op("trace.span (disabled)", |_| {
+        drop(tracer_off.root_span("bench.trace"))
+    });
 
     // Contended: 8 threads on one counter and one histogram.
     let t0 = Instant::now();

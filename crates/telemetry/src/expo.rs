@@ -32,9 +32,22 @@
 use crate::RegistryInner;
 
 fn text_name(name: &str) -> String {
-    name.chars()
+    let mut out: String = name
+        .chars()
         .map(|c| if c == '.' || c == '-' { '_' } else { c })
-        .collect()
+        .collect();
+    // A registered name may legally start with a digit (a dynamic
+    // message-type like `client.msgtype.4k_frame` sanitizes to one);
+    // Prometheus names may not. Prefix so the exposition always
+    // round-trips through parse_text.
+    if !out
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        out.insert(0, '_');
+    }
+    out
 }
 
 pub(crate) fn render_text(inner: &RegistryInner) -> String {
@@ -62,7 +75,7 @@ pub(crate) fn render_text(inner: &RegistryInner) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     // Registered names are sanitized to [A-Za-z0-9._-], but escape anyway
     // so this writer is safe for any caller.
     let mut out = String::with_capacity(s.len());
@@ -187,15 +200,179 @@ pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
 }
 
 fn is_name(s: &str) -> bool {
+    // Prometheus name grammar: [a-zA-Z_:][a-zA-Z0-9_:]*
     !s.is_empty()
         && s.chars()
             .next()
-            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 fn is_metric_type(s: &str) -> bool {
     matches!(s, "counter" | "gauge" | "summary")
+}
+
+/// Validates that `s` is one complete, well-formed JSON value (RFC
+/// 8259 grammar, no trailing garbage). This is the programmatic check
+/// behind "`/trace.json` loads as valid Chrome trace JSON" — the bench
+/// self-check and tests run it instead of eyeballing output in
+/// `chrome://tracing`.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    parse_json_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_json_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(format!("unexpected end of input at offset {pos}"));
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_json_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                parse_json_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_json_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        b'"' => parse_json_string(b, pos),
+        b't' => parse_json_lit(b, pos, "true"),
+        b'f' => parse_json_lit(b, pos, "false"),
+        b'n' => parse_json_lit(b, pos, "null"),
+        b'-' | b'0'..=b'9' => parse_json_number(b, pos),
+        c => Err(format!("unexpected byte {c:#04x} at offset {pos}")),
+    }
+}
+
+fn parse_json_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_json_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                let esc = b
+                    .get(*pos + 1)
+                    .ok_or_else(|| format!("dangling escape at offset {pos}"))?;
+                match esc {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *pos += 2,
+                    b'u' => {
+                        let hex = b
+                            .get(*pos + 2..*pos + 6)
+                            .ok_or_else(|| format!("short \\u escape at offset {pos}"))?;
+                        if !hex.iter().all(|c| c.is_ascii_hexdigit()) {
+                            return Err(format!("bad \\u escape at offset {pos}"));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control char at offset {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_json_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(pos) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(pos) {
+            return Err(format!("bad fraction at offset {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if !digits(pos) {
+            return Err(format!("bad exponent at offset {start}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -269,5 +446,104 @@ mod tests {
     #[test]
     fn json_escapes_control_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn digit_leading_names_round_trip() {
+        // Dynamic names (message types like `4k_frame`) sanitize to a
+        // digit-leading registered name; the text form must still parse.
+        let reg = Registry::new();
+        reg.counter("client.msgtype.4k_frame").add(7);
+        reg.counter("42bad").inc();
+        reg.histogram("9.lead").record(5);
+        let text = reg.render_text();
+        let samples = parse_text(&text).expect("digit-leading names render parseably");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "client_msgtype_4k_frame" && s.value == 7.0));
+        assert!(samples.iter().any(|s| s.name == "_42bad"));
+        assert!(samples.iter().any(|s| s.name == "_9_lead_count"));
+    }
+
+    #[test]
+    fn colon_names_are_prometheus_legal() {
+        assert!(parse_text("name:sub 1\n").is_ok());
+        assert!(parse_text(":rule 2\n").is_ok());
+    }
+
+    #[test]
+    fn validate_json_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            " { \"a\" : [1, -2.5e3, true, false, null, \"s\\n\\u00e9\"] } ",
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"ph\":\"X\"}]}",
+            "3.14",
+            "\"lone string\"",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good:?}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{'a':1}",
+            "{\"a\":1}tail",
+            "nul",
+            "01e",
+            "\"unterminated",
+            "\"bad\\escape\"",
+            "\"ctrl\u{1}char\"",
+            "{\"a\":+1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn metrics_json_passes_the_validator() {
+        validate_json(&populated().render_json()).expect("metrics json validates");
+    }
+
+    /// Property-style round-trip: a randomized registry (hostile names
+    /// included) must render to text that parses, and re-render from
+    /// the same registry identically. 64 seeded cases.
+    #[test]
+    fn random_registries_render_parse_render() {
+        use sbq_runtime::rand::SmallRng;
+        let mut rng = SmallRng::seed_from_u64(0x5b9);
+        let alphabet: Vec<char> = "abzAZ059._-:{}\"\\ \n\téπ♞".chars().collect();
+        for case in 0..64 {
+            let mut rng = rng.split();
+            let reg = Registry::new();
+            let n_metrics = 1 + rng.gen_below(12) as usize;
+            for _ in 0..n_metrics {
+                let len = 1 + rng.gen_below(24) as usize;
+                let name: String = (0..len)
+                    .map(|_| alphabet[rng.gen_below(alphabet.len() as u64) as usize])
+                    .collect();
+                match rng.gen_below(3) {
+                    0 => reg.counter(&name).add(rng.gen_below(1 << 40)),
+                    1 => reg.gauge(&name).set(rng.gen_range(-(1 << 30), 1 << 30)),
+                    _ => {
+                        let h = reg.histogram(&name);
+                        for _ in 0..rng.gen_below(20) {
+                            h.record(rng.gen_below(1 << 32));
+                        }
+                    }
+                }
+            }
+            let text1 = reg.render_text();
+            let parsed = parse_text(&text1)
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n--- exposition ---\n{text1}"));
+            assert!(!parsed.is_empty(), "case {case}: no samples");
+            let text2 = reg.render_text();
+            assert_eq!(text1, text2, "case {case}: render not deterministic");
+            validate_json(&reg.render_json()).unwrap_or_else(|e| panic!("case {case} json: {e}"));
+        }
     }
 }

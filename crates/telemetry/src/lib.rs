@@ -37,20 +37,25 @@ pub mod expo;
 pub mod histogram;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use span::Span;
+pub use trace::{SpanEvent, TraceConfig, TraceContext, TraceSpan, Tracer};
 
 use histogram::HistCell;
 use metrics::{CounterCell, GaugeCell};
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
+use trace::TracerInner;
 
 pub(crate) struct RegistryInner {
     pub(crate) counters: RwLock<BTreeMap<String, Arc<CounterCell>>>,
     pub(crate) gauges: RwLock<BTreeMap<String, Arc<GaugeCell>>>,
     pub(crate) histograms: RwLock<BTreeMap<String, Arc<HistCell>>>,
+    pub(crate) tracer: OnceLock<Arc<TracerInner>>,
+    pub(crate) trace_config: RwLock<TraceConfig>,
 }
 
 /// A named-metric registry; see the crate docs. Cloning is cheap (all
@@ -87,7 +92,10 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-fn get_or_insert<V: Default>(map: &RwLock<BTreeMap<String, Arc<V>>>, name: &str) -> Arc<V> {
+pub(crate) fn get_or_insert<V: Default>(
+    map: &RwLock<BTreeMap<String, Arc<V>>>,
+    name: &str,
+) -> Arc<V> {
     let name = sanitize(name);
     if let Some(v) = read(map).get(&name) {
         return Arc::clone(v);
@@ -103,6 +111,8 @@ impl Registry {
                 counters: RwLock::new(BTreeMap::new()),
                 gauges: RwLock::new(BTreeMap::new()),
                 histograms: RwLock::new(BTreeMap::new()),
+                tracer: OnceLock::new(),
+                trace_config: RwLock::new(TraceConfig::new()),
             })),
         }
     }
@@ -152,6 +162,38 @@ impl Registry {
             return Span::disabled();
         }
         Span::on(&self.histogram(name))
+    }
+
+    /// Sets the tracing configuration (ring capacity, sampling ratio)
+    /// for this registry. Must be called **before** the first
+    /// [`Registry::tracer`] call — the flight recorder is allocated
+    /// once, lazily, and later config changes are ignored. No-op on a
+    /// disabled registry.
+    pub fn set_trace_config(&self, config: TraceConfig) {
+        if let Some(i) = &self.inner {
+            *write(&i.trace_config) = config;
+        }
+    }
+
+    /// The tracer for this registry (flight recorder allocated on first
+    /// call, using the config from [`Registry::set_trace_config`]).
+    /// Tracers are cheap to clone and share one ring per registry; a
+    /// disabled registry yields a tracer that no-ops everywhere.
+    pub fn tracer(&self) -> Tracer {
+        match &self.inner {
+            Some(i) => Tracer {
+                inner: Some(Arc::clone(i.tracer.get_or_init(|| {
+                    Arc::new(TracerInner::new(*read(&i.trace_config), i))
+                }))),
+            },
+            None => Tracer::disabled(),
+        }
+    }
+
+    /// Chrome `trace_event` JSON snapshot of the flight recorder (what
+    /// `GET /trace.json` serves); see [`Tracer::render_chrome_json`].
+    pub fn render_chrome_json(&self) -> String {
+        self.tracer().render_chrome_json()
     }
 
     /// Text exposition of every metric; see [`expo`] for the format.

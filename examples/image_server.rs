@@ -11,15 +11,23 @@
 use sbq_imaging::{image_quality_file, install_resize_handlers, service, ImageStore};
 use sbq_model::Value;
 use sbq_qos::QualityManager;
-use soap_binq::{ClientConfig, SoapClient, WireEncoding};
+use soap_binq::{ClientConfig, Registry, SoapClient, TraceConfig, WireEncoding};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Request tracing: keep 1 in 4 frames in the flight recorder (errors
+    // always record); set before the server binds so the ring picks it up.
+    Registry::default().set_trace_config(TraceConfig::new().sample_one_in(4));
+
     // Server: three synthetic star fields, quality threshold 100 ms.
     let store = ImageStore::with_starfields(3, 2024);
     let server = store.serve("127.0.0.1:0".parse()?, WireEncoding::Pbio, Some(100.0))?;
     println!("image server on {}", server.addr());
     println!("metrics at http://{}/metrics", server.addr());
+    println!(
+        "traces  at http://{}/trace.json (open in Perfetto)",
+        server.addr()
+    );
 
     // Client with its own quality manager (same policy file).
     let qm = QualityManager::new(image_quality_file(100.0));

@@ -7,9 +7,14 @@
 
 use sbq_model::{workload, TypeDesc, Value};
 use sbq_wsdl::{write_wsdl, ServiceDef};
-use soap_binq::{SoapClient, SoapServerBuilder, WireEncoding};
+use soap_binq::{Registry, SoapClient, SoapServerBuilder, TraceConfig, WireEncoding};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 0. Request tracing: keep 1 in 4 calls in the flight recorder
+    //    (errors always record). The config must be set before the first
+    //    server binds — the ring is allocated on first use.
+    Registry::default().set_trace_config(TraceConfig::new().sample_one_in(4));
+
     // 1. Describe the service — in a real deployment this comes from a
     //    WSDL file; here we build it and print the WSDL it advertises.
     let svc = ServiceDef::new("Calculator", "urn:sbq:calc", "http://127.0.0.1:0/calc")
@@ -47,6 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .bind("127.0.0.1:0".parse()?)?;
     println!("server listening on {}", server.addr());
     println!("metrics at http://{}/metrics", server.addr());
+    println!(
+        "traces  at http://{}/trace.json (open in Perfetto)",
+        server.addr()
+    );
 
     // 3. Call it with each wire encoding and compare the bytes moved.
     for enc in [

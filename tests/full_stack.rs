@@ -171,6 +171,70 @@ fn large_payloads_cross_the_stack() {
 }
 
 #[test]
+fn tracing_stitches_calls_on_every_encoding() {
+    // Tracing is encoding-agnostic: the XML and compressed-XML paths must
+    // produce the same stitched span tree as PBIO, with the marshal spans
+    // named for their encoding.
+    for (enc, marshal) in [
+        (WireEncoding::Xml, "marshal.xml"),
+        (WireEncoding::CompressedXml, "marshal.lzxml"),
+    ] {
+        let reg = soap_binq::Registry::new();
+        reg.set_trace_config(soap_binq::TraceConfig::new().sample_one_in(1));
+        let svc = sensor_service();
+        let server = SoapServerBuilder::new(&svc, enc)
+            .unwrap()
+            .transport(soap_binq::ServerConfig::default().telemetry(reg.clone()))
+            .handle("ping", |v| v)
+            .bind("127.0.0.1:0".parse().unwrap())
+            .unwrap();
+        let mut client = SoapClient::connect_with(
+            server.addr(),
+            &svc,
+            enc,
+            soap_binq::ClientConfig::default().telemetry(reg.clone()),
+        )
+        .unwrap();
+        assert_eq!(client.call("ping", Value::Int(5)).unwrap(), Value::Int(5));
+
+        // The server's request span records when its worker drops it,
+        // which can trail the client seeing the response by a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let spans = loop {
+            let spans = reg.tracer().snapshot();
+            if spans.iter().any(|s| s.name == "server.request")
+                || std::time::Instant::now() > deadline
+            {
+                break spans;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        };
+        let root = spans
+            .iter()
+            .find(|s| s.name == "client.call")
+            .unwrap_or_else(|| panic!("{enc:?}: no client root in {spans:#?}"));
+        assert!(
+            spans.iter().all(|s| s.trace_id == root.trace_id),
+            "{enc:?}: one trace id"
+        );
+        let attempt = spans.iter().find(|s| s.name == "client.attempt").unwrap();
+        let request = spans.iter().find(|s| s.name == "server.request").unwrap();
+        assert_eq!(request.parent_id, attempt.span_id, "{enc:?}: stitched");
+        for suffix in [".encode", ".decode"] {
+            let name = format!("{marshal}{suffix}");
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "{enc:?}: {name} missing from {spans:#?}"
+            );
+        }
+        assert!(
+            !spans.iter().any(|s| s.name == "pbio.handshake"),
+            "{enc:?}: XML modes have no PBIO handshake"
+        );
+    }
+}
+
+#[test]
 fn faults_cross_every_encoding() {
     for enc in [
         WireEncoding::Pbio,

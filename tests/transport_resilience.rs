@@ -27,6 +27,21 @@ fn single_band_quality() -> QualityManager {
     QualityManager::new(QualityFile::parse("attribute rtt\n0 inf - full\n").unwrap())
 }
 
+/// Snapshots the registry's flight recorder, waiting briefly for `names`
+/// to appear: server-side spans record when the worker drops them, which
+/// can trail the client's view of the response.
+fn wait_for_spans(reg: &soap_binq::Registry, names: &[&str]) -> Vec<sbq_telemetry::SpanEvent> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let spans = reg.tracer().snapshot();
+        let all_present = names.iter().all(|n| spans.iter().any(|s| s.name == *n));
+        if all_present || std::time::Instant::now() > deadline {
+            return spans;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 #[test]
 fn sixty_four_concurrent_clients_on_a_small_pool() {
     // Far more keep-alive connections than workers: the pool must
@@ -501,6 +516,231 @@ fn truncated_chunked_response_surfaces_as_protocol_error() {
     );
     assert!(!err.is_retryable());
     assert!(err.is_retryable_when_idempotent());
+}
+
+#[test]
+fn one_call_yields_one_stitched_cross_process_trace() {
+    // The tracing acceptance path: client and server share one registry
+    // (and so one flight recorder) with sampling at 1/1. A single call
+    // must produce ONE span tree under ONE trace id, stitched across the
+    // client/server boundary by the X-SBQ-Trace header: the client root
+    // and attempt, the server request with its queue-wait/read/handler/
+    // write phases, the marshal spans on both ends, and the QoS band
+    // annotation from the server-side quality manager.
+    let reg = soap_binq::Registry::new();
+    reg.set_trace_config(soap_binq::TraceConfig::new().sample_one_in(1));
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().telemetry(reg.clone()))
+        .with_quality(single_band_quality().telemetry(&reg))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let mut client = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Pbio,
+        ClientConfig::default().telemetry(reg.clone()),
+    )
+    .unwrap();
+
+    let v = Value::IntArray(vec![1, 2, 3]);
+    assert_eq!(client.call("echo", v.clone()).unwrap(), v);
+
+    // The server's request/write spans record when the worker drops them,
+    // which can trail the client seeing the response by a moment.
+    let spans = wait_for_spans(&reg, &["server.request", "server.write"]);
+    let find = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span {name} missing; got {spans:#?}"))
+    };
+    let root = find("client.call");
+    assert_eq!(root.parent_id, 0, "client root has no parent");
+    assert!(
+        spans.iter().all(|s| s.trace_id == root.trace_id),
+        "every span of the call shares one trace id: {spans:#?}"
+    );
+    let attempt = find("client.attempt");
+    assert_eq!(attempt.parent_id, root.span_id);
+    // The server adopted the attempt's context from X-SBQ-Trace — one
+    // trace id across the client/server boundary, parented correctly.
+    let request = find("server.request");
+    assert_eq!(request.parent_id, attempt.span_id, "cross-process stitch");
+    for phase in ["server.queue_wait", "server.read", "server.write"] {
+        assert_eq!(find(phase).parent_id, request.span_id, "{phase}");
+    }
+    let handler = find("server.handler");
+    assert_eq!(handler.parent_id, request.span_id);
+    // Marshalling on both ends: the client's encode/decode parent on the
+    // attempt, the server's on the handler (via the thread-local bridge).
+    let marshal_parents: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "marshal.pbio.encode" || s.name == "marshal.pbio.decode")
+        .map(|s| s.parent_id)
+        .collect();
+    assert_eq!(marshal_parents.len(), 4, "encode+decode on each end");
+    assert_eq!(
+        marshal_parents
+            .iter()
+            .filter(|&&p| p == attempt.span_id)
+            .count(),
+        2,
+        "client-side marshal spans"
+    );
+    assert_eq!(
+        marshal_parents
+            .iter()
+            .filter(|&&p| p == handler.span_id)
+            .count(),
+        2,
+        "server-side marshal spans"
+    );
+    // Quality management annotated the handler's subtree with its band.
+    let qos = find("qos.prepare");
+    assert_eq!(qos.parent_id, handler.span_id);
+    assert!(
+        qos.tags.iter().any(|(k, v)| k == "band" && v == "0"),
+        "active band tagged: {:?}",
+        qos.tags
+    );
+    // The response carried the server's span id back to the client, which
+    // tagged its attempt with it.
+    assert!(
+        attempt
+            .tags
+            .iter()
+            .any(|(k, v)| k == "server_span" && *v == format!("{:x}", request.span_id)),
+        "attempt links to the server span: {:?}",
+        attempt.tags
+    );
+    // The first call on a PBIO connection carries the format handshake.
+    assert!(
+        spans.iter().any(|s| s.name == "pbio.handshake"),
+        "{spans:#?}"
+    );
+
+    // The same tree is exported live at GET /trace.json as Chrome trace
+    // JSON, well-formed and carrying the trace id.
+    let mut http = HttpClient::connect(server.addr()).unwrap();
+    let resp = http.send(Request::get("/trace.json")).unwrap();
+    assert_eq!(resp.status, 200);
+    let json = String::from_utf8(resp.body).unwrap();
+    sbq_telemetry::expo::validate_json(&json).expect("well-formed Chrome trace JSON");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(
+        json.contains(&format!("{:032x}", root.trace_id)),
+        "exported events carry the trace id"
+    );
+}
+
+#[test]
+fn retry_across_reconnect_stays_one_trace() {
+    // A dropped response forces a reconnect + replay. Both attempts (and
+    // the backoff and reconnect between them) must appear as siblings
+    // under ONE client root — same trace id, distinct span ids — because
+    // retried calls are exactly the ones worth inspecting as a unit.
+    let reg = soap_binq::Registry::new();
+    reg.set_trace_config(soap_binq::TraceConfig::new().sample_one_in(1));
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default()
+                .telemetry(reg.clone())
+                .faults(FaultSchedule::new().at(0, FaultAction::DropResponse)),
+        )
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+
+    let config = ClientConfig::default()
+        .telemetry(reg.clone())
+        .call_timeout(Duration::from_millis(500))
+        .idempotent(true)
+        .retry_policy(
+            RetryPolicy::default()
+                .max_attempts(3)
+                .base_backoff(Duration::from_millis(5)),
+        );
+    let mut client =
+        SoapClient::connect_with(server.addr(), &svc, WireEncoding::Pbio, config).unwrap();
+
+    let v = Value::IntArray(vec![9, 8, 7]);
+    assert_eq!(client.call_with_retry("echo", v.clone()).unwrap(), v);
+    assert_eq!(client.stats().retries, 1);
+
+    let spans = reg.tracer().snapshot();
+    let root = spans
+        .iter()
+        .find(|s| s.name == "client.call")
+        .expect("client root span");
+    let attempts: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "client.attempt")
+        .collect();
+    assert_eq!(attempts.len(), 2, "both attempts recorded: {spans:#?}");
+    assert_ne!(
+        attempts[0].span_id, attempts[1].span_id,
+        "attempts are distinct spans"
+    );
+    for a in &attempts {
+        assert_eq!(a.trace_id, root.trace_id, "one trace id across the retry");
+        assert_eq!(a.parent_id, root.span_id, "attempts are siblings");
+    }
+    for name in ["client.backoff", "client.reconnect"] {
+        let s = spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing: {spans:#?}"));
+        assert_eq!(s.trace_id, root.trace_id);
+        assert_eq!(s.parent_id, root.span_id);
+    }
+    // The failed first attempt is marked, the replay is tagged as a retry.
+    assert!(attempts[0].error, "first attempt errored: {attempts:#?}");
+    assert!(
+        attempts[1]
+            .tags
+            .iter()
+            .any(|(k, v)| k == "retry" && v == "1"),
+        "{attempts:#?}"
+    );
+}
+
+#[test]
+fn disabled_registry_records_no_spans_for_live_traffic() {
+    // Tracing must be free when off: with both ends on a disabled
+    // registry, real traffic writes nothing into any flight recorder and
+    // /trace.json stays an empty (but valid) export.
+    let reg = soap_binq::Registry::disabled();
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(ServerConfig::default().telemetry(reg.clone()))
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let mut client = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Pbio,
+        ClientConfig::default().telemetry(reg.clone()),
+    )
+    .unwrap();
+    let v = Value::IntArray(vec![1]);
+    for _ in 0..3 {
+        assert_eq!(client.call("echo", v.clone()).unwrap(), v);
+    }
+    assert!(!reg.tracer().is_enabled());
+    assert_eq!(reg.tracer().recorded_total(), 0, "zero ring writes");
+    let mut http = HttpClient::connect(server.addr()).unwrap();
+    let resp = http.send(Request::get("/trace.json")).unwrap();
+    assert_eq!(resp.status, 200);
+    let json = String::from_utf8(resp.body).unwrap();
+    sbq_telemetry::expo::validate_json(&json).expect("still valid JSON");
+    assert!(json.contains("\"traceEvents\":[]"), "{json}");
 }
 
 #[test]
