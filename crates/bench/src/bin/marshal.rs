@@ -1,0 +1,470 @@
+//! Marshalling hot-path benchmark: encode/decode throughput (MB/s) and
+//! allocations per operation for PBIO, XML, and compressed XML across
+//! float-array payloads from 1 K to 1 M elements.
+//!
+//! The PBIO rows are measured twice: once through the current bulk-kernel
+//! path (`plan::encode` / `ConversionPlan::execute`, which fuse
+//! contiguous fixed-width fields into single-pass `chunks_exact` runs)
+//! and once through an inline replica of the pre-bulk per-element loops
+//! (the "before" baseline recorded in the JSON). The run self-checks:
+//!
+//! * the live `pbio.plan.bulk_ops` counter must advance (the bulk kernels
+//!   actually ran, the numbers are not measuring the scalar path), and
+//! * on the 1 M-f64 same-byte-order workload, combined encode+decode
+//!   throughput must be at least 3x the per-element baseline (advisory
+//!   under `--short`, enforced in full mode);
+//!
+//! exiting nonzero otherwise. Results go to `BENCH_marshal.json`.
+//!
+//! ```sh
+//! cargo run --release -p sbq-bench --bin marshal [-- --short]
+//! ```
+//!
+//! `--short` (or `BENCH_SHORT=1`) runs fewer iterations and skips the
+//! slowest XML size for CI smoke.
+
+use sbq_bench::{fmt_bytes, time_min};
+use sbq_model::{workload, TypeDesc, Value};
+use sbq_pbio::{format::FormatOptions, plan, ByteOrder, ConversionPlan, FormatDesc, WireFrame};
+use soap_binq::marshal;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Allocation counting
+// ---------------------------------------------------------------------------
+
+/// Counts every heap allocation (and growing reallocation) so each
+/// benchmark row can report allocs/op — the zero-copy claim is about
+/// allocator traffic, not just wall time.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by one run of `f`.
+fn allocs_in<T>(mut f: impl FnMut() -> T) -> u64 {
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    std::hint::black_box(f());
+    ALLOC_COUNT.load(Ordering::Relaxed) - before
+}
+
+// ---------------------------------------------------------------------------
+// The pre-bulk baseline: a faithful replica of the pre-bulk-kernel
+// message path. Per-element encode/decode helpers are copied verbatim
+// from the old `plan.rs` (runtime width dispatch, per-element bounds
+// checks), and the framing copies the old endpoint performed are
+// reproduced: encode went payload Vec -> `to_bytes` copy -> body copy,
+// decode went `from_bytes` payload copy -> per-element loop.
+// ---------------------------------------------------------------------------
+
+use sbq_pbio::PbioError;
+
+fn ref_write_u32(out: &mut Vec<u8>, v: u32, bo: ByteOrder) {
+    match bo {
+        ByteOrder::Little => out.extend_from_slice(&v.to_le_bytes()),
+        ByteOrder::Big => out.extend_from_slice(&v.to_be_bytes()),
+    }
+}
+
+fn ref_write_float(out: &mut Vec<u8>, v: f64, width: u8, bo: ByteOrder) {
+    match (width, bo) {
+        (8, ByteOrder::Little) => out.extend_from_slice(&v.to_le_bytes()),
+        (8, ByteOrder::Big) => out.extend_from_slice(&v.to_be_bytes()),
+        (4, ByteOrder::Little) => out.extend_from_slice(&(v as f32).to_le_bytes()),
+        (4, ByteOrder::Big) => out.extend_from_slice(&(v as f32).to_be_bytes()),
+        _ => unreachable!("widths validated at format construction"),
+    }
+}
+
+fn ref_read_u32(buf: &[u8], pos: &mut usize, bo: ByteOrder) -> Result<u32, PbioError> {
+    if *pos + 4 > buf.len() {
+        return Err(PbioError::Truncated);
+    }
+    let bytes: [u8; 4] = buf[*pos..*pos + 4].try_into().expect("len checked");
+    *pos += 4;
+    Ok(match bo {
+        ByteOrder::Little => u32::from_le_bytes(bytes),
+        ByteOrder::Big => u32::from_be_bytes(bytes),
+    })
+}
+
+fn ref_read_float(buf: &[u8], pos: &mut usize, width: u8, bo: ByteOrder) -> Result<f64, PbioError> {
+    let w = width as usize;
+    if *pos + w > buf.len() {
+        return Err(PbioError::Truncated);
+    }
+    let bytes = &buf[*pos..*pos + w];
+    *pos += w;
+    Ok(match (w, bo) {
+        (8, ByteOrder::Little) => f64::from_le_bytes(bytes.try_into().expect("len checked")),
+        (8, ByteOrder::Big) => f64::from_be_bytes(bytes.try_into().expect("len checked")),
+        (4, ByteOrder::Little) => f32::from_le_bytes(bytes.try_into().expect("len checked")) as f64,
+        (4, ByteOrder::Big) => f32::from_be_bytes(bytes.try_into().expect("len checked")) as f64,
+        _ => unreachable!("widths validated at format construction"),
+    })
+}
+
+/// The full pre-bulk request-encode path: per-element payload encode,
+/// then the `WireMessage::to_bytes` copy, then the body-assembly copy.
+fn reference_encode_message(vals: &[f64], width: u8, bo: ByteOrder, native_size: usize) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(native_size + 16);
+    ref_write_u32(&mut payload, vals.len() as u32, bo);
+    for v in vals {
+        ref_write_float(&mut payload, *v, width, bo);
+    }
+    // WireMessage::to_bytes: header + payload copy.
+    let mut msg = Vec::with_capacity(9 + payload.len());
+    msg.push(2u8);
+    msg.extend_from_slice(&1u32.to_le_bytes());
+    msg.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    msg.extend_from_slice(&payload);
+    // Body assembly: `body.extend_from_slice(&m.to_bytes())`.
+    let mut body = Vec::new();
+    body.extend_from_slice(&msg);
+    body
+}
+
+/// The full pre-bulk response-decode path: the `WireMessage::from_bytes`
+/// payload copy, then the per-element decode loop.
+fn reference_decode_message(framed: &[u8], width: u8, bo: ByteOrder) -> Vec<f64> {
+    let payload = framed[9..].to_vec();
+    let mut pos = 0usize;
+    let n = ref_read_u32(&payload, &mut pos, bo).unwrap() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(ref_read_float(&payload, &mut pos, width, bo).unwrap());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct Row {
+    encoding: &'static str,
+    op: &'static str,
+    elems: usize,
+    bytes: usize,
+    mbps: f64,
+    allocs: u64,
+}
+
+fn mbps(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / d.as_secs_f64() / 1e6
+}
+
+fn report(rows: &mut Vec<Row>, row: Row) {
+    println!(
+        "{:8} {:22} {:>10} elems {:>12} bytes {:>10.1} MB/s {:>6} allocs/op",
+        row.encoding,
+        row.op,
+        fmt_bytes(row.elems),
+        fmt_bytes(row.bytes),
+        row.mbps,
+        row.allocs
+    );
+    rows.push(row);
+}
+
+fn options(bo: ByteOrder) -> FormatOptions {
+    FormatOptions {
+        byte_order: bo,
+        int_width: 8,
+        float_width: 8,
+    }
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short") || std::env::var("BENCH_SHORT").is_ok();
+    let iters = if short { 5 } else { 20 };
+    let sizes: &[usize] = &[1_000, 10_000, 100_000, 1_000_000];
+    let ty = TypeDesc::list_of(TypeDesc::Float);
+    let native_bo = ByteOrder::native();
+    let swapped_bo = match native_bo {
+        ByteOrder::Little => ByteOrder::Big,
+        ByteOrder::Big => ByteOrder::Little,
+    };
+    let native = FormatDesc::from_type(&ty, options(native_bo)).unwrap();
+    let swapped = FormatDesc::from_type(&ty, options(swapped_bo)).unwrap();
+
+    let mut rows: Vec<Row> = Vec::new();
+    // before/after (encode MB/s, decode MB/s) for the 1M same-order row.
+    let mut before_1m = (0.0f64, 0.0f64);
+    let mut after_1m = (0.0f64, 0.0f64);
+
+    println!(
+        "marshal hot-path benchmark ({} mode, min of {iters} runs)\n",
+        if short { "short" } else { "full" }
+    );
+
+    for &n in sizes {
+        let value = workload::float_array(n, 3);
+        let Value::FloatArray(raw) = &value else {
+            unreachable!()
+        };
+        let payload = plan::encode(&value, &native).unwrap();
+        let bytes = payload.len();
+        // The data frame as it sits in an HTTP body:
+        // kind(1) | id(4) | len(4) | payload.
+        let mut framed = Vec::with_capacity(9 + bytes);
+        framed.push(2u8);
+        framed.extend_from_slice(&1u32.to_le_bytes());
+        framed.extend_from_slice(&(bytes as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+
+        // --- Bulk path, same byte order (the pure-memcpy case): frame
+        // header + in-place encode into a reused (pooled) body buffer,
+        // borrowed-frame parse + bulk decode on the way back. -----------
+        let mut body_buf: Vec<u8> = Vec::with_capacity(9 + bytes);
+        let mut encode_message = || {
+            body_buf.clear();
+            body_buf.push(2u8);
+            body_buf.extend_from_slice(&1u32.to_le_bytes());
+            body_buf.extend_from_slice(&(bytes as u32).to_le_bytes());
+            plan::encode_into(&value, &native, &mut body_buf).unwrap();
+            body_buf.len()
+        };
+        let d = time_min(iters, &mut encode_message);
+        let enc_allocs = allocs_in(&mut encode_message);
+        report(
+            &mut rows,
+            Row {
+                encoding: "pbio",
+                op: "encode",
+                elems: n,
+                bytes,
+                mbps: mbps(bytes, d),
+                allocs: enc_allocs,
+            },
+        );
+        let p = ConversionPlan::compile(&native, &native).unwrap();
+        let decode_message = || {
+            let (frame, _) = WireFrame::parse(&framed).unwrap();
+            let WireFrame::Data { payload, .. } = frame else {
+                unreachable!()
+            };
+            p.execute(payload).unwrap()
+        };
+        let d2 = time_min(iters, decode_message);
+        let dec_allocs = allocs_in(decode_message);
+        report(
+            &mut rows,
+            Row {
+                encoding: "pbio",
+                op: "decode",
+                elems: n,
+                bytes,
+                mbps: mbps(bytes, d2),
+                allocs: dec_allocs,
+            },
+        );
+        if n == 1_000_000 {
+            after_1m = (mbps(bytes, d), mbps(bytes, d2));
+        }
+
+        // --- Bulk path, cross byte order (swap on the bulk pass) -------
+        let swapped_payload = plan::encode(&value, &swapped).unwrap();
+        let px = ConversionPlan::compile(&swapped, &native).unwrap();
+        let d = time_min(iters, || px.execute(&swapped_payload).unwrap());
+        report(
+            &mut rows,
+            Row {
+                encoding: "pbio",
+                op: "decode-byteswap",
+                elems: n,
+                bytes,
+                mbps: mbps(bytes, d),
+                allocs: allocs_in(|| px.execute(&swapped_payload).unwrap()),
+            },
+        );
+
+        // --- The pre-bulk baseline ------------------------------------
+        // Width comes from format data at runtime, as it did for the old
+        // per-element loops.
+        let width: u8 = std::hint::black_box(8);
+        let d = time_min(iters, || {
+            reference_encode_message(raw, width, native_bo, bytes)
+        });
+        report(
+            &mut rows,
+            Row {
+                encoding: "pbio",
+                op: "encode-before",
+                elems: n,
+                bytes,
+                mbps: mbps(bytes, d),
+                allocs: allocs_in(|| reference_encode_message(raw, width, native_bo, bytes)),
+            },
+        );
+        let d2 = time_min(iters, || {
+            reference_decode_message(&framed, width, native_bo)
+        });
+        report(
+            &mut rows,
+            Row {
+                encoding: "pbio",
+                op: "decode-before",
+                elems: n,
+                bytes,
+                mbps: mbps(bytes, d2),
+                allocs: allocs_in(|| reference_decode_message(&framed, width, native_bo)),
+            },
+        );
+        if n == 1_000_000 {
+            before_1m = (mbps(bytes, d), mbps(bytes, d2));
+            // Cross-check both paths against each other so the "before"
+            // numbers measure a correct implementation.
+            let bulk = decode_message();
+            let scalar = reference_decode_message(&framed, width, native_bo);
+            assert_eq!(bulk, Value::FloatArray(scalar), "baseline disagrees");
+            assert_eq!(
+                reference_encode_message(raw, width, native_bo, bytes),
+                framed,
+                "baseline encodes different bytes"
+            );
+        }
+
+        // --- XML / compressed XML -------------------------------------
+        if short && n >= 1_000_000 {
+            println!("xml      (skipped at {} elems under --short)", fmt_bytes(n));
+            continue;
+        }
+        let xml = marshal::value_to_xml(&value, "p");
+        let xml_bytes = xml.len();
+        let d = time_min(iters, || marshal::value_to_xml(&value, "p"));
+        report(
+            &mut rows,
+            Row {
+                encoding: "xml",
+                op: "encode",
+                elems: n,
+                bytes: xml_bytes,
+                mbps: mbps(xml_bytes, d),
+                allocs: allocs_in(|| marshal::value_to_xml(&value, "p")),
+            },
+        );
+        let d = time_min(iters, || marshal::parse_document(&xml, &ty).unwrap());
+        report(
+            &mut rows,
+            Row {
+                encoding: "xml",
+                op: "decode",
+                elems: n,
+                bytes: xml_bytes,
+                mbps: mbps(xml_bytes, d),
+                allocs: allocs_in(|| marshal::parse_document(&xml, &ty).unwrap()),
+            },
+        );
+        let lz = sbq_lz::compress(xml.as_bytes());
+        let d = time_min(iters, || sbq_lz::compress(xml.as_bytes()));
+        report(
+            &mut rows,
+            Row {
+                encoding: "lzxml",
+                op: "encode",
+                elems: n,
+                bytes: lz.len(),
+                mbps: mbps(xml_bytes, d),
+                allocs: allocs_in(|| sbq_lz::compress(xml.as_bytes())),
+            },
+        );
+        let d = time_min(iters, || sbq_lz::decompress(&lz).unwrap());
+        report(
+            &mut rows,
+            Row {
+                encoding: "lzxml",
+                op: "decode",
+                elems: n,
+                bytes: lz.len(),
+                mbps: mbps(xml_bytes, d),
+                allocs: allocs_in(|| sbq_lz::decompress(&lz).unwrap()),
+            },
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Self-checks
+    // -----------------------------------------------------------------
+    let reg = soap_binq::Registry::global();
+    let bulk_ops = reg.counter("pbio.plan.bulk_ops").get();
+    let scalar_ops = reg.counter("pbio.plan.scalar_ops").get();
+    println!("\npbio.plan.bulk_ops = {bulk_ops}, pbio.plan.scalar_ops = {scalar_ops}");
+    if bulk_ops == 0 {
+        eprintln!("self-check failed: pbio.plan.bulk_ops is zero — the bulk kernels never ran");
+        std::process::exit(1);
+    }
+
+    let speedup_enc = after_1m.0 / before_1m.0.max(1e-9);
+    let speedup_dec = after_1m.1 / before_1m.1.max(1e-9);
+    let combined = (after_1m.0 + after_1m.1) / (before_1m.0 + before_1m.1).max(1e-9);
+    println!(
+        "1M f64 same-order: encode {:.0} -> {:.0} MB/s ({speedup_enc:.2}x), \
+         decode {:.0} -> {:.0} MB/s ({speedup_dec:.2}x), combined {combined:.2}x",
+        before_1m.0, after_1m.0, before_1m.1, after_1m.1
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"marshal\",\n");
+    json.push_str(&format!("  \"short\": {short},\n"));
+    json.push_str(&format!(
+        "  \"before_1m_f64\": {{\"encode_mbps\": {:.1}, \"decode_mbps\": {:.1}}},\n",
+        before_1m.0, before_1m.1
+    ));
+    json.push_str(&format!(
+        "  \"after_1m_f64\": {{\"encode_mbps\": {:.1}, \"decode_mbps\": {:.1}}},\n",
+        after_1m.0, after_1m.1
+    ));
+    json.push_str(&format!(
+        "  \"speedup\": {{\"encode\": {speedup_enc:.2}, \"decode\": {speedup_dec:.2}, \
+         \"combined\": {combined:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"plan_ops\": {{\"bulk\": {bulk_ops}, \"scalar\": {scalar_ops}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"encoding\": \"{}\", \"op\": \"{}\", \"elems\": {}, \"bytes\": {}, \
+             \"mbps\": {:.1}, \"allocs_per_op\": {}}}{}\n",
+            r.encoding,
+            r.op,
+            r.elems,
+            r.bytes,
+            r.mbps,
+            r.allocs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}");
+    std::fs::write("BENCH_marshal.json", format!("{json}\n")).expect("write bench json");
+    println!("wrote BENCH_marshal.json");
+
+    if combined < 3.0 {
+        if short {
+            // Short mode runs under CI contention; the throughput gate is
+            // advisory there, enforced on full runs.
+            eprintln!("note: combined speedup {combined:.2}x < 3x (advisory under --short)");
+        } else {
+            eprintln!("self-check failed: combined speedup {combined:.2}x < 3x");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,9 +24,9 @@ use crate::modes::WireEncoding;
 use crate::SoapError;
 use sbq_http::{HttpClient, Request, Response};
 use sbq_model::{pad_to, TypeDesc, Value};
-use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
+use sbq_pbio::{FormatServer, PbioEndpoint, WireFrame};
 use sbq_qos::QualityManager;
-use sbq_runtime::SmallRng;
+use sbq_runtime::{BufferPool, SmallRng};
 use sbq_telemetry::trace::TRACE_HEADER;
 use sbq_telemetry::{Counter, Histogram, Registry, Span, TraceSpan, Tracer};
 use sbq_wsdl::{compile, CompiledService, ServiceDef};
@@ -186,6 +186,20 @@ impl ClientConfig {
         self
     }
 
+    /// Buffer pool request and response bodies are drawn from and
+    /// recycled through. Defaults to the process-wide
+    /// [`BufferPool::global`]; supply a dedicated pool to isolate (or
+    /// observe) one client's traffic.
+    pub fn buffer_pool(mut self, pool: BufferPool) -> ClientConfig {
+        self.http = self.http.buffer_pool(pool);
+        self
+    }
+
+    /// The buffer pool this configuration draws bodies from.
+    pub fn buffer_pool_ref(&self) -> &BufferPool {
+        self.http.buffer_pool_ref()
+    }
+
     /// Telemetry registry the client records into (call counters,
     /// marshal/unmarshal spans, retry/backoff metrics). Defaults to the
     /// process-wide [`Registry::global`]; pass [`Registry::disabled`] to
@@ -284,6 +298,7 @@ pub struct SoapClient {
     compiled: CompiledService,
     encoding: WireEncoding,
     endpoint: PbioEndpoint,
+    pool: BufferPool,
     quality: Option<QualityManager>,
     session: u64,
     stats: CallStats,
@@ -327,6 +342,10 @@ impl SoapClient {
         let http = HttpClient::connect_with(addr, &config.http)?;
         let session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
         let metrics = ClientMetrics::new(&config.telemetry, encoding);
+        let pool = config.http.buffer_pool_ref().clone();
+        if config.telemetry.is_enabled() {
+            pool.set_observer(sbq_telemetry::pool_observer(&config.telemetry));
+        }
         Ok(SoapClient {
             http,
             addr,
@@ -334,6 +353,7 @@ impl SoapClient {
             compiled,
             encoding,
             endpoint: PbioEndpoint::new(Arc::new(FormatServer::new())),
+            pool,
             quality: None,
             session,
             stats: CallStats::default(),
@@ -562,7 +582,7 @@ impl SoapClient {
             req.headers.push((TRACE_HEADER.to_string(), h));
         }
         self.stats.bytes_sent += req.body.len() as u64;
-        let resp = self.http.send(req)?;
+        let mut resp = self.http.send(req)?;
         let rtt = t0.elapsed();
         self.stats.bytes_received += resp.body.len() as u64;
         // The server reports its own span id back; tagging it here lets
@@ -575,7 +595,7 @@ impl SoapClient {
         let (value, resp_header) = {
             let _span = Span::on(&self.metrics.decode);
             let _tspan = tracer.child_span(&self.metrics.decode_name, &attempt_ctx);
-            self.decode_response(&resp, &stub.output, &stub.output_format)?
+            self.decode_response(&mut resp, &stub.output, &stub.output_format)?
         };
 
         self.stats.calls += 1;
@@ -625,11 +645,11 @@ impl SoapClient {
         let path = format!("/{}", self.compiled.service.name);
         match self.encoding {
             WireEncoding::Pbio => {
-                let msgs = self.endpoint.send(params, input_format)?;
-                let mut body = Vec::new();
-                for m in &msgs {
-                    body.extend_from_slice(&m.to_bytes());
-                }
+                // Frame and encode straight into a pooled buffer: no
+                // per-message Vec, no concatenation copy. The HTTP layer
+                // recycles the buffer once the request is on the wire.
+                let mut body = self.pool.get(params.native_size() + 64);
+                self.endpoint.send_into(params, input_format, &mut body)?;
                 let mut req = Request::post(&path, self.encoding.content_type(), body);
                 req.headers
                     .push(("X-Soap-Op".to_string(), operation.to_string()));
@@ -656,7 +676,7 @@ impl SoapClient {
 
     fn decode_response(
         &mut self,
-        resp: &Response,
+        resp: &mut Response,
         output_ty: &TypeDesc,
         output_format: &sbq_pbio::FormatDesc,
     ) -> Result<(Value, QosHeader), SoapError> {
@@ -674,26 +694,36 @@ impl SoapClient {
                 }
                 let header = QosHeader::from_http_headers(|n| resp.header(n));
                 let mut value = None;
-                let mut buf = &resp.body[..];
+                let body = std::mem::take(&mut resp.body);
+                let mut buf = &body[..];
                 while !buf.is_empty() {
-                    let (msg, used) = WireMessage::from_bytes(buf)?;
+                    // Borrowed frames: payloads are decoded in place, the
+                    // only copies are the ones materializing the value.
+                    let (frame, used) = WireFrame::parse(buf)?;
                     buf = &buf[used..];
                     // The conversion plan pads reduced wire formats back to
                     // the full native layout by construction.
-                    if let Some(v) = self.endpoint.receive(&msg, Some(output_format))? {
+                    if let Some(v) = self.endpoint.receive_frame(&frame, Some(output_format))? {
                         value = Some(v);
                     }
                 }
+                self.pool.put(body);
                 let value =
                     value.ok_or_else(|| SoapError::protocol("response had no data message"))?;
                 Ok((value, header))
             }
             WireEncoding::Xml | WireEncoding::CompressedXml => {
-                let xml_bytes = match self.encoding {
-                    WireEncoding::CompressedXml => sbq_lz::decompress(&resp.body)?,
-                    _ => resp.body.clone(),
+                // Parse straight out of the response body (or the
+                // decompression output) — no defensive clone.
+                let decompressed;
+                let xml_bytes: &[u8] = match self.encoding {
+                    WireEncoding::CompressedXml => {
+                        decompressed = sbq_lz::decompress(&resp.body)?;
+                        &decompressed
+                    }
+                    _ => &resp.body,
                 };
-                let xml = std::str::from_utf8(&xml_bytes)
+                let xml = std::str::from_utf8(xml_bytes)
                     .map_err(|_| SoapError::xml("response is not utf-8"))?;
                 // Resolve the body type: reduced message types parse with
                 // their registered schema, everything else with the full
@@ -725,6 +755,7 @@ impl SoapClient {
                 if parsed.header.message_type.is_some() {
                     value = pad_to(&value, output_ty)?;
                 }
+                self.pool.put(std::mem::take(&mut resp.body));
                 Ok((value, parsed.header))
             }
         }

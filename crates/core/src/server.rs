@@ -16,7 +16,7 @@ use crate::envelope::{self, QosHeader};
 use crate::modes::WireEncoding;
 use crate::SoapError;
 use sbq_http::{HttpServer, Request, Response, ServerConfig, ServerHandle};
-use sbq_pbio::{FormatServer, PbioEndpoint, WireMessage};
+use sbq_pbio::{FormatServer, PbioEndpoint, WireFrame};
 use sbq_qos::QualityManager;
 use sbq_runtime::sync::Mutex;
 use sbq_telemetry::trace::{self, TraceContext};
@@ -96,6 +96,7 @@ impl SoapServerBuilder {
             handlers: self.handlers,
             quality: self.quality.map(Mutex::new),
             format_server: Arc::new(FormatServer::new()),
+            pool: transport.buffer_pool_ref().clone(),
             sessions: Mutex::new(HashMap::new()),
             faults: AtomicU64::new(0),
             reduced_responses: AtomicU64::new(0),
@@ -216,6 +217,9 @@ struct ServerState {
     quality: Option<Mutex<QualityManager>>,
     /// Server-process format registry shared by all sessions.
     format_server: Arc<FormatServer>,
+    /// Body buffers for encoded responses come from (and return to) the
+    /// transport's pool; the HTTP layer recycles them after the write.
+    pool: sbq_runtime::BufferPool,
     /// Per-client-session PBIO endpoints: format announcements must happen
     /// once *per peer*, not once per server.
     sessions: Mutex<HashMap<u64, PbioEndpoint>>,
@@ -372,9 +376,11 @@ impl ServerState {
                 let mut value = None;
                 let mut buf = &req.body[..];
                 while !buf.is_empty() {
-                    let (msg, used) = WireMessage::from_bytes(buf)?;
+                    // Borrowed frames: payloads decode in place out of the
+                    // (pooled) request body; only the value owns memory.
+                    let (frame, used) = WireFrame::parse(buf)?;
                     buf = &buf[used..];
-                    if let Some(v) = endpoint.receive(&msg, Some(&stub.input_format))? {
+                    if let Some(v) = endpoint.receive_frame(&frame, Some(&stub.input_format))? {
                         value = Some(v);
                     }
                 }
@@ -384,11 +390,17 @@ impl ServerState {
                 Ok((operation, value, qos, session))
             }
             WireEncoding::Xml | WireEncoding::CompressedXml => {
-                let xml_bytes = match self.encoding {
-                    WireEncoding::CompressedXml => sbq_lz::decompress(&req.body)?,
-                    _ => req.body.clone(),
+                // Parse straight out of the request body (or the
+                // decompression output) — no defensive clone.
+                let decompressed;
+                let xml_bytes: &[u8] = match self.encoding {
+                    WireEncoding::CompressedXml => {
+                        decompressed = sbq_lz::decompress(&req.body)?;
+                        &decompressed
+                    }
+                    _ => &req.body,
                 };
-                let xml = std::str::from_utf8(&xml_bytes)
+                let xml = std::str::from_utf8(xml_bytes)
                     .map_err(|_| SoapError::xml("request is not utf-8"))?;
                 let compiled = &self.compiled;
                 let parsed =
@@ -420,11 +432,10 @@ impl ServerState {
                 let endpoint = sessions
                     .entry(session)
                     .or_insert_with(|| PbioEndpoint::new(Arc::clone(&self.format_server)));
-                let msgs = endpoint.send(result, &format)?;
-                let mut body = Vec::new();
-                for m in &msgs {
-                    body.extend_from_slice(&m.to_bytes());
-                }
+                // Frame and encode straight into a pooled buffer; the HTTP
+                // layer recycles it once the response is on the wire.
+                let mut body = self.pool.get(result.native_size() + 64);
+                endpoint.send_into(result, &format, &mut body)?;
                 let mut resp = Response::ok(self.encoding.content_type(), body);
                 resp.headers
                     .push(("X-Soap-Op".to_string(), operation.to_string()));

@@ -347,6 +347,47 @@ impl<'a, R: BufRead> BodyReader<'a, R> {
         }
     }
 
+    /// Like [`BodyReader::read_to_vec`], but the body (and the chunked
+    /// scratch buffer) come from `pool`, so a warm pool serves the whole
+    /// read without touching the allocator. Empty bodies skip the pool
+    /// entirely — body-less messages must not churn it.
+    pub fn read_to_pooled(mut self, pool: &sbq_runtime::BufferPool) -> Result<Vec<u8>, HttpError> {
+        match self.state {
+            ReadState::Length { remaining: 0 } => {
+                self.state = ReadState::Done;
+                Ok(Vec::new())
+            }
+            ReadState::Length { remaining } => {
+                let n = remaining as usize;
+                let mut body = pool.get(n);
+                body.resize(n, 0);
+                self.src.read_exact(&mut body).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                        HttpError::Protocol("body truncated by peer".into())
+                    } else {
+                        HttpError::from_io(e, TimeoutKind::Read)
+                    }
+                })?;
+                self.state = ReadState::Done;
+                Ok(body)
+            }
+            _ => {
+                let scratch_len = self.limits.max_chunk_bytes.clamp(512, 64 * 1024);
+                let mut scratch = pool.get(scratch_len);
+                scratch.resize(scratch_len, 0);
+                let mut body = pool.get(scratch_len);
+                loop {
+                    let n = self.read_some(&mut scratch)?;
+                    if n == 0 {
+                        pool.put(scratch);
+                        return Ok(body);
+                    }
+                    body.extend_from_slice(&scratch[..n]);
+                }
+            }
+        }
+    }
+
     fn read_chunk_size(&mut self) -> Result<u64, HttpError> {
         let line = read_line_capped(self.src, MAX_CHUNK_SIZE_LINE, "chunk-size line")?
             .ok_or_else(|| HttpError::Protocol("eof before chunk size".into()))?;

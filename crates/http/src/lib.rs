@@ -37,6 +37,7 @@ pub use message::{HttpError, Limits, Request, Response, TimeoutKind};
 pub use server::{HttpServer, ServerConfig, ServerHandle};
 
 use message::DEFAULT_IO_TIMEOUT;
+use sbq_runtime::BufferPool;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -56,6 +57,7 @@ pub struct ClientConfig {
     write_timeout: Option<Duration>,
     limits: Limits,
     chunking: ChunkPolicy,
+    pool: BufferPool,
 }
 
 impl Default for ClientConfig {
@@ -66,6 +68,7 @@ impl Default for ClientConfig {
             write_timeout: Some(DEFAULT_IO_TIMEOUT),
             limits: Limits::default(),
             chunking: ChunkPolicy::disabled(),
+            pool: BufferPool::global().clone(),
         }
     }
 }
@@ -125,6 +128,19 @@ impl ClientConfig {
         self.chunking = self.chunking.chunk_size(n);
         self
     }
+
+    /// Body-buffer pool the client recycles request bodies into and
+    /// reads response bodies from (default: the process-wide shared
+    /// pool). Share one pool across clients to cap total held memory.
+    pub fn buffer_pool(mut self, pool: BufferPool) -> ClientConfig {
+        self.pool = pool;
+        self
+    }
+
+    /// The configured body-buffer pool.
+    pub fn buffer_pool_ref(&self) -> &BufferPool {
+        &self.pool
+    }
 }
 
 /// A blocking HTTP/1.1 client holding one persistent connection.
@@ -134,6 +150,7 @@ pub struct HttpClient {
     host: String,
     limits: Limits,
     chunking: ChunkPolicy,
+    pool: BufferPool,
 }
 
 impl HttpClient {
@@ -163,20 +180,30 @@ impl HttpClient {
             host: addr.to_string(),
             limits: config.limits,
             chunking: config.chunking,
+            pool: config.pool.clone(),
         })
     }
 
     /// Sends a request and blocks for the response (keep-alive). The
     /// request is streamed: bodies above the configured chunk threshold go
     /// out as `Transfer-Encoding: chunked`, and no framing buffer beyond
-    /// one chunk is ever allocated.
+    /// one chunk is ever allocated. The request body is recycled into the
+    /// client's buffer pool after the write, and the response body is
+    /// read into a pooled buffer — a warmed-up call loop allocates no
+    /// body memory.
     pub fn send(&mut self, mut req: Request) -> Result<Response, HttpError> {
         if !req.has_header("host") {
             req.headers.push(("Host".to_string(), self.host.clone()));
         }
         req.write_to(&mut self.writer, &self.chunking)
             .map_err(|e| HttpError::from_io(e, TimeoutKind::Write))?;
-        Response::read_from_with(&mut self.reader, &self.limits)
+        self.pool.put(std::mem::take(&mut req.body));
+        Response::read_from_pooled(&mut self.reader, &self.limits, &self.pool)
+    }
+
+    /// The buffer pool this client recycles bodies through.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Convenience: POST `body` with the given content type.

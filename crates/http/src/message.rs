@@ -1,6 +1,7 @@
 //! HTTP request/response types, serialization and parsing.
 
 use crate::body::{self, BodyReader, ChunkPolicy};
+use sbq_runtime::BufferPool;
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
@@ -227,6 +228,24 @@ impl Request {
         r: &mut impl BufRead,
         limits: &Limits,
     ) -> Result<Option<Request>, HttpError> {
+        Request::read_from_inner(r, limits, None)
+    }
+
+    /// Like [`Request::read_from_with`], but the body lands in a buffer
+    /// taken from `pool` (zero allocations once the pool is warm).
+    pub fn read_from_pooled(
+        r: &mut impl BufRead,
+        limits: &Limits,
+        pool: &BufferPool,
+    ) -> Result<Option<Request>, HttpError> {
+        Request::read_from_inner(r, limits, Some(pool))
+    }
+
+    fn read_from_inner(
+        r: &mut impl BufRead,
+        limits: &Limits,
+        pool: Option<&BufferPool>,
+    ) -> Result<Option<Request>, HttpError> {
         let Some(line) = read_line(r, limits)? else {
             return Ok(None);
         };
@@ -239,7 +258,7 @@ impl Request {
             return Err(HttpError::Protocol(format!("bad version: {version:?}")));
         }
         let headers = read_headers(r, limits)?;
-        let body = read_body(r, &headers, limits)?;
+        let body = read_body(r, &headers, limits, pool)?;
         Ok(Some(Request {
             method: method.to_string(),
             path: path.to_string(),
@@ -342,6 +361,24 @@ impl Response {
 
     /// Reads one response from a buffered stream, enforcing `limits`.
     pub fn read_from_with(r: &mut impl BufRead, limits: &Limits) -> Result<Response, HttpError> {
+        Response::read_from_inner(r, limits, None)
+    }
+
+    /// Like [`Response::read_from_with`], but the body lands in a buffer
+    /// taken from `pool` (zero allocations once the pool is warm).
+    pub fn read_from_pooled(
+        r: &mut impl BufRead,
+        limits: &Limits,
+        pool: &BufferPool,
+    ) -> Result<Response, HttpError> {
+        Response::read_from_inner(r, limits, Some(pool))
+    }
+
+    fn read_from_inner(
+        r: &mut impl BufRead,
+        limits: &Limits,
+        pool: Option<&BufferPool>,
+    ) -> Result<Response, HttpError> {
         let line = read_line(r, limits)?
             .ok_or_else(|| HttpError::Protocol("connection closed before response".into()))?;
         let mut parts = line.splitn(3, ' ');
@@ -352,7 +389,7 @@ impl Response {
             .ok_or_else(|| HttpError::Protocol(format!("bad status line: {line:?}")))?;
         let reason = parts.next().unwrap_or("").to_string();
         let headers = read_headers(r, limits)?;
-        let body = read_body(r, &headers, limits)?;
+        let body = read_body(r, &headers, limits, pool)?;
         Ok(Response {
             status,
             reason,
@@ -411,12 +448,17 @@ fn read_body(
     r: &mut impl BufRead,
     headers: &[(String, String)],
     limits: &Limits,
+    pool: Option<&BufferPool>,
 ) -> Result<Vec<u8>, HttpError> {
     // Strict framing resolution: malformed/conflicting declarations are
     // protocol errors (and close the connection), never "empty body" — a
     // silently skipped body would be parsed as the next pipelined message.
     let framing = body::parse_framing(headers)?;
-    BodyReader::new(r, framing, limits)?.read_to_vec()
+    let reader = BodyReader::new(r, framing, limits)?;
+    match pool {
+        Some(pool) => reader.read_to_pooled(pool),
+        None => reader.read_to_vec(),
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use crate::faults::{FaultAction, FaultSchedule};
 use crate::message::{HttpError, Limits, Request, Response, DEFAULT_IO_TIMEOUT};
 use crate::metrics::HttpMetrics;
 use sbq_runtime::channel::{self, Receiver, Sender, TryRecvError};
+use sbq_runtime::BufferPool;
 use sbq_telemetry::trace;
 use sbq_telemetry::{Registry, Span, Tracer};
 use std::io::{BufRead, BufReader, Write};
@@ -49,6 +50,7 @@ pub struct ServerConfig {
     faults: FaultSchedule,
     telemetry: Registry,
     chunking: ChunkPolicy,
+    pool: BufferPool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +67,7 @@ impl Default for ServerConfig {
             faults: FaultSchedule::new(),
             telemetry: Registry::default(),
             chunking: ChunkPolicy::disabled(),
+            pool: BufferPool::global().clone(),
         }
     }
 }
@@ -158,6 +161,19 @@ impl ServerConfig {
     pub fn telemetry_registry(&self) -> &Registry {
         &self.telemetry
     }
+
+    /// Buffer pool request bodies are read into and recycled through.
+    /// Defaults to the process-wide [`BufferPool::global`]; supply a
+    /// dedicated pool to isolate (or observe) one server's traffic.
+    pub fn buffer_pool(mut self, pool: BufferPool) -> ServerConfig {
+        self.pool = pool;
+        self
+    }
+
+    /// The buffer pool this configuration serves bodies from.
+    pub fn buffer_pool_ref(&self) -> &BufferPool {
+        &self.pool
+    }
 }
 
 /// A running HTTP server. The handler runs on pool workers; it must be
@@ -191,6 +207,14 @@ impl HttpServer {
         let workers_n = config.worker_threads;
         let metrics = HttpMetrics::new(&config.telemetry);
         let tracer = config.telemetry.tracer();
+        if config.telemetry.is_enabled() {
+            // First observer wins; later binds against an already-observed
+            // pool are no-ops, so the global pool reports to the first
+            // enabled registry it meets.
+            config
+                .pool
+                .set_observer(sbq_telemetry::pool_observer(&config.telemetry));
+        }
         let ctx = Arc::new(Ctx {
             handler: Box::new(handler),
             metrics,
@@ -364,11 +388,12 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
             .ok()?;
         let read_start = Instant::now();
         let read_span = Span::on(&ctx.metrics.read);
-        let parsed = Request::read_from_with(&mut conn.reader, &ctx.config.limits);
+        let parsed =
+            Request::read_from_pooled(&mut conn.reader, &ctx.config.limits, &ctx.config.pool);
         drop(read_span);
         match parsed {
             Ok(None) => return None,
-            Ok(Some(req)) => {
+            Ok(Some(mut req)) => {
                 conn.last_activity = Instant::now();
                 if req.has_header("transfer-encoding") {
                     ctx.metrics.chunked_rx.inc();
@@ -477,6 +502,10 @@ fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
                     keep
                 };
                 drop(req_span);
+                // Both bodies are done with: recycle them so the next
+                // request on any connection reads into warm buffers.
+                ctx.config.pool.put(std::mem::take(&mut req.body));
+                ctx.config.pool.put(std::mem::take(&mut resp.body));
                 if !keep || close_requested {
                     return None;
                 }
@@ -1031,8 +1060,17 @@ mod tests {
         assert_eq!(span.trace_id, 0x4bf92f3577b34da6a3ce929d0e0e4736);
         assert_ne!(span.span_id, 0x00f067aa0ba902b7, "fresh server span id");
         assert!(span.sampled());
-        // The recorded server spans share the caller's trace id.
-        let events = reg.tracer().snapshot();
+        // The recorded server spans share the caller's trace id. The
+        // response is written before the worker finishes recording its
+        // spans, so allow the recorder a moment to catch up.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let events = loop {
+            let events = reg.tracer().snapshot();
+            if events.iter().any(|e| e.name == "server.request") || Instant::now() >= deadline {
+                break events;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
         let req_span = events
             .iter()
             .find(|e| e.name == "server.request")

@@ -2,9 +2,9 @@
 //! caching and conversion-plan reuse.
 
 use crate::format::FormatDesc;
-use crate::plan::{encode, ConversionPlan};
+use crate::plan::{encode, encode_into, ConversionPlan};
 use crate::server::{FormatDirectory, FormatServer};
-use crate::wire::WireMessage;
+use crate::wire::{write_frame_header, WireFrame, WireMessage, MSG_DATA, MSG_FORMAT_REG};
 use crate::PbioError;
 use sbq_model::Value;
 use std::collections::hash_map::DefaultHasher;
@@ -114,6 +114,36 @@ impl PbioEndpoint {
         Ok(out)
     }
 
+    /// Like [`PbioEndpoint::send`], but frames and encodes directly into
+    /// `out` (typically a pooled body buffer): the payload is written in
+    /// place behind a reserved length header, eliminating the
+    /// encode-then-copy of assembling [`WireMessage`]s.
+    pub fn send_into(
+        &mut self,
+        value: &Value,
+        desc: &FormatDesc,
+        out: &mut Vec<u8>,
+    ) -> Result<(), PbioError> {
+        let id = self.server.register(desc)?;
+        if self.announced.insert(id) {
+            let desc_bytes = desc.to_bytes();
+            write_frame_header(out, MSG_FORMAT_REG, id, desc_bytes.len())?;
+            out.extend_from_slice(&desc_bytes);
+            self.stats.reg_bytes_sent += (9 + desc_bytes.len()) as u64;
+        }
+        // Reserve the data header, encode the payload in place, then patch
+        // the length once it is known.
+        write_frame_header(out, MSG_DATA, id, 0)?;
+        let body_start = out.len();
+        encode_into(value, desc, out)?;
+        let payload_len = out.len() - body_start;
+        let len = u32::try_from(payload_len).map_err(|_| PbioError::TooLarge(payload_len))?;
+        out[body_start - 4..body_start].copy_from_slice(&len.to_le_bytes());
+        self.stats.data_bytes_sent += (9 + payload_len) as u64;
+        self.stats.messages_sent += 1;
+        Ok(())
+    }
+
     /// Consumes one wire message. Registration messages update the format
     /// cache and yield `None`; data messages decode (converting to
     /// `native` layout when given, or the wire layout when `None`) and
@@ -123,16 +153,27 @@ impl PbioEndpoint {
         msg: &WireMessage,
         native: Option<&FormatDesc>,
     ) -> Result<Option<Value>, PbioError> {
-        match msg {
-            WireMessage::FormatReg { id, desc } => {
+        self.receive_frame(&msg.as_frame(), native)
+    }
+
+    /// Borrowed-frame variant of [`PbioEndpoint::receive`]: the payload
+    /// stays in the receive buffer and is decoded in place, so the only
+    /// copies are the ones materializing the returned [`Value`].
+    pub fn receive_frame(
+        &mut self,
+        frame: &WireFrame<'_>,
+        native: Option<&FormatDesc>,
+    ) -> Result<Option<Value>, PbioError> {
+        match *frame {
+            WireFrame::FormatReg { id, desc } => {
                 let desc = FormatDesc::from_bytes(desc)?;
-                if self.known.insert(*id, desc).is_none() {
+                if self.known.insert(id, desc).is_none() {
                     self.stats.formats_cached += 1;
                 }
                 Ok(None)
             }
-            WireMessage::Data { format_id, payload } => {
-                let wire = match self.known.get(format_id) {
+            WireFrame::Data { format_id, payload } => {
+                let wire = match self.known.get(&format_id) {
                     Some(d) => d.clone(),
                     None => {
                         // "Whenever a new type is encountered, the
@@ -140,14 +181,14 @@ impl PbioEndpoint {
                         self.stats.server_consultations += 1;
                         let d = self
                             .server
-                            .lookup(*format_id)?
-                            .ok_or(PbioError::UnknownFormat(*format_id))?;
-                        self.known.insert(*format_id, d.clone());
+                            .lookup(format_id)?
+                            .ok_or(PbioError::UnknownFormat(format_id))?;
+                        self.known.insert(format_id, d.clone());
                         self.stats.formats_cached += 1;
                         d
                     }
                 };
-                let plan = self.plan_for(*format_id, &wire, native)?;
+                let plan = self.plan_for(format_id, &wire, native)?;
                 let v = plan.execute(payload)?;
                 self.stats.messages_received += 1;
                 Ok(Some(v))
@@ -269,6 +310,41 @@ mod tests {
             if let Some(got) = x86_rx.receive(&m, Some(&native)).unwrap() {
                 assert_eq!(got, v);
             }
+        }
+    }
+
+    #[test]
+    fn send_into_writes_the_same_bytes_as_send() {
+        let server = Arc::new(FormatServer::new());
+        let mut a = PbioEndpoint::new(Arc::clone(&server));
+        let mut b = PbioEndpoint::new(Arc::clone(&server));
+        let mut rx = PbioEndpoint::new(server);
+        let ty = workload::nested_struct_type(2);
+        let desc = FormatDesc::from_type(&ty, FormatOptions::default()).unwrap();
+        let v = workload::nested_struct(2, 17);
+        for round in 0..2 {
+            // Reference: message-based framing.
+            let mut expect = Vec::new();
+            for m in a.send(&v, &desc).unwrap() {
+                expect.extend_from_slice(&m.to_bytes());
+            }
+            // In-place framing must produce byte-identical output, both on
+            // the registration-carrying first send and steady state.
+            let mut got = Vec::new();
+            b.send_into(&v, &desc, &mut got).unwrap();
+            assert_eq!(got, expect, "round {round}");
+            assert_eq!(b.stats(), a.stats(), "round {round}");
+            // And the borrowed-frame receive path decodes it.
+            let mut pos = 0;
+            let mut val = None;
+            while pos < got.len() {
+                let (frame, used) = WireFrame::parse(&got[pos..]).unwrap();
+                if let Some(x) = rx.receive_frame(&frame, None).unwrap() {
+                    val = Some(x);
+                }
+                pos += used;
+            }
+            assert_eq!(val.unwrap(), v, "round {round}");
         }
     }
 

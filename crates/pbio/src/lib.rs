@@ -33,7 +33,7 @@ pub use format::{ByteOrder, FieldDesc, FormatDesc, WireType};
 pub use plan::ConversionPlan;
 pub use remote::{serve_format_directory, RemoteFormatServer};
 pub use server::{FormatDirectory, FormatServer};
-pub use wire::{WireMessage, MSG_DATA, MSG_FORMAT_REG};
+pub use wire::{WireFrame, WireMessage, MSG_DATA, MSG_FORMAT_REG};
 
 /// Errors from PBIO encoding, decoding and format handling.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +53,10 @@ pub enum PbioError {
     /// The format directory (server) could not be reached or answered
     /// with garbage.
     Directory(String),
+    /// A length (string, bytes, or element count) exceeds what the u32
+    /// wire header can carry; encoding it would silently corrupt the
+    /// stream.
+    TooLarge(usize),
 }
 
 impl std::fmt::Display for PbioError {
@@ -65,6 +69,9 @@ impl std::fmt::Display for PbioError {
             PbioError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
             PbioError::BadWidth(w) => write!(f, "unsupported scalar width {w}"),
             PbioError::Directory(m) => write!(f, "format directory error: {m}"),
+            PbioError::TooLarge(n) => {
+                write!(f, "length {n} exceeds the 4 GiB wire limit")
+            }
         }
     }
 }

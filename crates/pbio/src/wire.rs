@@ -30,6 +30,86 @@ pub enum WireMessage {
     },
 }
 
+/// A framed PBIO message *borrowing* its body from the receive buffer.
+///
+/// Parsing a [`WireFrame`] never copies the payload; decoding reads the
+/// wire bytes in place, and only the materialized [`sbq_model::Value`]
+/// owns memory (copy-on-materialize). Use [`WireFrame::to_owned`] when a
+/// message must outlive the buffer it arrived in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFrame<'a> {
+    /// Borrowed form of [`WireMessage::FormatReg`].
+    FormatReg {
+        /// Server-assigned format id.
+        id: u32,
+        /// Serialized format description, borrowed from the buffer.
+        desc: &'a [u8],
+    },
+    /// Borrowed form of [`WireMessage::Data`].
+    Data {
+        /// Format id the payload was encoded with.
+        format_id: u32,
+        /// Encoded payload, borrowed from the buffer.
+        payload: &'a [u8],
+    },
+}
+
+impl<'a> WireFrame<'a> {
+    /// Parses one framed message without copying the body, returning it
+    /// and the bytes consumed.
+    pub fn parse(buf: &'a [u8]) -> Result<(WireFrame<'a>, usize), PbioError> {
+        if buf.len() < 9 {
+            return Err(PbioError::Truncated);
+        }
+        let kind = buf[0];
+        let id = u32::from_le_bytes(buf[1..5].try_into().expect("len checked"));
+        let len = u32::from_le_bytes(buf[5..9].try_into().expect("len checked")) as usize;
+        let end = 9usize.checked_add(len).ok_or(PbioError::Truncated)?;
+        if buf.len() < end {
+            return Err(PbioError::Truncated);
+        }
+        let body = &buf[9..end];
+        let frame = match kind {
+            MSG_FORMAT_REG => WireFrame::FormatReg { id, desc: body },
+            MSG_DATA => WireFrame::Data {
+                format_id: id,
+                payload: body,
+            },
+            t => return Err(PbioError::BadTag(t)),
+        };
+        Ok((frame, end))
+    }
+
+    /// Copies the borrowed body into an owned [`WireMessage`].
+    pub fn to_owned(&self) -> WireMessage {
+        match *self {
+            WireFrame::FormatReg { id, desc } => WireMessage::FormatReg {
+                id,
+                desc: desc.to_vec(),
+            },
+            WireFrame::Data { format_id, payload } => WireMessage::Data {
+                format_id,
+                payload: payload.to_vec(),
+            },
+        }
+    }
+}
+
+/// Appends the 9-byte frame header `kind(1) | id(4 LE) | len(4 LE)` for a
+/// `body_len`-byte body, erroring if the length does not fit the header.
+pub(crate) fn write_frame_header(
+    out: &mut Vec<u8>,
+    kind: u8,
+    id: u32,
+    body_len: usize,
+) -> Result<(), PbioError> {
+    let len = u32::try_from(body_len).map_err(|_| PbioError::TooLarge(body_len))?;
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
 impl WireMessage {
     /// Serializes to `kind(1) | id(4 LE) | len(4 LE) | body`.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -38,34 +118,28 @@ impl WireMessage {
             WireMessage::Data { format_id, payload } => (MSG_DATA, *format_id, payload),
         };
         let mut out = Vec::with_capacity(9 + body.len());
-        out.push(kind);
-        out.extend_from_slice(&id.to_le_bytes());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        write_frame_header(&mut out, kind, id, body.len()).expect("in-memory body fits u32");
         out.extend_from_slice(body);
         out
     }
 
     /// Parses one framed message, returning it and the bytes consumed.
+    ///
+    /// Copies the body; prefer [`WireFrame::parse`] on the hot path.
     pub fn from_bytes(buf: &[u8]) -> Result<(WireMessage, usize), PbioError> {
-        if buf.len() < 9 {
-            return Err(PbioError::Truncated);
-        }
-        let kind = buf[0];
-        let id = u32::from_le_bytes(buf[1..5].try_into().expect("len checked"));
-        let len = u32::from_le_bytes(buf[5..9].try_into().expect("len checked")) as usize;
-        if buf.len() < 9 + len {
-            return Err(PbioError::Truncated);
-        }
-        let body = buf[9..9 + len].to_vec();
-        let msg = match kind {
-            MSG_FORMAT_REG => WireMessage::FormatReg { id, desc: body },
-            MSG_DATA => WireMessage::Data {
-                format_id: id,
-                payload: body,
+        let (frame, used) = WireFrame::parse(buf)?;
+        Ok((frame.to_owned(), used))
+    }
+
+    /// The borrowed view of this message.
+    pub fn as_frame(&self) -> WireFrame<'_> {
+        match self {
+            WireMessage::FormatReg { id, desc } => WireFrame::FormatReg { id: *id, desc },
+            WireMessage::Data { format_id, payload } => WireFrame::Data {
+                format_id: *format_id,
+                payload,
             },
-            t => return Err(PbioError::BadTag(t)),
-        };
-        Ok((msg, 9 + len))
+        }
     }
 
     /// Total framed size in bytes.
@@ -145,5 +219,44 @@ mod tests {
             WireMessage::from_bytes(&bad).unwrap_err(),
             PbioError::BadTag(0x7f)
         );
+    }
+
+    #[test]
+    fn borrowed_frames_view_the_buffer_in_place() {
+        let m = WireMessage::Data {
+            format_id: 4,
+            payload: vec![5, 6, 7],
+        };
+        let bytes = m.to_bytes();
+        let (frame, used) = WireFrame::parse(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        let WireFrame::Data { format_id, payload } = frame else {
+            panic!("expected data frame");
+        };
+        assert_eq!(format_id, 4);
+        // The payload is a window into the original buffer, not a copy.
+        assert_eq!(payload.as_ptr(), bytes[9..].as_ptr());
+        assert_eq!(frame.to_owned(), m);
+        assert_eq!(m.as_frame(), frame);
+    }
+
+    #[test]
+    fn borrowed_frames_reject_truncation_and_bad_kind() {
+        let bytes = WireMessage::FormatReg {
+            id: 1,
+            desc: vec![2; 8],
+        }
+        .to_bytes();
+        assert_eq!(
+            WireFrame::parse(&bytes[..8]).unwrap_err(),
+            PbioError::Truncated
+        );
+        assert_eq!(
+            WireFrame::parse(&bytes[..12]).unwrap_err(),
+            PbioError::Truncated
+        );
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert_eq!(WireFrame::parse(&bad).unwrap_err(), PbioError::BadTag(9));
     }
 }

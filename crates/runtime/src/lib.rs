@@ -13,10 +13,14 @@
 //!   bus and the HTTP accept queue need.
 //! * [`rand`] — a small, seedable, splittable PRNG (SplitMix64 core) for
 //!   deterministic jitter, loss, and fuzz-test generation.
+//! * [`pool`] — a sharded, size-classed [`BufferPool`] so steady-state
+//!   message traffic reuses body buffers instead of allocating.
 
 pub mod channel;
+pub mod pool;
 pub mod rand;
 pub mod sync;
 
+pub use pool::BufferPool;
 pub use rand::SmallRng;
 pub use sync::{Mutex, RwLock};

@@ -36,11 +36,13 @@
 pub mod expo;
 pub mod histogram;
 pub mod metrics;
+pub mod pool;
 pub mod span;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
+pub use pool::pool_observer;
 pub use span::Span;
 pub use trace::{SpanEvent, TraceConfig, TraceContext, TraceSpan, Tracer};
 

@@ -1,0 +1,66 @@
+//! Bridge from [`sbq_runtime::pool::BufferPool`] events into registry
+//! metrics.
+//!
+//! The runtime crate sits below telemetry, so the pool exposes a
+//! [`PoolObserver`] trait instead of depending on the registry; this
+//! module is the one adapter. Metric names:
+//!
+//! * `pool.buffers.hit` — counter, `get` served from the free list
+//! * `pool.buffers.miss` — counter, `get` fell through to the allocator
+//! * `pool.buffers.held_bytes` — gauge, bytes currently retained
+
+use crate::metrics::{Counter, Gauge};
+use crate::Registry;
+use sbq_runtime::pool::PoolObserver;
+use std::sync::Arc;
+
+struct PoolTelemetry {
+    hit: Counter,
+    miss: Counter,
+    held: Gauge,
+}
+
+impl PoolObserver for PoolTelemetry {
+    fn on_hit(&self) {
+        self.hit.inc();
+    }
+    fn on_miss(&self) {
+        self.miss.inc();
+    }
+    fn on_held_bytes(&self, delta: i64) {
+        self.held.add(delta);
+    }
+}
+
+/// Observer that mirrors pool events into `registry` under the
+/// `pool.buffers.*` names. Handles are resolved once here, so the
+/// per-event cost is a single sharded atomic op.
+pub fn pool_observer(registry: &Registry) -> Arc<dyn PoolObserver> {
+    Arc::new(PoolTelemetry {
+        hit: registry.counter("pool.buffers.hit"),
+        miss: registry.counter("pool.buffers.miss"),
+        held: registry.gauge("pool.buffers.held_bytes"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_runtime::BufferPool;
+
+    #[test]
+    fn pool_events_reach_the_registry() {
+        let reg = Registry::new();
+        let pool = BufferPool::new();
+        pool.set_observer(pool_observer(&reg));
+        let buf = pool.get(100); // miss
+        pool.put(buf);
+        let buf = pool.get(100); // hit
+        let cap = buf.capacity() as i64;
+        assert_eq!(reg.counter("pool.buffers.miss").get(), 1);
+        assert_eq!(reg.counter("pool.buffers.hit").get(), 1);
+        assert_eq!(reg.gauge("pool.buffers.held_bytes").get(), 0);
+        pool.put(buf);
+        assert_eq!(reg.gauge("pool.buffers.held_bytes").get(), cap);
+    }
+}

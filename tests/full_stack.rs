@@ -167,7 +167,19 @@ fn large_payloads_cross_the_stack() {
     let mut client = SoapClient::connect(server.addr(), &svc, WireEncoding::Pbio).unwrap();
     // ~8 MB payload.
     let v = workload::float_array(1_000_000, 3);
+    let bulk_before = soap_binq::Registry::global()
+        .counter("pbio.plan.bulk_ops")
+        .get();
     assert_eq!(client.call("echo", v.clone()).unwrap(), v);
+    // The conversion plans on both sides of the call ran the payload
+    // through bulk array kernels, not per-element decoding.
+    let bulk_after = soap_binq::Registry::global()
+        .counter("pbio.plan.bulk_ops")
+        .get();
+    assert!(
+        bulk_after > bulk_before,
+        "pbio.plan.bulk_ops did not advance ({bulk_before} -> {bulk_after})"
+    );
 }
 
 #[test]

@@ -796,3 +796,57 @@ fn huge_streamed_body_uses_bounded_framing_buffers() {
     );
     assert!(peak > 0, "the instrumentation actually recorded");
 }
+
+#[test]
+fn steady_state_calls_run_the_body_path_entirely_from_the_pool() {
+    // The zero-copy hot path's end state: once the buffer pool is warm,
+    // every request/response body on both sides of a call is served from
+    // recycled buffers — the pool records hits but no new misses, which
+    // means the steady-state body path performs zero allocations.
+    let pool = sbq_runtime::BufferPool::new();
+    let svc = echo_service();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .transport(
+            ServerConfig::default()
+                .worker_threads(2)
+                .buffer_pool(pool.clone()),
+        )
+        .handle("echo", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let mut client = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Pbio,
+        ClientConfig::default().buffer_pool(pool.clone()),
+    )
+    .unwrap();
+
+    let payload = Value::IntArray((0..256).collect());
+
+    // Warm-up: first calls miss the pool (and the first PBIO call carries
+    // the format-registration handshake, which sizes buffers differently).
+    for _ in 0..3 {
+        assert_eq!(client.call("echo", payload.clone()).unwrap(), payload);
+    }
+    let warm = pool.stats();
+    assert!(warm.misses > 0, "cold calls populate the pool");
+
+    for _ in 0..20 {
+        assert_eq!(client.call("echo", payload.clone()).unwrap(), payload);
+    }
+    let after = pool.stats();
+    assert_eq!(
+        after.misses, warm.misses,
+        "steady-state calls allocated new body buffers (pool misses grew \
+         from {} to {})",
+        warm.misses, after.misses
+    );
+    assert!(
+        after.hits > warm.hits,
+        "steady-state calls did not draw from the pool (hits {} -> {})",
+        warm.hits,
+        after.hits
+    );
+}
