@@ -1,10 +1,16 @@
-//! Concurrency micro-benchmark for the worker-pool transport: per-call
+//! Concurrency micro-benchmark for the event-driven transport: per-call
 //! latency percentiles (p50/p99) at increasing numbers of concurrent
-//! clients hammering one SOAP-binQ echo server over loopback.
+//! clients hammering one SOAP-binQ echo server over loopback, followed by
+//! a keep-alive storm (c1k–c10k) driven by non-blocking bench-side
+//! connections multiplexed on one reactor.
 //!
 //! What to look for: p50 should stay near the single-client floor while
-//! the pool multiplexes keep-alive connections; p99 reveals queueing when
-//! clients outnumber workers.
+//! the reactor multiplexes keep-alive connections; p99/p999 reveal
+//! queueing when clients outnumber the CPU pool. The storm phase
+//! self-checks the c10k claim: `/metrics` must report at least
+//! `min(N, 1000)` open connections while `/proc/self/status` shows the
+//! process holding no more than (CPU pool + reactor + main) threads —
+//! the bench exits nonzero if either check fails.
 //!
 //! Latencies are recorded into `sbq-telemetry` histograms (the same
 //! log-bucketed type the servers expose over `/metrics`), and the run
@@ -135,6 +141,235 @@ fn run_level(
     (hist.snapshot(), trace_json)
 }
 
+/// One non-blocking keep-alive connection in the storm: writes a fixed
+/// request, reads the echoed response, repeats `calls` times, then parks
+/// idle so the self-check can count it.
+struct StormConn {
+    stream: std::net::TcpStream,
+    out_pos: usize,
+    inbuf: Vec<u8>,
+    calls_left: usize,
+    t0: Instant,
+    writing: bool,
+    done: bool,
+}
+
+/// Parses one complete echo response out of `buf`; returns the number of
+/// bytes it consumed, or 0 if more bytes are needed.
+fn response_len(buf: &[u8]) -> usize {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return 0;
+    };
+    let head = &buf[..head_end + 4];
+    let text = String::from_utf8_lossy(head);
+    let cl: usize = text
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let total = head_end + 4 + cl;
+    if buf.len() >= total {
+        total
+    } else {
+        0
+    }
+}
+
+fn count_process_threads() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+}
+
+/// Keep-alive storm: `n` non-blocking connections multiplexed on one
+/// bench-side reactor, each making `calls` echo requests against an HTTP
+/// echo server with a small fixed CPU pool, then parking idle. Returns
+/// the latency histogram. Exits nonzero when the c10k self-checks fail.
+fn run_storm(n: usize, calls: usize, workers: usize, reg: &Registry) -> HistogramSnapshot {
+    use sbq_runtime::reactor::{Interest, Reactor, Token};
+
+    let handle = sbq_http::HttpServer::bind_with(
+        "127.0.0.1:0".parse().unwrap(),
+        sbq_http::ServerConfig::default()
+            .worker_threads(workers)
+            .keep_alive_timeout(Duration::from_secs(300))
+            .telemetry(reg.clone()),
+        |r: &sbq_http::Request| sbq_http::Response::ok("application/octet-stream", r.body.clone()),
+    )
+    .expect("bind storm server");
+    let addr = handle.addr();
+
+    let request: Vec<u8> = {
+        let body = vec![0x5a_u8; 64];
+        let mut r = format!(
+            "POST /echo HTTP/1.1\r\nHost: b\r\nContent-Type: application/octet-stream\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        r.extend_from_slice(&body);
+        r
+    };
+
+    let reactor = Reactor::new().expect("bench reactor");
+    let mut conns: Vec<StormConn> = Vec::with_capacity(n);
+    for i in 0..n {
+        let stream = std::net::TcpStream::connect(addr).expect("storm connect");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let _ = stream.set_nodelay(true);
+        reactor
+            .register(&stream, Token(i as u64), Interest::WRITABLE)
+            .expect("register storm conn");
+        conns.push(StormConn {
+            stream,
+            out_pos: 0,
+            inbuf: Vec::new(),
+            calls_left: calls,
+            t0: Instant::now(),
+            writing: true,
+            done: false,
+        });
+    }
+
+    let hist = reg.histogram(&format!("bench.storm_call_ns.c{n}"));
+    let mut pending = n;
+    let mut events = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while pending > 0 {
+        if Instant::now() > deadline {
+            eprintln!("storm stalled: {pending}/{n} connections still working");
+            std::process::exit(1);
+        }
+        reactor
+            .poll(&mut events, Some(Duration::from_millis(100)))
+            .expect("storm poll");
+        for ev in &events {
+            use std::io::{Read, Write};
+            let c = &mut conns[ev.token.0 as usize];
+            if c.done {
+                continue;
+            }
+            if ev.error {
+                eprintln!("storm connection {} errored", ev.token.0);
+                std::process::exit(1);
+            }
+            loop {
+                if c.writing {
+                    match c.stream.write(&request[c.out_pos..]) {
+                        Ok(0) => break,
+                        Ok(k) => {
+                            c.out_pos += k;
+                            if c.out_pos == request.len() {
+                                c.writing = false;
+                                c.inbuf.clear();
+                                reactor
+                                    .reregister(&c.stream, ev.token, Interest::READABLE)
+                                    .expect("reregister read");
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            eprintln!("storm write failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                } else {
+                    let mut chunk = [0u8; 4096];
+                    match c.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            eprintln!("storm server closed a keep-alive connection early");
+                            std::process::exit(1);
+                        }
+                        Ok(k) => {
+                            c.inbuf.extend_from_slice(&chunk[..k]);
+                            let used = response_len(&c.inbuf);
+                            if used > 0 {
+                                hist.record_duration(c.t0.elapsed());
+                                c.inbuf.drain(..used);
+                                c.calls_left -= 1;
+                                if c.calls_left == 0 {
+                                    // Park idle (still open) for the self-check.
+                                    c.done = true;
+                                    reactor
+                                        .reregister(&c.stream, ev.token, Interest::NONE)
+                                        .expect("park storm conn");
+                                    pending -= 1;
+                                    break;
+                                }
+                                c.t0 = Instant::now();
+                                c.out_pos = 0;
+                                c.writing = true;
+                                reactor
+                                    .reregister(&c.stream, ev.token, Interest::WRITABLE)
+                                    .expect("reregister write");
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            eprintln!("storm read failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Self-check 1: the server really is holding all N connections open.
+    let floor = n.min(1000) as f64;
+    let mut http = sbq_http::HttpClient::connect(addr).expect("connect for storm /metrics");
+    let resp = http
+        .send(sbq_http::Request::get("/metrics"))
+        .expect("GET /metrics");
+    let text = String::from_utf8(resp.body).expect("metrics utf-8");
+    let samples = expo::parse_text(&text).unwrap_or_else(|e| {
+        eprintln!("malformed /metrics exposition during storm: {e}");
+        std::process::exit(1);
+    });
+    let gauge = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.quantile.is_none())
+            .map(|s| s.value)
+            .unwrap_or(0.0)
+    };
+    let open = gauge("http_connections_open");
+    if open < floor {
+        eprintln!("c10k self-check failed: {n} connections parked but /metrics reports only {open} open (need >= {floor})");
+        std::process::exit(1);
+    }
+
+    // Self-check 2: connection count must not leak into thread count. The
+    // whole process is main + the server's reactor + its CPU pool (the
+    // storm clients all live on this thread); allow one extra for the
+    // telemetry-free margin.
+    if let Some(threads) = count_process_threads() {
+        let budget = workers + 3;
+        if threads > budget {
+            eprintln!(
+                "c10k self-check failed: {threads} process threads with {n} connections \
+                 (budget {budget} = {workers} CPU pool + reactor + main + 1)"
+            );
+            std::process::exit(1);
+        }
+        println!("  storm c{n}: {open:.0} conns open on {threads} process threads");
+    }
+
+    drop(conns);
+    drop(handle);
+    hist.snapshot()
+}
+
 fn main() {
     let short = std::env::args().any(|a| a == "--short") || std::env::var("BENCH_SHORT").is_ok();
     let calls = if short { 5 } else { 50 };
@@ -165,10 +400,42 @@ fn main() {
         level_json.push(format!("\"c{clients}\":{}", expo::histogram_json(&snap)));
     }
 
+    // Keep-alive storm: thousands of connections on one bench-side
+    // reactor against a fixed four-thread CPU pool. `--short` stays at
+    // c1k or below for CI.
+    // Both ends of every loopback connection live in this process, so a
+    // storm of N costs ~2N descriptors: size the top level to whatever
+    // the hard rlimit actually grants.
+    let nofile = sbq_runtime::raise_nofile_limit(64 * 1024);
+    let top = 10_000
+        .min(((nofile.saturating_sub(512)) / 2) as usize)
+        .max(1000);
+    let full_levels = [1000, top];
+    let storm_levels: &[usize] = if short { &[256, 1000] } else { &full_levels };
+    let storm_calls = if short { 2 } else { 5 };
+    let storm_workers = 4;
+    header(
+        &format!("keep-alive storm ({storm_workers}-thread CPU pool, {storm_calls} calls/conn)"),
+        &["conns", "p50", "p99", "p999"],
+    );
+    let mut storm_json = Vec::new();
+    for &n in storm_levels {
+        let snap = run_storm(n, storm_calls, storm_workers, &reg);
+        println!(
+            "{n:>7} | {} | {} | {}",
+            fmt_dur(Duration::from_nanos(snap.quantile(0.5))),
+            fmt_dur(Duration::from_nanos(snap.quantile(0.99))),
+            fmt_dur(Duration::from_nanos(snap.quantile(0.999))),
+        );
+        storm_json.push(format!("\"c{n}\":{}", expo::histogram_json(&snap)));
+    }
+
     let json = format!(
         "{{\"bench\":\"concurrency\",\"short\":{short},\"workers\":{workers},\
-         \"calls_per_client\":{calls},\"unit\":\"ns\",\"levels\":{{{}}}}}",
-        level_json.join(",")
+         \"calls_per_client\":{calls},\"unit\":\"ns\",\"levels\":{{{}}},\
+         \"storm\":{{\"workers\":{storm_workers},\"calls_per_conn\":{storm_calls},{}}}}}",
+        level_json.join(","),
+        storm_json.join(",")
     );
     std::fs::write("BENCH_concurrency.json", format!("{json}\n")).expect("write bench json");
     std::fs::write("BENCH_trace.json", format!("{trace_json}\n")).expect("write trace json");

@@ -190,6 +190,7 @@ pub(crate) fn read_line_capped(
 // Streaming body reader
 // ---------------------------------------------------------------------------
 
+#[derive(Debug, Clone, Copy)]
 enum ReadState {
     /// Plain `Content-Length` body: bytes left to read.
     Length { remaining: u64 },
@@ -199,6 +200,96 @@ enum ReadState {
     ChunkData { remaining: u64, total: u64 },
     /// Fully consumed (trailers included).
     Done,
+}
+
+/// Opaque, copyable snapshot of a body read in progress — what lets a
+/// non-blocking caller park a partially-read body when the socket runs
+/// dry and resume it (via [`BodyReader::resume`]) when more bytes
+/// arrive. Snapshots are only meaningful at `read_some` boundaries: the
+/// event-driven server snapshots before each call and rolls back to the
+/// snapshot when the call fails with `WouldBlock` mid-token.
+#[derive(Debug, Clone, Copy)]
+pub struct BodyState(ReadState);
+
+impl BodyState {
+    /// The initial state for a body framed as `framing`. A declared
+    /// `Content-Length` beyond `max_body_bytes` is rejected here, before
+    /// any of it is read.
+    pub fn start(framing: BodyFraming, limits: &Limits) -> Result<BodyState, HttpError> {
+        Ok(BodyState(match framing {
+            BodyFraming::Length(n) => {
+                if n > limits.max_body_bytes as u64 {
+                    return Err(HttpError::TooLarge {
+                        what: "body",
+                        limit: limits.max_body_bytes,
+                    });
+                }
+                ReadState::Length { remaining: n }
+            }
+            BodyFraming::Chunked => ReadState::ChunkSize { total: 0 },
+        }))
+    }
+
+    /// Whether the body is fully consumed.
+    pub fn is_done(&self) -> bool {
+        matches!(self.0, ReadState::Done)
+    }
+}
+
+/// An in-memory byte cursor whose exhaustion is `WouldBlock`, not EOF.
+///
+/// The event-driven server parses bodies out of whatever bytes have
+/// arrived so far; running out of buffered bytes means "wait for the
+/// next readiness event", never "the peer closed". Wrapping the buffered
+/// slice in this cursor makes [`BodyReader`] surface that distinction as
+/// `HttpError::Timeout(Read)` (the `WouldBlock` mapping) instead of a
+/// truncation protocol error.
+pub(crate) struct NonBlockCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> NonBlockCursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> NonBlockCursor<'a> {
+        NonBlockCursor { data, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Rolls the cursor back to an earlier position (snapshot restore).
+    pub(crate) fn set_pos(&mut self, pos: usize) {
+        debug_assert!(pos <= self.data.len());
+        self.pos = pos.min(self.data.len());
+    }
+}
+
+impl std::io::Read for NonBlockCursor<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let avail = std::io::BufRead::fill_buf(self)?;
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for NonBlockCursor<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.data.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "buffered bytes exhausted",
+            ));
+        }
+        Ok(&self.data[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.data.len());
+    }
 }
 
 /// Incremental body reader: pulls body bytes out of a buffered stream
@@ -218,23 +309,28 @@ impl<'a, R: BufRead> BodyReader<'a, R> {
     /// `Content-Length` beyond `max_body_bytes` is rejected here, before
     /// any of it is read.
     pub fn new(src: &'a mut R, framing: BodyFraming, limits: &Limits) -> Result<Self, HttpError> {
-        let state = match framing {
-            BodyFraming::Length(n) => {
-                if n > limits.max_body_bytes as u64 {
-                    return Err(HttpError::TooLarge {
-                        what: "body",
-                        limit: limits.max_body_bytes,
-                    });
-                }
-                ReadState::Length { remaining: n }
-            }
-            BodyFraming::Chunked => ReadState::ChunkSize { total: 0 },
-        };
-        Ok(BodyReader {
+        Ok(Self::resume(
             src,
-            state,
+            BodyState::start(framing, limits)?,
+            limits,
+        ))
+    }
+
+    /// Continues a body read from a [`BodyState`] snapshot (see
+    /// [`BodyReader::state`]). The non-blocking server uses this to pick
+    /// a partially-read body back up on the next readiness event.
+    pub fn resume(src: &'a mut R, state: BodyState, limits: &Limits) -> Self {
+        BodyReader {
+            src,
+            state: state.0,
             limits: *limits,
-        })
+        }
+    }
+
+    /// Snapshot of the framing position, valid at `read_some`
+    /// boundaries.
+    pub fn state(&self) -> BodyState {
+        BodyState(self.state)
     }
 
     /// Reads some body bytes into `scratch`, returning how many were
@@ -756,6 +852,78 @@ mod tests {
             text.ends_with("4\r\nabcd\r\n2\r\nef\r\n0\r\n\r\n"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn chunked_body_resumes_across_arbitrary_byte_boundaries() {
+        // Feed a chunked body one byte at a time through NonBlockCursor,
+        // snapshotting/rolling back exactly the way the event-driven
+        // server does: the decoded body must come out identical no matter
+        // where the "socket" ran dry (including mid-size-line and between
+        // a chunk's data and its trailing CRLF).
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let mut wire = Vec::new();
+        write_framed(
+            &mut wire,
+            "POST / HTTP/1.1\r\n",
+            &[],
+            &payload,
+            &ChunkPolicy::above(0).chunk_size(700),
+        )
+        .unwrap();
+        let body_at = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let wire = &wire[body_at..];
+
+        let limits = Limits::default();
+        let mut body = Vec::new();
+        let mut state = BodyState::start(BodyFraming::Chunked, &limits).unwrap();
+        let mut have = 0usize; // bytes "arrived" so far
+        let mut consumed = 0usize;
+        let mut scratch = [0u8; 128];
+        while !state.is_done() {
+            have = (have + 1).min(wire.len());
+            let mut cur = NonBlockCursor::new(&wire[consumed..have]);
+            loop {
+                let snap_pos = cur.pos();
+                let snap_state = state;
+                let (res, after) = {
+                    let mut rdr = BodyReader::resume(&mut cur, state, &limits);
+                    let res = rdr.read_some(&mut scratch);
+                    let after = rdr.state();
+                    (res, after)
+                };
+                match res {
+                    Ok(0) => {
+                        state = after;
+                        break;
+                    }
+                    Ok(n) => {
+                        state = after;
+                        body.extend_from_slice(&scratch[..n]);
+                    }
+                    Err(HttpError::Timeout(TimeoutKind::Read)) => {
+                        // Ran dry mid-token: roll back and wait for more.
+                        state = snap_state;
+                        cur.set_pos(snap_pos);
+                        break;
+                    }
+                    Err(e) => panic!("unexpected framing error: {e}"),
+                }
+            }
+            consumed += cur.pos();
+            assert!(have < wire.len() || state.is_done() || consumed <= have);
+        }
+        assert_eq!(body, payload);
+        assert_eq!(consumed, wire.len(), "decoder consumed the exact framing");
+    }
+
+    #[test]
+    fn nonblock_cursor_reports_wouldblock_not_eof() {
+        let mut cur = NonBlockCursor::new(b"ab");
+        let mut buf = [0u8; 8];
+        assert_eq!(std::io::Read::read(&mut cur, &mut buf).unwrap(), 2);
+        let err = std::io::Read::read(&mut cur, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
     }
 
     #[test]

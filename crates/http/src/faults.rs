@@ -25,10 +25,15 @@ pub enum FaultAction {
 
 /// An ordered plan of response faults, keyed by the zero-based index of the
 /// request (counting every successfully parsed request across all
-/// connections).
+/// connections), plus optional I/O *shaping* applied to every connection:
+/// short reads/writes and periodic `EINTR` injection that exercise the
+/// partial-progress paths of the event-driven state machines.
 #[derive(Debug, Clone, Default)]
 pub struct FaultSchedule {
     entries: Vec<(u64, FaultAction)>,
+    read_cap: Option<usize>,
+    write_cap: Option<usize>,
+    interrupt_every: Option<u64>,
 }
 
 impl FaultSchedule {
@@ -51,7 +56,32 @@ impl FaultSchedule {
         self
     }
 
-    /// Whether any fault is scheduled.
+    /// Caps every socket read the server performs at `max` bytes,
+    /// forcing the read state machines to make progress one sliver at a
+    /// time (a header can arrive byte by byte).
+    pub fn short_reads(mut self, max: usize) -> FaultSchedule {
+        self.read_cap = Some(max.max(1));
+        self
+    }
+
+    /// Caps every socket write the server performs at `max` bytes — a
+    /// response is written in `max`-byte slivers, exercising partial-write
+    /// resumption (`max = 1` writes it one byte at a time).
+    pub fn short_writes(mut self, max: usize) -> FaultSchedule {
+        self.write_cap = Some(max.max(1));
+        self
+    }
+
+    /// Makes every `nth` shaped I/O operation fail with `EINTR`
+    /// (`ErrorKind::Interrupted`), which correct state machines must
+    /// transparently retry.
+    pub fn interrupt_every(mut self, nth: u64) -> FaultSchedule {
+        self.interrupt_every = Some(nth.max(1));
+        self
+    }
+
+    /// Whether any fault is scheduled. I/O shaping does not count: a
+    /// shaped schedule with no entries still delivers every response.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -62,6 +92,21 @@ impl FaultSchedule {
             .iter()
             .find(|(i, _)| *i == request)
             .map(|(_, a)| *a)
+    }
+
+    /// Per-read byte cap from [`FaultSchedule::short_reads`], if any.
+    pub(crate) fn read_cap(&self) -> Option<usize> {
+        self.read_cap
+    }
+
+    /// Per-write byte cap from [`FaultSchedule::short_writes`], if any.
+    pub(crate) fn write_cap(&self) -> Option<usize> {
+        self.write_cap
+    }
+
+    /// `EINTR` period from [`FaultSchedule::interrupt_every`], if any.
+    pub(crate) fn interrupt_period(&self) -> Option<u64> {
+        self.interrupt_every
     }
 }
 
@@ -97,5 +142,16 @@ mod tests {
             assert_eq!(s.action_for(i), Some(FaultAction::CloseMidResponse));
         }
         assert_eq!(s.action_for(3), None);
+    }
+
+    #[test]
+    fn shaping_does_not_make_the_schedule_non_empty() {
+        let s = FaultSchedule::new().short_reads(1).short_writes(0);
+        assert!(s.is_empty(), "shaping alone drops no responses");
+        assert_eq!(s.read_cap(), Some(1));
+        assert_eq!(s.write_cap(), Some(1), "zero cap clamps to one byte");
+        assert_eq!(s.interrupt_period(), None);
+        let s = s.interrupt_every(3);
+        assert_eq!(s.interrupt_period(), Some(3));
     }
 }

@@ -13,10 +13,12 @@
 //! visualization payloads streaming through transient buffers bounded by
 //! the chunk size instead of the body size.
 //!
-//! The server is a fixed worker pool behind a bounded accept queue (see
-//! [`server`]); both ends are configured through [`ServerConfig`] and
-//! [`ClientConfig`], and resilience tests inject response faults through
-//! [`FaultSchedule`].
+//! The server is event-driven: a single reactor thread multiplexes every
+//! connection over `epoll` readiness while handlers run on a small fixed
+//! CPU pool (see [`server`]), so thousands of idle keep-alive connections
+//! cost zero threads. Both ends are configured through [`ServerConfig`]
+//! and [`ClientConfig`], and resilience tests inject response faults and
+//! partial-I/O shaping through [`FaultSchedule`].
 //!
 //! The server is instrumented with `sbq-telemetry` (request/status
 //! counters, queue-wait and stage histograms) and exposes its registry
@@ -30,7 +32,7 @@ mod metrics;
 pub mod server;
 
 pub use body::{
-    peak_framing_buffer, reset_peak_framing_buffer, BodyFraming, BodyReader, ChunkPolicy,
+    peak_framing_buffer, reset_peak_framing_buffer, BodyFraming, BodyReader, BodyState, ChunkPolicy,
 };
 pub use faults::{FaultAction, FaultSchedule};
 pub use message::{HttpError, Limits, Request, Response, TimeoutKind};

@@ -246,26 +246,55 @@ impl Request {
         limits: &Limits,
         pool: Option<&BufferPool>,
     ) -> Result<Option<Request>, HttpError> {
-        let Some(line) = read_line(r, limits)? else {
+        let Some(head) = read_request_head(r, limits)? else {
             return Ok(None);
         };
-        let mut parts = line.split_whitespace();
-        let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
-        else {
-            return Err(HttpError::Protocol(format!("bad request line: {line:?}")));
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Protocol(format!("bad version: {version:?}")));
-        }
-        let headers = read_headers(r, limits)?;
-        let body = read_body(r, &headers, limits, pool)?;
+        let body = read_body(r, &head.headers, limits, pool)?;
         Ok(Some(Request {
-            method: method.to_string(),
-            path: path.to_string(),
-            headers,
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
             body,
         }))
     }
+}
+
+/// Request line plus header section — everything before the body. The
+/// event-driven server parses the head as soon as the blank line arrives
+/// and switches to incremental body decoding from there.
+#[derive(Debug)]
+pub(crate) struct RequestHead {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+}
+
+/// Reads one request head (request line + headers through the blank
+/// line), enforcing `limits`. Returns `Ok(None)` on a cleanly closed
+/// connection before the first byte.
+pub(crate) fn read_request_head(
+    r: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<RequestHead>, HttpError> {
+    let Some(line) = read_line(r, limits)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Protocol(format!("bad request line: {line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Protocol(format!("bad version: {version:?}")));
+    }
+    let method = method.to_string();
+    let path = path.to_string();
+    let headers = read_headers(r, limits)?;
+    Ok(Some(RequestHead {
+        method,
+        path,
+        headers,
+    }))
 }
 
 /// An HTTP response.

@@ -20,11 +20,18 @@ use sbq_telemetry::{Counter, Gauge, Histogram, Registry};
 /// | `http.chunked.rx`     | counter   | requests received with chunked framing     |
 /// | `http.chunked.tx`     | counter   | responses sent with chunked framing        |
 /// | `http.connections.active` | gauge | connections currently open                 |
+/// | `http.connections.accepted` | counter | connections accepted over the lifetime |
+/// | `http.connections.open` | gauge  | connections currently registered with the reactor |
+/// | `http.connections.idle` | gauge  | open connections parked between keep-alive requests |
+/// | `http.connections.closed` | counter | connections closed (any reason)          |
 /// | `http.requests.inflight`  | gauge | requests currently inside a handler        |
-/// | `http.queue_wait_ns`  | histogram | accept-queue wait, accept → worker pickup  |
+/// | `http.queue_wait_ns`  | histogram | dispatch wait, parsed → CPU-pool pickup    |
 /// | `http.read_ns`        | histogram | request parse time (first byte → parsed)   |
 /// | `http.write_ns`       | histogram | response write time                        |
 /// | `http.handler_ns`     | histogram | handler dispatch time                      |
+/// | `reactor.wakeups`     | counter   | event-loop unparks via the wake pipe       |
+/// | `reactor.events`      | counter   | readiness events delivered by `epoll_wait` |
+/// | `reactor.timeouts`    | counter   | deadline-wheel expirations acted on        |
 pub(crate) struct HttpMetrics {
     get: Counter,
     post: Counter,
@@ -38,7 +45,14 @@ pub(crate) struct HttpMetrics {
     pub(crate) chunked_rx: Counter,
     pub(crate) chunked_tx: Counter,
     pub(crate) active: Gauge,
+    pub(crate) accepted: Counter,
+    pub(crate) open: Gauge,
+    pub(crate) idle: Gauge,
+    pub(crate) closed: Counter,
     pub(crate) inflight: Gauge,
+    pub(crate) reactor_wakeups: Counter,
+    pub(crate) reactor_events: Counter,
+    pub(crate) reactor_timeouts: Counter,
     pub(crate) queue_wait: Histogram,
     pub(crate) read: Histogram,
     pub(crate) write: Histogram,
@@ -60,7 +74,14 @@ impl HttpMetrics {
             chunked_rx: reg.counter("http.chunked.rx"),
             chunked_tx: reg.counter("http.chunked.tx"),
             active: reg.gauge("http.connections.active"),
+            accepted: reg.counter("http.connections.accepted"),
+            open: reg.gauge("http.connections.open"),
+            idle: reg.gauge("http.connections.idle"),
+            closed: reg.counter("http.connections.closed"),
             inflight: reg.gauge("http.requests.inflight"),
+            reactor_wakeups: reg.counter("reactor.wakeups"),
+            reactor_events: reg.counter("reactor.events"),
+            reactor_timeouts: reg.counter("reactor.timeouts"),
             queue_wait: reg.histogram("http.queue_wait_ns"),
             read: reg.histogram("http.read_ns"),
             write: reg.histogram("http.write_ns"),

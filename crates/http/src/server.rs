@@ -1,40 +1,52 @@
-//! Worker-pool HTTP server.
+//! Event-driven HTTP server.
 //!
-//! A single acceptor thread feeds a *bounded* accept queue (the bound is
-//! the backpressure: when every worker is busy and the queue is full, the
-//! acceptor blocks and new connections wait in the kernel backlog). A
-//! fixed pool of workers multiplexes all open connections: each worker
-//! takes a connection, serves whatever requests arrive within a short
-//! slice, and either closes it (peer gone, `Connection: close`, idle too
-//! long, shutdown) or parks it back on the resume queue for the next free
-//! worker. A fixed pool therefore serves arbitrarily many keep-alive
-//! connections — unlike thread-per-connection, which pins one OS thread to
-//! every idle client.
+//! One reactor thread owns *readiness*: every connection is a
+//! non-blocking socket registered with an epoll [`Reactor`], driven
+//! through an explicit state machine (`Idle → ReadHead → ReadBody →
+//! InHandler → Write → Idle`) by readiness events, with read/write/
+//! keep-alive deadlines on a [`DeadlineWheel`]. A small fixed [`CpuPool`]
+//! owns *computation*: parsed requests are dispatched to it, the handler
+//! (and any marshalling it does) runs there, and the completed response
+//! is handed back to the event loop over a channel plus a reactor wake.
+//!
+//! The split is what makes c10k cheap: ten thousand idle keep-alive
+//! connections cost one thread and a few bytes of slab state each — their
+//! pooled buffers are released back to the [`BufferPool`] while they sit
+//! idle — while CPU-bound work stays bounded by the pool size instead of
+//! the connection count.
 
-use crate::body::ChunkPolicy;
+use crate::body::{parse_framing, BodyReader, BodyState, ChunkPolicy, NonBlockCursor};
 use crate::faults::{FaultAction, FaultSchedule};
-use crate::message::{HttpError, Limits, Request, Response, DEFAULT_IO_TIMEOUT};
+use crate::message::{
+    read_request_head, HttpError, Limits, Request, RequestHead, Response, TimeoutKind,
+    DEFAULT_IO_TIMEOUT,
+};
 use crate::metrics::HttpMetrics;
-use sbq_runtime::channel::{self, Receiver, Sender, TryRecvError};
-use sbq_runtime::BufferPool;
+use sbq_runtime::channel::{self, Receiver, Sender};
+use sbq_runtime::reactor::{Event, Interest, Token};
+use sbq_runtime::{BufferPool, CpuPool, DeadlineWheel, Reactor};
 use sbq_telemetry::trace;
-use sbq_telemetry::{Registry, Span, Tracer};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use sbq_telemetry::{Registry, Span, TraceContext, TraceSpan, Tracer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long a worker waits on a parked connection for new data before
-/// handing it back to the resume queue. Also bounds how quickly workers
-/// notice shutdown.
-const SLICE: Duration = Duration::from_millis(20);
-/// How long an idle worker blocks on the resume queue before checking the
-/// accept queue again.
-const CONNQ_POLL: Duration = Duration::from_millis(20);
-/// Cap on requests served in one slice, so one chatty connection cannot
-/// monopolize a worker while others wait.
-const MAX_REQUESTS_PER_SLICE: u32 = 32;
+/// Token for the listening socket (connection tokens encode a slot index
+/// in the low 32 bits, so they can never collide with this in practice).
+const LISTENER_TOKEN: Token = Token(u64::MAX - 1);
+/// Deadline-wheel resolution: coarse on purpose — connection timeouts are
+/// tens of milliseconds and up.
+const WHEEL_TICK: Duration = Duration::from_millis(25);
+/// Slots on the wheel: `WHEEL_TICK * WHEEL_SLOTS` (~102 s) covers every
+/// default timeout within one round.
+const WHEEL_SLOTS: usize = 4096;
+/// Per-syscall read size into a connection's input buffer.
+const READ_CHUNK: usize = 16 * 1024;
+/// Per-readiness-event read budget, so one fire-hose connection cannot
+/// monopolize the event loop (level-triggered epoll re-reports the rest).
+const READ_BUDGET: usize = 256 * 1024;
 
 /// Server-side transport configuration; construct with
 /// [`ServerConfig::default`] and refine with the consuming builder
@@ -46,6 +58,7 @@ pub struct ServerConfig {
     read_timeout: Duration,
     write_timeout: Duration,
     keep_alive_timeout: Duration,
+    keep_alive_max_idle: Option<Duration>,
     limits: Limits,
     faults: FaultSchedule,
     telemetry: Registry,
@@ -63,6 +76,7 @@ impl Default for ServerConfig {
             read_timeout: DEFAULT_IO_TIMEOUT,
             write_timeout: DEFAULT_IO_TIMEOUT,
             keep_alive_timeout: Duration::from_secs(60),
+            keep_alive_max_idle: None,
             limits: Limits::default(),
             faults: FaultSchedule::new(),
             telemetry: Registry::default(),
@@ -73,27 +87,31 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    /// Fixed number of worker threads (at least 1). Defaults to the
-    /// machine's available parallelism.
+    /// Size of the CPU pool handlers run on (at least 1). Defaults to the
+    /// machine's available parallelism. This no longer bounds how many
+    /// connections the server can hold open — only how many handlers run
+    /// at once.
     pub fn worker_threads(mut self, n: usize) -> ServerConfig {
         self.worker_threads = n.max(1);
         self
     }
 
-    /// Capacity of the accept queue; the acceptor blocks when it is full.
+    /// Cap on connections accepted per readiness event (the rest stay in
+    /// the kernel backlog until the next loop turn — that is the accept
+    /// backpressure).
     pub fn accept_backlog(mut self, n: usize) -> ServerConfig {
         self.accept_backlog = n.max(1);
         self
     }
 
-    /// Per-read deadline while parsing a request that has started
-    /// arriving; a stalled sender gets `408` and the connection closed.
+    /// Deadline for progress while a request is arriving; a stalled
+    /// sender gets `408` and the connection closed.
     pub fn read_timeout(mut self, d: Duration) -> ServerConfig {
         self.read_timeout = d;
         self
     }
 
-    /// Per-write deadline for responses.
+    /// Deadline for progress while a response is being written.
     pub fn write_timeout(mut self, d: Duration) -> ServerConfig {
         self.write_timeout = d;
         self
@@ -103,6 +121,15 @@ impl ServerConfig {
     /// server closes it.
     pub fn keep_alive_timeout(mut self, d: Duration) -> ServerConfig {
         self.keep_alive_timeout = d;
+        self
+    }
+
+    /// Optional tighter cap on idle keep-alive connections: when set, an
+    /// idle connection is reaped after `min(keep_alive_timeout, d)`.
+    /// Lets a server under fd pressure shed parked connections faster
+    /// than the protocol-level keep-alive allows.
+    pub fn keep_alive_max_idle(mut self, d: Duration) -> ServerConfig {
+        self.keep_alive_max_idle = Some(d);
         self
     }
 
@@ -176,8 +203,8 @@ impl ServerConfig {
     }
 }
 
-/// A running HTTP server. The handler runs on pool workers; it must be
-/// `Send + Sync` because requests are concurrent.
+/// A running HTTP server. The handler runs on CPU-pool workers; it must
+/// be `Send + Sync` because requests are concurrent.
 pub struct HttpServer;
 
 impl HttpServer {
@@ -201,10 +228,10 @@ impl HttpServer {
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
-        let workers_n = config.worker_threads;
         let metrics = HttpMetrics::new(&config.telemetry);
         let tracer = config.telemetry.tracer();
         if config.telemetry.is_enabled() {
@@ -215,6 +242,7 @@ impl HttpServer {
                 .pool
                 .set_observer(sbq_telemetry::pool_observer(&config.telemetry));
         }
+        let cpu_threads = config.worker_threads;
         let ctx = Arc::new(Ctx {
             handler: Box::new(handler),
             metrics,
@@ -224,45 +252,36 @@ impl HttpServer {
             requests: AtomicU64::new(0),
             active: AtomicU64::new(0),
         });
-
-        // Each accepted stream carries its accept timestamp so the worker
-        // that picks it up can record the queue wait.
-        let (accept_tx, accept_rx) =
-            channel::bounded::<(TcpStream, Instant)>(ctx.config.accept_backlog);
-        let (conn_tx, conn_rx) = channel::unbounded::<Conn>();
-
-        let stop2 = Arc::clone(&stop);
-        let conns2 = Arc::clone(&connections);
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                conns2.fetch_add(1, Ordering::SeqCst);
-                // Blocks while the queue is full: that is the backpressure.
-                if accept_tx.send((stream, Instant::now())).is_err() {
-                    break;
-                }
-            }
-            // accept_tx drops here; workers drain the queue and exit.
-        });
-
-        let workers = (0..workers_n)
-            .map(|_| {
-                let ctx = Arc::clone(&ctx);
-                let accept_rx = accept_rx.clone();
-                let conn_tx = conn_tx.clone();
-                let conn_rx = conn_rx.clone();
-                std::thread::spawn(move || worker_loop(&ctx, &accept_rx, &conn_tx, &conn_rx))
-            })
-            .collect();
-
+        let reactor = Arc::new(Reactor::new()?);
+        reactor.register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+        let (done_tx, done_rx) = channel::unbounded();
+        let ev = EventLoop {
+            ctx: Arc::clone(&ctx),
+            reactor: Arc::clone(&reactor),
+            listener: Some(listener),
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            wheel: DeadlineWheel::new(WHEEL_TICK, WHEEL_SLOTS),
+            pool: CpuPool::new(cpu_threads),
+            done_tx,
+            done_rx,
+            connections: Arc::clone(&connections),
+            scratch: vec![0u8; 64 * 1024],
+            inflight_jobs: 0,
+            open_conns: 0,
+            io_ops: 0,
+            just_intr: false,
+            stopping: false,
+        };
+        let event_loop = std::thread::Builder::new()
+            .name("sbq-http-reactor".to_string())
+            .spawn(move || ev.run())?;
         Ok(ServerHandle {
             addr: local,
             stop,
-            acceptor: Some(acceptor),
-            workers,
+            reactor,
+            event_loop: Some(event_loop),
             connections,
             ctx,
         })
@@ -279,251 +298,1247 @@ struct Ctx {
     active: AtomicU64,
 }
 
-/// One open connection, parked between worker slices.
+/// Where a connection's state machine stands. Exactly one request is in
+/// flight per connection at a time: while `InHandler`/`Write`, read
+/// interest is off, so pipelined bytes wait in `inbuf`/the kernel.
+///
+/// The variants deliberately differ in size: each holds exactly the
+/// working set the connection needs in that state, and there is one
+/// `ConnState` per connection slot — boxing the large variants would
+/// trade a pool-recycled inline buffer for a per-request allocation.
+#[allow(clippy::large_enum_variant)]
+enum ConnState {
+    /// Parked between keep-alive requests, buffers released.
+    Idle,
+    /// Accumulating request-line + headers into `inbuf`.
+    ReadHead,
+    /// Head parsed; streaming the body out of `inbuf` as it arrives.
+    ReadBody {
+        head: RequestHead,
+        chunked: bool,
+        bstate: BodyState,
+        body: Vec<u8>,
+    },
+    /// Dispatched to the CPU pool; waiting for the completion message.
+    InHandler,
+    /// Writing the response as the socket accepts it.
+    Write(WriteJob),
+}
+
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    last_activity: Instant,
-    /// Accept-queue wait, attached as a span to the first request served
-    /// on this connection (then taken).
-    queue_wait: Option<Duration>,
+    stream: TcpStream,
+    token: Token,
+    state: ConnState,
+    interest: Interest,
+    /// Buffered-but-unparsed input (pooled; released while idle).
+    inbuf: Vec<u8>,
+    /// Response-head scratch, kept on the connection between requests
+    /// (pooled; released while idle). Keeping it here instead of doing a
+    /// pool round-trip per response matters for determinism as much as
+    /// speed: the pool's steady state stays balanced without relying on
+    /// the event loop's post-write `put` racing the client's next `get`.
+    outbuf: Vec<u8>,
+    /// Scan hint into `inbuf` for the head-end search.
+    scan: usize,
+    /// First byte of the current request, for the read histogram/span.
+    read_start: Option<Instant>,
+    /// Generation for lazy deadline cancellation on the wheel.
+    timer_gen: u64,
+    idle: bool,
+    registered: bool,
+    /// Socket errored while a handler was in flight: discard its
+    /// completion and close.
+    dead: bool,
 }
 
-fn worker_loop(
-    ctx: &Ctx,
-    accept_rx: &Receiver<(TcpStream, Instant)>,
-    conn_tx: &Sender<Conn>,
-    conn_rx: &Receiver<Conn>,
-) {
-    loop {
-        // New connections first — a cheap nonblocking check, so resumed
-        // connections can never starve the accept queue.
-        match accept_rx.try_recv() {
-            Ok((stream, accepted_at)) => {
-                let wait = accepted_at.elapsed();
-                ctx.metrics.queue_wait.record_duration(wait);
-                if let Some(conn) = open_conn(ctx, stream, wait) {
-                    slice_then_park(ctx, conn, conn_tx);
+/// A response mid-write: head bytes, then the body either plain or framed
+/// into chunks on the fly (so no second body-sized buffer ever exists).
+struct WriteJob {
+    head: Vec<u8>,
+    head_pos: usize,
+    body: Vec<u8>,
+    bw: BodyWrite,
+    keep: bool,
+    /// Held open until the last byte is written, so the request span
+    /// covers the write phase like the old blocking server's did.
+    req_span: Option<TraceSpan>,
+    sctx: Option<TraceContext>,
+    started: Instant,
+}
+
+enum BodyWrite {
+    Plain {
+        pos: usize,
+    },
+    Chunked {
+        pos: usize,
+        chunk_rem: usize,
+        frame: Vec<u8>,
+        frame_pos: usize,
+        first: bool,
+        done: bool,
+        chunk_size: usize,
+    },
+}
+
+impl WriteJob {
+    /// The next contiguous byte range to write, or `None` when complete.
+    /// Chunk frames are synthesized lazily; each frame after the first
+    /// leads with the previous chunk's terminating CRLF.
+    fn next_slice(&mut self) -> Option<&[u8]> {
+        if self.head_pos < self.head.len() {
+            return Some(&self.head[self.head_pos..]);
+        }
+        if let BodyWrite::Chunked {
+            pos,
+            chunk_rem,
+            frame,
+            frame_pos,
+            first,
+            done,
+            chunk_size,
+        } = &mut self.bw
+        {
+            if *frame_pos >= frame.len() && *chunk_rem == 0 && !*done {
+                let lead = if *first { "" } else { "\r\n" };
+                let n = (self.body.len() - *pos).min((*chunk_size).max(1));
+                *frame_pos = 0;
+                if n == 0 {
+                    *frame = format!("{lead}0\r\n\r\n").into_bytes();
+                    *done = true;
+                } else {
+                    *frame = format!("{lead}{n:x}\r\n").into_bytes();
+                    *chunk_rem = n;
+                    *first = false;
                 }
-                continue;
-            }
-            Err(TryRecvError::Empty) => {}
-            Err(TryRecvError::Disconnected) => {
-                // Acceptor exited (shutdown). Drain parked connections —
-                // slices close them now that the stop flag is set — then
-                // leave.
-                match conn_rx.try_recv() {
-                    Ok(conn) => slice_then_park(ctx, conn, conn_tx),
-                    Err(_) => break,
-                }
-                continue;
             }
         }
-        if let Ok(conn) = conn_rx.recv_timeout(CONNQ_POLL) {
-            slice_then_park(ctx, conn, conn_tx);
+        match &self.bw {
+            BodyWrite::Plain { pos } => {
+                if *pos < self.body.len() {
+                    Some(&self.body[*pos..])
+                } else {
+                    None
+                }
+            }
+            BodyWrite::Chunked {
+                pos,
+                chunk_rem,
+                frame,
+                frame_pos,
+                ..
+            } => {
+                if *frame_pos < frame.len() {
+                    Some(&frame[*frame_pos..])
+                } else if *chunk_rem > 0 {
+                    Some(&self.body[*pos..*pos + *chunk_rem])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Records `w` bytes written from the slice `next_slice` returned
+    /// (always within a single segment).
+    fn advance(&mut self, mut w: usize) {
+        if self.head_pos < self.head.len() {
+            let take = w.min(self.head.len() - self.head_pos);
+            self.head_pos += take;
+            w -= take;
+            if w == 0 {
+                return;
+            }
+        }
+        match &mut self.bw {
+            BodyWrite::Plain { pos } => *pos += w,
+            BodyWrite::Chunked {
+                pos,
+                chunk_rem,
+                frame,
+                frame_pos,
+                ..
+            } => {
+                if *frame_pos < frame.len() {
+                    let take = w.min(frame.len() - *frame_pos);
+                    *frame_pos += take;
+                    w -= take;
+                }
+                *pos += w;
+                *chunk_rem -= w;
+            }
         }
     }
 }
 
-fn open_conn(ctx: &Ctx, stream: TcpStream, queue_wait: Duration) -> Option<Conn> {
-    stream.set_nodelay(true).ok()?;
-    stream
-        .set_write_timeout(Some(ctx.config.write_timeout))
-        .ok()?;
-    let writer = stream.try_clone().ok()?;
-    ctx.active.fetch_add(1, Ordering::SeqCst);
-    ctx.metrics.active.inc();
-    Some(Conn {
-        reader: BufReader::new(stream),
-        writer,
-        last_activity: Instant::now(),
-        queue_wait: Some(queue_wait),
-    })
+/// Everything the CPU-pool job needs to run one request and report back.
+struct JobMeta {
+    slot: usize,
+    token: Token,
+    idx: u64,
+    rid: String,
+    close_requested: bool,
+    fault: Option<FaultAction>,
+    dispatched: Instant,
+    req_span: TraceSpan,
+    sctx: TraceContext,
 }
 
-fn slice_then_park(ctx: &Ctx, conn: Conn, conn_tx: &Sender<Conn>) {
-    match run_slice(ctx, conn) {
-        Some(conn) => {
-            // Unbounded resume queue: send only fails at teardown, when
-            // the connection should die anyway.
-            let _ = conn_tx.send(conn);
+/// What a finished handler hands back to the event loop.
+struct Completion {
+    slot: usize,
+    token: Token,
+    resp: Response,
+    req_span: Option<TraceSpan>,
+    sctx: Option<TraceContext>,
+    close: bool,
+    fault: Option<FaultAction>,
+}
+
+fn conn_token(slot: usize, gen: u32) -> Token {
+    Token(((gen as u64) << 32) | slot as u64)
+}
+
+fn token_slot(t: Token) -> usize {
+    (t.0 & 0xffff_ffff) as usize
+}
+
+/// Index one past the blank line ending the head, if present.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from.saturating_sub(3);
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
         }
-        None => {
-            ctx.active.fetch_sub(1, Ordering::SeqCst);
-            ctx.metrics.active.dec();
-        }
+        i += 1;
+    }
+    None
+}
+
+/// Fault-schedule `EINTR` injection: every `period`-th shaped I/O op
+/// fails with a simulated interrupt (never two in a row, so period 1
+/// cannot live-lock the retry loops it exists to exercise).
+fn inject_eintr(ops: &mut u64, last: &mut bool, period: Option<u64>) -> bool {
+    let Some(p) = period else { return false };
+    *ops += 1;
+    if !*last && ops.is_multiple_of(p) {
+        *last = true;
+        return true;
+    }
+    *last = false;
+    false
+}
+
+fn set_interest(reactor: &Reactor, conn: &mut Conn, want: Interest) {
+    if conn.interest != want
+        && conn.registered
+        && reactor.reregister(&conn.stream, conn.token, want).is_ok()
+    {
+        conn.interest = want;
     }
 }
 
-/// Serves one connection for one slice. Returns the connection to park it,
-/// or `None` once it is closed.
-fn run_slice(ctx: &Ctx, mut conn: Conn) -> Option<Conn> {
-    let mut handled = 0u32;
-    loop {
-        // Wait up to SLICE for the start of a request.
-        conn.reader.get_ref().set_read_timeout(Some(SLICE)).ok()?;
-        match conn.reader.fill_buf() {
-            Ok([]) => return None, // peer closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if ctx.stop.load(Ordering::SeqCst) {
-                    return None; // drained: no pending data at shutdown
-                }
-                if conn.last_activity.elapsed() >= ctx.config.keep_alive_timeout {
-                    return None; // keep-alive idle timeout
-                }
-                return Some(conn); // park until data arrives
-            }
-            Err(_) => return None,
-        }
+fn arm_deadline(wheel: &mut DeadlineWheel, conn: &mut Conn, d: Duration) {
+    conn.timer_gen += 1;
+    wheel.arm(conn.token, conn.timer_gen, Instant::now() + d);
+}
 
-        // Data has started arriving: parse the full request under the real
-        // read deadline.
-        conn.reader
-            .get_ref()
-            .set_read_timeout(Some(ctx.config.read_timeout))
-            .ok()?;
-        let read_start = Instant::now();
-        let read_span = Span::on(&ctx.metrics.read);
-        let parsed =
-            Request::read_from_pooled(&mut conn.reader, &ctx.config.limits, &ctx.config.pool);
-        drop(read_span);
-        match parsed {
-            Ok(None) => return None,
-            Ok(Some(mut req)) => {
-                conn.last_activity = Instant::now();
-                if req.has_header("transfer-encoding") {
-                    ctx.metrics.chunked_rx.inc();
+/// What `process_input` decided the connection needs next.
+enum Act {
+    Wait,
+    Close,
+    Fail(HttpError),
+    Dispatch,
+}
+
+struct EventLoop {
+    ctx: Arc<Ctx>,
+    reactor: Arc<Reactor>,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    wheel: DeadlineWheel,
+    pool: CpuPool,
+    done_tx: Sender<Completion>,
+    done_rx: Receiver<Completion>,
+    connections: Arc<AtomicU64>,
+    scratch: Vec<u8>,
+    inflight_jobs: usize,
+    open_conns: usize,
+    io_ops: u64,
+    just_intr: bool,
+    stopping: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        let mut expired: Vec<(Token, u64)> = Vec::new();
+        loop {
+            if self.ctx.stop.load(Ordering::SeqCst) && !self.stopping {
+                self.begin_shutdown();
+            }
+            if self.stopping && self.open_conns == 0 && self.inflight_jobs == 0 {
+                break;
+            }
+            let timeout = self.wheel.next_timeout(Instant::now());
+            let summary = match self.reactor.poll(&mut events, timeout) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if summary.woken {
+                self.ctx.metrics.reactor_wakeups.inc();
+            }
+            if summary.events > 0 {
+                self.ctx.metrics.reactor_events.add(summary.events as u64);
+            }
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_burst();
+                } else {
+                    self.on_conn_event(ev);
                 }
-                let close_requested = req
-                    .header("connection")
-                    .map(|v| v.eq_ignore_ascii_case("close"))
-                    .unwrap_or(false);
-                let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
-                ctx.metrics.method(&req.method);
-                let rid = request_id(&req, idx);
-                // A malformed or absent X-SBQ-Trace is simply "no caller
-                // context": the request is served normally, the server
-                // span becomes a root.
-                let mut req_span = match req.trace_context() {
-                    Some(caller) => ctx
-                        .tracer
-                        .child_span_at("server.request", &caller, read_start),
-                    None => ctx.tracer.root_span("server.request"),
+            }
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.on_completion(done);
+            }
+            expired.clear();
+            self.wheel.expire_into(Instant::now(), &mut expired);
+            for &(token, tgen) in &expired {
+                self.on_deadline(token, tgen);
+            }
+        }
+        // Loop exit implies no live connections and no in-flight jobs;
+        // dropping the pool joins its workers.
+        self.pool.shutdown();
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.stopping = true;
+        if let Some(l) = self.listener.take() {
+            let _ = self.reactor.deregister(&l);
+        }
+        // Close idle and still-reading connections immediately; handlers
+        // in flight and responses mid-write drain (their keep-alive is
+        // forced off at write completion).
+        let close_now: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.as_ref().and_then(|c| match c.state {
+                    ConnState::Idle | ConnState::ReadHead | ConnState::ReadBody { .. } => Some(i),
+                    _ => None,
+                })
+            })
+            .collect();
+        for slot in close_now {
+            self.close_conn(slot);
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        if self.stopping {
+            return;
+        }
+        for _ in 0..self.ctx.config.accept_backlog {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.open_conn(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn open_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(0);
+            self.conns.len() - 1
+        });
+        let token = conn_token(slot, self.gens[slot]);
+        if self
+            .reactor
+            .register(&stream, token, Interest::READABLE)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.connections.fetch_add(1, Ordering::SeqCst);
+        self.ctx.active.fetch_add(1, Ordering::SeqCst);
+        let m = &self.ctx.metrics;
+        m.active.inc();
+        m.accepted.inc();
+        m.open.inc();
+        self.open_conns += 1;
+        self.conns[slot] = Some(Conn {
+            stream,
+            token,
+            state: ConnState::ReadHead, // placeholder; enter_idle parks it
+            interest: Interest::READABLE,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            scan: 0,
+            read_start: None,
+            timer_gen: 0,
+            idle: false,
+            registered: true,
+            dead: false,
+        });
+        self.enter_idle(slot);
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        if conn.registered {
+            let _ = self.reactor.deregister(&conn.stream);
+        }
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot);
+        self.open_conns -= 1;
+        self.ctx.active.fetch_sub(1, Ordering::SeqCst);
+        let m = &self.ctx.metrics;
+        m.active.dec();
+        m.open.dec();
+        m.closed.inc();
+        if conn.idle {
+            m.idle.dec();
+        }
+        let pool = &self.ctx.config.pool;
+        pool.put(conn.inbuf);
+        pool.put(conn.outbuf);
+        match conn.state {
+            ConnState::ReadBody { body, .. } => pool.put(body),
+            ConnState::Write(job) => {
+                pool.put(job.head);
+                pool.put(job.body);
+            }
+            _ => {}
+        }
+    }
+
+    /// Parks a connection between requests: buffers released, read
+    /// interest on, idle deadline armed.
+    fn enter_idle(&mut self, slot: usize) {
+        let idle_to = match self.ctx.config.keep_alive_max_idle {
+            Some(m) => self.ctx.config.keep_alive_timeout.min(m),
+            None => self.ctx.config.keep_alive_timeout,
+        };
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        self.ctx.config.pool.put(std::mem::take(&mut conn.inbuf));
+        self.ctx.config.pool.put(std::mem::take(&mut conn.outbuf));
+        conn.scan = 0;
+        conn.state = ConnState::Idle;
+        conn.read_start = None;
+        if !conn.idle {
+            conn.idle = true;
+            self.ctx.metrics.idle.inc();
+        }
+        arm_deadline(&mut self.wheel, conn, idle_to);
+        set_interest(&self.reactor, conn, Interest::READABLE);
+    }
+
+    fn on_conn_event(&mut self, ev: Event) {
+        let slot = token_slot(ev.token);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.token != ev.token {
+            return; // stale event for a recycled slot
+        }
+        match conn.state {
+            ConnState::InHandler => {
+                if ev.error {
+                    // Cannot close yet — a completion is in flight for
+                    // this slot. Deregister (level-triggered errors would
+                    // re-fire every poll) and discard on completion.
+                    conn.dead = true;
+                    if conn.registered {
+                        let _ = self.reactor.deregister(&conn.stream);
+                        conn.registered = false;
+                    }
+                }
+            }
+            ConnState::Write(_) => {
+                if ev.error {
+                    self.close_conn(slot);
+                } else if ev.writable {
+                    self.drive_write(slot);
+                }
+            }
+            ConnState::Idle | ConnState::ReadHead | ConnState::ReadBody { .. } => {
+                if ev.error {
+                    self.close_conn(slot);
+                } else if ev.readable || ev.rdhup {
+                    self.drive_read(slot);
+                }
+            }
+        }
+    }
+
+    fn on_deadline(&mut self, token: Token, tgen: u64) {
+        let slot = token_slot(token);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.token != token || conn.timer_gen != tgen {
+            return; // lazily cancelled
+        }
+        self.ctx.metrics.reactor_timeouts.inc();
+        match conn.state {
+            ConnState::Idle => self.close_conn(slot),
+            ConnState::ReadHead | ConnState::ReadBody { .. } => {
+                self.fail(slot, HttpError::Timeout(TimeoutKind::Read))
+            }
+            ConnState::Write(_) => self.close_conn(slot),
+            ConnState::InHandler => {} // no deadline while in a handler
+        }
+    }
+
+    /// Reads whatever the socket has (bounded by the event budget), then
+    /// advances the parse state machine over the buffered bytes.
+    ///
+    /// Reads land in `inbuf`'s spare capacity only — when it fills, the
+    /// bytes are parsed out (which drains them) rather than the buffer
+    /// grown, so a steady-state connection keeps one pool-classed buffer
+    /// for its whole life. Growth happens only when the parser cannot
+    /// consume anything, i.e. a request head larger than one buffer.
+    fn drive_read(&mut self, slot: usize) {
+        let read_cap = self
+            .ctx
+            .config
+            .faults
+            .read_cap()
+            .unwrap_or(READ_CHUNK)
+            .min(READ_CHUNK);
+        let period = self.ctx.config.faults.interrupt_period();
+        let mut total = 0usize;
+        let mut eof = false;
+        loop {
+            enum Stop {
+                WouldBlock,
+                Full,
+                Budget,
+                Broken,
+            }
+            let mut round = 0usize;
+            let stop = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
                 };
-                req_span.add_tag("req_id", &rid);
-                req_span.add_tag("method", &req.method);
-                let sctx = req_span.context();
-                if let Some(wait) = conn.queue_wait.take() {
-                    drop(ctx.tracer.child_span_at(
-                        "server.queue_wait",
-                        &sctx,
-                        trace::backdate(read_start, wait),
-                    ));
+                if conn.inbuf.capacity() == 0 {
+                    conn.inbuf = self.ctx.config.pool.get(READ_CHUNK);
+                    conn.inbuf.clear();
                 }
-                drop(ctx.tracer.child_span_at("server.read", &sctx, read_start));
-                let mut resp = match builtin_response(ctx, &req) {
-                    Some(resp) => resp,
-                    None => {
-                        // A panicking handler must not take a pool worker
-                        // (and on a small pool, the whole server) down with
-                        // it: catch it and answer 500, closing this
-                        // connection only. The request id in the body lets
-                        // a client report which call blew up.
-                        ctx.metrics.inflight.inc();
-                        let handler_span = Span::on(&ctx.metrics.handler);
-                        let mut handler_tspan = ctx.tracer.child_span("server.handler", &sctx);
-                        let hctx = handler_tspan.context();
-                        let enabled = handler_tspan.is_enabled();
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            // Lower layers (marshalling, QoS) parent their
-                            // spans on this thread-local context.
-                            let _guard = enabled.then(|| trace::set_current(hctx));
-                            (ctx.handler)(&req)
-                        }));
-                        if result.is_err() {
-                            handler_tspan.set_error();
+                loop {
+                    if total >= READ_BUDGET {
+                        break Stop::Budget;
+                    }
+                    let old = conn.inbuf.len();
+                    let space = conn.inbuf.capacity() - old;
+                    if space == 0 {
+                        break Stop::Full;
+                    }
+                    if inject_eintr(&mut self.io_ops, &mut self.just_intr, period) {
+                        continue; // simulated EINTR: retry the same read
+                    }
+                    conn.inbuf.resize(old + read_cap.min(space), 0);
+                    let mut src = &conn.stream;
+                    match src.read(&mut conn.inbuf[old..]) {
+                        Ok(0) => {
+                            conn.inbuf.truncate(old);
+                            eof = true;
+                            break Stop::WouldBlock;
                         }
-                        drop(handler_tspan);
-                        drop(handler_span);
-                        ctx.metrics.inflight.dec();
-                        match result {
-                            Ok(resp) => resp,
-                            Err(_) => {
-                                ctx.metrics.panics.inc();
-                                ctx.metrics.status(500);
-                                let mut resp = Response::with_status(
-                                    500,
-                                    "Internal Server Error",
-                                    "text/plain",
-                                    format!("handler panicked (request {idx})").into_bytes(),
-                                );
-                                resp.headers.push(("X-Request-Id".to_string(), rid.clone()));
-                                resp.headers
-                                    .push(("Connection".to_string(), "close".to_string()));
-                                req_span.set_error();
-                                req_span.add_tag_u64("status", 500);
-                                if let Some(h) = req_span.header_value() {
-                                    resp.headers.push((trace::SPAN_HEADER.to_string(), h));
+                        Ok(n) => {
+                            conn.inbuf.truncate(old + n);
+                            total += n;
+                            round += n;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            conn.inbuf.truncate(old);
+                            break Stop::WouldBlock;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                            conn.inbuf.truncate(old);
+                            continue;
+                        }
+                        Err(_) => {
+                            conn.inbuf.truncate(old);
+                            break Stop::Broken;
+                        }
+                    }
+                }
+            };
+            if matches!(stop, Stop::Broken) {
+                self.close_conn(slot);
+                return;
+            }
+            if round > 0 || eof {
+                self.process_input(slot, eof);
+            }
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if !matches!(
+                conn.state,
+                ConnState::Idle | ConnState::ReadHead | ConnState::ReadBody { .. }
+            ) {
+                break; // dispatched (or writing an error): stop reading
+            }
+            match stop {
+                Stop::WouldBlock | Stop::Budget => break,
+                Stop::Full => {
+                    if conn.inbuf.len() == conn.inbuf.capacity() {
+                        // Parsing freed nothing (a head spanning more
+                        // than one buffer): grow and keep reading. The
+                        // incremental header cap bounds this.
+                        conn.inbuf.reserve(READ_CHUNK);
+                    }
+                }
+                Stop::Broken => unreachable!(),
+            }
+        }
+        // Fresh bytes arrived: push the read deadline out.
+        if total > 0 {
+            let read_to = self.ctx.config.read_timeout;
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                if matches!(conn.state, ConnState::ReadHead | ConnState::ReadBody { .. }) {
+                    arm_deadline(&mut self.wheel, conn, read_to);
+                }
+            }
+        }
+    }
+
+    /// Advances Idle/ReadHead/ReadBody over the bytes buffered in
+    /// `inbuf`. `eof` means the peer will send nothing further.
+    fn process_input(&mut self, slot: usize, eof: bool) {
+        let ctx = Arc::clone(&self.ctx);
+        let limits = ctx.config.limits;
+        let act = loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            match &mut conn.state {
+                ConnState::Idle => {
+                    if conn.inbuf.is_empty() {
+                        if eof {
+                            break Act::Close; // clean keep-alive close
+                        }
+                        break Act::Wait;
+                    }
+                    if conn.idle {
+                        conn.idle = false;
+                        ctx.metrics.idle.dec();
+                    }
+                    conn.state = ConnState::ReadHead;
+                    conn.read_start = Some(Instant::now());
+                    arm_deadline(&mut self.wheel, conn, ctx.config.read_timeout);
+                }
+                ConnState::ReadHead => {
+                    match find_head_end(&conn.inbuf, conn.scan) {
+                        Some(hend) => {
+                            conn.scan = 0;
+                            let head = {
+                                let mut cur = NonBlockCursor::new(&conn.inbuf[..hend]);
+                                read_request_head(&mut cur, &limits)
+                            };
+                            match head {
+                                Ok(Some(head)) => {
+                                    conn.inbuf.drain(..hend);
+                                    match parse_framing(&head.headers)
+                                        .and_then(|f| BodyState::start(f, &limits).map(|s| (f, s)))
+                                    {
+                                        Ok((framing, bstate)) => {
+                                            let chunked = matches!(
+                                                framing,
+                                                crate::body::BodyFraming::Chunked
+                                            );
+                                            let hint = match framing {
+                                                crate::body::BodyFraming::Length(n) => {
+                                                    (n as usize).clamp(1, 1024 * 1024)
+                                                }
+                                                crate::body::BodyFraming::Chunked => READ_CHUNK,
+                                            };
+                                            let mut body = ctx.config.pool.get(hint);
+                                            body.clear();
+                                            conn.state = ConnState::ReadBody {
+                                                head,
+                                                chunked,
+                                                bstate,
+                                                body,
+                                            };
+                                        }
+                                        Err(e) => break Act::Fail(e),
+                                    }
                                 }
-                                let write_span = Span::on(&ctx.metrics.write);
-                                let wspan = ctx.tracer.child_span("server.write", &sctx);
-                                write_response(ctx, &mut conn.writer, &resp, None);
-                                drop(wspan);
-                                drop(write_span);
-                                return None;
+                                Ok(None) => break Act::Close, // unreachable: head is complete
+                                Err(e) => break Act::Fail(e),
                             }
                         }
+                        None => {
+                            // Incremental cap: reject a floods-without-
+                            // blank-line head before buffering past it.
+                            if conn.inbuf.len() > limits.max_header_bytes + 4 {
+                                break Act::Fail(HttpError::TooLarge {
+                                    what: "header",
+                                    limit: limits.max_header_bytes,
+                                });
+                            }
+                            if eof {
+                                if conn.inbuf.is_empty() {
+                                    break Act::Close;
+                                }
+                                break Act::Fail(HttpError::Protocol(
+                                    "connection closed mid request head".into(),
+                                ));
+                            }
+                            conn.scan = conn.inbuf.len();
+                            break Act::Wait;
+                        }
                     }
-                };
-                ctx.metrics.status(resp.status);
-                resp.headers.push(("X-Request-Id".to_string(), rid.clone()));
-                if let Some(h) = req_span.header_value() {
-                    resp.headers.push((trace::SPAN_HEADER.to_string(), h));
                 }
-                req_span.add_tag_u64("status", resp.status as u64);
-                if resp.status >= 500 {
-                    req_span.set_error();
-                }
-                let keep = {
-                    let write_span = Span::on(&ctx.metrics.write);
-                    let wspan = ctx.tracer.child_span("server.write", &sctx);
-                    let keep = write_response(
-                        ctx,
-                        &mut conn.writer,
-                        &resp,
-                        ctx.config.faults.action_for(idx),
-                    );
-                    drop(wspan);
-                    drop(write_span);
-                    keep
-                };
-                drop(req_span);
-                // Both bodies are done with: recycle them so the next
-                // request on any connection reads into warm buffers.
-                ctx.config.pool.put(std::mem::take(&mut req.body));
-                ctx.config.pool.put(std::mem::take(&mut resp.body));
-                if !keep || close_requested {
-                    return None;
-                }
-                handled += 1;
-                if handled >= MAX_REQUESTS_PER_SLICE {
-                    if ctx.stop.load(Ordering::SeqCst) {
-                        return None;
+                ConnState::ReadBody { bstate, body, .. } => {
+                    let mut complete = bstate.is_done();
+                    let mut fail: Option<HttpError> = None;
+                    let consumed = {
+                        let mut cur = NonBlockCursor::new(&conn.inbuf);
+                        while !complete {
+                            let snap_pos = cur.pos();
+                            let snap_state = *bstate;
+                            let (res, after) = {
+                                let mut rdr = BodyReader::resume(&mut cur, *bstate, &limits);
+                                let res = rdr.read_some(&mut self.scratch);
+                                (res, rdr.state())
+                            };
+                            match res {
+                                Ok(0) => {
+                                    *bstate = after;
+                                    complete = true;
+                                }
+                                Ok(n) => {
+                                    *bstate = after;
+                                    body.extend_from_slice(&self.scratch[..n]);
+                                }
+                                Err(HttpError::Timeout(TimeoutKind::Read)) => {
+                                    // Ran dry mid-token: roll back to the
+                                    // last clean boundary and wait.
+                                    *bstate = snap_state;
+                                    cur.set_pos(snap_pos);
+                                    break;
+                                }
+                                Err(e) => {
+                                    fail = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        cur.pos()
+                    };
+                    conn.inbuf.drain(..consumed);
+                    if let Some(e) = fail {
+                        break Act::Fail(e);
                     }
-                    return Some(conn); // yield the worker to other connections
+                    if complete {
+                        break Act::Dispatch;
+                    }
+                    if eof {
+                        break Act::Fail(HttpError::Protocol("body truncated by peer".into()));
+                    }
+                    break Act::Wait;
                 }
+                ConnState::InHandler | ConnState::Write(_) => break Act::Wait,
             }
-            Err(e) => {
-                let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
-                write_error_response(&mut conn.writer, &e, idx);
-                return None;
+        };
+        match act {
+            Act::Wait => {}
+            Act::Close => self.close_conn(slot),
+            Act::Fail(e) => self.fail(slot, e),
+            Act::Dispatch => self.dispatch(slot),
+        }
+    }
+
+    /// Hands a fully parsed request to the CPU pool and parks the
+    /// connection in `InHandler`.
+    fn dispatch(&mut self, slot: usize) {
+        let ctx = Arc::clone(&self.ctx);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let ConnState::ReadBody {
+            head,
+            chunked,
+            body,
+            ..
+        } = std::mem::replace(&mut conn.state, ConnState::InHandler)
+        else {
+            return;
+        };
+        conn.timer_gen += 1; // cancel the read deadline
+        let token = conn.token;
+        let read_start = conn.read_start.take().unwrap_or_else(Instant::now);
+        set_interest(&self.reactor, conn, Interest::NONE);
+        if conn.outbuf.capacity() == 0 {
+            // Acquire the response-head scratch now, not at completion:
+            // between the job's body recycle and the client reading the
+            // response, the pool must see no competing `get` — a client
+            // that turns around instantly reuses that exact buffer.
+            conn.outbuf = self.ctx.config.pool.get(256);
+        }
+        let req = Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+        };
+        if chunked {
+            ctx.metrics.chunked_rx.inc();
+        }
+        let close_requested = req
+            .header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false);
+        let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
+        ctx.metrics.read.record_duration(read_start.elapsed());
+        let rid = request_id(&req, idx);
+        // A malformed or absent X-SBQ-Trace is simply "no caller context":
+        // the request is served normally, the server span becomes a root.
+        let mut req_span = match req.trace_context() {
+            Some(caller) => ctx
+                .tracer
+                .child_span_at("server.request", &caller, read_start),
+            None => ctx.tracer.root_span("server.request"),
+        };
+        req_span.add_tag("req_id", &rid);
+        req_span.add_tag("method", &req.method);
+        let sctx = req_span.context();
+        drop(ctx.tracer.child_span_at("server.read", &sctx, read_start));
+        let meta = JobMeta {
+            slot,
+            token,
+            idx,
+            rid,
+            close_requested,
+            fault: ctx.config.faults.action_for(idx),
+            dispatched: Instant::now(),
+            req_span,
+            sctx,
+        };
+        self.inflight_jobs += 1;
+        let done = self.done_tx.clone();
+        let reactor = Arc::clone(&self.reactor);
+        if !self
+            .pool
+            .spawn(move || run_request_job(ctx, req, meta, done, reactor))
+        {
+            self.inflight_jobs -= 1;
+            self.close_conn(slot);
+        }
+    }
+
+    /// A CPU-pool job finished: stage its response for writing (or apply
+    /// its scheduled fault).
+    fn on_completion(&mut self, mut c: Completion) {
+        self.inflight_jobs -= 1;
+        let alive = self
+            .conns
+            .get(c.slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|conn| conn.token == c.token);
+        if !alive {
+            return; // connection died while the handler ran
+        }
+        if self.conns[c.slot].as_ref().is_some_and(|conn| conn.dead) {
+            self.close_conn(c.slot);
+            return;
+        }
+        let policy = &self.ctx.config.chunking;
+        match c.fault {
+            Some(FaultAction::DropResponse) => {
+                self.close_conn(c.slot);
+            }
+            Some(FaultAction::TruncateResponse(_)) | Some(FaultAction::CloseMidResponse) => {
+                // Truncation faults are defined on wire offsets (including
+                // mid-chunk offsets), so materialize the framed bytes.
+                if policy.applies_to(c.resp.body.len()) {
+                    self.ctx.metrics.chunked_tx.inc();
+                }
+                let mut bytes = c.resp.to_wire_bytes(policy);
+                let n = match c.fault {
+                    Some(FaultAction::TruncateResponse(n)) => n.min(bytes.len()),
+                    _ => bytes.len() / 2,
+                };
+                bytes.truncate(n);
+                self.queue_write(
+                    c.slot,
+                    WriteJob {
+                        head: bytes,
+                        head_pos: 0,
+                        body: Vec::new(),
+                        bw: BodyWrite::Plain { pos: 0 },
+                        keep: false,
+                        req_span: c.req_span,
+                        sctx: c.sctx,
+                        started: Instant::now(),
+                    },
+                );
+            }
+            // Delays were applied in the job; anything else writes intact.
+            _ => {
+                let chunked = policy.applies_to(c.resp.body.len());
+                if chunked {
+                    self.ctx.metrics.chunked_tx.inc();
+                }
+                let chunk_size = policy.chunk_bytes();
+                let outbuf = self.conns[c.slot]
+                    .as_mut()
+                    .map(|conn| std::mem::take(&mut conn.outbuf))
+                    .unwrap_or_default();
+                let head = build_head(&self.ctx.config.pool, outbuf, &c.resp, chunked);
+                let body = std::mem::take(&mut c.resp.body);
+                let bw = if chunked {
+                    BodyWrite::Chunked {
+                        pos: 0,
+                        chunk_rem: 0,
+                        frame: Vec::new(),
+                        frame_pos: 0,
+                        first: true,
+                        done: false,
+                        chunk_size,
+                    }
+                } else {
+                    BodyWrite::Plain { pos: 0 }
+                };
+                self.queue_write(
+                    c.slot,
+                    WriteJob {
+                        head,
+                        head_pos: 0,
+                        body,
+                        bw,
+                        keep: !(c.close || self.stopping),
+                        req_span: c.req_span,
+                        sctx: c.sctx,
+                        started: Instant::now(),
+                    },
+                );
             }
         }
     }
+
+    /// Best-effort error reply before closing: `413` for size-limit
+    /// violations, `408` for a stalled sender, `400` for anything
+    /// malformed. Even these carry an `X-Request-Id` (minted — the
+    /// request never parsed, so there is no client id to echo).
+    fn fail(&mut self, slot: usize, e: HttpError) {
+        let idx = self.ctx.requests.fetch_add(1, Ordering::SeqCst);
+        let (status, reason) = match &e {
+            HttpError::TooLarge { .. } => (413, "Payload Too Large"),
+            HttpError::Timeout(_) => (408, "Request Timeout"),
+            HttpError::Protocol(_) => (400, "Bad Request"),
+            HttpError::Transport(_) => {
+                // Socket is gone; nothing to say.
+                self.close_conn(slot);
+                return;
+            }
+        };
+        let mut resp = Response::with_status(
+            status,
+            reason,
+            "text/plain; charset=utf-8",
+            e.to_string().into(),
+        );
+        resp.headers
+            .push(("X-Request-Id".to_string(), idx.to_string()));
+        resp.headers
+            .push(("Connection".to_string(), "close".to_string()));
+        self.queue_write(
+            slot,
+            WriteJob {
+                head: resp.to_bytes(),
+                head_pos: 0,
+                body: Vec::new(),
+                bw: BodyWrite::Plain { pos: 0 },
+                keep: false,
+                req_span: None,
+                sctx: None,
+                started: Instant::now(),
+            },
+        );
+    }
+
+    /// Installs a write job on the connection and makes whatever progress
+    /// the socket allows right now.
+    fn queue_write(&mut self, slot: usize, job: WriteJob) {
+        let write_to = self.ctx.config.write_timeout;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if let ConnState::ReadBody { body, .. } =
+                std::mem::replace(&mut conn.state, ConnState::Write(job))
+            {
+                self.ctx.config.pool.put(body);
+            }
+            conn.read_start = None;
+            arm_deadline(&mut self.wheel, conn, write_to);
+        }
+        self.drive_write(slot);
+    }
+
+    fn drive_write(&mut self, slot: usize) {
+        let write_cap = self.ctx.config.faults.write_cap();
+        let period = self.ctx.config.faults.interrupt_period();
+        let mut finished = false;
+        let mut broken = false;
+        let mut progressed = false;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let ConnState::Write(job) = &mut conn.state else {
+                return;
+            };
+            loop {
+                let Some(slice) = job.next_slice() else {
+                    finished = true;
+                    break;
+                };
+                let n = write_cap.map_or(slice.len(), |c| c.min(slice.len()));
+                if inject_eintr(&mut self.io_ops, &mut self.just_intr, period) {
+                    continue; // simulated EINTR: retry the same write
+                }
+                let mut dst = &conn.stream;
+                let w = match dst.write(&slice[..n]) {
+                    Ok(0) => {
+                        broken = true;
+                        break;
+                    }
+                    Ok(w) => w,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                };
+                job.advance(w);
+                progressed = true;
+            }
+            if !finished && !broken {
+                set_interest(&self.reactor, conn, Interest::WRITABLE);
+            }
+        }
+        if broken {
+            self.close_conn(slot);
+            return;
+        }
+        if finished {
+            self.finish_write(slot);
+        } else if progressed {
+            let write_to = self.ctx.config.write_timeout;
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                arm_deadline(&mut self.wheel, conn, write_to);
+            }
+        }
+    }
+
+    fn finish_write(&mut self, slot: usize) {
+        let keep = {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let ConnState::Write(job) = std::mem::replace(&mut conn.state, ConnState::Idle) else {
+                return;
+            };
+            conn.timer_gen += 1; // cancel the write deadline
+            if let Some(req_span) = job.req_span {
+                self.ctx
+                    .metrics
+                    .write
+                    .record_duration(job.started.elapsed());
+                if let Some(sctx) = &job.sctx {
+                    drop(
+                        self.ctx
+                            .tracer
+                            .child_span_at("server.write", sctx, job.started),
+                    );
+                }
+                drop(req_span); // request span ends with its last byte
+            }
+            // The head scratch goes back on the connection, not to the
+            // pool: the body put below is the only post-write pool
+            // traffic, and nothing else consumes its class before the
+            // event loop itself does.
+            let mut head = job.head;
+            head.clear();
+            conn.outbuf = head;
+            self.ctx.config.pool.put(job.body);
+            job.keep && !self.stopping
+        };
+        if !keep {
+            self.close_conn(slot);
+            return;
+        }
+        let leftover = self.conns[slot]
+            .as_ref()
+            .is_some_and(|c| !c.inbuf.is_empty());
+        if leftover {
+            // Pipelined bytes already buffered: go straight back to
+            // parsing without waiting for another readiness event.
+            self.process_input(slot, false);
+        } else {
+            self.enter_idle(slot);
+        }
+    }
+}
+
+/// Runs one request on a CPU-pool worker and reports the completion back
+/// to the event loop.
+fn run_request_job(
+    ctx: Arc<Ctx>,
+    mut req: Request,
+    meta: JobMeta,
+    done: Sender<Completion>,
+    reactor: Arc<Reactor>,
+) {
+    let JobMeta {
+        slot,
+        token,
+        idx,
+        rid,
+        close_requested,
+        mut fault,
+        dispatched,
+        mut req_span,
+        sctx,
+    } = meta;
+    let wait = dispatched.elapsed();
+    ctx.metrics.queue_wait.record_duration(wait);
+    drop(ctx.tracer.child_span_at(
+        "server.queue_wait",
+        &sctx,
+        trace::backdate(Instant::now(), wait),
+    ));
+    ctx.metrics.method(&req.method);
+    let mut close = close_requested;
+    let mut resp = match builtin_response(&ctx, &req) {
+        Some(resp) => resp,
+        None => {
+            // A panicking handler must not take a pool worker (and on a
+            // small pool, the whole server) down with it: catch it and
+            // answer 500, closing this connection only. The request id in
+            // the body lets a client report which call blew up.
+            ctx.metrics.inflight.inc();
+            let handler_span = Span::on(&ctx.metrics.handler);
+            let mut handler_tspan = ctx.tracer.child_span("server.handler", &sctx);
+            let hctx = handler_tspan.context();
+            let enabled = handler_tspan.is_enabled();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Lower layers (marshalling, QoS) parent their spans on
+                // this thread-local context.
+                let _guard = enabled.then(|| trace::set_current(hctx));
+                (ctx.handler)(&req)
+            }));
+            if result.is_err() {
+                handler_tspan.set_error();
+            }
+            drop(handler_tspan);
+            drop(handler_span);
+            ctx.metrics.inflight.dec();
+            match result {
+                Ok(resp) => resp,
+                Err(_) => {
+                    ctx.metrics.panics.inc();
+                    close = true;
+                    let mut resp = Response::with_status(
+                        500,
+                        "Internal Server Error",
+                        "text/plain",
+                        format!("handler panicked (request {idx})").into_bytes(),
+                    );
+                    resp.headers
+                        .push(("Connection".to_string(), "close".to_string()));
+                    resp
+                }
+            }
+        }
+    };
+    ctx.metrics.status(resp.status);
+    resp.headers.push(("X-Request-Id".to_string(), rid));
+    if let Some(h) = req_span.header_value() {
+        resp.headers.push((trace::SPAN_HEADER.to_string(), h));
+    }
+    req_span.add_tag_u64("status", resp.status as u64);
+    if resp.status >= 500 {
+        req_span.set_error();
+    }
+    // The request body is done with: recycle it so the next request on
+    // any connection reads into warm buffers.
+    ctx.config.pool.put(std::mem::take(&mut req.body));
+    if let Some(FaultAction::DelayResponse(d)) = fault {
+        std::thread::sleep(d);
+        fault = None;
+    }
+    let _ = done.send(Completion {
+        slot,
+        token,
+        resp,
+        req_span: Some(req_span),
+        sctx: Some(sctx),
+        close,
+        fault,
+    });
+    reactor.wake();
+}
+
+/// Serializes a response head (status line + headers + blank line) into
+/// the connection's head scratch (pooled on first use), swapping declared
+/// framing headers for `Transfer-Encoding: chunked` when chunking applies
+/// — the same wire shape `body::write_framed` produces.
+fn build_head(pool: &BufferPool, buf: Vec<u8>, resp: &Response, chunked: bool) -> Vec<u8> {
+    let mut head = if buf.capacity() == 0 {
+        pool.get(256)
+    } else {
+        buf
+    };
+    head.clear();
+    head.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes());
+    for (k, v) in &resp.headers {
+        if chunked
+            && (k.eq_ignore_ascii_case("content-length")
+                || k.eq_ignore_ascii_case("transfer-encoding"))
+        {
+            continue;
+        }
+        head.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    if chunked {
+        head.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+    }
+    head.extend_from_slice(b"\r\n");
+    head
 }
 
 /// The request id echoed on every response: the client-supplied
@@ -570,77 +1585,12 @@ fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
     }
 }
 
-/// Writes `resp` under the configured chunking policy, applying the
-/// scheduled fault if any. Returns whether the connection may be kept
-/// alive afterwards.
-///
-/// The fault-free path streams straight from the response body with no
-/// second body-sized buffer; the faulted paths materialize the framed
-/// bytes first, because truncation faults are defined on wire offsets
-/// (including mid-chunk offsets of a chunked response).
-fn write_response(
-    ctx: &Ctx,
-    w: &mut TcpStream,
-    resp: &Response,
-    fault: Option<FaultAction>,
-) -> bool {
-    let policy = &ctx.config.chunking;
-    if policy.applies_to(resp.body.len()) {
-        ctx.metrics.chunked_tx.inc();
-    }
-    let write_all = |w: &mut TcpStream, b: &[u8]| w.write_all(b).and_then(|_| w.flush()).is_ok();
-    match fault {
-        None => resp.write_to(w, policy).is_ok(),
-        Some(FaultAction::DropResponse) => false,
-        Some(FaultAction::DelayResponse(d)) => {
-            std::thread::sleep(d);
-            resp.write_to(w, policy).is_ok()
-        }
-        Some(FaultAction::TruncateResponse(n)) => {
-            let bytes = resp.to_wire_bytes(policy);
-            let n = n.min(bytes.len());
-            write_all(w, &bytes[..n]);
-            false
-        }
-        Some(FaultAction::CloseMidResponse) => {
-            let bytes = resp.to_wire_bytes(policy);
-            write_all(w, &bytes[..bytes.len() / 2]);
-            false
-        }
-    }
-}
-
-/// Best-effort error reply before closing: `413` for size-limit
-/// violations, `408` for a stalled sender, `400` for anything malformed.
-/// Even these carry an `X-Request-Id` (minted — the request never parsed,
-/// so there is no client id to echo).
-fn write_error_response(w: &mut TcpStream, e: &HttpError, idx: u64) {
-    let (status, reason) = match e {
-        HttpError::TooLarge { .. } => (413, "Payload Too Large"),
-        HttpError::Timeout(_) => (408, "Request Timeout"),
-        HttpError::Protocol(_) => (400, "Bad Request"),
-        HttpError::Transport(_) => return, // socket is gone; nothing to say
-    };
-    let mut resp = Response::with_status(
-        status,
-        reason,
-        "text/plain; charset=utf-8",
-        e.to_string().into(),
-    );
-    resp.headers
-        .push(("X-Request-Id".to_string(), idx.to_string()));
-    resp.headers
-        .push(("Connection".to_string(), "close".to_string()));
-    let _ = w.write_all(&resp.to_bytes());
-    let _ = w.flush();
-}
-
-/// Handle to a running [`HttpServer`]; shuts the pool down on drop.
+/// Handle to a running [`HttpServer`]; shuts the server down on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    reactor: Arc<Reactor>,
+    event_loop: Option<std::thread::JoinHandle<()>>,
     connections: Arc<AtomicU64>,
     ctx: Arc<Ctx>,
 }
@@ -666,27 +1616,14 @@ impl ServerHandle {
         self.ctx.active.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, drains pending requests on open connections, and
-    /// joins every pool thread before returning.
+    /// Stops accepting, closes idle connections immediately, drains
+    /// in-flight requests and responses, and joins the event loop (which
+    /// in turn joins the CPU pool) before returning.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor. A wildcard bind (0.0.0.0/::) is not itself
-        // connectable, so aim at the matching loopback address instead.
-        let ip = if self.addr.ip().is_unspecified() {
-            match self.addr.ip() {
-                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            }
-        } else {
-            self.addr.ip()
-        };
-        let unblock = SocketAddr::new(ip, self.addr.port());
-        let _ = TcpStream::connect_timeout(&unblock, Duration::from_secs(1));
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.reactor.wake();
+        if let Some(t) = self.event_loop.take() {
+            let _ = t.join();
         }
     }
 }
@@ -743,7 +1680,7 @@ mod tests {
         let mut handle = echo_server(ServerConfig::default());
         let addr = handle.addr();
         handle.shutdown();
-        assert!(handle.workers.is_empty(), "all workers joined");
+        assert!(handle.event_loop.is_none(), "event loop joined");
         assert_eq!(handle.active_connections(), 0);
         // Either connect fails or the request after it fails.
         if let Ok(mut c) = HttpClient::connect(addr) {
@@ -757,7 +1694,7 @@ mod tests {
         let clients: Vec<_> = (0..4)
             .map(|_| HttpClient::connect(handle.addr()).unwrap())
             .collect();
-        // Give the pool a beat to register the connections.
+        // Give the event loop a beat to register the connections.
         let t0 = Instant::now();
         while handle.active_connections() < 4 && t0.elapsed() < Duration::from_secs(2) {
             std::thread::sleep(Duration::from_millis(5));
@@ -770,8 +1707,8 @@ mod tests {
 
     #[test]
     fn small_pool_multiplexes_many_keepalive_connections() {
-        // 2 workers, 8 concurrent persistent connections: thread-per-
-        // connection semantics would need 8 threads; the pool must
+        // 2 CPU workers, 8 concurrent persistent connections: thread-per-
+        // connection semantics would need 8 threads; the reactor must
         // interleave them without deadlock.
         let handle = echo_server(ServerConfig::default().worker_threads(2));
         let addr = handle.addr();
@@ -851,6 +1788,88 @@ mod tests {
             client.post("/b", "text/plain", b"2".to_vec()).is_err(),
             "idle connection should have been closed"
         );
+    }
+
+    #[test]
+    fn keep_alive_max_idle_reaps_parked_connections() {
+        let reg = Registry::new();
+        let handle = echo_server(
+            ServerConfig::default()
+                .telemetry(reg.clone())
+                .keep_alive_timeout(Duration::from_secs(60))
+                .keep_alive_max_idle(Duration::from_millis(60)),
+        );
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        client.post("/a", "text/plain", b"1".to_vec()).unwrap();
+        // The 60 ms idle cap beats the 60 s keep-alive: the parked
+        // connection is reaped and its buffers released.
+        let t0 = Instant::now();
+        while handle.active_connections() > 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.active_connections(), 0, "idle connection reaped");
+        assert_eq!(reg.gauge("http.connections.idle").get(), 0);
+        assert!(reg.counter("reactor.timeouts").get() >= 1);
+        assert!(
+            client.post("/b", "text/plain", b"2".to_vec()).is_err(),
+            "reaped connection is closed"
+        );
+    }
+
+    #[test]
+    fn connection_and_reactor_metrics_are_exposed() {
+        let reg = Registry::new();
+        let handle = echo_server(ServerConfig::default().telemetry(reg.clone()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        let resp = c.send(Request::get("/metrics")).unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        let samples = sbq_telemetry::expo::parse_text(&text).expect("exposition parses");
+        let get = |n: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == n && s.quantile.is_none())
+                .unwrap_or_else(|| panic!("missing {n} in:\n{text}"))
+                .value
+        };
+        assert_eq!(get("http_connections_accepted"), 1.0);
+        assert_eq!(get("http_connections_open"), 1.0);
+        assert_eq!(get("http_connections_idle"), 0.0, "mid-request, not idle");
+        assert!(get("reactor_events") >= 1.0);
+        assert!(get("reactor_wakeups") >= 1.0, "job completions wake");
+        drop(c);
+        let t0 = Instant::now();
+        while reg.counter("http.connections.closed").get() < 1
+            && t0.elapsed() < Duration::from_secs(2)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(reg.counter("http.connections.closed").get(), 1);
+        assert_eq!(reg.gauge("http.connections.open").get(), 0);
+    }
+
+    #[test]
+    fn response_survives_one_byte_writes_with_eintr() {
+        let handle = echo_server(
+            ServerConfig::default().faults(FaultSchedule::new().short_writes(1).interrupt_every(3)),
+        );
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        let body: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
+        let r = c.post("/x", "text/plain", body.clone()).unwrap();
+        assert_eq!(r.body, body, "response intact despite 1-byte writes");
+        // Keep-alive still works under shaping.
+        let r = c.post("/y", "text/plain", b"again".to_vec()).unwrap();
+        assert_eq!(r.body, b"again");
+    }
+
+    #[test]
+    fn request_survives_shaped_short_reads() {
+        let handle =
+            echo_server(ServerConfig::default().faults(FaultSchedule::new().short_reads(3)));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        let body: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let r = c.post("/x", "text/plain", body.clone()).unwrap();
+        assert_eq!(r.body, body);
     }
 
     #[test]
@@ -1061,12 +2080,15 @@ mod tests {
         assert_ne!(span.span_id, 0x00f067aa0ba902b7, "fresh server span id");
         assert!(span.sampled());
         // The recorded server spans share the caller's trace id. The
-        // response is written before the worker finishes recording its
-        // spans, so allow the recorder a moment to catch up.
+        // response is written before the event loop finishes recording
+        // its spans, so allow the recorder a moment to catch up.
         let deadline = Instant::now() + Duration::from_secs(2);
         let events = loop {
             let events = reg.tracer().snapshot();
-            if events.iter().any(|e| e.name == "server.request") || Instant::now() >= deadline {
+            let have_all = ["server.request", "server.write"]
+                .iter()
+                .all(|n| events.iter().any(|e| e.name == *n));
+            if have_all || Instant::now() >= deadline {
                 break events;
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -1140,5 +2162,22 @@ mod tests {
             t0.elapsed() < Duration::from_secs(2),
             "shutdown hung on wildcard bind"
         );
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let handle = echo_server(ServerConfig::default());
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        // Two requests in one write: the second must be served from the
+        // leftover input buffer without another readiness event.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&Request::post("/1", "text/plain", b"one".to_vec()).to_bytes());
+        wire.extend_from_slice(&Request::post("/2", "text/plain", b"two".to_vec()).to_bytes());
+        s.write_all(&wire).unwrap();
+        let mut r = std::io::BufReader::new(s.try_clone().unwrap());
+        let a = Response::read_from(&mut r).unwrap();
+        let b = Response::read_from(&mut r).unwrap();
+        assert_eq!(a.body, b"one");
+        assert_eq!(b.body, b"two");
     }
 }

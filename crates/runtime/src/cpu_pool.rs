@@ -1,0 +1,122 @@
+//! A small fixed thread pool for CPU-bound work (handler dispatch,
+//! marshalling) behind an event-driven I/O loop.
+//!
+//! The split this enables is the whole point of the reactor
+//! architecture: the event loop owns *readiness* (cheap, one thread, ten
+//! thousand sockets), the pool owns *computation* (bounded threads, one
+//! job at a time each). Jobs are `FnOnce` closures over an unbounded
+//! MPMC channel; submission never blocks the event loop.
+
+use crate::channel::{self, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed pool of named worker threads executing submitted closures.
+pub struct CpuPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CpuPool {
+    /// Spawns `threads` workers (at least one), named `sbq-cpu-N`.
+    pub fn new(threads: usize) -> CpuPool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sbq-cpu-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // A panicking job must not shrink the pool: the
+                            // submitter is responsible for its own panic
+                            // handling (the HTTP server catches handler
+                            // panics itself); this is the backstop.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn cpu pool worker")
+            })
+            .collect();
+        CpuPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `f` for execution; returns `false` after shutdown.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(f)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Drops the submission side, lets workers drain queued jobs, and
+    /// joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for CpuPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_jobs_on_fixed_threads_and_drains_on_shutdown() {
+        let mut pool = CpuPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            assert!(pool.spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            100,
+            "shutdown drains the queue"
+        );
+        assert!(!pool.spawn(|| {}), "spawn after shutdown is rejected");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let mut pool = CpuPool::new(1);
+        pool.spawn(|| panic!("boom"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&done);
+        pool.spawn(move || {
+            d2.store(7, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = CpuPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

@@ -15,12 +15,22 @@
 //!   deterministic jitter, loss, and fuzz-test generation.
 //! * [`pool`] — a sharded, size-classed [`BufferPool`] so steady-state
 //!   message traffic reuses body buffers instead of allocating.
+//! * [`reactor`] — an epoll-backed readiness loop ([`Reactor`]), hashed
+//!   [`DeadlineWheel`] timeouts, and a cross-thread wake pipe: the
+//!   event-driven I/O core the HTTP transport multiplexes thousands of
+//!   keep-alive connections on.
+//! * [`cpu_pool`] — a small fixed [`CpuPool`] for the CPU-bound half of
+//!   that split (handler and marshal work dispatched off the event loop).
 
 pub mod channel;
+pub mod cpu_pool;
 pub mod pool;
 pub mod rand;
+pub mod reactor;
 pub mod sync;
 
+pub use cpu_pool::CpuPool;
 pub use pool::BufferPool;
 pub use rand::SmallRng;
+pub use reactor::{raise_nofile_limit, DeadlineWheel, Reactor};
 pub use sync::{Mutex, RwLock};

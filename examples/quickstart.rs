@@ -7,7 +7,8 @@
 
 use sbq_model::{workload, TypeDesc, Value};
 use sbq_wsdl::{write_wsdl, ServiceDef};
-use soap_binq::{Registry, SoapClient, SoapServerBuilder, TraceConfig, WireEncoding};
+use soap_binq::{Registry, ServerConfig, SoapClient, SoapServerBuilder, TraceConfig, WireEncoding};
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 0. Request tracing: keep 1 in 4 calls in the flight recorder
@@ -31,8 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", write_wsdl(&svc)?);
 
     // 2. Implement and bind the server (binary PBIO wire encoding: the
-    //    SOAP-bin high-performance mode).
+    //    SOAP-bin high-performance mode). The transport is an event-driven
+    //    reactor: connections are epoll registrations, not threads, so the
+    //    CPU pool only needs to cover concurrent *handlers* — two threads
+    //    happily hold thousands of idle keep-alive connections. Parked
+    //    connections release their buffers and are reaped after 30 s.
     let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)?
+        .transport(
+            ServerConfig::default()
+                .worker_threads(2)
+                .keep_alive_max_idle(Duration::from_secs(30)),
+        )
         .handle("sum", |v| {
             Value::Int(v.as_int_array().map(|xs| xs.iter().sum()).unwrap_or(0))
         })
