@@ -116,6 +116,7 @@ pub struct ClientConfig {
     retry: RetryPolicy,
     telemetry: Registry,
     idempotent: bool,
+    client_id: Option<String>,
 }
 
 impl ClientConfig {
@@ -164,6 +165,16 @@ impl ClientConfig {
     /// the caller and increment `client.retry.suppressed`.
     pub fn idempotent(mut self, yes: bool) -> ClientConfig {
         self.idempotent = yes;
+        self
+    }
+
+    /// A stable identity sent as the `X-Qos-Client` header on every
+    /// call. A fleet-managed server ([`FleetQos`](sbq_qos::FleetQos))
+    /// keys its per-client quality band on it; clients that do not set
+    /// one fall back to whatever `X-Request-Id` they send, else share
+    /// the server's `"anon"` entry.
+    pub fn client_id(mut self, id: impl Into<String>) -> ClientConfig {
+        self.client_id = Some(id.into());
         self
     }
 
@@ -581,6 +592,16 @@ impl SoapClient {
         if let Some(h) = attempt.header_value() {
             req.headers.push((TRACE_HEADER.to_string(), h));
         }
+        if let Some(id) = &self.config.client_id {
+            req.headers.push(("X-Qos-Client".to_string(), id.clone()));
+        }
+        if self.config.idempotent {
+            // Lets a fleet-managed server's admission control know this
+            // call is replayable: idempotent calls are degraded rather
+            // than shed under overload.
+            req.headers
+                .push(("X-Idempotent".to_string(), "1".to_string()));
+        }
         self.stats.bytes_sent += req.body.len() as u64;
         let mut resp = self.http.send(req)?;
         let rtt = t0.elapsed();
@@ -680,6 +701,16 @@ impl SoapClient {
         output_ty: &TypeDesc,
         output_format: &sbq_pbio::FormatDesc,
     ) -> Result<(Value, QosHeader), SoapError> {
+        // An admission-control shed (503 + Retry-After) is encoding-
+        // independent: the call never reached a handler.
+        if resp.status == 503 {
+            let retry_after = resp
+                .header("retry-after")
+                .and_then(|v| v.trim().parse().ok())
+                .map(Duration::from_secs)
+                .unwrap_or(Duration::from_secs(1));
+            return Err(SoapError::Overloaded { retry_after });
+        }
         match self.encoding {
             WireEncoding::Pbio => {
                 if resp.status != 200 {

@@ -55,7 +55,7 @@ pub mod xml_handler;
 pub use client::{CallStats, ClientConfig, RetryPolicy, SoapClient};
 pub use envelope::QosHeader;
 pub use modes::{Mode, WireEncoding};
-pub use server::{SoapServer, SoapServerBuilder};
+pub use server::{AdmissionPolicy, SoapServer, SoapServerBuilder};
 pub use xml_handler::XmlHandler;
 
 // The full transport configuration and error surface, so downstream
@@ -85,6 +85,14 @@ pub enum SoapError {
         code: String,
         /// Human-readable fault string.
         message: String,
+    },
+    /// Admission control shed this call under overload (HTTP 503). The
+    /// call never executed, so replaying it is always safe — but the
+    /// server explicitly asked for less load, so the standard retry loop
+    /// does *not* replay it; honor `retry_after` instead.
+    Overloaded {
+        /// The server's advertised `Retry-After` horizon.
+        retry_after: std::time::Duration,
     },
 }
 
@@ -151,6 +159,12 @@ impl std::fmt::Display for SoapError {
             SoapError::Protocol(e) => e.fmt(f),
             SoapError::Quality(m) => write!(f, "soap quality error: {m}"),
             SoapError::Fault { code, message } => write!(f, "soap fault {code}: {message}"),
+            SoapError::Overloaded { retry_after } => {
+                write!(
+                    f,
+                    "soap call shed by admission control: retry after {retry_after:?}"
+                )
+            }
         }
     }
 }

@@ -15,9 +15,9 @@
 use crate::envelope::{self, QosHeader};
 use crate::modes::WireEncoding;
 use crate::SoapError;
-use sbq_http::{HttpServer, Request, Response, ServerConfig, ServerHandle};
+use sbq_http::{Admission, HttpServer, Request, Response, ServerConfig, ServerHandle};
 use sbq_pbio::{FormatServer, PbioEndpoint, WireFrame};
-use sbq_qos::QualityManager;
+use sbq_qos::{FleetQos, QualityManager};
 use sbq_runtime::sync::Mutex;
 use sbq_telemetry::trace::{self, TraceContext};
 use sbq_telemetry::{Counter, Histogram, Registry, Span, TraceSpan, Tracer};
@@ -26,10 +26,66 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Handler = Arc<dyn Fn(Value) -> Value + Send + Sync>;
 use sbq_model::Value;
+
+/// When a fleet-managed server ([`SoapServerBuilder::with_fleet`]) sheds
+/// or degrades: overload is declared when the transport's in-flight job
+/// count exceeds `overload_factor ×` the CPU-pool size. Under overload,
+/// worst-band non-idempotent calls are shed with `503` + `Retry-After`
+/// (a 503 is unambiguous — the call never executed, so even
+/// non-idempotent clients can safely retry later), and every other call
+/// is answered one quality band below the caller's own.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    overload_factor: f64,
+    retry_after: Duration,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            overload_factor: 2.0,
+            retry_after: Duration::from_secs(1),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// The default policy: overload past `2 ×` the worker-pool size,
+    /// `Retry-After: 1` on shed responses.
+    pub fn new() -> AdmissionPolicy {
+        AdmissionPolicy::default()
+    }
+
+    /// Overload threshold as a multiple of the CPU-pool size (in-flight
+    /// jobs above `factor × workers` count as overload) — builder style.
+    pub fn overload_factor(mut self, factor: f64) -> AdmissionPolicy {
+        self.overload_factor = factor.max(0.0);
+        self
+    }
+
+    /// The `Retry-After` horizon advertised on shed responses — builder
+    /// style.
+    pub fn retry_after(mut self, d: Duration) -> AdmissionPolicy {
+        self.retry_after = d;
+        self
+    }
+
+    /// Whether `inflight` jobs over a pool of `workers` is overload.
+    pub fn overloaded(&self, inflight: usize, workers: usize) -> bool {
+        inflight as f64 > self.overload_factor * workers as f64
+    }
+}
+
+/// Per-server fleet state: the shared table plus the policy that decides
+/// when it sheds.
+struct FleetState {
+    fleet: Arc<FleetQos>,
+    policy: AdmissionPolicy,
+}
 
 /// Builder for a [`SoapServer`].
 pub struct SoapServerBuilder {
@@ -37,6 +93,8 @@ pub struct SoapServerBuilder {
     encoding: WireEncoding,
     handlers: HashMap<String, Handler>,
     quality: Option<QualityManager>,
+    fleet: Option<Arc<FleetQos>>,
+    admission: AdmissionPolicy,
     transport: ServerConfig,
 }
 
@@ -57,6 +115,8 @@ impl SoapServerBuilder {
             encoding,
             handlers: HashMap::new(),
             quality: None,
+            fleet: None,
+            admission: AdmissionPolicy::default(),
             transport: ServerConfig::default(),
         }
     }
@@ -77,6 +137,38 @@ impl SoapServerBuilder {
         self
     }
 
+    /// Attaches fleet-scale per-client quality management and admission
+    /// control: each caller (identified by its `X-Qos-Client` header,
+    /// falling back to a client-supplied `X-Request-Id`, else `"anon"`)
+    /// gets its own quality band in the shared [`FleetQos`] table, and
+    /// responses are reduced against the *caller's* band rather than a
+    /// connection-global one. Under overload (see [`AdmissionPolicy`])
+    /// worst-band non-idempotent calls are shed on the event-loop
+    /// thread with `503` + `Retry-After`, and everything else is
+    /// degraded one extra band.
+    ///
+    /// Quality handlers come from the manager attached via
+    /// [`SoapServerBuilder::with_quality`]; without one, a default
+    /// manager over the fleet's quality file is used (projection-only
+    /// reduction).
+    pub fn with_fleet(self, fleet: FleetQos) -> SoapServerBuilder {
+        self.with_fleet_shared(Arc::new(fleet))
+    }
+
+    /// Like [`SoapServerBuilder::with_fleet`], but shares an existing
+    /// table (e.g. one the harness also inspects directly).
+    pub fn with_fleet_shared(mut self, fleet: Arc<FleetQos>) -> SoapServerBuilder {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Sets the overload/shed policy used by
+    /// [`SoapServerBuilder::with_fleet`].
+    pub fn admission_policy(mut self, policy: AdmissionPolicy) -> SoapServerBuilder {
+        self.admission = policy;
+        self
+    }
+
     /// Sets the transport configuration (worker pool size, timeouts,
     /// limits, fault injection) the bound server will run with.
     pub fn transport(mut self, config: ServerConfig) -> SoapServerBuilder {
@@ -86,7 +178,47 @@ impl SoapServerBuilder {
 
     /// Binds and starts serving.
     pub fn bind(self, addr: SocketAddr) -> Result<SoapServer, SoapError> {
-        let transport = self.transport;
+        let mut transport = self.transport;
+        let workers = transport.worker_pool_size();
+        // Fleet mode needs a quality manager for handler application;
+        // derive a projection-only one from the fleet's file if the
+        // application did not attach its own.
+        let quality = match (&self.fleet, self.quality) {
+            (_, Some(q)) => Some(q),
+            (Some(f), None) => Some(QualityManager::new(f.file().clone())),
+            (None, None) => None,
+        };
+        // Admission control runs on the event-loop thread, before the
+        // request costs a CPU-pool slot. The hook also mirrors the
+        // transport's load signal into the fleet so the degrade decision
+        // (made later, on a pool thread) sees the same overload the shed
+        // decision did.
+        if let Some(fleet) = &self.fleet {
+            let fleet = Arc::clone(fleet);
+            let policy = self.admission.clone();
+            transport = transport.admission(move |req, load| {
+                fleet.set_load(load.inflight_jobs);
+                if !policy.overloaded(load.inflight_jobs, load.worker_threads) {
+                    return Admission::Admit;
+                }
+                let idempotent = req.header("x-idempotent").is_some();
+                if !idempotent && fleet.band_of(fleet_client_id(req)) == Some(fleet.worst_band()) {
+                    fleet.note_shed();
+                    let mut resp = Response::with_status(
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        b"server overloaded; retry later".to_vec(),
+                    );
+                    resp.headers.push((
+                        "Retry-After".to_string(),
+                        policy.retry_after.as_secs().max(1).to_string(),
+                    ));
+                    return Admission::Respond(resp);
+                }
+                Admission::Admit
+            });
+        }
         let wsdl = sbq_wsdl::write_wsdl(&self.compiled.service).ok();
         let metrics = ServerMetrics::new(transport.telemetry_registry(), self.encoding);
         let state = Arc::new(ServerState {
@@ -94,7 +226,12 @@ impl SoapServerBuilder {
             wsdl,
             encoding: self.encoding,
             handlers: self.handlers,
-            quality: self.quality.map(Mutex::new),
+            quality: quality.map(Mutex::new),
+            fleet: self.fleet.map(|fleet| FleetState {
+                fleet,
+                policy: self.admission,
+            }),
+            workers,
             format_server: Arc::new(FormatServer::new()),
             pool: transport.buffer_pool_ref().clone(),
             sessions: Mutex::new(HashMap::new()),
@@ -115,10 +252,25 @@ pub struct SoapServer {
     state: Arc<ServerState>,
 }
 
+/// The fleet identity of a request: the explicit `X-Qos-Client` header,
+/// falling back to a client-supplied `X-Request-Id` origin, else
+/// `"anon"` (all unidentified callers share one entry).
+fn fleet_client_id(req: &Request) -> &str {
+    req.header("x-qos-client")
+        .or_else(|| req.header("x-request-id"))
+        .unwrap_or("anon")
+}
+
 impl SoapServer {
     /// The bound socket address.
     pub fn addr(&self) -> SocketAddr {
         self.handle.addr()
+    }
+
+    /// The fleet quality table, when bound with
+    /// [`SoapServerBuilder::with_fleet`].
+    pub fn fleet(&self) -> Option<&Arc<FleetQos>> {
+        self.state.fleet.as_ref().map(|f| &f.fleet)
     }
 
     /// HTTP requests served.
@@ -215,6 +367,12 @@ struct ServerState {
     encoding: WireEncoding,
     handlers: HashMap<String, Handler>,
     quality: Option<Mutex<QualityManager>>,
+    /// Fleet-scale per-client quality state and the shed policy
+    /// ([`SoapServerBuilder::with_fleet`]).
+    fleet: Option<FleetState>,
+    /// CPU-pool size the transport was bound with (the denominator of
+    /// the overload ratio).
+    workers: usize,
     /// Server-process format registry shared by all sessions.
     format_server: Arc<FormatServer>,
     /// Body buffers for encoded responses come from (and return to) the
@@ -302,19 +460,48 @@ impl ServerState {
             .clone();
 
         // Quality: absorb the client-reported estimate before selecting.
-        if let (Some(q), Some(rtt)) = (&self.quality, qos.rtt_ms) {
-            q.lock().observe_reported(rtt);
-        }
+        // With a fleet table attached the report lands in the *caller's*
+        // entry; the connection-global manager absorbs it only when it
+        // is the sole quality authority.
+        let fleet_band = match &self.fleet {
+            Some(f) => {
+                let client = fleet_client_id(req);
+                Some(match qos.rtt_ms {
+                    Some(rtt) => f.fleet.observe_reported(client, rtt),
+                    None => f.fleet.band_of(client).unwrap_or(0),
+                })
+            }
+            None => {
+                if let (Some(q), Some(rtt)) = (&self.quality, qos.rtt_ms) {
+                    q.lock().observe_reported(rtt);
+                }
+                None
+            }
+        };
 
         let t0 = Instant::now();
         let original = handler(params);
         // Quality-manage the response value.
-        let (result, message_type) = match &self.quality {
-            Some(q) => {
+        let (result, message_type) = match (&self.fleet, &self.quality) {
+            (Some(f), Some(q)) => {
+                // Per-client band; under overload every admitted call is
+                // answered one band below the caller's own.
+                let mut band = fleet_band.unwrap_or(0);
+                if f.policy.overloaded(f.fleet.inflight(), self.workers)
+                    && band < f.fleet.worst_band()
+                {
+                    band += 1;
+                    f.fleet.note_degraded();
+                }
+                let rule = f.fleet.rule(band).clone();
+                let prepared = q.lock().apply_rule(&rule, Some(band), &original);
+                (prepared.value, Some(prepared.message_type))
+            }
+            (None, Some(q)) => {
                 let prepared = q.lock().prepare(&original);
                 (prepared.value, Some(prepared.message_type))
             }
-            None => (original.clone(), None),
+            _ => (original.clone(), None),
         };
         let server_time = t0.elapsed();
 

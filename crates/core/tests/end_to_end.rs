@@ -388,3 +388,162 @@ fn reconnect_recovers_after_transport_failure() {
     // black hole first).
     assert_eq!(client.call_with_retry("echo_array", v.clone()).unwrap(), v);
 }
+
+// ---------------------------------------------------------------------------
+// Fleet-scale QoS: per-client bands + admission control.
+
+fn sensor_service() -> ServiceDef {
+    ServiceDef::new("Sensor", "urn:sbq:sensor", "x").with_operation(
+        "read",
+        TypeDesc::Int,
+        reading_ty(),
+    )
+}
+
+#[test]
+fn fleet_serves_each_client_at_its_own_band() {
+    use sbq_qos::FleetQos;
+    use soap_binq::client::ClientConfig;
+
+    let svc = sensor_service();
+    let mut b = SoapServerBuilder::new(&svc, WireEncoding::Xml).unwrap();
+    b = b.handle("read", |_| reading_value());
+    b = b
+        .with_quality(quality_manager())
+        .with_fleet(FleetQos::new(quality_file()));
+    let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+
+    // "slow" reports a terrible RTT estimate with every call; "fast"
+    // reports nothing bad. The same server must answer them at
+    // different bands, concurrently tracked.
+    let mut slow = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Xml,
+        ClientConfig::new().client_id("slow"),
+    )
+    .unwrap()
+    .with_quality(quality_manager());
+    slow.quality_mut()
+        .unwrap()
+        .observe_rtt(Duration::from_millis(500), Duration::ZERO);
+    let mut fast = SoapClient::connect_with(
+        server.addr(),
+        &svc,
+        WireEncoding::Xml,
+        ClientConfig::new().client_id("fast"),
+    )
+    .unwrap()
+    .with_quality(quality_manager());
+
+    let v = slow.call("read", Value::Int(0)).unwrap();
+    assert_eq!(
+        v.as_struct().unwrap().field("temps"),
+        Some(&Value::FloatArray(vec![])),
+        "slow client is served the reduced type"
+    );
+    // The first call carries no estimate (nothing measured yet — the
+    // fleet only tracks clients that report); the second reports the
+    // tiny loopback RTT and creates the entry.
+    let v = fast.call("read", Value::Int(0)).unwrap();
+    assert_eq!(v, reading_value(), "fast client still gets full quality");
+    let v = fast.call("read", Value::Int(0)).unwrap();
+    assert_eq!(v, reading_value());
+    // And the slow client stays degraded even after the fast call.
+    let v = slow.call("read", Value::Int(0)).unwrap();
+    assert_eq!(
+        v.as_struct().unwrap().field("temps"),
+        Some(&Value::FloatArray(vec![]))
+    );
+
+    let fleet = server.fleet().unwrap();
+    assert_eq!(fleet.clients(), 2);
+    assert_eq!(fleet.band_of("slow"), Some(1));
+    assert_eq!(fleet.band_of("fast"), Some(0));
+}
+
+#[test]
+fn overload_sheds_worst_band_and_degrades_the_rest() {
+    use sbq_qos::FleetQos;
+    use soap_binq::client::ClientConfig;
+    use soap_binq::{AdmissionPolicy, Registry, ServerConfig, SoapError};
+
+    let svc = sensor_service();
+    let reg = Registry::new();
+    let mut b = SoapServerBuilder::new(&svc, WireEncoding::Xml).unwrap();
+    // `read(1)` parks the single worker long enough to overload the pool.
+    b = b.handle("read", |v| {
+        if v.as_int().unwrap_or(0) == 1 {
+            std::thread::sleep(Duration::from_millis(600));
+        }
+        reading_value()
+    });
+    b = b
+        .with_quality(quality_manager())
+        .with_fleet(FleetQos::new(quality_file()).telemetry(&reg))
+        // Any in-flight job at all counts as overload.
+        .admission_policy(
+            AdmissionPolicy::new()
+                .overload_factor(0.0)
+                .retry_after(Duration::from_secs(7)),
+        )
+        .transport(
+            ServerConfig::default()
+                .worker_threads(1)
+                .telemetry(reg.clone()),
+        );
+    let server = b.bind("127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = server.addr();
+
+    // The server already knows "victim" sits in the worst band.
+    server.fleet().unwrap().observe_reported("victim", 1000.0);
+
+    // Occupy the pool with a slow call from an unrelated client.
+    let svc2 = sensor_service();
+    let blocker = std::thread::spawn(move || {
+        // Needs a quality manager: overload may develop *while* its call
+        // is in flight, degrading even this response.
+        let mut c = SoapClient::connect(addr, &svc2, WireEncoding::Xml)
+            .unwrap()
+            .with_quality(quality_manager());
+        c.call("read", Value::Int(1)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Worst-band, non-idempotent: shed with 503 + Retry-After, on the
+    // event loop — no waiting behind the stuck pool.
+    let mut victim = SoapClient::connect_with(
+        addr,
+        &svc,
+        WireEncoding::Xml,
+        ClientConfig::new().client_id("victim"),
+    )
+    .unwrap();
+    match victim.call("read", Value::Int(0)) {
+        Err(SoapError::Overloaded { retry_after }) => {
+            assert_eq!(retry_after, Duration::from_secs(7))
+        }
+        other => panic!("expected an admission shed, got {other:?}"),
+    }
+
+    // A first-time caller is admitted but served one band lower.
+    let mut newbie = SoapClient::connect_with(
+        addr,
+        &svc,
+        WireEncoding::Xml,
+        ClientConfig::new().client_id("newbie"),
+    )
+    .unwrap()
+    .with_quality(quality_manager());
+    let v = newbie.call("read", Value::Int(0)).unwrap();
+    assert_eq!(
+        v.as_struct().unwrap().field("temps"),
+        Some(&Value::FloatArray(vec![])),
+        "admitted call is degraded one band under overload"
+    );
+
+    blocker.join().unwrap();
+    assert!(reg.counter("qos.fleet.shed").get() >= 1, "fleet shed count");
+    assert!(reg.counter("http.admission.shed").get() >= 1);
+    assert!(reg.counter("qos.fleet.degraded").get() >= 1);
+}

@@ -36,7 +36,7 @@ pub use body::{
 };
 pub use faults::{FaultAction, FaultSchedule};
 pub use message::{HttpError, Limits, Request, Response, TimeoutKind};
-pub use server::{HttpServer, ServerConfig, ServerHandle};
+pub use server::{Admission, AdmissionHook, HttpServer, ServerConfig, ServerHandle, ServerLoad};
 
 use message::DEFAULT_IO_TIMEOUT;
 use sbq_runtime::BufferPool;

@@ -17,6 +17,7 @@ use sbq_telemetry::{Counter, Gauge, Histogram, Registry};
 /// | `http.requests.other` | counter   | requests with any other method             |
 /// | `http.status.2xx`.. | counter   | responses by status class (`2xx`..`5xx`, `other`) |
 /// | `http.panics`         | counter   | handler panics answered with 500           |
+/// | `http.admission.shed` | counter   | requests answered by the admission hook    |
 /// | `http.chunked.rx`     | counter   | requests received with chunked framing     |
 /// | `http.chunked.tx`     | counter   | responses sent with chunked framing        |
 /// | `http.connections.active` | gauge | connections currently open                 |
@@ -42,6 +43,7 @@ pub(crate) struct HttpMetrics {
     status_5xx: Counter,
     status_other: Counter,
     pub(crate) panics: Counter,
+    pub(crate) shed: Counter,
     pub(crate) chunked_rx: Counter,
     pub(crate) chunked_tx: Counter,
     pub(crate) active: Gauge,
@@ -71,6 +73,7 @@ impl HttpMetrics {
             status_5xx: reg.counter("http.status.5xx"),
             status_other: reg.counter("http.status.other"),
             panics: reg.counter("http.panics"),
+            shed: reg.counter("http.admission.shed"),
             chunked_rx: reg.counter("http.chunked.rx"),
             chunked_tx: reg.counter("http.chunked.tx"),
             active: reg.gauge("http.connections.active"),

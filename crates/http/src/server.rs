@@ -48,6 +48,48 @@ const READ_CHUNK: usize = 16 * 1024;
 /// monopolize the event loop (level-triggered epoll re-reports the rest).
 const READ_BUDGET: usize = 256 * 1024;
 
+/// Instantaneous load snapshot handed to an admission hook (see
+/// [`ServerConfig::admission`]). All values are read on the event-loop
+/// thread, so they are exact at decision time.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLoad {
+    /// Handler jobs dispatched to the CPU pool and not yet completed.
+    pub inflight_jobs: usize,
+    /// Size of the CPU pool (the worker_threads setting).
+    pub worker_threads: usize,
+    /// Connections currently registered with the reactor.
+    pub open_conns: usize,
+}
+
+/// An admission decision for one parsed request.
+#[derive(Debug)]
+pub enum Admission {
+    /// Dispatch the request to the handler normally.
+    Admit,
+    /// Answer with this response *from the event loop* — the request
+    /// never reaches the CPU pool (that is the whole point: shedding
+    /// must cost nothing when the pool is the saturated resource). The
+    /// connection stays keep-alive unless the response or client says
+    /// `Connection: close`.
+    Respond(Response),
+}
+
+/// The decision function inside an [`AdmissionHook`].
+type AdmissionFn = dyn Fn(&Request, &ServerLoad) -> Admission + Send + Sync;
+
+/// A shared admission-control hook. Runs on the event-loop thread for
+/// every parsed application request (built-in observability endpoints
+/// are exempt — operators must be able to see the overload they are
+/// being shed by), so it must be fast and must never block.
+#[derive(Clone)]
+pub struct AdmissionHook(Arc<AdmissionFn>);
+
+impl std::fmt::Debug for AdmissionHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AdmissionHook(..)")
+    }
+}
+
 /// Server-side transport configuration; construct with
 /// [`ServerConfig::default`] and refine with the consuming builder
 /// methods.
@@ -64,6 +106,7 @@ pub struct ServerConfig {
     telemetry: Registry,
     chunking: ChunkPolicy,
     pool: BufferPool,
+    admission: Option<AdmissionHook>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +125,7 @@ impl Default for ServerConfig {
             telemetry: Registry::default(),
             chunking: ChunkPolicy::disabled(),
             pool: BufferPool::global().clone(),
+            admission: None,
         }
     }
 }
@@ -94,6 +138,12 @@ impl ServerConfig {
     pub fn worker_threads(mut self, n: usize) -> ServerConfig {
         self.worker_threads = n.max(1);
         self
+    }
+
+    /// The configured CPU-pool size (what [`ServerLoad::worker_threads`]
+    /// reports to admission hooks).
+    pub fn worker_pool_size(&self) -> usize {
+        self.worker_threads
     }
 
     /// Cap on connections accepted per readiness event (the rest stay in
@@ -187,6 +237,22 @@ impl ServerConfig {
     /// The registry this configuration records into.
     pub fn telemetry_registry(&self) -> &Registry {
         &self.telemetry
+    }
+
+    /// Installs an admission-control hook, consulted on the event-loop
+    /// thread for every parsed application request *before* it is
+    /// dispatched to the CPU pool. Returning [`Admission::Respond`]
+    /// answers immediately from the event loop (counted in
+    /// `http.admission.shed`) without consuming a pool worker; built-in
+    /// `/metrics` and `/trace` endpoints are never subject to
+    /// admission. The hook must be fast and non-blocking — it runs on
+    /// the thread that multiplexes every connection.
+    pub fn admission<F>(mut self, hook: F) -> ServerConfig
+    where
+        F: Fn(&Request, &ServerLoad) -> Admission + Send + Sync + 'static,
+    {
+        self.admission = Some(AdmissionHook(Arc::new(hook)));
+        self
     }
 
     /// Buffer pool request bodies are read into and recycled through.
@@ -1120,6 +1186,51 @@ impl EventLoop {
         let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
         ctx.metrics.read.record_duration(read_start.elapsed());
         let rid = request_id(&req, idx);
+        // Admission control: decided here on the event loop, before the
+        // request costs a CPU-pool slot — under overload the pool is the
+        // saturated resource, so a shed that queued behind it would be
+        // pointless. Built-in observability endpoints are exempt.
+        if let Some(hook) = &ctx.config.admission {
+            if !is_builtin_path(&req) {
+                let load = ServerLoad {
+                    inflight_jobs: self.inflight_jobs,
+                    worker_threads: ctx.config.worker_threads,
+                    open_conns: self.open_conns,
+                };
+                if let Admission::Respond(mut resp) = (hook.0)(&req, &load) {
+                    let mut req = req;
+                    ctx.metrics.shed.inc();
+                    ctx.metrics.method(&req.method);
+                    ctx.metrics.status(resp.status);
+                    resp.headers.push(("X-Request-Id".to_string(), rid));
+                    ctx.config.pool.put(std::mem::take(&mut req.body));
+                    let keep = !(close_requested || self.stopping);
+                    if !keep {
+                        resp.headers
+                            .push(("Connection".to_string(), "close".to_string()));
+                    }
+                    let outbuf = self.conns[slot]
+                        .as_mut()
+                        .map(|conn| std::mem::take(&mut conn.outbuf))
+                        .unwrap_or_default();
+                    let head = build_head(&ctx.config.pool, outbuf, &resp, false);
+                    self.queue_write(
+                        slot,
+                        WriteJob {
+                            head,
+                            head_pos: 0,
+                            body: std::mem::take(&mut resp.body),
+                            bw: BodyWrite::Plain { pos: 0 },
+                            keep,
+                            req_span: None,
+                            sctx: None,
+                            started: Instant::now(),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         // A malformed or absent X-SBQ-Trace is simply "no caller context":
         // the request is served normally, the server span becomes a root.
         let mut req_span = match req.trace_context() {
@@ -1560,6 +1671,17 @@ fn request_id(req: &Request, idx: u64) -> String {
 /// `GET /trace.json` (Chrome `trace_event` snapshot of the flight
 /// recorder), and `GET /trace.txt` (compact span-tree dump). These
 /// paths are reserved — requests to them never reach the handler.
+/// Whether a request targets a reserved built-in endpoint (these bypass
+/// admission control — shedding `/metrics` would blind operators to the
+/// very overload doing the shedding).
+fn is_builtin_path(req: &Request) -> bool {
+    req.method == "GET"
+        && matches!(
+            req.path.as_str(),
+            "/metrics" | "/metrics.json" | "/trace.json" | "/trace.txt"
+        )
+}
+
 fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
     if req.method != "GET" {
         return None;
@@ -1645,6 +1767,56 @@ mod tests {
             Response::ok("text/plain", r.body.clone())
         })
         .unwrap()
+    }
+
+    #[test]
+    fn admission_hook_sheds_from_the_event_loop() {
+        use std::sync::atomic::AtomicBool;
+        let shedding = Arc::new(AtomicBool::new(false));
+        let reg = Registry::new();
+        let flag = Arc::clone(&shedding);
+        let config = ServerConfig::default().telemetry(reg.clone()).admission(
+            move |_req: &Request, _load: &ServerLoad| {
+                if flag.load(Ordering::SeqCst) {
+                    let mut resp = Response::with_status(
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        b"shed".to_vec(),
+                    );
+                    resp.headers
+                        .push(("Retry-After".to_string(), "1".to_string()));
+                    Admission::Respond(resp)
+                } else {
+                    Admission::Admit
+                }
+            },
+        );
+        let handle = echo_server(config);
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        // Admitted while idle.
+        let resp = client.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        assert_eq!(resp.status, 200);
+        // Shed once the hook says overloaded — and the keep-alive
+        // connection survives the 503 to carry later calls.
+        shedding.store(true, Ordering::SeqCst);
+        let resp = client.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.header("x-request-id").is_some());
+        assert_eq!(resp.body, b"shed");
+        // Built-in observability is exempt from admission.
+        let metrics = client.send(Request::get("/metrics")).unwrap();
+        assert_eq!(metrics.status, 200);
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(
+            text.contains("http_admission_shed 1"),
+            "shed counted once: {text}"
+        );
+        shedding.store(false, Ordering::SeqCst);
+        let resp = client.post("/x", "text/plain", b"back".to_vec()).unwrap();
+        assert_eq!(resp.status, 200, "same connection serves again");
+        assert_eq!(reg.counter("http.admission.shed").get(), 1);
     }
 
     #[test]

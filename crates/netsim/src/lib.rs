@@ -25,10 +25,12 @@ use sbq_runtime::SmallRng;
 use std::time::Duration;
 
 pub mod clock;
+pub mod scenario;
 pub mod traffic;
 
 pub use clock::SimClock;
-pub use traffic::CrossTraffic;
+pub use scenario::{ClientProfile, FleetScenario};
+pub use traffic::{CrossTraffic, EndBehavior, Segment};
 
 /// Static description of a network link.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,16 +86,73 @@ impl LinkSpec {
         }
     }
 
+    /// A wide-area path: decent bandwidth but continental latency, the
+    /// regime where RTT (not serialization) dominates small calls.
+    pub fn wan() -> LinkSpec {
+        LinkSpec {
+            name: "WAN".to_string(),
+            bandwidth_bps: 20e6,
+            latency: Duration::from_millis(40),
+            per_packet_overhead: 60,
+            mtu: 1460,
+        }
+    }
+
+    /// A cellular uplink: low bandwidth, high latency, heavy framing.
+    /// Pair with [`SimLink::with_loss`] (see [`SimLink::lossy_mobile`])
+    /// for the characteristic retransmission-driven erraticness.
+    pub fn mobile_2mbps() -> LinkSpec {
+        LinkSpec {
+            name: "2Mbps mobile".to_string(),
+            bandwidth_bps: 2e6,
+            latency: Duration::from_millis(60),
+            per_packet_overhead: 80,
+            mtu: 1400,
+        }
+    }
+
     /// One-way time to move `bytes` when `available` ∈ (0, 1] of the
     /// bandwidth is free.
+    ///
+    /// Out-of-domain values are mapped, never trusted: `NaN` and values
+    /// above 1 mean an idle link, values at or below 0 mean full
+    /// saturation — they must never reach the bandwidth division.
+    ///
+    /// Up to the saturation knee (≥ 5 % of the bandwidth free) the
+    /// competing flow simply takes its share. Past the knee the share
+    /// stops shrinking and explicit queueing delay takes over, growing
+    /// quadratically to [`SATURATION_STALL_FACTOR`]× the knee time at
+    /// load 1.0 — continuous at the knee, finite and deterministic at
+    /// full saturation, and steep enough to reproduce the congestion
+    /// knee of the Figs. 8–9 scenarios (the old model silently clamped
+    /// `available` to 0.05, so a fully saturated link ran at a phantom
+    /// 5 % share instead of stalling).
     pub fn transfer_time(&self, bytes: usize, available: f64) -> Duration {
-        let available = available.clamp(0.05, 1.0);
+        let available = if available.is_nan() {
+            1.0
+        } else {
+            available.clamp(0.0, 1.0)
+        };
         let packets = bytes.div_ceil(self.mtu).max(1);
         let total_bits = ((bytes + packets * self.per_packet_overhead) * 8) as f64;
-        let secs = total_bits / (self.bandwidth_bps * available);
+        let share = available.max(SATURATION_KNEE_AVAILABLE);
+        let mut secs = total_bits / (self.bandwidth_bps * share);
+        if available < SATURATION_KNEE_AVAILABLE {
+            let depth = (SATURATION_KNEE_AVAILABLE - available) / SATURATION_KNEE_AVAILABLE;
+            secs *= 1.0 + (SATURATION_STALL_FACTOR - 1.0) * depth * depth;
+        }
         self.latency + Duration::from_secs_f64(secs)
     }
 }
+
+/// Free-bandwidth fraction below which a link counts as *saturated*:
+/// past this point additional load buys queueing delay rather than a
+/// smaller bandwidth share (which would divide by ~zero).
+pub const SATURATION_KNEE_AVAILABLE: f64 = 0.05;
+
+/// Transfer-time multiplier at full saturation (load = 1.0) relative to
+/// the knee: a fully saturated link effectively stalls.
+pub const SATURATION_STALL_FACTOR: f64 = 64.0;
 
 /// Multiplicative measurement noise driven by a seeded RNG.
 #[derive(Debug, Clone)]
@@ -157,6 +216,24 @@ impl SimLink {
             transfers: 0,
             retransmissions: 0,
         }
+    }
+
+    /// A lossy-mobile profile: [`LinkSpec::mobile_2mbps`] with 3 %
+    /// per-packet loss and ±15 % measurement jitter — slow *and*
+    /// erratic, the paper's in-vehicle wireless scenario pushed to
+    /// cellular conditions.
+    pub fn lossy_mobile(seed: u64) -> SimLink {
+        SimLink::new(LinkSpec::mobile_2mbps())
+            .with_loss(seed, 0.03)
+            .with_jitter(seed.wrapping_add(1), 0.15)
+    }
+
+    /// A jittery-WAN profile: [`LinkSpec::wan`] with ±30 % measurement
+    /// jitter and no loss — healthy on average, erratic sample to
+    /// sample, the case that separates variance-aware estimators from
+    /// plain EWMA.
+    pub fn jittery(seed: u64) -> SimLink {
+        SimLink::new(LinkSpec::wan()).with_jitter(seed, 0.30)
     }
 
     /// Installs a per-packet loss probability `p` (0..1). Lost packets are
@@ -294,13 +371,71 @@ mod tests {
     }
 
     #[test]
-    fn available_fraction_clamped() {
+    fn out_of_domain_availability_is_mapped_not_trusted() {
         let spec = LinkSpec::adsl();
-        // Zero availability must not divide by zero.
+        // Zero availability means full saturation: finite (no division
+        // by zero) but stalled, far beyond the 5 %-share knee time.
         let t = spec.transfer_time(1000, 0.0);
         assert!(t.as_secs_f64().is_finite());
-        let t2 = spec.transfer_time(1000, 42.0);
-        assert!(t2 >= spec.latency);
+        assert!(t > spec.transfer_time(1000, SATURATION_KNEE_AVAILABLE) * 10);
+        // Above-1 and NaN inputs mean an idle link.
+        assert_eq!(
+            spec.transfer_time(1000, 42.0),
+            spec.transfer_time(1000, 1.0)
+        );
+        assert_eq!(
+            spec.transfer_time(1000, f64::NAN),
+            spec.transfer_time(1000, 1.0)
+        );
+        // Negative availability is full saturation, same as zero.
+        assert_eq!(
+            spec.transfer_time(1000, -3.0),
+            spec.transfer_time(1000, 0.0)
+        );
+    }
+
+    #[test]
+    fn saturation_knee_shape() {
+        // Regression: the old model clamped `available` to 0.05, so a
+        // flash-crowd load of 1.0 moved bytes at a phantom 5 % share
+        // instead of stalling — flattening the congestion knee.
+        let spec = LinkSpec::adsl();
+        let n = 50_000;
+        // Transfer time is monotonically non-increasing in availability.
+        let avail = [1.0, 0.5, 0.1, 0.05, 0.04, 0.02, 0.01, 0.0];
+        for pair in avail.windows(2) {
+            assert!(
+                spec.transfer_time(n, pair[1]) >= spec.transfer_time(n, pair[0]),
+                "monotone at {} vs {}",
+                pair[1],
+                pair[0]
+            );
+        }
+        // Continuous at the knee: just past it costs barely more.
+        let at_knee = spec
+            .transfer_time(n, SATURATION_KNEE_AVAILABLE)
+            .as_secs_f64();
+        let past_knee = spec
+            .transfer_time(n, SATURATION_KNEE_AVAILABLE - 1e-4)
+            .as_secs_f64();
+        assert!(
+            (past_knee - at_knee) / at_knee < 0.05,
+            "{at_knee} vs {past_knee}"
+        );
+        // Full saturation stalls: the documented factor over knee time.
+        let stalled = spec.transfer_time(n, 0.0).as_secs_f64();
+        let lat = spec.latency.as_secs_f64();
+        let factor = (stalled - lat) / (at_knee - lat);
+        assert!(
+            (factor - SATURATION_STALL_FACTOR).abs() < 1.0,
+            "stall factor {factor}"
+        );
+        // Superlinear growth past the knee: the last 2 % of load costs
+        // more than the 2 % before it.
+        let a = spec.transfer_time(n, 0.04).as_secs_f64();
+        let b = spec.transfer_time(n, 0.02).as_secs_f64();
+        let c = spec.transfer_time(n, 0.0).as_secs_f64();
+        assert!(c - b > b - a, "queueing delay must accelerate");
     }
 
     #[test]

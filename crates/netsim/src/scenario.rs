@@ -1,0 +1,270 @@
+//! Fleet-scale scenario runner: thousands of simulated clients sharing
+//! one congested backbone.
+//!
+//! A [`FleetScenario`] models a client *population* rather than a single
+//! link: every client has its own last-mile access profile (WAN,
+//! lossy-mobile, or jittery — see [`ClientProfile`]) with independently
+//! seeded jitter and loss, while all of them share one
+//! [`CrossTraffic`] schedule standing in for the congested backbone.
+//! Unlike [`SimLink`](crate::SimLink), sampling an RTT does **not**
+//! advance the clock: the population is sampled in lockstep rounds
+//! ([`FleetScenario::advance`] moves virtual time between rounds), so
+//! thousands of concurrent clients all experience the same congestion
+//! epoch — which is what produces coherent fleet-wide band transitions
+//! during a flash crowd.
+//!
+//! The scenario produces deterministic per-client RTT samples; the
+//! consumer decides what to do with them — feed them to a
+//! `FleetQos` table directly, or report them over the wire as
+//! `X-Qos-Rtt` headers through a real reactor (the `qos_fleet` bench
+//! does the latter).
+
+use crate::traffic::CrossTraffic;
+use crate::{Jitter, LinkSpec};
+use sbq_runtime::SmallRng;
+use std::time::Duration;
+
+/// The last-mile access profile of one simulated client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientProfile {
+    /// [`LinkSpec::wan`] with mild (±5 %) jitter: healthy continental
+    /// path.
+    Wan,
+    /// [`LinkSpec::mobile_2mbps`] with 3 % per-packet loss and ±15 %
+    /// jitter: slow *and* erratic.
+    LossyMobile,
+    /// [`LinkSpec::wan`] with ±30 % jitter and no loss: healthy on
+    /// average, erratic sample to sample.
+    Jittery,
+}
+
+impl ClientProfile {
+    fn spec(self) -> LinkSpec {
+        match self {
+            ClientProfile::Wan | ClientProfile::Jittery => LinkSpec::wan(),
+            ClientProfile::LossyMobile => LinkSpec::mobile_2mbps(),
+        }
+    }
+
+    fn jitter_amplitude(self) -> f64 {
+        match self {
+            ClientProfile::Wan => 0.05,
+            ClientProfile::LossyMobile => 0.15,
+            ClientProfile::Jittery => 0.30,
+        }
+    }
+
+    fn loss_p(self) -> f64 {
+        match self {
+            ClientProfile::LossyMobile => 0.03,
+            _ => 0.0,
+        }
+    }
+}
+
+/// One simulated client: access profile + seeded noise sources.
+#[derive(Debug, Clone)]
+struct SimClient {
+    profile: ClientProfile,
+    spec: LinkSpec,
+    jitter: Jitter,
+    loss_rng: SmallRng,
+}
+
+/// A deterministic population of simulated clients over a shared
+/// congestion schedule.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    clients: Vec<SimClient>,
+    cross: CrossTraffic,
+    now: Duration,
+}
+
+impl FleetScenario {
+    /// An empty scenario over a backbone congestion schedule; populate
+    /// with [`FleetScenario::with_clients`].
+    pub fn new(cross: CrossTraffic) -> FleetScenario {
+        FleetScenario {
+            clients: Vec::new(),
+            cross,
+            now: Duration::ZERO,
+        }
+    }
+
+    /// Appends `n` clients with the given access profile — builder
+    /// style. Every client's noise is independently seeded from `seed`,
+    /// so two scenarios built alike replay identically.
+    pub fn with_clients(mut self, n: usize, profile: ClientProfile, seed: u64) -> FleetScenario {
+        let base = self.clients.len() as u64;
+        for i in 0..n as u64 {
+            let s = seed ^ (base + i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            self.clients.push(SimClient {
+                profile,
+                spec: profile.spec(),
+                jitter: Jitter::new(s, profile.jitter_amplitude()),
+                loss_rng: SmallRng::seed_from_u64(s.wrapping_add(1)),
+            });
+        }
+        self
+    }
+
+    /// The canonical fleet scenario: `n` clients (one third each WAN,
+    /// lossy-mobile, and jittery) hit by a flash crowd —
+    /// [`CrossTraffic::flash_crowd`] with a 2 s quiet lead-in, 3 s ramp
+    /// to full backbone saturation, 5 s at the peak, and a 3 s decay.
+    pub fn flash_crowd(n: usize, seed: u64) -> FleetScenario {
+        let cross = CrossTraffic::flash_crowd(
+            Duration::from_secs(2),
+            Duration::from_secs(3),
+            Duration::from_secs(5),
+            Duration::from_secs(3),
+            1.0,
+        );
+        let third = n / 3;
+        FleetScenario::new(cross)
+            .with_clients(third, ClientProfile::Wan, seed)
+            .with_clients(third, ClientProfile::LossyMobile, seed)
+            .with_clients(n - 2 * third, ClientProfile::Jittery, seed)
+    }
+
+    /// Number of simulated clients.
+    pub fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The access profile of client `i`.
+    pub fn profile(&self, i: usize) -> ClientProfile {
+        self.clients[i].profile
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Advances virtual time (moves the whole population to the next
+    /// sampling round).
+    pub fn advance(&mut self, dt: Duration) {
+        self.now += dt;
+    }
+
+    /// The backbone cross-traffic load at the current virtual time.
+    pub fn load_now(&self) -> f64 {
+        self.cross.load_at(self.now)
+    }
+
+    /// A deterministic RTT sample for client `i` exchanging
+    /// `request_bytes` up and `response_bytes` down at the current
+    /// virtual time, with `server_time` of processing in between. Does
+    /// not advance the clock: all clients sampled before the next
+    /// [`FleetScenario::advance`] see the same congestion epoch.
+    pub fn sample_rtt(
+        &mut self,
+        i: usize,
+        request_bytes: usize,
+        response_bytes: usize,
+        server_time: Duration,
+    ) -> Duration {
+        let available = 1.0 - self.cross.load_at(self.now);
+        let c = &mut self.clients[i];
+        let up = c.spec.transfer_time(request_bytes, available);
+        let down = c.spec.transfer_time(response_bytes, available);
+        let mut rtt = up + server_time + down;
+        let p = c.profile.loss_p();
+        if p > 0.0 {
+            // Same retransmission shape as `SimLink::send`: each lost
+            // packet costs one packet serialization plus an RTO of one
+            // round-trip of pure latency.
+            let packets = (request_bytes + response_bytes).div_ceil(c.spec.mtu).max(1);
+            let per_packet = c
+                .spec
+                .transfer_time(c.spec.mtu.min(request_bytes.max(1)), available)
+                .saturating_sub(c.spec.latency);
+            let rto = 2 * c.spec.latency;
+            for _ in 0..packets {
+                if c.loss_rng.gen_f64() < p {
+                    rtt += per_packet + rto;
+                }
+            }
+        }
+        Duration::from_secs_f64(rtt.as_secs_f64() * c.jitter.factor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = FleetScenario::flash_crowd(30, seed);
+            let mut out = Vec::new();
+            for round in 0..5 {
+                for i in 0..s.clients() {
+                    out.push(s.sample_rtt(i, 400, 4000, Duration::from_micros(200)));
+                }
+                s.advance(Duration::from_millis(500 * (round + 1)));
+            }
+            out
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn flash_crowd_degrades_all_profiles_then_recovers() {
+        let mut s = FleetScenario::flash_crowd(60, 7);
+        let sample_mean = |s: &mut FleetScenario| {
+            let n = s.clients();
+            let total: f64 = (0..n)
+                .map(|i| s.sample_rtt(i, 400, 4000, Duration::ZERO).as_secs_f64())
+                .sum();
+            total / n as f64
+        };
+        let quiet = sample_mean(&mut s);
+        // Into the peak (2 s quiet + 3 s ramp + 1 s).
+        s.advance(Duration::from_secs(6));
+        let peak = sample_mean(&mut s);
+        // Past the decay (total envelope is 13 s).
+        s.advance(Duration::from_secs(10));
+        let after = sample_mean(&mut s);
+        assert!(peak > quiet * 5.0, "peak {peak} should dwarf quiet {quiet}");
+        assert!(after < peak / 5.0, "after {after} vs peak {peak}");
+        // One-shot envelope: fully recovered, back to the quiet level
+        // within jitter.
+        assert!(after < quiet * 2.0, "after {after} vs quiet {quiet}");
+    }
+
+    #[test]
+    fn profiles_are_ordered_by_erraticness() {
+        // Lossy-mobile is slower than WAN on the same backbone; jittery
+        // has the same median link but wider spread than WAN.
+        let mut s = FleetScenario::new(CrossTraffic::none())
+            .with_clients(50, ClientProfile::Wan, 1)
+            .with_clients(50, ClientProfile::LossyMobile, 1)
+            .with_clients(50, ClientProfile::Jittery, 1);
+        let mean_of = |s: &mut FleetScenario, lo: usize, hi: usize| {
+            let total: f64 = (lo..hi)
+                .map(|i| s.sample_rtt(i, 400, 20_000, Duration::ZERO).as_secs_f64())
+                .sum();
+            total / (hi - lo) as f64
+        };
+        let wan = mean_of(&mut s, 0, 50);
+        let mobile = mean_of(&mut s, 50, 100);
+        assert!(mobile > wan * 2.0, "mobile {mobile} vs wan {wan}");
+        let spread_of = |s: &mut FleetScenario, lo: usize, hi: usize| {
+            let xs: Vec<f64> = (lo..hi)
+                .map(|i| s.sample_rtt(i, 400, 20_000, Duration::ZERO).as_secs_f64())
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).abs()).sum::<f64>() / xs.len() as f64 / mean
+        };
+        let wan_spread = spread_of(&mut s, 0, 50);
+        let jittery_spread = spread_of(&mut s, 100, 150);
+        assert!(
+            jittery_spread > wan_spread * 2.0,
+            "jittery {jittery_spread} vs wan {wan_spread}"
+        );
+    }
+}

@@ -14,8 +14,27 @@ pub struct Segment {
     pub start: Duration,
     /// Segment end (exclusive).
     pub end: Duration,
-    /// Fraction of bandwidth consumed, `0.0..=0.95`.
+    /// Fraction of bandwidth consumed, `0.0..=1.0` (1.0 = the
+    /// competing flow saturates the link; see
+    /// `LinkSpec::transfer_time`'s saturation model).
     pub load: f64,
+}
+
+/// What a *one-shot* schedule reports after its final segment ends.
+///
+/// Periodic schedules (square wave, staircase) wrap by construction and
+/// never consult this. One-shot schedules driven past their definition
+/// used to silently drop to zero load — fine for "the crowd left", but
+/// a trap for long fleet scenarios that mean "…and it stayed like
+/// that". The behavior is now explicit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EndBehavior {
+    /// Load drops to zero past the last segment (the default): the
+    /// competing flow ends with its schedule.
+    #[default]
+    Zero,
+    /// The final segment's load holds forever.
+    HoldLast,
 }
 
 /// A deterministic competing-traffic schedule over virtual time.
@@ -23,8 +42,12 @@ pub struct Segment {
 pub struct CrossTraffic {
     segments: Vec<Segment>,
     /// Repetition period; `None` means the schedule does not repeat and
-    /// load is zero past the last segment.
+    /// [`CrossTraffic::end_behavior`] decides what happens past the
+    /// last segment.
     period: Option<Duration>,
+    /// One-shot end-of-schedule semantics (gaps *between* segments are
+    /// always zero load; this only governs time past the final one).
+    end: EndBehavior,
 }
 
 impl CrossTraffic {
@@ -34,13 +57,28 @@ impl CrossTraffic {
     }
 
     /// An explicit one-shot schedule (segments must be non-overlapping;
-    /// gaps mean zero load).
+    /// gaps mean zero load). Past the final segment the load drops to
+    /// zero unless [`CrossTraffic::hold_last`] is applied.
     pub fn schedule(mut segments: Vec<Segment>) -> CrossTraffic {
         segments.sort_by_key(|s| s.start);
         CrossTraffic {
             segments,
             period: None,
+            end: EndBehavior::Zero,
         }
+    }
+
+    /// Makes a one-shot schedule hold its final segment's load forever
+    /// instead of dropping to zero (builder style). No effect on
+    /// periodic schedules, which wrap.
+    pub fn hold_last(mut self) -> CrossTraffic {
+        self.end = EndBehavior::HoldLast;
+        self
+    }
+
+    /// The end-of-schedule semantics of this schedule.
+    pub fn end_behavior(&self) -> EndBehavior {
+        self.end
     }
 
     /// A repeating square wave: `load` for the first `duty` of every
@@ -54,6 +92,7 @@ impl CrossTraffic {
                 load,
             }],
             period: Some(period),
+            end: EndBehavior::Zero,
         }
     }
 
@@ -74,10 +113,53 @@ impl CrossTraffic {
         CrossTraffic {
             segments,
             period: Some(t),
+            end: EndBehavior::Zero,
         }
     }
 
-    /// Competing load at virtual time `t` (0 = idle link).
+    /// A flash-crowd envelope (one-shot): a quiet baseline, a steep
+    /// staircase ramp up to `peak`, a sustained peak, then a decay back
+    /// down — the overload phase the fleet admission-control scenarios
+    /// drive. Past the decay the crowd is gone and load returns to
+    /// zero (the recovery phase, [`EndBehavior::Zero`]).
+    pub fn flash_crowd(
+        quiet: Duration,
+        ramp: Duration,
+        hold: Duration,
+        decay: Duration,
+        peak: f64,
+    ) -> CrossTraffic {
+        const BASELINE: f64 = 0.05;
+        const STEPS: u32 = 8;
+        let peak = peak.clamp(0.0, 1.0);
+        let mut segments = Vec::new();
+        let mut t = Duration::ZERO;
+        let mut push = |t: &mut Duration, len: Duration, load: f64| {
+            if !len.is_zero() {
+                segments.push(Segment {
+                    start: *t,
+                    end: *t + len,
+                    load,
+                });
+                *t += len;
+            }
+        };
+        push(&mut t, quiet, BASELINE);
+        for i in 0..STEPS {
+            let frac = (i + 1) as f64 / STEPS as f64;
+            push(&mut t, ramp / STEPS, BASELINE + (peak - BASELINE) * frac);
+        }
+        push(&mut t, hold, peak);
+        for i in 0..STEPS {
+            let frac = 1.0 - (i + 1) as f64 / STEPS as f64;
+            push(&mut t, decay / STEPS, BASELINE + (peak - BASELINE) * frac);
+        }
+        CrossTraffic::schedule(segments)
+    }
+
+    /// Competing load at virtual time `t` (0 = idle link). Periodic
+    /// schedules wrap; one-shot schedules follow their
+    /// [`EndBehavior`] past the final segment.
     pub fn load_at(&self, t: Duration) -> f64 {
         let t = match self.period {
             Some(p) if !p.is_zero() => Duration::from_nanos((t.as_nanos() % p.as_nanos()) as u64),
@@ -85,7 +167,14 @@ impl CrossTraffic {
         };
         for s in &self.segments {
             if t >= s.start && t < s.end {
-                return s.load.clamp(0.0, 0.95);
+                return s.load.clamp(0.0, 1.0);
+            }
+        }
+        if self.period.is_none() && self.end == EndBehavior::HoldLast {
+            if let Some(last) = self.segments.last() {
+                if t >= last.end {
+                    return last.load.clamp(0.0, 1.0);
+                }
             }
         }
         0.0
@@ -146,15 +235,79 @@ mod tests {
         assert_eq!(c.load_at(secs(15)), 0.0);
         assert_eq!(c.load_at(secs(22)), 0.4);
         assert_eq!(c.load_at(secs(100)), 0.0);
+        assert_eq!(c.end_behavior(), EndBehavior::Zero);
     }
 
     #[test]
-    fn load_clamped_below_one() {
+    fn hold_last_sustains_final_load_past_schedule_end() {
+        // Regression for the end-of-schedule audit: a long fleet
+        // scenario driven past a one-shot schedule's definition used to
+        // silently fall to zero load with no way to say "and it stayed
+        // congested". hold_last pins the final segment's load forever.
+        let segs = vec![
+            Segment {
+                start: secs(0),
+                end: secs(5),
+                load: 0.2,
+            },
+            Segment {
+                start: secs(10),
+                end: secs(20),
+                load: 0.8,
+            },
+        ];
+        let hold = CrossTraffic::schedule(segs.clone()).hold_last();
+        assert_eq!(hold.end_behavior(), EndBehavior::HoldLast);
+        // Inside the schedule: unchanged, including the zero-load gap.
+        assert_eq!(hold.load_at(secs(2)), 0.2);
+        assert_eq!(hold.load_at(secs(7)), 0.0, "gaps stay zero");
+        assert_eq!(hold.load_at(secs(15)), 0.8);
+        // Past the end: the final load holds, arbitrarily far out.
+        assert_eq!(hold.load_at(secs(20)), 0.8);
+        assert_eq!(hold.load_at(secs(100_000)), 0.8);
+        // The default keeps the documented drop-to-zero semantics.
+        assert_eq!(CrossTraffic::schedule(segs).load_at(secs(100_000)), 0.0);
+    }
+
+    #[test]
+    fn hold_last_does_not_affect_periodic_schedules() {
+        let c = CrossTraffic::square_wave(secs(10), secs(4), 0.8).hold_last();
+        // Wrapping still wins: t=17 is in the idle half of the wave.
+        assert_eq!(c.load_at(secs(17)), 0.0);
+        assert_eq!(c.load_at(secs(13)), 0.8);
+    }
+
+    #[test]
+    fn load_clamped_to_saturation() {
+        // Loads above 1.0 clamp to 1.0 (full saturation) — the link
+        // model turns that into queueing stall, not a division by zero.
         let c = CrossTraffic::schedule(vec![Segment {
             start: secs(0),
             end: secs(1),
             load: 5.0,
         }]);
-        assert_eq!(c.load_at(secs(0)), 0.95);
+        assert_eq!(c.load_at(secs(0)), 1.0);
+    }
+
+    #[test]
+    fn flash_crowd_has_congestion_phases() {
+        let c = CrossTraffic::flash_crowd(secs(10), secs(8), secs(20), secs(8), 1.0);
+        // Quiet baseline, then a ramp that reaches full saturation.
+        assert!(c.load_at(secs(1)) < 0.1);
+        let mid_ramp = c.load_at(secs(14));
+        assert!(mid_ramp > 0.2 && mid_ramp < 1.0, "{mid_ramp}");
+        assert_eq!(c.load_at(secs(20)), 1.0, "peak holds");
+        assert_eq!(c.load_at(secs(37)), 1.0, "peak holds");
+        // Decay passes back through intermediate loads, then recovery.
+        let mid_decay = c.load_at(secs(42));
+        assert!(mid_decay > 0.2 && mid_decay < 1.0, "{mid_decay}");
+        assert_eq!(c.load_at(secs(60)), 0.0, "crowd gone: recovery");
+        // Ramp is monotonically non-decreasing.
+        let mut prev = 0.0;
+        for s in 10..18 {
+            let l = c.load_at(secs(s));
+            assert!(l >= prev, "ramp decreased at {s}s");
+            prev = l;
+        }
     }
 }

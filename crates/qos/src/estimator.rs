@@ -21,6 +21,7 @@ pub struct RttEstimator {
     alpha: f64,
     estimate: Option<f64>,
     samples: u64,
+    discarded: u64,
 }
 
 impl RttEstimator {
@@ -36,6 +37,7 @@ impl RttEstimator {
             alpha,
             estimate: None,
             samples: 0,
+            discarded: 0,
         }
     }
 
@@ -53,8 +55,20 @@ impl RttEstimator {
 
     /// Feeds a sample after subtracting the server's data-preparation
     /// time (the paper's timestamp set-back).
+    ///
+    /// A reported server time *exceeding* the measured RTT is
+    /// physically impossible — it means the two clocks disagree (skew,
+    /// or a coarse server timer rounding up). Clamping such a sample to
+    /// zero would drag the EWMA toward zero and spuriously upgrade the
+    /// quality band, so the sample is discarded instead, exactly like a
+    /// Karn-suppressed retransmission: the estimate is left unchanged
+    /// and the event is counted in [`RttEstimator::discarded`].
     pub fn update_compensated(&mut self, sample: Duration, server_time: Duration) -> Duration {
-        self.update(sample.saturating_sub(server_time))
+        if server_time > sample {
+            self.discarded += 1;
+            return self.estimate().unwrap_or(Duration::ZERO);
+        }
+        self.update(sample - server_time)
     }
 
     /// Current estimate, if any sample has been observed.
@@ -76,10 +90,17 @@ impl RttEstimator {
         self.samples
     }
 
+    /// Samples [`RttEstimator::update_compensated`] rejected because
+    /// the reported server time exceeded the measured RTT (clock skew).
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
     /// Forgets all history.
     pub fn reset(&mut self) {
         self.estimate = None;
         self.samples = 0;
+        self.discarded = 0;
     }
 }
 
@@ -142,10 +163,31 @@ mod tests {
         comp.update_compensated(ms(100), ms(60));
         assert_eq!(comp.estimate().unwrap(), ms(40));
         assert!(comp.estimate().unwrap() < raw.estimate().unwrap());
-        // Server time exceeding the sample clamps to zero, not negative.
-        comp.reset();
-        comp.update_compensated(ms(10), ms(60));
-        assert_eq!(comp.estimate().unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn skewed_server_time_discards_sample() {
+        // Regression: a server clock reporting more preparation time
+        // than the whole measured RTT used to clamp to a 0 sample,
+        // dragging the EWMA toward zero and spuriously upgrading the
+        // band. Such samples must be discarded, not clamped.
+        let mut e = RttEstimator::new();
+        e.update(ms(100));
+        let before = e.estimate().unwrap();
+        let returned = e.update_compensated(ms(10), ms(60));
+        assert_eq!(e.estimate().unwrap(), before, "estimate must not move");
+        assert_eq!(returned, before, "returns the unchanged estimate");
+        assert_eq!(e.samples(), 1, "discarded sample is not counted");
+        assert_eq!(e.discarded(), 1);
+        // With no prior history the discard leaves the estimator empty.
+        let mut fresh = RttEstimator::new();
+        assert_eq!(fresh.update_compensated(ms(10), ms(60)), Duration::ZERO);
+        assert_eq!(fresh.estimate(), None);
+        assert_eq!(fresh.discarded(), 1);
+        // An exactly-equal server time is a legitimate 0 RTT, not skew.
+        fresh.update_compensated(ms(10), ms(10));
+        assert_eq!(fresh.estimate(), Some(Duration::ZERO));
+        assert_eq!(fresh.discarded(), 1);
     }
 
     #[test]
@@ -166,9 +208,9 @@ mod tests {
         e.update(Duration::from_micros(250));
         assert_eq!(e.estimate_ms(), Some(0.25));
         e.reset();
-        // Full server-time compensation clamps to exactly 0.0 (not -0.0
+        // Exact server-time compensation yields exactly 0.0 (not -0.0
         // or negative), consistent with estimate().
-        e.update_compensated(Duration::from_micros(250), Duration::from_millis(5));
+        e.update_compensated(Duration::from_micros(250), Duration::from_micros(250));
         let ms = e.estimate_ms().unwrap();
         assert_eq!(ms, 0.0);
         assert!(ms.is_sign_positive());

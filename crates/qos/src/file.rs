@@ -215,75 +215,52 @@ impl Default for SwitchPolicy {
     }
 }
 
-/// Stateful band selection with hysteresis over a [`QualityFile`].
+/// Direction of a confirmed band switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchDirection {
+    /// Toward a higher band index (smaller messages).
+    Degrade,
+    /// Toward a lower band index (richer messages).
+    Upgrade,
+}
+
+/// The hysteresis state machine inside [`BandSelector`], detached from
+/// the quality file so thousands of per-client fleet entries can share
+/// one parsed [`QualityFile`] instead of cloning it each. Behavior is
+/// identical to [`BandSelector::observe`] — the selector is a thin
+/// wrapper over this plus telemetry.
 #[derive(Debug, Clone)]
-pub struct BandSelector {
-    file: QualityFile,
+pub struct BandTracker {
     policy: SwitchPolicy,
     current: Option<usize>,
     pending: Option<(usize, usize)>, // (band, consecutive count)
     switches: u64,
-    band_gauge: Gauge,
-    degrades: Counter,
-    upgrades: Counter,
 }
 
-impl BandSelector {
-    /// Creates a selector with the default switch policy.
-    pub fn new(file: QualityFile) -> BandSelector {
-        BandSelector::with_policy(file, SwitchPolicy::default())
-    }
-
-    /// Creates a selector with an explicit policy.
-    pub fn with_policy(file: QualityFile, policy: SwitchPolicy) -> BandSelector {
-        BandSelector {
-            file,
+impl BandTracker {
+    /// A tracker with the given switch policy and no history.
+    pub fn new(policy: SwitchPolicy) -> BandTracker {
+        BandTracker {
             policy,
             current: None,
             pending: None,
             switches: 0,
-            band_gauge: Gauge::disabled(),
-            degrades: Counter::disabled(),
-            upgrades: Counter::disabled(),
         }
     }
 
-    /// Attaches telemetry (builder style): the current band index is
-    /// mirrored to the `qos.band` gauge and confirmed switches are counted
-    /// by direction in `qos.band_switch.degrade` /
-    /// `qos.band_switch.upgrade`. Selection behavior is unchanged.
-    pub fn telemetry(mut self, registry: &Registry) -> BandSelector {
-        self.band_gauge = registry.gauge("qos.band");
-        self.degrades = registry.counter("qos.band_switch.degrade");
-        self.upgrades = registry.counter("qos.band_switch.upgrade");
-        if let Some(cur) = self.current {
-            self.band_gauge.set(cur as i64);
-        }
-        self
-    }
-
-    /// The underlying quality file.
-    pub fn file(&self) -> &QualityFile {
-        &self.file
-    }
-
-    /// Number of band switches performed so far.
-    pub fn switches(&self) -> u64 {
-        self.switches
-    }
-
-    /// Feeds an attribute sample and returns the rule to use now.
-    pub fn observe(&mut self, value: f64) -> &QualityRule {
-        let target = self.file.select_index(value);
-        let cur = match self.current {
+    /// Feeds an attribute sample against `file`; returns the band index
+    /// to use now and the direction if this sample confirmed a switch
+    /// (the establishing first sample is not a switch).
+    pub fn observe(&mut self, file: &QualityFile, value: f64) -> (usize, Option<SwitchDirection>) {
+        let target = file.select_index(value);
+        match self.current {
             None => {
                 self.current = Some(target);
-                self.band_gauge.set(target as i64);
-                target
+                (target, None)
             }
             Some(cur) if target == cur => {
                 self.pending = None;
-                cur
+                (cur, None)
             }
             Some(cur) => {
                 let degrade = target > cur;
@@ -301,30 +278,105 @@ impl BandSelector {
                     self.current = Some(target);
                     self.pending = None;
                     self.switches += 1;
-                    self.band_gauge.set(target as i64);
-                    if degrade {
-                        self.degrades.inc();
+                    let dir = if degrade {
+                        SwitchDirection::Degrade
                     } else {
-                        self.upgrades.inc();
-                    }
-                    target
+                        SwitchDirection::Upgrade
+                    };
+                    (target, Some(dir))
                 } else {
-                    cur
+                    (cur, None)
                 }
             }
-        };
-        &self.file.rules[cur]
+        }
+    }
+
+    /// Currently selected band index, or `None` before the first sample.
+    pub fn band(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Confirmed switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+/// Stateful band selection with hysteresis over a [`QualityFile`].
+#[derive(Debug, Clone)]
+pub struct BandSelector {
+    file: QualityFile,
+    tracker: BandTracker,
+    band_gauge: Gauge,
+    degrades: Counter,
+    upgrades: Counter,
+}
+
+impl BandSelector {
+    /// Creates a selector with the default switch policy.
+    pub fn new(file: QualityFile) -> BandSelector {
+        BandSelector::with_policy(file, SwitchPolicy::default())
+    }
+
+    /// Creates a selector with an explicit policy.
+    pub fn with_policy(file: QualityFile, policy: SwitchPolicy) -> BandSelector {
+        BandSelector {
+            file,
+            tracker: BandTracker::new(policy),
+            band_gauge: Gauge::disabled(),
+            degrades: Counter::disabled(),
+            upgrades: Counter::disabled(),
+        }
+    }
+
+    /// Attaches telemetry (builder style): the current band index is
+    /// mirrored to the `qos.band` gauge and confirmed switches are counted
+    /// by direction in `qos.band_switch.degrade` /
+    /// `qos.band_switch.upgrade`. Selection behavior is unchanged.
+    pub fn telemetry(mut self, registry: &Registry) -> BandSelector {
+        self.band_gauge = registry.gauge("qos.band");
+        self.degrades = registry.counter("qos.band_switch.degrade");
+        self.upgrades = registry.counter("qos.band_switch.upgrade");
+        if let Some(cur) = self.tracker.band() {
+            self.band_gauge.set(cur as i64);
+        }
+        self
+    }
+
+    /// The underlying quality file.
+    pub fn file(&self) -> &QualityFile {
+        &self.file
+    }
+
+    /// Number of band switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.tracker.switches()
+    }
+
+    /// Feeds an attribute sample and returns the rule to use now.
+    pub fn observe(&mut self, value: f64) -> &QualityRule {
+        let established = self.tracker.band().is_none();
+        let (band, switched) = self.tracker.observe(&self.file, value);
+        if established || switched.is_some() {
+            self.band_gauge.set(band as i64);
+        }
+        match switched {
+            Some(SwitchDirection::Degrade) => self.degrades.inc(),
+            Some(SwitchDirection::Upgrade) => self.upgrades.inc(),
+            None => {}
+        }
+        &self.file.rules[band]
     }
 
     /// The currently selected rule without feeding a sample.
     pub fn current(&self) -> Option<&QualityRule> {
-        self.current.map(|i| &self.file.rules[i])
+        self.tracker.band().map(|i| &self.file.rules[i])
     }
 
     /// Index of the currently selected band (what the `qos.band` gauge
     /// mirrors), or `None` before the first sample.
     pub fn band(&self) -> Option<usize> {
-        self.current
+        self.tracker.band()
     }
 }
 

@@ -1,0 +1,577 @@
+//! Fleet-scale QoS: per-client quality state for tens of thousands of
+//! concurrent clients.
+//!
+//! The paper's continuous quality management runs as one
+//! [`QualityManager`](crate::QualityManager) per *connection* — fine
+//! for a handful of stubs, a bottleneck for a c10k reactor. [`FleetQos`]
+//! is the server-side fleet view: a sharded, lock-striped table of
+//! per-client estimator + band-hysteresis state, keyed by an opaque
+//! client id (the `X-Qos-Client` header, falling back to the
+//! `X-Request-Id` origin), LRU-evicted per shard so an unbounded client
+//! population fits in bounded memory.
+//!
+//! Every shard is an independent mutex over a slab-backed intrusive LRU
+//! list — the same striping idea as the telemetry counter shards, so
+//! two reactor threads observing different clients almost never touch
+//! the same lock. All clients share one parsed
+//! [`QualityFile`](crate::QualityFile); per-client state is just the
+//! EWMA estimator and a [`BandTracker`] (a few dozen bytes).
+//!
+//! The table feeds two consumers:
+//! * **payload reduction** — `soap-binq`'s server reduces each response
+//!   against the *caller's* band, not a connection-global one;
+//! * **admission control** — under overload the server sheds worst-band
+//!   traffic (HTTP 503 + `Retry-After`) and degrades the rest one band,
+//!   recorded here in `qos.fleet.shed` / `qos.fleet.degraded`.
+//!
+//! Telemetry (all under `qos.fleet.`): `clients` and per-band
+//! `band.<i>` gauges, `evictions`, `shed`, `degraded`, and aggregate
+//! `band_switch.{degrade,upgrade}` counters.
+
+use crate::estimator::RttEstimator;
+use crate::file::{BandTracker, QualityFile, QualityRule, SwitchDirection, SwitchPolicy};
+use sbq_telemetry::{Counter, Gauge, Registry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const NIL: usize = usize::MAX;
+
+/// Sharded per-client quality table with LRU eviction.
+#[derive(Debug)]
+pub struct FleetQos {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+    file: QualityFile,
+    policy: SwitchPolicy,
+    per_shard_cap: usize,
+    /// In-flight jobs noted by the admission layer (see
+    /// [`FleetQos::note_load`]); read by the shed policy.
+    inflight: AtomicUsize,
+    metrics: FleetMetrics,
+}
+
+#[derive(Debug)]
+struct FleetMetrics {
+    clients: Gauge,
+    evictions: Counter,
+    shed: Counter,
+    degraded: Counter,
+    degrades: Counter,
+    upgrades: Counter,
+    /// One gauge per quality band: how many tracked clients sit there.
+    band_clients: Vec<Gauge>,
+}
+
+impl FleetMetrics {
+    fn disabled(bands: usize) -> FleetMetrics {
+        FleetMetrics {
+            clients: Gauge::disabled(),
+            evictions: Counter::disabled(),
+            shed: Counter::disabled(),
+            degraded: Counter::disabled(),
+            degrades: Counter::disabled(),
+            upgrades: Counter::disabled(),
+            band_clients: (0..bands).map(|_| Gauge::disabled()).collect(),
+        }
+    }
+
+    fn resolve(registry: &Registry, bands: usize) -> FleetMetrics {
+        FleetMetrics {
+            clients: registry.gauge("qos.fleet.clients"),
+            evictions: registry.counter("qos.fleet.evictions"),
+            shed: registry.counter("qos.fleet.shed"),
+            degraded: registry.counter("qos.fleet.degraded"),
+            degrades: registry.counter("qos.fleet.band_switch.degrade"),
+            upgrades: registry.counter("qos.fleet.band_switch.upgrade"),
+            band_clients: (0..bands)
+                .map(|i| registry.gauge(&format!("qos.fleet.band.{i}")))
+                .collect(),
+        }
+    }
+}
+
+/// Per-client state: a few dozen bytes, deliberately — the whole point
+/// is that tens of thousands of these fit in one table.
+#[derive(Debug, Clone)]
+struct ClientEntry {
+    estimator: RttEstimator,
+    tracker: BandTracker,
+}
+
+#[derive(Debug)]
+struct Slot {
+    key: u64,
+    prev: usize,
+    next: usize,
+    entry: ClientEntry,
+}
+
+/// One lock stripe: hash map for lookup plus a slab-backed intrusive
+/// doubly-linked list in recency order (head = most recent).
+#[derive(Debug)]
+struct Shard {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+}
+
+impl FleetQos {
+    /// A fleet table over a quality file with the default geometry:
+    /// 16 shards × 4096 clients and the default [`SwitchPolicy`].
+    pub fn new(file: QualityFile) -> FleetQos {
+        let bands = file.rules.len();
+        FleetQos {
+            shards: (0..16).map(|_| Mutex::new(Shard::new())).collect(),
+            mask: 15,
+            file,
+            policy: SwitchPolicy::default(),
+            per_shard_cap: 4096,
+            inflight: AtomicUsize::new(0),
+            metrics: FleetMetrics::disabled(bands),
+        }
+    }
+
+    /// Sets the shard count (rounded up to a power of two, min 1) —
+    /// builder style. More shards mean less lock contention between
+    /// reactor threads observing different clients.
+    pub fn shards(mut self, n: usize) -> FleetQos {
+        let n = n.max(1).next_power_of_two();
+        self.shards = (0..n).map(|_| Mutex::new(Shard::new())).collect();
+        self.mask = (n - 1) as u64;
+        self
+    }
+
+    /// Caps the total tracked-client population (split evenly across
+    /// shards, min 1 each); the least-recently-observed client in a
+    /// full shard is evicted to make room — builder style.
+    pub fn capacity(mut self, total: usize) -> FleetQos {
+        self.per_shard_cap = (total / self.shards.len()).max(1);
+        self
+    }
+
+    /// Sets the per-client band switch policy — builder style.
+    pub fn policy(mut self, policy: SwitchPolicy) -> FleetQos {
+        self.policy = policy;
+        self
+    }
+
+    /// Routes fleet metrics into `registry` (builder style): the
+    /// `qos.fleet.{clients,evictions,shed,degraded}` family, aggregate
+    /// `qos.fleet.band_switch.{degrade,upgrade}` counters, and one
+    /// `qos.fleet.band.<i>` population gauge per quality band.
+    pub fn telemetry(mut self, registry: &Registry) -> FleetQos {
+        self.metrics = FleetMetrics::resolve(registry, self.file.rules.len());
+        self
+    }
+
+    /// The shared quality file.
+    pub fn file(&self) -> &QualityFile {
+        &self.file
+    }
+
+    /// Number of quality bands.
+    pub fn bands(&self) -> usize {
+        self.file.rules.len()
+    }
+
+    /// The worst (highest-index, smallest-message) band.
+    pub fn worst_band(&self) -> usize {
+        self.file.rules.len() - 1
+    }
+
+    /// The quality rule for a band index.
+    pub fn rule(&self, band: usize) -> &QualityRule {
+        &self.file.rules[band.min(self.worst_band())]
+    }
+
+    fn hash(client: &str) -> u64 {
+        // FNV-1a: tiny, good enough for shard + map keys of short ids.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in client.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` on the client's entry (creating or LRU-reviving it),
+    /// applying band-population accounting around the call.
+    fn with_entry<R>(
+        &self,
+        client: &str,
+        f: impl FnOnce(&mut ClientEntry, &QualityFile) -> R,
+    ) -> R {
+        let key = FleetQos::hash(client);
+        let shard = &self.shards[(key & self.mask) as usize];
+        let mut s = shard.lock().unwrap();
+        let idx = match s.map.get(&key) {
+            Some(&idx) => {
+                s.touch(idx);
+                idx
+            }
+            None => {
+                if s.map.len() >= self.per_shard_cap {
+                    // Evict the least-recently-observed client.
+                    let victim = s.tail;
+                    let vkey = s.slots[victim].key;
+                    if let Some(band) = s.slots[victim].entry.tracker.band() {
+                        self.metrics.band_clients[band].dec();
+                    }
+                    s.unlink(victim);
+                    s.map.remove(&vkey);
+                    s.free.push(victim);
+                    self.metrics.evictions.inc();
+                    self.metrics.clients.dec();
+                }
+                let entry = ClientEntry {
+                    estimator: RttEstimator::new(),
+                    tracker: BandTracker::new(self.policy),
+                };
+                let idx = match s.free.pop() {
+                    Some(idx) => {
+                        s.slots[idx] = Slot {
+                            key,
+                            prev: NIL,
+                            next: NIL,
+                            entry,
+                        };
+                        idx
+                    }
+                    None => {
+                        s.slots.push(Slot {
+                            key,
+                            prev: NIL,
+                            next: NIL,
+                            entry,
+                        });
+                        s.slots.len() - 1
+                    }
+                };
+                s.map.insert(key, idx);
+                s.push_front(idx);
+                self.metrics.clients.inc();
+                idx
+            }
+        };
+        let before = s.slots[idx].entry.tracker.band();
+        let r = f(&mut s.slots[idx].entry, &self.file);
+        let after = s.slots[idx].entry.tracker.band();
+        if before != after {
+            if let Some(b) = before {
+                self.metrics.band_clients[b].dec();
+            }
+            if let Some(a) = after {
+                self.metrics.band_clients[a].inc();
+            }
+        }
+        r
+    }
+
+    /// Feeds a measured RTT sample for `client` through its EWMA and
+    /// band hysteresis; returns the client's band index.
+    pub fn observe_rtt(&self, client: &str, rtt: Duration) -> usize {
+        let (band, switched) = self.with_entry(client, |e, file| {
+            let ms = e.estimator.update(rtt).as_secs_f64() * 1e3;
+            e.tracker.observe(file, ms)
+        });
+        self.count_switch(switched);
+        band
+    }
+
+    /// Feeds a client-*reported* attribute value (the `X-Qos-Rtt`
+    /// header: "every time the RTT is estimated by the client, the
+    /// server is informed of the new value during the next request",
+    /// §IV-C.h); returns the client's band index.
+    pub fn observe_reported(&self, client: &str, value_ms: f64) -> usize {
+        let (band, switched) = self.with_entry(client, |e, file| e.tracker.observe(file, value_ms));
+        self.count_switch(switched);
+        band
+    }
+
+    fn count_switch(&self, switched: Option<SwitchDirection>) {
+        match switched {
+            Some(SwitchDirection::Degrade) => self.metrics.degrades.inc(),
+            Some(SwitchDirection::Upgrade) => self.metrics.upgrades.inc(),
+            None => {}
+        }
+    }
+
+    /// The client's current band, if it is tracked and has observed at
+    /// least one sample. Does not create an entry or refresh recency.
+    pub fn band_of(&self, client: &str) -> Option<usize> {
+        let key = FleetQos::hash(client);
+        let s = self.shards[(key & self.mask) as usize].lock().unwrap();
+        s.map
+            .get(&key)
+            .and_then(|&idx| s.slots[idx].entry.tracker.band())
+    }
+
+    /// Number of clients currently tracked.
+    pub fn clients(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Tracked-client count per band (index = band). Walks every shard;
+    /// for dashboards prefer the `qos.fleet.band.<i>` gauges.
+    pub fn band_population(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.bands()];
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            for &idx in s.map.values() {
+                if let Some(b) = s.slots[idx].entry.tracker.band() {
+                    counts[b] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Updates the in-flight-jobs load signal the shed policy reads
+    /// (`delta` of +1 at dispatch, −1 at completion).
+    pub fn note_load(&self, delta: isize) {
+        if delta >= 0 {
+            self.inflight.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.inflight
+                .fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the load signal with an absolute snapshot. The
+    /// admission layer mirrors the transport's in-flight job count here
+    /// on every admission decision, so response preparation running on a
+    /// pool thread can read the same overload signal the shed policy
+    /// saw. Use either this *or* [`FleetQos::note_load`] deltas per
+    /// deployment, not both.
+    pub fn set_load(&self, n: usize) {
+        self.inflight.store(n, Ordering::Relaxed);
+    }
+
+    /// The current in-flight-jobs load signal.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Records that a call was shed (503) by admission control.
+    pub fn note_shed(&self) {
+        self.metrics.shed.inc();
+    }
+
+    /// Records that a response was degraded one band by overload.
+    pub fn note_degraded(&self) {
+        self.metrics.degraded.inc();
+    }
+
+    /// Total evictions so far (reads the counter; zero when telemetry
+    /// is disabled).
+    pub fn evictions(&self) -> u64 {
+        self.metrics.evictions.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "\
+attribute rtt
+0 50 - full
+50 200 - half
+200 inf - min
+";
+
+    fn fleet() -> FleetQos {
+        FleetQos::new(QualityFile::parse(FILE).unwrap())
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn tracks_bands_per_client_independently() {
+        let f = fleet();
+        assert_eq!(f.observe_rtt("alice", ms(10)), 0);
+        assert_eq!(f.observe_rtt("bob", ms(500)), 2);
+        assert_eq!(f.band_of("alice"), Some(0));
+        assert_eq!(f.band_of("bob"), Some(2));
+        assert_eq!(f.band_of("nobody"), None);
+        assert_eq!(f.clients(), 2);
+        assert_eq!(f.band_population(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn per_client_hysteresis_matches_single_client_semantics() {
+        let f = fleet();
+        f.observe_rtt("c", ms(500)); // establish min
+                                     // EWMA smooths recovery and the tracker wants 3 confirmations:
+                                     // a single good sample must not climb back.
+        f.observe_reported("c", 10.0);
+        assert_eq!(f.band_of("c"), Some(2));
+        f.observe_reported("c", 10.0);
+        f.observe_reported("c", 10.0);
+        assert_eq!(f.band_of("c"), Some(0), "third confirmation upgrades");
+        // Degradation is immediate.
+        f.observe_reported("c", 1000.0);
+        assert_eq!(f.band_of("c"), Some(2));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_population() {
+        let reg = Registry::new();
+        let f = fleet().shards(2).capacity(8).telemetry(&reg);
+        for i in 0..100 {
+            f.observe_reported(&format!("client-{i}"), 10.0);
+        }
+        assert!(f.clients() <= 8, "population bounded: {}", f.clients());
+        assert_eq!(reg.gauge("qos.fleet.clients").get(), f.clients() as i64);
+        let evictions = reg.counter("qos.fleet.evictions").get();
+        assert_eq!(evictions, 100 - f.clients() as u64);
+        assert_eq!(f.evictions(), evictions);
+        // Band gauges account for evicted clients.
+        assert_eq!(
+            reg.gauge("qos.fleet.band.0").get(),
+            f.clients() as i64,
+            "all survivors in band 0"
+        );
+    }
+
+    #[test]
+    fn lru_keeps_recently_observed_clients() {
+        let f = fleet().shards(1).capacity(3);
+        f.observe_reported("a", 10.0);
+        f.observe_reported("b", 10.0);
+        f.observe_reported("c", 10.0);
+        f.observe_reported("a", 10.0); // refresh a: b is now LRU
+        f.observe_reported("d", 10.0); // evicts b
+        assert_eq!(f.band_of("a"), Some(0));
+        assert_eq!(f.band_of("b"), None, "LRU victim");
+        assert_eq!(f.band_of("c"), Some(0));
+        assert_eq!(f.band_of("d"), Some(0));
+    }
+
+    #[test]
+    fn eviction_forgets_history() {
+        // A re-admitted client starts fresh — stale congestion state
+        // must not outlive the entry.
+        let f = fleet().shards(1).capacity(1);
+        f.observe_reported("x", 1000.0);
+        assert_eq!(f.band_of("x"), Some(2));
+        f.observe_reported("y", 10.0); // evicts x
+        assert_eq!(f.observe_reported("x", 10.0), 0, "fresh entry");
+    }
+
+    #[test]
+    fn fleet_telemetry_counts_switches_and_admission_events() {
+        let reg = Registry::new();
+        let f = fleet().telemetry(&reg);
+        f.observe_reported("c", 10.0); // establish: not a switch
+        f.observe_reported("c", 1000.0); // degrade
+        for _ in 0..3 {
+            f.observe_reported("c", 10.0);
+        }
+        assert_eq!(reg.counter("qos.fleet.band_switch.degrade").get(), 1);
+        assert_eq!(reg.counter("qos.fleet.band_switch.upgrade").get(), 1);
+        f.note_shed();
+        f.note_degraded();
+        f.note_degraded();
+        assert_eq!(reg.counter("qos.fleet.shed").get(), 1);
+        assert_eq!(reg.counter("qos.fleet.degraded").get(), 2);
+        // Band gauges follow the switches.
+        assert_eq!(reg.gauge("qos.fleet.band.0").get(), 1);
+        assert_eq!(reg.gauge("qos.fleet.band.2").get(), 0);
+    }
+
+    #[test]
+    fn load_signal_round_trips() {
+        let f = fleet();
+        f.note_load(5);
+        f.note_load(-2);
+        assert_eq!(f.inflight(), 3);
+    }
+
+    #[test]
+    fn shards_spread_clients() {
+        let f = fleet().shards(8).capacity(8 * 4096);
+        for i in 0..1000 {
+            f.observe_reported(&format!("client-{i}"), 10.0);
+        }
+        assert_eq!(f.clients(), 1000);
+        // Every shard holds a reasonable share (FNV spreads short ids).
+        for shard in &f.shards {
+            let n = shard.lock().unwrap().map.len();
+            assert!((50..300).contains(&n), "shard holds {n}");
+        }
+    }
+
+    #[test]
+    fn concurrent_observation_is_safe() {
+        use std::sync::Arc;
+        let f = Arc::new(fleet().shards(4).capacity(1024));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    f.observe_rtt(&format!("t{t}-c{}", i % 100), ms(10 + (i % 300) as u64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.clients(), 400);
+    }
+}

@@ -31,6 +31,7 @@ pub struct JacobsonEstimator {
     h: f64,
     k: f64,
     samples: u64,
+    discarded: u64,
 }
 
 impl JacobsonEstimator {
@@ -43,6 +44,7 @@ impl JacobsonEstimator {
             h: 0.25,
             k: 4.0,
             samples: 0,
+            discarded: 0,
         }
     }
 
@@ -58,6 +60,7 @@ impl JacobsonEstimator {
             h,
             k,
             samples: 0,
+            discarded: 0,
         }
     }
 
@@ -79,9 +82,18 @@ impl JacobsonEstimator {
         self.samples += 1;
     }
 
-    /// Feeds a sample compensated for server preparation time.
+    /// Feeds a sample compensated for server preparation time. When the
+    /// reported server time exceeds the measured RTT (clock skew, or a
+    /// coarse server timer rounding up) the sample is discarded rather
+    /// than clamped to zero — a 0 sample would collapse SRTT *and*
+    /// inflate RTTVAR off a measurement that never happened. Discards
+    /// are counted in [`JacobsonEstimator::discarded`].
     pub fn update_compensated(&mut self, sample: Duration, server_time: Duration) {
-        self.update(sample.saturating_sub(server_time));
+        if server_time > sample {
+            self.discarded += 1;
+            return;
+        }
+        self.update(sample - server_time);
     }
 
     /// Smoothed RTT.
@@ -109,6 +121,12 @@ impl JacobsonEstimator {
     /// Samples observed.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Samples [`JacobsonEstimator::update_compensated`] rejected
+    /// because the reported server time exceeded the measured RTT.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
     }
 }
 
@@ -176,8 +194,20 @@ mod tests {
         let mut e = JacobsonEstimator::new();
         e.update_compensated(ms(150), ms(100));
         assert_eq!(e.srtt().unwrap(), ms(50));
-        e.update_compensated(ms(20), ms(100)); // clamps at zero
-        assert!(e.srtt().unwrap() < ms(50));
+    }
+
+    #[test]
+    fn skewed_server_time_discards_sample() {
+        // Regression: server_time > sample used to clamp to a 0 sample,
+        // collapsing SRTT and inflating RTTVAR off pure clock skew.
+        let mut e = JacobsonEstimator::new();
+        e.update_compensated(ms(150), ms(100));
+        let (srtt, var) = (e.srtt().unwrap(), e.rttvar());
+        e.update_compensated(ms(20), ms(100));
+        assert_eq!(e.srtt().unwrap(), srtt, "SRTT must not move");
+        assert_eq!(e.rttvar(), var, "RTTVAR must not move");
+        assert_eq!(e.samples(), 1);
+        assert_eq!(e.discarded(), 1);
     }
 
     #[test]

@@ -25,13 +25,18 @@
 pub mod attributes;
 pub mod estimator;
 pub mod file;
+pub mod fleet;
 pub mod handler;
 pub mod jacobson;
 pub mod manager;
 
 pub use attributes::QualityAttributes;
 pub use estimator::RttEstimator;
-pub use file::{BandSelector, QosParseError, QualityFile, QualityRule, SwitchPolicy};
+pub use file::{
+    BandSelector, BandTracker, QosParseError, QualityFile, QualityRule, SwitchDirection,
+    SwitchPolicy,
+};
+pub use fleet::FleetQos;
 pub use handler::{HandlerRegistry, QualityHandler};
 pub use jacobson::JacobsonEstimator;
 pub use manager::{PreparedMessage, QualityManager, RttEstimatorKind};

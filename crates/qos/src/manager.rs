@@ -190,9 +190,20 @@ impl QualityManager {
 
     /// Feeds a measured round-trip time (compensating for server
     /// preparation time) and refreshes the monitored attribute.
+    ///
+    /// A reported server time exceeding the measured RTT can only come
+    /// from clock skew; the sample is discarded like a Karn-suppressed
+    /// retry (counted in [`QualityManager::suppressed_samples`] and
+    /// `qos.karn_suppressed`) — recording a skew-clamped 0 µs into the
+    /// histogram and estimators would drag the estimate toward zero and
+    /// spuriously upgrade the band.
     pub fn observe_rtt(&mut self, rtt: Duration, server_time: Duration) {
-        self.rtt_hist
-            .record(rtt.saturating_sub(server_time).as_micros() as u64);
+        if server_time > rtt {
+            self.suppressed += 1;
+            self.karn.inc();
+            return;
+        }
+        self.rtt_hist.record((rtt - server_time).as_micros() as u64);
         self.estimator.update_compensated(rtt, server_time);
         let value = self
             .driving
@@ -246,6 +257,21 @@ impl QualityManager {
     /// reduced message type, or passes the value through unchanged.
     pub fn prepare(&mut self, full: &Value) -> PreparedMessage {
         let rule = self.select().clone();
+        let band = self.selector.band();
+        self.apply_rule(&rule, band, full)
+    }
+
+    /// Applies an externally selected quality rule, bypassing this
+    /// manager's own band selector — how the fleet layer reduces a
+    /// response against a *per-client* band while sharing one manager's
+    /// handlers and message-type definitions. `band` only annotates the
+    /// trace span.
+    pub fn apply_rule(
+        &self,
+        rule: &QualityRule,
+        band: Option<usize>,
+        full: &Value,
+    ) -> PreparedMessage {
         // Annotate the enclosing request trace (if any) with what quality
         // management decided: the active band, the selected message type,
         // and which reduction path ran.
@@ -253,7 +279,7 @@ impl QualityManager {
             Some(parent) => self.tracer.child_span("qos.prepare", &parent),
             None => TraceSpan::disabled(),
         };
-        if let Some(band) = self.selector.band() {
+        if let Some(band) = band {
             tspan.add_tag_u64("band", band as u64);
         }
         tspan.add_tag("mt", &rule.message_type);
@@ -271,7 +297,7 @@ impl QualityManager {
         };
         PreparedMessage {
             value,
-            message_type: rule.message_type,
+            message_type: rule.message_type.clone(),
         }
     }
 
@@ -338,6 +364,52 @@ attribute rtt
         assert_eq!(m.estimator().samples(), 1);
         assert_eq!(m.estimator().estimate_ms(), estimate);
         assert_eq!(m.suppressed_samples(), 2);
+    }
+
+    #[test]
+    fn skewed_server_time_is_suppressed_not_recorded() {
+        // Regression: server_time > rtt used to record a clamped 0 µs
+        // sample into the histogram and estimators, dragging the
+        // estimate toward zero and spuriously upgrading the band.
+        let reg = Registry::new();
+        let mut m = manager().telemetry(&reg);
+        for _ in 0..5 {
+            m.observe_rtt(Duration::from_millis(400), Duration::ZERO);
+        }
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_small");
+        let estimate = m.estimator().estimate_ms();
+        let count = reg.histogram("qos.rtt_us").snapshot().count;
+        // Coarse server clock claims 1 s of prep on a 2 ms call.
+        for _ in 0..20 {
+            m.observe_rtt(Duration::from_millis(2), Duration::from_secs(1));
+        }
+        assert_eq!(m.estimator().estimate_ms(), estimate, "estimate frozen");
+        assert_eq!(m.estimator().samples(), 5);
+        assert_eq!(m.suppressed_samples(), 20, "counted like Karn");
+        assert_eq!(reg.counter("qos.karn_suppressed").get(), 20);
+        assert_eq!(
+            reg.histogram("qos.rtt_us").snapshot().count,
+            count,
+            "no skewed sample reaches the histogram"
+        );
+        // Band selection still sees congestion, not a phantom upgrade.
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_small");
+    }
+
+    #[test]
+    fn apply_rule_bypasses_the_selector() {
+        // The fleet layer picks the band per client; apply_rule must
+        // reduce against the given rule even when this manager's own
+        // selector would choose differently.
+        let mut m = manager();
+        m.observe_rtt(Duration::from_millis(5), Duration::ZERO); // healthy
+        let file = QualityFile::parse(FILE).unwrap();
+        let small = file.rules[1].clone();
+        let p = m.apply_rule(&small, Some(1), &full_value());
+        assert_eq!(p.message_type, "reading_small");
+        assert!(p.value.native_size() < full_value().native_size());
+        // The manager's own view is unchanged.
+        assert_eq!(m.prepare(&full_value()).message_type, "reading_full");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use sbq_imaging::{image_quality_file, install_resize_handlers};
 use sbq_mdsim::md_quality_file;
-use sbq_netsim::{CrossTraffic, LinkSpec, SimLink};
-use sbq_qos::QualityManager;
+use sbq_netsim::{ClientProfile, CrossTraffic, FleetScenario, LinkSpec, SimLink};
+use sbq_qos::{FleetQos, QualityFile, QualityManager};
 use std::time::Duration;
 
 const FULL_IMG: usize = 640 * 480 * 3;
@@ -178,4 +178,67 @@ fn no_oscillation_at_band_boundary() {
         last = Some(mt);
     }
     assert!(switches <= 2, "oscillated {switches} times");
+}
+
+/// Fleet property: clients with identical link conditions converge to
+/// the *same* band at every phase of a flash crowd, and each client's
+/// total band-switch count over the whole cycle is bounded — the
+/// per-client hysteresis prevents herd oscillation even when thousands
+/// of identical trackers see the same congestion epoch.
+#[test]
+fn identical_clients_converge_to_one_band_with_bounded_switches() {
+    const N: usize = 64;
+    let file =
+        QualityFile::parse("attribute rtt\n0 100 - full\n100 250 - half\n250 inf - min\n").unwrap();
+    let fleet = FleetQos::new(file);
+    // One uniform population: every client is the same WAN profile over
+    // the same flash-crowd backbone (seeds differ only in ±5 % jitter).
+    let cross = CrossTraffic::flash_crowd(
+        Duration::from_secs(2),
+        Duration::from_secs(3),
+        Duration::from_secs(5),
+        Duration::from_secs(3),
+        1.0,
+    );
+    let mut scenario = FleetScenario::new(cross).with_clients(N, ClientProfile::Wan, 11);
+
+    let mut last = vec![usize::MAX; N];
+    let mut switches = vec![0usize; N];
+    let mut at_peak: Vec<usize> = Vec::new();
+    while scenario.now() < Duration::from_secs(18) {
+        for i in 0..N {
+            let rtt = scenario.sample_rtt(i, 400, 20_000, Duration::from_micros(200));
+            let band = fleet.observe_reported(&format!("c{i}"), rtt.as_secs_f64() * 1e3);
+            if last[i] != usize::MAX && last[i] != band {
+                switches[i] += 1;
+            }
+            last[i] = band;
+        }
+        // Mid-hold (peak runs 5 s..10 s of virtual time): snapshot the
+        // fleet's view of the congested steady state.
+        if scenario.now() == Duration::from_secs(9) {
+            at_peak = last.clone();
+        }
+        scenario.advance(Duration::from_millis(250));
+    }
+
+    let worst = fleet.worst_band();
+    assert!(
+        at_peak.iter().all(|&b| b == worst),
+        "not all clients degraded to band {worst} at peak: {at_peak:?}"
+    );
+    assert!(
+        last.iter().all(|&b| b == 0),
+        "not all clients recovered to band 0: {last:?}"
+    );
+    let pop = fleet.band_population();
+    assert_eq!(pop[0], N, "band population after recovery: {pop:?}");
+    // A full cycle is at most full→half→min→half→full (4 switches); a
+    // jitter straggler may take a couple extra, but nobody flaps.
+    for (i, &s) in switches.iter().enumerate() {
+        assert!(
+            (2..=6).contains(&s),
+            "client {i} switched {s} times: {switches:?}"
+        );
+    }
 }
