@@ -1,0 +1,318 @@
+//! Runtime health benchmark: the loop-lag watchdog, SLO burn rates, and
+//! trace exemplars exercised through the real reactor, self-checked over
+//! the live endpoints.
+//!
+//! Four phases against one event-driven server:
+//!
+//! 1. **Baseline** — a request train over loopback; near its end a
+//!    [`FaultSchedule::stall_event_loop`] freezes the reactor thread for
+//!    400 ms. The watchdog must latch `reactor.stalled`, count exactly
+//!    one episode in `reactor.stalls`, clear on the next on-time beat,
+//!    and leave `reactor.stall` / `reactor.recovered` entries in the
+//!    `/statusz` slowlog.
+//! 2. **Exemplars** — the stalled request dominates the
+//!    `http.request_us` tail, so the `/metrics` exposition's `_max` line
+//!    must carry a trace-id exemplar that resolves to a span in the live
+//!    `/trace.json` export.
+//! 3. **Overload** — the handler starts failing every other call; the
+//!    availability burn must push `/statusz` to 503 / `"ready":false`.
+//! 4. **Recovery** — the handler heals and a flood of good calls dilutes
+//!    both burn windows until `/statusz` reads 200 / `"ready":true`.
+//!
+//! Any failed check exits nonzero. Loop-lag p50/p99, the request-latency
+//! histogram, peak RSS, and the recovery cost go to `BENCH_health.json`.
+//!
+//! ```sh
+//! cargo run --release -p sbq-bench --bin health [-- --short]
+//! ```
+//!
+//! `--short` (or `BENCH_SHORT=1`) shrinks the request trains for CI.
+
+use sbq_bench::{fmt_dur, header};
+use sbq_http::{FaultSchedule, HttpClient, HttpServer, Request, Response, ServerConfig};
+use sbq_telemetry::{expo, HealthConfig, Registry, SloConfig, TraceConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const STALL: Duration = Duration::from_millis(400);
+
+/// Counter/gauge lookup in a parsed `/metrics` exposition.
+fn sample_value(samples: &[expo::Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.quantile.is_none())
+        .map(|s| s.value)
+        .unwrap_or(0.0)
+}
+
+fn metrics_samples(c: &mut HttpClient) -> Vec<expo::Sample> {
+    let resp = c.send(Request::get("/metrics")).expect("GET /metrics");
+    assert_eq!(resp.status, 200, "/metrics status");
+    let text = String::from_utf8(resp.body).expect("metrics utf-8");
+    expo::parse_text(&text).unwrap_or_else(|e| {
+        eprintln!("malformed /metrics exposition: {e}\n---\n{text}");
+        std::process::exit(1);
+    })
+}
+
+/// `GET /statusz`: returns `(status, body)` after validating the JSON.
+fn statusz(c: &mut HttpClient) -> (u16, String) {
+    let resp = c.send(Request::get("/statusz")).expect("GET /statusz");
+    let body = String::from_utf8(resp.body).expect("statusz utf-8");
+    if let Err(e) = expo::validate_json(&body) {
+        eprintln!("malformed /statusz document: {e}\n---\n{body}");
+        std::process::exit(1);
+    }
+    (resp.status, body)
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short") || std::env::var("BENCH_SHORT").is_ok();
+    let baseline_n: usize = if short { 200 } else { 1000 };
+
+    let reg = Registry::new();
+    // The exemplar self-check resolves a trace id recorded during the
+    // baseline against the flight recorder *after* the later phases have
+    // also traced; size the ring so the whole run fits.
+    reg.set_trace_config(TraceConfig::new().capacity(64 * 1024));
+
+    // `failing` flips the handler into its overload persona: every other
+    // call answers 500, torching the availability budget.
+    let failing = Arc::new(AtomicBool::new(false));
+    let calls = Arc::new(AtomicU64::new(0));
+    let (f, n) = (Arc::clone(&failing), Arc::clone(&calls));
+    let config = ServerConfig::default()
+        .worker_threads(2)
+        .telemetry(reg.clone())
+        .health(
+            HealthConfig::new()
+                // 99.9% availability, red at 10x burn: an error rate
+                // past 1% in both the 1m and 5m windows turns /statusz
+                // unready; a flood of good calls dilutes it back.
+                .slo(SloConfig::new().availability_target(0.999).red_burn(10.0))
+                .loop_lag_budget(Duration::from_millis(100))
+                .heartbeat_period(Duration::from_millis(25))
+                .proc_sample_interval(Duration::from_millis(200)),
+        )
+        // The one fault the non-blocking design forbids by construction,
+        // injected deliberately near the end of the baseline train.
+        .faults(FaultSchedule::new().stall_event_loop(baseline_n as u64 - 20, STALL));
+    let handle = HttpServer::bind_with("127.0.0.1:0".parse().unwrap(), config, move |req| {
+        if f.load(Ordering::Relaxed) && n.fetch_add(1, Ordering::Relaxed) % 2 == 0 {
+            Response::with_status(
+                500,
+                "Internal Server Error",
+                "text/plain",
+                b"induced".to_vec(),
+            )
+        } else {
+            Response::ok("text/plain", req.body.clone())
+        }
+    })
+    .expect("bind health bench server");
+    let addr = handle.addr();
+    let mut failures: Vec<String> = Vec::new();
+
+    header("runtime health", &["phase", "result"]);
+
+    // Phase 1: baseline train with the induced stall.
+    let call_us = reg.histogram("bench.health.call_us");
+    let mut c = HttpClient::connect(addr).expect("connect");
+    let t0 = Instant::now();
+    for i in 0..baseline_n {
+        let t = Instant::now();
+        let resp = c
+            .post("/echo", "text/plain", format!("ping {i}").into_bytes())
+            .expect("baseline call");
+        assert_eq!(resp.status, 200, "baseline call status");
+        call_us.record(t.elapsed().as_micros() as u64);
+    }
+    let baseline = t0.elapsed();
+
+    // The heartbeat due during the freeze fires late; give the watchdog
+    // a couple of beats to latch, count, and clear.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    let mut m = metrics_samples(&mut c);
+    while sample_value(&m, "reactor_stalls") < 1.0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        m = metrics_samples(&mut c);
+    }
+    while sample_value(&m, "reactor_stalled") != 0.0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        m = metrics_samples(&mut c);
+    }
+    let stalls = sample_value(&m, "reactor_stalls");
+    if stalls != 1.0 {
+        failures.push(format!("watchdog counted {stalls} stall episodes, want 1"));
+    }
+    if sample_value(&m, "reactor_stalled") != 0.0 {
+        failures.push("reactor.stalled latch never cleared".into());
+    }
+    let (code, body) = statusz(&mut c);
+    if code != 200 {
+        failures.push(format!("/statusz {code} after stall recovery, want 200"));
+    }
+    for kind in ["reactor.stall", "reactor.recovered"] {
+        if !body.contains(&format!("\"kind\":\"{kind}\"")) {
+            failures.push(format!("/statusz slowlog is missing a {kind} entry"));
+        }
+    }
+    let lag = reg.histogram("reactor.loop_lag_us").snapshot();
+    if lag.quantile(0.99) < 100_000 {
+        failures.push(format!(
+            "loop-lag p99 {}us does not reflect the {STALL:?} stall",
+            lag.quantile(0.99)
+        ));
+    }
+    println!(
+        "{:>9} | {} calls in {}, stall latched once, lag p50 {} p99 {}",
+        "watchdog",
+        baseline_n,
+        fmt_dur(baseline),
+        fmt_dur(Duration::from_micros(lag.quantile(0.5))),
+        fmt_dur(Duration::from_micros(lag.quantile(0.99))),
+    );
+
+    // Phase 2: the stalled request owns the request-latency tail; its
+    // exemplar must link /metrics to /trace.json.
+    let exemplar = m
+        .iter()
+        .find(|s| s.name == "http_request_us_max")
+        .and_then(|s| s.exemplar.clone());
+    let mut exemplar_trace = String::new();
+    match exemplar {
+        None => failures.push("http_request_us_max carries no trace-id exemplar".into()),
+        Some((hex, value)) => {
+            let resp = c
+                .send(Request::get("/trace.json"))
+                .expect("GET /trace.json");
+            let json = String::from_utf8(resp.body).expect("trace utf-8");
+            if let Err(e) = expo::validate_json(&json) {
+                eprintln!("malformed /trace.json export: {e}");
+                std::process::exit(1);
+            }
+            if json.contains(&format!("\"trace\":\"{hex}\"")) {
+                println!(
+                    "{:>9} | tail {} tagged trace {}..., resolved in /trace.json",
+                    "exemplars",
+                    fmt_dur(Duration::from_micros(value as u64)),
+                    &hex[..8],
+                );
+            } else {
+                failures.push(format!("exemplar trace {hex} not found in /trace.json"));
+            }
+            exemplar_trace = hex;
+        }
+    }
+
+    // Phase 3: overload — every other call fails until the burn is red.
+    failing.store(true, Ordering::Relaxed);
+    let overload_n = 60;
+    let mut bad = 0u64;
+    for i in 0..overload_n {
+        let resp = c
+            .post("/echo", "text/plain", format!("over {i}").into_bytes())
+            .expect("overload call");
+        if resp.status == 500 {
+            bad += 1;
+        }
+    }
+    let (code, body) = statusz(&mut c);
+    if code != 503 || !body.contains("\"ready\":false") {
+        failures.push(format!(
+            "/statusz stayed {code} under a {bad}/{overload_n}-failure burn, want 503/unready"
+        ));
+    } else {
+        println!(
+            "{:>9} | {bad}/{overload_n} calls failed, /statusz 503 (burn red)",
+            "overload"
+        );
+    }
+
+    // Phase 4: recovery — good calls dilute the windows back under the
+    // redline (bad/total must fall below budget x red_burn = 1%).
+    failing.store(false, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let mut recovery_calls = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut ready = false;
+    while !ready {
+        if Instant::now() > deadline {
+            failures.push(format!(
+                "/statusz still unready after {recovery_calls} recovery calls"
+            ));
+            break;
+        }
+        for _ in 0..200 {
+            let resp = c
+                .post("/echo", "text/plain", b"heal".to_vec())
+                .expect("recovery call");
+            assert_eq!(resp.status, 200, "recovery call status");
+            recovery_calls += 1;
+        }
+        let (code, body) = statusz(&mut c);
+        ready = code == 200 && body.contains("\"ready\":true");
+    }
+    let recovery = t0.elapsed();
+    if ready {
+        println!(
+            "{:>9} | ready again after {recovery_calls} good calls ({})",
+            "recovery",
+            fmt_dur(recovery),
+        );
+    }
+
+    // Let the reactor idle for a few beats so the lag histogram also
+    // records on-time heartbeats (the p50 should be the quiet loop, not
+    // the stall) and the proc sampler ticks at least twice more.
+    std::thread::sleep(Duration::from_millis(600));
+    let lag = reg.histogram("reactor.loop_lag_us").snapshot();
+
+    // Resource accounting: the sampler thread must have populated the
+    // proc gauges by now (200 ms interval).
+    let m = metrics_samples(&mut c);
+    let peak_rss = sample_value(&m, "proc_peak_rss_bytes");
+    let open_fds = sample_value(&m, "proc_open_fds");
+    if peak_rss <= 0.0 {
+        failures.push("proc.peak_rss_bytes never sampled".into());
+    }
+    if open_fds <= 0.0 {
+        failures.push("proc.open_fds never sampled".into());
+    }
+    println!(
+        "{:>9} | peak RSS {:.1} MiB, {open_fds} open fds",
+        "proc",
+        peak_rss / (1024.0 * 1024.0),
+    );
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("self-check failed: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\"bench\":\"health\",\"short\":{short},\"unit\":\"us\",\
+         \"baseline_calls\":{baseline_n},\
+         \"loop_lag_us\":{},\"call_us\":{},\"request_us\":{},\
+         \"stalls\":{},\"exemplar_trace\":\"{exemplar_trace}\",\
+         \"overload_failures\":{bad},\"recovery_calls\":{recovery_calls},\
+         \"recovery_ms\":{},\"peak_rss_bytes\":{},\"open_fds\":{}}}",
+        expo::histogram_json(&lag),
+        expo::histogram_json(&call_us.snapshot()),
+        expo::histogram_json(&reg.histogram("http.request_us").snapshot()),
+        stalls as u64,
+        recovery.as_millis(),
+        peak_rss as u64,
+        open_fds as u64,
+    );
+    std::fs::write("BENCH_health.json", format!("{json}\n")).expect("write bench json");
+    println!(
+        "\nwrote BENCH_health.json; loop-lag p50 {} p99 {}, peak RSS {:.1} MiB",
+        fmt_dur(Duration::from_micros(lag.quantile(0.5))),
+        fmt_dur(Duration::from_micros(lag.quantile(0.99))),
+        peak_rss / (1024.0 * 1024.0),
+    );
+}

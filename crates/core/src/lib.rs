@@ -61,7 +61,7 @@ pub use xml_handler::XmlHandler;
 // The full transport configuration and error surface, so downstream
 // binaries import everything from one crate.
 pub use sbq_http::{FaultAction, FaultSchedule, HttpError, Limits, ServerConfig, TimeoutKind};
-pub use sbq_telemetry::{Registry, TraceConfig, TraceContext};
+pub use sbq_telemetry::{HealthConfig, HealthMonitor, Registry, TraceConfig, TraceContext};
 
 /// Errors surfaced by SOAP-binQ calls, split by layer: transport problems
 /// and timeouts (usually retryable — see [`SoapError::is_retryable`]),

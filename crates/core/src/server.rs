@@ -42,6 +42,7 @@ use sbq_model::Value;
 pub struct AdmissionPolicy {
     overload_factor: f64,
     retry_after: Duration,
+    shed_on_red: bool,
 }
 
 impl Default for AdmissionPolicy {
@@ -49,6 +50,7 @@ impl Default for AdmissionPolicy {
         AdmissionPolicy {
             overload_factor: 2.0,
             retry_after: Duration::from_secs(1),
+            shed_on_red: false,
         }
     }
 }
@@ -72,6 +74,22 @@ impl AdmissionPolicy {
     pub fn retry_after(mut self, d: Duration) -> AdmissionPolicy {
         self.retry_after = d;
         self
+    }
+
+    /// Also treat a red SLO burn rate (or a latched reactor-stall
+    /// watchdog) as overload — builder style. The health signal comes
+    /// from the transport's runtime health monitor via
+    /// `ServerLoad::health`; instantaneous queue depth catches a burst,
+    /// burn rate catches the slow bleed a queue-depth threshold never
+    /// trips on.
+    pub fn shed_on_red(mut self) -> AdmissionPolicy {
+        self.shed_on_red = true;
+        self
+    }
+
+    /// Whether red-burn shedding is enabled.
+    pub fn sheds_on_red(&self) -> bool {
+        self.shed_on_red
     }
 
     /// Whether `inflight` jobs over a pool of `workers` is overload.
@@ -198,7 +216,9 @@ impl SoapServerBuilder {
             let policy = self.admission.clone();
             transport = transport.admission(move |req, load| {
                 fleet.set_load(load.inflight_jobs);
-                if !policy.overloaded(load.inflight_jobs, load.worker_threads) {
+                let unhealthy =
+                    policy.shed_on_red && load.health.is_some_and(|h| h.red || h.stalled);
+                if !policy.overloaded(load.inflight_jobs, load.worker_threads) && !unhealthy {
                     return Admission::Admit;
                 }
                 let idempotent = req.header("x-idempotent").is_some();
@@ -291,6 +311,13 @@ impl SoapServer {
     /// Connections accepted over the server's lifetime.
     pub fn connections(&self) -> u64 {
         self.handle.connections()
+    }
+
+    /// The transport's runtime health monitor (inert unless the
+    /// transport was bound with `ServerConfig::health` on an enabled
+    /// registry).
+    pub fn health(&self) -> Arc<sbq_telemetry::HealthMonitor> {
+        self.handle.health()
     }
 
     /// Connections currently being served or parked keep-alive.

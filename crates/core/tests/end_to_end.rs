@@ -547,3 +547,62 @@ fn overload_sheds_worst_band_and_degrades_the_rest() {
     assert!(reg.counter("http.admission.shed").get() >= 1);
     assert!(reg.counter("qos.fleet.degraded").get() >= 1);
 }
+
+#[test]
+fn red_burn_rate_sheds_even_without_queue_pressure() {
+    use sbq_qos::FleetQos;
+    use soap_binq::client::ClientConfig;
+    use soap_binq::{AdmissionPolicy, HealthConfig, Registry, ServerConfig, SoapError};
+
+    let svc = sensor_service();
+    let reg = Registry::new();
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Xml)
+        .unwrap()
+        .handle("read", |_| reading_value())
+        .with_fleet(FleetQos::new(quality_file()).telemetry(&reg))
+        // Queue depth alone can never trip this policy — only the
+        // health monitor's burn-rate signal can.
+        .admission_policy(
+            AdmissionPolicy::new()
+                .overload_factor(f64::INFINITY)
+                .retry_after(Duration::from_secs(3))
+                .shed_on_red(),
+        )
+        .transport(
+            ServerConfig::default()
+                .worker_threads(1)
+                .health(HealthConfig::new().without_proc_sampler())
+                .telemetry(reg.clone()),
+        )
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    let addr = server.addr();
+
+    // The server already knows "victim" sits in the worst band.
+    server.fleet().unwrap().observe_reported("victim", 1000.0);
+    let mut victim = SoapClient::connect_with(
+        addr,
+        &svc,
+        WireEncoding::Xml,
+        ClientConfig::new().client_id("victim"),
+    )
+    .unwrap();
+
+    // Healthy burn: even the worst band is admitted.
+    victim.call("read", Value::Int(0)).unwrap();
+
+    // Torch the availability budget in both short windows.
+    let health = server.health();
+    for _ in 0..200 {
+        health.observe_request(false, 10);
+    }
+    assert!(health.snapshot().red, "SLO burn should be red");
+
+    match victim.call("read", Value::Int(0)) {
+        Err(SoapError::Overloaded { retry_after }) => {
+            assert_eq!(retry_after, Duration::from_secs(3))
+        }
+        other => panic!("expected a red-burn shed, got {other:?}"),
+    }
+    assert!(reg.counter("http.admission.shed").get() >= 1);
+}

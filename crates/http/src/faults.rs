@@ -31,6 +31,7 @@ pub enum FaultAction {
 #[derive(Debug, Clone, Default)]
 pub struct FaultSchedule {
     entries: Vec<(u64, FaultAction)>,
+    stalls: Vec<(u64, Duration)>,
     read_cap: Option<usize>,
     write_cap: Option<usize>,
     interrupt_every: Option<u64>,
@@ -80,6 +81,16 @@ impl FaultSchedule {
         self
     }
 
+    /// Stalls the **event-loop thread** for `d` when the `request`-th
+    /// parsed request is dispatched — the one fault the non-blocking
+    /// design forbids by construction, injected deliberately so the
+    /// loop-lag watchdog has something real to catch. Every connection
+    /// freezes for the duration; responses are still delivered intact.
+    pub fn stall_event_loop(mut self, request: u64, d: Duration) -> FaultSchedule {
+        self.stalls.push((request, d));
+        self
+    }
+
     /// Whether any fault is scheduled. I/O shaping does not count: a
     /// shaped schedule with no entries still delivers every response.
     pub fn is_empty(&self) -> bool {
@@ -92,6 +103,14 @@ impl FaultSchedule {
             .iter()
             .find(|(i, _)| *i == request)
             .map(|(_, a)| *a)
+    }
+
+    /// The event-loop stall (if any) for request number `request`.
+    pub(crate) fn stall_for(&self, request: u64) -> Option<Duration> {
+        self.stalls
+            .iter()
+            .find(|(i, _)| *i == request)
+            .map(|(_, d)| *d)
     }
 
     /// Per-read byte cap from [`FaultSchedule::short_reads`], if any.
@@ -142,6 +161,14 @@ mod tests {
             assert_eq!(s.action_for(i), Some(FaultAction::CloseMidResponse));
         }
         assert_eq!(s.action_for(3), None);
+    }
+
+    #[test]
+    fn stall_fires_at_its_index_only() {
+        let s = FaultSchedule::new().stall_event_loop(2, Duration::from_millis(300));
+        assert_eq!(s.stall_for(0), None);
+        assert_eq!(s.stall_for(2), Some(Duration::from_millis(300)));
+        assert!(s.is_empty(), "a stall drops no responses");
     }
 
     #[test]

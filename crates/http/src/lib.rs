@@ -23,7 +23,10 @@
 //! The server is instrumented with `sbq-telemetry` (request/status
 //! counters, queue-wait and stage histograms) and exposes its registry
 //! over the reserved paths `GET /metrics` and `GET /metrics.json`; see
-//! [`ServerConfig::telemetry`].
+//! [`ServerConfig::telemetry`]. A built-in runtime health subsystem
+//! (reactor loop-lag watchdog, SLO burn rates, `/proc` resource
+//! accounting) serves `GET /healthz`, `GET /statusz`, and
+//! `GET /profile.json`; see [`ServerConfig::health`].
 
 pub mod body;
 pub mod faults;

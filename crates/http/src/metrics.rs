@@ -30,9 +30,14 @@ use sbq_telemetry::{Counter, Gauge, Histogram, Registry};
 /// | `http.read_ns`        | histogram | request parse time (first byte → parsed)   |
 /// | `http.write_ns`       | histogram | response write time                        |
 /// | `http.handler_ns`     | histogram | handler dispatch time                      |
+/// | `http.request_us`     | histogram | end-to-end latency (first byte → response ready); tail buckets carry trace-id exemplars |
 /// | `reactor.wakeups`     | counter   | event-loop unparks via the wake pipe       |
 /// | `reactor.events`      | counter   | readiness events delivered by `epoll_wait` |
 /// | `reactor.timeouts`    | counter   | deadline-wheel expirations acted on        |
+///
+/// The health subsystem adds `reactor.loop_lag_us` / `reactor.stalled` /
+/// `reactor.stalls` (watchdog), `proc.*` (resource accounting), and
+/// `slo.*` (burn rates) — see `sbq_telemetry::health`.
 pub(crate) struct HttpMetrics {
     get: Counter,
     post: Counter,
@@ -59,6 +64,7 @@ pub(crate) struct HttpMetrics {
     pub(crate) read: Histogram,
     pub(crate) write: Histogram,
     pub(crate) handler: Histogram,
+    pub(crate) request: Histogram,
 }
 
 impl HttpMetrics {
@@ -89,6 +95,7 @@ impl HttpMetrics {
             read: reg.histogram("http.read_ns"),
             write: reg.histogram("http.write_ns"),
             handler: reg.histogram("http.handler_ns"),
+            request: reg.histogram("http.request_us"),
         }
     }
 

@@ -26,7 +26,9 @@ use sbq_runtime::channel::{self, Receiver, Sender};
 use sbq_runtime::reactor::{Event, Interest, Token};
 use sbq_runtime::{BufferPool, CpuPool, DeadlineWheel, Reactor};
 use sbq_telemetry::trace;
-use sbq_telemetry::{Registry, Span, TraceContext, TraceSpan, Tracer};
+use sbq_telemetry::{
+    HealthConfig, HealthMonitor, HealthSnapshot, Registry, Span, TraceContext, TraceSpan, Tracer,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +38,12 @@ use std::time::{Duration, Instant};
 /// Token for the listening socket (connection tokens encode a slot index
 /// in the low 32 bits, so they can never collide with this in practice).
 const LISTENER_TOKEN: Token = Token(u64::MAX - 1);
+/// Token for the watchdog heartbeat timer on the deadline wheel. The
+/// event loop measures how late each heartbeat fires relative to its
+/// scheduled deadline — that lag *is* the reactor loop lag, because the
+/// only thing that can delay an armed wheel entry is the loop itself
+/// being busy (or blocked) between polls.
+const HEARTBEAT_TOKEN: Token = Token(u64::MAX - 2);
 /// Deadline-wheel resolution: coarse on purpose — connection timeouts are
 /// tens of milliseconds and up.
 const WHEEL_TICK: Duration = Duration::from_millis(25);
@@ -59,6 +67,11 @@ pub struct ServerLoad {
     pub worker_threads: usize,
     /// Connections currently registered with the reactor.
     pub open_conns: usize,
+    /// Current runtime health (SLO burn rates, watchdog latch), when the
+    /// server's telemetry is enabled — so an admission hook can shed on
+    /// burn rate, not just instantaneous queue depth. `None` with
+    /// telemetry disabled.
+    pub health: Option<HealthSnapshot>,
 }
 
 /// An admission decision for one parsed request.
@@ -107,6 +120,7 @@ pub struct ServerConfig {
     chunking: ChunkPolicy,
     pool: BufferPool,
     admission: Option<AdmissionHook>,
+    health: HealthConfig,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +140,7 @@ impl Default for ServerConfig {
             chunking: ChunkPolicy::disabled(),
             pool: BufferPool::global().clone(),
             admission: None,
+            health: HealthConfig::new(),
         }
     }
 }
@@ -255,6 +270,20 @@ impl ServerConfig {
         self
     }
 
+    /// Runtime health configuration: SLO targets, reactor loop-lag
+    /// budget, heartbeat period, `/proc` sampling. The health subsystem
+    /// (watchdog, `/healthz`, `/statusz`, burn-rate gauges) is active
+    /// whenever the telemetry registry is enabled; this tunes it.
+    pub fn health(mut self, health: HealthConfig) -> ServerConfig {
+        self.health = health;
+        self
+    }
+
+    /// The configured health settings.
+    pub fn health_config(&self) -> &HealthConfig {
+        &self.health
+    }
+
     /// Buffer pool request bodies are read into and recycled through.
     /// Defaults to the process-wide [`BufferPool::global`]; supply a
     /// dedicated pool to isolate (or observe) one server's traffic.
@@ -309,10 +338,14 @@ impl HttpServer {
                 .set_observer(sbq_telemetry::pool_observer(&config.telemetry));
         }
         let cpu_threads = config.worker_threads;
+        // The monitor is inert (no sampler thread, no SLO ring) when the
+        // registry is disabled; otherwise it starts watching immediately.
+        let health = Arc::new(HealthMonitor::new(config.health, &config.telemetry));
         let ctx = Arc::new(Ctx {
             handler: Box::new(handler),
             metrics,
             tracer,
+            health,
             config,
             stop: Arc::clone(&stop),
             requests: AtomicU64::new(0),
@@ -339,6 +372,7 @@ impl HttpServer {
             io_ops: 0,
             just_intr: false,
             stopping: false,
+            heartbeat_at: None,
         };
         let event_loop = std::thread::Builder::new()
             .name("sbq-http-reactor".to_string())
@@ -358,6 +392,7 @@ struct Ctx {
     handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
     metrics: HttpMetrics,
     tracer: Tracer,
+    health: Arc<HealthMonitor>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     requests: AtomicU64,
@@ -546,6 +581,9 @@ struct JobMeta {
     close_requested: bool,
     fault: Option<FaultAction>,
     dispatched: Instant,
+    /// First byte of the request — the start of the end-to-end latency
+    /// the SLO engine and `http.request_us` exemplars observe.
+    read_start: Instant,
     req_span: TraceSpan,
     sctx: TraceContext,
 }
@@ -640,12 +678,18 @@ struct EventLoop {
     io_ops: u64,
     just_intr: bool,
     stopping: bool,
+    /// When the armed watchdog heartbeat is due; lag is measured against
+    /// this at fire time.
+    heartbeat_at: Option<Instant>,
 }
 
 impl EventLoop {
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::with_capacity(256);
         let mut expired: Vec<(Token, u64)> = Vec::new();
+        if self.ctx.health.is_enabled() {
+            self.arm_heartbeat();
+        }
         loop {
             if self.ctx.stop.load(Ordering::SeqCst) && !self.stopping {
                 self.begin_shutdown();
@@ -861,7 +905,27 @@ impl EventLoop {
         }
     }
 
+    /// Arms (or re-arms) the watchdog heartbeat one period out.
+    fn arm_heartbeat(&mut self) {
+        let next = Instant::now() + self.ctx.health.config().heartbeat_period_value();
+        self.wheel.arm(HEARTBEAT_TOKEN, 0, next);
+        self.heartbeat_at = Some(next);
+    }
+
     fn on_deadline(&mut self, token: Token, tgen: u64) {
+        if token == HEARTBEAT_TOKEN {
+            // Scheduled-vs-actual fire time: anything past the wheel's
+            // own tick resolution is time the loop spent away from
+            // `poll` — a blocking handler run on this thread, a storm of
+            // ready events, or the process being descheduled.
+            let lag = self
+                .heartbeat_at
+                .map(|at| Instant::now().saturating_duration_since(at))
+                .unwrap_or_default();
+            self.ctx.health.heartbeat(lag);
+            self.arm_heartbeat();
+            return;
+        }
         let slot = token_slot(token);
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
             return;
@@ -1186,6 +1250,12 @@ impl EventLoop {
         let idx = ctx.requests.fetch_add(1, Ordering::SeqCst);
         ctx.metrics.read.record_duration(read_start.elapsed());
         let rid = request_id(&req, idx);
+        if let Some(d) = ctx.config.faults.stall_for(idx) {
+            // Deliberate reactor-thread stall (tests): hold the event
+            // loop hostage the way a handler mistakenly run here would,
+            // so the watchdog's loop-lag measurement can be exercised.
+            std::thread::sleep(d);
+        }
         // Admission control: decided here on the event loop, before the
         // request costs a CPU-pool slot — under overload the pool is the
         // saturated resource, so a shed that queued behind it would be
@@ -1196,6 +1266,7 @@ impl EventLoop {
                     inflight_jobs: self.inflight_jobs,
                     worker_threads: ctx.config.worker_threads,
                     open_conns: self.open_conns,
+                    health: ctx.health.is_enabled().then(|| ctx.health.snapshot()),
                 };
                 if let Admission::Respond(mut resp) = (hook.0)(&req, &load) {
                     let mut req = req;
@@ -1251,6 +1322,7 @@ impl EventLoop {
             close_requested,
             fault: ctx.config.faults.action_for(idx),
             dispatched: Instant::now(),
+            read_start,
             req_span,
             sctx,
         };
@@ -1542,6 +1614,7 @@ fn run_request_job(
         close_requested,
         mut fault,
         dispatched,
+        read_start,
         mut req_span,
         sctx,
     } = meta;
@@ -1554,7 +1627,9 @@ fn run_request_job(
     ));
     ctx.metrics.method(&req.method);
     let mut close = close_requested;
-    let mut resp = match builtin_response(&ctx, &req) {
+    let builtin = builtin_response(&ctx, &req);
+    let served_builtin = builtin.is_some();
+    let mut resp = match builtin {
         Some(resp) => resp,
         None => {
             // A panicking handler must not take a pool worker (and on a
@@ -1597,6 +1672,17 @@ fn run_request_job(
         }
     };
     ctx.metrics.status(resp.status);
+    if !served_builtin {
+        // One SLO observation per application request (first byte →
+        // response ready); built-ins are excluded so scraping /metrics
+        // cannot dilute the burn rate it reports. Tail latencies stamp
+        // the trace id into the histogram's exemplar slots.
+        let latency_us = read_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        ctx.metrics
+            .request
+            .record_with_exemplar(latency_us, sctx.trace_id);
+        ctx.health.observe_request(resp.status < 500, latency_us);
+    }
     resp.headers.push(("X-Request-Id".to_string(), rid));
     if let Some(h) = req_span.header_value() {
         resp.headers.push((trace::SPAN_HEADER.to_string(), h));
@@ -1669,16 +1755,27 @@ fn request_id(req: &Request, idx: u64) -> String {
 /// Built-in observability endpoints, served ahead of the application
 /// handler: `GET /metrics` (text exposition), `GET /metrics.json`,
 /// `GET /trace.json` (Chrome `trace_event` snapshot of the flight
-/// recorder), and `GET /trace.txt` (compact span-tree dump). These
-/// paths are reserved — requests to them never reach the handler.
+/// recorder), `GET /trace.txt` (compact span-tree dump),
+/// `GET /profile.json` (per-phase self-time profile of the flight
+/// recorder), `GET /healthz` (liveness), and `GET /statusz` (readiness
+/// plus SLO burn rates, watchdog state, proc gauges, and the slowlog;
+/// `503` while unready). These paths are reserved — requests to them
+/// never reach the handler.
 /// Whether a request targets a reserved built-in endpoint (these bypass
 /// admission control — shedding `/metrics` would blind operators to the
-/// very overload doing the shedding).
+/// very overload doing the shedding, and a load balancer must be able
+/// to read `/healthz` precisely when the server is drowning).
 fn is_builtin_path(req: &Request) -> bool {
     req.method == "GET"
         && matches!(
             req.path.as_str(),
-            "/metrics" | "/metrics.json" | "/trace.json" | "/trace.txt"
+            "/metrics"
+                | "/metrics.json"
+                | "/trace.json"
+                | "/trace.txt"
+                | "/profile.json"
+                | "/healthz"
+                | "/statusz"
         )
 }
 
@@ -1703,6 +1800,22 @@ fn builtin_response(ctx: &Ctx, req: &Request) -> Option<Response> {
             "text/plain; charset=utf-8",
             ctx.tracer.render_text_dump().into_bytes(),
         )),
+        "/profile.json" => Some(Response::ok(
+            "application/json",
+            ctx.config.telemetry.render_profile_json().into_bytes(),
+        )),
+        "/healthz" => Some(Response::ok(
+            "text/plain; charset=utf-8",
+            ctx.health.healthz_body().as_bytes().to_vec(),
+        )),
+        "/statusz" => {
+            let body = ctx.health.statusz_json().into_bytes();
+            Some(if ctx.health.ready() {
+                Response::ok("application/json", body)
+            } else {
+                Response::with_status(503, "Service Unavailable", "application/json", body)
+            })
+        }
         _ => None,
     }
 }
@@ -1736,6 +1849,12 @@ impl ServerHandle {
     /// Connections currently open (accepted and not yet closed).
     pub fn active_connections(&self) -> u64 {
         self.ctx.active.load(Ordering::SeqCst)
+    }
+
+    /// The server's runtime health monitor (watchdog state, SLO burn
+    /// rates, slowlog) — what `/healthz` and `/statusz` serve.
+    pub fn health(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.ctx.health)
     }
 
     /// Stops accepting, closes idle connections immediately, drains
@@ -2351,5 +2470,145 @@ mod tests {
         let b = Response::read_from(&mut r).unwrap();
         assert_eq!(a.body, b"one");
         assert_eq!(b.body, b"two");
+    }
+
+    #[test]
+    fn watchdog_catches_injected_event_loop_stall() {
+        let reg = Registry::new();
+        let handle = echo_server(
+            ServerConfig::default()
+                .telemetry(reg.clone())
+                .health(
+                    HealthConfig::new()
+                        .loop_lag_budget(Duration::from_millis(100))
+                        .heartbeat_period(Duration::from_millis(25))
+                        .without_proc_sampler(),
+                )
+                .faults(FaultSchedule::new().stall_event_loop(1, Duration::from_millis(400))),
+        );
+        let health = handle.health();
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/a", "text/plain", b"0".to_vec()).unwrap();
+        // Request 1 freezes the event loop for 400 ms at dispatch — the
+        // response still arrives, but the heartbeat due during the
+        // freeze fires late and must trip the watchdog.
+        let r = c.post("/a", "text/plain", b"1".to_vec()).unwrap();
+        assert_eq!(r.body, b"1");
+        let t0 = Instant::now();
+        while reg.counter("reactor.stalls").get() == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            reg.counter("reactor.stalls").get(),
+            1,
+            "latched exactly once"
+        );
+        // The next on-time beat clears the latch without re-counting.
+        let t0 = Instant::now();
+        while reg.gauge("reactor.stalled").get() != 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(reg.gauge("reactor.stalled").get(), 0, "latch cleared");
+        assert_eq!(reg.counter("reactor.stalls").get(), 1, "one episode only");
+        let log = health.slowlog().entries();
+        assert!(log.iter().any(|e| e.kind == "reactor.stall"), "{log:?}");
+        assert!(log.iter().any(|e| e.kind == "reactor.recovered"), "{log:?}");
+        // The stall dominates the lag histogram's tail.
+        let lag = reg.histogram("reactor.loop_lag_us").snapshot();
+        assert!(
+            lag.quantile(0.99) >= 100_000,
+            "p99 lag {}us should reflect the 400ms stall",
+            lag.quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn health_endpoints_serve_liveness_readiness_and_profile() {
+        let reg = Registry::new();
+        let handle = echo_server(ServerConfig::default().telemetry(reg.clone()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        let resp = c.send(Request::get("/healthz")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+        let resp = c.send(Request::get("/statusz")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        let json = String::from_utf8(resp.body).unwrap();
+        sbq_telemetry::expo::validate_json(&json).expect("statusz validates");
+        assert!(json.contains("\"ready\":true"), "{json}");
+        assert!(json.contains("\"availability_burn\""), "{json}");
+        assert!(json.contains("\"rss_bytes\""), "{json}");
+        let resp = c.send(Request::get("/profile.json")).unwrap();
+        assert_eq!(resp.status, 200);
+        let json = String::from_utf8(resp.body).unwrap();
+        sbq_telemetry::expo::validate_json(&json).expect("profile validates");
+        assert!(json.contains("\"server.handler\""), "{json}");
+
+        // With telemetry disabled the endpoints still answer (inert
+        // monitor, no sampler thread) instead of falling through to the
+        // application handler.
+        let handle = echo_server(ServerConfig::default().telemetry(Registry::disabled()));
+        assert!(!handle.health().is_enabled());
+        assert!(!handle.health().sampler_running());
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        let resp = c.send(Request::get("/healthz")).unwrap();
+        assert_eq!(resp.body, b"ok\n");
+        let resp = c.send(Request::get("/statusz")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"ready\":true,\"enabled\":false}");
+        let resp = c.send(Request::get("/profile.json")).unwrap();
+        assert_eq!(resp.body, b"{\"spans\":0,\"phases\":[]}");
+    }
+
+    #[test]
+    fn request_latency_exemplars_resolve_to_recorded_traces() {
+        let reg = Registry::new();
+        let handle = echo_server(ServerConfig::default().telemetry(reg.clone()));
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        for i in 0..5 {
+            c.post("/x", "text/plain", vec![b'a'; 100 * (i + 1)])
+                .unwrap();
+        }
+        let resp = c.send(Request::get("/metrics")).unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        let samples = sbq_telemetry::expo::parse_text(&text).expect("exposition parses");
+        let (hex, _value) = samples
+            .iter()
+            .find(|s| s.name == "http_request_us_max")
+            .and_then(|s| s.exemplar.clone())
+            .expect("http.request_us tail carries a trace-id exemplar");
+        // The exemplar's trace id must resolve to spans in the flight
+        // recorder — both directly and via the /trace.json rendering.
+        let tid = u128::from_str_radix(&hex, 16).unwrap();
+        assert!(
+            reg.tracer().snapshot().iter().any(|e| e.trace_id == tid),
+            "exemplar trace {hex} not in the flight recorder"
+        );
+        let resp = c.send(Request::get("/trace.json")).unwrap();
+        let json = String::from_utf8(resp.body).unwrap();
+        assert!(
+            json.contains(&format!("\"trace\":\"{hex}\"")),
+            "exemplar trace {hex} not in /trace.json"
+        );
+    }
+
+    #[test]
+    fn admission_hook_receives_health_snapshot() {
+        use std::sync::atomic::AtomicBool;
+        let saw_health = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&saw_health);
+        let config = ServerConfig::default()
+            .telemetry(Registry::new())
+            .admission(move |_req: &Request, load: &ServerLoad| {
+                let h = load.health.expect("health snapshot present");
+                assert!(!h.red && !h.stalled, "fresh server is healthy");
+                flag.store(true, Ordering::SeqCst);
+                Admission::Admit
+            });
+        let handle = echo_server(config);
+        let mut c = HttpClient::connect(handle.addr()).unwrap();
+        c.post("/x", "text/plain", b"hi".to_vec()).unwrap();
+        assert!(saw_health.load(Ordering::SeqCst));
     }
 }

@@ -16,8 +16,13 @@
 //! qos_rtt_us{quantile="0.99"} 900
 //! qos_rtt_us_sum 12345
 //! qos_rtt_us_count 57
-//! qos_rtt_us_max 1021
+//! qos_rtt_us_max 1021 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 1021
 //! ```
+//!
+//! The `# {trace_id="…"} value` suffix is an OpenMetrics-style
+//! **exemplar**: the trace id of a recent tail sample, linking the
+//! histogram's worst bucket to a concrete span in `/trace.json`. It is
+//! emitted on the `_max` line when the histogram has captured one.
 //!
 //! [`parse_text`] accepts exactly this grammar and is what the CI smoke
 //! check runs against a live `/metrics` endpoint.
@@ -70,7 +75,13 @@ pub(crate) fn render_text(inner: &RegistryInner) -> String {
         }
         out.push_str(&format!("{n}_sum {}\n", s.sum));
         out.push_str(&format!("{n}_count {}\n", s.count));
-        out.push_str(&format!("{n}_max {}\n", s.max));
+        match cell.exemplars().first() {
+            Some(e) => out.push_str(&format!(
+                "{n}_max {} # {{trace_id=\"{:032x}\"}} {}\n",
+                s.max, e.trace_id, e.value
+            )),
+            None => out.push_str(&format!("{n}_max {}\n", s.max)),
+        }
     }
     out
 }
@@ -127,11 +138,25 @@ pub(crate) fn render_json(inner: &RegistryInner) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "\"{}\":{}",
-            json_escape(name),
-            histogram_json(&cell.snapshot())
-        ));
+        let mut h = histogram_json(&cell.snapshot());
+        let exemplars = cell.exemplars();
+        if !exemplars.is_empty() {
+            // Splice an exemplars array into the standard histogram
+            // object so BENCH artifacts keep their unchanged shape.
+            h.pop(); // trailing '}'
+            h.push_str(",\"exemplars\":[");
+            for (j, e) in exemplars.iter().enumerate() {
+                if j > 0 {
+                    h.push(',');
+                }
+                h.push_str(&format!(
+                    "{{\"value\":{},\"trace_id\":\"{:032x}\"}}",
+                    e.value, e.trace_id
+                ));
+            }
+            h.push_str("]}");
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(name), h));
     }
     out.push_str("}}");
     out
@@ -146,6 +171,9 @@ pub struct Sample {
     pub quantile: Option<String>,
     /// The sample value.
     pub value: f64,
+    /// An OpenMetrics-style exemplar, if the line carried one:
+    /// the 32-hex-digit trace id and the exemplar's own value.
+    pub exemplar: Option<(String, f64)>,
 }
 
 /// Validates text exposition and returns its samples. Errors name the
@@ -168,6 +196,24 @@ pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
             }
             continue;
         }
+        // Exemplar suffix: `<sample> # {trace_id="<32 hex>"} <value>`.
+        let (line, exemplar) = match line.split_once(" # ") {
+            None => (line, None),
+            Some((sample, ex)) => {
+                let tid = ex
+                    .strip_prefix("{trace_id=\"")
+                    .and_then(|r| r.split_once("\"} "))
+                    .ok_or_else(|| format!("line {lineno}: malformed exemplar {ex:?}"))?;
+                let (hex, ex_value) = tid;
+                if hex.len() != 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!("line {lineno}: bad exemplar trace id {hex:?}"));
+                }
+                let ex_value: f64 = ex_value
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad exemplar value {ex_value:?}"))?;
+                (sample, Some((hex.to_string(), ex_value)))
+            }
+        };
         let (name_part, value_part) = line
             .rsplit_once(' ')
             .ok_or_else(|| format!("line {lineno}: no value in {line:?}"))?;
@@ -194,6 +240,7 @@ pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
             name,
             quantile,
             value,
+            exemplar,
         });
     }
     Ok(samples)
@@ -404,6 +451,41 @@ mod tests {
             .find(|s| s.name == "qos_rtt_us" && s.quantile.as_deref() == Some("0.5"))
             .unwrap();
         assert!((p50.value - 500.0).abs() / 500.0 <= 0.07, "{}", p50.value);
+    }
+
+    #[test]
+    fn exemplars_render_and_round_trip() {
+        let reg = Registry::new();
+        let h = reg.histogram("http.request_ns");
+        let tid = 0x4bf9_2f35_77b3_4da6_a3ce_929d_0e0e_4736u128;
+        h.record_with_exemplar(900_000, tid);
+        let text = reg.render_text();
+        assert!(
+            text.contains("# {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 900000"),
+            "{text}"
+        );
+        let samples = parse_text(&text).expect("exemplar exposition parses");
+        let max = samples
+            .iter()
+            .find(|s| s.name == "http_request_ns_max")
+            .unwrap();
+        let (hex, v) = max.exemplar.as_ref().expect("max line carries exemplar");
+        assert_eq!(hex, "4bf92f3577b34da6a3ce929d0e0e4736");
+        assert_eq!(*v, 900_000.0);
+        // JSON carries the same exemplar and still validates.
+        let json = reg.render_json();
+        assert!(
+            json.contains("\"exemplars\":[{\"value\":900000,\"trace_id\":\"4bf92f3577b34da6a3ce929d0e0e4736\"}]"),
+            "{json}"
+        );
+        validate_json(&json).expect("exemplar json validates");
+        // Malformed exemplar suffixes are rejected.
+        assert!(parse_text("m_max 5 # {trace_id=\"zz\"} 5\n").is_err());
+        assert!(parse_text("m_max 5 # nonsense\n").is_err());
+        assert!(
+            parse_text("m_max 5 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} NaNope\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::metrics::{thread_shard, PaddedU64, SHARDS};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Linear sub-buckets per octave, as a power of two.
 const SUB_BITS: u32 = 3;
@@ -63,8 +63,102 @@ struct HistShard {
     max: PaddedU64,
 }
 
+/// Exemplar slots per histogram: a small ring of tail samples, each
+/// pairing a recorded value with the trace id that produced it.
+pub(crate) const EXEMPLAR_SLOTS: usize = 4;
+
+/// One exemplar slot, seqlock-protected like a flight-recorder slot:
+/// odd `seq` = write in progress, even ≥ 2 = complete. Readers that race
+/// a writer skip the slot rather than emit a torn exemplar.
+struct ExemplarCell {
+    seq: AtomicU64,
+    value: AtomicU64,
+    trace_lo: AtomicU64,
+    trace_hi: AtomicU64,
+}
+
+/// A captured tail sample: the recorded value plus the trace that
+/// produced it, linking a bad quantile on `/metrics` to a concrete span
+/// in `/trace.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (same unit as the histogram).
+    pub value: u64,
+    /// The 128-bit trace id of the request that recorded it.
+    pub trace_id: u128,
+}
+
+struct ExemplarStore {
+    slots: [ExemplarCell; EXEMPLAR_SLOTS],
+    /// Rotation ticket; doubles as the seq generation source.
+    tick: AtomicU64,
+    /// Running max over exemplar-eligible records — defines "tail".
+    tail_max: AtomicU64,
+}
+
+impl ExemplarStore {
+    fn new() -> ExemplarStore {
+        ExemplarStore {
+            slots: std::array::from_fn(|_| ExemplarCell {
+                seq: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+                trace_lo: AtomicU64::new(0),
+                trace_hi: AtomicU64::new(0),
+            }),
+            tick: AtomicU64::new(0),
+            tail_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Captures `(v, trace_id)` if `v` sits in the tail: within two
+    /// octaves (≥ 1/4) of the largest exemplar-eligible value seen.
+    fn offer(&self, v: u64, trace_id: u128) {
+        let prev = self.tail_max.fetch_max(v, Ordering::Relaxed);
+        let m = prev.max(v);
+        if v.saturating_mul(4) < m {
+            return; // not a tail sample
+        }
+        let t = self.tick.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(t as usize) % EXEMPLAR_SLOTS];
+        slot.seq.store(2 * t + 1, Ordering::Release);
+        slot.value.store(v, Ordering::Relaxed);
+        slot.trace_lo.store(trace_id as u64, Ordering::Relaxed);
+        slot.trace_hi
+            .store((trace_id >> 64) as u64, Ordering::Relaxed);
+        slot.seq.store(2 * t + 2, Ordering::Release);
+    }
+
+    fn snapshot(&self) -> Vec<Exemplar> {
+        let mut out = Vec::with_capacity(EXEMPLAR_SLOTS);
+        for slot in &self.slots {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue;
+            }
+            let value = slot.value.load(Ordering::Relaxed);
+            let lo = slot.trace_lo.load(Ordering::Relaxed);
+            let hi = slot.trace_hi.load(Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // torn: a writer rotated in
+            }
+            out.push(Exemplar {
+                value,
+                trace_id: (hi as u128) << 64 | lo as u128,
+            });
+        }
+        // Largest first: the exemplar for the worst tail leads.
+        out.sort_by_key(|e| std::cmp::Reverse(e.value));
+        out.dedup_by_key(|e| e.trace_id);
+        out
+    }
+}
+
 pub(crate) struct HistCell {
     shards: Vec<HistShard>,
+    /// Allocated lazily on the first exemplar offer, so histograms that
+    /// never see a traced sample stay exemplar-free (and -cost-free).
+    exemplars: OnceLock<Box<ExemplarStore>>,
 }
 
 impl Default for HistCell {
@@ -78,6 +172,7 @@ impl Default for HistCell {
                     max: PaddedU64::default(),
                 })
                 .collect(),
+            exemplars: OnceLock::new(),
         }
     }
 }
@@ -89,6 +184,22 @@ impl HistCell {
         shard.count.0.fetch_add(1, Ordering::Relaxed);
         shard.sum.0.fetch_add(v, Ordering::Relaxed);
         shard.max.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_with_exemplar(&self, v: u64, trace_id: u128) {
+        self.record(v);
+        if trace_id != 0 {
+            self.exemplars
+                .get_or_init(|| Box::new(ExemplarStore::new()))
+                .offer(v, trace_id);
+        }
+    }
+
+    pub(crate) fn exemplars(&self) -> Vec<Exemplar> {
+        match self.exemplars.get() {
+            Some(store) => store.snapshot(),
+            None => Vec::new(),
+        }
     }
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
@@ -194,6 +305,26 @@ impl Histogram {
         if self.0.is_some() {
             self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
         }
+    }
+
+    /// Records one value and offers `(v, trace_id)` as a tail exemplar:
+    /// if `v` lands within two octaves of the largest traced value this
+    /// histogram has seen, the trace id is captured into one of
+    /// [`EXEMPLAR_SLOTS`](Histogram::exemplars) rotating slots, so the
+    /// exposition can link a bad quantile to a concrete trace. A zero
+    /// `trace_id` (untraced request) records the value only.
+    #[inline]
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u128) {
+        if let Some(cell) = &self.0 {
+            cell.record_with_exemplar(v, trace_id);
+        }
+    }
+
+    /// The currently captured tail exemplars, largest value first,
+    /// deduplicated by trace id. Empty when disabled or when no traced
+    /// sample has been offered.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.0.as_ref().map(|c| c.exemplars()).unwrap_or_default()
     }
 
     /// Whether this handle records anywhere.
@@ -315,10 +446,38 @@ mod tests {
         let h = Histogram::disabled();
         h.record(100);
         h.record_duration(std::time::Duration::from_secs(1));
+        h.record_with_exemplar(100, 42);
         let snap = h.snapshot();
         assert_eq!(snap.count, 0);
         assert_eq!(snap.quantile(0.5), 0);
         assert_eq!(snap.mean(), 0.0);
+        assert!(h.exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplars_capture_only_the_tail() {
+        let h = enabled();
+        // Fast bulk samples with traces: establish a max of 1_000_000.
+        h.record_with_exemplar(1_000_000, 0xbeef);
+        // Far below max/4: never captured.
+        for i in 0..100u64 {
+            h.record_with_exemplar(1_000 + i, 0x1000 + i as u128);
+        }
+        // Within 2 octaves of max: captured.
+        h.record_with_exemplar(400_000, 0xcafe);
+        let ex = h.exemplars();
+        assert!(!ex.is_empty());
+        assert_eq!(ex[0].value, 1_000_000);
+        assert_eq!(ex[0].trace_id, 0xbeef);
+        assert!(ex.iter().any(|e| e.trace_id == 0xcafe));
+        assert!(ex.iter().all(|e| e.value >= 250_000), "{ex:?}");
+        // Untraced samples never occupy a slot.
+        h.record_with_exemplar(2_000_000, 0);
+        assert!(h.exemplars().iter().all(|e| e.trace_id != 0));
+        // Plain record() allocates no exemplar store.
+        let plain = enabled();
+        plain.record(1_000_000);
+        assert!(plain.exemplars().is_empty());
     }
 
     #[test]

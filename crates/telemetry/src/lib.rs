@@ -34,15 +34,21 @@
 //! carry their unit as a suffix (`_ns`, `_us`).
 
 pub mod expo;
+pub mod health;
 pub mod histogram;
 pub mod metrics;
 pub mod pool;
+pub mod profile;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use health::{HealthConfig, HealthMonitor, HealthSnapshot, ProcSampler, Slowlog};
+pub use histogram::{Exemplar, Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use pool::pool_observer;
+pub use profile::PhaseProfile;
+pub use slo::{SloConfig, SloEngine, SloSnapshot};
 pub use span::Span;
 pub use trace::{SpanEvent, TraceConfig, TraceContext, TraceSpan, Tracer};
 
@@ -196,6 +202,12 @@ impl Registry {
     /// `GET /trace.json` serves); see [`Tracer::render_chrome_json`].
     pub fn render_chrome_json(&self) -> String {
         self.tracer().render_chrome_json()
+    }
+
+    /// Per-phase profile of the flight-recorder window (what
+    /// `GET /profile.json` serves); see [`profile`].
+    pub fn render_profile_json(&self) -> String {
+        profile::render_profile_json(&self.tracer())
     }
 
     /// Text exposition of every metric; see [`expo`] for the format.

@@ -1,0 +1,187 @@
+//! Phase profiler: aggregates flight-recorder spans into a live
+//! where-is-time-going view.
+//!
+//! The flight recorder already holds the most recent few thousand spans
+//! (`server.queue_wait`, `server.read`, `server.handler`,
+//! `server.write`, `marshal.*`, …). [`aggregate`] groups them by name
+//! and computes, per phase: count, total time, **self time** (the
+//! span's own duration minus the time covered by its recorded
+//! children — so a `server.request` that spends everything inside
+//! `server.handler` attributes nothing to itself), p50/p99, and error
+//! count. [`render_profile_json`] is what `GET /profile.json` serves.
+//!
+//! The view is a *window*, not an all-time aggregate: it covers exactly
+//! what the ring currently holds, which is what makes it useful live —
+//! it answers "where is time going right now".
+
+use crate::trace::{SpanEvent, Tracer};
+use std::collections::HashMap;
+
+/// One phase's aggregate over the current flight-recorder window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// The span name (phase identity), e.g. `server.handler`.
+    pub name: String,
+    /// Spans of this name in the window.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: u64,
+    /// Summed self time (duration minus recorded children), µs.
+    pub self_us: u64,
+    /// Median span duration, µs.
+    pub p50_us: u64,
+    /// 99th-percentile span duration, µs.
+    pub p99_us: u64,
+    /// Spans that recorded an error.
+    pub errors: u64,
+}
+
+/// Groups `events` into per-phase profiles, largest self-time first.
+pub fn aggregate(events: &[SpanEvent]) -> Vec<PhaseProfile> {
+    // Child time per parent span id — what self-time subtracts. A child
+    // whose parent was already overwritten in the ring simply doesn't
+    // subtract from anything.
+    let mut child_us: HashMap<u64, u64> = HashMap::with_capacity(events.len());
+    for e in events {
+        if e.parent_id != 0 {
+            *child_us.entry(e.parent_id).or_insert(0) += e.dur_us;
+        }
+    }
+    let mut phases: HashMap<&str, (Vec<u64>, u64, u64, u64)> = HashMap::new();
+    for e in events {
+        let entry = phases.entry(&e.name).or_default();
+        entry.0.push(e.dur_us);
+        entry.1 += e.dur_us;
+        // Children can nominally overlap or outlive the parent (clock
+        // skew between drop sites); clamp so self-time never underflows.
+        entry.2 += e
+            .dur_us
+            .saturating_sub(child_us.get(&e.span_id).copied().unwrap_or(0));
+        entry.3 += e.error as u64;
+    }
+    let mut out: Vec<PhaseProfile> = phases
+        .into_iter()
+        .map(|(name, (mut durs, total_us, self_us, errors))| {
+            durs.sort_unstable();
+            let q = |f: f64| durs[((f * (durs.len() - 1) as f64).round()) as usize];
+            PhaseProfile {
+                name: name.to_string(),
+                count: durs.len() as u64,
+                total_us,
+                self_us,
+                p50_us: q(0.5),
+                p99_us: q(0.99),
+                errors,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// Renders the profile as the JSON `GET /profile.json` serves:
+/// `{"spans":N,"phases":[{"name":…,"count":…,"total_us":…,"self_us":…,
+/// "p50_us":…,"p99_us":…,"errors":…}]}`.
+pub fn render_profile_json(tracer: &Tracer) -> String {
+    let events = tracer.snapshot();
+    let phases = aggregate(&events);
+    let mut out = String::with_capacity(128 + phases.len() * 128);
+    out.push_str(&format!("{{\"spans\":{},\"phases\":[", events.len()));
+    for (i, p) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"count\":{},\"total_us\":{},\"self_us\":{},\"p50_us\":{},\"p99_us\":{},\"errors\":{}}}",
+            crate::expo::json_escape(&p.name),
+            p.count,
+            p.total_us,
+            p.self_us,
+            p.p50_us,
+            p.p99_us,
+            p.errors
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Registry, TraceConfig};
+
+    fn ev(name: &str, span_id: u64, parent_id: u64, dur_us: u64, error: bool) -> SpanEvent {
+        SpanEvent {
+            trace_id: 1,
+            span_id,
+            parent_id,
+            name: name.to_string(),
+            start_us: 0,
+            dur_us,
+            error,
+            tags: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        // request(1000) -> handler(800) -> marshal(300); request also
+        // parents a write(150).
+        let events = vec![
+            ev("server.request", 1, 0, 1000, false),
+            ev("server.handler", 2, 1, 800, false),
+            ev("marshal.encode", 3, 2, 300, true),
+            ev("server.write", 4, 1, 150, false),
+        ];
+        let phases = aggregate(&events);
+        let get = |n: &str| phases.iter().find(|p| p.name == n).unwrap();
+        assert_eq!(get("server.request").self_us, 1000 - 800 - 150);
+        assert_eq!(get("server.handler").self_us, 500);
+        assert_eq!(get("marshal.encode").self_us, 300);
+        assert_eq!(get("marshal.encode").errors, 1);
+        assert_eq!(get("server.write").total_us, 150);
+        // Sorted by self time: handler (500) leads.
+        assert_eq!(phases[0].name, "server.handler");
+    }
+
+    #[test]
+    fn overlapping_children_clamp_not_underflow() {
+        let events = vec![
+            ev("parent", 1, 0, 100, false),
+            ev("child", 2, 1, 90, false),
+            ev("child", 3, 1, 90, false), // children sum past the parent
+        ];
+        let phases = aggregate(&events);
+        let parent = phases.iter().find(|p| p.name == "parent").unwrap();
+        assert_eq!(parent.self_us, 0);
+    }
+
+    #[test]
+    fn quantiles_over_the_window() {
+        let events: Vec<SpanEvent> = (1..=100u64).map(|i| ev("p", i, 0, i * 10, false)).collect();
+        let p = &aggregate(&events)[0];
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50_us, 510); // rank 49.5 rounds half away from zero
+        assert_eq!(p.p99_us, 990);
+    }
+
+    #[test]
+    fn profile_json_is_valid_and_live() {
+        let reg = Registry::new();
+        reg.set_trace_config(TraceConfig::new());
+        let t = reg.tracer();
+        {
+            let root = t.root_span("server.request");
+            drop(t.child_span("server.handler", &root.context()));
+        }
+        let json = render_profile_json(&t);
+        crate::expo::validate_json(&json).expect("profile json validates");
+        assert!(json.contains("\"name\":\"server.handler\""), "{json}");
+        assert!(json.starts_with("{\"spans\":2,"));
+        // Empty tracer renders a valid empty profile.
+        let empty = render_profile_json(&crate::Tracer::disabled());
+        crate::expo::validate_json(&empty).unwrap();
+        assert_eq!(empty, "{\"spans\":0,\"phases\":[]}");
+    }
+}

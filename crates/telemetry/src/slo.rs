@@ -1,0 +1,394 @@
+//! Service-level objectives: rolling multi-window availability and
+//! latency tracking with burn-rate computation.
+//!
+//! An [`SloEngine`] is fed one observation per request —
+//! [`SloEngine::observe`]`(ok, latency_us)` — and maintains per-second
+//! buckets over a one-hour ring. From those it computes, for each of the
+//! **1 m / 5 m / 1 h** windows, the *burn rate* of two objectives:
+//!
+//! - **availability**: fraction of requests that did not fail
+//!   (`ok == false` means a 5xx-class outcome, including admission
+//!   sheds), against a target like 99.9%;
+//! - **latency**: fraction of requests answered under a threshold,
+//!   against a target like 99%.
+//!
+//! The burn rate is `actual_bad_fraction / budgeted_bad_fraction`: 1.0
+//! means the error budget is being consumed exactly at the rate that
+//! exhausts it at the end of the (notional 30-day) SLO period; 10×
+//! means ten times faster. Multi-window alerting (the Google SRE
+//! workbook shape) pairs a fast window (catches acute breakage quickly)
+//! with slow windows (filter blips): this engine exposes all three and
+//! lets the caller pick thresholds.
+//!
+//! Recording is lock-free: one bucket rotation CAS plus three relaxed
+//! adds. A sample racing a bucket rotation may be attributed to the
+//! adjacent second — harmless at SLO granularity. Burn computation walks
+//! at most 3600 buckets and only runs on snapshot (statusz render,
+//! admission refresh), never on the request path.
+
+use crate::{Gauge, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The three rolling windows, in seconds.
+pub const WINDOWS: [u64; 3] = [60, 300, 3600];
+const RING: usize = 3600;
+
+/// SLO targets and the redline that turns `/statusz` unready.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    availability_target: f64,
+    latency_target: f64,
+    latency_threshold_us: u64,
+    red_burn: f64,
+}
+
+impl SloConfig {
+    /// Defaults: 99.9% availability, 99% of requests under 250 ms,
+    /// red at a 10× burn rate.
+    pub fn new() -> SloConfig {
+        SloConfig {
+            availability_target: 0.999,
+            latency_target: 0.99,
+            latency_threshold_us: 250_000,
+            red_burn: 10.0,
+        }
+    }
+
+    /// Availability objective (fraction of requests that must succeed),
+    /// clamped to `[0.5, 0.999999]` — builder style.
+    pub fn availability_target(mut self, t: f64) -> SloConfig {
+        self.availability_target = t.clamp(0.5, 0.999_999);
+        self
+    }
+
+    /// Latency objective: `target` fraction of requests must finish
+    /// under `threshold_us` — builder style.
+    pub fn latency_target(mut self, t: f64, threshold_us: u64) -> SloConfig {
+        self.latency_target = t.clamp(0.5, 0.999_999);
+        self.latency_threshold_us = threshold_us.max(1);
+        self
+    }
+
+    /// The burn rate at which [`SloSnapshot::red`] trips (readiness
+    /// goes false) — builder style.
+    pub fn red_burn(mut self, burn: f64) -> SloConfig {
+        self.red_burn = burn.max(1.0);
+        self
+    }
+
+    /// The configured latency threshold in microseconds.
+    pub fn latency_threshold_us(&self) -> u64 {
+        self.latency_threshold_us
+    }
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig::new()
+    }
+}
+
+/// One rotating per-second bucket. `sec` tags which absolute second the
+/// counts belong to; a recorder that finds a stale tag CASes it forward
+/// and zeroes the counts.
+struct SecBucket {
+    sec: AtomicU64,
+    total: AtomicU64,
+    bad: AtomicU64,
+    slow: AtomicU64,
+}
+
+struct SloInner {
+    config: SloConfig,
+    epoch: Instant,
+    buckets: Box<[SecBucket]>,
+    good: crate::Counter,
+    bad: crate::Counter,
+    slow: crate::Counter,
+    burn_gauges: [[Gauge; 2]; 3], // [window][availability, latency], per-mille
+}
+
+/// The engine; see the module docs. Cheap to clone (all clones share the
+/// ring); an engine from a disabled registry no-ops and allocates
+/// nothing.
+#[derive(Clone, Default)]
+pub struct SloEngine {
+    inner: Option<Arc<SloInner>>,
+}
+
+/// One window's stats plus computed burn rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Window length in seconds.
+    pub window_secs: u64,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Availability violations (failed requests) in the window.
+    pub bad: u64,
+    /// Latency violations (over-threshold requests) in the window.
+    pub slow: u64,
+    /// Availability burn rate (1.0 = consuming budget exactly on pace).
+    pub availability_burn: f64,
+    /// Latency burn rate.
+    pub latency_burn: f64,
+}
+
+/// All windows at one instant; what `/statusz` and the admission hook
+/// consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Stats for each of [`WINDOWS`], fastest first.
+    pub windows: [WindowStats; 3],
+    /// The configured redline burn rate.
+    pub red_burn: f64,
+}
+
+impl SloSnapshot {
+    /// Whether any objective is burning past the redline on **both** the
+    /// fast (1 m) and medium (5 m) windows — the two-window AND is what
+    /// keeps a single bad second from flapping readiness.
+    pub fn red(&self) -> bool {
+        let acute = &self.windows[0];
+        let sustained = &self.windows[1];
+        (acute.availability_burn >= self.red_burn && sustained.availability_burn >= self.red_burn)
+            || (acute.latency_burn >= self.red_burn && sustained.latency_burn >= self.red_burn)
+    }
+
+    /// An empty snapshot (what a disabled engine reports).
+    pub fn empty() -> SloSnapshot {
+        SloSnapshot {
+            windows: std::array::from_fn(|i| WindowStats {
+                window_secs: WINDOWS[i],
+                total: 0,
+                bad: 0,
+                slow: 0,
+                availability_burn: 0.0,
+                latency_burn: 0.0,
+            }),
+            red_burn: f64::INFINITY,
+        }
+    }
+}
+
+impl SloEngine {
+    /// Builds an engine on `registry`. Disabled registry → disabled
+    /// engine: no ring allocation, every call a no-op.
+    pub fn new(config: SloConfig, registry: &Registry) -> SloEngine {
+        if !registry.is_enabled() {
+            return SloEngine { inner: None };
+        }
+        let windows = ["1m", "5m", "1h"];
+        SloEngine {
+            inner: Some(Arc::new(SloInner {
+                config,
+                epoch: Instant::now(),
+                buckets: (0..RING)
+                    .map(|_| SecBucket {
+                        sec: AtomicU64::new(u64::MAX),
+                        total: AtomicU64::new(0),
+                        bad: AtomicU64::new(0),
+                        slow: AtomicU64::new(0),
+                    })
+                    .collect(),
+                good: registry.counter("slo.good"),
+                bad: registry.counter("slo.bad"),
+                slow: registry.counter("slo.slow"),
+                burn_gauges: std::array::from_fn(|w| {
+                    [
+                        registry.gauge(&format!("slo.burn.availability.{}", windows[w])),
+                        registry.gauge(&format!("slo.burn.latency.{}", windows[w])),
+                    ]
+                }),
+            })),
+        }
+    }
+
+    /// A no-op engine.
+    pub fn disabled() -> SloEngine {
+        SloEngine { inner: None }
+    }
+
+    /// Whether observations land anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The configuration, when enabled.
+    pub fn config(&self) -> Option<SloConfig> {
+        self.inner.as_ref().map(|i| i.config)
+    }
+
+    /// Feeds one request outcome: `ok` = not a 5xx-class failure,
+    /// `latency_us` = total request latency.
+    pub fn observe(&self, ok: bool, latency_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        let slow = latency_us > inner.config.latency_threshold_us;
+        if ok {
+            inner.good.inc();
+        } else {
+            inner.bad.inc();
+        }
+        if slow {
+            inner.slow.inc();
+        }
+        let now_sec = inner.epoch.elapsed().as_secs();
+        let b = &inner.buckets[(now_sec % RING as u64) as usize];
+        let tag = b.sec.load(Ordering::Relaxed);
+        if tag != now_sec
+            && b.sec
+                .compare_exchange(tag, now_sec, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // We won the rotation: zero the stale counts. A sample racing
+            // this lands in the adjacent second; harmless.
+            b.total.store(0, Ordering::Relaxed);
+            b.bad.store(0, Ordering::Relaxed);
+            b.slow.store(0, Ordering::Relaxed);
+        }
+        b.total.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            b.bad.fetch_add(1, Ordering::Relaxed);
+        }
+        if slow {
+            b.slow.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Computes every window's burn rates and publishes them to the
+    /// `slo.burn.*` gauges (per-mille: gauge 1000 = burn rate 1.0).
+    pub fn snapshot(&self) -> SloSnapshot {
+        let Some(inner) = &self.inner else {
+            return SloSnapshot::empty();
+        };
+        let now_sec = inner.epoch.elapsed().as_secs();
+        let avail_budget = 1.0 - inner.config.availability_target;
+        let lat_budget = 1.0 - inner.config.latency_target;
+        let windows = std::array::from_fn(|w| {
+            let len = WINDOWS[w].min(now_sec + 1).min(RING as u64);
+            let (mut total, mut bad, mut slow) = (0u64, 0u64, 0u64);
+            for i in 0..len {
+                let sec = now_sec - i;
+                let b = &inner.buckets[(sec % RING as u64) as usize];
+                if b.sec.load(Ordering::Relaxed) == sec {
+                    total += b.total.load(Ordering::Relaxed);
+                    bad += b.bad.load(Ordering::Relaxed);
+                    slow += b.slow.load(Ordering::Relaxed);
+                }
+            }
+            let frac = |n: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                }
+            };
+            let stats = WindowStats {
+                window_secs: WINDOWS[w],
+                total,
+                bad,
+                slow,
+                availability_burn: frac(bad) / avail_budget,
+                latency_burn: frac(slow) / lat_budget,
+            };
+            inner.burn_gauges[w][0].set((stats.availability_burn * 1000.0) as i64);
+            inner.burn_gauges[w][1].set((stats.latency_burn * 1000.0) as i64);
+            stats
+        });
+        SloSnapshot {
+            windows,
+            red_burn: inner.config.red_burn,
+        }
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(i) => write!(f, "SloEngine(target {:.4})", i.config.availability_target),
+            None => write!(f, "SloEngine(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rates_track_bad_fractions() {
+        let reg = Registry::new();
+        let slo = SloEngine::new(
+            SloConfig::new()
+                .availability_target(0.999)
+                .latency_target(0.99, 1_000),
+            &reg,
+        );
+        // 1000 requests, 20 failed (2% bad = 20× the 0.1% budget),
+        // 200 slow (20% slow = 20× the 1% budget).
+        for i in 0..1000u64 {
+            let ok = i % 50 != 0;
+            let latency = if i % 5 == 0 { 5_000 } else { 100 };
+            slo.observe(ok, latency);
+        }
+        let snap = slo.snapshot();
+        let w = &snap.windows[0];
+        assert_eq!(w.total, 1000);
+        assert_eq!(w.bad, 20);
+        assert_eq!(w.slow, 200);
+        assert!((w.availability_burn - 20.0).abs() < 0.1, "{w:?}");
+        assert!((w.latency_burn - 20.0).abs() < 0.1, "{w:?}");
+        // All three windows see the same (recent) data.
+        assert_eq!(snap.windows[2].total, 1000);
+        // Gauges published in per-mille.
+        assert!((reg.gauge("slo.burn.availability.1m").get() - 20_000).abs() <= 100);
+        assert_eq!(reg.counter("slo.bad").get(), 20);
+        assert_eq!(reg.counter("slo.good").get(), 980);
+        assert_eq!(reg.counter("slo.slow").get(), 200);
+        // 20× burn on both fast windows with red_burn 10 → red.
+        assert!(snap.red());
+    }
+
+    #[test]
+    fn healthy_traffic_is_not_red() {
+        let slo = SloEngine::new(SloConfig::new(), &Registry::new());
+        for _ in 0..1000 {
+            slo.observe(true, 100);
+        }
+        let snap = slo.snapshot();
+        assert_eq!(snap.windows[0].bad, 0);
+        assert_eq!(snap.windows[0].availability_burn, 0.0);
+        assert!(!snap.red());
+    }
+
+    #[test]
+    fn empty_engine_reports_zero_burn() {
+        let slo = SloEngine::new(SloConfig::new(), &Registry::new());
+        let snap = slo.snapshot();
+        assert_eq!(snap.windows[0].total, 0);
+        assert_eq!(snap.windows[0].availability_burn, 0.0);
+        assert!(!snap.red());
+    }
+
+    #[test]
+    fn disabled_engine_noops_and_allocates_nothing() {
+        let slo = SloEngine::new(SloConfig::new(), &Registry::disabled());
+        assert!(!slo.is_enabled());
+        assert!(slo.inner.is_none(), "disabled engine must not allocate");
+        slo.observe(false, 1_000_000);
+        assert_eq!(slo.snapshot(), SloSnapshot::empty());
+        assert!(!slo.snapshot().red());
+        assert_eq!(SloEngine::disabled().config(), None);
+    }
+
+    #[test]
+    fn red_requires_both_fast_windows() {
+        let mut snap = SloSnapshot::empty();
+        snap.red_burn = 10.0;
+        snap.windows[0].availability_burn = 50.0; // acute only
+        assert!(!snap.red(), "one hot second must not trip readiness");
+        snap.windows[1].availability_burn = 12.0;
+        assert!(snap.red());
+    }
+}

@@ -4,6 +4,10 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! `--smoke` binds the server, self-probes the runtime health endpoints
+//! (`/healthz`, `/statusz`), and exits nonzero if either misbehaves —
+//! what the CI smoke step runs.
 
 use sbq_model::{workload, TypeDesc, Value};
 use sbq_wsdl::{write_wsdl, ServiceDef};
@@ -11,6 +15,7 @@ use soap_binq::{Registry, ServerConfig, SoapClient, SoapServerBuilder, TraceConf
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // 0. Request tracing: keep 1 in 4 calls in the flight recorder
     //    (errors always record). The config must be set before the first
     //    server binds — the ring is allocated on first use.
@@ -66,6 +71,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "traces  at http://{}/trace.json (open in Perfetto)",
         server.addr()
     );
+    println!("health  at http://{}/healthz and /statusz", server.addr());
+
+    if smoke {
+        // CI smoke: the liveness and readiness endpoints of a freshly
+        // bound server must answer well-formed and healthy.
+        let mut http = sbq_http::HttpClient::connect(server.addr())?;
+        let resp = http.send(sbq_http::Request::get("/healthz"))?;
+        if resp.status != 200 || resp.body != b"ok\n" {
+            eprintln!("smoke: /healthz answered {} {:?}", resp.status, resp.body);
+            std::process::exit(1);
+        }
+        let resp = http.send(sbq_http::Request::get("/statusz"))?;
+        let body = String::from_utf8(resp.body)?;
+        if let Err(e) = sbq_telemetry::expo::validate_json(&body) {
+            eprintln!("smoke: /statusz is not valid JSON: {e}\n---\n{body}");
+            std::process::exit(1);
+        }
+        if resp.status != 200 || !body.contains("\"ready\":true") {
+            eprintln!("smoke: /statusz answered {}: {body}", resp.status);
+            std::process::exit(1);
+        }
+        println!("smoke: /healthz ok, /statusz ready");
+        return Ok(());
+    }
 
     // 3. Call it with each wire encoding and compare the bytes moved.
     for enc in [
