@@ -9,8 +9,8 @@
 //! too.
 
 use crate::SoapError;
-use sbq_model::{StructValue, TypeDesc, Value};
-use sbq_xml::{escape_text, Event, PullParser};
+use sbq_model::{numfmt, StructValue, TypeDesc, Value};
+use sbq_xml::{escape_text_into, Event, PullParser};
 
 /// Serializes a value as an XML element named `tag` (compact form — the
 /// wire representation whose size the experiments measure).
@@ -20,26 +20,66 @@ pub fn value_to_xml(value: &Value, tag: &str) -> String {
     out
 }
 
+/// Appends the XML form of `value` to `out` — the buffer-reuse variant
+/// (same idiom as `escape_text_into`): callers that marshal repeatedly
+/// keep one String hot instead of paying a multi-megabyte allocation and
+/// its page faults per message.
+pub fn value_to_xml_into(value: &Value, tag: &str, out: &mut String) {
+    out.reserve(value.native_size() * 4);
+    write_value(out, value, tag);
+}
+
 fn write_value(out: &mut String, value: &Value, tag: &str) {
     match value {
-        Value::Int(i) => write_leaf(out, tag, itoa(*i).as_str()),
-        Value::Float(x) => write_leaf(out, tag, format_float(*x).as_str()),
+        Value::Int(i) => {
+            open(out, tag);
+            numfmt::write_i64(out, *i);
+            close(out, tag);
+        }
+        Value::Float(x) => {
+            open(out, tag);
+            numfmt::write_f64(out, *x);
+            close(out, tag);
+        }
         // Chars are transported numerically: arbitrary bytes are not
         // necessarily valid XML characters.
-        Value::Char(c) => write_leaf(out, tag, itoa(*c as i64).as_str()),
-        Value::Str(s) => write_leaf(out, tag, escape_text(s).as_str()),
+        Value::Char(c) => {
+            open(out, tag);
+            numfmt::write_i64(out, *c as i64);
+            close(out, tag);
+        }
+        Value::Str(s) => {
+            open(out, tag);
+            escape_text_into(s, out);
+            close(out, tag);
+        }
         Value::Bytes(b) => write_leaf(out, tag, sbq_model::base64::encode(b).as_str()),
+        // Array items fuse the closing and next opening tag into one
+        // push: on megabyte arrays the per-element String bookkeeping is
+        // measurable next to the digit conversion itself.
         Value::IntArray(v) => {
             open(out, tag);
-            for i in v {
-                write_leaf(out, "item", itoa(*i).as_str());
+            if let Some((first, rest)) = v.split_first() {
+                out.push_str("<item>");
+                numfmt::write_i64(out, *first);
+                for i in rest {
+                    out.push_str("</item><item>");
+                    numfmt::write_i64(out, *i);
+                }
+                out.push_str("</item>");
             }
             close(out, tag);
         }
         Value::FloatArray(v) => {
             open(out, tag);
-            for x in v {
-                write_leaf(out, "item", format_float(*x).as_str());
+            if let Some((first, rest)) = v.split_first() {
+                out.push_str("<item>");
+                numfmt::write_f64(out, *first);
+                for x in rest {
+                    out.push_str("</item><item>");
+                    numfmt::write_f64(out, *x);
+                }
+                out.push_str("</item>");
             }
             close(out, tag);
         }
@@ -78,20 +118,9 @@ fn write_leaf(out: &mut String, tag: &str, text: &str) {
     close(out, tag);
 }
 
-fn itoa(v: i64) -> String {
-    v.to_string()
-}
-
-/// Floats are printed with enough digits to round-trip exactly (Rust's
-/// shortest-representation formatting guarantees this).
-fn format_float(x: f64) -> String {
-    if x == x.trunc() && x.abs() < 1e15 {
-        // Keep a trailing .0 so the value visibly stays a float.
-        format!("{x:.1}")
-    } else {
-        format!("{x}")
-    }
-}
+// Digit conversion lives in `sbq_model::numfmt` (two-digit-table itoa,
+// Grisu2 round-trip dtoa) — the per-element `format!` allocations this
+// replaced were the dominant cost of XML array encode.
 
 /// Parses the XML element currently *opened* in `parser` into a value of
 /// schema `ty`. The caller has consumed the `Start` event; this consumes

@@ -342,6 +342,7 @@ impl SoapServer {
 /// | `server.msgtype.<t>`   | counter   | selected response types             |
 /// | `marshal.<enc>.decode` | histogram | request unmarshal time              |
 /// | `marshal.<enc>.encode` | histogram | response marshal time               |
+/// | `marshal.simd_level`   | gauge     | latched kernel tier (0/1/2)         |
 struct ServerMetrics {
     registry: Registry,
     faults: Counter,
@@ -357,6 +358,12 @@ impl ServerMetrics {
     fn new(registry: &Registry, encoding: WireEncoding) -> ServerMetrics {
         let decode_name = format!("marshal.{}.decode", encoding.name());
         let encode_name = format!("marshal.{}.encode", encoding.name());
+        // The kernel tier is latched process-wide on first query; publishing
+        // it at bind means /metrics shows which tier is live before any bulk
+        // marshal has run (0 = scalar, 1 = SSE2, 2 = AVX2).
+        registry
+            .gauge("marshal.simd_level")
+            .set(sbq_runtime::simd::level() as i64);
         ServerMetrics {
             faults: registry.counter("server.faults"),
             reduced: registry.counter("server.reduced"),

@@ -62,6 +62,29 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Length of the common prefix of `a` and `b`, capped at `limit`,
+/// compared a u64 word at a time: load 8 bytes from each side, XOR, and
+/// `trailing_zeros` locates the first differing byte — 8× fewer
+/// comparisons than the old byte loop on the long matches that dominate
+/// compressible payloads.
+fn match_len(a: &[u8], b: &[u8], limit: usize) -> usize {
+    let n = limit.min(a.len()).min(b.len());
+    let mut l = 0;
+    while l + 8 <= n {
+        let wa = u64::from_le_bytes(a[l..l + 8].try_into().expect("8-byte window"));
+        let wb = u64::from_le_bytes(b[l..l + 8].try_into().expect("8-byte window"));
+        let x = wa ^ wb;
+        if x != 0 {
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < n && a[l] == b[l] {
+        l += 1;
+    }
+    l
+}
+
 /// Produces the raw LZSS token stream for `input` (no headers).
 #[allow(unused_assignments)] // the flush macro resets state that the final call leaves unread
 fn lzss_tokens(input: &[u8]) -> Vec<u8> {
@@ -101,10 +124,7 @@ fn lzss_tokens(input: &[u8]) -> Vec<u8> {
                 // Quick reject on the byte just past the current best.
                 if best_len == 0 || input.get(cand + best_len) == input.get(i + best_len) {
                     let limit = (input.len() - i).min(MAX_MATCH);
-                    let mut l = 0;
-                    while l < limit && input[cand + l] == input[i + l] {
-                        l += 1;
-                    }
+                    let l = match_len(&input[cand..], &input[i..], limit);
                     if l > best_len {
                         best_len = l;
                         best_dist = i - cand;
@@ -250,6 +270,30 @@ mod tests {
         round_trip(b"");
         round_trip(b"a");
         round_trip(b"abc");
+    }
+
+    #[test]
+    fn match_len_agrees_with_byte_scan_at_word_boundaries() {
+        let reference = |a: &[u8], b: &[u8], limit: usize| {
+            let n = limit.min(a.len()).min(b.len());
+            (0..n).take_while(|&l| a[l] == b[l]).count()
+        };
+        let base: Vec<u8> = (0..64u8).collect();
+        for diff_at in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 63] {
+            let mut other = base.clone();
+            other[diff_at] ^= 0xFF;
+            for limit in [0usize, 1, 7, 8, 9, 16, 64, 258] {
+                assert_eq!(
+                    match_len(&base, &other, limit),
+                    reference(&base, &other, limit),
+                    "diff_at={diff_at} limit={limit}"
+                );
+            }
+        }
+        // Fully equal slices cap at the limit / shorter slice.
+        assert_eq!(match_len(&base, &base, 258), 64);
+        assert_eq!(match_len(&base, &base[..10], 258), 10);
+        assert_eq!(match_len(&base, &base, 5), 5);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! message layout.
 
 pub mod base64;
+pub mod numfmt;
 pub mod path;
 pub mod project;
 pub mod ty;

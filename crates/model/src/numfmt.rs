@@ -1,0 +1,802 @@
+//! Fast decimal formatting for the XML marshal path.
+//!
+//! `format!`/`Display` allocate a fresh `String` per element and route
+//! through the `fmt` machinery; on million-element arrays that is the
+//! dominant cost of XML encode. This module appends digits straight into
+//! the caller's buffer:
+//!
+//! * [`write_i64`] — two-digits-at-a-time integer formatting on a stack
+//!   buffer.
+//! * [`write_f64`] — a Grisu2 shortest-ish formatter. The emitted digit
+//!   string always lies strictly inside the value's neighbor-midpoint
+//!   interval, so `str::parse::<f64>()` recovers the exact bits; it may
+//!   occasionally carry one more digit than the true shortest form
+//!   (Grisu2's known imprecision), which is invisible to any parser.
+//!
+//! The Grisu cached-powers table (87 entries, `10^-348 … 10^340` step 8)
+//! is built once at startup from exact bignum arithmetic rather than
+//! embedded as literals — same values, but verifiable from first
+//! principles, and no 2KB of magic constants to transcribe wrong. The
+//! round-trip property test in this module fuzzes millions of bit
+//! patterns against `parse` to hold the whole pipeline exact.
+
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Integers
+// ---------------------------------------------------------------------------
+
+const DIGIT_PAIRS: &[u8; 200] = b"0001020304050607080910111213141516171819\
+2021222324252627282930313233343536373839\
+4041424344454647484950515253545556575859\
+6061626364656667686970717273747576777879\
+8081828384858687888990919293949596979899";
+
+/// Appends `v`'s decimal form to `out` (no allocation beyond `out`'s own
+/// growth).
+pub fn write_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+        // Negate in u64 space so i64::MIN doesn't overflow.
+        write_u64(out, (v as u64).wrapping_neg());
+    } else {
+        write_u64(out, v as u64);
+    }
+}
+
+/// Appends `v`'s decimal form to `out`.
+pub fn write_u64(out: &mut String, mut v: u64) {
+    // 20 digits max for u64.
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    while v >= 100 {
+        let pair = ((v % 100) as usize) * 2;
+        v /= 100;
+        i -= 2;
+        buf[i] = DIGIT_PAIRS[pair];
+        buf[i + 1] = DIGIT_PAIRS[pair + 1];
+    }
+    if v >= 10 {
+        let pair = (v as usize) * 2;
+        i -= 2;
+        buf[i] = DIGIT_PAIRS[pair];
+        buf[i + 1] = DIGIT_PAIRS[pair + 1];
+    } else {
+        i -= 1;
+        buf[i] = b'0' + v as u8;
+    }
+    // SAFETY: buf[i..] is ASCII digits only.
+    out.push_str(unsafe { std::str::from_utf8_unchecked(&buf[i..]) });
+}
+
+// ---------------------------------------------------------------------------
+// Floats — Grisu2
+// ---------------------------------------------------------------------------
+
+/// An extended-precision float: `f * 2^e`, `f` a full 64-bit significand.
+#[derive(Clone, Copy, Debug)]
+struct Fp {
+    f: u64,
+    e: i32,
+}
+
+const F64_SIG_BITS: u32 = 52;
+const F64_HIDDEN: u64 = 1 << F64_SIG_BITS;
+const F64_EXP_BIAS: i32 = 1075; // 1023 + 52
+
+impl Fp {
+    /// Raw (denormalized) significand/exponent of a positive finite `x`.
+    fn from_f64(x: f64) -> Fp {
+        let bits = x.to_bits();
+        let biased = ((bits >> F64_SIG_BITS) & 0x7ff) as i32;
+        let frac = bits & (F64_HIDDEN - 1);
+        if biased == 0 {
+            // Subnormal: no hidden bit.
+            Fp {
+                f: frac,
+                e: 1 - F64_EXP_BIAS,
+            }
+        } else {
+            Fp {
+                f: frac | F64_HIDDEN,
+                e: biased - F64_EXP_BIAS,
+            }
+        }
+    }
+
+    /// Shifts `f` up until bit 63 is set.
+    fn normalize(self) -> Fp {
+        let s = self.f.leading_zeros() as i32;
+        Fp {
+            f: self.f << s,
+            e: self.e - s,
+        }
+    }
+
+    /// Rounded high 64 bits of the 128-bit product.
+    fn mul(self, o: Fp) -> Fp {
+        let p = (self.f as u128) * (o.f as u128) + (1u128 << 63);
+        Fp {
+            f: (p >> 64) as u64,
+            e: self.e + o.e + 64,
+        }
+    }
+}
+
+/// Normalized boundaries (m⁻, m⁺) of `x`: the midpoints to the adjacent
+/// representable values, both scaled to m⁺'s exponent. Also returns the
+/// raw `Fp` of `x` itself so the caller decodes the bits only once.
+fn normalized_boundaries(x: f64) -> (Fp, Fp, Fp) {
+    let v = Fp::from_f64(x);
+    // Upper boundary: (f*2 + 1) * 2^(e-1), then normalize.
+    let plus = Fp {
+        f: (v.f << 1) + 1,
+        e: v.e - 1,
+    }
+    .normalize();
+    // Lower boundary: a power-of-two significand has a closer lower
+    // neighbor (the gap below is half the gap above).
+    let minus = if v.f == F64_HIDDEN && v.e > 1 - F64_EXP_BIAS {
+        Fp {
+            f: (v.f << 2) - 1,
+            e: v.e - 2,
+        }
+    } else {
+        Fp {
+            f: (v.f << 1) - 1,
+            e: v.e - 1,
+        }
+    };
+    // Scale to plus.e so digit_gen can subtract them directly.
+    let minus = Fp {
+        f: minus.f << (minus.e - plus.e),
+        e: plus.e,
+    };
+    (v, minus, plus)
+}
+
+// --- Cached powers of ten, built at startup from exact bignums ---------
+
+/// Little-endian base-2^64 bignum helpers, used only to build the table.
+mod bignum {
+    pub fn mul_small(a: &mut Vec<u64>, m: u64) {
+        let mut carry: u128 = 0;
+        for limb in a.iter_mut() {
+            let t = *limb as u128 * m as u128 + carry;
+            *limb = t as u64;
+            carry = t >> 64;
+        }
+        if carry > 0 {
+            a.push(carry as u64);
+        }
+    }
+
+    pub fn bitlen(a: &[u64]) -> usize {
+        match a.iter().rposition(|&l| l != 0) {
+            Some(i) => (i + 1) * 64 - a[i].leading_zeros() as usize,
+            None => 0,
+        }
+    }
+
+    /// `a * m` into a fresh bignum.
+    pub fn mul_u64(a: &[u64], m: u64) -> Vec<u64> {
+        let mut out = a.to_vec();
+        mul_small(&mut out, m);
+        out
+    }
+
+    /// `2^s` as a bignum.
+    pub fn pow2(s: usize) -> Vec<u64> {
+        let mut v = vec![0u64; s / 64 + 1];
+        v[s / 64] = 1u64 << (s % 64);
+        v
+    }
+
+    pub fn cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+        let la = a.iter().rposition(|&l| l != 0).map_or(0, |i| i + 1);
+        let lb = b.iter().rposition(|&l| l != 0).map_or(0, |i| i + 1);
+        if la != lb {
+            return la.cmp(&lb);
+        }
+        for i in (0..la).rev() {
+            if a[i] != b[i] {
+                return a[i].cmp(&b[i]);
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// `a - b` (requires `a >= b`).
+    pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; a.len()];
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let bi = *b.get(i).unwrap_or(&0);
+            let (d1, o1) = a[i].overflowing_sub(bi);
+            let (d2, o2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (o1 || o2) as u64;
+        }
+        debug_assert_eq!(borrow, 0, "bignum sub underflow");
+        out
+    }
+}
+
+/// Round-to-nearest 64-bit significand approximation of `10^k`.
+fn exact_pow10_fp(k: i32) -> Fp {
+    use std::cmp::Ordering;
+    if k == 0 {
+        return Fp { f: 1 << 63, e: -63 };
+    }
+    // b = 10^|k| exactly.
+    let mut b = vec![1u64];
+    for _ in 0..k.abs() {
+        bignum::mul_small(&mut b, 10);
+    }
+    let l = bignum::bitlen(&b) as i32;
+    if k > 0 && l <= 64 {
+        // Fits a single limb: exactly representable, just normalize.
+        return Fp { f: b[0], e: 0 }.normalize();
+    }
+    if k > 0 {
+        // f = round(b / 2^(l-64)), e = l - 64.
+        let sh = (l - 64) as usize;
+        let (limb, bit) = (sh / 64, sh % 64);
+        let mut f = b[limb] >> bit;
+        if bit != 0 {
+            if let Some(hi) = b.get(limb + 1) {
+                f |= hi << (64 - bit);
+            }
+        }
+        // Round half-up on the first dropped bit.
+        let round_up = sh > 0 && {
+            let rb = sh - 1;
+            (b[rb / 64] >> (rb % 64)) & 1 == 1
+        };
+        let (mut f, mut e) = (f, l - 64);
+        if round_up {
+            let (nf, ov) = f.overflowing_add(1);
+            if ov {
+                f = 1 << 63;
+                e += 1;
+            } else {
+                f = nf;
+            }
+        }
+        Fp { f, e }
+    } else {
+        // f = round(2^(l+63) / b), e = -(l+63): binary-search the floor
+        // quotient with exact multiply-compare (no bignum division).
+        let s = (l + 63) as usize;
+        let target = bignum::pow2(s);
+        let (mut lo, mut hi) = (1u64 << 63, u64::MAX);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            match bignum::cmp(&bignum::mul_u64(&b, mid), &target) {
+                Ordering::Greater => hi = mid - 1,
+                _ => lo = mid,
+            }
+        }
+        let q = lo;
+        let rem = bignum::sub(&target, &bignum::mul_u64(&b, q));
+        let round_up = bignum::cmp(&bignum::mul_u64(&rem, 2), &b) != Ordering::Less;
+        let (mut f, mut e) = (q, -(l + 63));
+        if round_up {
+            let (nf, ov) = f.overflowing_add(1);
+            if ov {
+                f = 1 << 63;
+                e += 1;
+            } else {
+                f = nf;
+            }
+        }
+        Fp { f, e }
+    }
+}
+
+/// 87 cached powers `10^(-348 + 8i)`, each within 0.5 ulp of exact.
+fn pow_cache() -> &'static [Fp; 87] {
+    static CACHE: OnceLock<[Fp; 87]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut t = [Fp { f: 0, e: 0 }; 87];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = exact_pow10_fp(-348 + 8 * i as i32);
+        }
+        t
+    })
+}
+
+const D_1_LOG2_10: f64 = std::f64::consts::LOG10_2; // 1 / log2(10)
+
+/// Table index of the cached power for binary exponent `e` (the `ceil`
+/// + shift arithmetic of the classic Grisu selection, precomputed).
+fn power_index(e: i32) -> usize {
+    let dk = (-61 - e) as f64 * D_1_LOG2_10 + 347.0;
+    let mut k = dk as i32;
+    if dk - k as f64 > 0.0 {
+        k += 1;
+    }
+    ((k >> 3) + 1) as usize
+}
+
+/// Binary exponents reachable by `plus.e`: normalized boundaries of
+/// subnormals bottom out at `e = -1137` (significand 3 shifted 62) and
+/// the largest finite doubles top out at `e = 960`.
+const POW_E_MIN: i32 = -1140;
+const POW_E_RANGE: usize = 2104;
+
+/// `plus.e → pow_cache index`, precomputed so the per-call lookup is one
+/// table load instead of an f64 multiply + ceil on the dtoa front path.
+fn power_index_table() -> &'static [u8; POW_E_RANGE] {
+    static TABLE: OnceLock<[u8; POW_E_RANGE]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u8; POW_E_RANGE];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = power_index(POW_E_MIN + i as i32).min(86) as u8;
+        }
+        t
+    })
+}
+
+/// Cached power c ≈ 10^K with `e + c.e + 64 ∈ [-61, -32]`, plus K.
+fn cached_power(e: i32) -> (Fp, i32) {
+    let index = power_index_table()[(e - POW_E_MIN) as usize] as usize;
+    (pow_cache()[index], -348 + ((index as i32) << 3))
+}
+
+const POW10_U32: [u32; 10] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+fn decimal_digits_u32(n: u32) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    // log10 from log2 (1233/4096 ≈ log10(2)), one table compare to fix up
+    // — constant-time, unlike a scan over POW10_U32.
+    let approx = ((32 - n.leading_zeros() as usize) * 1233) >> 12;
+    approx + (n >= *POW10_U32.get(approx).unwrap_or(&u32::MAX)) as usize
+}
+
+/// Nudges the last digit toward the true value `w` while staying inside
+/// the rounding interval (Grisu2's closest-digit correction).
+fn grisu_round(buf: &mut [u8], len: usize, delta: u64, mut rest: u64, ten_kappa: u64, wp_w: u64) {
+    while rest < wp_w
+        && delta - rest >= ten_kappa
+        && (rest + ten_kappa < wp_w || wp_w - rest > rest + ten_kappa - wp_w)
+    {
+        buf[len - 1] -= 1;
+        rest += ten_kappa;
+    }
+}
+
+/// Generates decimal digits of `w` (scaled), bounded by `mp`/`delta`.
+/// Returns (digit count, decimal exponent adjustment).
+fn digit_gen(w: Fp, mp: Fp, mut delta: u64, buf: &mut [u8]) -> (usize, i32) {
+    let one = Fp {
+        f: 1u64 << -mp.e,
+        e: mp.e,
+    };
+    let wp_w = mp.f - w.f;
+    let mut p1 = (mp.f >> -one.e) as u32;
+    let mut p2 = mp.f & (one.f - 1);
+    let mut kappa = decimal_digits_u32(p1) as i32;
+    let mut len = 0usize;
+    while kappa > 0 {
+        // Divisors spelled as literals per kappa so each division compiles
+        // to a multiply-shift; one runtime-divisor `p1 / pow` in this loop
+        // is a ~25-cycle hardware divide on the critical path and was the
+        // dominant cost of the whole dtoa.
+        let d;
+        match kappa {
+            10 => {
+                d = p1 / 1_000_000_000;
+                p1 %= 1_000_000_000;
+            }
+            9 => {
+                d = p1 / 100_000_000;
+                p1 %= 100_000_000;
+            }
+            8 => {
+                d = p1 / 10_000_000;
+                p1 %= 10_000_000;
+            }
+            7 => {
+                d = p1 / 1_000_000;
+                p1 %= 1_000_000;
+            }
+            6 => {
+                d = p1 / 100_000;
+                p1 %= 100_000;
+            }
+            5 => {
+                d = p1 / 10_000;
+                p1 %= 10_000;
+            }
+            4 => {
+                d = p1 / 1_000;
+                p1 %= 1_000;
+            }
+            3 => {
+                d = p1 / 100;
+                p1 %= 100;
+            }
+            2 => {
+                d = p1 / 10;
+                p1 %= 10;
+            }
+            _ => {
+                d = p1;
+                p1 = 0;
+            }
+        }
+        if d != 0 || len != 0 {
+            buf[len] = b'0' + d as u8;
+            len += 1;
+        }
+        kappa -= 1;
+        let tmp = ((p1 as u64) << -one.e) + p2;
+        if tmp <= delta {
+            grisu_round(
+                buf,
+                len,
+                delta,
+                tmp,
+                (POW10_U32[kappa as usize] as u64) << -one.e,
+                wp_w,
+            );
+            return (len, kappa);
+        }
+    }
+    // Fractional digits. When the scaled `one` has at most 57 fractional
+    // bits, `p2` and `delta` both stay below 2^57 at the top of each
+    // iteration (`delta ≤ p2 < one.f`, else we'd have exited), so a ×100
+    // step cannot overflow u64 (2^57 · 100 < 2^64) and we can emit two
+    // digits per trip through the serial multiply chain — halving the
+    // loop-carried latency that dominates dtoa. Wider exponents take the
+    // classic one-digit step, whose ×10 growth is the textbook bound.
+    if -one.e <= 57 {
+        loop {
+            p2 *= 100;
+            delta *= 100;
+            let d = (p2 >> -one.e) as usize; // both digits, 0..=99
+                                             // Exact mid-pair stop check: `p2/10` is the one-digit loop's
+                                             // state after the first of these two digits (the ÷10 is a
+                                             // multiply-shift off the carried chain), so output stays
+                                             // byte-identical to the one-digit loop — including where
+                                             // grisu_round runs and with which arguments.
+            let p2_mid = (p2 / 10) & (one.f - 1);
+            let delta_mid = delta / 10;
+            if p2_mid < delta_mid {
+                let dh = (d / 10) as u8;
+                if dh != 0 || len != 0 {
+                    buf[len] = b'0' + dh;
+                    len += 1;
+                }
+                kappa -= 1;
+                let scale = POW10_U32[(-kappa).min(9) as usize] as u64;
+                grisu_round(
+                    buf,
+                    len,
+                    delta_mid,
+                    p2_mid,
+                    one.f,
+                    wp_w.saturating_mul(scale),
+                );
+                return (len, kappa);
+            }
+            if len != 0 {
+                buf[len] = DIGIT_PAIRS[d * 2];
+                buf[len + 1] = DIGIT_PAIRS[d * 2 + 1];
+                len += 2;
+            } else if d >= 10 {
+                buf[0] = DIGIT_PAIRS[d * 2];
+                buf[1] = DIGIT_PAIRS[d * 2 + 1];
+                len = 2;
+            } else if d != 0 {
+                buf[0] = b'0' + d as u8;
+                len = 1;
+            }
+            p2 &= one.f - 1;
+            kappa -= 2;
+            if p2 < delta {
+                let scale = POW10_U32[(-kappa).min(9) as usize] as u64;
+                grisu_round(buf, len, delta, p2, one.f, wp_w.saturating_mul(scale));
+                return (len, kappa);
+            }
+        }
+    }
+    loop {
+        p2 *= 10;
+        delta *= 10;
+        let d = (p2 >> -one.e) as u8;
+        if d != 0 || len != 0 {
+            buf[len] = b'0' + d;
+            len += 1;
+        }
+        p2 &= one.f - 1;
+        kappa -= 1;
+        if p2 < delta {
+            let scale = POW10_U32[(-kappa).min(9) as usize] as u64;
+            grisu_round(buf, len, delta, p2, one.f, wp_w.saturating_mul(scale));
+            return (len, kappa);
+        }
+    }
+}
+
+/// Grisu2 core: digits of positive finite `x` plus decimal exponent `k`
+/// such that `digits × 10^k == x`.
+fn grisu2(x: f64, buf: &mut [u8; 24]) -> (usize, i32) {
+    let (v, minus, plus) = normalized_boundaries(x);
+    let (c, k10) = cached_power(plus.e);
+    let w = v.normalize().mul(c);
+    let mut wp = plus.mul(c);
+    let mut wm = minus.mul(c);
+    // Shrink by 1 ulp each side to absorb cached-power rounding error:
+    // any digit string inside [wm, wp] now provably round-trips.
+    wm.f += 1;
+    wp.f -= 1;
+    let (len, kappa) = digit_gen(w, wp, wp.f - wm.f, buf);
+    (len, kappa - k10)
+}
+
+/// Appends a round-trip-exact decimal form of `x` to `out`.
+///
+/// Semantics match the old `format!`-based path where it matters:
+/// integral values below 10^15 keep a visible `.0` (including `-0.0`),
+/// non-finite values print as `inf`/`-inf`/`NaN`, and extreme magnitudes
+/// use `e`-notation (all accepted by `str::parse::<f64>()`).
+pub fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // Rare; Display's spelling ("inf"/"NaN") parses back exactly.
+        out.push_str(if x.is_nan() {
+            "NaN"
+        } else if x > 0.0 {
+            "inf"
+        } else {
+            "-inf"
+        });
+        return;
+    }
+    if x == 0.0 {
+        out.push_str(if x.is_sign_negative() { "-0.0" } else { "0.0" });
+        return;
+    }
+    if x.is_sign_negative() {
+        out.push('-');
+    }
+    let a = x.abs();
+    // Integral fast path, exact in u64 (1e15 < 2^53). The round-trip
+    // through u64 stands in for `a == a.trunc()`: baseline x86-64 has no
+    // roundsd, so `trunc()` is a libm call on every value otherwise.
+    if a < 1e15 && (a as u64) as f64 == a {
+        write_u64(out, a as u64);
+        out.push_str(".0");
+        return;
+    }
+    let mut buf = [0u8; 24];
+    let (len, k) = grisu2(a, &mut buf);
+    let digits = &buf[..len];
+    // Assemble the rendering in a stack buffer so `out` takes one push
+    // (a single capacity check + memcpy per number): worst case is the
+    // 0.000… form at 2 + 5 + digits.
+    let mut tmp = [0u8; 32];
+    let mut t = 0usize;
+    // kk = position of the decimal point relative to the digit string.
+    let kk = len as i32 + k;
+    if 0 < kk && kk <= 21 {
+        if kk >= len as i32 {
+            // ddd000.0 — digits then zeros up to the point.
+            tmp[t..t + len].copy_from_slice(digits);
+            t += len;
+            for _ in 0..(kk - len as i32) {
+                tmp[t] = b'0';
+                t += 1;
+            }
+            tmp[t] = b'.';
+            tmp[t + 1] = b'0';
+            t += 2;
+        } else {
+            // ddd.ddd
+            let point = kk as usize;
+            tmp[t..t + point].copy_from_slice(&digits[..point]);
+            t += point;
+            tmp[t] = b'.';
+            t += 1;
+            tmp[t..t + len - point].copy_from_slice(&digits[point..]);
+            t += len - point;
+        }
+    } else if -6 < kk && kk <= 0 {
+        // 0.000ddd
+        tmp[t] = b'0';
+        tmp[t + 1] = b'.';
+        t += 2;
+        for _ in 0..-kk {
+            tmp[t] = b'0';
+            t += 1;
+        }
+        tmp[t..t + len].copy_from_slice(digits);
+        t += len;
+    } else {
+        // d.ddde±x
+        tmp[t] = digits[0];
+        t += 1;
+        if len > 1 {
+            tmp[t] = b'.';
+            t += 1;
+            tmp[t..t + len - 1].copy_from_slice(&digits[1..]);
+            t += len - 1;
+        }
+        tmp[t] = b'e';
+        t += 1;
+        let mut e = kk - 1;
+        if e < 0 {
+            tmp[t] = b'-';
+            t += 1;
+            e = -e;
+        }
+        // Decimal exponents span 1..=324 — at most three digits.
+        if e >= 100 {
+            tmp[t] = b'0' + (e / 100) as u8;
+            t += 1;
+        }
+        if e >= 10 {
+            tmp[t] = b'0' + ((e / 10) % 10) as u8;
+            t += 1;
+        }
+        tmp[t] = b'0' + (e % 10) as u8;
+        t += 1;
+    }
+    // SAFETY: only ASCII digits and punctuation were written above.
+    out.push_str(unsafe { std::str::from_utf8_unchecked(&tmp[..t]) });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbq_runtime::SmallRng;
+
+    fn fmt_f64(x: f64) -> String {
+        let mut s = String::new();
+        write_f64(&mut s, x);
+        s
+    }
+
+    fn fmt_i64(v: i64) -> String {
+        let mut s = String::new();
+        write_i64(&mut s, v);
+        s
+    }
+
+    #[test]
+    fn integer_edges_match_display() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            9,
+            10,
+            99,
+            100,
+            101,
+            -12345,
+            i64::MAX,
+            i64::MIN,
+            i64::MIN + 1,
+        ] {
+            assert_eq!(fmt_i64(v), v.to_string());
+        }
+    }
+
+    #[test]
+    fn integer_fuzz_matches_display() {
+        let mut rng = SmallRng::seed_from_u64(0x17_0a);
+        for _ in 0..100_000 {
+            let v = rng.next_u64() as i64;
+            assert_eq!(fmt_i64(v), v.to_string());
+            let small = rng.gen_range(-1_000_000, 1_000_000);
+            assert_eq!(fmt_i64(small), small.to_string());
+        }
+    }
+
+    #[test]
+    fn float_fixed_semantics_preserved() {
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(-0.0), "-0.0");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(-17.0), "-17.0");
+        assert_eq!(fmt_f64(3.25), "3.25");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-inf");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        // Small magnitudes stay in positional form down to 1e-6.
+        assert_eq!(fmt_f64(0.001), "0.001");
+        // All spellings must parse back bit-exact.
+        for x in [1e-7, 1e21, 1e300, 5e-324, f64::MAX, f64::MIN_POSITIVE] {
+            let s = fmt_f64(x);
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_fuzz_uniform_values() {
+        let mut rng = SmallRng::seed_from_u64(0xf64);
+        for i in 0..200_000 {
+            // The workload shape: uniform values scaled to engineering
+            // ranges, both signs.
+            let x = (rng.gen_f64() - 0.5) * 10f64.powi((i % 61) - 30);
+            let s = fmt_f64(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e} -> {s}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_fuzz_raw_bit_patterns() {
+        let mut rng = SmallRng::seed_from_u64(0xb175);
+        let mut checked = 0;
+        while checked < 200_000 {
+            let x = f64::from_bits(rng.next_u64());
+            if !x.is_finite() {
+                continue;
+            }
+            checked += 1;
+            let s = fmt_f64(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e} -> {s}");
+        }
+    }
+
+    #[test]
+    fn float_boundary_cases_round_trip() {
+        // Power-of-two boundaries exercise the asymmetric lower-gap
+        // branch; subnormals exercise the no-hidden-bit branch.
+        for exp in -1074..972 {
+            let x = 2f64.powi(exp);
+            let s = fmt_f64(x);
+            assert_eq!(
+                s.parse::<f64>().unwrap().to_bits(),
+                x.to_bits(),
+                "2^{exp} -> {s}"
+            );
+        }
+        for bits in [1u64, 2, 0xf_ffff_ffff_ffff, 0x10_0000_0000_0000] {
+            let x = f64::from_bits(bits);
+            let s = fmt_f64(x);
+            assert_eq!(
+                s.parse::<f64>().unwrap().to_bits(),
+                bits,
+                "{bits:#x} -> {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_power_table_spot_checks() {
+        // 10^0 and 10^8 are exactly representable; the table entry must
+        // be the normalized exact value.
+        let one = exact_pow10_fp(0);
+        assert_eq!((one.f, one.e), (1 << 63, -63));
+        let e8 = exact_pow10_fp(8);
+        let exact = Fp {
+            f: 100_000_000,
+            e: 0,
+        }
+        .normalize();
+        assert_eq!((e8.f, e8.e), (exact.f, exact.e));
+        // 10^-1 = 0.0001100110011… rounds to 0xCCCC…CCCD at e=-67.
+        let em1 = exact_pow10_fp(-1);
+        assert_eq!(em1.f, 0xCCCC_CCCC_CCCC_CCCD);
+        assert_eq!(em1.e, -67);
+    }
+}

@@ -36,7 +36,11 @@
 use crate::format::{ByteOrder, FormatDesc, WireType};
 use crate::PbioError;
 use sbq_model::{StructValue, Value};
-use sbq_telemetry::{Counter, Registry};
+use sbq_runtime::cpu_pool::marshal_pool;
+use sbq_runtime::simd;
+use sbq_telemetry::{Counter, Gauge, Registry};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 // ---------------------------------------------------------------------------
@@ -52,14 +56,27 @@ struct ExecCounters {
     scalar: u64,
 }
 
-fn plan_counters() -> &'static (Counter, Counter) {
-    static C: OnceLock<(Counter, Counter)> = OnceLock::new();
-    C.get_or_init(|| {
+struct PlanMetrics {
+    bulk: Counter,
+    scalar: Counter,
+    /// Mirrors of the marshal pool's monotonic fork/join totals.
+    pool_steals: Gauge,
+    pool_parallel_jobs: Gauge,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static M: OnceLock<PlanMetrics> = OnceLock::new();
+    M.get_or_init(|| {
         let reg = Registry::global();
-        (
-            reg.counter("pbio.plan.bulk_ops"),
-            reg.counter("pbio.plan.scalar_ops"),
-        )
+        // The kernel tier is latched once per process; publishing it as a
+        // gauge lets a deployment confirm which tier is live at /metrics.
+        reg.gauge("marshal.simd_level").set(simd::level() as i64);
+        PlanMetrics {
+            bulk: reg.counter("pbio.plan.bulk_ops"),
+            scalar: reg.counter("pbio.plan.scalar_ops"),
+            pool_steals: reg.gauge("pool.steals"),
+            pool_parallel_jobs: reg.gauge("pool.parallel_jobs"),
+        }
     })
 }
 
@@ -68,13 +85,119 @@ impl ExecCounters {
         if self.bulk == 0 && self.scalar == 0 {
             return;
         }
-        let (bulk, scalar) = plan_counters();
+        let m = plan_metrics();
         if self.bulk > 0 {
-            bulk.add(self.bulk);
+            m.bulk.add(self.bulk);
         }
         if self.scalar > 0 {
-            scalar.add(self.scalar);
+            m.scalar.add(self.scalar);
         }
+        // Read-only: if no bulk split ever ran, the pool was never
+        // spawned and the gauges simply stay at zero — flushing metrics
+        // must not create worker threads.
+        if let Some(pool) = sbq_runtime::cpu_pool::try_marshal_pool() {
+            let stats = pool.stats();
+            m.pool_steals
+                .set(stats.steals.load(Ordering::Relaxed) as i64);
+            m.pool_parallel_jobs
+                .set(stats.parallel_jobs.load(Ordering::Relaxed) as i64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel split policy
+// ---------------------------------------------------------------------------
+
+/// Array payloads at or above this many bytes are split across the
+/// marshal pool; below it the fork/join overhead (one queue submission
+/// per helper, ~µs) isn't worth amortizing, so small messages stay on
+/// the calling thread. Overridable per-process with
+/// `SBQ_PAR_THRESHOLD` (bytes) and at runtime via
+/// [`set_parallel_threshold`].
+pub const DEFAULT_PAR_THRESHOLD: usize = 4 << 20;
+
+/// Target bytes per parallel chunk: comfortably cache-sized, large
+/// enough that a chunk is hundreds of microseconds of kernel work.
+const PAR_CHUNK_BYTES: usize = 1 << 20;
+
+fn par_threshold_cell() -> &'static AtomicUsize {
+    static T: OnceLock<AtomicUsize> = OnceLock::new();
+    T.get_or_init(|| {
+        let t = std::env::var("SBQ_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD);
+        AtomicUsize::new(t.max(1))
+    })
+}
+
+/// Overrides the byte threshold above which bulk array kernels split
+/// across the marshal pool. Exposed for tests (which lower it to force
+/// the parallel path on small payloads) and for operational tuning.
+pub fn set_parallel_threshold(bytes: usize) {
+    par_threshold_cell().store(bytes.max(1), Ordering::Relaxed);
+}
+
+/// Number of chunks to split `total_bytes` of kernel work into, or
+/// `None` when the payload should stay serial.
+fn parallel_chunks(total_bytes: usize, elems: usize) -> Option<usize> {
+    if elems < 2 || total_bytes < par_threshold_cell().load(Ordering::Relaxed) {
+        return None;
+    }
+    Some((total_bytes / PAR_CHUNK_BYTES).clamp(2, 64).min(elems))
+}
+
+/// Raw-pointer wrapper so disjoint destination ranges can be written
+/// from pool workers. Soundness is the caller's obligation: every chunk
+/// closure must touch only its own `[lo, hi)` element range.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer field itself.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Runs `kernel(lo, hi, dst_ptr)` over `[0, elems)` — in parallel chunks
+/// on the marshal pool when the payload is large enough, serially
+/// otherwise. `kernel` must write exactly the elements in its range.
+fn run_chunked<T>(
+    elems: usize,
+    elem_bytes: usize,
+    dst: &mut [MaybeUninit<T>],
+    kernel: impl Fn(usize, usize, *mut MaybeUninit<T>) + Sync,
+) {
+    let ptr = dst.as_mut_ptr();
+    match parallel_chunks(elems * elem_bytes, elems) {
+        Some(chunks) => {
+            let per = elems.div_ceil(chunks);
+            let shared = SendPtr(ptr);
+            marshal_pool().run_parallel(chunks, &|i| {
+                let lo = i * per;
+                let hi = ((i + 1) * per).min(elems);
+                if lo < hi {
+                    // SAFETY: chunk element ranges are disjoint; the
+                    // pointer stays valid because run_parallel joins
+                    // before run_chunked returns (dst outlives the call).
+                    kernel(lo, hi, shared.get());
+                }
+            });
+        }
+        None => kernel(0, elems, ptr),
+    }
+}
+
+/// Whether `bo` is the opposite of the host byte order (the kernels'
+/// "swap" flag).
+fn wire_swapped(bo: ByteOrder) -> bool {
+    match bo {
+        ByteOrder::Little => cfg!(target_endian = "big"),
+        ByteOrder::Big => cfg!(target_endian = "little"),
     }
 }
 
@@ -222,67 +345,50 @@ fn encode_field(
 /// Bulk int-array kernel: one `resize`, then a `chunks_exact_mut` pass the
 /// optimizer turns into memcpy (native order) or a vectorized byte swap.
 /// Narrow widths take the low (LE) / high (BE) bytes of each element.
-/// Stack staging block for the bulk encode kernels: elements are packed
-/// into this cache-resident buffer with a `chunks_exact` pass, then
-/// appended with one `extend_from_slice`, so the output `Vec` is written
-/// exactly once (a `resize` would pay a full zero-fill pass first).
-const ENCODE_BLOCK: usize = 8 * 1024;
-
+/// Bulk int-array encode: the SIMD dispatch layer packs straight into
+/// the output `Vec`'s reserved spare capacity (written exactly once, no
+/// staging copy and no zero-fill), splitting across the marshal pool
+/// above the parallel threshold.
 fn encode_int_array(out: &mut Vec<u8>, v: &[i64], width: u8, bo: ByteOrder) {
     let w = width as usize;
-    out.reserve(v.len() * w);
-    let mut tmp = [0u8; ENCODE_BLOCK];
-    for block in v.chunks(ENCODE_BLOCK / 8) {
-        let dst = &mut tmp[..block.len() * w];
-        match bo {
-            ByteOrder::Little => {
-                for (d, x) in dst.chunks_exact_mut(w).zip(block) {
-                    d.copy_from_slice(&x.to_le_bytes()[..w]);
-                }
-            }
-            ByteOrder::Big => {
-                for (d, x) in dst.chunks_exact_mut(w).zip(block) {
-                    d.copy_from_slice(&x.to_be_bytes()[8 - w..]);
-                }
-            }
-        }
-        out.extend_from_slice(dst);
-    }
+    let total = v.len() * w;
+    out.reserve(total);
+    let old = out.len();
+    let swap = wire_swapped(bo);
+    run_chunked(
+        v.len(),
+        w,
+        &mut out.spare_capacity_mut()[..total],
+        |lo, hi, p| {
+            // SAFETY: [lo*w, hi*w) stays inside the `total`-byte reservation.
+            let d = unsafe { std::slice::from_raw_parts_mut(p.add(lo * w), (hi - lo) * w) };
+            simd::encode_i64(&v[lo..hi], w, swap, d);
+        },
+    );
+    // SAFETY: run_chunked's kernels covered every byte of the reservation.
+    unsafe { out.set_len(old + total) };
 }
 
 /// Bulk float-array kernel; width 4 narrows through f32 like the scalar
 /// path does.
 fn encode_float_array(out: &mut Vec<u8>, v: &[f64], width: u8, bo: ByteOrder) {
     let w = width as usize;
-    out.reserve(v.len() * w);
-    let mut tmp = [0u8; ENCODE_BLOCK];
-    for block in v.chunks(ENCODE_BLOCK / 8) {
-        let dst = &mut tmp[..block.len() * w];
-        match (w, bo) {
-            (8, ByteOrder::Little) => {
-                for (d, x) in dst.chunks_exact_mut(8).zip(block) {
-                    d.copy_from_slice(&x.to_le_bytes());
-                }
-            }
-            (8, ByteOrder::Big) => {
-                for (d, x) in dst.chunks_exact_mut(8).zip(block) {
-                    d.copy_from_slice(&x.to_be_bytes());
-                }
-            }
-            (4, ByteOrder::Little) => {
-                for (d, x) in dst.chunks_exact_mut(4).zip(block) {
-                    d.copy_from_slice(&(*x as f32).to_le_bytes());
-                }
-            }
-            (4, ByteOrder::Big) => {
-                for (d, x) in dst.chunks_exact_mut(4).zip(block) {
-                    d.copy_from_slice(&(*x as f32).to_be_bytes());
-                }
-            }
-            _ => unreachable!("widths validated at format construction"),
-        }
-        out.extend_from_slice(dst);
-    }
+    let total = v.len() * w;
+    out.reserve(total);
+    let old = out.len();
+    let swap = wire_swapped(bo);
+    run_chunked(
+        v.len(),
+        w,
+        &mut out.spare_capacity_mut()[..total],
+        |lo, hi, p| {
+            // SAFETY: [lo*w, hi*w) stays inside the `total`-byte reservation.
+            let d = unsafe { std::slice::from_raw_parts_mut(p.add(lo * w), (hi - lo) * w) };
+            simd::encode_f64(&v[lo..hi], w, swap, d);
+        },
+    );
+    // SAFETY: run_chunked's kernels covered every byte of the reservation.
+    unsafe { out.set_len(old + total) };
 }
 
 fn write_int(out: &mut Vec<u8>, v: i64, width: u8, bo: ByteOrder) {
@@ -793,63 +899,41 @@ fn read_value(
     })
 }
 
-/// Bulk int-array decode: `chunks_exact` over pre-validated bytes. The
-/// width-8 host-order case optimizes to memcpy; other widths/orders do
-/// the swap plus sign extension on the same single pass.
+/// Bulk int-array decode: the SIMD dispatch layer fills freshly
+/// reserved `Vec` capacity in one pass (byte swap + sign extension
+/// fused), splitting across the marshal pool above the parallel
+/// threshold. Width-8 host-order degenerates to memcpy.
 fn decode_int_array(bytes: &[u8], width: u8, bo: ByteOrder) -> Vec<i64> {
     let w = width as usize;
-    let mut v = Vec::with_capacity(bytes.len() / w);
-    match (w, bo) {
-        (8, ByteOrder::Little) => v.extend(
-            bytes
-                .chunks_exact(8)
-                .map(|c| i64::from_le_bytes(c.try_into().expect("chunks_exact"))),
-        ),
-        (8, ByteOrder::Big) => v.extend(
-            bytes
-                .chunks_exact(8)
-                .map(|c| i64::from_be_bytes(c.try_into().expect("chunks_exact"))),
-        ),
-        (_, ByteOrder::Little) => v.extend(bytes.chunks_exact(w).map(|c| {
-            let mut t = [0u8; 8];
-            t[..w].copy_from_slice(c);
-            sign_extend(i64::from_le_bytes(t), w)
-        })),
-        (_, ByteOrder::Big) => v.extend(bytes.chunks_exact(w).map(|c| {
-            let mut t = [0u8; 8];
-            t[8 - w..].copy_from_slice(c);
-            sign_extend_be(i64::from_be_bytes(t), w)
-        })),
-    }
+    let n = bytes.len() / w;
+    let swap = wire_swapped(bo);
+    let mut v: Vec<i64> = Vec::with_capacity(n);
+    run_chunked(n, w, &mut v.spare_capacity_mut()[..n], |lo, hi, p| {
+        // SAFETY: [lo, hi) element ranges are disjoint and within the
+        // `n`-element reservation.
+        let d = unsafe { std::slice::from_raw_parts_mut(p.add(lo), hi - lo) };
+        simd::decode_i64(&bytes[lo * w..hi * w], w, swap, d);
+    });
+    // SAFETY: run_chunked's kernels wrote every element of the reservation.
+    unsafe { v.set_len(n) };
     v
 }
 
-/// Bulk float-array decode over pre-validated bytes.
+/// Bulk float-array decode over pre-validated bytes (width 4 widens
+/// through f32, same as the per-element path).
 fn decode_float_array(bytes: &[u8], width: u8, bo: ByteOrder) -> Vec<f64> {
-    let mut v = Vec::with_capacity(bytes.len() / width as usize);
-    match (width, bo) {
-        (8, ByteOrder::Little) => v.extend(
-            bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact"))),
-        ),
-        (8, ByteOrder::Big) => v.extend(
-            bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_be_bytes(c.try_into().expect("chunks_exact"))),
-        ),
-        (4, ByteOrder::Little) => v.extend(
-            bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("chunks_exact")) as f64),
-        ),
-        (4, ByteOrder::Big) => v.extend(
-            bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_be_bytes(c.try_into().expect("chunks_exact")) as f64),
-        ),
-        _ => unreachable!("widths validated at format construction"),
-    }
+    let w = width as usize;
+    let n = bytes.len() / w;
+    let swap = wire_swapped(bo);
+    let mut v: Vec<f64> = Vec::with_capacity(n);
+    run_chunked(n, w, &mut v.spare_capacity_mut()[..n], |lo, hi, p| {
+        // SAFETY: [lo, hi) element ranges are disjoint and within the
+        // `n`-element reservation.
+        let d = unsafe { std::slice::from_raw_parts_mut(p.add(lo), hi - lo) };
+        simd::decode_f64(&bytes[lo * w..hi * w], w, swap, d);
+    });
+    // SAFETY: run_chunked's kernels wrote every element of the reservation.
+    unsafe { v.set_len(n) };
     v
 }
 
@@ -1472,8 +1556,62 @@ mod tests {
     }
 
     #[test]
+    fn parallel_split_matches_serial_bit_for_bit() {
+        // Force the pool split on a small payload, then compare against
+        // the serial path. Threshold is a process global; other tests
+        // only observe values (the split is value-transparent), and it
+        // is restored at the end.
+        let vals = workload::float_array(20_000, 77);
+        let ints = workload::int_array(20_000, 78);
+        for bo in [ByteOrder::Little, ByteOrder::Big] {
+            let df = fmt(
+                &TypeDesc::list_of(TypeDesc::Float),
+                FormatOptions {
+                    byte_order: bo,
+                    ..Default::default()
+                },
+            );
+            let di = fmt(
+                &TypeDesc::list_of(TypeDesc::Int),
+                FormatOptions {
+                    byte_order: bo,
+                    ..Default::default()
+                },
+            );
+            set_parallel_threshold(usize::MAX);
+            let serial_f = encode(&vals, &df).unwrap();
+            let serial_i = encode(&ints, &di).unwrap();
+            let serial_fd = decode(&serial_f, &df).unwrap();
+            let serial_id = decode(&serial_i, &di).unwrap();
+
+            set_parallel_threshold(1);
+            let jobs0 = marshal_pool().stats().parallel_jobs.load(Ordering::Relaxed);
+            let par_f = encode(&vals, &df).unwrap();
+            let par_i = encode(&ints, &di).unwrap();
+            assert_eq!(par_f, serial_f, "float encode bo={bo:?}");
+            assert_eq!(par_i, serial_i, "int encode bo={bo:?}");
+            assert_eq!(
+                decode(&par_f, &df).unwrap(),
+                serial_fd,
+                "float decode bo={bo:?}"
+            );
+            assert_eq!(
+                decode(&par_i, &di).unwrap(),
+                serial_id,
+                "int decode bo={bo:?}"
+            );
+            assert!(
+                marshal_pool().stats().parallel_jobs.load(Ordering::Relaxed) > jobs0,
+                "the parallel path actually forked"
+            );
+            set_parallel_threshold(DEFAULT_PAR_THRESHOLD);
+        }
+    }
+
+    #[test]
     fn plan_executions_tally_bulk_and_scalar_ops() {
-        let (bulk, scalar) = plan_counters();
+        let m = plan_metrics();
+        let (bulk, scalar) = (&m.bulk, &m.scalar);
         let (b0, s0) = (bulk.get(), scalar.get());
         let d = fmt(
             &TypeDesc::list_of(TypeDesc::Float),

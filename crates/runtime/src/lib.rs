@@ -20,13 +20,19 @@
 //!   event-driven I/O core the HTTP transport multiplexes thousands of
 //!   keep-alive connections on.
 //! * [`cpu_pool`] — a small fixed [`CpuPool`] for the CPU-bound half of
-//!   that split (handler and marshal work dispatched off the event loop).
+//!   that split (handler and marshal work dispatched off the event loop),
+//!   with a work-stealing `run_parallel` for splitting bulk marshal work.
+//! * [`simd`] — explicit SSE2/AVX2 bulk kernels (byte swap, widen,
+//!   `f32`↔`f64`, escape scanning) behind one-time latched feature
+//!   detection, with bit-exact scalar fallbacks and an `SBQ_NO_SIMD`
+//!   override.
 
 pub mod channel;
 pub mod cpu_pool;
 pub mod pool;
 pub mod rand;
 pub mod reactor;
+pub mod simd;
 pub mod sync;
 
 pub use cpu_pool::CpuPool;

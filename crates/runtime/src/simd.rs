@@ -1,0 +1,1023 @@
+//! Explicit-SIMD bulk kernels for the marshal hot path.
+//!
+//! The conversion-plan bulk kernels (byte swap, sign-extending widen,
+//! `f32`→`f64`) and the XML escape scanner bottom out here. Each kernel
+//! exists in up to three tiers:
+//!
+//! | tier     | instruction set      | kernels                              |
+//! |----------|----------------------|--------------------------------------|
+//! | `Scalar` | portable Rust        | everything (the reference semantics) |
+//! | `Sse2`   | SSE2 (x86-64 baseline) | `escape_scan`, 16/32/64-bit byte swap |
+//! | `Avx2`   | AVX2                 | all of the above 32 bytes at a time, plus widen/convert |
+//!
+//! The tier is chosen **once per process**: [`level`] consults
+//! `is_x86_feature_detected!` (and the `SBQ_NO_SIMD` environment override)
+//! on first use and latches the answer in an atomic, so the hot path pays
+//! one relaxed load, not a CPUID. Every SIMD kernel has a scalar twin with
+//! identical bit-for-bit semantics; the parity property tests in this
+//! module and in `sbq-pbio` hold the two together across widths, byte
+//! orders, misaligned inputs, and vector-boundary lengths.
+//!
+//! Large destinations additionally switch the 64-bit swap kernel to
+//! non-temporal (streaming) stores: a multi-megabyte decode writes each
+//! cache line exactly once without first reading it for ownership, which
+//! is worth ~1.5x on payloads that outgrow the last-level cache.
+//!
+//! # Safety model
+//!
+//! All public kernels are safe functions over slices; lengths are checked
+//! at the boundary (`assert!`/`debug_assert!` plus explicit remainders).
+//! The `unsafe` inside is confined to (a) calling `#[target_feature]`
+//! functions after the latched runtime detection proved the feature is
+//! present, and (b) raw-pointer loads/stores that stay inside the slice
+//! bounds established by the surrounding chunk arithmetic. Destinations
+//! are `MaybeUninit` slices so decode can fill freshly reserved `Vec`
+//! capacity without a zeroing pass; every kernel writes every element of
+//! `dst` before returning (the contract `set_len` callers rely on).
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+// ---------------------------------------------------------------------------
+// Tier detection
+// ---------------------------------------------------------------------------
+
+/// Kernel tier in ascending capability order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar fallbacks only.
+    Scalar = 0,
+    /// SSE2 kernels (always available on x86-64 unless disabled).
+    Sse2 = 1,
+    /// AVX2 kernels.
+    Avx2 = 2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name for metrics and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// What the hardware supports, ignoring overrides. On non-x86-64 targets
+/// this is always `Scalar`.
+// The `return`s are needed: the cfg'd block must diverge so the
+// non-x86 tail expression type-checks on both configurations.
+#[allow(clippy::needless_return)]
+pub fn detected_level() -> SimdLevel {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        // SSE2 is part of the x86-64 baseline.
+        return SimdLevel::Sse2;
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    SimdLevel::Scalar
+}
+
+/// Pure tier-selection policy: the detected hardware level, demoted to
+/// `Scalar` when the `SBQ_NO_SIMD` override is set (any non-empty value
+/// other than `0`). Split out from [`level`] so the policy is testable
+/// without process-global state.
+pub fn select_level(detected: SimdLevel, no_simd_env: Option<&str>) -> SimdLevel {
+    match no_simd_env {
+        Some(v) if !v.is_empty() && v != "0" => SimdLevel::Scalar,
+        _ => detected,
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn level_from_u8(v: u8) -> SimdLevel {
+    match v {
+        1 => SimdLevel::Sse2,
+        2 => SimdLevel::Avx2,
+        _ => SimdLevel::Scalar,
+    }
+}
+
+/// The active kernel tier, decided once per process and latched: runtime
+/// feature detection (`is_x86_feature_detected!`) demoted by the
+/// `SBQ_NO_SIMD` environment override. Hot paths pay one relaxed atomic
+/// load per call.
+pub fn level() -> SimdLevel {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return level_from_u8(v);
+    }
+    let env = std::env::var("SBQ_NO_SIMD").ok();
+    let l = select_level(detected_level(), env.as_deref());
+    // A racing initializer computes the same value; either store wins.
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    l
+}
+
+/// Destinations at or above this many bytes use non-temporal stores in
+/// the 64-bit swap kernel (past LLC-resident sizes, write-allocate
+/// traffic costs more than it saves).
+const NT_THRESHOLD: usize = 4 << 20;
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+
+/// Portable reference implementations. Public so benchmarks and parity
+/// tests can pin the dispatched kernels against exact scalar semantics.
+pub mod scalar {
+    use super::MaybeUninit;
+
+    /// Byte-swaps `width`-byte elements from `src` into `dst`.
+    /// `src.len() == dst.len()` and both are multiples of `width`.
+    pub fn bswap(width: usize, src: &[u8], dst: &mut [MaybeUninit<u8>]) {
+        assert_eq!(src.len(), dst.len());
+        assert!(src.len().is_multiple_of(width));
+        for (s, d) in src.chunks_exact(width).zip(dst.chunks_exact_mut(width)) {
+            for i in 0..width {
+                d[i].write(s[width - 1 - i]);
+            }
+        }
+    }
+
+    /// Decodes `width`-byte integers (sign-extending) into `i64`s.
+    /// `swap` means the wire order is the reverse of host order.
+    pub fn decode_i64(src: &[u8], width: usize, swap: bool, dst: &mut [MaybeUninit<i64>]) {
+        assert_eq!(src.len(), dst.len() * width);
+        let shift = (8 - width) * 8;
+        for (s, d) in src.chunks_exact(width).zip(dst.iter_mut()) {
+            let mut tmp = [0u8; 8];
+            tmp[..width].copy_from_slice(s);
+            let mut raw = i64::from_ne_bytes(tmp);
+            if swap {
+                // Wire bytes reversed: swap the full 8, then shift the
+                // element down from the top.
+                raw = i64::from_ne_bytes(tmp).swap_bytes() >> (shift.min(56));
+                if shift >= 8 {
+                    // swap_bytes moved the element to the high bytes;
+                    // arithmetic shift already sign-extended it.
+                    d.write(raw);
+                    continue;
+                }
+            }
+            d.write((raw << shift) >> shift);
+        }
+    }
+
+    /// Decodes `width`-byte floats (4 or 8) into `f64`s.
+    pub fn decode_f64(src: &[u8], width: usize, swap: bool, dst: &mut [MaybeUninit<f64>]) {
+        assert_eq!(src.len(), dst.len() * width);
+        match width {
+            8 => {
+                for (s, d) in src.chunks_exact(8).zip(dst.iter_mut()) {
+                    let raw = u64::from_ne_bytes(s.try_into().expect("chunks_exact"));
+                    let raw = if swap { raw.swap_bytes() } else { raw };
+                    d.write(f64::from_bits(raw));
+                }
+            }
+            4 => {
+                for (s, d) in src.chunks_exact(4).zip(dst.iter_mut()) {
+                    let raw = u32::from_ne_bytes(s.try_into().expect("chunks_exact"));
+                    let raw = if swap { raw.swap_bytes() } else { raw };
+                    d.write(f32::from_bits(raw) as f64);
+                }
+            }
+            _ => unreachable!("float widths are 4 or 8"),
+        }
+    }
+
+    /// Encodes `i64`s as `width`-byte wire integers (truncating to the
+    /// low `width` bytes, reversed when `swap`).
+    pub fn encode_i64(src: &[i64], width: usize, swap: bool, dst: &mut [MaybeUninit<u8>]) {
+        assert_eq!(dst.len(), src.len() * width);
+        for (x, d) in src.iter().zip(dst.chunks_exact_mut(width)) {
+            let le = x.to_ne_bytes();
+            if swap {
+                for i in 0..width {
+                    d[i].write(le[width - 1 - i]);
+                }
+            } else {
+                for i in 0..width {
+                    d[i].write(le[i]);
+                }
+            }
+        }
+    }
+
+    /// Encodes `f64`s as `width`-byte wire floats (4 narrows through
+    /// `f32`, like the per-element path always has).
+    pub fn encode_f64(src: &[f64], width: usize, swap: bool, dst: &mut [MaybeUninit<u8>]) {
+        assert_eq!(dst.len(), src.len() * width);
+        match width {
+            8 => {
+                for (x, d) in src.iter().zip(dst.chunks_exact_mut(8)) {
+                    let raw = if swap {
+                        x.to_bits().swap_bytes()
+                    } else {
+                        x.to_bits()
+                    };
+                    for (i, b) in raw.to_ne_bytes().iter().enumerate() {
+                        d[i].write(*b);
+                    }
+                }
+            }
+            4 => {
+                for (x, d) in src.iter().zip(dst.chunks_exact_mut(4)) {
+                    let raw = (*x as f32).to_bits();
+                    let raw = if swap { raw.swap_bytes() } else { raw };
+                    for (i, b) in raw.to_ne_bytes().iter().enumerate() {
+                        d[i].write(*b);
+                    }
+                }
+            }
+            _ => unreachable!("float widths are 4 or 8"),
+        }
+    }
+
+    /// Index of the first byte needing XML escaping (`&`, `<`, `>`, plus
+    /// `"` and `'` in attribute context), or `len` if the span is clean.
+    pub fn escape_scan(bytes: &[u8], attr: bool) -> usize {
+        bytes
+            .iter()
+            .position(|&b| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\'')))
+            .unwrap_or(bytes.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::MaybeUninit;
+    use std::arch::x86_64::*;
+
+    /// 32-byte shuffle mask reversing each 8-byte lane-local group.
+    const BSWAP64_MASK: [u8; 32] = [
+        7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8, //
+        7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,
+    ];
+    const BSWAP32_MASK: [u8; 32] = [
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12, //
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,
+    ];
+    const BSWAP16_MASK: [u8; 32] = [
+        1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14, //
+        1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14,
+    ];
+
+    /// AVX2 byte swap: 32 source bytes per iteration through
+    /// `vpshufb`; the remainder (< 32 bytes) runs the scalar kernel.
+    /// When `stream` is set the main loop uses non-temporal stores
+    /// (dst is first advanced scalar-wise to 32-byte alignment).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support. Slice bounds are enforced
+    /// by the assertions; every `dst` byte is written.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bswap_avx2(width: usize, src: &[u8], dst: &mut [MaybeUninit<u8>], stream: bool) {
+        assert_eq!(src.len(), dst.len());
+        assert!(src.len().is_multiple_of(width));
+        let mask = unsafe {
+            _mm256_loadu_si256(match width {
+                8 => BSWAP64_MASK.as_ptr().cast(),
+                4 => BSWAP32_MASK.as_ptr().cast(),
+                2 => BSWAP16_MASK.as_ptr().cast(),
+                _ => unreachable!("bswap widths are 2, 4, 8"),
+            })
+        };
+        let mut i = 0usize;
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<u8>();
+        if stream {
+            // Scalar prologue until dst is 32-byte aligned (element
+            // alignment preserved because widths divide 32).
+            let mis = dp.align_offset(32);
+            if mis != 0 && mis < n {
+                let head = mis.next_multiple_of(width).min(n);
+                super::scalar::bswap(width, &src[..head], &mut dst[..head]);
+                i = head;
+            }
+            if dp.wrapping_add(i).align_offset(32) == 0 {
+                while i + 32 <= n {
+                    // SAFETY: i+32 <= n bounds both slices; dst+i is
+                    // 32-byte aligned per the prologue.
+                    unsafe {
+                        let v = _mm256_loadu_si256(sp.add(i).cast());
+                        _mm256_stream_si256(dp.add(i).cast(), _mm256_shuffle_epi8(v, mask));
+                    }
+                    i += 32;
+                }
+                // Make the streamed bytes globally visible before the
+                // caller reads them back.
+                _mm_sfence();
+            }
+        }
+        while i + 32 <= n {
+            // SAFETY: i+32 <= n bounds both the load and the store.
+            unsafe {
+                let v = _mm256_loadu_si256(sp.add(i).cast());
+                _mm256_storeu_si256(dp.add(i).cast(), _mm256_shuffle_epi8(v, mask));
+            }
+            i += 32;
+        }
+        if i < n {
+            super::scalar::bswap(width, &src[i..], &mut dst[i..]);
+        }
+    }
+
+    /// SSE2 byte swap (no `pshufb`): 16-bit halves swapped with shifts,
+    /// wider elements additionally word-shuffled.
+    ///
+    /// # Safety
+    /// SSE2 is part of the x86-64 baseline; slice bounds are asserted.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn bswap_sse2(width: usize, src: &[u8], dst: &mut [MaybeUninit<u8>]) {
+        assert_eq!(src.len(), dst.len());
+        assert!(src.len().is_multiple_of(width));
+        let mut i = 0usize;
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<u8>();
+        while i + 16 <= n {
+            // SAFETY: i+16 <= n bounds both the load and the store.
+            unsafe {
+                let v = _mm_loadu_si128(sp.add(i).cast());
+                // Swap bytes within each 16-bit word.
+                let w = _mm_or_si128(_mm_srli_epi16(v, 8), _mm_slli_epi16(v, 8));
+                let out = match width {
+                    2 => w,
+                    4 => {
+                        // Swap 16-bit words within each 32-bit element.
+                        let lo = _mm_shufflelo_epi16(w, 0b10_11_00_01);
+                        _mm_shufflehi_epi16(lo, 0b10_11_00_01)
+                    }
+                    8 => {
+                        // Reverse the four 16-bit words of each 64-bit lane.
+                        let lo = _mm_shufflelo_epi16(w, 0b00_01_10_11);
+                        _mm_shufflehi_epi16(lo, 0b00_01_10_11)
+                    }
+                    _ => unreachable!("bswap widths are 2, 4, 8"),
+                };
+                _mm_storeu_si128(dp.add(i).cast(), out);
+            }
+            i += 16;
+        }
+        if i < n {
+            super::scalar::bswap(width, &src[i..], &mut dst[i..]);
+        }
+    }
+
+    /// AVX2 sign-extending widen of 4-byte ints to `i64` (with optional
+    /// pre-swap), 4 elements per iteration.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2. Bounds asserted; every element of
+    /// `dst` is written.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_i32_avx2(src: &[u8], swap: bool, dst: &mut [MaybeUninit<i64>]) {
+        assert_eq!(src.len(), dst.len() * 4);
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<i64>();
+        let mask128: __m128i = unsafe { _mm_loadu_si128(BSWAP32_MASK.as_ptr().cast()) };
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: (i+4)*4 <= src.len() and i+4 <= dst.len().
+            unsafe {
+                let mut v = _mm_loadu_si128(sp.add(i * 4).cast());
+                if swap {
+                    v = _mm_shuffle_epi8(v, mask128);
+                }
+                _mm256_storeu_si256(dp.add(i).cast(), _mm256_cvtepi32_epi64(v));
+            }
+            i += 4;
+        }
+        if i < n {
+            super::scalar::decode_i64(&src[i * 4..], 4, swap, &mut dst[i..]);
+        }
+    }
+
+    /// AVX2 sign-extending widen of 2-byte ints to `i64`, 4 per iteration.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2. Bounds asserted.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_i16_avx2(src: &[u8], swap: bool, dst: &mut [MaybeUninit<i64>]) {
+        assert_eq!(src.len(), dst.len() * 2);
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<i64>();
+        let mask128: __m128i = unsafe { _mm_loadu_si128(BSWAP16_MASK.as_ptr().cast()) };
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: 8-byte load at src[i*2..i*2+8] is in bounds since
+            // (i+4)*2 <= src.len(); store of 4 i64 in bounds likewise.
+            unsafe {
+                let mut v = _mm_loadl_epi64(sp.add(i * 2).cast());
+                if swap {
+                    v = _mm_shuffle_epi8(v, mask128);
+                }
+                _mm256_storeu_si256(dp.add(i).cast(), _mm256_cvtepi16_epi64(v));
+            }
+            i += 4;
+        }
+        if i < n {
+            super::scalar::decode_i64(&src[i * 2..], 2, swap, &mut dst[i..]);
+        }
+    }
+
+    /// AVX2 `f32`→`f64` widen (with optional pre-swap), 4 per iteration.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2. Bounds asserted.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_f32_avx2(src: &[u8], swap: bool, dst: &mut [MaybeUninit<f64>]) {
+        assert_eq!(src.len(), dst.len() * 4);
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<f64>();
+        let mask128: __m128i = unsafe { _mm_loadu_si128(BSWAP32_MASK.as_ptr().cast()) };
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: (i+4)*4 <= src.len(); i+4 <= dst.len().
+            unsafe {
+                let mut v = _mm_loadu_si128(sp.add(i * 4).cast());
+                if swap {
+                    v = _mm_shuffle_epi8(v, mask128);
+                }
+                _mm256_storeu_pd(dp.add(i), _mm256_cvtps_pd(_mm_castsi128_ps(v)));
+            }
+            i += 4;
+        }
+        if i < n {
+            super::scalar::decode_f64(&src[i * 4..], 4, swap, &mut dst[i..]);
+        }
+    }
+
+    /// AVX2 `f64`→`f32` narrowing encode (with optional post-swap), 4 per
+    /// iteration.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2. Bounds asserted.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn narrow_f64_avx2(src: &[f64], swap: bool, dst: &mut [MaybeUninit<u8>]) {
+        assert_eq!(dst.len(), src.len() * 4);
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<u8>();
+        let mask128: __m128i = unsafe { _mm_loadu_si128(BSWAP32_MASK.as_ptr().cast()) };
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: i+4 <= n bounds the load; (i+4)*4 <= dst.len().
+            unsafe {
+                let v = _mm256_loadu_pd(sp.add(i));
+                let mut f = _mm_castps_si128(_mm256_cvtpd_ps(v));
+                if swap {
+                    f = _mm_shuffle_epi8(f, mask128);
+                }
+                _mm_storeu_si128(dp.add(i * 4).cast(), f);
+            }
+            i += 4;
+        }
+        if i < n {
+            super::scalar::encode_f64(&src[i..], 4, swap, &mut dst[i * 4..]);
+        }
+    }
+
+    /// AVX2 `i64`→`i32` narrowing encode (truncating, optional swap), 4
+    /// per iteration.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2. Bounds asserted.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn narrow_i64_i32_avx2(src: &[i64], swap: bool, dst: &mut [MaybeUninit<u8>]) {
+        assert_eq!(dst.len(), src.len() * 4);
+        let n = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr().cast::<u8>();
+        let mask128: __m128i = unsafe { _mm_loadu_si128(BSWAP32_MASK.as_ptr().cast()) };
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: i+4 <= n bounds the load; (i+4)*4 <= dst.len().
+            unsafe {
+                let v = _mm256_loadu_si256(sp.add(i).cast());
+                // Gather the low dword of each qword into the low half.
+                let shuffled = _mm256_shuffle_epi32(v, 0b11_01_10_00);
+                let packed = _mm256_permute4x64_epi64(shuffled, 0b11_01_10_00);
+                let mut lo = _mm256_castsi256_si128(packed);
+                if swap {
+                    lo = _mm_shuffle_epi8(lo, mask128);
+                }
+                _mm_storeu_si128(dp.add(i * 4).cast(), lo);
+            }
+            i += 4;
+        }
+        if i < n {
+            super::scalar::encode_i64(&src[i..], 4, swap, &mut dst[i * 4..]);
+        }
+    }
+
+    /// AVX2 escape scan: 32 bytes per `vpcmpeqb`+`vpmovmskb` round.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn escape_scan_avx2(bytes: &[u8], attr: bool) -> usize {
+        let n = bytes.len();
+        let p = bytes.as_ptr();
+        let amp = _mm256_set1_epi8(b'&' as i8);
+        let lt = _mm256_set1_epi8(b'<' as i8);
+        let gt = _mm256_set1_epi8(b'>' as i8);
+        let quot = _mm256_set1_epi8(b'"' as i8);
+        let apos = _mm256_set1_epi8(b'\'' as i8);
+        let mut i = 0usize;
+        while i + 32 <= n {
+            // SAFETY: i+32 <= n bounds the load.
+            let m = unsafe {
+                let v = _mm256_loadu_si256(p.add(i).cast());
+                let mut hit = _mm256_or_si256(
+                    _mm256_cmpeq_epi8(v, amp),
+                    _mm256_or_si256(_mm256_cmpeq_epi8(v, lt), _mm256_cmpeq_epi8(v, gt)),
+                );
+                if attr {
+                    hit = _mm256_or_si256(
+                        hit,
+                        _mm256_or_si256(_mm256_cmpeq_epi8(v, quot), _mm256_cmpeq_epi8(v, apos)),
+                    );
+                }
+                _mm256_movemask_epi8(hit) as u32
+            };
+            if m != 0 {
+                return i + m.trailing_zeros() as usize;
+            }
+            i += 32;
+        }
+        i + super::scalar::escape_scan(&bytes[i..], attr)
+    }
+
+    /// SSE2 escape scan, 16 bytes per round.
+    ///
+    /// # Safety
+    /// SSE2 is part of the x86-64 baseline.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn escape_scan_sse2(bytes: &[u8], attr: bool) -> usize {
+        let n = bytes.len();
+        let p = bytes.as_ptr();
+        let amp = _mm_set1_epi8(b'&' as i8);
+        let lt = _mm_set1_epi8(b'<' as i8);
+        let gt = _mm_set1_epi8(b'>' as i8);
+        let quot = _mm_set1_epi8(b'"' as i8);
+        let apos = _mm_set1_epi8(b'\'' as i8);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: i+16 <= n bounds the load.
+            let m = unsafe {
+                let v = _mm_loadu_si128(p.add(i).cast());
+                let mut hit = _mm_or_si128(
+                    _mm_cmpeq_epi8(v, amp),
+                    _mm_or_si128(_mm_cmpeq_epi8(v, lt), _mm_cmpeq_epi8(v, gt)),
+                );
+                if attr {
+                    hit = _mm_or_si128(
+                        hit,
+                        _mm_or_si128(_mm_cmpeq_epi8(v, quot), _mm_cmpeq_epi8(v, apos)),
+                    );
+                }
+                _mm_movemask_epi8(hit) as u32
+            };
+            if m != 0 {
+                return i + m.trailing_zeros() as usize;
+            }
+            i += 16;
+        }
+        i + super::scalar::escape_scan(&bytes[i..], attr)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+/// Byte-swaps `width`-byte (2/4/8) elements from `src` into `dst`
+/// (`src.len() == dst.len()`, a multiple of `width`). Large copies use
+/// non-temporal stores on AVX2.
+pub fn bswap(width: usize, src: &[u8], dst: &mut [MaybeUninit<u8>]) {
+    #[cfg(target_arch = "x86_64")]
+    match level() {
+        // SAFETY: the latched level proved the feature is available.
+        SimdLevel::Avx2 => {
+            return unsafe { x86::bswap_avx2(width, src, dst, src.len() >= NT_THRESHOLD) }
+        }
+        SimdLevel::Sse2 => return unsafe { x86::bswap_sse2(width, src, dst) },
+        SimdLevel::Scalar => {}
+    }
+    scalar::bswap(width, src, dst);
+}
+
+/// Decodes `width`-byte (1/2/4/8) sign-extended wire integers into `dst`.
+pub fn decode_i64(src: &[u8], width: usize, swap: bool, dst: &mut [MaybeUninit<i64>]) {
+    assert_eq!(src.len(), dst.len() * width);
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        match width {
+            8 => {
+                // Width-8 is a straight copy or a 64-bit swap; reuse the
+                // byte-swap kernel over the reinterpreted destination.
+                let bytes = cast_uninit_bytes_i64(dst);
+                if swap {
+                    // SAFETY: level() proved AVX2.
+                    unsafe { x86::bswap_avx2(8, src, bytes, src.len() >= NT_THRESHOLD) };
+                } else {
+                    copy_bytes(src, bytes);
+                }
+                return;
+            }
+            // SAFETY: level() proved AVX2.
+            4 => return unsafe { x86::widen_i32_avx2(src, swap, dst) },
+            2 => return unsafe { x86::widen_i16_avx2(src, swap, dst) },
+            _ => {}
+        }
+    }
+    if width == 8 && !swap {
+        copy_bytes(src, cast_uninit_bytes_i64(dst));
+        return;
+    }
+    scalar::decode_i64(src, width, swap, dst);
+}
+
+/// Decodes `width`-byte (4/8) wire floats into `dst`.
+pub fn decode_f64(src: &[u8], width: usize, swap: bool, dst: &mut [MaybeUninit<f64>]) {
+    assert_eq!(src.len(), dst.len() * width);
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        match width {
+            8 => {
+                let bytes = cast_uninit_bytes_f64(dst);
+                if swap {
+                    // SAFETY: level() proved AVX2.
+                    unsafe { x86::bswap_avx2(8, src, bytes, src.len() >= NT_THRESHOLD) };
+                } else {
+                    copy_bytes(src, bytes);
+                }
+                return;
+            }
+            // SAFETY: level() proved AVX2.
+            4 => return unsafe { x86::widen_f32_avx2(src, swap, dst) },
+            _ => {}
+        }
+    }
+    if width == 8 && !swap {
+        copy_bytes(src, cast_uninit_bytes_f64(dst));
+        return;
+    }
+    scalar::decode_f64(src, width, swap, dst);
+}
+
+/// Encodes `i64`s as `width`-byte (1/2/4/8) wire integers into `dst`.
+pub fn encode_i64(src: &[i64], width: usize, swap: bool, dst: &mut [MaybeUninit<u8>]) {
+    assert_eq!(dst.len(), src.len() * width);
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        match width {
+            8 => {
+                let bytes = cast_i64_bytes(src);
+                if swap {
+                    // SAFETY: level() proved AVX2.
+                    unsafe { x86::bswap_avx2(8, bytes, dst, bytes.len() >= NT_THRESHOLD) };
+                } else {
+                    copy_bytes(bytes, dst);
+                }
+                return;
+            }
+            // SAFETY: level() proved AVX2.
+            4 => return unsafe { x86::narrow_i64_i32_avx2(src, swap, dst) },
+            _ => {}
+        }
+    }
+    if width == 8 && !swap {
+        copy_bytes(cast_i64_bytes(src), dst);
+        return;
+    }
+    scalar::encode_i64(src, width, swap, dst);
+}
+
+/// Encodes `f64`s as `width`-byte (4/8) wire floats into `dst`.
+pub fn encode_f64(src: &[f64], width: usize, swap: bool, dst: &mut [MaybeUninit<u8>]) {
+    assert_eq!(dst.len(), src.len() * width);
+    #[cfg(target_arch = "x86_64")]
+    if level() == SimdLevel::Avx2 {
+        match width {
+            8 => {
+                let bytes = cast_f64_bytes(src);
+                if swap {
+                    // SAFETY: level() proved AVX2.
+                    unsafe { x86::bswap_avx2(8, bytes, dst, bytes.len() >= NT_THRESHOLD) };
+                } else {
+                    copy_bytes(bytes, dst);
+                }
+                return;
+            }
+            // SAFETY: level() proved AVX2.
+            4 => return unsafe { x86::narrow_f64_avx2(src, swap, dst) },
+            _ => {}
+        }
+    }
+    if width == 8 && !swap {
+        copy_bytes(cast_f64_bytes(src), dst);
+        return;
+    }
+    scalar::encode_f64(src, width, swap, dst);
+}
+
+/// Index of the first byte needing XML escaping (`&`, `<`, `>`, plus `"`
+/// and `'` when `attr`), or `bytes.len()` for a clean span.
+pub fn escape_scan(bytes: &[u8], attr: bool) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    match level() {
+        // SAFETY: the latched level proved the feature is available.
+        SimdLevel::Avx2 => return unsafe { x86::escape_scan_avx2(bytes, attr) },
+        SimdLevel::Sse2 => return unsafe { x86::escape_scan_sse2(bytes, attr) },
+        SimdLevel::Scalar => {}
+    }
+    scalar::escape_scan(bytes, attr)
+}
+
+// ---------------------------------------------------------------------------
+// Reinterpret helpers
+// ---------------------------------------------------------------------------
+
+/// `&mut [MaybeUninit<i64>]` viewed as its raw bytes. Sound because
+/// `MaybeUninit<u8>` has no validity requirements and the two views cover
+/// exactly the same memory.
+fn cast_uninit_bytes_i64(dst: &mut [MaybeUninit<i64>]) -> &mut [MaybeUninit<u8>] {
+    // SAFETY: same allocation, length scaled by size_of::<i64>(); u8 has
+    // alignment 1.
+    unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast(), dst.len() * 8) }
+}
+
+/// `&mut [MaybeUninit<f64>]` viewed as its raw bytes.
+fn cast_uninit_bytes_f64(dst: &mut [MaybeUninit<f64>]) -> &mut [MaybeUninit<u8>] {
+    // SAFETY: as above.
+    unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast(), dst.len() * 8) }
+}
+
+/// `&[i64]` viewed as initialized bytes.
+fn cast_i64_bytes(src: &[i64]) -> &[u8] {
+    // SAFETY: i64 has no padding; every byte is initialized.
+    unsafe { std::slice::from_raw_parts(src.as_ptr().cast(), src.len() * 8) }
+}
+
+/// `&[f64]` viewed as initialized bytes.
+fn cast_f64_bytes(src: &[f64]) -> &[u8] {
+    // SAFETY: f64 has no padding; every byte is initialized.
+    unsafe { std::slice::from_raw_parts(src.as_ptr().cast(), src.len() * 8) }
+}
+
+fn copy_bytes(src: &[u8], dst: &mut [MaybeUninit<u8>]) {
+    assert_eq!(src.len(), dst.len());
+    // SAFETY: disjoint (dst is exclusive), equal lengths, u8 is Copy.
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr().cast(), src.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmallRng;
+
+    /// Lengths chosen to straddle every vector width boundary (0, 1,
+    /// 15/16/17 around SSE, 4095/4097 around page-ish bulk sizes).
+    const LENS: &[usize] = &[
+        0, 1, 2, 3, 4, 7, 8, 15, 16, 17, 31, 32, 33, 255, 4095, 4096, 4097,
+    ];
+
+    fn filled<T: Copy>(n: usize, f: impl FnMut(usize) -> T) -> Vec<T> {
+        (0..n).map(f).collect()
+    }
+
+    /// Runs a kernel into fresh uninit capacity and returns the result.
+    fn run_i64(
+        src: &[u8],
+        width: usize,
+        swap: bool,
+        k: impl Fn(&[u8], usize, bool, &mut [MaybeUninit<i64>]),
+    ) -> Vec<i64> {
+        let n = src.len() / width;
+        let mut v: Vec<i64> = Vec::with_capacity(n);
+        k(src, width, swap, &mut v.spare_capacity_mut()[..n]);
+        // SAFETY: the kernel contract fills every element.
+        unsafe { v.set_len(n) };
+        v
+    }
+
+    fn run_f64(
+        src: &[u8],
+        width: usize,
+        swap: bool,
+        k: impl Fn(&[u8], usize, bool, &mut [MaybeUninit<f64>]),
+    ) -> Vec<f64> {
+        let n = src.len() / width;
+        let mut v: Vec<f64> = Vec::with_capacity(n);
+        k(src, width, swap, &mut v.spare_capacity_mut()[..n]);
+        // SAFETY: the kernel contract fills every element.
+        unsafe { v.set_len(n) };
+        v
+    }
+
+    fn run_bytes<T>(
+        src: &[T],
+        width: usize,
+        swap: bool,
+        k: impl Fn(&[T], usize, bool, &mut [MaybeUninit<u8>]),
+    ) -> Vec<u8> {
+        let n = src.len() * width;
+        let mut v: Vec<u8> = Vec::with_capacity(n);
+        k(src, width, swap, &mut v.spare_capacity_mut()[..n]);
+        // SAFETY: the kernel contract fills every element.
+        unsafe { v.set_len(n) };
+        v
+    }
+
+    #[test]
+    fn level_latches_and_names_are_stable() {
+        let l = level();
+        assert_eq!(level(), l, "latched");
+        assert!(["scalar", "sse2", "avx2"].contains(&l.name()));
+        assert!(detected_level() >= SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn no_simd_override_selects_scalar() {
+        assert_eq!(select_level(SimdLevel::Avx2, None), SimdLevel::Avx2);
+        assert_eq!(select_level(SimdLevel::Avx2, Some("")), SimdLevel::Avx2);
+        assert_eq!(select_level(SimdLevel::Avx2, Some("0")), SimdLevel::Avx2);
+        assert_eq!(select_level(SimdLevel::Avx2, Some("1")), SimdLevel::Scalar);
+        assert_eq!(
+            select_level(SimdLevel::Sse2, Some("yes")),
+            SimdLevel::Scalar
+        );
+    }
+
+    #[test]
+    fn bswap_parity_across_widths_lengths_and_misalignment() {
+        let mut rng = SmallRng::seed_from_u64(0x51_0d_ba_11);
+        for &width in &[2usize, 4, 8] {
+            for &len in LENS {
+                let n = len * width;
+                // Misaligned view into a larger buffer: offsets 0..=31.
+                for off in [0usize, 1, 3, 8, 17, 31] {
+                    let backing = filled(n + off, |_| rng.gen_below(256) as u8);
+                    let src = &backing[off..];
+                    let simd = run_bytes(src, 1, false, |s, _, _, d| bswap(width, s, d));
+                    let reference =
+                        run_bytes(src, 1, false, |s, _, _, d| scalar::bswap(width, s, d));
+                    assert_eq!(simd, reference, "width={width} len={len} off={off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_i64_parity_and_sign_extension() {
+        let mut rng = SmallRng::seed_from_u64(0xdec0de);
+        for &width in &[1usize, 2, 4, 8] {
+            for swap in [false, true] {
+                for &len in LENS {
+                    let src: Vec<u8> = filled(len * width, |_| rng.gen_below(256) as u8);
+                    let simd = run_i64(&src, width, swap, decode_i64);
+                    let reference = run_i64(&src, width, swap, scalar::decode_i64);
+                    assert_eq!(simd, reference, "width={width} swap={swap} len={len}");
+                }
+            }
+        }
+        // Sign extension pins the semantics, not just self-consistency.
+        let neg = run_i64(&[0xFF, 0xFE], 2, false, decode_i64);
+        assert_eq!(neg, vec![i16::from_le_bytes([0xFF, 0xFE]) as i64]);
+        let neg = run_i64(&[0xFF, 0xFE], 2, true, decode_i64);
+        assert_eq!(neg, vec![i16::from_be_bytes([0xFF, 0xFE]) as i64]);
+    }
+
+    #[test]
+    fn decode_f64_parity_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(0xf10a7);
+        for &width in &[4usize, 8] {
+            for swap in [false, true] {
+                for &len in LENS {
+                    let src: Vec<u8> = filled(len * width, |_| rng.gen_below(256) as u8);
+                    let simd = run_f64(&src, width, swap, decode_f64);
+                    let reference = run_f64(&src, width, swap, scalar::decode_f64);
+                    // Bit-exact, including NaN payloads from random bytes.
+                    let a: Vec<u64> = simd.iter().map(|x| x.to_bits()).collect();
+                    let b: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(a, b, "width={width} swap={swap} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_parity_and_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(0xe2c0de);
+        for &width in &[1usize, 2, 4, 8] {
+            for swap in [false, true] {
+                for &len in LENS {
+                    let vals: Vec<i64> = filled(len, |_| rng.next_u64() as i64);
+                    let simd = run_bytes(&vals, width, swap, encode_i64);
+                    let reference = run_bytes(&vals, width, swap, scalar::encode_i64);
+                    assert_eq!(simd, reference, "int width={width} swap={swap} len={len}");
+                }
+            }
+        }
+        for &width in &[4usize, 8] {
+            for swap in [false, true] {
+                for &len in LENS {
+                    let vals: Vec<f64> =
+                        filled(len, |i| (rng.gen_f64() - 0.5) * (i as f64 + 1.0) * 1e3);
+                    let simd = run_bytes(&vals, width, swap, encode_f64);
+                    let reference = run_bytes(&vals, width, swap, scalar::encode_f64);
+                    assert_eq!(simd, reference, "float width={width} swap={swap} len={len}");
+                    // Decode inverts encode (within the width's precision).
+                    let back = run_f64(&simd, width, swap, decode_f64);
+                    let expect: Vec<f64> = if width == 8 {
+                        vals.clone()
+                    } else {
+                        vals.iter().map(|x| *x as f32 as f64).collect()
+                    };
+                    assert_eq!(back, expect, "round trip width={width} swap={swap}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_scan_parity_and_positions() {
+        let mut rng = SmallRng::seed_from_u64(0xe5ca9e);
+        for attr in [false, true] {
+            for &len in LENS {
+                // Mostly-clean text with occasional specials.
+                let bytes: Vec<u8> = filled(len, |_| {
+                    if rng.gen_below(13) == 0 {
+                        [b'&', b'<', b'>', b'"', b'\''][rng.gen_below(5) as usize]
+                    } else {
+                        b'a' + (rng.gen_below(26) as u8)
+                    }
+                });
+                assert_eq!(
+                    escape_scan(&bytes, attr),
+                    scalar::escape_scan(&bytes, attr),
+                    "attr={attr} len={len}"
+                );
+            }
+        }
+        assert_eq!(escape_scan(b"plain text with no markup", false), 25);
+        assert_eq!(escape_scan(b"abc&def", false), 3);
+        assert_eq!(escape_scan(b"abc\"def", false), 7, "quote clean in text");
+        assert_eq!(escape_scan(b"abc\"def", true), 3, "quote dirty in attr");
+        // A hit in the scalar tail after clean vector blocks.
+        let mut long = vec![b'x'; 100];
+        long.push(b'<');
+        assert_eq!(escape_scan(&long, false), 100);
+    }
+
+    /// Explicit-tier parity: when the hardware has AVX2/SSE2, pin those
+    /// kernels directly against scalar (not just whatever `level()`
+    /// picked). Skipped under Miri, which interprets portably.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    #[test]
+    fn explicit_tiers_match_scalar() {
+        let mut rng = SmallRng::seed_from_u64(0x7157);
+        let src: Vec<u8> = filled(4096 + 17, |_| rng.gen_below(256) as u8);
+        for &width in &[2usize, 4, 8] {
+            let n = src.len() - (src.len() % width);
+            let reference = run_bytes(&src[..n], 1, false, |s, _, _, d| scalar::bswap(width, s, d));
+            // SAFETY: feature checked before call.
+            if std::arch::is_x86_feature_detected!("avx2") {
+                for stream in [false, true] {
+                    let got = run_bytes(&src[..n], 1, false, |s, _, _, d| unsafe {
+                        x86::bswap_avx2(width, s, d, stream)
+                    });
+                    assert_eq!(got, reference, "avx2 width={width} stream={stream}");
+                }
+            }
+            let got = run_bytes(&src[..n], 1, false, |s, _, _, d| unsafe {
+                x86::bswap_sse2(width, s, d)
+            });
+            assert_eq!(got, reference, "sse2 width={width}");
+        }
+    }
+}

@@ -1,35 +1,63 @@
 //! XML entity escaping and unescaping.
+//!
+//! The escape path is span-based: a vectorized scan
+//! ([`sbq_runtime::simd::escape_scan`], SSE2/AVX2 compare + movemask over
+//! 16/32-byte blocks) finds the next byte needing an entity, the clean
+//! span before it is appended with one `push_str` (memcpy), and only the
+//! special byte itself goes through the entity table. Typical payloads
+//! (numbers, base64-ish text) are entity-free, so the whole string moves
+//! at memcpy speed instead of char-by-char.
+
+use sbq_runtime::simd;
 
 /// Escapes text content: `&`, `<`, `>`.
 pub fn escape_text(s: &str) -> String {
-    escape_into(s, false)
+    let mut out = String::new();
+    escape_text_into(s, &mut out);
+    out
 }
 
 /// Escapes attribute values: `&`, `<`, `>`, `"`, `'`.
 pub fn escape_attr(s: &str) -> String {
-    escape_into(s, true)
+    let mut out = String::new();
+    escape_attr_into(s, &mut out);
+    out
 }
 
-fn escape_into(s: &str, attr: bool) -> String {
-    // Fast path: nothing to escape.
-    if !s
-        .bytes()
-        .any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\''))
-    {
-        return s.to_string();
-    }
-    let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' if attr => out.push_str("&quot;"),
-            '\'' if attr => out.push_str("&apos;"),
-            c => out.push(c),
+/// Appends text-escaped `s` to `out` without an intermediate `String`
+/// (the writer hot path).
+pub fn escape_text_into(s: &str, out: &mut String) {
+    escape_into(s, false, out)
+}
+
+/// Appends attribute-escaped `s` to `out` without an intermediate
+/// `String`.
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    escape_into(s, true, out)
+}
+
+fn escape_into(s: &str, attr: bool, out: &mut String) {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let clean = simd::escape_scan(&bytes[i..], attr);
+        // The scan stops only on single-byte ASCII specials, so both the
+        // clean span and the remainder stay on UTF-8 char boundaries.
+        out.push_str(&s[i..i + clean]);
+        i += clean;
+        if i == bytes.len() {
+            break;
         }
+        match bytes[i] {
+            b'&' => out.push_str("&amp;"),
+            b'<' => out.push_str("&lt;"),
+            b'>' => out.push_str("&gt;"),
+            b'"' => out.push_str("&quot;"),
+            b'\'' => out.push_str("&apos;"),
+            other => unreachable!("escape_scan stopped on non-special byte {other:#x}"),
+        }
+        i += 1;
     }
-    out
 }
 
 /// Longest entity body this decoder will look for between `&` and `;`.
@@ -157,5 +185,62 @@ mod tests {
     fn unicode_survives() {
         let s = "héllo ☃ < 世界";
         assert_eq!(unescape(&escape_text(s)), s);
+    }
+
+    /// Reference char-by-char implementation pinning the span-scan
+    /// rewrite's semantics.
+    fn escape_reference(s: &str, attr: bool) -> String {
+        let mut out = String::new();
+        for c in s.chars() {
+            match c {
+                '&' => out.push_str("&amp;"),
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '"' if attr => out.push_str("&quot;"),
+                '\'' if attr => out.push_str("&apos;"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn span_scan_matches_char_by_char_reference() {
+        let mut rng = sbq_runtime::SmallRng::seed_from_u64(0xe5c);
+        let alphabet: Vec<char> = "abcdefghijklmnop &<>\"'é☃".chars().collect();
+        for len in [0usize, 1, 15, 16, 17, 33, 100, 4097] {
+            let s: String = (0..len)
+                .map(|_| alphabet[rng.gen_below(alphabet.len() as u64) as usize])
+                .collect();
+            assert_eq!(
+                escape_text(&s),
+                escape_reference(&s, false),
+                "text len={len}"
+            );
+            assert_eq!(
+                escape_attr(&s),
+                escape_reference(&s, true),
+                "attr len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_append_without_clobbering() {
+        let mut out = String::from("<x>");
+        escape_text_into("a&b", &mut out);
+        assert_eq!(out, "<x>a&amp;b");
+        escape_attr_into("\"q\"", &mut out);
+        assert_eq!(out, "<x>a&amp;b&quot;q&quot;");
+    }
+
+    #[test]
+    fn long_clean_spans_pass_through_untouched() {
+        let clean = "x".repeat(100_000);
+        assert_eq!(escape_text(&clean), clean);
+        let mut dirty = clean.clone();
+        dirty.push('<');
+        dirty.push_str(&clean);
+        assert_eq!(dirty.len() + "&lt;".len() - 1, escape_text(&dirty).len());
     }
 }

@@ -16,6 +16,6 @@ pub mod escape;
 pub mod parser;
 pub mod writer;
 
-pub use escape::{escape_attr, escape_text, unescape};
+pub use escape::{escape_attr, escape_attr_into, escape_text, escape_text_into, unescape};
 pub use parser::{Event, PullParser, XmlError};
 pub use writer::XmlWriter;

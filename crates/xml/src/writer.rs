@@ -1,7 +1,7 @@
 //! XML document writer with automatic escaping and optional
 //! pretty-printing.
 
-use crate::escape::{escape_attr, escape_text};
+use crate::escape::{escape_attr_into, escape_text_into};
 
 /// Builds an XML document into an internal `String`.
 ///
@@ -78,7 +78,7 @@ impl XmlWriter {
             self.buf.push(' ');
             self.buf.push_str(k);
             self.buf.push_str("=\"");
-            self.buf.push_str(&escape_attr(v));
+            escape_attr_into(v, &mut self.buf);
             self.buf.push('"');
         }
         self.buf.push('>');
@@ -100,7 +100,7 @@ impl XmlWriter {
             self.buf.push(' ');
             self.buf.push_str(k);
             self.buf.push_str("=\"");
-            self.buf.push_str(&escape_attr(v));
+            escape_attr_into(v, &mut self.buf);
             self.buf.push('"');
         }
         self.buf.push_str("/>");
@@ -116,7 +116,7 @@ impl XmlWriter {
             self.mark_child();
             self.indent();
         }
-        self.buf.push_str(&escape_text(text));
+        escape_text_into(text, &mut self.buf);
         if self.pretty {
             self.buf.push('\n');
         }
@@ -138,7 +138,7 @@ impl XmlWriter {
         self.buf.push('<');
         self.buf.push_str(name);
         self.buf.push('>');
-        self.buf.push_str(&escape_text(text));
+        escape_text_into(text, &mut self.buf);
         self.buf.push_str("</");
         self.buf.push_str(name);
         self.buf.push('>');

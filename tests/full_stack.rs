@@ -183,6 +183,81 @@ fn large_payloads_cross_the_stack() {
 }
 
 #[test]
+fn parallel_marshal_equals_serial_over_a_real_socket() {
+    // The same multi-megabyte echo, decoded once on the serial kernel path
+    // and once with the parallel threshold forced to 1 byte (every bulk
+    // kernel splits across the marshal pool): the values that come out of
+    // the socket must be identical, and the pool must actually have run
+    // fork/join jobs on the parallel pass.
+    let svc = ServiceDef::new("Big", "urn:test:big", "x")
+        .with_operation(
+            "echo_f",
+            TypeDesc::list_of(TypeDesc::Float),
+            TypeDesc::list_of(TypeDesc::Float),
+        )
+        .with_operation(
+            "echo_i",
+            TypeDesc::list_of(TypeDesc::Int),
+            TypeDesc::list_of(TypeDesc::Int),
+        );
+    let server = SoapServerBuilder::new(&svc, WireEncoding::Pbio)
+        .unwrap()
+        .handle("echo_f", |v| v)
+        .handle("echo_i", |v| v)
+        .bind("127.0.0.1:0".parse().unwrap())
+        .unwrap();
+    // A byte-swapping client format so the decode path exercises the
+    // bswap kernels, not just memcpy.
+    let swapped = FormatOptions {
+        byte_order: if cfg!(target_endian = "little") {
+            ByteOrder::Big
+        } else {
+            ByteOrder::Little
+        },
+        int_width: 8,
+        float_width: 8,
+    };
+    let compiled = compile(&svc, swapped).unwrap();
+    let mut client = SoapClient::connect_compiled(
+        server.addr(),
+        compiled,
+        WireEncoding::Pbio,
+        soap_binq::ClientConfig::default(),
+    )
+    .unwrap();
+
+    let floats = workload::float_array(700_000, 9); // ~5.6 MB
+    let ints = workload::int_array(700_000, 9);
+
+    sbq_pbio::set_parallel_threshold(usize::MAX);
+    let serial_f = client.call("echo_f", floats.clone()).unwrap();
+    let serial_i = client.call("echo_i", ints.clone()).unwrap();
+
+    let pool = sbq_runtime::cpu_pool::marshal_pool();
+    let jobs_before = pool
+        .stats()
+        .parallel_jobs
+        .load(std::sync::atomic::Ordering::Relaxed);
+    sbq_pbio::set_parallel_threshold(1);
+    let parallel_f = client.call("echo_f", floats.clone()).unwrap();
+    let parallel_i = client.call("echo_i", ints.clone()).unwrap();
+    sbq_pbio::set_parallel_threshold(sbq_pbio::DEFAULT_PAR_THRESHOLD);
+
+    assert_eq!(serial_f, floats);
+    assert_eq!(serial_i, ints);
+    assert_eq!(parallel_f, serial_f, "parallel f64 decode diverged");
+    assert_eq!(parallel_i, serial_i, "parallel i64 decode diverged");
+    let jobs_after = pool
+        .stats()
+        .parallel_jobs
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        jobs_after > jobs_before,
+        "pool.parallel_jobs did not advance ({jobs_before} -> {jobs_after})"
+    );
+}
+
+#[test]
 fn tracing_stitches_calls_on_every_encoding() {
     // Tracing is encoding-agnostic: the XML and compressed-XML paths must
     // produce the same stitched span tree as PBIO, with the marshal spans
